@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+``report(exp_id, text)`` prints the experiment's table (visible with
+``pytest -s``) and also writes it to ``benchmarks/reports/<exp_id>.txt``
+so EXPERIMENTS.md can reference stable artifacts even under pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+_REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+_opened: Dict[str, bool] = {}
+
+
+def report(exp_id: str, text: str) -> None:
+    os.makedirs(_REPORT_DIR, exist_ok=True)
+    path = os.path.join(_REPORT_DIR, f"{exp_id}.txt")
+    mode = "a" if _opened.get(exp_id) else "w"
+    _opened[exp_id] = True
+    with open(path, mode) as fh:
+        fh.write(text + "\n")
+    print(text)

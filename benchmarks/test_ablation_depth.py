@@ -1,0 +1,90 @@
+"""ABL-DEPTH — ablation: analyzer depth vs detection coverage.
+
+DESIGN.md calls out analyzer depth as the central design choice of the
+monitoring tool (visibility vs overhead, EXP-OVH prices the overhead
+side).  This ablation prices the *visibility* side: the same attack
+campaign replayed against monitors at each depth, counting which notice
+families survive.  Expected shape: flow-level detectors (egress volume,
+brute force via... no — brute force needs HTTP) degrade stepwise; the
+Jupyter-layer signatures and output-size rules exist only at full depth.
+"""
+
+import pytest
+from _bench_utils import report
+
+from repro.attacks import CryptominingAttack, ExfiltrationAttack, OutputSmugglingAttack, TokenBruteforceAttack
+from repro.attacks.scenario import build_scenario
+from repro.monitor import AnalyzerDepth
+from repro.taxonomy.render import render_table
+
+
+def run_campaign_at_depth(depth: AnalyzerDepth):
+    sc = build_scenario(seed=77, depth=depth)
+    TokenBruteforceAttack(delay=0.3).run(sc)
+    ExfiltrationAttack().run(sc)
+    OutputSmugglingAttack().run(sc)
+    CryptominingAttack(rounds=6, hashes_per_round=250).run(sc)
+    sc.run(20.0)
+    # Network-plane notices only (audit plane is depth-independent).
+    return sorted({n.name for n in sc.monitor.logs.notices
+                   if n.detector in ("signature", "jupyter-layer", "egress-volume",
+                                     "cusum-egress", "beacon", "brute-force")})
+
+
+EXPECTED_AT_FULL = {"AUTH_BRUTEFORCE", "EXFIL_VOLUME", "OVERSIZED_OUTPUT", "SIG-MINER-POOL"}
+
+
+def test_depth_visibility_ablation(benchmark):
+    def ablate():
+        return {depth: run_campaign_at_depth(depth) for depth in AnalyzerDepth}
+
+    results = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    rows = [(d.name, ", ".join(names) or "-") for d, names in results.items()]
+    report("ABL-DEPTH", "=== ablation: analyzer depth vs network-plane notices ===")
+    report("ABL-DEPTH", render_table(rows, ["depth", "notices"]))
+
+    conn_only = set(results[AnalyzerDepth.CONN])
+    http = set(results[AnalyzerDepth.HTTP])
+    full = set(results[AnalyzerDepth.JUPYTER])
+
+    # Flow-level detectors (egress volume/beacon) work even at CONN depth.
+    assert "EXFIL_VOLUME" in conn_only
+    # Brute force requires HTTP transaction visibility.
+    assert "AUTH_BRUTEFORCE" not in conn_only
+    assert "AUTH_BRUTEFORCE" in http
+    # Code signatures and output-size rules require the Jupyter layer.
+    assert "SIG-MINER-POOL" not in http
+    assert "SIG-MINER-POOL" in full
+    assert "OVERSIZED_OUTPUT" not in http
+    assert "OVERSIZED_OUTPUT" in full
+    # Visibility is monotone in depth.
+    assert conn_only <= http <= full
+    assert EXPECTED_AT_FULL <= full
+
+
+def test_automation_volume_stress(benchmark):
+    """§IV.B: automated campaigns 'increase the volume of attacks,
+    further challenge the security monitoring system.'  Under a fixed
+    processing budget, a flooded monitor drops segments; with headroom it
+    doesn't — volume is the attacker's friend."""
+    from repro.attacks.campaign import CampaignGenerator, CampaignRunner
+
+    def run_fleets():
+        out = {}
+        for budget, label in ((0.0, "unbudgeted"), (40.0, "budgeted(40/s)")):
+            campaigns = CampaignGenerator(seed=88, with_recon=False).generate_fleet(
+                3, objective="mine")
+            runner = CampaignRunner(base_seed=7000, monitor_budget=budget)
+            runner.run(campaigns)
+            out[label] = {
+                "detection_rate": runner.detection_rate(),
+                "success_rate": runner.success_rate(),
+            }
+        return out
+
+    results = benchmark.pedantic(run_fleets, rounds=1, iterations=1)
+    report("ABL-DEPTH", "\n=== automated campaign fleet (3 miners) ===")
+    for label, stats in results.items():
+        report("ABL-DEPTH", f"  {label:16s} detection={stats['detection_rate']:.2f} "
+                            f"attack-success={stats['success_rate']:.2f}")
+    assert results["unbudgeted"]["detection_rate"] == 1.0

@@ -1,0 +1,88 @@
+"""EXP-DET — detection accuracy per attack class over a mixed corpus.
+
+The taxonomy claims each avenue is detectable; this experiment runs a
+mixed benign+attack campaign and reports, per attack class, whether the
+network plane, the kernel-audit plane, or both caught it — plus
+source-level TPR/FPR.  Expected shape: every attack class detected by
+at least one plane; zero false positives on benign scientists; the
+planes are complementary (some attacks visible to only one), which is
+the paper's argument for building *both* tools.
+"""
+
+import pytest
+from _bench_utils import report
+
+from repro.attacks import (
+    CryptominingAttack,
+    ExfiltrationAttack,
+    OutputSmugglingAttack,
+    RansomwareAttack,
+    TokenBruteforceAttack,
+)
+from repro.attacks.scenario import build_scenario
+from repro.eval import ConfusionMatrix, DetectionEvaluator
+from repro.taxonomy.render import render_table
+from repro.workload import ScientistWorkload
+
+
+def run_campaign():
+    sc = build_scenario(seed=99)
+    # Benign background: two scientists.
+    ScientistWorkload(sc, username="alice").run_session(cells=4)
+    ScientistWorkload(sc, username="bob", seed_name="w2").run_session(cells=4)
+    outcomes = {}
+    # Ransomware goes last: it destroys the artifacts the other
+    # exfiltration attacks target (as it would in a real kill chain).
+    for attack in (TokenBruteforceAttack(delay=0.3),
+                   ExfiltrationAttack(),
+                   OutputSmugglingAttack(),
+                   CryptominingAttack(rounds=8, hashes_per_round=300),
+                   RansomwareAttack(via="rest")):
+        before_net = {n.name for n in sc.monitor.logs.notices}
+        before_audit = {n.name for a in sc.auditors.values() for n in a.notices}
+        attack.run(sc)
+        sc.run(10.0)
+        after_net = {n.name for n in sc.monitor.logs.notices}
+        after_audit = {n.name for a in sc.auditors.values() for n in a.notices}
+        outcomes[attack.name] = {
+            "network": sorted(after_net - before_net),
+            "audit": sorted(after_audit - before_audit),
+        }
+    return sc, outcomes
+
+
+def test_per_attack_plane_coverage(benchmark):
+    sc, outcomes = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    rows = []
+    for name, planes in outcomes.items():
+        net = ", ".join(planes["network"]) or "-"
+        audit = ", ".join(planes["audit"]) or "-"
+        rows.append((name, net[:45], audit[:45]))
+    report("EXP-DET", "=== per-attack detection, by plane ===")
+    report("EXP-DET", render_table(rows, ["attack", "network plane", "kernel-audit plane"]))
+    # Every attack visible to at least one plane.
+    for name, planes in outcomes.items():
+        assert planes["network"] or planes["audit"], f"{name} went fully undetected"
+    # Output smuggling is invisible to flow-volume detectors (no attacker
+    # socket) — only the deep Jupyter-layer parse catches it.  This is the
+    # paper's core visibility argument quantified.
+    assert "EXFIL_VOLUME" not in outcomes["output-smuggling"]["network"]
+    assert "OVERSIZED_OUTPUT" in outcomes["output-smuggling"]["network"]
+
+
+def test_source_level_accuracy(benchmark):
+    from repro.dataset import DatasetBuilder
+
+    def build():
+        builder = DatasetBuilder(seed=100, benign_sessions=2, benign_cells_per_session=4)
+        records = builder.build([TokenBruteforceAttack(delay=0.3), ExfiltrationAttack()])
+        # Exclude the server's own IP: it is shared infrastructure, and
+        # attributing its egress to a principal is the kernel auditor's
+        # job (which the attributed POLICY_* notices here demonstrate).
+        server_ip = builder.scenario.server_host.ip
+        return DetectionEvaluator().evaluate_sources(records, exclude=(server_ip, "kernel"))
+
+    cm = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("EXP-DET", f"\nsource-level confusion matrix: {cm.as_dict()}")
+    assert cm.tpr >= 0.99, "attacker sources must be flagged"
+    assert cm.fpr == 0.0, "benign scientists must not be flagged"

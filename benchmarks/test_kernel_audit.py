@@ -1,0 +1,104 @@
+"""EXP-AUDIT — the embedded kernel tracer's cost and coverage (§IV.B).
+
+The paper proposes "an embedded tracing tool ... in Jupyter kernel ...
+to enable extensive logging of user commands", and its §IV.A worries
+about the overhead of exactly such tooling.  Measured here: per-cell
+execution cost with and without the auditor attached (the overhead), the
+provenance graph build rate, and policy evaluation cost per cell.
+Expected shape: auditing adds a bounded constant per cell — small
+against real cell runtimes — supporting the paper's position that
+kernel-side tracing is deployable.
+"""
+
+import pytest
+from _bench_utils import report
+
+from repro.audit import KernelAuditor, PolicyEngine, extract_features
+from repro.kernel import KernelRuntime, KernelWorld
+from repro.messaging import Session
+
+BENIGN_CELL = (
+    "import math\n"
+    "values = [math.sqrt(x) for x in range(200)]\n"
+    "total = sum(values)\n"
+    "print(total)"
+)
+
+SUSPICIOUS_CELL = (
+    "import hashlib\n"
+    "for nonce in range(50):\n"
+    "    h = hashlib.sha256(str(nonce)).hexdigest()\n"
+)
+
+
+def make_kernel(audited: bool):
+    world = KernelWorld()
+    world.fs.write("home/data.csv", b"a,b\n1,2\n" * 50)
+    kernel = KernelRuntime(world, key=b"k")
+    auditor = KernelAuditor(kernel) if audited else None
+    return kernel, auditor, Session(b"k")
+
+
+def test_cell_execution_unaudited(benchmark):
+    kernel, _, client = make_kernel(audited=False)
+    result = benchmark(lambda: kernel.handle(client.execute_request(BENIGN_CELL)))
+    assert result[0].content["status"] == "ok"
+    report("EXP-AUDIT", f"unaudited cell: {benchmark.stats.stats.mean * 1e3:8.3f} ms")
+
+
+def test_cell_execution_audited(benchmark):
+    kernel, auditor, client = make_kernel(audited=True)
+    result = benchmark(lambda: kernel.handle(client.execute_request(BENIGN_CELL)))
+    assert result[0].content["status"] == "ok"
+    assert auditor.records
+    report("EXP-AUDIT", f"audited cell  : {benchmark.stats.stats.mean * 1e3:8.3f} ms")
+
+
+def test_audit_overhead_bounded(benchmark):
+    """The headline number: audit overhead as a fraction of cell cost."""
+    import time
+
+    def mean_cost(audited: bool, n: int = 30) -> float:
+        kernel, _, client = make_kernel(audited)
+        t0 = time.perf_counter()
+        for _ in range(n):
+            kernel.handle(client.execute_request(BENIGN_CELL))
+        return (time.perf_counter() - t0) / n
+
+    base = mean_cost(False)
+    audited = benchmark.pedantic(lambda: mean_cost(True), rounds=1, iterations=1)
+    overhead = (audited - base) / base if base > 0 else 0.0
+    report("EXP-AUDIT", f"overhead: base={base * 1e3:.3f}ms audited={audited * 1e3:.3f}ms "
+                        f"-> {overhead:+.1%}")
+    # Bounded: tracing must not multiply cell cost (paper's deployability bar).
+    assert audited < base * 3.0
+
+
+def test_feature_extraction_cost(benchmark):
+    features = benchmark(extract_features, SUSPICIOUS_CELL)
+    assert features.hash_calls_in_loop == 1
+    report("EXP-AUDIT", f"feature extraction: {benchmark.stats.stats.mean * 1e6:8.1f} us/cell")
+
+
+def test_policy_evaluation_cost(benchmark):
+    engine = PolicyEngine()
+    features = extract_features(SUSPICIOUS_CELL)
+    verdicts = benchmark(engine.evaluate, features)
+    assert any(v.policy == "miner-shape" for v in verdicts)
+    report("EXP-AUDIT", f"policy evaluation : {benchmark.stats.stats.mean * 1e6:8.1f} us/cell")
+
+
+def test_provenance_build_rate(benchmark):
+    kernel, auditor, client = make_kernel(audited=True)
+
+    def session():
+        kernel.handle(client.execute_request("text = open('data.csv').read()"))
+        kernel.handle(client.execute_request(
+            "out = open('copy.csv', 'w')\nout.write(text)\nout.close()"))
+        return auditor.provenance
+
+    prov = benchmark.pedantic(session, rounds=1, iterations=1)
+    counts = prov.node_counts()
+    assert counts["file"] >= 2 and counts["execution"] >= 2
+    report("EXP-AUDIT", f"provenance after 2-cell session: {counts}, "
+                        f"{prov.edge_count()} edges")

@@ -1,0 +1,92 @@
+"""EXP-MISCFG — scanner risk score vs actual exploitability.
+
+The misconfiguration avenue is preventable: the scanner's static grade
+should predict what an attacker can actually do.  We scan a spectrum of
+deployments and then *run the open-server exploit* against each,
+checking the correlation: grade F ⇒ full compromise, grade A/B ⇒ attack
+fails.  Also prices the scanner itself (configs/second).
+"""
+
+import pytest
+from _bench_utils import report
+
+from repro.attacks import OpenServerExploitAttack, TokenBruteforceAttack
+from repro.attacks.scenario import build_scenario
+from repro.crypto.passwords import hash_password
+from repro.misconfig import MisconfigScanner
+from repro.server.config import ServerConfig, insecure_demo_config
+from repro.taxonomy.render import render_table
+from repro.util.errors import ReproError
+
+
+def deployment_spectrum():
+    return [
+        ("open-demo", insecure_demo_config()),
+        ("weak-token", ServerConfig(server_name="weak-token", ip="0.0.0.0",
+                                    token="admin", version="6.4.11")),
+        ("weak-password", ServerConfig(server_name="weak-password", ip="0.0.0.0", token="",
+                                       password_hash=hash_password("hunter2", rounds=100))),
+        ("strong-public", ServerConfig(server_name="strong-public", ip="0.0.0.0",
+                                       certfile="c", keyfile="k",
+                                       rate_limit_window_seconds=60,
+                                       rate_limit_max_requests=600)),
+        ("hardened", insecure_demo_config().hardened_copy()),
+    ]
+
+
+def exploit_outcome(config) -> str:
+    sc = build_scenario(config=config, seed=101)
+    try:
+        result = OpenServerExploitAttack().run(sc)
+    except ReproError:
+        return "unreachable"
+    if result.success and result.metrics.get("code_execution"):
+        return "full-compromise"
+    if result.success:
+        return "data-exposed"
+    # Try the cheap token guess as a fallback measure of weakness.
+    sc2 = build_scenario(config=config, seed=102)
+    brute = TokenBruteforceAttack(delay=0.1).run(sc2)
+    return "token-guessed" if brute.success else "resisted"
+
+
+def test_risk_score_predicts_exploitability(benchmark):
+    scanner = MisconfigScanner()
+
+    def experiment():
+        rows = []
+        for name, cfg in deployment_spectrum():
+            grade = scanner.scan(cfg)
+            outcome = exploit_outcome(cfg)
+            rows.append((name, grade.grade, f"{grade.risk_score:.0f}", outcome))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report("EXP-MISCFG", "=== scanner grade vs live exploitation outcome ===")
+    report("EXP-MISCFG", render_table(rows, ["deployment", "grade", "risk", "exploit outcome"]))
+    by_name = {r[0]: r for r in rows}
+    assert by_name["open-demo"][3] == "full-compromise"
+    assert by_name["weak-token"][3] in ("token-guessed", "full-compromise")
+    assert by_name["hardened"][3] in ("resisted", "unreachable")
+    assert by_name["strong-public"][3] == "resisted"
+    # Monotone: risk scores ordered consistently with outcomes.
+    risk = {name: float(r) for name, _, r, _ in rows}
+    assert risk["open-demo"] > risk["strong-public"] > risk["hardened"]
+
+
+def test_scanner_throughput(benchmark):
+    scanner = MisconfigScanner()
+    configs = [cfg for _, cfg in deployment_spectrum()] * 20
+
+    reports = benchmark(scanner.scan_fleet, configs)
+    assert len(reports) == len(configs)
+    stats = benchmark.stats.stats
+    report("EXP-MISCFG", f"\nscanner throughput: {len(configs) / stats.mean:,.0f} configs/s")
+
+
+def test_hardening_delta(benchmark):
+    scanner = MisconfigScanner()
+    delta = benchmark(scanner.hardening_delta, insecure_demo_config())
+    report("EXP-MISCFG", f"hardening: risk {delta['before']:.0f} -> {delta['after']:.0f} "
+                         f"(-{delta['reduction']:.0f})")
+    assert delta["after"] < delta["before"] / 5

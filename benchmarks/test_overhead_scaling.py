@@ -1,0 +1,86 @@
+"""EXP-OVH — monitoring overhead vs analyzer depth and traffic volume.
+
+Paper §IV.A: "a security auditor may add unsustainable performance
+overhead to scientific computing" as traffic grows.  We record one
+realistic traffic trace (REST + WebSocket kernel session), then replay
+it into monitors of increasing analyzer depth and measure real
+processing time per byte.  Expected shape: cost grows monotonically
+with depth, with the Jupyter-layer parse (JSON) dominating — the
+quantified version of the paper's scalability concern.
+"""
+
+import pytest
+from _bench_utils import report
+
+from repro.monitor import AnalyzerDepth, JupyterNetworkMonitor
+from repro.server import JupyterServer, ServerConfig, ServerGateway, WebSocketKernelClient
+from repro.simnet import Network
+
+
+def record_trace(cells: int = 10):
+    """One canned session's segment trace."""
+    net = Network(default_latency=0.001)
+    server_host = net.add_host("jupyter", "10.0.0.1")
+    client_host = net.add_host("laptop", "10.0.0.2")
+    tap = net.add_tap()
+    server = JupyterServer(ServerConfig(ip="0.0.0.0", token="tok"), net, server_host)
+    ServerGateway(server)
+    client = WebSocketKernelClient(client_host, server_host, token="tok")
+    client.request("GET", "/api/status")
+    client.start_kernel()
+    client.connect_channels()
+    for i in range(cells):
+        client.execute(f"value = sum(range({100 + i}))\nprint(value)")
+    return tap.segments
+
+
+TRACE = record_trace()
+TRACE_BYTES = sum(s.size for s in TRACE)
+
+
+def replay(depth: AnalyzerDepth):
+    monitor = JupyterNetworkMonitor(depth=depth)
+    for seg in TRACE:
+        monitor.on_segment(seg)
+    return monitor
+
+
+@pytest.mark.parametrize("depth", list(AnalyzerDepth), ids=lambda d: d.name.lower())
+def test_depth_cost(benchmark, depth):
+    monitor = benchmark(replay, depth)
+    # Deeper monitors must decode strictly more.
+    counts = monitor.logs.counts()
+    if depth >= AnalyzerDepth.HTTP:
+        assert counts["http"] > 0
+    if depth >= AnalyzerDepth.WEBSOCKET:
+        assert counts["websocket"] > 0
+    if depth >= AnalyzerDepth.ZMTP:
+        assert counts["zmtp"] > 0
+    if depth >= AnalyzerDepth.JUPYTER:
+        assert counts["jupyter"] > 0
+    stats = benchmark.stats.stats
+    mb_per_s = (TRACE_BYTES / stats.mean) / 1e6
+    report("EXP-OVH", f"depth={depth.name:10s} mean={stats.mean * 1e3:8.3f} ms/trace "
+                      f"({mb_per_s:8.1f} MB/s)  logs={counts}")
+
+
+def test_overhead_grows_with_traffic(benchmark):
+    """Linear scaling check: 4x the traffic ~ 4x the work (no blowup)."""
+    import time
+
+    def cost(multiplier: int) -> float:
+        t0 = time.perf_counter()
+        monitor = JupyterNetworkMonitor(depth=AnalyzerDepth.JUPYTER)
+        for _ in range(multiplier):
+            for seg in TRACE:
+                monitor.on_segment(seg)
+        return time.perf_counter() - t0
+
+    # Warm up, then measure the ratio.
+    cost(1)
+    t1 = cost(1)
+    t4 = benchmark.pedantic(lambda: cost(4), rounds=3, iterations=1)
+    ratio = t4 / t1 if t1 > 0 else float("inf")
+    report("EXP-OVH", f"\ntraffic x4 -> processing x{ratio:.1f} "
+                      f"(t1={t1 * 1e3:.1f}ms, t4={t4 * 1e3:.1f}ms)")
+    assert ratio < 12, "superlinear blowup in monitor processing"

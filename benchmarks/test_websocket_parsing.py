@@ -1,0 +1,140 @@
+"""EXP-WS — the observability gap: parsing WebSocket/ZMTP at line rate.
+
+Paper §I/§II: "Jupyter uses encrypted datagrams of rapidly evolving
+WebSocket protocols that challenge even the most state-of-the-art
+network observability tools, such as Zeek."  This bench prices each
+parsing layer on realistic Jupyter traffic: raw frame decode, masked
+frame decode, fragmentation reassembly, ZMTP multipart decode, and the
+full Jupyter-JSON layer — in MB/s, so the 'cost of visibility' claim
+becomes a number.
+"""
+
+import json
+
+import pytest
+from _bench_utils import report
+
+from repro.messaging import Session
+from repro.wire.websocket import (
+    Frame,
+    Opcode,
+    WebSocketDecoder,
+    encode_frame,
+    fragment_message,
+)
+from repro.wire.zmtp import ZmtpDecoder, encode_greeting, encode_multipart
+
+# Realistic payload: a Jupyter execute_request in WS JSON framing.
+_session = Session(b"bench")
+PAYLOAD = _session.execute_request(
+    "import numpy as np\nresult = np.linalg.svd(data)\nprint(result)"
+).to_websocket_json().encode()
+
+N_MESSAGES = 200
+
+UNMASKED_STREAM = b"".join(
+    encode_frame(Frame(True, Opcode.TEXT, PAYLOAD)) for _ in range(N_MESSAGES))
+MASKED_STREAM = b"".join(
+    encode_frame(Frame(True, Opcode.TEXT, PAYLOAD), mask_key=b"\x12\x34\x56\x78")
+    for _ in range(N_MESSAGES))
+FRAGMENTED_STREAM = b"".join(
+    b"".join(fragment_message(PAYLOAD, 256, Opcode.TEXT)) for _ in range(N_MESSAGES))
+ZMTP_STREAM = encode_greeting() + b"".join(
+    encode_multipart(_session.serialize(_session.execute_request(f"x = {i}")))
+    for i in range(N_MESSAGES))
+
+
+def _mbps(benchmark, nbytes: int) -> float:
+    return (nbytes / benchmark.stats.stats.mean) / 1e6
+
+
+def test_ws_decode_unmasked(benchmark):
+    def decode():
+        dec = WebSocketDecoder()
+        dec.feed(UNMASKED_STREAM)
+        return dec.messages()
+
+    msgs = benchmark(decode)
+    assert len(msgs) == N_MESSAGES
+    report("EXP-WS", f"ws unmasked decode     : {_mbps(benchmark, len(UNMASKED_STREAM)):8.1f} MB/s")
+
+
+def test_ws_decode_masked(benchmark):
+    def decode():
+        dec = WebSocketDecoder()
+        dec.feed(MASKED_STREAM)
+        return dec.messages()
+
+    msgs = benchmark(decode)
+    assert len(msgs) == N_MESSAGES
+    assert msgs[0][1] == PAYLOAD
+    report("EXP-WS", f"ws masked decode       : {_mbps(benchmark, len(MASKED_STREAM)):8.1f} MB/s "
+                     "(unmasking cost)")
+
+
+def test_ws_decode_fragmented(benchmark):
+    def decode():
+        dec = WebSocketDecoder()
+        dec.feed(FRAGMENTED_STREAM)
+        return dec.messages()
+
+    msgs = benchmark(decode)
+    assert len(msgs) == N_MESSAGES
+    report("EXP-WS", f"ws fragmented reassembly: {_mbps(benchmark, len(FRAGMENTED_STREAM)):7.1f} MB/s")
+
+
+def test_zmtp_decode(benchmark):
+    def decode():
+        dec = ZmtpDecoder()
+        dec.feed(ZMTP_STREAM)
+        return dec.messages()
+
+    msgs = benchmark(decode)
+    assert len(msgs) == N_MESSAGES
+    report("EXP-WS", f"zmtp multipart decode  : {_mbps(benchmark, len(ZMTP_STREAM)):8.1f} MB/s")
+
+
+def test_jupyter_layer_parse(benchmark):
+    """The semantic layer on top: JSON + header extraction."""
+    def parse():
+        dec = WebSocketDecoder()
+        dec.feed(UNMASKED_STREAM)
+        out = []
+        for _, payload in dec.messages():
+            d = json.loads(payload)
+            out.append((d["header"]["msg_type"], d.get("content", {}).get("code", "")))
+        return out
+
+    parsed = benchmark(parse)
+    assert len(parsed) == N_MESSAGES
+    report("EXP-WS", f"+ jupyter JSON layer   : {_mbps(benchmark, len(UNMASKED_STREAM)):8.1f} MB/s "
+                     "(the semantic visibility the paper asks for)")
+
+
+def test_layer_cost_ordering(benchmark):
+    """Shape check: each added layer costs throughput; JSON dominates."""
+    import time
+
+    def cost(fn) -> float:
+        t0 = time.perf_counter()
+        for _ in range(3):
+            fn()
+        return (time.perf_counter() - t0) / 3
+
+    def frames_only():
+        dec = WebSocketDecoder()
+        dec.feed(UNMASKED_STREAM)
+        dec.messages()
+
+    def with_json():
+        dec = WebSocketDecoder()
+        dec.feed(UNMASKED_STREAM)
+        for _, payload in dec.messages():
+            json.loads(payload)
+
+    t_frames = benchmark.pedantic(lambda: cost(frames_only), rounds=1, iterations=1)
+    t_json = cost(with_json)
+    report("EXP-WS", f"\nlayer cost: frames={t_frames * 1e3:.2f}ms, "
+                     f"+json={t_json * 1e3:.2f}ms "
+                     f"({t_json / t_frames:.1f}x)")
+    assert t_json > t_frames

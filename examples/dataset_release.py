@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Build, anonymize, and evaluate the Jupyter Security & Resiliency Data Set.
+
+The paper's §IV.B calls for an open dataset of Jupyter security logs and
+flags anonymization as the open problem.  This example builds a labeled
+corpus (benign sessions + three attack campaigns), applies three
+anonymization levels, and reports the privacy/utility trade-off:
+re-identification risk down, detector utility preserved or degraded.
+
+Run with:  python examples/dataset_release.py
+"""
+
+from repro.attacks import CryptominingAttack, ExfiltrationAttack, TokenBruteforceAttack
+from repro.dataset import (
+    AnonymizationPolicy,
+    Anonymizer,
+    DatasetBuilder,
+    k_anonymity,
+)
+from repro.dataset.anonymize import reidentification_risk
+from repro.eval import DetectionEvaluator
+
+
+def main() -> None:
+    builder = DatasetBuilder(seed=2024, benign_sessions=2, benign_cells_per_session=4)
+    raw = builder.build([
+        TokenBruteforceAttack(delay=0.3),
+        ExfiltrationAttack(),
+        CryptominingAttack(rounds=4, hashes_per_round=200),
+    ])
+    print("raw corpus:", DatasetBuilder.summary(raw))
+
+    policies = {
+        "raw": AnonymizationPolicy.none(),
+        "default": AnonymizationPolicy(),
+        "maximal": AnonymizationPolicy.maximal(),
+    }
+    evaluator = DetectionEvaluator()
+    print(f"\n{'policy':>8s} {'k-anon':>6s} {'reid-risk':>9s} {'TPR':>5s} {'FPR':>5s} "
+          f"{'code kept':>9s}")
+    for name, policy in policies.items():
+        records = Anonymizer(policy).anonymize(raw)
+        cm = evaluator.evaluate_sources(records)
+        has_code = any("code" in r.fields for r in records if r.family == "jupyter")
+        print(f"{name:>8s} {k_anonymity(records):6d} "
+              f"{reidentification_risk(records):9.3f} "
+              f"{cm.tpr:5.2f} {cm.fpr:5.2f} {str(has_code):>9s}")
+
+    # Export the shareable artifact.
+    released = Anonymizer(AnonymizationPolicy()).anonymize(raw)
+    jsonl = DatasetBuilder.export_jsonl(released)
+    path = "/tmp/jupyter_security_dataset.jsonl"
+    with open(path, "w") as fh:
+        fh.write(jsonl + "\n")
+    print(f"\nwrote {len(released)} anonymized records to {path}")
+    print("note: labels and notice records survive anonymization, so the")
+    print("corpus remains usable for training/evaluating detectors.")
+
+
+if __name__ == "__main__":
+    main()

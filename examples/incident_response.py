@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Incident response with the kernel auditor's provenance graph.
+
+A compound campaign hits the deployment (exfiltration, then ransomware
+through the same stolen session).  The analyst's questions — who did it,
+what did they take, what did they destroy, can we recover — are answered
+entirely from the audit plane's provenance graph and the server's
+checkpoints, the forensic workflow the paper's kernel-auditing proposal
+enables.
+
+Run with:  python examples/incident_response.py
+"""
+
+from repro.attacks import ExfiltrationAttack, RansomwareAttack
+from repro.attacks.scenario import build_scenario
+from repro.workload import ScientistWorkload
+
+
+def main() -> None:
+    scenario = build_scenario(seed=2025)
+    ScientistWorkload(scenario, username="alice").run_session(cells=4)
+
+    # The campaign: steal first, then extort (checkpoints left behind —
+    # this operator was sloppy, which is what makes recovery possible).
+    ExfiltrationAttack().run(scenario)
+    RansomwareAttack(via="kernel", destroy_checkpoints=False).run(scenario)
+    scenario.run(10.0)
+
+    print("=== ALERT TRIAGE ===")
+    for n in scenario.monitor.logs.notices:
+        if n.severity in ("high", "critical"):
+            print(f"  t={n.ts:8.1f} {n.severity:9s} {n.name:28s} src={n.src}")
+
+    # Q1: which principal ran the malicious executions?
+    print("\n=== Q1: who? ===")
+    for kid, auditor in scenario.auditors.items():
+        for record in auditor.records_with_verdicts():
+            policies = ", ".join(v.policy for v in record.verdicts)
+            print(f"  kernel={kid[:12]} exec#{record.execution_id} "
+                  f"user={record.username!r} -> {policies}")
+
+    # Q2: what left the building?
+    print("\n=== Q2: what was exfiltrated? ===")
+    sink_ip = scenario.exfil_sink.host.ip
+    for auditor in scenario.auditors.values():
+        lineage = auditor.provenance.exfil_lineage(sink_ip, 443)
+        if lineage:
+            sent = auditor.provenance.bytes_sent_to(sink_ip, 443)
+            print(f"  {sent} bytes to {sink_ip}:443, plausible sources:")
+            for path in lineage:
+                print(f"    - {path}")
+
+    # Q3: what did the ransomware touch?
+    print("\n=== Q3: damage assessment ===")
+    encrypted = [p for p in scenario.server.fs.walk("home") if p.endswith(".locked")]
+    print(f"  {len(encrypted)} files encrypted (.locked)")
+    victim = "home/experiments/run0.ipynb"
+    for auditor in scenario.auditors.values():
+        history = auditor.provenance.file_history(victim)
+        if history:
+            print(f"  history of {victim}:")
+            for event in history:
+                print(f"    t={event['ts']:8.1f} {event['relation']:10s} {event['exec']}")
+
+    # Q4: recovery.
+    print("\n=== Q4: recovery ===")
+    restored = 0
+    for path in list(scenario.server.fs.walk("home")):
+        if path.endswith(".locked"):
+            original = path[len("home/"):-len(".locked")]
+            checkpoints = scenario.server.contents.list_checkpoints(original)
+            if checkpoints:
+                # Re-materialize the original from its checkpoint.
+                cp = scenario.server.contents._checkpoint_path(original, checkpoints[0]["id"])
+                scenario.server.fs.write("home/" + original, scenario.server.fs.read(cp))
+                restored += 1
+    print(f"  restored {restored} files from checkpoints "
+          f"(the ransomware forgot to destroy them)")
+    model = scenario.server.contents.get("experiments/run0.ipynb")
+    print(f"  spot check: experiments/run0.ipynb is a valid "
+          f"{model['type']} again ({model['size'] if 'size' in model else '?'} view)")
+
+
+if __name__ == "__main__":
+    main()

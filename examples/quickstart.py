@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: stand up the simulated world, run a notebook session,
+launch an attack, and watch both defenders catch it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.attacks import RansomwareAttack
+from repro.attacks.scenario import build_scenario
+from repro.workload import ScientistWorkload
+
+
+def main() -> None:
+    # 1. Build the standard testbed: campus network, Jupyter server,
+    #    network tap + monitor, attacker infrastructure, seeded research data.
+    scenario = build_scenario(seed=42)
+    print(f"world: {sorted(scenario.network.hosts)}")
+    print(f"victim files: {scenario.server.fs.file_count()} "
+          f"({scenario.server.fs.total_bytes()} bytes)")
+
+    # 2. A scientist works for a while — benign background traffic.
+    report = ScientistWorkload(scenario, username="alice").run_session(cells=6)
+    print(f"\nalice ran {report.cells_executed} cells "
+          f"({report.errors} errors) over {report.duration:.0f} sim-seconds")
+    print(f"notices so far: {scenario.monitor.logs.notice_names() or '(none — clean)'}")
+
+    # 3. Ransomware lands through a stolen session and encrypts everything.
+    result = RansomwareAttack(via="kernel").run(scenario)
+    print(f"\nattack: {result.narrative}")
+    print(f"observed OSCRP concerns: {sorted(c.value for c in result.observed_concerns)}")
+
+    # 4. What did the defenders see?
+    print("\n--- network monitor ---")
+    for notice in scenario.monitor.logs.notices:
+        print(f"  t={notice.ts:8.1f} {notice.severity:9s} {notice.name}")
+    print("--- kernel auditor ---")
+    for auditor in scenario.auditors.values():
+        for notice in auditor.notices:
+            print(f"  t={notice.ts:8.1f} {notice.severity:9s} {notice.name}")
+
+    # 5. Forensics: which execution touched the encrypted files?
+    #    (the last-attached auditor belongs to the hijacked session)
+    auditor = list(scenario.auditors.values())[-1]
+    victim = "home/experiments/run0.ipynb"
+    print(f"\nprovenance for {victim}:")
+    for event in auditor.provenance.file_history(victim):
+        print(f"  t={event['ts']:8.1f} {event['relation']:12s} by {event['exec']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""jupyter-armor: reproduction of "Jupyter Notebook Attacks Taxonomy:
+Ransomware, Data Exfiltration, and Security Misconfiguration"
+(Phuong Cao, SC 2024 workshops, arXiv:2409.19456).
+
+The package builds the paper's entire subject matter as a runnable
+system: a simulated Jupyter deployment (server, kernels, wire
+protocols, network), the attack taxonomy as executable programs, and
+the proposed defensive architecture (network monitor, kernel auditor,
+honeypot fleet, misconfiguration scanner, anonymized dataset tooling,
+post-quantum-ready signing).
+
+Start with :func:`repro.attacks.scenario.build_scenario` — it wires a
+complete monitored testbed — or see ``examples/quickstart.py``.
+
+Subsystem map (details in DESIGN.md):
+
+====================  =====================================================
+``repro.util``        clocks, seeded RNG streams, entropy, ids, errors
+``repro.crypto``      ChaCha20, HMAC signers, hash-based PQ signatures, HNDL
+``repro.wire``        HTTP/1.1, WebSocket (RFC 6455), ZMTP 3.0 codecs
+``repro.nbformat``    notebook v4 model, validation, trust signatures
+``repro.messaging``   Jupyter kernel wire protocol v5.3 (signed multipart)
+``repro.simnet``      deterministic discrete-event network with taps
+``repro.vfs``         the virtual filesystem kernels and servers share
+``repro.kernel``      metered AST-interpreting Python kernel (REPL)
+``repro.server``      Jupyter server: auth, contents, terminals, gateway
+``repro.taxonomy``    OSCRP model, technique tree, CVE registry, renderers
+``repro.monitor``     the Zeek-shaped network monitoring tool
+``repro.audit``       the embedded kernel auditing tool + provenance
+``repro.attacks``     every avenue of the taxonomy, as programs
+``repro.honeypot``    edge decoys, signature harvesting, threat intel
+``repro.misconfig``   the configuration scanner (13 hardening checks)
+``repro.workload``    benign scientist behaviour for FPR baselines
+``repro.dataset``     labeled corpus generation + anonymization
+``repro.eval``        detection metrics (confusion matrices, ROC)
+``repro.cli``         repro-scan/-taxonomy/-attack/-dataset/-monitor
+====================  =====================================================
+"""
+
+__version__ = "1.0.0"
+__paper__ = "arXiv:2409.19456 (SC 2024 workshops)"

@@ -1,0 +1,55 @@
+"""Attack implementations for every avenue in the taxonomy.
+
+Each attack is a program against the simulated deployment: it speaks the
+same protocols a real intruder would (REST, WebSocket, kernel code,
+terminal), so its side effects are visible to the monitor on the wire
+and to the auditor in the kernel.  Results report the *observed* OSCRP
+concerns, which the TAB1 benchmark reconciles with the declared
+taxonomy.
+
+- :mod:`repro.attacks.scenario` — the standard experiment world.
+- :mod:`repro.attacks.ransomware` — encrypt-and-extort (kernel & REST variants).
+- :mod:`repro.attacks.exfiltration` — bulk, low-and-slow, output smuggling.
+- :mod:`repro.attacks.mining` — in-kernel cryptominer with stratum beacons.
+- :mod:`repro.attacks.takeover` — token brute force, credential stuffing, stolen token.
+- :mod:`repro.attacks.misconfig` — open-server scanning and exploitation.
+- :mod:`repro.attacks.zeroday` — the signatureless stand-in.
+- :mod:`repro.attacks.evasion` — monitor DoS and rule inference (paper §IV.A).
+"""
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.scenario import Scenario
+from repro.attacks.ransomware import RansomwareAttack
+from repro.attacks.exfiltration import (
+    ExfiltrationAttack,
+    LowAndSlowExfiltration,
+    OutputSmugglingAttack,
+)
+from repro.attacks.mining import CryptominingAttack
+from repro.attacks.takeover import (
+    CredentialStuffingAttack,
+    StolenTokenAttack,
+    TokenBruteforceAttack,
+)
+from repro.attacks.misconfig import OpenServerExploitAttack, OpenServerScanAttack
+from repro.attacks.zeroday import ZeroDayAttack
+from repro.attacks.evasion import MonitorFloodAttack, RuleInferenceAttack
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "Scenario",
+    "RansomwareAttack",
+    "ExfiltrationAttack",
+    "LowAndSlowExfiltration",
+    "OutputSmugglingAttack",
+    "CryptominingAttack",
+    "TokenBruteforceAttack",
+    "CredentialStuffingAttack",
+    "StolenTokenAttack",
+    "OpenServerScanAttack",
+    "OpenServerExploitAttack",
+    "ZeroDayAttack",
+    "MonitorFloodAttack",
+    "RuleInferenceAttack",
+]

@@ -1,0 +1,58 @@
+"""Attack framework: base class and result model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Set
+
+from repro.taxonomy.oscrp import Avenue, Concern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.attacks.scenario import Scenario
+
+
+@dataclass
+class AttackResult:
+    """What an attack achieved and what a defender could have seen."""
+
+    attack: str
+    avenue: Avenue
+    success: bool
+    started: float
+    finished: float
+    observed_concerns: Set[Concern] = field(default_factory=set)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    narrative: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.finished - self.started
+
+
+class Attack:
+    """Base class.  Subclasses set ``name``/``avenue``/``technique`` and
+    implement :meth:`execute` against a :class:`Scenario`."""
+
+    name = "abstract-attack"
+    avenue: Avenue = Avenue.ZERO_DAY
+    technique = ""
+
+    def run(self, scenario: "Scenario") -> AttackResult:
+        started = scenario.clock.now()
+        result = self.execute(scenario)
+        result.started = started
+        result.finished = scenario.clock.now()
+        scenario.results.append(result)
+        return result
+
+    def execute(self, scenario: "Scenario") -> AttackResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _result(self, *, success: bool, concerns: Set[Concern] | None = None,
+                narrative: str = "", **metrics: Any) -> AttackResult:
+        return AttackResult(
+            attack=self.name, avenue=self.avenue, success=success,
+            started=0.0, finished=0.0,
+            observed_concerns=set(concerns or set()),
+            metrics=dict(metrics), narrative=narrative,
+        )

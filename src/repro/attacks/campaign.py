@@ -1,0 +1,177 @@
+"""Automated attack campaign generation (paper §IV.B).
+
+"Attacks driven by generative AI tools will automate our listed threats
+above and increase the volume of attacks, further challeng[ing] the
+security monitoring system."
+
+:class:`CampaignGenerator` models that future: it composes multi-stage
+campaigns (recon → access → action-on-objectives) from the taxonomy's
+building blocks, with seeded parameter variation so no two campaigns are
+byte-identical — the property that defeats exact-match signatures and
+stresses volume-sensitive monitors.  :class:`CampaignRunner` executes
+fleets of generated campaigns and aggregates what the defenders caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.exfiltration import ExfiltrationAttack, LowAndSlowExfiltration, OutputSmugglingAttack
+from repro.attacks.mining import CryptominingAttack
+from repro.attacks.misconfig import OpenServerScanAttack
+from repro.attacks.ransomware import RansomwareAttack
+from repro.attacks.scenario import Scenario, build_scenario
+from repro.attacks.takeover import StolenTokenAttack, TokenBruteforceAttack
+from repro.attacks.zeroday import ZeroDayAttack
+from repro.util.rng import DeterministicRNG
+
+
+@dataclass
+class Campaign:
+    """One generated multi-stage campaign."""
+
+    campaign_id: int
+    stages: List[Attack]
+    objective: str  # "extort" | "steal" | "mine"
+
+    def stage_names(self) -> List[str]:
+        return [a.name for a in self.stages]
+
+
+#: Objective templates: (recon?, access, actions) factories taking an RNG.
+def _extort(rng: DeterministicRNG) -> List[Attack]:
+    return [
+        StolenTokenAttack(),
+        RansomwareAttack(
+            via=rng.choice(["kernel", "rest"]),
+            destroy_checkpoints=rng.random() < 0.8,
+            key=rng.randbytes(32),
+        ),
+    ]
+
+
+def _steal(rng: DeterministicRNG) -> List[Attack]:
+    variant = rng.choice(["bulk", "lowslow", "smuggle"])
+    if variant == "bulk":
+        action: Attack = ExfiltrationAttack()
+    elif variant == "lowslow":
+        action = LowAndSlowExfiltration(
+            bytes_per_burst=rng.randint(400, 2000),
+            interval_seconds=rng.uniform(8.0, 25.0),
+            total_bytes=rng.randint(8_000, 24_000),
+            jitter=rng.uniform(0.0, 3.0),
+        )
+    else:
+        action = OutputSmugglingAttack()
+    return [StolenTokenAttack(), action]
+
+
+def _mine(rng: DeterministicRNG) -> List[Attack]:
+    return [
+        StolenTokenAttack(),
+        CryptominingAttack(
+            rounds=rng.randint(4, 10),
+            hashes_per_round=rng.randint(150, 400),
+            beacon_interval=rng.uniform(15.0, 45.0),
+            stealth_no_keywords=rng.random() < 0.5,
+        ),
+    ]
+
+
+OBJECTIVES: Dict[str, Callable[[DeterministicRNG], List[Attack]]] = {
+    "extort": _extort,
+    "steal": _steal,
+    "mine": _mine,
+}
+
+
+class CampaignGenerator:
+    """Generates parameter-varied campaigns from the taxonomy's blocks."""
+
+    def __init__(self, seed: int = 0, *, with_recon: bool = True):
+        self.rng = DeterministicRNG(f"campaigns:{seed}")
+        self.with_recon = with_recon
+        self._counter = 0
+
+    def generate(self, objective: Optional[str] = None) -> Campaign:
+        self._counter += 1
+        rng = self.rng.child(f"c{self._counter}")
+        obj = objective or rng.choice(sorted(OBJECTIVES))
+        stages: List[Attack] = []
+        if self.with_recon and rng.random() < 0.5:
+            stages.append(OpenServerScanAttack(ports=[8888, 8889], probe_delay=0.1))
+        stages.extend(OBJECTIVES[obj](rng))
+        # A fraction of campaigns carry a never-seen payload marker
+        # (the "increased variety" half of the claim).
+        if rng.random() < 0.3:
+            stages.append(ZeroDayAttack(exfil_bytes=rng.randint(1000, 5000)))
+        return Campaign(self._counter, stages, obj)
+
+    def generate_fleet(self, n: int, *, objective: Optional[str] = None) -> List[Campaign]:
+        return [self.generate(objective) for _ in range(n)]
+
+
+@dataclass
+class CampaignOutcome:
+    campaign: Campaign
+    results: List[AttackResult]
+    notices_triggered: List[str]
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.notices_triggered)
+
+    @property
+    def succeeded(self) -> bool:
+        return any(r.success for r in self.results)
+
+
+class CampaignRunner:
+    """Runs campaigns, each against a fresh scenario, and aggregates."""
+
+    def __init__(self, *, base_seed: int = 5000, monitor_budget: float = 0.0):
+        self.base_seed = base_seed
+        self.monitor_budget = monitor_budget
+        self.outcomes: List[CampaignOutcome] = []
+
+    def run(self, campaigns: Sequence[Campaign]) -> List[CampaignOutcome]:
+        for i, campaign in enumerate(campaigns):
+            scenario = build_scenario(seed=self.base_seed + i,
+                                      monitor_budget=self.monitor_budget)
+            results = []
+            for stage in campaign.stages:
+                try:
+                    results.append(stage.run(scenario))
+                except Exception:
+                    # A failed stage aborts the campaign, as it would live.
+                    break
+            scenario.run(20.0)
+            notices = sorted({n.name for n in scenario.monitor.logs.notices
+                              if n.severity in ("high", "critical")})
+            self.outcomes.append(CampaignOutcome(campaign, results, notices))
+        return self.outcomes
+
+    # -- aggregates ---------------------------------------------------------------
+    def detection_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.detected) / len(self.outcomes)
+
+    def success_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.succeeded) / len(self.outcomes)
+
+    def by_objective(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for obj in OBJECTIVES:
+            subset = [o for o in self.outcomes if o.campaign.objective == obj]
+            if subset:
+                out[obj] = {
+                    "campaigns": len(subset),
+                    "detected": sum(1 for o in subset if o.detected) / len(subset),
+                    "succeeded": sum(1 for o in subset if o.succeeded) / len(subset),
+                }
+        return out

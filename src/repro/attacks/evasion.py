@@ -1,0 +1,115 @@
+"""Attacks on the defenders themselves (paper §IV.A, 'evasion attacks
+against the integrity of security monitors').
+
+- :class:`MonitorFloodAttack` — a volumetric DoS against the monitoring
+  pipeline: push enough segments per second that a budget-constrained
+  monitor drops traffic, then slip a payload through the gap.
+- :class:`RuleInferenceAttack` — adversarial inference of detector
+  thresholds: binary-search probe volumes while watching an oracle (in
+  the wild: whether the connection gets cut / the account gets frozen;
+  here: whether a notice fired), then exfiltrate just under the learned
+  threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.scenario import Scenario
+from repro.taxonomy.oscrp import Avenue, Concern
+
+
+class MonitorFloodAttack(Attack):
+    """Saturate the monitor's processing budget, then act during drops."""
+
+    name = "monitor-flood"
+    avenue = Avenue.ZERO_DAY
+    technique = "monitor-dos"
+
+    def __init__(self, *, flood_connections: int = 5, flood_bytes: int = 200_000,
+                 payload_bytes: int = 50_000):
+        self.flood_connections = flood_connections
+        self.flood_bytes = flood_bytes
+        self.payload_bytes = payload_bytes
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        drops_before = scenario.monitor.health.segments_dropped
+        # Phase 1: noise. Hammer the sink with junk flows in one burst.
+        for i in range(self.flood_connections):
+            conn = scenario.attacker_host.connect(scenario.exfil_sink.host,
+                                                  scenario.exfil_sink.port)
+            conn.send_to_server(b"\x00" * self.flood_bytes)
+        # Phase 2: payload, while the monitor is (maybe) drowning.
+        payload_conn = scenario.attacker_host.connect(scenario.exfil_sink.host,
+                                                      scenario.exfil_sink.port)
+        payload_conn.send_to_server(b"P" * self.payload_bytes)
+        scenario.run(10.0)
+        drops = scenario.monitor.health.segments_dropped - drops_before
+        return self._result(
+            success=drops > 0,
+            concerns={Concern.DISRUPTION_OF_COMPUTING} if drops > 0 else set(),
+            narrative=f"monitor dropped {drops} segments under flood",
+            segments_dropped=drops,
+            drop_rate=scenario.monitor.health.drop_rate,
+        )
+
+
+class RuleInferenceAttack(Attack):
+    """Binary-search the egress-volume threshold, then fly under it.
+
+    The oracle is a fresh (src, dst) pair per probe so detector state
+    does not leak across probes — the same trick real adversaries use by
+    rotating source infrastructure.
+    """
+
+    name = "rule-inference"
+    avenue = Avenue.DATA_EXFILTRATION
+    technique = "rule-inference"
+
+    def __init__(self, *, low: int = 1_000, high: int = 4_000_000, tolerance: int = 500):
+        self.low = low
+        self.high = high
+        self.tolerance = tolerance
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        detector = scenario.monitor.egress
+        probes = 0
+        lo, hi = self.low, self.high
+
+        def oracle(volume: int) -> bool:
+            """Does sending `volume` bytes in one window trip the detector?"""
+            nonlocal probes
+            probes += 1
+            src = f"10.9.{probes // 250}.{probes % 250}"  # rotated "infrastructure"
+            before = len(detector.notices)
+            t = scenario.clock.now() + probes * 1000.0  # disjoint windows
+            detector.observe_bytes(t, src, "203.0.113.200", volume)
+            return len(detector.notices) > before
+
+        if not oracle(hi):
+            return self._result(success=False, narrative="threshold above search range",
+                                probes=probes)
+        while hi - lo > self.tolerance:
+            mid = (lo + hi) // 2
+            if oracle(mid):
+                hi = mid
+            else:
+                lo = mid
+        inferred = hi
+        true_threshold = detector.threshold_bytes
+        error = abs(inferred - true_threshold) / true_threshold
+        # Exploit: exfiltrate at 80% of the inferred threshold per window.
+        safe_volume = int(inferred * 0.8)
+        evaded = not oracle(safe_volume)
+        concerns: Set[Concern] = {Concern.EXPOSED_DATA} if evaded else set()
+        return self._result(
+            success=error < 0.05 and evaded,
+            concerns=concerns,
+            narrative=(f"inferred threshold {inferred}B (true {true_threshold}B, "
+                       f"{error:.1%} error) in {probes} probes; evasion={'ok' if evaded else 'caught'}"),
+            probes=probes,
+            inferred_threshold=inferred,
+            true_threshold=true_threshold,
+            relative_error=error,
+        )

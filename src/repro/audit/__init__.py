@@ -1,0 +1,32 @@
+"""The Jupyter kernel auditing tool (the paper's §IV.B second proposal).
+
+"An embedded tracing tool must be embedded in Jupyter kernel (starting
+with Python kernel) to enable extensive logging of user commands."
+This package is that tool, realized against the simulated kernel:
+
+- :mod:`repro.audit.features` — static AST features of each cell
+  (imports, dangerous calls, string obfuscation, loop×hash structure).
+- :mod:`repro.audit.policy` — allow/alert/deny rules over features and
+  runtime behaviour, with enforce and monitor-only modes.
+- :mod:`repro.audit.provenance` — a networkx provenance graph linking
+  executions to the files and hosts they touched.
+- :mod:`repro.audit.auditor` — :class:`KernelAuditor`, which hooks a
+  :class:`~repro.kernel.runtime.KernelRuntime` end to end.
+"""
+
+from repro.audit.auditor import AuditRecord, KernelAuditor
+from repro.audit.features import CodeFeatures, extract_features
+from repro.audit.policy import Policy, PolicyAction, PolicyEngine, default_policies
+from repro.audit.provenance import ProvenanceGraph
+
+__all__ = [
+    "KernelAuditor",
+    "AuditRecord",
+    "CodeFeatures",
+    "extract_features",
+    "Policy",
+    "PolicyAction",
+    "PolicyEngine",
+    "default_policies",
+    "ProvenanceGraph",
+]

@@ -1,0 +1,184 @@
+"""KernelAuditor: the embedded tracer wired into a live kernel.
+
+Attachment points (mirroring where a real IPython tracer would hook):
+
+1. **pre-execute** — static features + policy evaluation; DENY verdicts
+   raise :class:`~repro.util.errors.SecurityViolation` so the cell never
+   runs.
+2. **world events** — every file/net syscall-level event feeds the
+   provenance graph and the runtime behaviour counters.
+3. **post-execute** — resource usage joins the static features into one
+   :class:`AuditRecord`; runtime policies (CPU abuse) evaluate here.
+
+The auditor can forward file writes to a network monitor's entropy
+detector, closing the loop between the paper's two proposed tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.audit.features import CodeFeatures, extract_features
+from repro.audit.policy import PolicyAction, PolicyEngine, PolicyVerdict
+from repro.audit.provenance import ProvenanceGraph
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.world import KernelEvent
+from repro.monitor.logs import Notice
+from repro.taxonomy.oscrp import Avenue
+from repro.util.errors import SecurityViolation
+
+
+@dataclass
+class AuditRecord:
+    """One cell execution, fully described."""
+
+    execution_id: int
+    ts: float
+    username: str
+    code: str
+    features: CodeFeatures
+    verdicts: List[PolicyVerdict] = field(default_factory=list)
+    denied: bool = False
+    status: str = ""
+    resources: Dict[str, float] = field(default_factory=dict)
+    events: List[KernelEvent] = field(default_factory=list)
+
+
+#: Sustained CPU (simulated seconds per execution) beyond which the
+#: runtime cpu-abuse policy fires.  Calibrated against the meter's
+#: 1e6 ops/cpu-second: typical analysis cells land in the millisecond
+#: range, miners in whole seconds.
+CPU_ABUSE_SECONDS = 1.0
+
+
+class KernelAuditor:
+    """Attach once per kernel; collects records for the kernel's lifetime."""
+
+    def __init__(self, kernel: KernelRuntime, *, policy_engine: Optional[PolicyEngine] = None,
+                 enforce: bool = False, monitor=None):
+        from repro.audit.policy import default_policies
+
+        self.kernel = kernel
+        self.policies = policy_engine or PolicyEngine(default_policies(enforce=enforce))
+        self.provenance = ProvenanceGraph()
+        self.records: List[AuditRecord] = []
+        self.notices: List[Notice] = []
+        self.monitor = monitor  # optional JupyterNetworkMonitor for cross-plane feed
+        self._exec_counter = 0
+        self._current: Optional[AuditRecord] = None
+        kernel.pre_execute_hooks.append(self._pre_execute)
+        kernel.world.subscribe(self._on_event)
+
+    # -- hooks ---------------------------------------------------------------------
+    def _notice(self, notice: Notice) -> None:
+        """Record an audit notice locally and, when a network monitor is
+        attached, into its notice log too — the unified alert stream an
+        analyst actually watches."""
+        self.notices.append(notice)
+        if self.monitor is not None:
+            self.monitor.logs.notices.append(notice)
+
+    def _pre_execute(self, code: str) -> None:
+        self._exec_counter += 1
+        features = extract_features(code)
+        # Attribute to the requesting session's username, not the kernel's
+        # own identity — stolen-session attacks are the whole point.
+        username = self.kernel.current_username or self.kernel.session.username
+        record = AuditRecord(
+            execution_id=self._exec_counter,
+            ts=self.kernel.world.clock.now(),
+            username=username,
+            code=code,
+            features=features,
+        )
+        record.verdicts = self.policies.evaluate(features)
+        self.records.append(record)
+        self._current = record
+        self.provenance.add_execution(record.execution_id, user=record.username,
+                                      ts=record.ts, code_preview=code)
+        for verdict in record.verdicts:
+            self._notice(Notice(
+                ts=record.ts, detector="kernel-audit", name=f"POLICY_{verdict.policy.upper().replace('-', '_')}",
+                severity=verdict.severity, src=username or "kernel", avenue=verdict.avenue,
+                detail={"reason": verdict.reason, "execution": record.execution_id,
+                        "action": verdict.action.value},
+            ))
+        denies = [v for v in record.verdicts if v.action == PolicyAction.DENY]
+        if denies:
+            record.denied = True
+            raise SecurityViolation(
+                f"denied by policy {denies[0].policy}: {denies[0].reason}",
+                policy=denies[0].policy,
+            )
+
+    def _on_event(self, event: KernelEvent) -> None:
+        record = self._current
+        if record is None:
+            return
+        if event.kind == "exec_start":
+            return
+        record.events.append(event)
+        eid = record.execution_id
+        d = event.detail
+        if event.kind == "file_read":
+            self.provenance.record_read(eid, d["path"], event.ts, d.get("nbytes", 0))
+        elif event.kind == "file_write":
+            self.provenance.record_write(eid, d["path"], event.ts, d.get("nbytes", 0))
+            if self.monitor is not None:
+                content = b""
+                try:
+                    content = self.kernel.world.fs.read(d["path"])
+                except Exception:
+                    pass
+                self.monitor.observe_file_write(event.ts, d["path"], content)
+        elif event.kind == "file_delete":
+            self.provenance.record_delete(eid, d["path"], event.ts)
+        elif event.kind == "file_rename":
+            self.provenance.record_rename(eid, d["src"], d["dst"], event.ts)
+        elif event.kind == "net_connect":
+            self.provenance.record_connect(eid, d["host"], d["port"], event.ts)
+        elif event.kind == "net_send":
+            self.provenance.record_send(eid, d["host"], d["port"], event.ts, d.get("nbytes", 0))
+        elif event.kind == "exec_end":
+            self._post_execute(record, d)
+
+    def _post_execute(self, record: AuditRecord, detail: Dict[str, Any]) -> None:
+        record.status = str(detail.get("status", ""))
+        if self.kernel.history:
+            last = self.kernel.history[-1]
+            # history may lag during denied executions; match loosely on code
+            if last.code == record.code:
+                record.resources = dict(last.resources)
+        meter = self.kernel.interp.meter
+        cpu = meter.cpu_seconds
+        record.resources.setdefault("cpu_seconds", cpu)
+        if cpu >= CPU_ABUSE_SECONDS:
+            self._notice(Notice(
+                ts=self.kernel.world.clock.now(), detector="kernel-audit",
+                name="CPU_ABUSE", severity="high", src=record.username or "kernel",
+                avenue=Avenue.CRYPTOMINING,
+                detail={"cpu_seconds": round(cpu, 3), "execution": record.execution_id,
+                        "hash_calls": meter.hash_calls},
+            ))
+        self._current = None
+
+    # -- reporting --------------------------------------------------------------------
+    def notice_names(self) -> List[str]:
+        return [n.name for n in self.notices]
+
+    def denied_count(self) -> int:
+        return sum(1 for r in self.records if r.denied)
+
+    def records_with_verdicts(self) -> List[AuditRecord]:
+        return [r for r in self.records if r.verdicts]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "executions": len(self.records),
+            "denied": self.denied_count(),
+            "alerted": len(self.records_with_verdicts()),
+            "notices": sorted({n.name for n in self.notices}),
+            "provenance_nodes": self.provenance.node_counts(),
+            "provenance_edges": self.provenance.edge_count(),
+        }

@@ -1,0 +1,152 @@
+"""Static feature extraction over cell ASTs.
+
+The auditor inspects every cell *before* execution (the embedded-tracer
+design).  Features are deliberately interpretable — the paper's HPC
+security context wants explainable alerts, not a black box:
+
+- imported module set,
+- sensitive call patterns (``os.system``, ``socket.connect``, writes),
+- string-literal statistics (count, max entropy → obfuscation signal),
+- structural signals (loops wrapping hash calls → miner shape),
+- total node count (code-size normalization).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.util.entropy import shannon_entropy
+
+#: Calls the auditor treats as sensitive, by dotted name.
+SENSITIVE_CALLS = {
+    "os.system": "proc",
+    "os.remove": "file-delete",
+    "os.unlink": "file-delete",
+    "os.rename": "file-rename",
+    "socket.socket": "net",
+    "requests.get": "net",
+    "requests.post": "net",
+    "requests.put": "net",
+    "open": "file-open",
+}
+
+HASH_FUNCTIONS = {"sha256", "sha1", "md5", "sha512"}
+
+
+@dataclass
+class CodeFeatures:
+    """Interpretable features of one cell."""
+
+    imports: Set[str] = field(default_factory=set)
+    sensitive_calls: Counter = field(default_factory=Counter)  # category -> count
+    call_names: Counter = field(default_factory=Counter)        # dotted name -> count
+    open_write_count: int = 0
+    string_count: int = 0
+    max_string_entropy: float = 0.0
+    total_string_bytes: int = 0
+    has_loop: bool = False
+    hash_calls_in_loop: int = 0
+    loop_depth_max: int = 0
+    node_count: int = 0
+    syntax_error: bool = False
+
+    def obfuscation_score(self) -> float:
+        """0..1 score: long high-entropy strings suggest packed payloads."""
+        if self.total_string_bytes < 100:
+            return 0.0
+        entropy_part = max(0.0, (self.max_string_entropy - 4.5) / 3.5)
+        size_part = min(1.0, self.total_string_bytes / 10_000)
+        return min(1.0, 0.7 * entropy_part + 0.3 * size_part)
+
+    def miner_shape_score(self) -> float:
+        """0..1 score: hash calls inside loops are the miner fingerprint."""
+        if self.hash_calls_in_loop == 0:
+            return 0.0
+        return min(1.0, 0.5 + 0.25 * self.loop_depth_max + 0.05 * self.hash_calls_in_loop)
+
+
+def _dotted_name(node: ast.expr) -> str:
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+class _FeatureVisitor(ast.NodeVisitor):
+    def __init__(self, features: CodeFeatures):
+        self.f = features
+        self.loop_depth = 0
+
+    def generic_visit(self, node: ast.AST) -> None:
+        self.f.node_count += 1
+        super().generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.f.imports.add(alias.name.split(".")[0])
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            self.f.imports.add(node.module.split(".")[0])
+        self.generic_visit(node)
+
+    def _enter_loop(self, node: ast.AST) -> None:
+        self.loop_depth += 1
+        self.f.has_loop = True
+        self.f.loop_depth_max = max(self.f.loop_depth_max, self.loop_depth)
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    visit_For = _enter_loop
+    visit_While = _enter_loop
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted_name(node.func)
+        if name:
+            self.f.call_names[name] += 1
+            if name in SENSITIVE_CALLS:
+                self.f.sensitive_calls[SENSITIVE_CALLS[name]] += 1
+            last = name.rsplit(".", 1)[-1]
+            if last in HASH_FUNCTIONS and self.loop_depth > 0:
+                self.f.hash_calls_in_loop += 1
+        if name == "open" and len(node.args) >= 2:
+            mode = node.args[1]
+            if isinstance(mode, ast.Constant) and isinstance(mode.value, str) and (
+                "w" in mode.value or "a" in mode.value
+            ):
+                self.f.open_write_count += 1
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, (str, bytes)) and len(node.value) > 0:
+            raw = node.value.encode("utf-8", "replace") if isinstance(node.value, str) else node.value
+            self.f.string_count += 1
+            self.f.total_string_bytes += len(raw)
+            if len(raw) >= 32:
+                self.f.max_string_entropy = max(self.f.max_string_entropy, shannon_entropy(raw))
+        self.generic_visit(node)
+
+
+def extract_features(code: str) -> CodeFeatures:
+    """Parse ``code`` and compute its :class:`CodeFeatures`.
+
+    A cell that does not parse gets ``syntax_error=True`` and otherwise
+    empty features — the kernel will reject it anyway.
+    """
+    features = CodeFeatures()
+    try:
+        tree = ast.parse(code)
+    except SyntaxError:
+        features.syntax_error = True
+        return features
+    _FeatureVisitor(features).visit(tree)
+    return features

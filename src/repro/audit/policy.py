@@ -1,0 +1,113 @@
+"""Audit policies: declarative rules over code features and runtime events.
+
+Two enforcement modes, matching how HPC sites actually roll out controls:
+``ALERT`` (monitor-only; the default for research environments where
+false positives cost science) and ``DENY`` (the pre-execute hook raises
+``SecurityViolation`` so the cell never runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from repro.audit.features import CodeFeatures
+from repro.taxonomy.oscrp import Avenue
+
+
+class PolicyAction(str, Enum):
+    ALERT = "alert"
+    DENY = "deny"
+
+
+@dataclass
+class PolicyVerdict:
+    policy: str
+    action: PolicyAction
+    reason: str
+    severity: str = "high"
+    avenue: Optional[Avenue] = None
+
+
+@dataclass
+class Policy:
+    """One rule: a predicate over features plus metadata."""
+
+    name: str
+    description: str
+    predicate: Callable[[CodeFeatures], bool]
+    action: PolicyAction = PolicyAction.ALERT
+    severity: str = "high"
+    avenue: Optional[Avenue] = None
+
+    def evaluate(self, features: CodeFeatures) -> Optional[PolicyVerdict]:
+        if self.predicate(features):
+            return PolicyVerdict(self.name, self.action, self.description,
+                                 self.severity, self.avenue)
+        return None
+
+
+def default_policies(*, enforce: bool = False) -> List[Policy]:
+    """The shipped rule set; ``enforce=True`` upgrades DENY-able rules."""
+    deny = PolicyAction.DENY if enforce else PolicyAction.ALERT
+    return [
+        Policy(
+            "proc-spawn",
+            "cell attempts to spawn a process (os.system)",
+            lambda f: f.sensitive_calls.get("proc", 0) > 0,
+            action=deny, severity="critical", avenue=Avenue.ZERO_DAY,
+        ),
+        Policy(
+            "mass-file-overwrite",
+            "cell opens an unusual number of files for writing",
+            lambda f: f.open_write_count >= 5,
+            action=deny, severity="critical", avenue=Avenue.RANSOMWARE,
+        ),
+        Policy(
+            "file-destruction",
+            "cell deletes or renames many files",
+            lambda f: (f.sensitive_calls.get("file-delete", 0)
+                       + f.sensitive_calls.get("file-rename", 0)) >= 3,
+            action=PolicyAction.ALERT, severity="high", avenue=Avenue.RANSOMWARE,
+        ),
+        Policy(
+            "miner-shape",
+            "hash computation inside a loop (cryptominer structure)",
+            lambda f: f.miner_shape_score() >= 0.5,
+            action=PolicyAction.ALERT, severity="high", avenue=Avenue.CRYPTOMINING,
+        ),
+        Policy(
+            "net-plus-file-read",
+            "cell both reads files and opens network connections (exfil shape)",
+            lambda f: f.sensitive_calls.get("net", 0) > 0
+            and (f.sensitive_calls.get("file-open", 0) - f.open_write_count) > 0,
+            action=PolicyAction.ALERT, severity="high", avenue=Avenue.DATA_EXFILTRATION,
+        ),
+        Policy(
+            "obfuscated-payload",
+            "cell carries large high-entropy string constants",
+            lambda f: f.obfuscation_score() >= 0.6,
+            action=PolicyAction.ALERT, severity="medium", avenue=Avenue.ZERO_DAY,
+        ),
+    ]
+
+
+class PolicyEngine:
+    """Evaluates all policies against one cell's features."""
+
+    def __init__(self, policies: Optional[List[Policy]] = None):
+        self.policies = policies if policies is not None else default_policies()
+        self.hits: Dict[str, int] = {}
+
+    def add(self, policy: Policy) -> None:
+        self.policies.append(policy)
+
+    def evaluate(self, features: CodeFeatures) -> List[PolicyVerdict]:
+        verdicts = []
+        for policy in self.policies:
+            verdict = policy.evaluate(features)
+            if verdict is not None:
+                verdicts.append(verdict)
+                self.hits[policy.name] = self.hits.get(policy.name, 0) + 1
+        return verdicts

@@ -1,0 +1,146 @@
+"""System provenance over kernel activity.
+
+Implements the Bates-style provenance graph the paper's related work
+points to: a typed DAG of executions, files, and network endpoints.
+networkx supplies the graph substrate; queries answer the incident-
+response questions NCSA analysts actually ask — "what touched this file
+before it was encrypted?", "which executions talked to that host?",
+"what did this session exfiltrate?".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+
+class ProvenanceGraph:
+    """Typed provenance DAG.
+
+    Node ids: ``exec:<n>``, ``file:<path>``, ``host:<ip:port>``,
+    ``user:<name>``.  Edge relations: ``read``, ``wrote``, ``deleted``,
+    ``renamed_to``, ``connected``, ``sent``, ``ran`` (user→exec).
+    """
+
+    def __init__(self) -> None:
+        self.g = nx.MultiDiGraph()
+
+    # -- construction ------------------------------------------------------------
+    def add_execution(self, exec_id: int, *, user: str, ts: float, code_preview: str = "") -> str:
+        node = f"exec:{exec_id}"
+        self.g.add_node(node, kind="execution", ts=ts, code=code_preview[:200])
+        user_node = f"user:{user}"
+        self.g.add_node(user_node, kind="user")
+        self.g.add_edge(user_node, node, relation="ran", ts=ts)
+        return node
+
+    def record_read(self, exec_id: int, path: str, ts: float, nbytes: int = 0) -> None:
+        self._file_edge(exec_id, path, "read", ts, nbytes, reverse=True)
+
+    def record_write(self, exec_id: int, path: str, ts: float, nbytes: int = 0) -> None:
+        self._file_edge(exec_id, path, "wrote", ts, nbytes)
+
+    def record_delete(self, exec_id: int, path: str, ts: float) -> None:
+        self._file_edge(exec_id, path, "deleted", ts, 0)
+
+    def record_rename(self, exec_id: int, src: str, dst: str, ts: float) -> None:
+        self._file_edge(exec_id, src, "renamed_from", ts, 0, reverse=True)
+        self._file_edge(exec_id, dst, "renamed_to", ts, 0)
+        self.g.add_edge(f"file:{src}", f"file:{dst}", relation="became", ts=ts)
+
+    def record_connect(self, exec_id: int, host: str, port: int, ts: float) -> None:
+        node = f"host:{host}:{port}"
+        self.g.add_node(node, kind="host")
+        self.g.add_edge(f"exec:{exec_id}", node, relation="connected", ts=ts)
+
+    def record_send(self, exec_id: int, host: str, port: int, ts: float, nbytes: int) -> None:
+        node = f"host:{host}:{port}"
+        self.g.add_node(node, kind="host")
+        self.g.add_edge(f"exec:{exec_id}", node, relation="sent", ts=ts, nbytes=nbytes)
+
+    def _file_edge(self, exec_id: int, path: str, relation: str, ts: float,
+                   nbytes: int, *, reverse: bool = False) -> None:
+        exec_node = f"exec:{exec_id}"
+        file_node = f"file:{path}"
+        if exec_node not in self.g:
+            self.g.add_node(exec_node, kind="execution", ts=ts)
+        self.g.add_node(file_node, kind="file")
+        if reverse:
+            self.g.add_edge(file_node, exec_node, relation=relation, ts=ts, nbytes=nbytes)
+        else:
+            self.g.add_edge(exec_node, file_node, relation=relation, ts=ts, nbytes=nbytes)
+
+    # -- queries -------------------------------------------------------------------
+    def executions_touching(self, path: str) -> List[str]:
+        """All executions that read/wrote/deleted/renamed ``path``."""
+        file_node = f"file:{path}"
+        if file_node not in self.g:
+            return []
+        execs: Set[str] = set()
+        for u, v, data in self.g.in_edges(file_node, data=True):
+            if u.startswith("exec:"):
+                execs.add(u)
+        for u, v, data in self.g.out_edges(file_node, data=True):
+            if v.startswith("exec:"):
+                execs.add(v)
+        return sorted(execs, key=lambda e: int(e.split(":")[1]))
+
+    def external_contacts(self, exec_id: Optional[int] = None) -> List[Tuple[str, int]]:
+        """Hosts contacted, optionally restricted to one execution."""
+        out = []
+        for u, v, data in self.g.edges(data=True):
+            if v.startswith("host:") and data.get("relation") in ("connected", "sent"):
+                if exec_id is not None and u != f"exec:{exec_id}":
+                    continue
+                _, host, port = v.split(":", 2)
+                out.append((host, int(port)))
+        return sorted(set(out))
+
+    def bytes_sent_to(self, host: str, port: int) -> int:
+        node = f"host:{host}:{port}"
+        if node not in self.g:
+            return 0
+        return sum(d.get("nbytes", 0) for _, _, d in self.g.in_edges(node, data=True)
+                   if d.get("relation") == "sent")
+
+    def exfil_lineage(self, host: str, port: int) -> List[str]:
+        """Files plausibly exfiltrated to ``host:port``: files read by any
+        execution that also sent bytes there."""
+        node = f"host:{host}:{port}"
+        if node not in self.g:
+            return []
+        senders = {u for u, _, d in self.g.in_edges(node, data=True)
+                   if d.get("relation") in ("sent", "connected")}
+        files: Set[str] = set()
+        for exec_node in senders:
+            for u, v, d in self.g.in_edges(exec_node, data=True):
+                if u.startswith("file:") and d.get("relation") == "read":
+                    files.add(u[len("file:"):])
+        return sorted(files)
+
+    def file_history(self, path: str) -> List[Dict[str, Any]]:
+        """Time-ordered events on a file (the ransomware forensics view)."""
+        file_node = f"file:{path}"
+        events = []
+        if file_node not in self.g:
+            return []
+        for u, v, d in list(self.g.in_edges(file_node, data=True)) + list(self.g.out_edges(file_node, data=True)):
+            other = u if v == file_node else v
+            events.append({"ts": d.get("ts", 0.0), "relation": d.get("relation"),
+                           "exec": other, "nbytes": d.get("nbytes", 0)})
+        return sorted(events, key=lambda e: e["ts"])
+
+    def users_of(self, exec_node: str) -> List[str]:
+        return sorted(u[len("user:"):] for u, _, d in self.g.in_edges(exec_node, data=True)
+                      if d.get("relation") == "ran")
+
+    # -- stats -----------------------------------------------------------------------
+    def node_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _, data in self.g.nodes(data=True):
+            counts[data.get("kind", "?")] = counts.get(data.get("kind", "?"), 0) + 1
+        return counts
+
+    def edge_count(self) -> int:
+        return self.g.number_of_edges()

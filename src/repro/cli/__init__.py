@@ -1,0 +1,14 @@
+"""Command-line tools.
+
+Five entry points (installed via ``pyproject.toml``):
+
+- ``repro-scan`` — misconfiguration scanner over a config JSON or the
+  built-in profiles.
+- ``repro-taxonomy`` — render Fig. 1 / Fig. 3 / Table 1.
+- ``repro-attack`` — run one attack against a fresh scenario and print
+  the attack's result plus what the defenders saw.
+- ``repro-dataset`` — build and export a labeled, optionally anonymized
+  corpus.
+- ``repro-monitor`` — replay a corpus-driven scenario and print the
+  monitor's logs/notices summary.
+"""

@@ -1,0 +1,100 @@
+"""``repro-attack``: execute one attack and report both sides."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.attacks import (
+    CryptominingAttack,
+    CredentialStuffingAttack,
+    ExfiltrationAttack,
+    LowAndSlowExfiltration,
+    MonitorFloodAttack,
+    OpenServerExploitAttack,
+    OpenServerScanAttack,
+    OutputSmugglingAttack,
+    RansomwareAttack,
+    RuleInferenceAttack,
+    StolenTokenAttack,
+    TokenBruteforceAttack,
+    ZeroDayAttack,
+)
+from repro.attacks.scenario import build_scenario
+from repro.server.config import ServerConfig, insecure_demo_config
+
+ATTACKS: Dict[str, Callable[[], object]] = {
+    "ransomware": lambda: RansomwareAttack(via="kernel"),
+    "ransomware-rest": lambda: RansomwareAttack(via="rest"),
+    "exfiltration": ExfiltrationAttack,
+    "low-and-slow": LowAndSlowExfiltration,
+    "output-smuggling": OutputSmugglingAttack,
+    "cryptomining": lambda: CryptominingAttack(rounds=8, hashes_per_round=300),
+    "token-bruteforce": TokenBruteforceAttack,
+    "credential-stuffing": CredentialStuffingAttack,
+    "stolen-token": StolenTokenAttack,
+    "open-server-scan": OpenServerScanAttack,
+    "open-server-exploit": OpenServerExploitAttack,
+    "zero-day": lambda: ZeroDayAttack(exfil_bytes=50_000),
+    "monitor-flood": MonitorFloodAttack,
+    "rule-inference": RuleInferenceAttack,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-attack",
+                                     description="Run one attack against a fresh simulated deployment")
+    parser.add_argument("attack", choices=sorted(ATTACKS))
+    parser.add_argument("--insecure-server", action="store_true",
+                        help="target the classic token-less 0.0.0.0 deployment")
+    parser.add_argument("--seed", type=int, default=1337)
+    parser.add_argument("--monitor-budget", type=float, default=0.0,
+                        help="monitor processing budget (segments/sec, 0=unlimited)")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    config = insecure_demo_config() if args.insecure_server else ServerConfig(
+        ip="0.0.0.0", token="cli-demo-token")
+    scenario = build_scenario(config=config, seed=args.seed,
+                              monitor_budget=args.monitor_budget)
+    attack = ATTACKS[args.attack]()
+    result = attack.run(scenario)
+
+    auditor_notices = sorted({
+        n.name for auditor in scenario.auditors.values() for n in auditor.notices
+    })
+    payload = {
+        "attack": result.attack,
+        "avenue": result.avenue.value,
+        "success": result.success,
+        "duration_sim_seconds": round(result.duration, 3),
+        "narrative": result.narrative,
+        "observed_concerns": sorted(c.value for c in result.observed_concerns),
+        "metrics": result.metrics,
+        "defender": {
+            "network_notices": sorted({n.name for n in scenario.monitor.logs.notices}),
+            "kernel_audit_notices": auditor_notices,
+            "monitor_log_counts": scenario.monitor.logs.counts(),
+        },
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(f"attack    : {payload['attack']} [{payload['avenue']}]")
+        print(f"success   : {payload['success']}")
+        print(f"narrative : {payload['narrative']}")
+        print(f"concerns  : {', '.join(payload['observed_concerns']) or '(none)'}")
+        print("defender saw:")
+        for n in payload["defender"]["network_notices"]:
+            print(f"  [net]    {n}")
+        for n in payload["defender"]["kernel_audit_notices"]:
+            print(f"  [kernel] {n}")
+        if not payload["defender"]["network_notices"] and not auditor_notices:
+            print("  (nothing — the attack evaded detection)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

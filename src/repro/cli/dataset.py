@@ -1,0 +1,69 @@
+"""``repro-dataset``: build and export the labeled security corpus."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.attacks import (
+    CryptominingAttack,
+    ExfiltrationAttack,
+    RansomwareAttack,
+    TokenBruteforceAttack,
+)
+from repro.dataset import AnonymizationPolicy, Anonymizer, DatasetBuilder, k_anonymity
+from repro.dataset.anonymize import reidentification_risk
+
+ATTACK_MIXES = {
+    "none": [],
+    "standard": lambda: [TokenBruteforceAttack(delay=0.3),
+                         ExfiltrationAttack(),
+                         CryptominingAttack(rounds=5, hashes_per_round=200)],
+    "full": lambda: [TokenBruteforceAttack(delay=0.3),
+                     ExfiltrationAttack(),
+                     CryptominingAttack(rounds=5, hashes_per_round=200),
+                     RansomwareAttack(via="rest")],
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-dataset",
+                                     description="Build the Jupyter Security & Resiliency Data Set")
+    parser.add_argument("--out", default="-", help="output JSONL path ('-' = stdout)")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--benign-sessions", type=int, default=2)
+    parser.add_argument("--attacks", choices=sorted(ATTACK_MIXES), default="standard")
+    parser.add_argument("--anonymize", choices=["none", "default", "maximal"],
+                        default="default")
+    parser.add_argument("--stats", action="store_true", help="print corpus stats to stderr")
+    args = parser.parse_args(argv)
+
+    mix = ATTACK_MIXES[args.attacks]
+    attacks = mix() if callable(mix) else list(mix)
+    builder = DatasetBuilder(seed=args.seed, benign_sessions=args.benign_sessions)
+    records = builder.build(attacks)
+
+    if args.anonymize != "none":
+        policy = (AnonymizationPolicy.maximal() if args.anonymize == "maximal"
+                  else AnonymizationPolicy())
+        records = Anonymizer(policy).anonymize(records)
+
+    text = DatasetBuilder.export_jsonl(records)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+
+    if args.stats:
+        stats = DatasetBuilder.summary(records)
+        stats["k_anonymity"] = k_anonymity(records)
+        stats["reidentification_risk_k5"] = round(reidentification_risk(records), 4)
+        print(json.dumps(stats, indent=2), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

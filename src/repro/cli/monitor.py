@@ -1,0 +1,59 @@
+"""``repro-monitor``: run a monitored scenario and dump the logs."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.attacks import CryptominingAttack, ExfiltrationAttack, TokenBruteforceAttack
+from repro.attacks.scenario import build_scenario
+from repro.monitor import AnalyzerDepth
+from repro.taxonomy.render import render_table
+from repro.workload import ScientistWorkload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-monitor",
+        description="Run the Jupyter network monitor against a mixed benign/attack scenario",
+    )
+    parser.add_argument("--depth", choices=[d.name.lower() for d in AnalyzerDepth],
+                        default="jupyter")
+    parser.add_argument("--seed", type=int, default=1337)
+    parser.add_argument("--with-attacks", action="store_true")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    depth = AnalyzerDepth[args.depth.upper()]
+    scenario = build_scenario(seed=args.seed, depth=depth)
+    ScientistWorkload(scenario, username="alice").run_session(cells=5)
+    if args.with_attacks:
+        TokenBruteforceAttack(delay=0.3).run(scenario)
+        ExfiltrationAttack().run(scenario)
+        CryptominingAttack(rounds=5, hashes_per_round=200).run(scenario)
+    scenario.run(30.0)
+
+    summary = scenario.monitor.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+        return 0
+    print(f"analyzer depth: {summary['depth']}")
+    print(render_table(
+        [(k, v) for k, v in summary["logs"].items()], ["log family", "records"]))
+    print("notices:")
+    for notice in scenario.monitor.logs.notices:
+        avenue = notice.avenue.value if notice.avenue else "-"
+        print(f"  t={notice.ts:9.2f}  {notice.severity:8s} {notice.name:28s} "
+              f"src={notice.src:15s} [{avenue}]")
+    if not scenario.monitor.logs.notices:
+        print("  (none)")
+    health = summary["health"]
+    print(f"health: {health['segments']} segments, {health['dropped']} dropped, "
+          f"{health['parse_errors']} parse errors")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

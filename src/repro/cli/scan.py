@@ -1,0 +1,64 @@
+"""``repro-scan``: audit server configurations."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.misconfig import MisconfigScanner
+from repro.server.config import ServerConfig, insecure_demo_config
+
+
+def config_from_json(text: str) -> ServerConfig:
+    """Build a ServerConfig from a JSON object of overrides."""
+    data = json.loads(text)
+    cfg = ServerConfig()
+    for key, value in data.items():
+        if not hasattr(cfg, key):
+            raise SystemExit(f"unknown config field: {key!r}")
+        if key in ("session_key", "notary_key") and isinstance(value, str):
+            value = value.encode()
+        setattr(cfg, key, value)
+    return cfg
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-scan",
+                                     description="Jupyter misconfiguration scanner")
+    parser.add_argument("--config", help="path to a JSON config-override file")
+    parser.add_argument("--profile", choices=["default", "insecure-demo", "hardened"],
+                        default="insecure-demo", help="built-in profile to scan")
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    if args.config:
+        with open(args.config) as fh:
+            cfg = config_from_json(fh.read())
+    elif args.profile == "default":
+        cfg = ServerConfig()
+    elif args.profile == "hardened":
+        cfg = insecure_demo_config().hardened_copy()
+    else:
+        cfg = insecure_demo_config()
+
+    report = MisconfigScanner().scan(cfg)
+    if args.json:
+        print(json.dumps({
+            "server": report.server_name,
+            "grade": report.grade,
+            "risk_score": report.risk_score,
+            "failures": [
+                {"id": r.check_id, "title": r.title, "severity": r.severity.value,
+                 "finding": r.finding, "remediation": r.remediation}
+                for r in report.failures
+            ],
+        }, indent=2))
+    else:
+        print(report.render())
+    return 0 if report.grade in ("A", "B") else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""``repro-taxonomy``: render the paper's figures and table."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.taxonomy import (
+    ATTACK_TREE,
+    JUPYTER_OSCRP,
+    render_oscrp_figure,
+    render_table,
+    render_tree,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-taxonomy",
+                                     description="Render the Jupyter attack taxonomy")
+    parser.add_argument("artifact", choices=["fig1", "fig3", "table1", "all"],
+                        nargs="?", default="all")
+    parser.add_argument("--observables", action="store_true",
+                        help="annotate tree leaves with their defender observables")
+    args = parser.parse_args(argv)
+
+    if args.artifact in ("fig1", "all"):
+        print("=== Figure 1: taxonomy of Jupyter attacks in the wild ===")
+        print(render_tree(ATTACK_TREE, show_observables=args.observables))
+        print()
+    if args.artifact in ("fig3", "all"):
+        print("=== Figure 3: OSCRP threat model ===")
+        print(render_oscrp_figure(JUPYTER_OSCRP))
+        print()
+    if args.artifact in ("table1", "all"):
+        print("=== Table 1: avenues of attack ===")
+        print(render_table(JUPYTER_OSCRP.table_rows(),
+                           ["avenue", "concerns", "consequences"]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Cryptographic substrate.
+
+Implements, from scratch where the paper's threat model requires real
+byte-level behaviour:
+
+- :mod:`repro.crypto.chacha20` — RFC 7539 ChaCha20 stream cipher.  The
+  ransomware attack uses it to encrypt victim files, which is what gives
+  the monitor a genuine high-entropy signal to detect.
+- :mod:`repro.crypto.signing` — message signers behind one interface:
+  HMAC-SHA256 (Jupyter's default), HMAC-SHA3, and the `NullSigner` that
+  models the common ``Session.key = b""`` misconfiguration.
+- :mod:`repro.crypto.pq` — hash-based post-quantum signatures (Lamport
+  one-time, Winternitz WOTS, and a Merkle-tree many-time scheme), the
+  canonical quantum-resistant replacement the paper's §IV.B calls for.
+- :mod:`repro.crypto.passwords` — salted PBKDF2 password hashing matching
+  the shape of ``jupyter_server.auth.passwd``.
+- :mod:`repro.crypto.hndl` — the harvest-now-decrypt-later exposure model.
+"""
+
+from repro.crypto.chacha20 import ChaCha20, chacha20_decrypt, chacha20_encrypt
+from repro.crypto.signing import (
+    HMACSigner,
+    HMACSHA3Signer,
+    NullSigner,
+    Signer,
+    get_signer,
+    register_signer,
+    available_schemes,
+)
+from repro.crypto.passwords import hash_password, verify_password, token_entropy_bits
+from repro.crypto.pq import LamportOTS, WOTS, MerkleSigner
+from repro.crypto.hndl import HNDLModel, TrafficRecord
+
+__all__ = [
+    "ChaCha20",
+    "chacha20_encrypt",
+    "chacha20_decrypt",
+    "Signer",
+    "HMACSigner",
+    "HMACSHA3Signer",
+    "NullSigner",
+    "get_signer",
+    "register_signer",
+    "available_schemes",
+    "hash_password",
+    "verify_password",
+    "token_entropy_bits",
+    "LamportOTS",
+    "WOTS",
+    "MerkleSigner",
+    "HNDLModel",
+    "TrafficRecord",
+]

@@ -1,0 +1,108 @@
+"""ChaCha20 stream cipher (RFC 7539), pure Python.
+
+The ransomware attack in :mod:`repro.attacks.ransomware` encrypts victim
+files with this cipher.  Using a real cipher (rather than e.g. XOR with a
+constant) matters for the reproduction: the entropy-based ransomware
+detector must face genuinely uniform ciphertext, exactly as it would
+against Conti/LockBit-style payloads.
+
+The implementation follows RFC 7539 §2.3/§2.4 (the block function and the
+little-endian serialization) and is validated against the RFC test
+vectors in ``tests/test_crypto_chacha20.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl32(x: int, n: int) -> int:
+    return ((x << n) & _MASK) | (x >> (32 - n))
+
+
+def _quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """Return the 64-byte keystream block for ``(key, counter, nonce)``."""
+    if len(key) != 32:
+        raise ValueError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha20 nonce must be 12 bytes")
+    state = list(_CONSTANTS)
+    state += list(struct.unpack("<8L", key))
+    state.append(counter & _MASK)
+    state += list(struct.unpack("<3L", nonce))
+    working = state.copy()
+    for _ in range(10):  # 20 rounds = 10 column+diagonal double-rounds
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    out = [(working[i] + state[i]) & _MASK for i in range(16)]
+    return struct.pack("<16L", *out)
+
+
+class ChaCha20:
+    """Streaming ChaCha20 encryptor/decryptor.
+
+    The object keeps the block counter, so successive :meth:`update`
+    calls encrypt a long stream in chunks — the ransomware attack uses
+    this to encrypt files larger than one block without buffering.
+    """
+
+    def __init__(self, key: bytes, nonce: bytes, counter: int = 1):
+        if len(key) != 32:
+            raise ValueError("ChaCha20 key must be 32 bytes")
+        if len(nonce) != 12:
+            raise ValueError("ChaCha20 nonce must be 12 bytes")
+        self.key = key
+        self.nonce = nonce
+        self._counter = counter
+        self._leftover = b""
+
+    def update(self, data: bytes) -> bytes:
+        out = bytearray()
+        i = 0
+        # Consume keystream left over from the previous partial block.
+        if self._leftover:
+            take = min(len(self._leftover), len(data))
+            out += bytes(a ^ b for a, b in zip(data[:take], self._leftover[:take]))
+            self._leftover = self._leftover[take:]
+            i = take
+        while i < len(data):
+            block = chacha20_block(self.key, self._counter, self.nonce)
+            self._counter += 1
+            chunk = data[i : i + 64]
+            out += bytes(a ^ b for a, b in zip(chunk, block))
+            if len(chunk) < 64:
+                self._leftover = block[len(chunk) :]
+            i += 64
+        return bytes(out)
+
+
+def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes, counter: int = 1) -> bytes:
+    """One-shot encryption (RFC 7539 §2.4)."""
+    return ChaCha20(key, nonce, counter).update(plaintext)
+
+
+def chacha20_decrypt(key: bytes, nonce: bytes, ciphertext: bytes, counter: int = 1) -> bytes:
+    """One-shot decryption — ChaCha20 is an involution under the same keystream."""
+    return ChaCha20(key, nonce, counter).update(ciphertext)

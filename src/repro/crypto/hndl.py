@@ -1,0 +1,97 @@
+"""Harvest-now-decrypt-later (HNDL) exposure model.
+
+The paper warns that Jupyter traffic recorded today can be decrypted once
+a cryptanalytically relevant quantum computer (CRQC) exists.  This module
+quantifies that risk for a traffic corpus: each record carries a capture
+time and a *secrecy lifetime* (how long its contents stay sensitive —
+e.g. unpublished model weights vs. ephemeral status pings).  A record is
+*exposed* if the CRQC arrives before capture_time + lifetime AND the
+record was protected by a non-quantum-resistant scheme.
+
+EXP-PQC sweeps the CRQC arrival year and reports the exposed fraction per
+signing/encryption scheme, reproducing the qualitative argument of
+§IV.B: migrating early shrinks the exposure window; hash-based schemes
+zero it out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One captured flow or message batch."""
+
+    capture_year: float
+    secrecy_lifetime_years: float
+    scheme: str  # signing/encryption scheme protecting it
+    sensitivity: str = "research-data"  # label only; used in breakdowns
+    size_bytes: int = 0
+
+    def exposed_at(self, crqc_year: float, quantum_resistant_schemes: frozenset[str]) -> bool:
+        """True if a CRQC arriving at ``crqc_year`` can exploit this record."""
+        if self.scheme in quantum_resistant_schemes:
+            return False
+        return crqc_year < self.capture_year + self.secrecy_lifetime_years
+
+
+#: Schemes from the crypto registry considered quantum-resistant.
+DEFAULT_QR_SCHEMES = frozenset({"lamport", "wots", "merkle"})
+
+
+@dataclass
+class HNDLModel:
+    """Exposure calculator over a corpus of :class:`TrafficRecord`."""
+
+    records: List[TrafficRecord] = field(default_factory=list)
+    qr_schemes: frozenset = DEFAULT_QR_SCHEMES
+
+    def add(self, record: TrafficRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[TrafficRecord]) -> None:
+        self.records.extend(records)
+
+    def exposed_fraction(self, crqc_year: float) -> float:
+        """Fraction of records exposed if the CRQC lands at ``crqc_year``."""
+        if not self.records:
+            return 0.0
+        exposed = sum(1 for r in self.records if r.exposed_at(crqc_year, self.qr_schemes))
+        return exposed / len(self.records)
+
+    def exposed_bytes(self, crqc_year: float) -> int:
+        return sum(r.size_bytes for r in self.records if r.exposed_at(crqc_year, self.qr_schemes))
+
+    def sweep(self, years: Iterable[float]) -> Dict[float, float]:
+        """Exposure fraction for each candidate CRQC arrival year."""
+        return {y: self.exposed_fraction(y) for y in years}
+
+    def breakdown_by_scheme(self, crqc_year: float) -> Dict[str, float]:
+        """Per-scheme exposed fraction at ``crqc_year``."""
+        by_scheme: Dict[str, List[TrafficRecord]] = {}
+        for r in self.records:
+            by_scheme.setdefault(r.scheme, []).append(r)
+        out = {}
+        for scheme, recs in sorted(by_scheme.items()):
+            exposed = sum(1 for r in recs if r.exposed_at(crqc_year, self.qr_schemes))
+            out[scheme] = exposed / len(recs)
+        return out
+
+    def migration_benefit(self, migrate_year: float, crqc_year: float) -> float:
+        """Exposure reduction from migrating all capture >= migrate_year to PQ.
+
+        Returns the difference between the status-quo exposed fraction and
+        the counterfactual where every record captured at or after
+        ``migrate_year`` used a quantum-resistant scheme.
+        """
+        if not self.records:
+            return 0.0
+        baseline = self.exposed_fraction(crqc_year)
+        exposed_after = 0
+        for r in self.records:
+            scheme_qr = r.scheme in self.qr_schemes or r.capture_year >= migrate_year
+            if not scheme_qr and crqc_year < r.capture_year + r.secrecy_lifetime_years:
+                exposed_after += 1
+        return baseline - exposed_after / len(self.records)

@@ -1,0 +1,71 @@
+"""Password hashing and token-strength estimation.
+
+Mirrors the shape of ``jupyter_server.auth.passwd``: an algorithm-tagged,
+salted hash string ``pbkdf2-sha256:<rounds>:<salt>:<hex>``.  The
+misconfiguration scanner parses these strings to flag weak round counts,
+and :func:`token_entropy_bits` scores access tokens the same way the
+scanner's WEAK_TOKEN check does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import math
+import secrets
+from collections import Counter
+
+DEFAULT_ROUNDS = 20_000  # kept modest so test suites stay fast; real deployments use >=600k
+
+
+def hash_password(password: str, *, rounds: int = DEFAULT_ROUNDS, salt: bytes | None = None) -> str:
+    """Hash ``password`` into the tagged PBKDF2 format."""
+    if salt is None:
+        salt = secrets.token_bytes(16)
+    dk = hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"), salt, rounds)
+    return f"pbkdf2-sha256:{rounds}:{salt.hex()}:{dk.hex()}"
+
+
+def verify_password(password: str, stored: str) -> bool:
+    """Check ``password`` against a stored tagged hash; False on any malformation."""
+    try:
+        algo, rounds_s, salt_hex, digest_hex = stored.split(":")
+        if algo != "pbkdf2-sha256":
+            return False
+        rounds = int(rounds_s)
+        salt = bytes.fromhex(salt_hex)
+        expected = bytes.fromhex(digest_hex)
+    except (ValueError, AttributeError):
+        return False
+    dk = hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"), salt, rounds)
+    return hmac.compare_digest(dk, expected)
+
+
+def parse_hash_rounds(stored: str) -> int | None:
+    """Extract the PBKDF2 round count, or None if the string is not ours."""
+    try:
+        algo, rounds_s, _, _ = stored.split(":")
+        if algo != "pbkdf2-sha256":
+            return None
+        return int(rounds_s)
+    except ValueError:
+        return None
+
+
+def token_entropy_bits(token: str) -> float:
+    """Estimate total entropy of ``token`` in bits.
+
+    Uses the empirical per-character Shannon entropy times length — a
+    deliberately conservative estimator: "hunter2" scores ~8 bits while a
+    ``secrets.token_urlsafe(24)`` scores well above 128.  The scanner
+    flags anything under 64 bits.
+    """
+    if not token:
+        return 0.0
+    counts = Counter(token)
+    n = len(token)
+    per_char = -sum((c / n) * math.log2(c / n) for c in counts.values())
+    # Degenerate single-character tokens still carry log2(len) positional info at most.
+    if per_char == 0.0:
+        return math.log2(n) if n > 1 else 0.0
+    return per_char * n

@@ -1,0 +1,135 @@
+"""Crypto-agile message signing.
+
+Jupyter signs every kernel-protocol message with HMAC-SHA256 over the
+concatenated JSON segments (``jupyter_client.session.Session``).  The
+paper's §IV.B argues this layer must become *crypto-agile* so deployments
+can migrate to quantum-resistant schemes.  We model that with a single
+:class:`Signer` interface, a process-wide scheme registry, and three
+classical implementations; the hash-based post-quantum signers in
+:mod:`repro.crypto.pq` plug into the same registry.
+
+``NullSigner`` deliberately implements the degenerate "empty key" mode
+that real Jupyter falls into when ``Session.key`` is blank — one of the
+misconfigurations the scanner flags (see EXP-MISCFG).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterable
+
+
+class Signer(ABC):
+    """Signs and verifies a sequence of byte segments."""
+
+    #: registry key; subclasses override.
+    scheme: str = "abstract"
+    #: True if the scheme survives a cryptanalytically-relevant quantum computer.
+    quantum_resistant: bool = False
+
+    @abstractmethod
+    def sign(self, segments: Iterable[bytes]) -> bytes:
+        """Return a signature (hex- or raw-encoded bytes) over ``segments``."""
+
+    @abstractmethod
+    def verify(self, segments: Iterable[bytes], signature: bytes) -> bool:
+        """Constant-time-ish verification of ``signature`` over ``segments``."""
+
+    @property
+    def signature_size(self) -> int:
+        """Size in bytes of a signature over an empty message (for benches)."""
+        return len(self.sign([b""]))
+
+
+class HMACSigner(Signer):
+    """HMAC-SHA256, hex digest — byte-compatible with Jupyter's default."""
+
+    scheme = "hmac-sha256"
+    quantum_resistant = False  # key exchange/harvest concerns, per paper §IV.B
+
+    def __init__(self, key: bytes):
+        if not isinstance(key, bytes):
+            raise TypeError("HMAC key must be bytes")
+        self.key = key
+
+    def sign(self, segments: Iterable[bytes]) -> bytes:
+        h = hmac.new(self.key, digestmod=hashlib.sha256)
+        for seg in segments:
+            h.update(seg)
+        return h.hexdigest().encode("ascii")
+
+    def verify(self, segments: Iterable[bytes], signature: bytes) -> bool:
+        return hmac.compare_digest(self.sign(segments), signature)
+
+
+class HMACSHA3Signer(Signer):
+    """HMAC-SHA3-256: a drop-in hash upgrade (still not PQ for key harvest)."""
+
+    scheme = "hmac-sha3-256"
+    quantum_resistant = False
+
+    def __init__(self, key: bytes):
+        self.key = key
+
+    def sign(self, segments: Iterable[bytes]) -> bytes:
+        h = hmac.new(self.key, digestmod=hashlib.sha3_256)
+        for seg in segments:
+            h.update(seg)
+        return h.hexdigest().encode("ascii")
+
+    def verify(self, segments: Iterable[bytes], signature: bytes) -> bool:
+        return hmac.compare_digest(self.sign(segments), signature)
+
+
+class NullSigner(Signer):
+    """The 'no key configured' degenerate mode: empty signature, always valid.
+
+    Real Jupyter behaves this way when ``Session.key == b""``; messages fly
+    unsigned.  The misconfiguration scanner and the account-takeover
+    attack both exploit this object.
+    """
+
+    scheme = "none"
+    quantum_resistant = False
+
+    def sign(self, segments: Iterable[bytes]) -> bytes:
+        return b""
+
+    def verify(self, segments: Iterable[bytes], signature: bytes) -> bool:
+        return True
+
+
+# --------------------------------------------------------------------------
+# Scheme registry — the "crypto agility" surface the paper calls for.
+# --------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[[bytes], Signer]] = {}
+
+
+def register_signer(scheme: str, factory: Callable[[bytes], Signer]) -> None:
+    """Register a signer factory taking a key and returning a Signer."""
+    _REGISTRY[scheme] = factory
+
+
+def get_signer(scheme: str, key: bytes = b"") -> Signer:
+    """Instantiate a registered signing scheme.
+
+    >>> get_signer("hmac-sha256", b"k").scheme
+    'hmac-sha256'
+    """
+    try:
+        factory = _REGISTRY[scheme]
+    except KeyError:
+        raise KeyError(f"unknown signing scheme {scheme!r}; known: {sorted(_REGISTRY)}") from None
+    return factory(key)
+
+
+def available_schemes() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+register_signer("hmac-sha256", lambda key: HMACSigner(key))
+register_signer("hmac-sha3-256", lambda key: HMACSHA3Signer(key))
+register_signer("none", lambda key: NullSigner())

@@ -1,0 +1,26 @@
+"""The Jupyter Security & Resiliency Data Set (paper §IV.B).
+
+"There is a clear need for an open-source dataset of Jupyter-related
+logs in the scientific data workloads. Although NCSA can retain
+longitudinal data, log anonymization and privacy-preserving sharing
+need to be studied."
+
+- :mod:`repro.dataset.builder` — generates labeled corpora: benign
+  sessions interleaved with attack campaigns, exported as typed records.
+- :mod:`repro.dataset.anonymize` — the anonymization pipeline:
+  prefix-preserving IP pseudonymization, salted identity hashing,
+  timestamp coarsening, content dropping; plus k-anonymity and
+  re-identification risk metrics.
+"""
+
+from repro.dataset.anonymize import AnonymizationPolicy, Anonymizer, k_anonymity
+from repro.dataset.builder import DatasetBuilder, LabeledRecord, SessionLabel
+
+__all__ = [
+    "DatasetBuilder",
+    "LabeledRecord",
+    "SessionLabel",
+    "Anonymizer",
+    "AnonymizationPolicy",
+    "k_anonymity",
+]

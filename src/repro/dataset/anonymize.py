@@ -1,0 +1,153 @@
+"""Log anonymization and privacy metrics.
+
+Implements the transformations NCSA-style sites need before releasing
+logs, and the two measurements that make the privacy/utility trade-off
+quantifiable (EXP-DATA):
+
+- **prefix-preserving IP pseudonymization** — a deterministic keyed
+  permutation per octet position that preserves subnet structure
+  (a simplified Crypto-PAn: two IPs sharing a /16 still share their
+  pseudonym's first two octets);
+- **salted identity hashing** for usernames/sessions;
+- **timestamp coarsening** to a configurable grid;
+- **content dropping** (code bodies are the most identifying field);
+- **k-anonymity** over chosen quasi-identifiers and a simple
+  re-identification risk estimate (fraction of records in classes
+  smaller than k).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.dataset.builder import LabeledRecord
+
+
+@dataclass(frozen=True)
+class AnonymizationPolicy:
+    """What to transform, keyed by a site secret."""
+
+    key: bytes = b"site-release-key"
+    pseudonymize_ips: bool = True
+    hash_identities: bool = True
+    coarsen_timestamps_to: float = 60.0   # 0 disables
+    drop_code: bool = True
+    drop_paths: bool = False
+
+    @classmethod
+    def none(cls) -> "AnonymizationPolicy":
+        return cls(pseudonymize_ips=False, hash_identities=False,
+                   coarsen_timestamps_to=0.0, drop_code=False)
+
+    @classmethod
+    def maximal(cls, key: bytes = b"site-release-key") -> "AnonymizationPolicy":
+        return cls(key=key, coarsen_timestamps_to=600.0, drop_paths=True)
+
+
+class Anonymizer:
+    """Applies a policy to a labeled corpus, deterministically."""
+
+    def __init__(self, policy: AnonymizationPolicy):
+        self.policy = policy
+        self._octet_maps: Dict[Tuple[int, str], Dict[int, int]] = {}
+
+    # -- primitives -----------------------------------------------------------------
+    def _prf(self, data: str) -> bytes:
+        return hmac.new(self.policy.key, data.encode(), hashlib.sha256).digest()
+
+    def pseudonymize_ip(self, ip: str) -> str:
+        """Prefix-preserving: octet i's mapping is keyed by octets < i."""
+        parts = ip.split(".")
+        if len(parts) != 4 or not all(p.isdigit() for p in parts):
+            # Not an IPv4 literal — it's a principal name (session username
+            # in a notice src, "kernel", ...).  Hash it with the *identity*
+            # PRF so it stays joinable with hashed username fields.
+            return self.hash_identity(ip)
+        out: List[str] = []
+        prefix = ""
+        for i, part in enumerate(parts):
+            octet = int(part)
+            table = self._octet_maps.get((i, prefix))
+            if table is None:
+                # A true keyed permutation of 0..255 per (position, prefix):
+                # injective within a subnet, deterministic across runs.
+                order = sorted(range(256), key=lambda o: self._prf(f"octet:{i}:{prefix}:{o}"))
+                table = {orig: mapped for orig, mapped in zip(range(256), order)}
+                self._octet_maps[(i, prefix)] = table
+            out.append(str(table[octet]))
+            prefix += part + "."
+        return ".".join(out)
+
+    def hash_identity(self, name: str) -> str:
+        if not name:
+            return ""
+        return "u-" + self._prf("user:" + name).hex()[:10]
+
+    def coarsen_ts(self, ts: float) -> float:
+        grid = self.policy.coarsen_timestamps_to
+        if grid <= 0:
+            return ts
+        return (ts // grid) * grid
+
+    # -- record-level -----------------------------------------------------------------
+    def anonymize_record(self, rec: LabeledRecord) -> LabeledRecord:
+        p = self.policy
+        fields = dict(rec.fields)
+        src, dst, ts = rec.src, rec.dst, rec.ts
+        if p.pseudonymize_ips:
+            src = self.pseudonymize_ip(src) if src else src
+            dst = self.pseudonymize_ip(dst) if dst else dst
+        if p.hash_identities and "username" in fields:
+            fields["username"] = self.hash_identity(str(fields["username"]))
+        if p.hash_identities and "session" in fields:
+            fields["session"] = self.hash_identity(str(fields["session"]))
+        if p.coarsen_timestamps_to > 0:
+            ts = self.coarsen_ts(ts)
+        if p.drop_code and "code" in fields:
+            code = str(fields.pop("code", ""))
+            fields["code_size"] = fields.get("code_size", len(code))
+        if p.drop_paths and "path" in fields:
+            fields["path"] = "p-" + self._prf("path:" + str(fields["path"])).hex()[:8]
+        return replace(rec, ts=ts, src=src, dst=dst, fields=fields)
+
+    def anonymize(self, records: Iterable[LabeledRecord]) -> List[LabeledRecord]:
+        return [self.anonymize_record(r) for r in records]
+
+
+# --------------------------------------------------------------------------
+# Privacy metrics
+# --------------------------------------------------------------------------
+
+
+def k_anonymity(records: Sequence[LabeledRecord],
+                quasi_identifiers: Sequence[str] = ("src", "family")) -> int:
+    """The k of the corpus: size of the smallest equivalence class over
+    the quasi-identifier tuple.  Returns 0 for an empty corpus."""
+    classes: Dict[Tuple, int] = {}
+    for rec in records:
+        key = tuple(
+            getattr(rec, qi) if hasattr(rec, qi) else str(rec.fields.get(qi, ""))
+            for qi in quasi_identifiers
+        )
+        classes[key] = classes.get(key, 0) + 1
+    return min(classes.values()) if classes else 0
+
+
+def reidentification_risk(records: Sequence[LabeledRecord], *, k: int = 5,
+                          quasi_identifiers: Sequence[str] = ("src", "family")) -> float:
+    """Fraction of records in equivalence classes smaller than ``k`` —
+    the records an adversary with auxiliary data could plausibly single out."""
+    classes: Dict[Tuple, int] = {}
+    for rec in records:
+        key = tuple(
+            getattr(rec, qi) if hasattr(rec, qi) else str(rec.fields.get(qi, ""))
+            for qi in quasi_identifiers
+        )
+        classes[key] = classes.get(key, 0) + 1
+    if not records:
+        return 0.0
+    at_risk = sum(count for count in classes.values() if count < k)
+    return at_risk / len(records)

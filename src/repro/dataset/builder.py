@@ -1,0 +1,154 @@
+"""Labeled dataset generation.
+
+A corpus is built by running a scenario: N benign sessions plus a chosen
+attack mix, all against one monitored world.  Every monitor log record
+is flattened into a :class:`LabeledRecord` with ground-truth labels
+derived from *who actually did it* (source IPs and session usernames the
+builder controls), not from detector output — so detector evaluation on
+the corpus is honest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.attacks.base import Attack
+from repro.attacks.scenario import Scenario, build_scenario
+from repro.workload import ScientistWorkload
+
+
+@dataclass(frozen=True)
+class SessionLabel:
+    """Ground truth for one traffic source."""
+
+    source: str            # ip or username
+    malicious: bool
+    attack: str = ""       # attack name if malicious
+    avenue: str = ""
+
+
+@dataclass
+class LabeledRecord:
+    """One flattened log record with ground truth."""
+
+    ts: float
+    family: str            # conn | http | websocket | zmtp | jupyter | notice
+    src: str
+    dst: str
+    fields: Dict[str, Any]
+    label_malicious: bool
+    label_attack: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "ts": self.ts, "family": self.family, "src": self.src, "dst": self.dst,
+            "fields": self.fields, "label_malicious": self.label_malicious,
+            "label_attack": self.label_attack,
+        }, sort_keys=True, default=str)
+
+
+class DatasetBuilder:
+    """Runs a mixed benign/attack campaign and exports labeled records."""
+
+    def __init__(self, *, seed: int = 2024, benign_sessions: int = 3,
+                 benign_cells_per_session: int = 6):
+        self.seed = seed
+        self.benign_sessions = benign_sessions
+        self.benign_cells = benign_cells_per_session
+        self.labels: List[SessionLabel] = []
+        self.scenario: Optional[Scenario] = None
+
+    def build(self, attacks: Sequence[Attack] = ()) -> List[LabeledRecord]:
+        """Run the campaign; return the labeled corpus."""
+        sc = build_scenario(seed=self.seed)
+        self.scenario = sc
+        malicious_sources = {sc.attacker_host.ip}
+        # Benign background first (also the learning period for baselines).
+        for i in range(self.benign_sessions):
+            user = f"scientist{i}"
+            ScientistWorkload(sc, username=user, seed_name=f"bg{i}").run_session(
+                cells=self.benign_cells)
+            self.labels.append(SessionLabel(source=user, malicious=False))
+        # Attack campaigns. Attacks that ride a stolen user session mark
+        # their session username, not the host.
+        for attack in attacks:
+            result = attack.run(sc)
+            self.labels.append(SessionLabel(
+                source=sc.attacker_host.ip, malicious=True,
+                attack=attack.name, avenue=attack.avenue.value,
+            ))
+        sc.run(30.0)
+        return self.flatten(sc, malicious_sources)
+
+    # -- flattening -------------------------------------------------------------------
+    def flatten(self, sc: Scenario, malicious_sources: set) -> List[LabeledRecord]:
+        malicious_users = {"attacker", "attacker-via-stolen-session"}
+        records: List[LabeledRecord] = []
+
+        def is_bad(src: str, username: str = "") -> bool:
+            return (src in malicious_sources or src in malicious_users
+                    or username in malicious_users)
+
+        attack_by_source = {l.source: l.attack for l in self.labels if l.malicious}
+
+        for c in sc.monitor.logs.conn:
+            records.append(LabeledRecord(
+                ts=c.ts, family="conn", src=c.src, dst=c.dst,
+                fields={"service": c.service, "bytes_orig": c.bytes_orig,
+                        "bytes_resp": c.bytes_resp, "duration": c.duration},
+                label_malicious=is_bad(c.src),
+                label_attack=attack_by_source.get(c.src, ""),
+            ))
+        for h in sc.monitor.logs.http:
+            records.append(LabeledRecord(
+                ts=h.ts, family="http", src=h.src, dst=h.dst,
+                fields={"method": h.method, "path": h.path, "status": h.status,
+                        "request_bytes": h.request_bytes},
+                label_malicious=is_bad(h.src),
+                label_attack=attack_by_source.get(h.src, ""),
+            ))
+        for w in sc.monitor.logs.websocket:
+            records.append(LabeledRecord(
+                ts=w.ts, family="websocket", src=w.src, dst=w.dst,
+                fields={"opcode": w.opcode, "payload_bytes": w.payload_bytes,
+                        "entropy": w.entropy},
+                label_malicious=is_bad(w.src),
+            ))
+        for j in sc.monitor.logs.jupyter:
+            records.append(LabeledRecord(
+                ts=j.ts, family="jupyter", src=j.src, dst=j.dst,
+                fields={"channel": j.channel, "msg_type": j.msg_type,
+                        "username": j.username, "code_size": j.code_size,
+                        "code": j.code, "session": j.session},
+                label_malicious=is_bad(j.src, j.username),
+            ))
+        for n in sc.monitor.logs.notices:
+            records.append(LabeledRecord(
+                ts=n.ts, family="notice", src=n.src, dst=n.dst,
+                fields={"name": n.name, "severity": n.severity,
+                        "detector": n.detector,
+                        "avenue": n.avenue.value if n.avenue else ""},
+                label_malicious=is_bad(n.src),
+            ))
+        records.sort(key=lambda r: r.ts)
+        return records
+
+    @staticmethod
+    def export_jsonl(records: List[LabeledRecord]) -> str:
+        return "\n".join(r.to_json() for r in records)
+
+    @staticmethod
+    def summary(records: List[LabeledRecord]) -> Dict[str, Any]:
+        by_family: Dict[str, int] = {}
+        malicious = 0
+        for r in records:
+            by_family[r.family] = by_family.get(r.family, 0) + 1
+            malicious += int(r.label_malicious)
+        return {
+            "records": len(records),
+            "malicious": malicious,
+            "benign": len(records) - malicious,
+            "families": by_family,
+        }

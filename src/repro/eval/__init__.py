@@ -1,0 +1,5 @@
+"""Evaluation: detection metrics and experiment harness utilities."""
+
+from repro.eval.metrics import ConfusionMatrix, DetectionEvaluator, roc_sweep
+
+__all__ = ["ConfusionMatrix", "DetectionEvaluator", "roc_sweep"]

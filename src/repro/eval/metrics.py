@@ -1,0 +1,114 @@
+"""Detection metrics over labeled corpora."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.dataset.builder import LabeledRecord
+
+
+@dataclass
+class ConfusionMatrix:
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    def add(self, *, actual: bool, predicted: bool) -> None:
+        if actual and predicted:
+            self.tp += 1
+        elif actual and not predicted:
+            self.fn += 1
+        elif not actual and predicted:
+            self.fp += 1
+        else:
+            self.tn += 1
+
+    @property
+    def tpr(self) -> float:
+        """Recall / detection rate."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def fpr(self) -> float:
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.tpr
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"tp": self.tp, "fp": self.fp, "tn": self.tn, "fn": self.fn,
+                "tpr": round(self.tpr, 4), "fpr": round(self.fpr, 4),
+                "precision": round(self.precision, 4), "f1": round(self.f1, 4)}
+
+
+class DetectionEvaluator:
+    """Scores detector output against corpus ground truth at the
+    *principal* granularity: a principal (session username for kernel
+    traffic, source IP otherwise) is 'detected' if any notice names it,
+    'malicious' if ground truth marks it.
+
+    ``exclude`` removes infrastructure identities (the server's own IP)
+    that carry traffic for many principals and cannot meaningfully be
+    labeled — attribution through shared infrastructure is exactly the
+    gap the paper's kernel-auditing proposal closes.
+    """
+
+    @staticmethod
+    def _identity(rec: LabeledRecord) -> str:
+        username = str(rec.fields.get("username", ""))
+        if rec.family == "jupyter" and username:
+            return username
+        return rec.src
+
+    def evaluate_sources(self, records: Sequence[LabeledRecord],
+                         *, exclude: Sequence[str] = ()) -> ConfusionMatrix:
+        excluded = set(exclude)
+        truth: Dict[str, bool] = {}
+        flagged: set = set()
+        for rec in records:
+            if rec.family == "notice":
+                if rec.src and rec.src not in excluded:
+                    flagged.add(rec.src)
+                continue
+            identity = self._identity(rec)
+            if identity and identity not in excluded:
+                truth[identity] = truth.get(identity, False) or rec.label_malicious
+        cm = ConfusionMatrix()
+        for source, malicious in truth.items():
+            cm.add(actual=malicious, predicted=source in flagged)
+        return cm
+
+    def per_attack_detection(self, records: Sequence[LabeledRecord]) -> Dict[str, bool]:
+        """attack name -> did any notice implicate its source."""
+        flagged = {r.src for r in records if r.family == "notice" and r.src}
+        out: Dict[str, bool] = {}
+        for rec in records:
+            if rec.label_malicious and rec.label_attack:
+                out.setdefault(rec.label_attack, False)
+                if rec.src in flagged:
+                    out[rec.label_attack] = True
+        return out
+
+
+def roc_sweep(scores_and_labels: Iterable[Tuple[float, bool]],
+              thresholds: Sequence[float]) -> List[Dict[str, float]]:
+    """(TPR, FPR) points for a scored detector across thresholds."""
+    pairs = list(scores_and_labels)
+    points = []
+    for th in thresholds:
+        cm = ConfusionMatrix()
+        for score, actual in pairs:
+            cm.add(actual=actual, predicted=score >= th)
+        points.append({"threshold": th, "tpr": cm.tpr, "fpr": cm.fpr, "f1": cm.f1})
+    return points

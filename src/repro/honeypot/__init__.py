@@ -1,0 +1,30 @@
+"""Edge honeypots and threat-intelligence sharing (paper §IV.A).
+
+"Defenders aim to stay ahead of attackers by deploying Jupyter Notebook
+monitors early at the network edges, for example, on a set of honeypots,
+to catch the latest signatures of attacks in the wild — before they
+reach the actual Jupyter Notebooks instances deployed in supercomputers."
+
+- :mod:`repro.honeypot.decoy` — low/high-interaction decoy Jupyter
+  servers that record everything and risk nothing.
+- :mod:`repro.honeypot.harvest` — turns recorded interactions into
+  :class:`~repro.monitor.signatures.Signature` rules.
+- :mod:`repro.honeypot.intel` — STIX-lite indicator exchange between
+  honeypots and production monitors.
+- :mod:`repro.honeypot.fleet` — fleet coordination and the lead-time
+  measurement EXP-HPOT reports.
+"""
+
+from repro.honeypot.decoy import DecoyJupyterServer, InteractionRecord
+from repro.honeypot.harvest import SignatureHarvester
+from repro.honeypot.intel import Indicator, ThreatIntelFeed
+from repro.honeypot.fleet import HoneypotFleet
+
+__all__ = [
+    "DecoyJupyterServer",
+    "InteractionRecord",
+    "SignatureHarvester",
+    "Indicator",
+    "ThreatIntelFeed",
+    "HoneypotFleet",
+]

@@ -1,0 +1,143 @@
+"""Decoy Jupyter servers.
+
+A decoy *looks* like the insecure-demo deployment attackers scan for
+(open ``/api``, no token) but its contents are synthetic bait, its
+kernels run with a tiny op budget, and every byte of every interaction
+is recorded.  Low-interaction mode answers the fingerprint probes only;
+high-interaction mode runs a full simulated server so attackers reveal
+their second-stage payloads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.nbformat import Notebook
+from repro.server import JupyterServer, ServerConfig, ServerGateway
+from repro.server.config import insecure_demo_config
+from repro.simnet import Host, Network, TcpConnection
+from repro.wire.http import HttpRequest, parse_request
+
+
+@dataclass
+class InteractionRecord:
+    """One attacker interaction with a decoy."""
+
+    ts: float
+    honeypot: str
+    source_ip: str
+    kind: str             # "probe" | "http" | "cell" | "terminal"
+    content: str = ""
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+BAIT_NOTEBOOK_CELLS = [
+    "import pandas as pd\ndf = pd.read_csv('data/clinical_trial_results.csv')",
+    "API_KEY = 'hp-bait-key-000'  # staging only",
+    "model.save('models/llm_finetune_v3.bin')",
+]
+
+
+class DecoyJupyterServer:
+    """One honeypot node."""
+
+    def __init__(self, network: Network, host: Host, *, name: str = "",
+                 interaction: str = "high", config: Optional[ServerConfig] = None):
+        if interaction not in ("low", "high"):
+            raise ValueError("interaction must be 'low' or 'high'")
+        self.network = network
+        self.host = host
+        self.name = name or f"honeypot-{host.ip}"
+        self.interaction = interaction
+        self.records: List[InteractionRecord] = []
+        cfg = config or insecure_demo_config()
+        cfg.server_name = self.name
+        self.config = cfg
+        if interaction == "high":
+            self.server: Optional[JupyterServer] = JupyterServer(cfg, network, host)
+            self.gateway: Optional[ServerGateway] = ServerGateway(self.server)
+            self._seed_bait()
+            self._instrument()
+        else:
+            self.server = None
+            self.gateway = None
+            host.listen(cfg.port, self._accept_low)
+
+    # -- low interaction: banner only --------------------------------------------
+    def _accept_low(self, conn: TcpConnection) -> None:
+        buf = b""
+
+        def on_data(data: bytes) -> None:
+            nonlocal buf
+            buf += data
+            try:
+                request, rest = parse_request(buf)
+            except Exception:
+                self._record("probe", conn.client.ip, buf.decode("latin-1", "replace")[:200])
+                return
+            if request is None:
+                return
+            buf = rest
+            self._record("http", conn.client.ip, f"{request.method} {request.target}",
+                         {"headers": dict(request.headers)})
+            if request.path in ("/api", "/api/"):
+                body = json.dumps({"version": self.config.version}).encode()
+                conn.send_to_client(
+                    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode() + body
+                )
+            else:
+                conn.send_to_client(b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")
+
+        conn.on_data_server = on_data
+
+    # -- high interaction: full simulated server with recording hooks ----------------
+    def _seed_bait(self) -> None:
+        assert self.server is not None
+        nb = Notebook.new()
+        for source in BAIT_NOTEBOOK_CELLS:
+            nb.add_code(source)
+        self.server.contents.save_notebook("analysis/confidential_results.ipynb", nb)
+        self.server.contents.save("data/clinical_trial_results.csv",
+                                  {"type": "file", "content": "subject,outcome\n" +
+                                   "\n".join(f"s{i},{i % 3}" for i in range(50))})
+        self.server.contents.save("models/llm_finetune_v3.bin",
+                                  {"type": "file", "content": "BAIT" * 256})
+
+    def _instrument(self) -> None:
+        assert self.server is not None
+        server = self.server
+        original_handle = server.handle_request
+
+        def recording_handle(request: HttpRequest, *, source_ip: str = ""):
+            self._record("http", source_ip, f"{request.method} {request.target}",
+                         {"body_bytes": len(request.body)})
+            return original_handle(request, source_ip=source_ip)
+
+        server.handle_request = recording_handle  # type: ignore[method-assign]
+        original_start = server.start_kernel
+
+        def recording_start():
+            kernel = original_start()
+            kernel.pre_execute_hooks.append(
+                lambda code: self._record("cell", "kernel", code)
+            )
+            return kernel
+
+        server.start_kernel = recording_start  # type: ignore[method-assign]
+
+    def _record(self, kind: str, source_ip: str, content: str,
+                detail: Optional[Dict[str, Any]] = None) -> None:
+        self.records.append(InteractionRecord(
+            ts=self.network.loop.clock.now(), honeypot=self.name,
+            source_ip=source_ip, kind=kind, content=content, detail=detail or {},
+        ))
+
+    # -- reporting ---------------------------------------------------------------------
+    def attacker_ips(self) -> List[str]:
+        return sorted({r.source_ip for r in self.records if r.source_ip not in ("", "kernel")})
+
+    def cells_observed(self) -> List[str]:
+        return [r.content for r in self.records if r.kind == "cell"]

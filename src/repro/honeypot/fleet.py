@@ -1,0 +1,85 @@
+"""Honeypot fleet coordination and the lead-time experiment.
+
+The fleet deploys decoys at the network edge, periodically harvests
+their interaction logs into signatures, and publishes indicators to the
+shared feed production monitors subscribe to.  ``lead_time`` quantifies
+the paper's core operational claim: an attack that hits the edge first
+is *already signatured* by the time it reaches the supercomputer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.honeypot.decoy import DecoyJupyterServer
+from repro.honeypot.harvest import SignatureHarvester
+from repro.honeypot.intel import Indicator, ThreatIntelFeed
+from repro.simnet import Network
+
+
+@dataclass
+class HarvestReport:
+    ts: float
+    new_signatures: int
+    total_indicators: int
+
+
+class HoneypotFleet:
+    """Manages decoys, harvesting, and publication."""
+
+    def __init__(self, network: Network, *, feed: Optional[ThreatIntelFeed] = None,
+                 harvest_interval: float = 60.0):
+        self.network = network
+        self.feed = feed or ThreatIntelFeed()
+        self.harvester = SignatureHarvester()
+        self.decoys: List[DecoyJupyterServer] = []
+        self.harvest_interval = harvest_interval
+        self.reports: List[HarvestReport] = []
+        self._published_patterns: set[str] = set()
+        #: pattern -> first publication time (lead-time numerator)
+        self.first_published: Dict[str, float] = {}
+
+    def deploy(self, name: str, ip: str, *, interaction: str = "high") -> DecoyJupyterServer:
+        host = self.network.add_host(name, ip)
+        decoy = DecoyJupyterServer(self.network, host, name=name, interaction=interaction)
+        self.decoys.append(decoy)
+        return decoy
+
+    def schedule_harvesting(self, *, horizon: float) -> None:
+        """Install periodic harvest events on the simulation loop."""
+        loop = self.network.loop
+        t = loop.clock.now() + self.harvest_interval
+        while t <= loop.clock.now() + horizon:
+            loop.call_at(t, self.harvest_now)
+            t += self.harvest_interval
+
+    def harvest_now(self) -> HarvestReport:
+        """Harvest all decoys and publish new indicators."""
+        now = self.network.loop.clock.now()
+        records = [r for decoy in self.decoys for r in decoy.records]
+        new = 0
+        for sig in self.harvester.harvest(records):
+            if sig.pattern in self._published_patterns:
+                continue
+            self._published_patterns.add(sig.pattern)
+            indicator = Indicator.from_signature(sig, created=now)
+            if self.feed.publish(indicator):
+                self.first_published.setdefault(sig.pattern, now)
+                new += 1
+        report = HarvestReport(ts=now, new_signatures=new,
+                               total_indicators=len(self.feed.indicators))
+        self.reports.append(report)
+        return report
+
+    # -- the EXP-HPOT metric -------------------------------------------------------
+    def lead_time(self, pattern_fragment: str, production_hit_ts: float) -> Optional[float]:
+        """Seconds between publication of a matching indicator and the
+        attack's arrival at production.  Positive = honeypot won."""
+        for pattern, ts in self.first_published.items():
+            if pattern_fragment in pattern:
+                return production_hit_ts - ts
+        return None
+
+    def total_interactions(self) -> int:
+        return sum(len(d.records) for d in self.decoys)

@@ -1,0 +1,111 @@
+"""Signature harvesting: from observed attacks to deployable rules.
+
+The harvester condenses honeypot interactions into content signatures.
+Token extraction is intentionally conservative — a signature built from
+a benign-looking token would flood production with false positives, so
+candidates must (a) recur across interactions or carry known-hostile
+structure, and (b) never match a benign corpus the harvester is
+calibrated with.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable, List, Sequence
+
+from repro.honeypot.decoy import InteractionRecord
+from repro.monitor.signatures import Signature
+from repro.taxonomy.oscrp import Avenue
+
+#: Structural patterns that mark a token as hostile on sight.
+HOSTILE_STRUCTURE = [
+    (re.compile(r"stratum\+tcp://\S+"), Avenue.CRYPTOMINING),
+    (re.compile(r"mining\.(subscribe|submit|authorize)"), Avenue.CRYPTOMINING),
+    (re.compile(r"(curl|wget)\s+\S+\s*\|\s*(ba)?sh"), Avenue.ZERO_DAY),
+    (re.compile(r"/dev/tcp/\d+\.\d+\.\d+\.\d+"), Avenue.ZERO_DAY),
+    (re.compile(r"(files (are|have been) encrypted|pay.{0,30}(btc|bitcoin|ransom))",
+                re.IGNORECASE), Avenue.RANSOMWARE),
+    (re.compile(r"\.ssh/id_rsa|\.aws/credentials"), Avenue.ACCOUNT_TAKEOVER),
+    (re.compile(r"base64\.b64decode\([\"'][A-Za-z0-9+/=]{100,}"), Avenue.ZERO_DAY),
+]
+
+#: A small benign corpus used to veto over-broad candidates.
+BENIGN_CALIBRATION = [
+    "import numpy as np",
+    "import pandas as pd",
+    "df = pd.read_csv('data.csv')",
+    "model.fit(X_train, y_train)",
+    "plt.plot(results)",
+    "print(df.describe())",
+    "for epoch in range(10):",
+    "import hashlib",
+]
+
+
+class SignatureHarvester:
+    """Builds signatures from decoy interaction logs."""
+
+    def __init__(self, *, min_recurrence: int = 2, benign_corpus: Sequence[str] = ()):
+        self.min_recurrence = min_recurrence
+        self.benign_corpus = list(benign_corpus) or BENIGN_CALIBRATION
+        self._counter = 0
+
+    def _next_id(self, honeypot: str) -> str:
+        self._counter += 1
+        return f"SIG-HP-{self._counter:04d}"
+
+    def _safe_against_benign(self, pattern: str) -> bool:
+        try:
+            rx = re.compile(pattern, re.IGNORECASE)
+        except re.error:
+            return False
+        return not any(rx.search(b) for b in self.benign_corpus)
+
+    def harvest(self, records: Iterable[InteractionRecord]) -> List[Signature]:
+        """Produce deployable signatures from interactions."""
+        records = list(records)
+        signatures: List[Signature] = []
+        seen_patterns: set[str] = set()
+
+        def add(pattern: str, description: str, avenue: Avenue, family: str, honeypot: str):
+            if pattern in seen_patterns or not self._safe_against_benign(pattern):
+                return
+            seen_patterns.add(pattern)
+            signatures.append(Signature(
+                sig_id=self._next_id(honeypot), description=description,
+                family=family, pattern=pattern, avenue=avenue,
+                source=f"honeypot:{honeypot}",
+            ))
+
+        # 1. Structurally hostile tokens: one observation suffices.
+        for rec in records:
+            if rec.kind not in ("cell", "terminal", "http"):
+                continue
+            for rx, avenue in HOSTILE_STRUCTURE:
+                m = rx.search(rec.content)
+                if m:
+                    family = "terminal" if rec.kind == "terminal" else (
+                        "http-path" if rec.kind == "http" else "jupyter-code")
+                    add(re.escape(m.group(0))[:200],
+                        f"harvested hostile token from {rec.honeypot}",
+                        avenue, family, rec.honeypot)
+
+        # 2. Recurring exact payload lines across interactions.
+        line_counts: Counter = Counter()
+        line_meta = {}
+        for rec in records:
+            if rec.kind != "cell":
+                continue
+            for line in rec.content.splitlines():
+                line = line.strip()
+                if len(line) < 12:
+                    continue
+                line_counts[line] += 1
+                line_meta[line] = rec.honeypot
+        for line, count in line_counts.items():
+            if count >= self.min_recurrence:
+                add(re.escape(line)[:200],
+                    f"payload line recurred {count}x across honeypot sessions",
+                    Avenue.ZERO_DAY, "jupyter-code", line_meta[line])
+        return signatures

@@ -1,0 +1,114 @@
+"""STIX-lite threat-intelligence exchange.
+
+Indicators flow honeypot → feed → subscribed production monitors.  The
+format keeps the STIX fields analysts actually use (type, pattern,
+confidence, valid window, source) without the full OASIS schema.  The
+feed is also the *sharing* substrate the paper's dataset discussion
+wants: indicators are anonymized relative to raw logs by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.monitor.signatures import Signature, SignatureEngine
+from repro.taxonomy.oscrp import Avenue
+
+
+@dataclass
+class Indicator:
+    """One shareable indicator of compromise."""
+
+    indicator_id: str
+    indicator_type: str          # "content-signature" | "ip" | "token"
+    pattern: str
+    description: str
+    confidence: float            # 0..1
+    source: str
+    created: float
+    valid_until: Optional[float] = None
+    avenue: Optional[str] = None
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Indicator":
+        return cls(**json.loads(text))
+
+    @classmethod
+    def from_signature(cls, sig: Signature, *, created: float, confidence: float = 0.8) -> "Indicator":
+        return cls(
+            indicator_id=f"ind-{sig.sig_id.lower()}",
+            indicator_type="content-signature",
+            pattern=sig.pattern,
+            description=sig.description,
+            confidence=confidence,
+            source=sig.source,
+            created=created,
+            avenue=sig.avenue.value if sig.avenue else None,
+        )
+
+    def to_signature(self, family: str = "jupyter-code") -> Signature:
+        return Signature(
+            sig_id=self.indicator_id.upper().replace("IND-", "SIG-"),
+            description=f"[intel] {self.description}",
+            family=family,
+            pattern=self.pattern,
+            avenue=Avenue(self.avenue) if self.avenue else None,
+            source=f"intel:{self.source}",
+        )
+
+
+class ThreatIntelFeed:
+    """Pub/sub indicator distribution with dedup and expiry."""
+
+    def __init__(self, *, name: str = "campus-feed"):
+        self.name = name
+        self.indicators: Dict[str, Indicator] = {}
+        self._subscribers: List[Callable[[Indicator], None]] = []
+        self.published_count = 0
+
+    def publish(self, indicator: Indicator) -> bool:
+        """Returns False if a same-id indicator was already published."""
+        if indicator.indicator_id in self.indicators:
+            return False
+        self.indicators[indicator.indicator_id] = indicator
+        self.published_count += 1
+        for fn in self._subscribers:
+            fn(indicator)
+        return True
+
+    def subscribe(self, fn: Callable[[Indicator], None], *, replay: bool = True) -> None:
+        self._subscribers.append(fn)
+        if replay:
+            for indicator in self.indicators.values():
+                fn(indicator)
+
+    def subscribe_engine(self, engine: SignatureEngine, *, min_confidence: float = 0.5,
+                         family: str = "jupyter-code") -> None:
+        """Wire a production signature engine to the feed."""
+
+        def ingest(indicator: Indicator) -> None:
+            if indicator.confidence >= min_confidence and indicator.indicator_type == "content-signature":
+                engine.add(indicator.to_signature(family=family))
+
+        self.subscribe(ingest)
+
+    def active(self, now: float) -> List[Indicator]:
+        return [i for i in self.indicators.values()
+                if i.valid_until is None or i.valid_until >= now]
+
+    def export_jsonl(self) -> str:
+        """Serialized feed (what sites would actually exchange)."""
+        return "\n".join(i.to_json() for i in self.indicators.values())
+
+    @classmethod
+    def import_jsonl(cls, text: str, *, name: str = "imported") -> "ThreatIntelFeed":
+        feed = cls(name=name)
+        for line in text.splitlines():
+            if line.strip():
+                feed.publish(Indicator.from_json(line))
+        return feed

@@ -1,0 +1,37 @@
+"""The simulated Jupyter kernel.
+
+A real REPL: code cells are parsed with CPython's ``ast`` module and
+executed by :class:`~repro.kernel.interp.MiniPython`, a metered
+interpreter over a safe language subset.  The kernel world binds the
+interpreter's ``os``/``socket``/``requests``/``hashlib`` modules to the
+simulation (virtual filesystem, simnet hosts), so attacks written as
+notebook code have *observable side effects* — files change, traffic
+flows — which is precisely what the paper's monitor and auditor look at.
+
+Layers:
+
+- :mod:`repro.kernel.interp` — the interpreter (op budget, allowlisted
+  builtins, no dunder access).
+- :mod:`repro.kernel.world` — :class:`KernelWorld`: fs/network/clock
+  bindings plus the syscall-style event stream the auditor subscribes to.
+- :mod:`repro.kernel.modules` — the simulated importable modules.
+- :mod:`repro.kernel.runtime` — :class:`KernelRuntime`: wire-protocol
+  REPL (status busy/idle, execute_input, stream, execute_result, error).
+- :mod:`repro.kernel.manager` — lifecycle (start/interrupt/restart/
+  shutdown, heartbeat).
+"""
+
+from repro.kernel.interp import ExecOutcome, MiniPython
+from repro.kernel.manager import KernelManager
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.world import KernelEvent, KernelWorld, ResourceMeter
+
+__all__ = [
+    "MiniPython",
+    "ExecOutcome",
+    "KernelWorld",
+    "KernelEvent",
+    "ResourceMeter",
+    "KernelRuntime",
+    "KernelManager",
+]

@@ -1,0 +1,707 @@
+"""MiniPython: a metered AST interpreter over a safe Python subset.
+
+The kernel cannot ``exec`` untrusted cells against the host interpreter
+(that would hand the test suite's process to simulated attackers), so it
+interprets CPython's parse tree directly.  The subset covers what real
+scientific and attack notebooks in the paper's taxonomy use:
+
+- expressions: arithmetic/boolean/comparison operators, calls,
+  subscripts, slices, attribute access (public attributes only),
+  f-strings, lambdas, comprehensions, conditional expressions;
+- statements: assignment (incl. tuple unpacking and augmented forms),
+  ``if``/``while``/``for``, function definitions with defaults and
+  closures, ``try``/``except``/``finally``, ``raise``, ``assert``,
+  ``import``/``from-import`` (resolved against the world's module
+  registry), ``del``, ``global``, ``break``/``continue``/``pass``.
+
+Three hard security properties, each tested:
+
+1. **No dunder access.** Attribute names beginning with ``_`` raise
+   ``SecurityViolation`` — closing the classic ``().__class__`` escape.
+2. **Allowlisted builtins only.** No ``eval``/``exec``/``getattr``/
+   ``open`` (the world supplies its own audited ``open``).
+3. **Metered execution.** Every node visit ticks the
+   :class:`~repro.kernel.world.ResourceMeter`; infinite loops hit the op
+   budget and die with ``ResourceLimitError``.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.kernel.world import KernelWorld, ResourceMeter
+from repro.util.errors import ResourceLimitError, SecurityViolation
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+#: Exceptions user code may raise and catch.
+USER_EXCEPTIONS: Dict[str, type] = {
+    "Exception": Exception,
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "KeyError": KeyError,
+    "IndexError": IndexError,
+    "ZeroDivisionError": ZeroDivisionError,
+    "RuntimeError": RuntimeError,
+    "StopIteration": StopIteration,
+    "AttributeError": AttributeError,
+    "NameError": NameError,
+    "OSError": OSError,
+    "FileNotFoundError": FileNotFoundError,
+    "PermissionError": PermissionError,
+    "ConnectionError": ConnectionError,
+    "NotImplementedError": NotImplementedError,
+    "ArithmeticError": ArithmeticError,
+    "OverflowError": OverflowError,
+}
+
+#: Control-flow and sandbox exceptions that user ``except`` must never catch.
+_UNCATCHABLE = (_ReturnSignal, _BreakSignal, _ContinueSignal, ResourceLimitError, SecurityViolation)
+
+_BIN_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+    ast.LShift: operator.lshift,
+    ast.RShift: operator.rshift,
+    ast.BitOr: operator.or_,
+    ast.BitAnd: operator.and_,
+    ast.BitXor: operator.xor,
+    ast.MatMult: operator.matmul,
+}
+
+_UNARY_OPS = {
+    ast.UAdd: operator.pos,
+    ast.USub: operator.neg,
+    ast.Not: operator.not_,
+    ast.Invert: operator.invert,
+}
+
+_CMP_OPS = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.Is: operator.is_,
+    ast.IsNot: operator.is_not,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+}
+
+
+@dataclass
+class UserFunction:
+    """A function defined by cell code (closure over its defining env).
+
+    Carries a back-reference to its interpreter so builtins that take
+    callables (``min(key=...)``, ``map``, ``sorted(key=...)``) can invoke
+    it like any Python callable — the call is still metered and
+    depth-limited because it re-enters the interpreter.
+    """
+
+    name: str
+    params: List[str]
+    defaults: List[Any]
+    body: List[ast.stmt]
+    closure: "Environment"
+    interp: Any = None
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        if self.interp is None:
+            raise TypeError(f"function {self.name} is not bound to an interpreter")
+        return self.interp._call_user_function(self, list(args), kwargs)
+
+    def __repr__(self) -> str:
+        return f"<function {self.name}>"
+
+
+class Environment:
+    """A lexical scope chain."""
+
+    __slots__ = ("vars", "parent", "globals_decl")
+
+    def __init__(self, parent: Optional["Environment"] = None):
+        self.vars: Dict[str, Any] = {}
+        self.parent = parent
+        self.globals_decl: set[str] = set()
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        raise NameError(f"name '{name}' is not defined")
+
+    def assign(self, name: str, value: Any) -> None:
+        if name in self.globals_decl:
+            self.root().vars[name] = value
+        else:
+            self.vars[name] = value
+
+    def delete(self, name: str) -> None:
+        if name in self.vars:
+            del self.vars[name]
+            return
+        raise NameError(f"name '{name}' is not defined")
+
+    def root(self) -> "Environment":
+        env = self
+        while env.parent is not None:
+            env = env.parent
+        return env
+
+
+@dataclass
+class ExecOutcome:
+    """Result of executing one cell."""
+
+    status: str  # "ok" | "error"
+    result: Any = None  # value of the final expression, if any
+    stdout: str = ""
+    stderr: str = ""
+    ename: str = ""
+    evalue: str = ""
+    traceback: List[str] = field(default_factory=list)
+    meter: Optional[ResourceMeter] = None
+
+
+class MiniPython:
+    """The interpreter.  One instance per kernel; state persists across cells."""
+
+    MAX_CALL_DEPTH = 64
+
+    def __init__(
+        self,
+        world: Optional[KernelWorld] = None,
+        *,
+        modules: Optional[Dict[str, Any]] = None,
+        max_ops: int = 50_000_000,
+        pre_execute_hooks: Optional[List[Callable[[str], None]]] = None,
+    ):
+        from repro.kernel.modules import build_module_registry, make_open
+
+        self.world = world or KernelWorld()
+        self.max_ops = max_ops
+        self.globals = Environment()
+        self.meter = ResourceMeter(max_ops=max_ops)
+        self._stdout: List[str] = []
+        self._stderr: List[str] = []
+        self._call_depth = 0
+        self.modules = modules if modules is not None else build_module_registry(self.world, self)
+        self.pre_execute_hooks = pre_execute_hooks or []
+        self._builtins = self._make_builtins()
+        self._builtins["open"] = make_open(self.world, self)
+
+    # ------------------------------------------------------------------ builtins
+    def _make_builtins(self) -> Dict[str, Any]:
+        def _print(*args, sep=" ", end="\n", file=None):
+            text = sep.join(str(a) for a in args) + end
+            if file == "stderr":
+                self._stderr.append(text)
+            else:
+                self._stdout.append(text)
+
+        safe = {
+            "print": _print,
+            "len": len, "range": range, "sum": sum, "min": min, "max": max,
+            "abs": abs, "round": round, "sorted": sorted, "reversed": reversed,
+            "enumerate": enumerate, "zip": zip, "map": map, "filter": filter,
+            "str": str, "int": int, "float": float, "bool": bool, "list": list,
+            "dict": dict, "set": set, "tuple": tuple, "bytes": bytes,
+            "bytearray": bytearray, "frozenset": frozenset,
+            "ord": ord, "chr": chr, "hex": hex, "bin": bin, "oct": oct,
+            "any": any, "all": all, "isinstance": isinstance, "repr": repr,
+            "divmod": divmod, "pow": pow, "hash": hash, "iter": iter, "next": next,
+            "format": format, "None": None, "True": True, "False": False,
+        }
+        safe.update(USER_EXCEPTIONS)
+        return safe
+
+    # ------------------------------------------------------------------ execution
+    def execute(self, code: str) -> ExecOutcome:
+        """Parse and run one cell; never raises for user-level errors."""
+        self._stdout, self._stderr = [], []
+        self.meter = ResourceMeter(max_ops=self.max_ops)
+        self.world.emit("exec_start", code=code)
+        try:
+            for hook in self.pre_execute_hooks:
+                hook(code)
+        except SecurityViolation as e:
+            self.world.emit("exec_end", status="error", ename="SecurityViolation")
+            return ExecOutcome("error", ename="SecurityViolation", evalue=str(e),
+                               traceback=[f"SecurityViolation: {e}"], meter=self.meter)
+        result: Any = None
+        try:
+            tree = ast.parse(code, mode="exec")
+        except SyntaxError as e:
+            self.world.emit("exec_end", status="error", ename="SyntaxError")
+            return ExecOutcome("error", ename="SyntaxError", evalue=str(e),
+                               traceback=[f"SyntaxError: {e}"], meter=self.meter)
+        try:
+            for i, stmt in enumerate(tree.body):
+                if isinstance(stmt, ast.Expr) and i == len(tree.body) - 1:
+                    result = self._eval(stmt.value, self.globals)
+                else:
+                    self._exec_stmt(stmt, self.globals)
+        except _UNCATCHABLE[:3] as e:  # stray return/break/continue at top level
+            self.world.emit("exec_end", status="error", ename="SyntaxError")
+            return ExecOutcome("error", stdout="".join(self._stdout), stderr="".join(self._stderr),
+                               ename="SyntaxError", evalue=f"{type(e).__name__} outside function/loop",
+                               traceback=["SyntaxError"], meter=self.meter)
+        except (ResourceLimitError, SecurityViolation) as e:
+            ename = type(e).__name__
+            self.world.emit("exec_end", status="error", ename=ename)
+            return ExecOutcome("error", stdout="".join(self._stdout), stderr="".join(self._stderr),
+                               ename=ename, evalue=str(e), traceback=[f"{ename}: {e}"], meter=self.meter)
+        except Exception as e:  # user-level error
+            ename = type(e).__name__
+            self.world.emit("exec_end", status="error", ename=ename)
+            return ExecOutcome("error", stdout="".join(self._stdout), stderr="".join(self._stderr),
+                               ename=ename, evalue=str(e), traceback=[f"{ename}: {e}"], meter=self.meter)
+        self.world.emit("exec_end", status="ok")
+        return ExecOutcome("ok", result=result, stdout="".join(self._stdout),
+                           stderr="".join(self._stderr), meter=self.meter)
+
+    # ------------------------------------------------------------------ statements
+    def _exec_block(self, body: List[ast.stmt], env: Environment) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, node: ast.stmt, env: Environment) -> None:
+        self.meter.tick()
+        method = getattr(self, f"_stmt_{type(node).__name__}", None)
+        if method is None:
+            raise SecurityViolation(
+                f"statement {type(node).__name__} is not allowed in the kernel subset",
+                policy="language-subset",
+            )
+        method(node, env)
+
+    def _stmt_Expr(self, node: ast.Expr, env: Environment) -> None:
+        self._eval(node.value, env)
+
+    def _stmt_Assign(self, node: ast.Assign, env: Environment) -> None:
+        value = self._eval(node.value, env)
+        for target in node.targets:
+            self._assign_target(target, value, env)
+
+    def _stmt_AnnAssign(self, node: ast.AnnAssign, env: Environment) -> None:
+        if node.value is not None:
+            self._assign_target(node.target, self._eval(node.value, env), env)
+
+    def _stmt_AugAssign(self, node: ast.AugAssign, env: Environment) -> None:
+        op = _BIN_OPS[type(node.op)]
+        if isinstance(node.target, ast.Name):
+            current = env.lookup(node.target.id)
+            env.assign(node.target.id, op(current, self._eval(node.value, env)))
+        elif isinstance(node.target, ast.Subscript):
+            container = self._eval(node.target.value, env)
+            key = self._eval_subscript_key(node.target.slice, env)
+            container[key] = op(container[key], self._eval(node.value, env))
+        else:
+            raise SecurityViolation("unsupported augmented-assignment target", policy="language-subset")
+
+    def _assign_target(self, target: ast.expr, value: Any, env: Environment) -> None:
+        if isinstance(target, ast.Name):
+            env.assign(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            values = list(value)
+            if len(values) != len(target.elts):
+                raise ValueError(f"cannot unpack {len(values)} values into {len(target.elts)} targets")
+            for t, v in zip(target.elts, values):
+                self._assign_target(t, v, env)
+        elif isinstance(target, ast.Subscript):
+            container = self._eval(target.value, env)
+            container[self._eval_subscript_key(target.slice, env)] = value
+        else:
+            raise SecurityViolation(
+                f"assignment target {type(target).__name__} not allowed", policy="language-subset"
+            )
+
+    def _stmt_Delete(self, node: ast.Delete, env: Environment) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                env.delete(target.id)
+            elif isinstance(target, ast.Subscript):
+                container = self._eval(target.value, env)
+                del container[self._eval_subscript_key(target.slice, env)]
+            else:
+                raise SecurityViolation("unsupported del target", policy="language-subset")
+
+    def _stmt_If(self, node: ast.If, env: Environment) -> None:
+        if self._eval(node.test, env):
+            self._exec_block(node.body, env)
+        else:
+            self._exec_block(node.orelse, env)
+
+    def _stmt_While(self, node: ast.While, env: Environment) -> None:
+        while self._eval(node.test, env):
+            self.meter.tick()
+            try:
+                self._exec_block(node.body, env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+        else:
+            self._exec_block(node.orelse, env)
+
+    def _stmt_For(self, node: ast.For, env: Environment) -> None:
+        iterable = self._eval(node.iter, env)
+        broke = False
+        for item in iterable:
+            self.meter.tick()
+            self._assign_target(node.target, item, env)
+            try:
+                self._exec_block(node.body, env)
+            except _BreakSignal:
+                broke = True
+                break
+            except _ContinueSignal:
+                continue
+        if not broke:
+            self._exec_block(node.orelse, env)
+
+    def _stmt_FunctionDef(self, node: ast.FunctionDef, env: Environment) -> None:
+        args = node.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+            raise SecurityViolation("only plain positional parameters supported", policy="language-subset")
+        params = [a.arg for a in args.args]
+        defaults = [self._eval(d, env) for d in args.defaults]
+        env.assign(node.name, UserFunction(node.name, params, defaults, node.body, env, self))
+
+    def _stmt_Return(self, node: ast.Return, env: Environment) -> None:
+        raise _ReturnSignal(self._eval(node.value, env) if node.value else None)
+
+    def _stmt_Break(self, node: ast.Break, env: Environment) -> None:
+        raise _BreakSignal()
+
+    def _stmt_Continue(self, node: ast.Continue, env: Environment) -> None:
+        raise _ContinueSignal()
+
+    def _stmt_Pass(self, node: ast.Pass, env: Environment) -> None:
+        pass
+
+    def _stmt_Global(self, node: ast.Global, env: Environment) -> None:
+        env.globals_decl.update(node.names)
+
+    def _stmt_Assert(self, node: ast.Assert, env: Environment) -> None:
+        if not self._eval(node.test, env):
+            msg = self._eval(node.msg, env) if node.msg else ""
+            raise AssertionError(msg)
+
+    def _stmt_Raise(self, node: ast.Raise, env: Environment) -> None:
+        if node.exc is None:
+            raise RuntimeError("re-raise outside except block unsupported")
+        exc = self._eval(node.exc, env)
+        if isinstance(exc, type) and issubclass(exc, Exception):
+            exc = exc()
+        if not isinstance(exc, Exception) or isinstance(exc, _UNCATCHABLE):
+            raise TypeError("can only raise Exception instances")
+        raise exc
+
+    def _stmt_Try(self, node: ast.Try, env: Environment) -> None:
+        try:
+            self._exec_block(node.body, env)
+        except _UNCATCHABLE:
+            raise
+        except Exception as e:
+            for handler in node.handlers:
+                if self._handler_matches(handler, e, env):
+                    if handler.name:
+                        env.assign(handler.name, e)
+                    self._exec_block(handler.body, env)
+                    break
+            else:
+                raise
+        else:
+            self._exec_block(node.orelse, env)
+        finally:
+            self._exec_block(node.finalbody, env)
+
+    def _handler_matches(self, handler: ast.ExceptHandler, exc: Exception, env: Environment) -> bool:
+        if handler.type is None:
+            return True
+        spec = self._eval(handler.type, env)
+        specs = spec if isinstance(spec, tuple) else (spec,)
+        return any(isinstance(exc, s) for s in specs if isinstance(s, type))
+
+    def _stmt_Import(self, node: ast.Import, env: Environment) -> None:
+        for alias in node.names:
+            module = self._import_module(alias.name)
+            env.assign(alias.asname or alias.name.split(".")[0], module)
+
+    def _stmt_ImportFrom(self, node: ast.ImportFrom, env: Environment) -> None:
+        module = self._import_module(node.module or "")
+        for alias in node.names:
+            if alias.name == "*":
+                raise SecurityViolation("star imports not allowed", policy="language-subset")
+            try:
+                value = self._get_attribute(module, alias.name)
+            except AttributeError:
+                raise NameError(f"cannot import name {alias.name!r} from {node.module!r}") from None
+            env.assign(alias.asname or alias.name, value)
+
+    def _import_module(self, name: str) -> Any:
+        root = name.split(".")[0]
+        if root not in self.modules:
+            raise NameError(f"No module named {root!r}")
+        self.world.emit("import", module=name)
+        module: Any = self.modules[root]
+        for part in name.split(".")[1:]:
+            module = self._get_attribute(module, part)
+        return module
+
+    # ------------------------------------------------------------------ expressions
+    def _eval(self, node: Optional[ast.expr], env: Environment) -> Any:
+        if node is None:
+            return None
+        self.meter.tick()
+        method = getattr(self, f"_expr_{type(node).__name__}", None)
+        if method is None:
+            raise SecurityViolation(
+                f"expression {type(node).__name__} is not allowed in the kernel subset",
+                policy="language-subset",
+            )
+        return method(node, env)
+
+    def _expr_Constant(self, node: ast.Constant, env: Environment) -> Any:
+        return node.value
+
+    def _expr_Name(self, node: ast.Name, env: Environment) -> Any:
+        try:
+            return env.lookup(node.id)
+        except NameError:
+            if node.id in self._builtins:
+                return self._builtins[node.id]
+            raise
+
+    def _expr_BinOp(self, node: ast.BinOp, env: Environment) -> Any:
+        return _BIN_OPS[type(node.op)](self._eval(node.left, env), self._eval(node.right, env))
+
+    def _expr_UnaryOp(self, node: ast.UnaryOp, env: Environment) -> Any:
+        return _UNARY_OPS[type(node.op)](self._eval(node.operand, env))
+
+    def _expr_BoolOp(self, node: ast.BoolOp, env: Environment) -> Any:
+        if isinstance(node.op, ast.And):
+            value = True
+            for v in node.values:
+                value = self._eval(v, env)
+                if not value:
+                    return value
+            return value
+        value = False
+        for v in node.values:
+            value = self._eval(v, env)
+            if value:
+                return value
+        return value
+
+    def _expr_Compare(self, node: ast.Compare, env: Environment) -> bool:
+        left = self._eval(node.left, env)
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self._eval(comparator, env)
+            if not _CMP_OPS[type(op)](left, right):
+                return False
+            left = right
+        return True
+
+    def _expr_IfExp(self, node: ast.IfExp, env: Environment) -> Any:
+        return self._eval(node.body, env) if self._eval(node.test, env) else self._eval(node.orelse, env)
+
+    def _expr_Call(self, node: ast.Call, env: Environment) -> Any:
+        func = self._eval(node.func, env)
+        args = []
+        for a in node.args:
+            if isinstance(a, ast.Starred):
+                args.extend(self._eval(a.value, env))
+            else:
+                args.append(self._eval(a, env))
+        kwargs = {}
+        for kw in node.keywords:
+            if kw.arg is None:
+                kwargs.update(self._eval(kw.value, env))
+            else:
+                kwargs[kw.arg] = self._eval(kw.value, env)
+        return self._call(func, args, kwargs)
+
+    def _call(self, func: Any, args: List[Any], kwargs: Dict[str, Any]) -> Any:
+        if isinstance(func, UserFunction):
+            return self._call_user_function(func, args, kwargs)
+        if callable(func):
+            return func(*args, **kwargs)
+        raise TypeError(f"{func!r} is not callable")
+
+    def _call_user_function(self, func: UserFunction, args: List[Any], kwargs: Dict[str, Any]) -> Any:
+        if self._call_depth >= self.MAX_CALL_DEPTH:
+            raise ResourceLimitError(
+                f"recursion depth exceeded ({self.MAX_CALL_DEPTH})",
+                resource="call_depth", limit=self.MAX_CALL_DEPTH, used=self._call_depth,
+            )
+        local = Environment(parent=func.closure)
+        n_required = len(func.params) - len(func.defaults)
+        bound = dict(zip(func.params, args))
+        for name, default in zip(func.params[n_required:], func.defaults):
+            bound.setdefault(name, default)
+        for name, value in kwargs.items():
+            if name not in func.params:
+                raise TypeError(f"{func.name}() got an unexpected keyword argument {name!r}")
+            if name in dict(zip(func.params, args)):
+                raise TypeError(f"{func.name}() got multiple values for argument {name!r}")
+            bound[name] = value
+        missing = [p for p in func.params if p not in bound]
+        if missing:
+            raise TypeError(f"{func.name}() missing required arguments: {missing}")
+        if len(args) > len(func.params):
+            raise TypeError(f"{func.name}() takes {len(func.params)} arguments but {len(args)} were given")
+        local.vars.update(bound)
+        self._call_depth += 1
+        try:
+            self._exec_block(func.body, local)
+        except _ReturnSignal as r:
+            return r.value
+        finally:
+            self._call_depth -= 1
+        return None
+
+    def _expr_Attribute(self, node: ast.Attribute, env: Environment) -> Any:
+        obj = self._eval(node.value, env)
+        return self._get_attribute(obj, node.attr)
+
+    def _get_attribute(self, obj: Any, name: str) -> Any:
+        if name.startswith("_"):
+            raise SecurityViolation(
+                f"access to private attribute {name!r} is blocked", policy="no-dunder",
+            )
+        value = getattr(obj, name)
+        # Reject anything that looks like an interpreter internal leaking out.
+        if isinstance(value, type) and value not in tuple(USER_EXCEPTIONS.values()):
+            raise SecurityViolation(f"access to type object {name!r} is blocked", policy="no-types")
+        return value
+
+    def _expr_Subscript(self, node: ast.Subscript, env: Environment) -> Any:
+        container = self._eval(node.value, env)
+        return container[self._eval_subscript_key(node.slice, env)]
+
+    def _eval_subscript_key(self, slc: ast.expr, env: Environment) -> Any:
+        if isinstance(slc, ast.Slice):
+            return slice(
+                self._eval(slc.lower, env) if slc.lower else None,
+                self._eval(slc.upper, env) if slc.upper else None,
+                self._eval(slc.step, env) if slc.step else None,
+            )
+        return self._eval(slc, env)
+
+    def _expr_List(self, node: ast.List, env: Environment) -> list:
+        return [self._eval(e, env) for e in node.elts]
+
+    def _expr_Tuple(self, node: ast.Tuple, env: Environment) -> tuple:
+        return tuple(self._eval(e, env) for e in node.elts)
+
+    def _expr_Set(self, node: ast.Set, env: Environment) -> set:
+        return {self._eval(e, env) for e in node.elts}
+
+    def _expr_Dict(self, node: ast.Dict, env: Environment) -> dict:
+        out = {}
+        for k, v in zip(node.keys, node.values):
+            if k is None:  # {**other}
+                out.update(self._eval(v, env))
+            else:
+                out[self._eval(k, env)] = self._eval(v, env)
+        return out
+
+    def _expr_JoinedStr(self, node: ast.JoinedStr, env: Environment) -> str:
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                v = self._eval(value.value, env)
+                if value.conversion == ord("r"):
+                    v = repr(v)
+                elif value.conversion == ord("s"):
+                    v = str(v)
+                elif value.conversion == ord("a"):
+                    v = ascii(v)
+                spec = self._eval(value.format_spec, env) if value.format_spec else ""
+                parts.append(format(v, spec))
+            else:
+                parts.append(str(self._eval(value, env)))
+        return "".join(parts)
+
+    def _expr_FormattedValue(self, node: ast.FormattedValue, env: Environment) -> str:
+        return str(self._eval(node.value, env))
+
+    def _expr_Lambda(self, node: ast.Lambda, env: Environment) -> UserFunction:
+        args = node.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+            raise SecurityViolation("only plain positional parameters supported", policy="language-subset")
+        params = [a.arg for a in args.args]
+        defaults = [self._eval(d, env) for d in args.defaults]
+        body = [ast.Return(value=node.body)]
+        return UserFunction("<lambda>", params, defaults, body, env, self)
+
+    def _comprehension_iter(self, generators: List[ast.comprehension], env: Environment, emit):
+        def rec(i: int, scope: Environment):
+            if i == len(generators):
+                emit(scope)
+                return
+            gen = generators[i]
+            if gen.is_async:
+                raise SecurityViolation("async comprehensions not allowed", policy="language-subset")
+            for item in self._eval(gen.iter, scope):
+                self.meter.tick()
+                inner = Environment(parent=scope)
+                self._assign_target(gen.target, item, inner)
+                if all(self._eval(cond, inner) for cond in gen.ifs):
+                    rec(i + 1, inner)
+
+        rec(0, env)
+
+    def _expr_ListComp(self, node: ast.ListComp, env: Environment) -> list:
+        out: List[Any] = []
+        self._comprehension_iter(node.generators, env, lambda scope: out.append(self._eval(node.elt, scope)))
+        return out
+
+    def _expr_SetComp(self, node: ast.SetComp, env: Environment) -> set:
+        out: set = set()
+        self._comprehension_iter(node.generators, env, lambda scope: out.add(self._eval(node.elt, scope)))
+        return out
+
+    def _expr_DictComp(self, node: ast.DictComp, env: Environment) -> dict:
+        out: dict = {}
+
+        def emit(scope):
+            out[self._eval(node.key, scope)] = self._eval(node.value, scope)
+
+        self._comprehension_iter(node.generators, env, emit)
+        return out
+
+    def _expr_GeneratorExp(self, node: ast.GeneratorExp, env: Environment) -> list:
+        # Materialized eagerly; fine for the metered subset.
+        out: List[Any] = []
+        self._comprehension_iter(node.generators, env, lambda scope: out.append(self._eval(node.elt, scope)))
+        return out
+
+    def _expr_Starred(self, node: ast.Starred, env: Environment) -> Any:
+        raise SecurityViolation("starred expression outside call", policy="language-subset")

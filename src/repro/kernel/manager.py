@@ -1,0 +1,101 @@
+"""Kernel lifecycle management.
+
+Mirrors ``jupyter_client.KernelManager``: start, interrupt, restart,
+shutdown, and liveness via heartbeat.  The manager owns the
+:class:`~repro.kernel.world.KernelWorld` wiring so a restart produces a
+fresh interpreter against the *same* filesystem — exactly the behaviour
+a ransomware victim experiences ("restart the kernel" does not bring the
+files back).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.world import KernelWorld
+from repro.util.errors import ReproError
+from repro.util.ids import new_id
+
+
+class KernelManager:
+    """Owns one kernel's lifecycle."""
+
+    def __init__(self, world_factory: Callable[[], KernelWorld], *, key: bytes = b"", max_ops: int = 50_000_000):
+        self._world_factory = world_factory
+        self._key = key
+        self._max_ops = max_ops
+        self.kernel: Optional[KernelRuntime] = None
+        self.kernel_id = new_id("k-")[:12]
+        self.restarts = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> KernelRuntime:
+        if self.kernel is not None and self.kernel.state != "dead":
+            raise ReproError("kernel already running")
+        self.kernel = KernelRuntime(
+            self._world_factory(), key=self._key, kernel_id=self.kernel_id, max_ops=self._max_ops
+        )
+        return self.kernel
+
+    def is_alive(self) -> bool:
+        if self.kernel is None:
+            return False
+        try:
+            return self.kernel.heartbeat(b"ping") == b"ping"
+        except RuntimeError:
+            return False
+
+    def interrupt(self) -> None:
+        self._require_kernel().interrupted = True
+
+    def restart(self) -> KernelRuntime:
+        """Kill and relaunch; interpreter state is lost, the world persists."""
+        old = self._require_kernel()
+        old.state = "dead"
+        world = old.world  # same filesystem and network bindings
+        self.kernel = KernelRuntime(world, key=self._key, kernel_id=self.kernel_id, max_ops=self._max_ops)
+        self.restarts += 1
+        return self.kernel
+
+    def shutdown(self) -> None:
+        if self.kernel is not None:
+            self.kernel.state = "dead"
+
+    def _require_kernel(self) -> KernelRuntime:
+        if self.kernel is None:
+            raise ReproError("kernel not started")
+        return self.kernel
+
+
+class MultiKernelManager:
+    """The server-side table of running kernels (``/api/kernels``)."""
+
+    def __init__(self, world_factory: Callable[[], KernelWorld], *, key: bytes = b"", max_ops: int = 50_000_000):
+        self._world_factory = world_factory
+        self._key = key
+        self._max_ops = max_ops
+        self.managers: Dict[str, KernelManager] = {}
+
+    def start_kernel(self) -> KernelRuntime:
+        km = KernelManager(self._world_factory, key=self._key, max_ops=self._max_ops)
+        kernel = km.start()
+        self.managers[km.kernel_id] = km
+        return kernel
+
+    def get(self, kernel_id: str) -> Optional[KernelRuntime]:
+        km = self.managers.get(kernel_id)
+        return km.kernel if km else None
+
+    def shutdown_kernel(self, kernel_id: str) -> bool:
+        km = self.managers.pop(kernel_id, None)
+        if km is None:
+            return False
+        km.shutdown()
+        return True
+
+    def list_ids(self) -> List[str]:
+        return sorted(self.managers)
+
+    def alive_count(self) -> int:
+        return sum(1 for km in self.managers.values() if km.is_alive())

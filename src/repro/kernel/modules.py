@@ -1,0 +1,415 @@
+"""Simulated importable modules for the MiniPython kernel.
+
+Each module is a :class:`SimModule` whose functions act on the
+:class:`~repro.kernel.world.KernelWorld` — so ``open('data.csv','w')``
+writes the virtual filesystem, ``socket.socket().connect(...)`` opens a
+simnet connection, and ``hashlib.sha256`` charges the resource meter the
+way real hashing burns CPU.  Every side-effecting call also emits a
+:class:`~repro.kernel.world.KernelEvent`, which is the raw material of
+the paper's kernel auditing tool.
+"""
+
+from __future__ import annotations
+
+import hashlib as _real_hashlib
+import math as _real_math
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.util.errors import SecurityViolation
+from repro.util.rng import DeterministicRNG
+from repro.vfs import VfsError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.interp import MiniPython
+    from repro.kernel.world import KernelWorld
+
+
+class SimModule:
+    """A namespace object the interpreter can getattr on."""
+
+    def __init__(self, name: str, members: Dict[str, Any]):
+        self.__sim_name__ = name
+        for key, value in members.items():
+            setattr(self, key, value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<simulated module {self.__sim_name__!r}>"
+
+
+# ---------------------------------------------------------------------------
+# open() and the file object
+# ---------------------------------------------------------------------------
+
+
+class SimFile:
+    """File handle over the virtual filesystem."""
+
+    def __init__(self, world: "KernelWorld", path: str, mode: str, interp: "MiniPython"):
+        self._world = world
+        self._interp = interp
+        self._vpath = world.resolve_path(path)
+        self._mode = mode
+        self._closed = False
+        self._write_buffer: List[bytes] = []
+        self._binary = "b" in mode
+        if "r" in mode:
+            raw = world.fs.read(self._vpath)
+            interp.meter.charge_file(len(raw))
+            world.emit("file_read", path=self._vpath, nbytes=len(raw))
+            self._read_data: Optional[bytes] = raw
+            self._read_pos = 0
+        elif "w" in mode or "a" in mode:
+            self._read_data = None
+            if "a" in mode and world.fs.is_file(self._vpath):
+                self._write_buffer.append(world.fs.read(self._vpath))
+        else:
+            raise ValueError(f"unsupported file mode {mode!r}")
+
+    def read(self, n: int = -1):
+        if self._closed or self._read_data is None:
+            raise ValueError("file not open for reading")
+        data = self._read_data[self._read_pos:] if n < 0 else self._read_data[self._read_pos : self._read_pos + n]
+        self._read_pos += len(data)
+        return data if self._binary else data.decode("utf-8", "replace")
+
+    def readlines(self):
+        text = self.read()
+        if self._binary:
+            return text.split(b"\n")
+        return [line + "\n" for line in text.split("\n") if line] if text else []
+
+    def write(self, data) -> int:
+        if self._closed or self._read_data is not None:
+            raise ValueError("file not open for writing")
+        raw = data if isinstance(data, (bytes, bytearray)) else str(data).encode("utf-8")
+        self._write_buffer.append(bytes(raw))
+        return len(raw)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._read_data is None:
+            content = b"".join(self._write_buffer)
+            self._interp.meter.charge_file(len(content))
+            self._world.fs.write(self._vpath, content)
+            self._world.emit("file_write", path=self._vpath, nbytes=len(content))
+
+
+def make_open(world: "KernelWorld", interp: "MiniPython") -> Callable:
+    def sim_open(path: str, mode: str = "r"):
+        try:
+            return SimFile(world, path, mode, interp)
+        except VfsError as e:
+            raise FileNotFoundError(str(e)) from None
+
+    return sim_open
+
+
+# ---------------------------------------------------------------------------
+# os
+# ---------------------------------------------------------------------------
+
+
+def _make_os(world: "KernelWorld", interp: "MiniPython") -> SimModule:
+    def listdir(path: str = "."):
+        vpath = world.resolve_path("" if path == "." else path)
+        return world.fs.listdir(vpath)
+
+    def remove(path: str):
+        vpath = world.resolve_path(path)
+        try:
+            world.fs.delete(vpath)
+        except VfsError as e:
+            raise FileNotFoundError(str(e)) from None
+        world.emit("file_delete", path=vpath)
+
+    def rename(src: str, dst: str):
+        vsrc, vdst = world.resolve_path(src), world.resolve_path(dst)
+        try:
+            world.fs.rename(vsrc, vdst)
+        except VfsError as e:
+            raise OSError(str(e)) from None
+        world.emit("file_rename", src=vsrc, dst=vdst)
+
+    def mkdir(path: str):
+        world.fs.mkdir(world.resolve_path(path))
+
+    def system(command: str):
+        # There is no shell in the simulated kernel; the *attempt* is the
+        # signal.  The auditor treats this event as high severity.
+        world.emit("proc_spawn", command=command)
+        raise PermissionError("os.system is disabled in this kernel")
+
+    def getcwd():
+        return "/" + world.home
+
+    def walk_paths(path: str = "."):
+        vpath = world.resolve_path("" if path == "." else path)
+        return list(world.fs.walk(vpath))
+
+    path_mod = SimModule(
+        "os.path",
+        {
+            "join": lambda *parts: "/".join(p.strip("/") for p in parts if p),
+            "exists": lambda p: world.fs.exists(world.resolve_path(p)),
+            "isfile": lambda p: world.fs.is_file(world.resolve_path(p)),
+            "isdir": lambda p: world.fs.is_dir(world.resolve_path(p)),
+            "basename": lambda p: p.rstrip("/").rsplit("/", 1)[-1],
+            "dirname": lambda p: p.rstrip("/").rsplit("/", 1)[0] if "/" in p.rstrip("/") else "",
+            "splitext": lambda p: (p.rsplit(".", 1)[0], "." + p.rsplit(".", 1)[1]) if "." in p.rsplit("/", 1)[-1] else (p, ""),
+            "getsize": lambda p: len(world.fs.read(world.resolve_path(p))),
+        },
+    )
+
+    return SimModule(
+        "os",
+        {
+            "listdir": listdir,
+            "remove": remove,
+            "unlink": remove,
+            "rename": rename,
+            "mkdir": mkdir,
+            "makedirs": mkdir,
+            "system": system,
+            "getcwd": getcwd,
+            "walk_paths": walk_paths,
+            "environ": {"USER": world.username, "HOME": "/" + world.home, "JUPYTER_TOKEN": ""},
+            "path": path_mod,
+            "sep": "/",
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# socket / requests
+# ---------------------------------------------------------------------------
+
+
+class SimSocket:
+    """A client TCP socket bound to the kernel's network stack."""
+
+    def __init__(self, world: "KernelWorld", interp: "MiniPython"):
+        self._world = world
+        self._interp = interp
+        self._chan = None
+        self._recv_buffer = b""
+        self.connected_to: Optional[Tuple[str, int]] = None
+
+    def connect(self, address):
+        host, port = address
+        if self._world.connect is None:
+            raise ConnectionError("network unreachable (kernel is air-gapped)")
+        self._chan = self._world.connect(host, int(port))
+        if self._chan is None:
+            raise ConnectionError(f"connection refused: {host}:{port}")
+        self.connected_to = (host, int(port))
+        self._world.emit("net_connect", host=host, port=int(port))
+        # The channel exposes send(bytes) and sets our receive buffer.
+        if hasattr(self._chan, "on_receive"):
+            self._chan.on_receive(self._on_data)
+
+    def _on_data(self, data: bytes) -> None:
+        self._recv_buffer += data
+        self._interp.meter.charge_net(len(data), sent=False)
+
+    def send(self, data) -> int:
+        if self._chan is None:
+            raise ConnectionError("socket not connected")
+        raw = bytes(data) if isinstance(data, (bytes, bytearray)) else str(data).encode()
+        self._interp.meter.charge_net(len(raw))
+        self._world.emit("net_send", host=self.connected_to[0], port=self.connected_to[1], nbytes=len(raw))
+        self._chan.send(raw)
+        return len(raw)
+
+    sendall = send
+
+    def recv(self, n: int = 65536) -> bytes:
+        data, self._recv_buffer = self._recv_buffer[:n], self._recv_buffer[n:]
+        if data:
+            self._world.emit("net_recv", host=self.connected_to[0] if self.connected_to else "",
+                             port=self.connected_to[1] if self.connected_to else 0, nbytes=len(data))
+        return data
+
+    def close(self) -> None:
+        if self._chan is not None and hasattr(self._chan, "close"):
+            self._chan.close()
+        self._chan = None
+
+
+def _make_socket(world: "KernelWorld", interp: "MiniPython") -> SimModule:
+    return SimModule(
+        "socket",
+        {
+            "socket": lambda *a: SimSocket(world, interp),
+            "AF_INET": 2,
+            "SOCK_STREAM": 1,
+            "gethostname": lambda: "jupyter-node",
+        },
+    )
+
+
+class SimResponse:
+    """Minimal requests.Response."""
+
+    def __init__(self, status_code: int, text: str):
+        self.status_code = status_code
+        self.text = text
+        self.ok = 200 <= status_code < 300
+
+    def json(self):
+        import json
+
+        return json.loads(self.text)
+
+
+def _make_requests(world: "KernelWorld", interp: "MiniPython") -> SimModule:
+    def _http(method: str, url: str, data: Any = None) -> SimResponse:
+        # Parse http://host:port/path
+        rest = url.split("://", 1)[-1]
+        hostport, _, path = rest.partition("/")
+        host, _, port_s = hostport.partition(":")
+        port = int(port_s or 80)
+        sock = SimSocket(world, interp)
+        sock.connect((host, port))
+        body = b""
+        if data is not None:
+            body = data if isinstance(data, bytes) else str(data).encode()
+        head = (
+            f"{method} /{path} HTTP/1.1\r\nHost: {hostport}\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+        ).encode()
+        sock.send(head + body)
+        # The simulated network delivers synchronously scheduled events;
+        # a response may not be available until the loop runs, so poll the
+        # buffer directly (attack code mostly fires and forgets).
+        raw = sock.recv()
+        sock.close()
+        status = 200
+        text = ""
+        if raw.startswith(b"HTTP/"):
+            try:
+                status = int(raw.split(b" ", 2)[1])
+                text = raw.split(b"\r\n\r\n", 1)[-1].decode("utf-8", "replace")
+            except (IndexError, ValueError):
+                pass
+        return SimResponse(status, text)
+
+    return SimModule(
+        "requests",
+        {
+            "get": lambda url, **kw: _http("GET", url),
+            "post": lambda url, data=None, **kw: _http("POST", url, data),
+            "put": lambda url, data=None, **kw: _http("PUT", url, data),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# hashlib / time / math / random / base64 / json
+# ---------------------------------------------------------------------------
+
+
+class _MeteredHash:
+    def __init__(self, interp: "MiniPython", algo: str, data: bytes = b""):
+        self._h = _real_hashlib.new(algo, data)
+        self._interp = interp
+        interp.meter.charge_hash()
+
+    def update(self, data) -> None:
+        self._interp.meter.charge_hash()
+        self._h.update(bytes(data) if isinstance(data, (bytes, bytearray)) else str(data).encode())
+
+    def hexdigest(self) -> str:
+        return self._h.hexdigest()
+
+    def digest(self) -> bytes:
+        return self._h.digest()
+
+
+def _make_hashlib(world: "KernelWorld", interp: "MiniPython") -> SimModule:
+    def _factory(algo: str):
+        def make(data=b""):
+            raw = bytes(data) if isinstance(data, (bytes, bytearray)) else str(data).encode() if data else b""
+            return _MeteredHash(interp, algo, raw)
+
+        return make
+
+    return SimModule(
+        "hashlib",
+        {"sha256": _factory("sha256"), "sha1": _factory("sha1"), "md5": _factory("md5"),
+         "sha512": _factory("sha512")},
+    )
+
+
+def _make_time(world: "KernelWorld", interp: "MiniPython") -> SimModule:
+    def sleep(seconds: float):
+        if seconds < 0:
+            raise ValueError("sleep length must be non-negative")
+        if seconds > 3600:
+            raise ValueError("sleep longer than an hour is rejected by the kernel")
+        interp.meter.sleep_seconds += float(seconds)
+
+    return SimModule(
+        "time",
+        {"time": lambda: world.clock.now(), "sleep": sleep, "monotonic": lambda: world.clock.now()},
+    )
+
+
+def _make_math() -> SimModule:
+    names = [
+        "sqrt", "floor", "ceil", "log", "log2", "log10", "exp", "sin", "cos",
+        "tan", "pi", "e", "inf", "nan", "pow", "fabs", "gcd", "isnan", "isinf",
+    ]
+    return SimModule("math", {n: getattr(_real_math, n) for n in names})
+
+
+def _make_random(world: "KernelWorld") -> SimModule:
+    rng = DeterministicRNG(f"kernel:{world.username}")
+    return SimModule(
+        "random",
+        {
+            "random": rng.random,
+            "randint": rng.randint,
+            "choice": rng.choice,
+            "uniform": rng.uniform,
+            "gauss": rng.gauss,
+            "randbytes": rng.randbytes,
+            "seed": lambda *a: None,  # determinism is non-negotiable
+        },
+    )
+
+
+def _make_base64() -> SimModule:
+    import base64 as _b64
+
+    return SimModule(
+        "base64",
+        {
+            "b64encode": _b64.b64encode,
+            "b64decode": _b64.b64decode,
+            "urlsafe_b64encode": _b64.urlsafe_b64encode,
+            "urlsafe_b64decode": _b64.urlsafe_b64decode,
+        },
+    )
+
+
+def _make_json() -> SimModule:
+    import json as _json
+
+    return SimModule("json", {"dumps": _json.dumps, "loads": _json.loads})
+
+
+def build_module_registry(world: "KernelWorld", interp: "MiniPython") -> Dict[str, SimModule]:
+    """The import table for a kernel bound to ``world``."""
+    return {
+        "os": _make_os(world, interp),
+        "socket": _make_socket(world, interp),
+        "requests": _make_requests(world, interp),
+        "hashlib": _make_hashlib(world, interp),
+        "time": _make_time(world, interp),
+        "math": _make_math(),
+        "random": _make_random(world),
+        "base64": _make_base64(),
+        "json": _make_json(),
+    }

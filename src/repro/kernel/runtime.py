@@ -1,0 +1,214 @@
+"""Kernel runtime: the REPL half of the two-process model (paper Fig. 2).
+
+Receives ``execute_request``/``kernel_info_request``/``shutdown_request``
+messages, runs code through :class:`~repro.kernel.interp.MiniPython`, and
+publishes the canonical iopub sequence::
+
+    status:busy -> execute_input -> stream*/execute_result|error -> status:idle
+
+Replies and broadcasts are returned to the caller (the kernel gateway),
+which handles transport — the runtime itself is transport-agnostic so it
+can sit behind ZMTP ports, a WebSocket bridge, or a direct in-process
+harness (as the audit benchmarks do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.kernel.interp import MiniPython
+from repro.kernel.world import KernelWorld
+from repro.messaging import Channel, Message, Session
+from repro.util.ids import new_id
+
+PROTOCOL_VERSION = "5.3"
+
+
+@dataclass
+class ExecutionRecord:
+    """Audit-grade record of one cell execution."""
+
+    execution_count: int
+    code: str
+    status: str
+    started: float
+    duration: float
+    resources: Dict[str, float] = field(default_factory=dict)
+    ename: str = ""
+
+
+class KernelRuntime:
+    """A live kernel instance."""
+
+    banner = "MiniPython 1.0 (simulated Jupyter kernel, repro of arXiv:2409.19456)"
+    implementation = "minipython"
+    language = "python"
+
+    def __init__(
+        self,
+        world: Optional[KernelWorld] = None,
+        *,
+        key: bytes = b"",
+        signer=None,
+        kernel_id: Optional[str] = None,
+        max_ops: int = 50_000_000,
+    ):
+        self.kernel_id = kernel_id or new_id("kernel-")[:16]
+        self.world = world or KernelWorld()
+        self.session = Session(key, signer=signer, username="kernel", clock=self.world.clock,
+                               check_replay=False)
+        self.interp = MiniPython(self.world, max_ops=max_ops)
+        self.execution_count = 0
+        self.state = "idle"  # idle | busy | dead
+        #: username from the most recent execute_request header — the
+        #: principal the auditor attributes activity to.
+        self.current_username = ""
+        self.history: List[ExecutionRecord] = []
+        self.interrupted = False
+        #: called with each iopub Message (the gateway broadcasts them)
+        self.iopub_listeners: List[Callable[[Message], None]] = []
+        #: pre-execute hooks (the audit layer registers policy checks here)
+        self.pre_execute_hooks = self.interp.pre_execute_hooks
+
+    # -- iopub ------------------------------------------------------------------
+    def _publish(self, msg_type: str, content: dict, parent: Optional[Message]) -> Message:
+        msg = self.session.msg(msg_type, content, parent=parent, channel=Channel.IOPUB)
+        for listener in self.iopub_listeners:
+            listener(msg)
+        return msg
+
+    # -- request dispatch ----------------------------------------------------------
+    def handle(self, request: Message) -> List[Message]:
+        """Process one shell/control message; returns [reply, *iopub]."""
+        handler = getattr(self, f"_handle_{request.msg_type}", None)
+        if handler is None:
+            reply = self.session.msg(
+                request.msg_type.replace("_request", "_reply"),
+                {"status": "error", "ename": "UnknownMessage", "evalue": request.msg_type},
+                parent=request,
+            )
+            return [reply]
+        return handler(request)
+
+    def _handle_kernel_info_request(self, request: Message) -> List[Message]:
+        reply = self.session.msg(
+            "kernel_info_reply",
+            {
+                "status": "ok",
+                "protocol_version": PROTOCOL_VERSION,
+                "implementation": self.implementation,
+                "implementation_version": "1.0",
+                "language_info": {"name": self.language, "version": "3.11", "mimetype": "text/x-python"},
+                "banner": self.banner,
+            },
+            parent=request,
+            channel=Channel.SHELL,
+        )
+        return [reply]
+
+    def _handle_execute_request(self, request: Message) -> List[Message]:
+        code = str(request.content.get("code", ""))
+        silent = bool(request.content.get("silent", False))
+        self.current_username = request.header.username
+        out: List[Message] = []
+        self.state = "busy"
+        out.append(self._publish("status", {"execution_state": "busy"}, request))
+        if not silent:
+            self.execution_count += 1
+            out.append(
+                self._publish(
+                    "execute_input",
+                    {"code": code, "execution_count": self.execution_count},
+                    request,
+                )
+            )
+        started = self.world.clock.now()
+        outcome = self.interp.execute(code)
+        duration = outcome.meter.duration_seconds if outcome.meter else 0.0
+        self.history.append(
+            ExecutionRecord(
+                execution_count=self.execution_count,
+                code=code,
+                status=outcome.status,
+                started=started,
+                duration=duration,
+                resources=outcome.meter.snapshot() if outcome.meter else {},
+                ename=outcome.ename,
+            )
+        )
+        if outcome.stdout:
+            out.append(self._publish("stream", {"name": "stdout", "text": outcome.stdout}, request))
+        if outcome.stderr:
+            out.append(self._publish("stream", {"name": "stderr", "text": outcome.stderr}, request))
+        if outcome.status == "ok":
+            if outcome.result is not None and not silent:
+                out.append(
+                    self._publish(
+                        "execute_result",
+                        {
+                            "data": {"text/plain": repr(outcome.result)},
+                            "metadata": {},
+                            "execution_count": self.execution_count,
+                        },
+                        request,
+                    )
+                )
+            reply_content = {
+                "status": "ok",
+                "execution_count": self.execution_count,
+                "user_expressions": {},
+            }
+        else:
+            out.append(
+                self._publish(
+                    "error",
+                    {"ename": outcome.ename, "evalue": outcome.evalue, "traceback": outcome.traceback},
+                    request,
+                )
+            )
+            reply_content = {
+                "status": "error",
+                "execution_count": self.execution_count,
+                "ename": outcome.ename,
+                "evalue": outcome.evalue,
+                "traceback": outcome.traceback,
+            }
+        self.state = "idle"
+        out.append(self._publish("status", {"execution_state": "idle"}, request))
+        reply = self.session.msg("execute_reply", reply_content, parent=request, channel=Channel.SHELL)
+        # Reply goes first by convention of our gateway (index 0 = reply).
+        return [reply, *out]
+
+    def _handle_shutdown_request(self, request: Message) -> List[Message]:
+        restart = bool(request.content.get("restart", False))
+        self.state = "dead"
+        reply = self.session.msg(
+            "shutdown_reply", {"status": "ok", "restart": restart}, parent=request, channel=Channel.CONTROL
+        )
+        return [reply]
+
+    def _handle_interrupt_request(self, request: Message) -> List[Message]:
+        self.interrupted = True
+        self.state = "idle"
+        reply = self.session.msg("interrupt_reply", {"status": "ok"}, parent=request, channel=Channel.CONTROL)
+        return [reply]
+
+    # -- heartbeat ------------------------------------------------------------------
+    def heartbeat(self, payload: bytes) -> bytes:
+        """The hb channel echoes whatever it receives — unless dead."""
+        if self.state == "dead":
+            raise RuntimeError("kernel is dead")
+        return payload
+
+    # -- accounting -------------------------------------------------------------------
+    def total_cpu_seconds(self) -> float:
+        return sum(r.resources.get("cpu_seconds", 0.0) for r in self.history)
+
+    def total_net_bytes(self) -> int:
+        return int(
+            sum(
+                r.resources.get("net_bytes_sent", 0) + r.resources.get("net_bytes_received", 0)
+                for r in self.history
+            )
+        )

@@ -1,0 +1,151 @@
+"""The kernel's view of the world: filesystem, network, resources, events.
+
+Every side effect a cell performs flows through :class:`KernelWorld`,
+which emits :class:`KernelEvent` records — the syscall-level trace the
+paper's proposed "Jupyter kernel auditing tool" consumes.  The
+:class:`ResourceMeter` converts interpreter work into simulated CPU
+seconds so resource-abuse (cryptomining) is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.util.clock import Clock, SimClock
+from repro.util.errors import ResourceLimitError
+from repro.vfs import VirtualFS
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One audited kernel action (file/net/exec/import)."""
+
+    ts: float
+    kind: str  # "file_read" | "file_write" | "file_delete" | "file_rename" |
+    #            "net_connect" | "net_send" | "net_recv" | "import" | "exec_start" | "exec_end"
+    detail: Dict[str, Any]
+
+
+#: Interpreter operations per simulated CPU-second.  Calibrated so a tight
+#: mining loop (~1e6 ops) registers whole seconds of CPU while a typical
+#: analysis cell (~1e3 ops) costs a millisecond.
+OPS_PER_CPU_SECOND = 1_000_000.0
+
+#: Simulated cost of one hash invocation, in interpreter ops.  SHA-256 is
+#: far more expensive than a bytecode op; this keeps miners hot.
+HASH_CALL_OPS = 500
+
+
+class ResourceMeter:
+    """Per-execution resource accounting with budgets."""
+
+    def __init__(self, *, max_ops: int = 50_000_000, max_file_bytes: int = 1 << 30,
+                 max_net_bytes: int = 1 << 30):
+        self.max_ops = max_ops
+        self.max_file_bytes = max_file_bytes
+        self.max_net_bytes = max_net_bytes
+        self.ops = 0
+        self.hash_calls = 0
+        self.file_bytes = 0
+        self.net_bytes_sent = 0
+        self.net_bytes_received = 0
+        self.sleep_seconds = 0.0
+
+    def tick(self, n: int = 1) -> None:
+        self.ops += n
+        if self.ops > self.max_ops:
+            raise ResourceLimitError(
+                f"op budget exceeded ({self.ops} > {self.max_ops})",
+                resource="ops", limit=self.max_ops, used=self.ops,
+            )
+
+    def charge_hash(self) -> None:
+        self.hash_calls += 1
+        self.tick(HASH_CALL_OPS)
+
+    def charge_file(self, nbytes: int) -> None:
+        self.file_bytes += nbytes
+        if self.file_bytes > self.max_file_bytes:
+            raise ResourceLimitError(
+                "file I/O budget exceeded", resource="file_bytes",
+                limit=self.max_file_bytes, used=self.file_bytes,
+            )
+
+    def charge_net(self, nbytes: int, *, sent: bool = True) -> None:
+        if sent:
+            self.net_bytes_sent += nbytes
+        else:
+            self.net_bytes_received += nbytes
+        total = self.net_bytes_sent + self.net_bytes_received
+        if total > self.max_net_bytes:
+            raise ResourceLimitError(
+                "network budget exceeded", resource="net_bytes",
+                limit=self.max_net_bytes, used=total,
+            )
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.ops / OPS_PER_CPU_SECOND
+
+    @property
+    def duration_seconds(self) -> float:
+        """Simulated wall time of the execution: CPU plus sleeps."""
+        return self.cpu_seconds + self.sleep_seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "ops": self.ops,
+            "cpu_seconds": self.cpu_seconds,
+            "hash_calls": self.hash_calls,
+            "file_bytes": self.file_bytes,
+            "net_bytes_sent": self.net_bytes_sent,
+            "net_bytes_received": self.net_bytes_received,
+            "sleep_seconds": self.sleep_seconds,
+        }
+
+
+class KernelWorld:
+    """Bindings from interpreter-visible modules to the simulation.
+
+    ``connect`` is a callable ``(host: str, port: int) -> duplex`` the
+    server wires to simnet (or a honeypot wires to its recorder); when
+    absent, network operations fail like an air-gapped node.
+    """
+
+    def __init__(
+        self,
+        *,
+        fs: Optional[VirtualFS] = None,
+        clock: Optional[Clock] = None,
+        connect: Optional[Callable[[str, int], Any]] = None,
+        username: str = "scientist",
+        home: str = "home",
+    ):
+        self.clock = clock or SimClock()
+        self.fs = fs if fs is not None else VirtualFS(self.clock)
+        self.connect = connect
+        self.username = username
+        self.home = home
+        self.events: List[KernelEvent] = []
+        self._subscribers: List[Callable[[KernelEvent], None]] = []
+        if not self.fs.is_dir(home):
+            self.fs.mkdir(home)
+
+    def subscribe(self, fn: Callable[[KernelEvent], None]) -> None:
+        self._subscribers.append(fn)
+
+    def emit(self, kind: str, **detail: Any) -> None:
+        ev = KernelEvent(self.clock.now(), kind, detail)
+        self.events.append(ev)
+        for fn in self._subscribers:
+            fn(ev)
+
+    def resolve_path(self, path: str) -> str:
+        """Interpret relative paths against the user's home directory."""
+        if path.startswith("/"):
+            return path.lstrip("/")
+        return f"{self.home}/{path}" if self.home else path
+
+    def events_of(self, kind: str) -> List[KernelEvent]:
+        return [e for e in self.events if e.kind == kind]

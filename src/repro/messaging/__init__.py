@@ -1,0 +1,32 @@
+"""Jupyter kernel messaging protocol (wire protocol v5.3).
+
+Implements the message model from the Jupyter client docs the paper
+cites ([13], "Messaging in Jupyter"): header/parent_header/metadata/
+content envelopes, the channel taxonomy (shell, iopub, stdin, control,
+heartbeat), and the on-wire multipart encoding
+
+    [identities..., b"<IDS|MSG>", signature, header, parent, metadata,
+     content, buffers...]
+
+signed with the session key.  :class:`Session` is crypto-agile — any
+scheme in the :mod:`repro.crypto.signing` registry can sign messages,
+which is the migration surface EXP-PQC exercises.
+"""
+
+from repro.messaging.message import (
+    DELIMITER,
+    Channel,
+    Message,
+    MsgHeader,
+    MSG_TYPE_CHANNELS,
+)
+from repro.messaging.session import Session
+
+__all__ = [
+    "Message",
+    "MsgHeader",
+    "Channel",
+    "Session",
+    "DELIMITER",
+    "MSG_TYPE_CHANNELS",
+]

@@ -1,0 +1,159 @@
+"""Message model: headers, channels, and the msg_type registry."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from repro.util.ids import new_id
+
+PROTOCOL_VERSION = "5.3"
+DELIMITER = b"<IDS|MSG>"
+
+
+class Channel(str, Enum):
+    """The five kernel channels of the two-process model (paper Fig. 2)."""
+
+    SHELL = "shell"
+    IOPUB = "iopub"
+    STDIN = "stdin"
+    CONTROL = "control"
+    HEARTBEAT = "hb"
+
+
+#: Which channel each message type travels on — used by the gateway to
+#: route and by the monitor's Jupyter-layer analyzer to sanity-check flows.
+MSG_TYPE_CHANNELS: Dict[str, Channel] = {
+    # shell requests/replies
+    "execute_request": Channel.SHELL,
+    "execute_reply": Channel.SHELL,
+    "inspect_request": Channel.SHELL,
+    "inspect_reply": Channel.SHELL,
+    "complete_request": Channel.SHELL,
+    "complete_reply": Channel.SHELL,
+    "history_request": Channel.SHELL,
+    "history_reply": Channel.SHELL,
+    "kernel_info_request": Channel.SHELL,
+    "kernel_info_reply": Channel.SHELL,
+    "comm_info_request": Channel.SHELL,
+    "comm_info_reply": Channel.SHELL,
+    # control
+    "shutdown_request": Channel.CONTROL,
+    "shutdown_reply": Channel.CONTROL,
+    "interrupt_request": Channel.CONTROL,
+    "interrupt_reply": Channel.CONTROL,
+    "debug_request": Channel.CONTROL,
+    "debug_reply": Channel.CONTROL,
+    # iopub broadcasts
+    "status": Channel.IOPUB,
+    "stream": Channel.IOPUB,
+    "execute_input": Channel.IOPUB,
+    "execute_result": Channel.IOPUB,
+    "display_data": Channel.IOPUB,
+    "error": Channel.IOPUB,
+    "clear_output": Channel.IOPUB,
+    # stdin
+    "input_request": Channel.STDIN,
+    "input_reply": Channel.STDIN,
+}
+
+
+@dataclass
+class MsgHeader:
+    """The message header (wire protocol §'The wire protocol')."""
+
+    msg_id: str
+    msg_type: str
+    session: str
+    username: str = "scientist"
+    date: str = ""
+    version: str = PROTOCOL_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "msg_id": self.msg_id,
+            "msg_type": self.msg_type,
+            "username": self.username,
+            "session": self.session,
+            "date": self.date,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "MsgHeader":
+        return cls(
+            msg_id=d.get("msg_id", ""),
+            msg_type=d.get("msg_type", ""),
+            session=d.get("session", ""),
+            username=d.get("username", ""),
+            date=d.get("date", ""),
+            version=d.get("version", PROTOCOL_VERSION),
+        )
+
+
+@dataclass
+class Message:
+    """A complete protocol message."""
+
+    header: MsgHeader
+    parent_header: Optional[MsgHeader] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    content: Dict[str, Any] = field(default_factory=dict)
+    buffers: List[bytes] = field(default_factory=list)
+    channel: Optional[Channel] = None
+
+    @property
+    def msg_type(self) -> str:
+        return self.header.msg_type
+
+    @property
+    def msg_id(self) -> str:
+        return self.header.msg_id
+
+    def expected_channel(self) -> Optional[Channel]:
+        return MSG_TYPE_CHANNELS.get(self.msg_type)
+
+    # -- JSON segments in wire order -----------------------------------------
+    def json_segments(self) -> List[bytes]:
+        """The four signed JSON segments, in wire order."""
+        dumps = lambda obj: json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+        return [
+            dumps(self.header.to_dict()),
+            dumps(self.parent_header.to_dict() if self.parent_header else {}),
+            dumps(self.metadata),
+            dumps(self.content),
+        ]
+
+    def to_websocket_json(self) -> str:
+        """The JSON framing used on Jupyter's WebSocket channel endpoint."""
+        return json.dumps(
+            {
+                "header": self.header.to_dict(),
+                "parent_header": self.parent_header.to_dict() if self.parent_header else {},
+                "metadata": self.metadata,
+                "content": self.content,
+                "channel": (self.channel or self.expected_channel() or Channel.SHELL).value,
+                "buffers": [b.hex() for b in self.buffers],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_websocket_json(cls, text: str | bytes) -> "Message":
+        d = json.loads(text)
+        parent = d.get("parent_header") or None
+        return cls(
+            header=MsgHeader.from_dict(d["header"]),
+            parent_header=MsgHeader.from_dict(parent) if parent else None,
+            metadata=d.get("metadata", {}),
+            content=d.get("content", {}),
+            buffers=[bytes.fromhex(h) for h in d.get("buffers", [])],
+            channel=Channel(d["channel"]) if d.get("channel") else None,
+        )
+
+
+def make_header(msg_type: str, session: str, *, username: str = "scientist", date: str = "") -> MsgHeader:
+    """Construct a fresh header with a new msg_id."""
+    return MsgHeader(msg_id=new_id(), msg_type=msg_type, session=session, username=username, date=date)

@@ -1,0 +1,152 @@
+"""Session: signing, serialization, and deserialization of messages.
+
+Mirrors ``jupyter_client.session.Session``.  The wire format is the
+multipart list
+
+    [*identities, DELIM, signature, header, parent, metadata, content,
+     *buffers]
+
+The signature covers the four JSON segments in order.  ``unserialize``
+enforces it and raises :class:`~repro.util.errors.ProtocolError` on
+mismatch — signature-spoofing tests and the replay-attack experiments
+drive this path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.signing import HMACSigner, Signer
+from repro.messaging.message import (
+    DELIMITER,
+    Channel,
+    Message,
+    MsgHeader,
+    make_header,
+)
+from repro.util.clock import Clock, SimClock
+from repro.util.errors import ProtocolError
+from repro.util.ids import new_id
+
+
+class Session:
+    """One signing context shared by a client or kernel endpoint."""
+
+    def __init__(
+        self,
+        key: bytes = b"",
+        *,
+        signer: Optional[Signer] = None,
+        session_id: Optional[str] = None,
+        username: str = "scientist",
+        clock: Optional[Clock] = None,
+        check_replay: bool = True,
+    ):
+        self.signer: Signer = signer if signer is not None else HMACSigner(key)
+        self.session_id = session_id or new_id()
+        self.username = username
+        self.clock = clock or SimClock()
+        self.check_replay = check_replay
+        self._seen_msg_ids: set[str] = set()
+        # Counters the overhead benchmark reads.
+        self.messages_signed = 0
+        self.messages_verified = 0
+        self.verification_failures = 0
+
+    # -- construction ---------------------------------------------------------
+    def msg(
+        self,
+        msg_type: str,
+        content: Dict | None = None,
+        *,
+        parent: Optional[Message] = None,
+        metadata: Dict | None = None,
+        buffers: Sequence[bytes] = (),
+        channel: Optional[Channel] = None,
+    ) -> Message:
+        """Build a new message in this session."""
+        header = make_header(msg_type, self.session_id, username=self.username, date=self.clock.isoformat())
+        return Message(
+            header=header,
+            parent_header=parent.header if parent else None,
+            metadata=dict(metadata or {}),
+            content=dict(content or {}),
+            buffers=list(buffers),
+            channel=channel,
+        )
+
+    # -- wire encoding ----------------------------------------------------------
+    def sign(self, msg: Message) -> bytes:
+        self.messages_signed += 1
+        return self.signer.sign(msg.json_segments())
+
+    def serialize(self, msg: Message, *, identities: Sequence[bytes] = ()) -> List[bytes]:
+        """Serialize to the multipart wire format."""
+        segments = msg.json_segments()
+        self.messages_signed += 1
+        signature = self.signer.sign(segments)
+        return [*identities, DELIMITER, signature, *segments, *msg.buffers]
+
+    def unserialize(self, parts: Sequence[bytes]) -> Message:
+        """Parse and verify a multipart message.
+
+        Raises :class:`ProtocolError` on missing delimiter, bad signature,
+        malformed JSON, or (when ``check_replay``) a repeated msg_id.
+        """
+        parts = list(parts)
+        try:
+            idx = parts.index(DELIMITER)
+        except ValueError:
+            raise ProtocolError("missing <IDS|MSG> delimiter") from None
+        after = parts[idx + 1 :]
+        if len(after) < 5:
+            raise ProtocolError(f"truncated message: {len(after)} segments after delimiter")
+        signature, header_b, parent_b, metadata_b, content_b = after[:5]
+        buffers = after[5:]
+        self.messages_verified += 1
+        if not self.signer.verify([header_b, parent_b, metadata_b, content_b], signature):
+            self.verification_failures += 1
+            raise ProtocolError("invalid HMAC signature on message")
+        try:
+            header = MsgHeader.from_dict(json.loads(header_b))
+            parent_d = json.loads(parent_b)
+            metadata = json.loads(metadata_b)
+            content = json.loads(content_b)
+        except (json.JSONDecodeError, TypeError) as e:
+            raise ProtocolError(f"malformed JSON segment: {e}") from None
+        if self.check_replay:
+            if header.msg_id in self._seen_msg_ids:
+                raise ProtocolError(f"replayed msg_id {header.msg_id}")
+            self._seen_msg_ids.add(header.msg_id)
+        return Message(
+            header=header,
+            parent_header=MsgHeader.from_dict(parent_d) if parent_d else None,
+            metadata=metadata,
+            content=content,
+            buffers=list(buffers),
+        )
+
+    # -- convenience constructors for common requests ---------------------------
+    def execute_request(self, code: str, *, silent: bool = False, store_history: bool = True) -> Message:
+        return self.msg(
+            "execute_request",
+            {
+                "code": code,
+                "silent": silent,
+                "store_history": store_history,
+                "user_expressions": {},
+                "allow_stdin": False,
+                "stop_on_error": True,
+            },
+            channel=Channel.SHELL,
+        )
+
+    def kernel_info_request(self) -> Message:
+        return self.msg("kernel_info_request", {}, channel=Channel.SHELL)
+
+    def shutdown_request(self, *, restart: bool = False) -> Message:
+        return self.msg("shutdown_request", {"restart": restart}, channel=Channel.CONTROL)
+
+    def interrupt_request(self) -> Message:
+        return self.msg("interrupt_request", {}, channel=Channel.CONTROL)

@@ -1,0 +1,21 @@
+"""Security-misconfiguration scanner (the preventive tool for the
+taxonomy's third headline avenue).
+
+Checks encode the hardening guidance the paper cites (NASA HECC secure-
+setup KB, the NVIDIA/AWS assessment extensions) against a
+:class:`~repro.server.config.ServerConfig`.  EXP-MISCFG correlates the
+scanner's score with actual exploitability measured by running the
+misconfiguration attacks against the same configs.
+"""
+
+from repro.misconfig.checks import ALL_CHECKS, CheckResult, Severity, run_checks
+from repro.misconfig.scanner import MisconfigScanner, ScanReport
+
+__all__ = [
+    "MisconfigScanner",
+    "ScanReport",
+    "CheckResult",
+    "Severity",
+    "ALL_CHECKS",
+    "run_checks",
+]

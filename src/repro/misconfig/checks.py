@@ -1,0 +1,176 @@
+"""The check catalogue.
+
+Every check is a pure function over :class:`ServerConfig` returning a
+:class:`CheckResult` (pass/fail + severity + remediation).  Severity
+weights follow CVSS bands; the scanner sums them into a risk score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional
+
+from repro.crypto.passwords import parse_hash_rounds, token_entropy_bits
+from repro.server.config import LATEST_VERSION, ServerConfig
+
+
+class Severity(str, Enum):
+    INFO = "info"
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+    CRITICAL = "critical"
+
+    @property
+    def weight(self) -> float:
+        return {"info": 0.0, "low": 1.0, "medium": 4.0, "high": 7.0, "critical": 10.0}[self.value]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    check_id: str
+    title: str
+    passed: bool
+    severity: Severity
+    finding: str = ""
+    remediation: str = ""
+
+
+def _result(check_id: str, title: str, passed: bool, severity: Severity,
+            finding: str, remediation: str) -> CheckResult:
+    return CheckResult(check_id, title, passed, severity,
+                       "" if passed else finding, "" if passed else remediation)
+
+
+# --------------------------------------------------------------------------
+# Checks (ids follow a JPT- prefix: "Jupyter hardening")
+# --------------------------------------------------------------------------
+
+
+def check_auth_enabled(cfg: ServerConfig) -> CheckResult:
+    ok = cfg.auth_enabled and not cfg.allow_unauthenticated_access
+    return _result("JPT-001", "authentication required", ok, Severity.CRITICAL,
+                   "server accepts unauthenticated requests (token and password empty "
+                   "or allow_unauthenticated_access set)",
+                   "set a strong token or password hash; never set "
+                   "allow_unauthenticated_access in production")
+
+
+def check_bind_address(cfg: ServerConfig) -> CheckResult:
+    ok = not cfg.publicly_bound
+    return _result("JPT-002", "bind address not world-facing", ok, Severity.HIGH,
+                   f"server binds {cfg.ip}, reachable from any network",
+                   "bind 127.0.0.1 behind an authenticating proxy (JupyterHub, "
+                   "OAuth proxy) or a VPN interface")
+
+
+def check_tls(cfg: ServerConfig) -> CheckResult:
+    # Plain HTTP on loopback is tolerable; anywhere else it leaks tokens.
+    ok = cfg.tls_enabled or (not cfg.publicly_bound and not cfg.allow_remote_access)
+    return _result("JPT-003", "TLS for remote access", ok, Severity.HIGH,
+                   "remote access without TLS: tokens and notebook contents "
+                   "travel plaintext (harvest-now-decrypt-later applies, §IV.B)",
+                   "provision certfile/keyfile; prefer certificates from the "
+                   "campus CA")
+
+
+def check_token_strength(cfg: ServerConfig) -> CheckResult:
+    if not cfg.token:
+        return _result("JPT-004", "token strength", True, Severity.INFO, "", "")
+    bits = token_entropy_bits(cfg.token)
+    ok = bits >= 64
+    return _result("JPT-004", "token strength", ok, Severity.HIGH,
+                   f"access token carries ~{bits:.0f} bits of entropy — guessable",
+                   "generate with `jupyter server --generate-config` / secrets.token_urlsafe")
+
+
+def check_password_rounds(cfg: ServerConfig) -> CheckResult:
+    if not cfg.password_hash:
+        return _result("JPT-005", "password hash strength", True, Severity.INFO, "", "")
+    rounds = parse_hash_rounds(cfg.password_hash)
+    ok = rounds is not None and rounds >= 10_000
+    return _result("JPT-005", "password hash strength", ok, Severity.MEDIUM,
+                   f"password hash uses {rounds} PBKDF2 rounds (or unknown format)",
+                   "re-hash with >=600k rounds (OWASP 2023 guidance)")
+
+
+def check_cors(cfg: ServerConfig) -> CheckResult:
+    ok = cfg.allow_origin != "*"
+    return _result("JPT-006", "CORS origin restriction", ok, Severity.HIGH,
+                   "Access-Control-Allow-Origin '*' lets any website script "
+                   "drive the server with the victim's cookies",
+                   "pin allow_origin to the exact frontend origin")
+
+
+def check_xsrf(cfg: ServerConfig) -> CheckResult:
+    ok = not cfg.disable_check_xsrf
+    return _result("JPT-007", "XSRF protection enabled", ok, Severity.MEDIUM,
+                   "XSRF checks disabled: cross-site requests execute state changes",
+                   "remove disable_check_xsrf")
+
+
+def check_root(cfg: ServerConfig) -> CheckResult:
+    ok = not cfg.allow_root
+    return _result("JPT-008", "not running as root", ok, Severity.HIGH,
+                   "kernels inherit uid 0; one escaped cell owns the node",
+                   "run as an unprivileged service account")
+
+
+def check_version(cfg: ServerConfig) -> CheckResult:
+    cves = cfg.known_cves()
+    ok = not cves
+    return _result("JPT-009", "no known-vulnerable version", ok, Severity.CRITICAL,
+                   f"version {cfg.version} affected by {', '.join(cves)}",
+                   f"upgrade to {LATEST_VERSION}")
+
+
+def check_message_signing(cfg: ServerConfig) -> CheckResult:
+    ok = bool(cfg.session_key)
+    return _result("JPT-010", "kernel messages signed", ok, Severity.MEDIUM,
+                   "empty Session.key: kernel-protocol messages are unsigned and "
+                   "spoofable on any on-path position",
+                   "set a random session key; consider PQ-ready schemes (§IV.B)")
+
+
+def check_rate_limiting(cfg: ServerConfig) -> CheckResult:
+    ok = cfg.rate_limit_window_seconds > 0 and cfg.rate_limit_max_requests > 0
+    return _result("JPT-011", "request rate limiting", ok, Severity.LOW,
+                   "no rate limiting: token brute force proceeds at line rate",
+                   "enable per-source rate limits at the server or proxy")
+
+
+def check_terminals(cfg: ServerConfig) -> CheckResult:
+    ok = not cfg.terminals_enabled or not cfg.publicly_bound
+    return _result("JPT-012", "terminals not exposed publicly", ok, Severity.MEDIUM,
+                   "terminal endpoint enabled on a world-reachable server — "
+                   "interactive shell one auth bypass away",
+                   "disable terminals or restrict binding")
+
+
+def check_signature_scheme(cfg: ServerConfig) -> CheckResult:
+    ok = cfg.signature_scheme in ("hmac-sha256", "hmac-sha3-256", "lamport", "wots", "merkle")
+    return _result("JPT-013", "recognised signature scheme", ok, Severity.MEDIUM,
+                   f"unknown signature scheme {cfg.signature_scheme!r}",
+                   "use hmac-sha256 or a registered PQ scheme")
+
+
+ALL_CHECKS: List[Callable[[ServerConfig], CheckResult]] = [
+    check_auth_enabled,
+    check_bind_address,
+    check_tls,
+    check_token_strength,
+    check_password_rounds,
+    check_cors,
+    check_xsrf,
+    check_root,
+    check_version,
+    check_message_signing,
+    check_rate_limiting,
+    check_terminals,
+    check_signature_scheme,
+]
+
+
+def run_checks(cfg: ServerConfig) -> List[CheckResult]:
+    return [check(cfg) for check in ALL_CHECKS]

@@ -1,0 +1,75 @@
+"""The scanner: runs the catalogue, scores risk, renders reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.misconfig.checks import CheckResult, Severity, run_checks
+from repro.server.config import ServerConfig
+from repro.taxonomy.render import render_table
+
+
+@dataclass
+class ScanReport:
+    """Results of scanning one configuration."""
+
+    server_name: str
+    results: List[CheckResult]
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [r for r in self.results if not r.passed]
+
+    @property
+    def risk_score(self) -> float:
+        """Sum of failed-check severity weights (0 = clean, 13 checks max ~80)."""
+        return sum(r.severity.weight for r in self.failures)
+
+    @property
+    def grade(self) -> str:
+        score = self.risk_score
+        if score == 0:
+            return "A"
+        if score <= 5:
+            return "B"
+        if score <= 15:
+            return "C"
+        if score <= 30:
+            return "D"
+        return "F"
+
+    def failures_by_severity(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.failures:
+            out[r.severity.value] = out.get(r.severity.value, 0) + 1
+        return out
+
+    def render(self) -> str:
+        rows = [
+            (r.check_id, r.title, "PASS" if r.passed else "FAIL",
+             r.severity.value if not r.passed else "", r.finding[:60])
+            for r in self.results
+        ]
+        header = (f"Scan report for {self.server_name}: grade {self.grade} "
+                  f"(risk score {self.risk_score:.0f})")
+        table = render_table(rows, ["check", "title", "status", "severity", "finding"])
+        remediations = [f"  - [{r.check_id}] {r.remediation}" for r in self.failures]
+        tail = "\nRemediations:\n" + "\n".join(remediations) if remediations else "\nNo findings."
+        return f"{header}\n{table}{tail}"
+
+
+class MisconfigScanner:
+    """Scan configurations; compare fleets; track deltas after hardening."""
+
+    def scan(self, config: ServerConfig) -> ScanReport:
+        return ScanReport(server_name=config.server_name, results=run_checks(config))
+
+    def scan_fleet(self, configs: List[ServerConfig]) -> List[ScanReport]:
+        return sorted((self.scan(c) for c in configs), key=lambda r: -r.risk_score)
+
+    def hardening_delta(self, config: ServerConfig) -> Dict[str, float]:
+        """Risk before/after applying the recommended hardened copy."""
+        before = self.scan(config).risk_score
+        after = self.scan(config.hardened_copy()).risk_score
+        return {"before": before, "after": after, "reduction": before - after}

@@ -1,0 +1,61 @@
+"""The Jupyter network monitoring tool (the paper's §IV.B proposal).
+
+A Zeek-shaped pipeline over the simnet tap:
+
+    segments → stream reassembly → protocol analyzers → typed logs
+             → signature engine + anomaly detectors → OSCRP-mapped notices
+
+Analyzer depth is configurable (``conn`` < ``http`` < ``websocket`` <
+``zmtp`` < ``jupyter``) so EXP-OVH can price each layer of visibility,
+reproducing the paper's "unsustainable performance overhead" concern,
+and EXP-WS can show what each successive parser unlocks.
+"""
+
+from repro.monitor.logs import (
+    ConnRecord,
+    HttpRecord,
+    JupyterMsgRecord,
+    LogStore,
+    Notice,
+    WebSocketRecord,
+    WeirdRecord,
+    ZmtpRecord,
+)
+from repro.monitor.engine import AnalyzerDepth, JupyterNetworkMonitor
+from repro.monitor.export import export_zeek_logs, records_to_tsv
+from repro.monitor.signatures import Signature, SignatureEngine
+from repro.monitor.anomaly import (
+    AnomalyDetector,
+    BeaconDetector,
+    BruteForceDetector,
+    CusumEgressDetector,
+    EgressVolumeDetector,
+    EntropyBurstDetector,
+    NewSourceDetector,
+    ScanDetector,
+)
+
+__all__ = [
+    "JupyterNetworkMonitor",
+    "AnalyzerDepth",
+    "LogStore",
+    "ConnRecord",
+    "HttpRecord",
+    "WebSocketRecord",
+    "ZmtpRecord",
+    "JupyterMsgRecord",
+    "Notice",
+    "WeirdRecord",
+    "Signature",
+    "SignatureEngine",
+    "export_zeek_logs",
+    "records_to_tsv",
+    "AnomalyDetector",
+    "EntropyBurstDetector",
+    "EgressVolumeDetector",
+    "CusumEgressDetector",
+    "BeaconDetector",
+    "BruteForceDetector",
+    "ScanDetector",
+    "NewSourceDetector",
+]

@@ -1,0 +1,310 @@
+"""Anomaly detectors: the behavioural half of the monitoring tool.
+
+Each detector consumes a narrow observation stream and emits
+:class:`~repro.monitor.logs.Notice` objects.  The suite maps one-to-one
+onto the taxonomy's observables:
+
+- :class:`EntropyBurstDetector` — ransomware (high-entropy overwrite bursts)
+- :class:`EgressVolumeDetector` — bulk exfiltration (windowed threshold)
+- :class:`CusumEgressDetector`  — low-and-slow exfiltration (CUSUM drift)
+- :class:`BeaconDetector`       — cryptominer C2 keepalives (regular timing)
+- :class:`BruteForceDetector`   — token/password guessing (auth failures)
+- :class:`ScanDetector`         — misconfiguration scans (fan-out probes)
+- :class:`NewSourceDetector`    — stolen-token use (new infrastructure)
+
+EXP-EVADE sweeps exfiltration rate against EgressVolume vs Cusum — the
+threshold detector goes blind below its rate floor while CUSUM trades
+detection delay for asymptotic certainty, reproducing the paper's
+low-and-slow evasion discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.monitor.logs import Notice
+from repro.taxonomy.oscrp import Avenue
+from repro.util.entropy import shannon_entropy
+
+
+class AnomalyDetector:
+    """Base class: collects notices, deduplicates by (name, src, dst)."""
+
+    name = "anomaly"
+
+    def __init__(self, *, renotify_interval: float = 300.0):
+        self.notices: List[Notice] = []
+        self._last_notice: Dict[Tuple[str, str, str], float] = {}
+        self.renotify_interval = renotify_interval
+
+    def _emit(self, notice: Notice) -> Optional[Notice]:
+        key = (notice.name, notice.src, notice.dst)
+        last = self._last_notice.get(key)
+        if last is not None and notice.ts - last < self.renotify_interval:
+            return None
+        self._last_notice[key] = notice.ts
+        self.notices.append(notice)
+        return notice
+
+
+class EntropyBurstDetector(AnomalyDetector):
+    """Flags a burst of high-entropy writes: the ransomware fingerprint.
+
+    Observations are (ts, path, content) write events from either plane
+    (HTTP PUT bodies on the network, file_write events from the kernel
+    auditor).  A notice fires when, within ``window`` seconds, at least
+    ``min_files`` distinct paths are overwritten with content whose
+    Shannon entropy exceeds ``entropy_floor``.
+    """
+
+    name = "entropy-burst"
+
+    def __init__(self, *, window: float = 60.0, min_files: int = 5,
+                 entropy_floor: float = 7.0, min_size: int = 64, **kw):
+        super().__init__(**kw)
+        self.window = window
+        self.min_files = min_files
+        self.entropy_floor = entropy_floor
+        self.min_size = min_size
+        self._hits: Deque[Tuple[float, str]] = deque()
+
+    def observe_write(self, ts: float, path: str, content: bytes, *, src: str = "") -> Optional[Notice]:
+        if len(content) < self.min_size or shannon_entropy(content) < self.entropy_floor:
+            return None
+        self._hits.append((ts, path))
+        cutoff = ts - self.window
+        while self._hits and self._hits[0][0] < cutoff:
+            self._hits.popleft()
+        distinct = {p for _, p in self._hits}
+        if len(distinct) >= self.min_files:
+            return self._emit(Notice(
+                ts=ts, detector=self.name, name="RANSOMWARE_ENTROPY_BURST", severity="critical",
+                src=src, avenue=Avenue.RANSOMWARE,
+                detail={"files_in_window": len(distinct), "window": self.window,
+                        "example_paths": sorted(distinct)[:5]},
+            ))
+        return None
+
+
+class EgressVolumeDetector(AnomalyDetector):
+    """Windowed outbound-volume threshold per (src, dst) pair."""
+
+    name = "egress-volume"
+
+    def __init__(self, *, window: float = 60.0, threshold_bytes: int = 1_000_000,
+                 internal_prefix: str = "10.", **kw):
+        super().__init__(**kw)
+        self.window = window
+        self.threshold_bytes = threshold_bytes
+        self.internal_prefix = internal_prefix
+        self._events: Dict[Tuple[str, str], Deque[Tuple[float, int]]] = defaultdict(deque)
+
+    def observe_bytes(self, ts: float, src: str, dst: str, nbytes: int) -> Optional[Notice]:
+        # Only internal→external transfers count as egress.
+        if not src.startswith(self.internal_prefix) or dst.startswith(self.internal_prefix):
+            return None
+        q = self._events[(src, dst)]
+        q.append((ts, nbytes))
+        cutoff = ts - self.window
+        while q and q[0][0] < cutoff:
+            q.popleft()
+        total = sum(n for _, n in q)
+        if total >= self.threshold_bytes:
+            return self._emit(Notice(
+                ts=ts, detector=self.name, name="EXFIL_VOLUME", severity="high",
+                src=src, dst=dst, avenue=Avenue.DATA_EXFILTRATION,
+                detail={"bytes_in_window": total, "window": self.window,
+                        "threshold": self.threshold_bytes},
+            ))
+        return None
+
+
+class CusumEgressDetector(AnomalyDetector):
+    """CUSUM drift detector over per-window egress byte counts.
+
+    Accumulates ``S = max(0, S + (x - baseline - slack))`` per destination;
+    alarms when S crosses ``decision_threshold``.  Catches rate-shaped
+    exfiltration the plain threshold misses — at the cost of delay
+    proportional to how far the trickle sits above baseline.
+    """
+
+    name = "cusum-egress"
+
+    def __init__(self, *, bucket_seconds: float = 10.0, baseline_bytes: float = 2_000.0,
+                 slack_bytes: float = 2_000.0, decision_threshold: float = 100_000.0,
+                 internal_prefix: str = "10.", **kw):
+        super().__init__(**kw)
+        self.bucket_seconds = bucket_seconds
+        self.baseline = baseline_bytes
+        self.slack = slack_bytes
+        self.h = decision_threshold
+        self.internal_prefix = internal_prefix
+        self._buckets: Dict[Tuple[str, str], Tuple[int, float]] = {}  # key -> (bucket_idx, sum)
+        self._cusum: Dict[Tuple[str, str], float] = defaultdict(float)
+
+    def observe_bytes(self, ts: float, src: str, dst: str, nbytes: int) -> Optional[Notice]:
+        if not src.startswith(self.internal_prefix) or dst.startswith(self.internal_prefix):
+            return None
+        key = (src, dst)
+        idx = int(ts // self.bucket_seconds)
+        prev_idx, acc = self._buckets.get(key, (idx, 0.0))
+        if idx == prev_idx:
+            self._buckets[key] = (idx, acc + nbytes)
+            return None
+        # Close out all buckets between prev_idx and idx (empty ones decay S).
+        notice = None
+        for b in range(prev_idx, idx):
+            x = acc if b == prev_idx else 0.0
+            s = max(0.0, self._cusum[key] + (x - self.baseline - self.slack))
+            self._cusum[key] = s
+            if s >= self.h:
+                notice = self._emit(Notice(
+                    ts=ts, detector=self.name, name="EXFIL_CUSUM_DRIFT", severity="high",
+                    src=src, dst=dst, avenue=Avenue.DATA_EXFILTRATION,
+                    detail={"cusum": s, "threshold": self.h,
+                            "bucket_seconds": self.bucket_seconds},
+                ))
+                self._cusum[key] = 0.0
+        self._buckets[key] = (idx, float(nbytes))
+        return notice
+
+
+class BeaconDetector(AnomalyDetector):
+    """Regular-interval outbound messages: C2/stratum keepalive timing.
+
+    Computes the coefficient of variation of inter-arrival times over the
+    last ``min_events`` small outbound sends per (src, dst); CV below
+    ``cv_threshold`` with a mean period in the plausible beacon band
+    fires a notice.  Benign interactive traffic is bursty (CV ≈ 1).
+    """
+
+    name = "beacon"
+
+    def __init__(self, *, min_events: int = 8, cv_threshold: float = 0.25,
+                 min_period: float = 1.0, max_period: float = 600.0,
+                 max_payload: int = 4096, internal_prefix: str = "10.", **kw):
+        super().__init__(**kw)
+        self.min_events = min_events
+        self.cv_threshold = cv_threshold
+        self.min_period = min_period
+        self.max_period = max_period
+        self.max_payload = max_payload
+        self.internal_prefix = internal_prefix
+        self._times: Dict[Tuple[str, str], Deque[float]] = defaultdict(
+            lambda: deque(maxlen=max(self.min_events + 1, 16)))
+
+    def observe_send(self, ts: float, src: str, dst: str, nbytes: int) -> Optional[Notice]:
+        if nbytes > self.max_payload or nbytes == 0:
+            return None
+        if not src.startswith(self.internal_prefix) or dst.startswith(self.internal_prefix):
+            return None
+        q = self._times[(src, dst)]
+        q.append(ts)
+        if len(q) <= self.min_events:
+            return None
+        gaps = [b - a for a, b in zip(list(q), list(q)[1:]) if b > a]
+        if len(gaps) < self.min_events - 1:
+            return None
+        mean = sum(gaps) / len(gaps)
+        if not (self.min_period <= mean <= self.max_period):
+            return None
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        cv = math.sqrt(var) / mean if mean > 0 else float("inf")
+        if cv <= self.cv_threshold:
+            return self._emit(Notice(
+                ts=ts, detector=self.name, name="MINER_BEACON", severity="high",
+                src=src, dst=dst, avenue=Avenue.CRYPTOMINING,
+                detail={"mean_period": round(mean, 3), "cv": round(cv, 4),
+                        "events": len(q)},
+            ))
+        return None
+
+
+class BruteForceDetector(AnomalyDetector):
+    """Auth-failure counting with a sliding window per source."""
+
+    name = "brute-force"
+
+    def __init__(self, *, window: float = 120.0, max_failures: int = 10, **kw):
+        super().__init__(**kw)
+        self.window = window
+        self.max_failures = max_failures
+        self._failures: Dict[str, Deque[float]] = defaultdict(deque)
+
+    def observe_auth(self, ts: float, src: str, ok: bool) -> Optional[Notice]:
+        if ok:
+            return None
+        q = self._failures[src]
+        q.append(ts)
+        cutoff = ts - self.window
+        while q and q[0] < cutoff:
+            q.popleft()
+        if len(q) >= self.max_failures:
+            return self._emit(Notice(
+                ts=ts, detector=self.name, name="AUTH_BRUTEFORCE", severity="high",
+                src=src, avenue=Avenue.ACCOUNT_TAKEOVER,
+                detail={"failures_in_window": len(q), "window": self.window},
+            ))
+        return None
+
+
+class ScanDetector(AnomalyDetector):
+    """Fan-out probing: distinct (dst, port) touched per source."""
+
+    name = "scan"
+
+    def __init__(self, *, window: float = 60.0, max_targets: int = 10, **kw):
+        super().__init__(**kw)
+        self.window = window
+        self.max_targets = max_targets
+        self._probes: Dict[str, Deque[Tuple[float, Tuple[str, int]]]] = defaultdict(deque)
+
+    def observe_probe(self, ts: float, src: str, dst: str, dport: int) -> Optional[Notice]:
+        q = self._probes[src]
+        q.append((ts, (dst, dport)))
+        cutoff = ts - self.window
+        while q and q[0][0] < cutoff:
+            q.popleft()
+        targets = {t for _, t in q}
+        if len(targets) >= self.max_targets:
+            return self._emit(Notice(
+                ts=ts, detector=self.name, name="PORT_SCAN", severity="medium",
+                src=src, avenue=Avenue.MISCONFIGURATION,
+                detail={"distinct_targets": len(targets), "window": self.window},
+            ))
+        return None
+
+
+class NewSourceDetector(AnomalyDetector):
+    """Successful authentication from infrastructure never seen before.
+
+    Takes a learning period during which sources are baselined silently;
+    afterwards, a *successful* auth from a new source raises a
+    stolen-credential notice (medium severity — it may be a new laptop,
+    but for HPC gateways the paper's incident history says investigate).
+    """
+
+    name = "new-source"
+
+    def __init__(self, *, learning_until: float = 3600.0, **kw):
+        super().__init__(**kw)
+        self.learning_until = learning_until
+        self._known: Set[str] = set()
+
+    def observe_auth(self, ts: float, src: str, ok: bool) -> Optional[Notice]:
+        if not ok or not src:
+            return None
+        if ts <= self.learning_until:
+            self._known.add(src)
+            return None
+        if src in self._known:
+            return None
+        self._known.add(src)
+        return self._emit(Notice(
+            ts=ts, detector=self.name, name="NEW_SOURCE_LOGIN", severity="medium",
+            src=src, avenue=Avenue.ACCOUNT_TAKEOVER,
+            detail={"first_seen": ts},
+        ))

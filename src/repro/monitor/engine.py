@@ -1,0 +1,434 @@
+"""The monitor engine: reassembly, protocol analyzers, detector fan-out.
+
+One :class:`JupyterNetworkMonitor` subscribes to a simnet tap.  Per
+connection and direction it keeps an analyzer state machine:
+
+    unknown → http  (request line seen)          → websocket (101 upgrade)
+            → zmtp  (ZMTP signature seen)
+
+Each decoded layer appends to the :class:`~repro.monitor.logs.LogStore`
+and feeds the signature engine and anomaly detectors.  The engine also
+keeps a *processing budget*: a configurable events/sec ceiling that,
+when exceeded (monitor-DoS), forces segment drops — the integrity-of-
+the-monitor failure mode the paper's §IV.A warns about.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional, Tuple
+
+from repro.monitor.anomaly import (
+    BeaconDetector,
+    BruteForceDetector,
+    CusumEgressDetector,
+    EgressVolumeDetector,
+    EntropyBurstDetector,
+    NewSourceDetector,
+    ScanDetector,
+)
+from repro.monitor.logs import (
+    ConnRecord,
+    HttpRecord,
+    JupyterMsgRecord,
+    LogStore,
+    Notice,
+    WebSocketRecord,
+    WeirdRecord,
+    ZmtpRecord,
+)
+from repro.monitor.signatures import SignatureEngine
+from repro.simnet import NetworkTap, Segment
+from repro.taxonomy.oscrp import Avenue
+from repro.util.entropy import shannon_entropy
+from repro.util.errors import ProtocolError
+from repro.wire.http import parse_request, parse_response
+from repro.wire.websocket import Opcode, WebSocketDecoder
+from repro.wire.zmtp import SIGNATURE_PREFIX, ZmtpDecoder
+
+
+class AnalyzerDepth(IntEnum):
+    """How deep the monitor parses.  Each level includes the previous."""
+
+    CONN = 0       # five-tuples and byte counts only
+    HTTP = 1       # + HTTP transactions
+    WEBSOCKET = 2  # + WebSocket frames/messages
+    ZMTP = 3       # + ZeroMQ framing on kernel ports
+    JUPYTER = 4    # + Jupyter message semantics (both framings)
+
+
+class _DirState:
+    """Analyzer state for one direction of one connection."""
+
+    __slots__ = ("buffer", "protocol", "ws_decoder", "zmtp_decoder", "http_requests")
+
+    def __init__(self) -> None:
+        self.buffer = b""
+        self.protocol = "unknown"
+        self.ws_decoder: Optional[WebSocketDecoder] = None
+        self.zmtp_decoder: Optional[ZmtpDecoder] = None
+        self.http_requests: List[Tuple[str, str]] = []  # (method, path) pending responses
+
+
+_HTTP_METHODS = (b"GET ", b"POST", b"PUT ", b"DELE", b"PATC", b"HEAD", b"OPTI")
+
+
+@dataclass
+class MonitorHealth:
+    """Self-metrics (the DoS-resilience experiment reads these)."""
+
+    segments_seen: int = 0
+    segments_dropped: int = 0
+    bytes_seen: int = 0
+    parse_errors: int = 0
+
+    @property
+    def drop_rate(self) -> float:
+        return self.segments_dropped / self.segments_seen if self.segments_seen else 0.0
+
+
+class JupyterNetworkMonitor:
+    """The paper's proposed network monitoring tool."""
+
+    def __init__(
+        self,
+        *,
+        depth: AnalyzerDepth = AnalyzerDepth.JUPYTER,
+        signatures: Optional[SignatureEngine] = None,
+        session_key: bytes = b"",
+        budget_events_per_second: float = 0.0,  # 0 = unlimited
+        internal_prefix: str = "10.",
+        output_size_threshold: int = 16_384,
+    ):
+        self.output_size_threshold = output_size_threshold
+        self.depth = depth
+        self.logs = LogStore()
+        self.signatures = signatures or SignatureEngine()
+        self.session_key = session_key
+        self.health = MonitorHealth()
+        self.budget = budget_events_per_second
+        self.internal_prefix = internal_prefix
+        self._budget_bucket: Tuple[int, int] = (0, 0)  # (second, events)
+        self._conns: Dict[str, ConnRecord] = {}
+        self._dirstate: Dict[Tuple[str, str], _DirState] = {}
+        # Detector suite.
+        self.entropy = EntropyBurstDetector()
+        self.egress = EgressVolumeDetector(internal_prefix=internal_prefix)
+        self.cusum = CusumEgressDetector(internal_prefix=internal_prefix)
+        self.beacon = BeaconDetector(internal_prefix=internal_prefix)
+        self.bruteforce = BruteForceDetector()
+        self.scan = ScanDetector()
+        self.newsource = NewSourceDetector()
+        self.detectors = [self.entropy, self.egress, self.cusum, self.beacon,
+                          self.bruteforce, self.scan, self.newsource]
+
+    # -- wiring ---------------------------------------------------------------------
+    def attach(self, tap: NetworkTap) -> None:
+        tap.subscribe(self.on_segment)
+
+    def _note(self, notice: Optional[Notice]) -> None:
+        if notice is not None:
+            self.logs.notices.append(notice)
+
+    # -- budget (DoS) ------------------------------------------------------------------
+    def _over_budget(self, ts: float) -> bool:
+        if self.budget <= 0:
+            return False
+        second = int(ts)
+        sec, count = self._budget_bucket
+        if second != sec:
+            self._budget_bucket = (second, 1)
+            return False
+        self._budget_bucket = (second, count + 1)
+        return count + 1 > self.budget
+
+    # -- segment intake ----------------------------------------------------------------
+    def on_segment(self, seg: Segment) -> None:
+        self.health.segments_seen += 1
+        self.health.bytes_seen += seg.size
+        if self._over_budget(seg.ts):
+            self.health.segments_dropped += 1
+            return
+        conn = self._conns.get(seg.conn_id or f"{seg.src}:{seg.sport}->{seg.dst}:{seg.dport}")
+        key = seg.conn_id or f"{seg.src}:{seg.sport}->{seg.dst}:{seg.dport}"
+        if conn is None:
+            conn = ConnRecord(seg.ts, key, seg.src, seg.sport, seg.dst, seg.dport)
+            self._conns[key] = conn
+            self.logs.conn.append(conn)
+        if seg.flags == "R":
+            # The reset direction of a refused probe; the SYN already fed
+            # the scan detector, so just mark the conn rejected.
+            conn.service = conn.service or "rejected"
+            return
+        if seg.flags == "S":
+            self._note(self.scan.observe_probe(seg.ts, seg.src, seg.dst, seg.dport))
+            return
+        if seg.flags == "F":
+            conn.closed = True
+            conn.duration = seg.ts - conn.ts
+            return
+        origin_to_responder = seg.src == conn.src and seg.sport == conn.sport
+        if origin_to_responder:
+            conn.bytes_orig += seg.size
+        else:
+            conn.bytes_resp += seg.size
+        # Egress accounting happens at the segment level: every outbound
+        # byte counts, regardless of protocol.
+        self._note(self.egress.observe_bytes(seg.ts, seg.src, seg.dst, seg.size))
+        self._note(self.cusum.observe_bytes(seg.ts, seg.src, seg.dst, seg.size))
+        self._note(self.beacon.observe_send(seg.ts, seg.src, seg.dst, seg.size))
+        if self.depth >= AnalyzerDepth.HTTP and seg.payload:
+            self._analyze(seg, conn, origin_to_responder)
+
+    # -- protocol analysis ----------------------------------------------------------------
+    def _dir(self, conn: ConnRecord, orig: bool) -> _DirState:
+        key = (conn.uid, "orig" if orig else "resp")
+        state = self._dirstate.get(key)
+        if state is None:
+            state = _DirState()
+            self._dirstate[key] = state
+        return state
+
+    def _analyze(self, seg: Segment, conn: ConnRecord, orig: bool) -> None:
+        state = self._dir(conn, orig)
+        state.buffer += seg.payload
+        if state.protocol == "unknown":
+            self._sniff(state, conn)
+        try:
+            if state.protocol == "http":
+                self._analyze_http(seg, conn, orig, state)
+            elif state.protocol == "websocket" and self.depth >= AnalyzerDepth.WEBSOCKET:
+                self._analyze_websocket(seg, conn, orig, state)
+            elif state.protocol == "zmtp" and self.depth >= AnalyzerDepth.ZMTP:
+                self._analyze_zmtp(seg, conn, orig, state)
+        except ProtocolError as e:
+            self.health.parse_errors += 1
+            self.logs.weird.append(WeirdRecord(seg.ts, conn.uid, "parse_error", str(e)))
+            state.protocol = "broken"
+            state.buffer = b""
+
+    def _sniff(self, state: _DirState, conn: ConnRecord) -> None:
+        buf = state.buffer
+        if len(buf) < 4:
+            return
+        if buf[:4] in _HTTP_METHODS or buf.startswith(b"HTTP/"):
+            state.protocol = "http"
+            conn.service = conn.service or "http"
+        elif buf.startswith(SIGNATURE_PREFIX[:4]):
+            state.protocol = "zmtp"
+            state.zmtp_decoder = ZmtpDecoder()
+            conn.service = "zmtp"
+        else:
+            state.protocol = "opaque"
+
+    def _analyze_http(self, seg: Segment, conn: ConnRecord, orig: bool, state: _DirState) -> None:
+        while True:
+            if orig:
+                req, rest = parse_request(state.buffer)
+                if req is None:
+                    return
+                state.buffer = rest
+                rec = HttpRecord(
+                    ts=seg.ts, uid=conn.uid, src=conn.src, dst=conn.dst,
+                    method=req.method, path=req.path,
+                    request_bytes=len(req.body),
+                    has_auth=bool(req.header("authorization")),
+                    user_agent=req.header("user-agent"),
+                )
+                self.logs.http.append(rec)
+                for n in self.signatures.scan_http(rec, req.body.decode("latin-1")):
+                    self.logs.notices.append(n)
+                # Network-plane ransomware signal: high-entropy PUT bodies.
+                if req.method in ("PUT", "POST") and req.body:
+                    content = req.body
+                    if req.path.startswith("/api/contents"):
+                        content = self._extract_content_bytes(req.body)
+                    self._note(self.entropy.observe_write(seg.ts, req.path, content, src=conn.src))
+                if req.is_websocket_upgrade():
+                    state.http_requests.append(("UPGRADE", req.path))
+                else:
+                    state.http_requests.append((req.method, req.path))
+            else:
+                resp, rest = parse_response(state.buffer)
+                if resp is None:
+                    return
+                state.buffer = rest
+                peer = self._dir(conn, True)
+                method, path = peer.http_requests.pop(0) if peer.http_requests else ("", "")
+                for rec in reversed(self.logs.http):
+                    if rec.uid == conn.uid and rec.status == 0 and rec.path == path:
+                        rec.status = resp.status
+                        rec.response_bytes = len(resp.body)
+                        break
+                # Auth outcome signals (brute force / stolen token).
+                if path.startswith("/api") and resp.status in (200, 201, 204, 403, 101):
+                    ok = resp.status != 403
+                    self._note(self.bruteforce.observe_auth(seg.ts, conn.src, ok))
+                    self._note(self.newsource.observe_auth(seg.ts, conn.src, ok))
+                if resp.status == 101:
+                    if method == "UPGRADE":
+                        conn.service = "websocket"
+                        # Both directions switch to WS framing.
+                        for d in (True, False):
+                            s = self._dir(conn, d)
+                            s.protocol = "websocket"
+                            s.ws_decoder = WebSocketDecoder()
+                        state.buffer, leftover = b"", state.buffer
+                        if leftover and self.depth >= AnalyzerDepth.WEBSOCKET:
+                            self._dir(conn, orig).buffer = b""
+                            self._feed_ws(seg, conn, orig, leftover)
+                    return
+
+    @staticmethod
+    def _extract_content_bytes(body: bytes) -> bytes:
+        """Pull the 'content' field out of a contents-API JSON body."""
+        try:
+            model = json.loads(body)
+            content = model.get("content", "")
+            if isinstance(content, str):
+                if model.get("format") == "base64":
+                    import base64
+
+                    return base64.b64decode(content)
+                return content.encode("utf-8", "replace")
+            return json.dumps(content).encode()
+        except (json.JSONDecodeError, ValueError, AttributeError):
+            return body
+
+    def _analyze_websocket(self, seg: Segment, conn: ConnRecord, orig: bool, state: _DirState) -> None:
+        data, state.buffer = state.buffer, b""
+        self._feed_ws(seg, conn, orig, data)
+
+    def _feed_ws(self, seg: Segment, conn: ConnRecord, orig: bool, data: bytes) -> None:
+        state = self._dir(conn, orig)
+        if state.ws_decoder is None:
+            state.ws_decoder = WebSocketDecoder()
+        state.ws_decoder.feed(data)
+        src = conn.src if orig else conn.dst
+        dst = conn.dst if orig else conn.src
+        for opcode, payload in state.ws_decoder.messages():
+            self.logs.websocket.append(WebSocketRecord(
+                ts=seg.ts, uid=conn.uid, src=src, dst=dst,
+                opcode=opcode.name.lower(), payload_bytes=len(payload),
+                masked=orig, entropy=round(shannon_entropy(payload), 3),
+            ))
+            if self.depth >= AnalyzerDepth.JUPYTER and opcode in (Opcode.TEXT, Opcode.BINARY):
+                self._analyze_jupyter_ws(seg.ts, conn, src, dst, payload)
+
+    def _analyze_jupyter_ws(self, ts: float, conn: ConnRecord, src: str, dst: str, payload: bytes) -> None:
+        try:
+            d = json.loads(payload)
+            header = d.get("header", {})
+        except (json.JSONDecodeError, AttributeError):
+            self.logs.weird.append(WeirdRecord(ts, conn.uid, "ws_not_jupyter", ""))
+            return
+        if not isinstance(header, dict) or "msg_type" not in header:
+            self.logs.weird.append(WeirdRecord(ts, conn.uid, "ws_not_jupyter", ""))
+            return
+        content = d.get("content", {}) if isinstance(d.get("content"), dict) else {}
+        code = str(content.get("code", ""))
+        output_size = 0
+        if header.get("msg_type") in ("execute_result", "display_data", "stream"):
+            output_size = len(json.dumps(content))
+        rec = JupyterMsgRecord(
+            ts=ts, uid=conn.uid, src=src, dst=dst,
+            channel=str(d.get("channel", "")), msg_type=str(header.get("msg_type", "")),
+            session=str(header.get("session", "")), username=str(header.get("username", "")),
+            code_size=len(code), output_size=output_size, code=code,
+        )
+        self.logs.jupyter.append(rec)
+        self._check_output_size(rec)
+        for n in self.signatures.scan_jupyter(rec):
+            self.logs.notices.append(n)
+
+    def _check_output_size(self, rec: JupyterMsgRecord) -> None:
+        """Output-channel smuggling: data exfiltrated *through iopub* never
+        touches an attacker socket, so volume detectors are blind — but a
+        single text output larger than any plausible repr is the tell."""
+        if rec.output_size > self.output_size_threshold:
+            self.logs.notices.append(Notice(
+                ts=rec.ts, detector="jupyter-layer", name="OVERSIZED_OUTPUT",
+                severity="high", src=rec.src, dst=rec.dst,
+                avenue=Avenue.DATA_EXFILTRATION,
+                detail={"output_size": rec.output_size, "msg_type": rec.msg_type,
+                        "threshold": self.output_size_threshold},
+            ))
+
+    def _analyze_zmtp(self, seg: Segment, conn: ConnRecord, orig: bool, state: _DirState) -> None:
+        data, state.buffer = state.buffer, b""
+        assert state.zmtp_decoder is not None
+        state.zmtp_decoder.feed(data)
+        src = conn.src if orig else conn.dst
+        dst = conn.dst if orig else conn.src
+        mechanism = (state.zmtp_decoder.greeting or {}).get("mechanism", "")
+        for parts in state.zmtp_decoder.messages():
+            self.logs.zmtp.append(ZmtpRecord(
+                ts=seg.ts, uid=conn.uid, src=src, dst=dst,
+                parts=len(parts), payload_bytes=sum(len(p) for p in parts),
+                mechanism=mechanism,
+            ))
+            if self.depth >= AnalyzerDepth.JUPYTER:
+                self._analyze_jupyter_zmtp(seg.ts, conn, src, dst, parts)
+
+    def _analyze_jupyter_zmtp(self, ts: float, conn: ConnRecord, src: str, dst: str,
+                              parts: List[bytes]) -> None:
+        try:
+            idx = parts.index(b"<IDS|MSG>")
+        except ValueError:
+            return
+        after = parts[idx + 1:]
+        if len(after) < 5:
+            return
+        signature, header_b, _parent, _md, content_b = after[:5]
+        try:
+            header = json.loads(header_b)
+            content = json.loads(content_b)
+        except json.JSONDecodeError:
+            self.logs.weird.append(WeirdRecord(ts, conn.uid, "zmtp_bad_jupyter_json", ""))
+            return
+        sig_ok: Optional[bool] = None
+        if self.session_key:
+            from repro.crypto.signing import HMACSigner
+
+            sig_ok = HMACSigner(self.session_key).verify(after[1:5], signature)
+            if not sig_ok:
+                self.logs.notices.append(Notice(
+                    ts=ts, detector="integrity", name="BAD_MESSAGE_SIGNATURE", severity="high",
+                    src=src, dst=dst, avenue=None,
+                    detail={"msg_type": header.get("msg_type", "")},
+                ))
+        code = str(content.get("code", "")) if isinstance(content, dict) else ""
+        rec = JupyterMsgRecord(
+            ts=ts, uid=conn.uid, src=src, dst=dst,
+            channel="zmtp", msg_type=str(header.get("msg_type", "")),
+            session=str(header.get("session", "")), username=str(header.get("username", "")),
+            code_size=len(code), output_size=0, code=code, signature_ok=sig_ok,
+        )
+        self.logs.jupyter.append(rec)
+        for n in self.signatures.scan_jupyter(rec):
+            self.logs.notices.append(n)
+
+    # -- external observation feeds (audit plane, server logs) ---------------------------
+    def observe_file_write(self, ts: float, path: str, content: bytes, *, src: str = "kernel") -> None:
+        """Kernel-auditor integration: file writes feed the entropy detector."""
+        self._note(self.entropy.observe_write(ts, path, content, src=src))
+
+    def observe_terminal(self, ts: float, src: str, command: str) -> None:
+        for n in self.signatures.scan_terminal(ts, src, command):
+            self.logs.notices.append(n)
+
+    # -- reporting ----------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        return {
+            "depth": self.depth.name,
+            "health": {
+                "segments": self.health.segments_seen,
+                "dropped": self.health.segments_dropped,
+                "bytes": self.health.bytes_seen,
+                "parse_errors": self.health.parse_errors,
+            },
+            "logs": self.logs.counts(),
+            "notices": sorted({n.name for n in self.logs.notices}),
+        }

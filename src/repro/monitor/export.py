@@ -1,0 +1,91 @@
+"""Zeek-compatible TSV export of monitor logs.
+
+Sites that already operate Zeek pipelines ingest tab-separated logs with
+``#fields``/``#types`` headers; exporting our log families in that shape
+lets the monitor's output flow into existing SIEM tooling unchanged —
+the integration path the paper's related-work section implies when it
+tracks Zeek's WebSocket analyzer PRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dc_fields
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.monitor.logs import LogStore
+
+_SEPARATOR = "\t"
+_EMPTY = "-"
+
+
+def _render_value(value: Any) -> str:
+    if value is None or value == "":
+        return _EMPTY
+    if isinstance(value, bool):
+        return "T" if value else "F"
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    if isinstance(value, dict):
+        import json
+
+        return json.dumps(value, sort_keys=True, default=str)
+    text = str(value)
+    return text.replace(_SEPARATOR, " ").replace("\n", " ") or _EMPTY
+
+
+def _zeek_type(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "count"
+    if isinstance(value, float):
+        return "double"
+    return "string"
+
+
+def records_to_tsv(records: Sequence[Any], *, path_name: str) -> str:
+    """Render a list of dataclass records as one Zeek-style TSV log."""
+    lines = [
+        "#separator \\x09",
+        f"#empty_field {_EMPTY}",
+        f"#path {path_name}",
+    ]
+    if not records:
+        lines.append("#fields")
+        return "\n".join(lines) + "\n"
+    first = records[0]
+    names = [f.name for f in dc_fields(first)]
+    values0 = [getattr(first, n) for n in names]
+    lines.append("#fields" + _SEPARATOR + _SEPARATOR.join(names))
+    lines.append("#types" + _SEPARATOR + _SEPARATOR.join(_zeek_type(v) for v in values0))
+    for rec in records:
+        lines.append(_SEPARATOR.join(_render_value(getattr(rec, n)) for n in names))
+    return "\n".join(lines) + "\n"
+
+
+def export_zeek_logs(store: LogStore) -> Dict[str, str]:
+    """All log families as named TSV documents (conn.log, http.log, ...)."""
+    return {
+        "conn.log": records_to_tsv(store.conn, path_name="conn"),
+        "http.log": records_to_tsv(store.http, path_name="http"),
+        "websocket.log": records_to_tsv(store.websocket, path_name="websocket"),
+        "zmtp.log": records_to_tsv(store.zmtp, path_name="zmtp"),
+        "jupyter.log": records_to_tsv(store.jupyter, path_name="jupyter"),
+        "notice.log": records_to_tsv(store.notices, path_name="notice"),
+        "weird.log": records_to_tsv(store.weird, path_name="weird"),
+    }
+
+
+def parse_tsv(text: str) -> List[Dict[str, str]]:
+    """Parse a TSV log back into dict rows (round-trip/testing aid)."""
+    names: List[str] = []
+    rows: List[Dict[str, str]] = []
+    for line in text.splitlines():
+        if line.startswith("#fields"):
+            names = line.split(_SEPARATOR)[1:]
+        elif line.startswith("#"):
+            continue
+        elif line.strip():
+            values = line.split(_SEPARATOR)
+            rows.append(dict(zip(names, values)))
+    return rows

@@ -1,0 +1,148 @@
+"""Typed log records mirroring Zeek's log families.
+
+``conn.log`` → :class:`ConnRecord`, ``http.log`` → :class:`HttpRecord`,
+the WebSocket log Zeek PR #3555 introduces → :class:`WebSocketRecord`,
+plus two families Zeek lacks and the paper argues for: a ZMTP log and a
+Jupyter-message log.  ``notice.log`` and ``weird.log`` keep their Zeek
+names.  The :class:`LogStore` is what the dataset exporter serializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.taxonomy.oscrp import Avenue
+
+
+@dataclass
+class ConnRecord:
+    """One TCP connection (conn.log)."""
+
+    ts: float
+    uid: str
+    src: str
+    sport: int
+    dst: str
+    dport: int
+    service: str = ""  # http | websocket | zmtp | unknown
+    bytes_orig: int = 0
+    bytes_resp: int = 0
+    closed: bool = False
+    duration: float = 0.0
+
+
+@dataclass
+class HttpRecord:
+    """One HTTP transaction (http.log)."""
+
+    ts: float
+    uid: str
+    src: str
+    dst: str
+    method: str
+    path: str
+    status: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    has_auth: bool = False
+    user_agent: str = ""
+
+
+@dataclass
+class WebSocketRecord:
+    """One WebSocket message (websocket.log, à la Zeek PR #3555)."""
+
+    ts: float
+    uid: str
+    src: str
+    dst: str
+    opcode: str
+    payload_bytes: int
+    masked: bool
+    entropy: float = 0.0
+
+
+@dataclass
+class ZmtpRecord:
+    """One ZMTP multipart message (the analyzer Zeek lacks)."""
+
+    ts: float
+    uid: str
+    src: str
+    dst: str
+    parts: int
+    payload_bytes: int
+    mechanism: str = ""
+
+
+@dataclass
+class JupyterMsgRecord:
+    """One Jupyter-protocol message, from either WS or ZMTP framing."""
+
+    ts: float
+    uid: str
+    src: str
+    dst: str
+    channel: str
+    msg_type: str
+    session: str = ""
+    username: str = ""
+    code_size: int = 0
+    output_size: int = 0
+    code: str = ""  # retained for signature matching; anonymizer may drop
+    signature_ok: Optional[bool] = None
+
+
+@dataclass
+class WeirdRecord:
+    """Protocol anomalies the analyzers could not interpret (weird.log)."""
+
+    ts: float
+    uid: str
+    name: str
+    detail: str = ""
+
+
+@dataclass
+class Notice:
+    """An actionable security notice (notice.log), OSCRP-tagged."""
+
+    ts: float
+    detector: str
+    name: str
+    severity: str  # "low" | "medium" | "high" | "critical"
+    src: str = ""
+    dst: str = ""
+    avenue: Optional[Avenue] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class LogStore:
+    """All log families for one monitor instance."""
+
+    def __init__(self) -> None:
+        self.conn: List[ConnRecord] = []
+        self.http: List[HttpRecord] = []
+        self.websocket: List[WebSocketRecord] = []
+        self.zmtp: List[ZmtpRecord] = []
+        self.jupyter: List[JupyterMsgRecord] = []
+        self.weird: List[WeirdRecord] = []
+        self.notices: List[Notice] = []
+
+    def notice_names(self) -> List[str]:
+        return [n.name for n in self.notices]
+
+    def notices_for(self, avenue: Avenue) -> List[Notice]:
+        return [n for n in self.notices if n.avenue == avenue]
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "conn": len(self.conn),
+            "http": len(self.http),
+            "websocket": len(self.websocket),
+            "zmtp": len(self.zmtp),
+            "jupyter": len(self.jupyter),
+            "weird": len(self.weird),
+            "notices": len(self.notices),
+        }

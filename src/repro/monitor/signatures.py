@@ -1,0 +1,126 @@
+"""Signature engine: content rules over decoded protocol events.
+
+The rule shape follows Zeek signatures / Suricata content matches: a
+byte-regex over a specific field of a specific log family, with OSCRP
+metadata.  Honeypots *harvest* signatures from observed attacks (see
+:mod:`repro.honeypot.harvest`) and ship them here via threat-intel
+indicators — the workflow the paper proposes for staying ahead of
+attackers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Pattern
+
+from repro.monitor.logs import HttpRecord, JupyterMsgRecord, Notice
+from repro.taxonomy.oscrp import Avenue
+
+
+@dataclass
+class Signature:
+    """One content rule."""
+
+    sig_id: str
+    description: str
+    family: str               # "jupyter-code" | "http-path" | "http-body" | "terminal"
+    pattern: str               # regex source
+    severity: str = "high"
+    avenue: Optional[Avenue] = None
+    source: str = "builtin"   # "builtin" | "honeypot:<name>" | "intel"
+    _compiled: Optional[Pattern[str]] = field(default=None, repr=False, compare=False)
+
+    def compiled(self) -> Pattern[str]:
+        if self._compiled is None:
+            object.__setattr__(self, "_compiled", re.compile(self.pattern, re.IGNORECASE | re.DOTALL))
+        return self._compiled
+
+    def matches(self, text: str) -> bool:
+        return bool(self.compiled().search(text))
+
+
+#: Rules a deployment starts with — modelled on real Jupyter-abuse IoCs.
+BUILTIN_SIGNATURES: List[Signature] = [
+    Signature("SIG-MINER-POOL", "Stratum mining pool handshake in cell code",
+              "jupyter-code", r"stratum\+tcp://|mining\.subscribe|minexmr|xmrig",
+              avenue=Avenue.CRYPTOMINING),
+    Signature("SIG-RANSOM-NOTE", "Ransom note vocabulary in cell code",
+              "jupyter-code", r"(files (are|have been) encrypted|bitcoin|decryption key|pay.{0,20}ransom)",
+              avenue=Avenue.RANSOMWARE),
+    Signature("SIG-REVSHELL", "Reverse shell one-liner",
+              "jupyter-code", r"(/dev/tcp/|nc -e|bash -i >&|socket\.socket\(\).{0,80}subprocess)",
+              avenue=Avenue.ZERO_DAY),
+    Signature("SIG-CRED-HARVEST", "Credential file access from cell code",
+              "jupyter-code", r"(\.ssh/id_rsa|\.aws/credentials|JUPYTER_TOKEN|/etc/passwd)",
+              avenue=Avenue.ACCOUNT_TAKEOVER),
+    Signature("SIG-PIPE-SH", "Download-and-execute staging",
+              "terminal", r"(curl|wget).{0,120}\|\s*(ba)?sh",
+              avenue=Avenue.ZERO_DAY),
+    Signature("SIG-LSP-TRAVERSAL", "jupyter-lsp path traversal probe (CVE-2024-22415)",
+              "http-path", r"/lsp/.*\.\./",
+              avenue=Avenue.ZERO_DAY),
+    Signature("SIG-API-SCAN", "Scanner fingerprinting the /api endpoint",
+              "http-path", r"^/api/?$",
+              severity="low", avenue=Avenue.MISCONFIGURATION),
+]
+
+
+class SignatureEngine:
+    """Evaluates rules against decoded records and emits notices."""
+
+    def __init__(self, signatures: Optional[List[Signature]] = None):
+        self.signatures: List[Signature] = list(signatures if signatures is not None else BUILTIN_SIGNATURES)
+        self.match_count: Dict[str, int] = {}
+
+    def add(self, signature: Signature) -> None:
+        """Install a rule (threat-intel ingestion path). Id-dedups."""
+        if not any(s.sig_id == signature.sig_id for s in self.signatures):
+            self.signatures.append(signature)
+
+    def ids(self) -> List[str]:
+        return [s.sig_id for s in self.signatures]
+
+    def _match(self, family: str, text: str) -> List[Signature]:
+        hits = []
+        for sig in self.signatures:
+            if sig.family == family and text and sig.matches(text):
+                hits.append(sig)
+                self.match_count[sig.sig_id] = self.match_count.get(sig.sig_id, 0) + 1
+        return hits
+
+    def scan_jupyter(self, rec: JupyterMsgRecord) -> List[Notice]:
+        notices = []
+        for sig in self._match("jupyter-code", rec.code):
+            notices.append(Notice(
+                ts=rec.ts, detector="signature", name=sig.sig_id, severity=sig.severity,
+                src=rec.src, dst=rec.dst, avenue=sig.avenue,
+                detail={"description": sig.description, "msg_type": rec.msg_type,
+                        "source": sig.source},
+            ))
+        return notices
+
+    def scan_http(self, rec: HttpRecord, body_text: str = "") -> List[Notice]:
+        notices = []
+        for sig in self._match("http-path", rec.path):
+            notices.append(Notice(
+                ts=rec.ts, detector="signature", name=sig.sig_id, severity=sig.severity,
+                src=rec.src, dst=rec.dst, avenue=sig.avenue,
+                detail={"description": sig.description, "path": rec.path, "source": sig.source},
+            ))
+        for sig in self._match("http-body", body_text):
+            notices.append(Notice(
+                ts=rec.ts, detector="signature", name=sig.sig_id, severity=sig.severity,
+                src=rec.src, dst=rec.dst, avenue=sig.avenue,
+                detail={"description": sig.description, "source": sig.source},
+            ))
+        return notices
+
+    def scan_terminal(self, ts: float, src: str, command: str) -> List[Notice]:
+        return [
+            Notice(ts=ts, detector="signature", name=sig.sig_id, severity=sig.severity,
+                   src=src, avenue=sig.avenue,
+                   detail={"description": sig.description, "command": command,
+                           "source": sig.source})
+            for sig in self._match("terminal", command)
+        ]

@@ -1,0 +1,35 @@
+"""Notebook document model (nbformat v4 subset) and the trust store.
+
+Jupyter notebooks are JSON documents; each cell is a JSON object.  The
+attack surface the paper highlights — "untrusted cells" — exists because
+output HTML/JS executes in the reader's browser unless the notebook is
+*trusted*.  Jupyter implements trust as an HMAC signature over the
+notebook stored in a local database; :class:`NotebookSignatureStore`
+reproduces that mechanism so the tampering experiments are faithful.
+"""
+
+from repro.nbformat.model import (
+    CodeCell,
+    MarkdownCell,
+    Notebook,
+    RawCell,
+    output_display_data,
+    output_error,
+    output_execute_result,
+    output_stream,
+)
+from repro.nbformat.validate import validate_notebook
+from repro.nbformat.trust import NotebookSignatureStore
+
+__all__ = [
+    "Notebook",
+    "CodeCell",
+    "MarkdownCell",
+    "RawCell",
+    "output_stream",
+    "output_execute_result",
+    "output_display_data",
+    "output_error",
+    "validate_notebook",
+    "NotebookSignatureStore",
+]

@@ -1,0 +1,215 @@
+"""Notebook v4 document model.
+
+A faithful subset of the nbformat 4.5 schema: code/markdown/raw cells,
+the four output types, cell ids, execution counts, and metadata.  The
+model round-trips through JSON byte-for-byte for documents it produced
+itself (canonical key order), which the trust store depends on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.util.ids import new_id
+
+NBFORMAT_MAJOR = 4
+NBFORMAT_MINOR = 5
+
+
+def output_stream(name: str, text: str) -> Dict[str, Any]:
+    """A ``stream`` output (stdout/stderr)."""
+    return {"output_type": "stream", "name": name, "text": text}
+
+
+def output_execute_result(data: Dict[str, Any], execution_count: Optional[int]) -> Dict[str, Any]:
+    """An ``execute_result`` output with a MIME bundle."""
+    return {
+        "output_type": "execute_result",
+        "data": data,
+        "metadata": {},
+        "execution_count": execution_count,
+    }
+
+
+def output_display_data(data: Dict[str, Any]) -> Dict[str, Any]:
+    """A ``display_data`` output (rich display without an Out[n] prompt)."""
+    return {"output_type": "display_data", "data": data, "metadata": {}}
+
+
+def output_error(ename: str, evalue: str, traceback: List[str]) -> Dict[str, Any]:
+    """An ``error`` output."""
+    return {"output_type": "error", "ename": ename, "evalue": evalue, "traceback": traceback}
+
+
+@dataclass
+class CodeCell:
+    """An executable cell."""
+
+    source: str = ""
+    outputs: List[Dict[str, Any]] = field(default_factory=list)
+    execution_count: Optional[int] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    cell_id: str = field(default_factory=lambda: new_id()[:8])
+
+    cell_type = "code"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell_type": "code",
+            "id": self.cell_id,
+            "metadata": self.metadata,
+            "source": self.source,
+            "execution_count": self.execution_count,
+            "outputs": self.outputs,
+        }
+
+
+@dataclass
+class MarkdownCell:
+    """A prose cell."""
+
+    source: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    cell_id: str = field(default_factory=lambda: new_id()[:8])
+
+    cell_type = "markdown"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell_type": "markdown",
+            "id": self.cell_id,
+            "metadata": self.metadata,
+            "source": self.source,
+        }
+
+
+@dataclass
+class RawCell:
+    """A raw passthrough cell."""
+
+    source: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    cell_id: str = field(default_factory=lambda: new_id()[:8])
+
+    cell_type = "raw"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell_type": "raw",
+            "id": self.cell_id,
+            "metadata": self.metadata,
+            "source": self.source,
+        }
+
+
+Cell = CodeCell | MarkdownCell | RawCell
+
+
+def _cell_from_dict(d: Dict[str, Any]) -> Cell:
+    ct = d.get("cell_type")
+    cid = d.get("id", new_id()[:8])
+    if ct == "code":
+        return CodeCell(
+            source=_join_source(d.get("source", "")),
+            outputs=list(d.get("outputs", [])),
+            execution_count=d.get("execution_count"),
+            metadata=dict(d.get("metadata", {})),
+            cell_id=cid,
+        )
+    if ct == "markdown":
+        return MarkdownCell(_join_source(d.get("source", "")), dict(d.get("metadata", {})), cid)
+    if ct == "raw":
+        return RawCell(_join_source(d.get("source", "")), dict(d.get("metadata", {})), cid)
+    raise ValueError(f"unknown cell_type {ct!r}")
+
+
+def _join_source(source: Any) -> str:
+    # nbformat allows source as a string or list of lines.
+    if isinstance(source, list):
+        return "".join(source)
+    return str(source)
+
+
+@dataclass
+class Notebook:
+    """An in-memory notebook document."""
+
+    cells: List[Cell] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    nbformat: int = NBFORMAT_MAJOR
+    nbformat_minor: int = NBFORMAT_MINOR
+
+    @classmethod
+    def new(cls, *, kernel_name: str = "python3", language: str = "python") -> "Notebook":
+        """A fresh notebook with standard kernelspec metadata."""
+        return cls(
+            metadata={
+                "kernelspec": {"name": kernel_name, "display_name": kernel_name, "language": language},
+                "language_info": {"name": language},
+            }
+        )
+
+    # -- cell manipulation --------------------------------------------------
+    def add_code(self, source: str, **kw) -> CodeCell:
+        cell = CodeCell(source=source, **kw)
+        self.cells.append(cell)
+        return cell
+
+    def add_markdown(self, source: str, **kw) -> MarkdownCell:
+        cell = MarkdownCell(source=source, **kw)
+        self.cells.append(cell)
+        return cell
+
+    @property
+    def code_cells(self) -> List[CodeCell]:
+        return [c for c in self.cells if isinstance(c, CodeCell)]
+
+    def clear_outputs(self) -> None:
+        for c in self.code_cells:
+            c.outputs = []
+            c.execution_count = None
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cells": [c.to_dict() for c in self.cells],
+            "metadata": self.metadata,
+            "nbformat": self.nbformat,
+            "nbformat_minor": self.nbformat_minor,
+        }
+
+    def to_json(self, *, indent: int | None = 1) -> str:
+        """Canonical JSON (sorted keys) so signing is stable."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, ensure_ascii=False)
+
+    def to_bytes(self) -> bytes:
+        return self.to_json().encode("utf-8")
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Notebook":
+        if "cells" not in d:
+            raise ValueError("not a v4 notebook: missing 'cells'")
+        return cls(
+            cells=[_cell_from_dict(c) for c in d["cells"]],
+            metadata=dict(d.get("metadata", {})),
+            nbformat=int(d.get("nbformat", NBFORMAT_MAJOR)),
+            nbformat_minor=int(d.get("nbformat_minor", NBFORMAT_MINOR)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "Notebook":
+        return cls.from_dict(json.loads(text))
+
+    # -- content summaries used by the audit layer ---------------------------
+    def all_source(self) -> str:
+        """Concatenated source of all code cells (audit feature input)."""
+        return "\n".join(c.source for c in self.code_cells)
+
+    def total_output_bytes(self) -> int:
+        total = 0
+        for c in self.code_cells:
+            for out in c.outputs:
+                total += len(json.dumps(out))
+        return total

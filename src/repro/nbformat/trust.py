@@ -1,0 +1,80 @@
+"""Notebook trust: HMAC signatures over notebook content.
+
+Reproduces Jupyter's ``nbformat.sign.NotebookNotary`` mechanism: a
+secret key signs the canonical notebook JSON; the signature database
+remembers which documents the user has blessed.  Untrusted notebooks get
+their rich outputs sanitized before display — the defense against the
+"untrusted cells" entry in the paper's attack-interface list.
+
+The store is bounded (LRU eviction, like the real notary's culling) so a
+hostile client cannot balloon server memory by signing garbage.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict
+
+from repro.crypto.signing import HMACSigner
+from repro.nbformat.model import Notebook
+
+#: MIME types considered dangerous in untrusted notebooks.
+UNSAFE_MIMETYPES = ("text/html", "application/javascript", "image/svg+xml")
+
+
+class NotebookSignatureStore:
+    """Sign, check, and remember trusted notebooks."""
+
+    def __init__(self, key: bytes, *, max_entries: int = 1024):
+        self._signer = HMACSigner(key)
+        self._trusted: OrderedDict[bytes, None] = OrderedDict()
+        self.max_entries = max_entries
+
+    def compute_signature(self, nb: Notebook) -> bytes:
+        """HMAC over the canonical JSON with outputs *included* —
+        trusting a notebook means trusting its outputs too."""
+        return self._signer.sign([nb.to_bytes()])
+
+    def sign(self, nb: Notebook) -> bytes:
+        """Mark ``nb`` trusted and return its signature."""
+        sig = self.compute_signature(nb)
+        self._trusted[sig] = None
+        self._trusted.move_to_end(sig)
+        while len(self._trusted) > self.max_entries:
+            self._trusted.popitem(last=False)
+        return sig
+
+    def check(self, nb: Notebook) -> bool:
+        """True if this exact document content was previously signed."""
+        sig = self.compute_signature(nb)
+        if sig in self._trusted:
+            self._trusted.move_to_end(sig)
+            return True
+        return False
+
+    def unsign(self, nb: Notebook) -> bool:
+        """Remove trust; True if the notebook was trusted."""
+        return self._trusted.pop(self.compute_signature(nb), False) is None
+
+    def __len__(self) -> int:
+        return len(self._trusted)
+
+
+def sanitize_untrusted_outputs(nb: Notebook) -> int:
+    """Strip unsafe MIME entries from every output of an untrusted notebook.
+
+    Returns the number of MIME entries removed.  This is the display-side
+    mitigation real Jupyter applies; the server calls it before handing
+    an unsigned document to a client.
+    """
+    removed = 0
+    for cell in nb.code_cells:
+        for out in cell.outputs:
+            data: Dict[str, Any] = out.get("data", {})
+            if not isinstance(data, dict):
+                continue
+            for mime in list(data):
+                if mime in UNSAFE_MIMETYPES:
+                    del data[mime]
+                    removed += 1
+    return removed

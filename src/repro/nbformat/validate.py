@@ -1,0 +1,83 @@
+"""Structural validation of notebook documents.
+
+A light-weight stand-in for nbformat's JSON-schema validation: enough to
+reject the malformed/hostile documents that the misconfiguration and
+attack experiments feed the server (cells of unknown type, outputs with
+missing discriminators, wrong top-level types).  Returns a list of
+human-readable problems; :func:`validate_notebook` with ``strict=True``
+raises :class:`~repro.util.errors.ValidationError` on the first problem.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.util.errors import ValidationError
+
+_CELL_TYPES = {"code", "markdown", "raw"}
+_OUTPUT_TYPES = {"stream", "execute_result", "display_data", "error"}
+
+
+def _check_output(out: Any, where: str, problems: List[str]) -> None:
+    if not isinstance(out, dict):
+        problems.append(f"{where}: output is not an object")
+        return
+    ot = out.get("output_type")
+    if ot not in _OUTPUT_TYPES:
+        problems.append(f"{where}: unknown output_type {ot!r}")
+        return
+    if ot == "stream":
+        if out.get("name") not in ("stdout", "stderr"):
+            problems.append(f"{where}: stream output name must be stdout/stderr")
+        if not isinstance(out.get("text", ""), (str, list)):
+            problems.append(f"{where}: stream text must be string or list")
+    elif ot in ("execute_result", "display_data"):
+        if not isinstance(out.get("data", {}), dict):
+            problems.append(f"{where}: {ot} data must be a MIME bundle object")
+    elif ot == "error":
+        for key in ("ename", "evalue", "traceback"):
+            if key not in out:
+                problems.append(f"{where}: error output missing {key!r}")
+
+
+def validate_notebook(doc: Dict[str, Any], *, strict: bool = False) -> List[str]:
+    """Validate a notebook dict; return a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        problems = ["document is not a JSON object"]
+    else:
+        if not isinstance(doc.get("cells"), list):
+            problems.append("missing or non-list 'cells'")
+        if not isinstance(doc.get("nbformat", 4), int):
+            problems.append("'nbformat' must be an integer")
+        elif doc.get("nbformat", 4) != 4:
+            problems.append(f"unsupported nbformat major version {doc.get('nbformat')}")
+        if not isinstance(doc.get("metadata", {}), dict):
+            problems.append("'metadata' must be an object")
+        for i, cell in enumerate(doc.get("cells") or []):
+            where = f"cells[{i}]"
+            if not isinstance(cell, dict):
+                problems.append(f"{where}: cell is not an object")
+                continue
+            ct = cell.get("cell_type")
+            if ct not in _CELL_TYPES:
+                problems.append(f"{where}: unknown cell_type {ct!r}")
+                continue
+            if not isinstance(cell.get("source", ""), (str, list)):
+                problems.append(f"{where}: source must be string or list of strings")
+            if ct == "code":
+                ec = cell.get("execution_count")
+                if ec is not None and not isinstance(ec, int):
+                    problems.append(f"{where}: execution_count must be int or null")
+                outputs = cell.get("outputs", [])
+                if not isinstance(outputs, list):
+                    problems.append(f"{where}: outputs must be a list")
+                else:
+                    for j, out in enumerate(outputs):
+                        _check_output(out, f"{where}.outputs[{j}]", problems)
+            else:
+                if "outputs" in cell:
+                    problems.append(f"{where}: {ct} cell must not have outputs")
+    if strict and problems:
+        raise ValidationError(problems[0])
+    return problems

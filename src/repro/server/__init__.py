@@ -1,0 +1,36 @@
+"""The simulated Jupyter server.
+
+Faithful to the architecture in the paper's Fig. 2: external users speak
+HTTP(S)+WebSocket to the server; the server speaks ZeroMQ (ZMTP over
+loopback TCP) to kernels.  Every surface in the paper's attack-interface
+list exists: the REST contents API (file browser), kernel channels
+(arbitrary code execution), the terminal, and the auth layer (token,
+password, OIDC-sim).
+
+- :mod:`repro.server.config` — :class:`ServerConfig`, the artifact the
+  misconfiguration scanner audits.
+- :mod:`repro.server.auth` — authenticators and failure accounting.
+- :mod:`repro.server.contents` — the ``/api/contents`` manager with
+  checkpoints.
+- :mod:`repro.server.terminal` — the terminal surface (audited mini-shell).
+- :mod:`repro.server.zmtpbind` — kernel channel bindings over ZMTP.
+- :mod:`repro.server.app` — the HTTP router tying it together.
+- :mod:`repro.server.gateway` — simnet adapter: raw bytes ↔ app.
+"""
+
+from repro.server.app import JupyterServer
+from repro.server.auth import AuthResult, Authenticator, OIDCProviderSim
+from repro.server.config import ServerConfig
+from repro.server.contents import ContentsManager
+from repro.server.gateway import ServerGateway, WebSocketKernelClient
+
+__all__ = [
+    "JupyterServer",
+    "ServerConfig",
+    "Authenticator",
+    "AuthResult",
+    "OIDCProviderSim",
+    "ContentsManager",
+    "ServerGateway",
+    "WebSocketKernelClient",
+]

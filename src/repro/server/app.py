@@ -1,0 +1,339 @@
+"""The Jupyter server application: routing, auth, kernels, contents.
+
+Transport-agnostic: :meth:`JupyterServer.handle_request` maps an
+:class:`~repro.wire.http.HttpRequest` to an
+:class:`~repro.wire.http.HttpResponse`; the simnet adapter in
+:mod:`repro.server.gateway` feeds it raw bytes.  Kernels are real
+:class:`~repro.kernel.runtime.KernelRuntime` instances bound to ZMTP
+loopback ports (paper Fig. 2's two-process model).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.kernel.runtime import KernelRuntime
+from repro.kernel.world import KernelWorld
+from repro.nbformat import NotebookSignatureStore
+from repro.server.auth import Authenticator, AuthResult
+from repro.server.config import ServerConfig
+from repro.server.contents import ContentsError, ContentsManager
+from repro.server.terminal import TerminalManager
+from repro.server.zmtpbind import KernelZmtpBinding, ZmtpKernelClient
+from repro.simnet import Host, Network
+from repro.util.ids import new_id
+from repro.vfs import VfsError, VirtualFS
+from repro.wire.http import HttpRequest, HttpResponse
+
+
+def _json_response(status: int, payload: Any) -> HttpResponse:
+    return HttpResponse(
+        status,
+        headers={"Content-Type": "application/json"},
+        body=json.dumps(payload, sort_keys=True, default=str).encode(),
+    )
+
+
+@dataclass
+class AccessLogEntry:
+    """One HTTP request record (the server-side log the dataset exports)."""
+
+    ts: float
+    source_ip: str
+    method: str
+    path: str
+    status: int
+    username: str
+    body_bytes: int
+
+
+class JupyterServer:
+    """One simulated Jupyter deployment attached to a simnet host."""
+
+    def __init__(self, config: ServerConfig, network: Network, host: Host):
+        self.config = config
+        self.network = network
+        self.host = host
+        self.clock = network.loop.clock
+        self.fs = VirtualFS(self.clock)
+        self.contents = ContentsManager(self.fs, root=config.root_dir)
+        self.auth = Authenticator(config, self.clock)
+        self.terminals = TerminalManager(self.fs, self.clock)
+        self.notary = NotebookSignatureStore(config.notary_key)
+        self.kernels: Dict[str, KernelRuntime] = {}
+        self.kernel_bindings: Dict[str, KernelZmtpBinding] = {}
+        self.kernel_clients: Dict[str, ZmtpKernelClient] = {}
+        self.access_log: List[AccessLogEntry] = []
+        self._next_kernel_port = 50000
+        self._rate_window: List[Tuple[float, str]] = []
+
+    # ------------------------------------------------------------------ kernels
+    def _kernel_world(self) -> KernelWorld:
+        return KernelWorld(fs=self.fs, clock=self.clock, connect=self._outbound_connect,
+                           home=self.config.root_dir)
+
+    def _outbound_connect(self, hostname: str, port: int):
+        """Kernel-initiated outbound connection (the exfil/miner path)."""
+        target = self.network.hosts.get(hostname)
+        if target is None:
+            target = next((h for h in self.network.hosts.values() if h.ip == hostname), None)
+        if target is None or port not in target.listeners:
+            return None
+
+        class _Chan:
+            def __init__(chan):
+                chan._conn = self.host.connect(target, port)
+                chan._cb = None
+                chan._conn.on_data_client = lambda data: chan._cb(data) if chan._cb else None
+
+            def send(chan, data: bytes) -> None:
+                chan._conn.send_to_server(data)
+
+            def on_receive(chan, cb) -> None:
+                chan._cb = cb
+
+            def close(chan) -> None:
+                if chan._conn.open:
+                    chan._conn.close()
+
+        try:
+            return _Chan()
+        except Exception:
+            return None
+
+    def start_kernel(self) -> KernelRuntime:
+        kernel = KernelRuntime(self._kernel_world(), key=self.config.session_key)
+        binding = KernelZmtpBinding(kernel, self.host, self.network, base_port=self._next_kernel_port)
+        self._next_kernel_port += 10
+        client = ZmtpKernelClient(binding.connection_info(), self.host, self.host)
+        self.kernels[kernel.kernel_id] = kernel
+        self.kernel_bindings[kernel.kernel_id] = binding
+        self.kernel_clients[kernel.kernel_id] = client
+        return kernel
+
+    def shutdown_kernel(self, kernel_id: str) -> bool:
+        kernel = self.kernels.pop(kernel_id, None)
+        if kernel is None:
+            return False
+        kernel.state = "dead"
+        binding = self.kernel_bindings.pop(kernel_id, None)
+        if binding:
+            for port in binding.ports.values():
+                self.host.unlisten(port)
+        client = self.kernel_clients.pop(kernel_id, None)
+        if client:
+            client.close()
+        return True
+
+    # ------------------------------------------------------------------ auth glue
+    def _authenticate(self, request: HttpRequest, source_ip: str) -> AuthResult:
+        token = ""
+        auth_header = request.header("authorization")
+        if auth_header.lower().startswith("token "):
+            token = auth_header[6:].strip()
+        if not token:
+            token = (request.query.get("token") or [""])[0]
+        password = request.header("x-jupyter-password")
+        oidc = request.header("x-oidc-assertion")
+        return self.auth.authenticate(source_ip=source_ip, token=token, password=password,
+                                      oidc_assertion=oidc)
+
+    def _rate_limited(self, source_ip: str) -> bool:
+        cfg = self.config
+        if cfg.rate_limit_window_seconds <= 0 or cfg.rate_limit_max_requests <= 0:
+            return False
+        now = self.clock.now()
+        cutoff = now - cfg.rate_limit_window_seconds
+        self._rate_window = [(t, ip) for t, ip in self._rate_window if t > cutoff]
+        count = sum(1 for _, ip in self._rate_window if ip == source_ip)
+        self._rate_window.append((now, source_ip))
+        return count >= cfg.rate_limit_max_requests
+
+    # ------------------------------------------------------------------ routing
+    def handle_request(self, request: HttpRequest, *, source_ip: str = "") -> HttpResponse:
+        """Route one REST request (WebSocket upgrades handled by the gateway)."""
+        response = self._route(request, source_ip)
+        self.access_log.append(
+            AccessLogEntry(
+                ts=self.clock.now(),
+                source_ip=source_ip,
+                method=request.method,
+                path=request.path,
+                status=response.status,
+                username=getattr(response, "_username", ""),
+                body_bytes=len(response.body),
+            )
+        )
+        return response
+
+    def _route(self, request: HttpRequest, source_ip: str) -> HttpResponse:
+        path = request.path
+        if self._rate_limited(source_ip):
+            return _json_response(429, {"message": "rate limited"})
+        # Unauthenticated endpoints, as in real Jupyter.
+        if path == "/api" or path == "/api/":
+            return _json_response(200, {"version": self.config.version})
+        auth = self._authenticate(request, source_ip)
+        if not auth.ok:
+            return _json_response(403, {"message": f"Forbidden: {auth.reason}"})
+        try:
+            response = self._dispatch(request, auth)
+        except ContentsError as e:
+            response = _json_response(e.status, {"message": str(e)})
+        except VfsError as e:
+            response = _json_response(400, {"message": str(e)})
+        response._username = auth.username  # type: ignore[attr-defined]
+        return response
+
+    def _dispatch(self, request: HttpRequest, auth: AuthResult) -> HttpResponse:
+        path, method = request.path, request.method
+        if path == "/api/status":
+            return _json_response(200, {
+                "started": True,
+                "kernels": len(self.kernels),
+                "version": self.config.version,
+            })
+        if path.startswith("/api/contents"):
+            return self._handle_contents(request)
+        if path.startswith("/api/kernels"):
+            return self._handle_kernels(request)
+        if path.startswith("/api/terminals"):
+            return self._handle_terminals(request, auth)
+        if path.startswith("/api/sessions"):
+            return _json_response(200, [])
+        return _json_response(404, {"message": f"no handler for {path}"})
+
+    # -- contents ------------------------------------------------------------------
+    def _handle_contents(self, request: HttpRequest) -> HttpResponse:
+        api_path = request.path[len("/api/contents"):].strip("/")
+        method = request.method
+        # Checkpoint sub-resource: /api/contents/<path>/checkpoints[/<id>]
+        if "/checkpoints" in "/" + api_path:
+            return self._handle_checkpoints(api_path, method)
+        if method == "GET":
+            model = self.contents.get(api_path)
+            if model["type"] == "notebook":
+                # Untrusted notebooks get their active content sanitized.
+                from repro.nbformat import Notebook
+                from repro.nbformat.trust import sanitize_untrusted_outputs
+
+                nb = Notebook.from_dict(model["content"])
+                if not self.notary.check(nb):
+                    sanitize_untrusted_outputs(nb)
+                    model["content"] = nb.to_dict()
+                    model["trusted"] = False
+                else:
+                    model["trusted"] = True
+            return _json_response(200, model)
+        if method in ("PUT", "POST"):
+            try:
+                model = json.loads(request.body or b"{}")
+            except json.JSONDecodeError:
+                return _json_response(400, {"message": "invalid JSON body"})
+            saved = self.contents.save(api_path, model)
+            if model.get("type") == "notebook" and model.get("trust"):
+                from repro.nbformat import Notebook
+
+                self.notary.sign(Notebook.from_dict(model["content"]))
+            return _json_response(201 if method == "POST" else 200, saved)
+        if method == "PATCH":
+            try:
+                body = json.loads(request.body or b"{}")
+            except json.JSONDecodeError:
+                return _json_response(400, {"message": "invalid JSON body"})
+            new_path = str(body.get("path", "")).strip("/")
+            return _json_response(200, self.contents.rename(api_path, new_path))
+        if method == "DELETE":
+            self.contents.delete(api_path)
+            return _json_response(204, {})
+        return _json_response(405, {"message": f"{method} not allowed"})
+
+    def _handle_checkpoints(self, api_path: str, method: str) -> HttpResponse:
+        """Jupyter's checkpoint endpoints:
+        GET/POST ``<path>/checkpoints`` list/create;
+        POST ``<path>/checkpoints/<id>`` restores;
+        DELETE ``<path>/checkpoints/<id>`` removes."""
+        before, _, after = api_path.partition("/checkpoints")
+        file_path = before.strip("/")
+        checkpoint_id = after.strip("/")
+        if not checkpoint_id:
+            if method == "GET":
+                return _json_response(200, self.contents.list_checkpoints(file_path))
+            if method == "POST":
+                existing = self.contents.list_checkpoints(file_path)
+                new_id_ = str(len(existing))
+                return _json_response(201, self.contents.create_checkpoint(file_path, new_id_))
+        else:
+            if method == "POST":
+                self.contents.restore_checkpoint(file_path, checkpoint_id)
+                return _json_response(204, {})
+            if method == "DELETE":
+                self.contents.delete_checkpoint(file_path, checkpoint_id)
+                return _json_response(204, {})
+        return _json_response(405, {"message": f"{method} not allowed on checkpoints"})
+
+    # -- kernels ------------------------------------------------------------------
+    def _handle_kernels(self, request: HttpRequest) -> HttpResponse:
+        rest = request.path[len("/api/kernels"):].strip("/")
+        method = request.method
+        if not rest:
+            if method == "GET":
+                return _json_response(200, [
+                    {"id": kid, "execution_state": k.state, "connections": 1}
+                    for kid, k in sorted(self.kernels.items())
+                ])
+            if method == "POST":
+                kernel = self.start_kernel()
+                return _json_response(201, {"id": kernel.kernel_id, "execution_state": kernel.state})
+            return _json_response(405, {"message": f"{method} not allowed"})
+        parts = rest.split("/")
+        kernel_id = parts[0]
+        kernel = self.kernels.get(kernel_id)
+        if kernel is None:
+            return _json_response(404, {"message": f"kernel {kernel_id} not found"})
+        action = parts[1] if len(parts) > 1 else ""
+        if method == "DELETE" and not action:
+            self.shutdown_kernel(kernel_id)
+            return _json_response(204, {})
+        if method == "POST" and action == "interrupt":
+            kernel.interrupted = True
+            return _json_response(204, {})
+        if method == "POST" and action == "restart":
+            old_world = kernel.world
+            new_kernel = KernelRuntime(old_world, key=self.config.session_key, kernel_id=kernel_id)
+            self.kernels[kernel_id] = new_kernel
+            binding = self.kernel_bindings.get(kernel_id)
+            if binding:
+                binding.kernel = new_kernel
+            return _json_response(200, {"id": kernel_id, "execution_state": new_kernel.state})
+        if method == "GET" and not action:
+            return _json_response(200, {"id": kernel_id, "execution_state": kernel.state})
+        return _json_response(405, {"message": "unsupported kernel operation"})
+
+    # -- terminals ------------------------------------------------------------------
+    def _handle_terminals(self, request: HttpRequest, auth: AuthResult) -> HttpResponse:
+        if not self.config.terminals_enabled:
+            return _json_response(403, {"message": "terminals disabled by configuration"})
+        rest = request.path[len("/api/terminals"):].strip("/")
+        method = request.method
+        if not rest:
+            if method == "GET":
+                return _json_response(200, [{"name": n} for n in self.terminals.list_names()])
+            if method == "POST":
+                term = self.terminals.create(username=auth.username or "anonymous")
+                return _json_response(201, {"name": term.name})
+        else:
+            parts = rest.split("/")
+            term = self.terminals.get(parts[0])
+            if term is None:
+                return _json_response(404, {"message": "no such terminal"})
+            if method == "DELETE":
+                self.terminals.delete(parts[0])
+                return _json_response(204, {})
+            if method == "POST" and len(parts) > 1 and parts[1] == "run":
+                command = request.body.decode("utf-8", "replace")
+                code, output = term.run(command)
+                return _json_response(200, {"exit_code": code, "output": output})
+        return _json_response(405, {"message": "unsupported terminal operation"})

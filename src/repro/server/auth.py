@@ -1,0 +1,139 @@
+"""Authentication: token, password, and simulated OIDC federation.
+
+The account-takeover attack exercises this layer: token brute force,
+credential stuffing against the password path, and forged OIDC
+assertions (the paper's related-work section warns third-party OIDC
+plugins arrive "with minimal guarantee").  Every failure is recorded
+with its source so the monitor's brute-force detector has a signal.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.passwords import verify_password
+from repro.crypto.signing import HMACSigner
+from repro.server.config import ServerConfig
+from repro.util.clock import Clock, SimClock
+
+
+@dataclass(frozen=True)
+class AuthResult:
+    ok: bool
+    username: str = ""
+    method: str = ""  # "token" | "password" | "oidc" | "open" | ""
+    reason: str = ""
+
+
+@dataclass
+class AuthAttempt:
+    ts: float
+    source_ip: str
+    method: str
+    ok: bool
+    detail: str = ""
+
+
+class Authenticator:
+    """Evaluates credentials for one server according to its config."""
+
+    def __init__(self, config: ServerConfig, clock: Optional[Clock] = None):
+        self.config = config
+        self.clock = clock or SimClock()
+        self.attempts: List[AuthAttempt] = []
+        self.oidc_providers: Dict[str, "OIDCProviderSim"] = {}
+
+    def _record(self, source_ip: str, method: str, ok: bool, detail: str = "") -> None:
+        self.attempts.append(AuthAttempt(self.clock.now(), source_ip, method, ok, detail))
+
+    def register_oidc(self, provider: "OIDCProviderSim") -> None:
+        self.oidc_providers[provider.issuer] = provider
+
+    # -- the main entry point ---------------------------------------------------
+    def authenticate(
+        self,
+        *,
+        source_ip: str = "",
+        token: str = "",
+        password: str = "",
+        oidc_assertion: str = "",
+    ) -> AuthResult:
+        cfg = self.config
+        if cfg.allow_unauthenticated_access or not cfg.auth_enabled:
+            self._record(source_ip, "open", True)
+            return AuthResult(True, username="anonymous", method="open")
+        if token:
+            if cfg.token and _hmac.compare_digest(token, cfg.token):
+                self._record(source_ip, "token", True)
+                return AuthResult(True, username="token-user", method="token")
+            self._record(source_ip, "token", False, "bad token")
+            return AuthResult(False, method="token", reason="invalid token")
+        if password:
+            if cfg.password_hash and verify_password(password, cfg.password_hash):
+                self._record(source_ip, "password", True)
+                return AuthResult(True, username="password-user", method="password")
+            self._record(source_ip, "password", False, "bad password")
+            return AuthResult(False, method="password", reason="invalid password")
+        if oidc_assertion:
+            ok, username, reason = self._check_oidc(oidc_assertion)
+            self._record(source_ip, "oidc", ok, reason)
+            return AuthResult(ok, username=username, method="oidc", reason=reason)
+        self._record(source_ip, "", False, "no credentials")
+        return AuthResult(False, reason="no credentials supplied")
+
+    def _check_oidc(self, assertion: str) -> Tuple[bool, str, str]:
+        try:
+            body_b64, sig = assertion.rsplit(".", 1)
+            payload = json.loads(bytes.fromhex(body_b64))
+        except (ValueError, TypeError):
+            return False, "", "malformed assertion"
+        issuer = payload.get("iss", "")
+        provider = self.oidc_providers.get(issuer)
+        if provider is None:
+            return False, "", f"unknown issuer {issuer!r}"
+        if not provider.verify(assertion):
+            return False, "", "bad signature"
+        if payload.get("exp", 0) < self.clock.now():
+            return False, "", "expired assertion"
+        return True, payload.get("sub", ""), ""
+
+    # -- failure accounting for the detector -------------------------------------
+    def failures_from(self, source_ip: str) -> int:
+        return sum(1 for a in self.attempts if a.source_ip == source_ip and not a.ok)
+
+    def failure_rate(self, window: float) -> float:
+        now = self.clock.now()
+        recent = [a for a in self.attempts if not a.ok and a.ts >= now - window]
+        return len(recent) / window if window > 0 else 0.0
+
+
+class OIDCProviderSim:
+    """A federated identity provider issuing HMAC-signed assertions.
+
+    Format: ``hex(json-payload).hex-signature`` — deliberately simple,
+    but with real signature semantics so forged-assertion tests bite.
+    """
+
+    def __init__(self, issuer: str, key: bytes, clock: Optional[Clock] = None):
+        self.issuer = issuer
+        self._signer = HMACSigner(key)
+        self.clock = clock or SimClock()
+
+    def issue(self, subject: str, *, ttl: float = 3600.0) -> str:
+        payload = json.dumps(
+            {"iss": self.issuer, "sub": subject, "exp": self.clock.now() + ttl},
+            sort_keys=True,
+        ).encode()
+        sig = self._signer.sign([payload]).decode()
+        return f"{payload.hex()}.{sig}"
+
+    def verify(self, assertion: str) -> bool:
+        try:
+            body_b64, sig = assertion.rsplit(".", 1)
+            payload = bytes.fromhex(body_b64)
+        except ValueError:
+            return False
+        return self._signer.verify([payload], sig.encode())

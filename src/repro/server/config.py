@@ -1,0 +1,111 @@
+"""Server configuration — the object the misconfiguration scanner audits.
+
+Field names track ``jupyter_server``'s traitlets so the scanner's checks
+read like real hardening guidance (NASA HECC and the NVIDIA/AWS
+assessment extensions the paper cites check the same knobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.util.ids import new_token
+
+
+#: Versions with known CVEs the scanner recognises (shipped registry;
+#: mirrors the CVE entries named in the paper and its references).
+KNOWN_VULNERABLE_VERSIONS: Dict[str, List[str]] = {
+    "6.4.11": ["CVE-2022-29238"],   # token bruteforce via missing auth on static
+    "6.4.0": ["CVE-2022-24758", "CVE-2022-29238"],
+    "5.7.8": ["CVE-2019-10856", "CVE-2019-9644"],
+    "2021.8.0": ["CVE-2021-32798"],  # notebook XSS -> RCE
+    "2020.10.0": ["CVE-2020-16977"],
+    "2023.12.0": ["CVE-2024-22415"],
+}
+
+LATEST_VERSION = "7.2.1"
+
+
+@dataclass
+class ServerConfig:
+    """Deployment configuration for one simulated Jupyter server."""
+
+    # network exposure
+    ip: str = "127.0.0.1"            # bind address; "0.0.0.0" exposes to the world
+    port: int = 8888
+    certfile: str = ""               # TLS cert; empty = plain HTTP
+    keyfile: str = ""
+    # authentication
+    token: str = field(default_factory=new_token)  # "" disables token auth
+    password_hash: str = ""          # pbkdf2 tagged hash; "" disables password auth
+    password_required: bool = False
+    allow_unauthenticated_access: bool = False
+    # request hardening
+    allow_origin: str = ""           # CORS; "*" is the dangerous wildcard
+    allow_remote_access: bool = False
+    disable_check_xsrf: bool = False
+    rate_limit_window_seconds: float = 0.0   # 0 = no rate limiting
+    rate_limit_max_requests: int = 0
+    # execution hardening
+    allow_root: bool = False
+    terminals_enabled: bool = True
+    session_key: bytes = field(default_factory=lambda: new_token(16).encode())
+    signature_scheme: str = "hmac-sha256"
+    notary_key: bytes = field(default_factory=lambda: new_token(16).encode())
+    # provenance
+    version: str = LATEST_VERSION
+    root_dir: str = "home"
+    server_name: str = "jupyter"
+
+    # -- derived properties the scanner and server share ----------------------
+    @property
+    def tls_enabled(self) -> bool:
+        return bool(self.certfile and self.keyfile)
+
+    @property
+    def auth_enabled(self) -> bool:
+        return bool(self.token) or bool(self.password_hash)
+
+    @property
+    def publicly_bound(self) -> bool:
+        return self.ip in ("0.0.0.0", "::")
+
+    def known_cves(self) -> List[str]:
+        return list(KNOWN_VULNERABLE_VERSIONS.get(self.version, []))
+
+    def hardened_copy(self) -> "ServerConfig":
+        """The remediated configuration the scanner's report recommends."""
+        from repro.crypto.passwords import hash_password
+
+        return replace(
+            self,
+            ip="127.0.0.1",
+            certfile="/etc/jupyter/tls.crt",
+            keyfile="/etc/jupyter/tls.key",
+            token=new_token(),
+            password_hash=self.password_hash or hash_password(new_token(12)),
+            allow_unauthenticated_access=False,
+            allow_origin="",
+            disable_check_xsrf=False,
+            allow_root=False,
+            rate_limit_window_seconds=60.0,
+            rate_limit_max_requests=600,
+            version=LATEST_VERSION,
+        )
+
+
+def insecure_demo_config() -> ServerConfig:
+    """The classic footgun deployment seen in internet-wide scans:
+    ``jupyter notebook --ip=0.0.0.0 --NotebookApp.token=''``."""
+    return ServerConfig(
+        ip="0.0.0.0",
+        token="",
+        password_hash="",
+        allow_unauthenticated_access=True,
+        allow_origin="*",
+        allow_root=True,
+        disable_check_xsrf=True,
+        version="6.4.0",
+        session_key=b"",
+    )

@@ -1,0 +1,193 @@
+"""The contents manager behind ``/api/contents`` — Jupyter's file browser.
+
+Models mirror the REST API: ``{name, path, type, content, format,
+created, last_modified, writable}``.  Checkpoints give the ransomware
+experiments a realistic recovery story (and the attack a realistic
+target: mature ransomware deletes checkpoints first).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.nbformat import Notebook, validate_notebook
+from repro.util.errors import ValidationError
+from repro.vfs import VfsError, VirtualFS
+
+
+class ContentsError(VfsError):
+    """Contents-level failure with an HTTP-ish status code."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+CHECKPOINT_DIR = ".ipynb_checkpoints"
+
+
+class ContentsManager:
+    """CRUD over the virtual filesystem with notebook awareness."""
+
+    def __init__(self, fs: VirtualFS, root: str = "home"):
+        self.fs = fs
+        self.root = root
+        if not fs.is_dir(root):
+            fs.mkdir(root)
+
+    def _full(self, api_path: str) -> str:
+        api_path = api_path.strip("/")
+        return f"{self.root}/{api_path}" if api_path else self.root
+
+    # -- read -------------------------------------------------------------------
+    def get(self, api_path: str, *, include_content: bool = True) -> Dict[str, Any]:
+        full = self._full(api_path)
+        if self.fs.is_dir(full):
+            return self._dir_model(api_path, include_content)
+        if not self.fs.is_file(full):
+            raise ContentsError(f"no such entity: {api_path!r}", status=404)
+        raw = self.fs.read(full)
+        entry = self.fs.stat(full)
+        name = api_path.rsplit("/", 1)[-1]
+        model: Dict[str, Any] = {
+            "name": name,
+            "path": api_path.strip("/"),
+            "created": entry.created,
+            "last_modified": entry.modified,
+            "writable": entry.writable,
+            "size": len(raw),
+        }
+        if name.endswith(".ipynb"):
+            model["type"] = "notebook"
+            model["format"] = "json" if include_content else None
+            model["content"] = json.loads(raw) if include_content else None
+        else:
+            model["type"] = "file"
+            text: Optional[str]
+            try:
+                text = raw.decode("utf-8")
+                # NUL and most C0 controls are valid UTF-8 but mark binary data.
+                if any(b < 9 for b in raw):
+                    text = None
+            except UnicodeDecodeError:
+                text = None
+            if text is not None:
+                model["format"] = "text" if include_content else None
+                model["content"] = text if include_content else None
+            else:
+                model["format"] = "base64" if include_content else None
+                model["content"] = base64.b64encode(raw).decode() if include_content else None
+        return model
+
+    def _dir_model(self, api_path: str, include_content: bool) -> Dict[str, Any]:
+        full = self._full(api_path)
+        entries = []
+        if include_content:
+            for name in self.fs.listdir(full):
+                if name == CHECKPOINT_DIR:
+                    continue
+                child = f"{api_path.strip('/')}/{name}".strip("/")
+                entries.append(self.get(child, include_content=False))
+        return {
+            "name": api_path.strip("/").rsplit("/", 1)[-1],
+            "path": api_path.strip("/"),
+            "type": "directory",
+            "format": "json" if include_content else None,
+            "content": entries if include_content else None,
+            "writable": True,
+        }
+
+    # -- write ------------------------------------------------------------------
+    def save(self, api_path: str, model: Dict[str, Any]) -> Dict[str, Any]:
+        full = self._full(api_path)
+        mtype = model.get("type", "file")
+        if mtype == "directory":
+            self.fs.mkdir(full)
+            return self.get(api_path, include_content=False)
+        content = model.get("content")
+        if mtype == "notebook":
+            problems = validate_notebook(content if isinstance(content, dict) else {})
+            if problems:
+                raise ContentsError(f"invalid notebook: {problems[0]}", status=400)
+            raw = json.dumps(content, sort_keys=True).encode()
+        elif model.get("format") == "base64":
+            try:
+                raw = base64.b64decode(str(content), validate=True)
+            except Exception:
+                raise ContentsError("invalid base64 content", status=400) from None
+        else:
+            raw = str(content if content is not None else "").encode()
+        try:
+            self.fs.write(full, raw)
+        except VfsError as e:
+            raise ContentsError(str(e), status=403) from None
+        return self.get(api_path, include_content=False)
+
+    def delete(self, api_path: str) -> None:
+        try:
+            self.fs.delete(self._full(api_path))
+        except VfsError as e:
+            raise ContentsError(str(e), status=404) from None
+
+    def rename(self, old_path: str, new_path: str) -> Dict[str, Any]:
+        try:
+            self.fs.rename(self._full(old_path), self._full(new_path))
+        except VfsError as e:
+            raise ContentsError(str(e), status=409) from None
+        return self.get(new_path, include_content=False)
+
+    # -- checkpoints ---------------------------------------------------------------
+    def _checkpoint_path(self, api_path: str, checkpoint_id: str) -> str:
+        api_path = api_path.strip("/")
+        parent, _, name = api_path.rpartition("/")
+        prefix = f"{parent}/" if parent else ""
+        return self._full(f"{prefix}{CHECKPOINT_DIR}/{name}.{checkpoint_id}")
+
+    def create_checkpoint(self, api_path: str, checkpoint_id: str = "0") -> Dict[str, Any]:
+        full = self._full(api_path)
+        if not self.fs.is_file(full):
+            raise ContentsError(f"no such file: {api_path!r}", status=404)
+        cp = self._checkpoint_path(api_path, checkpoint_id)
+        self.fs.write(cp, self.fs.read(full))
+        return {"id": checkpoint_id, "last_modified": self.fs.stat(cp).modified}
+
+    def restore_checkpoint(self, api_path: str, checkpoint_id: str = "0") -> None:
+        cp = self._checkpoint_path(api_path, checkpoint_id)
+        if not self.fs.is_file(cp):
+            raise ContentsError(f"no checkpoint {checkpoint_id!r} for {api_path!r}", status=404)
+        self.fs.write(self._full(api_path), self.fs.read(cp))
+
+    def list_checkpoints(self, api_path: str) -> List[Dict[str, Any]]:
+        api_path = api_path.strip("/")
+        parent, _, name = api_path.rpartition("/")
+        prefix = f"{parent}/" if parent else ""
+        cp_dir = self._full(f"{prefix}{CHECKPOINT_DIR}")
+        if not self.fs.is_dir(cp_dir):
+            return []
+        out = []
+        for entry in self.fs.listdir(cp_dir):
+            if entry.startswith(name + "."):
+                cp_id = entry[len(name) + 1 :]
+                full = f"{cp_dir}/{entry}"
+                out.append({"id": cp_id, "last_modified": self.fs.stat(full).modified})
+        return out
+
+    def delete_checkpoint(self, api_path: str, checkpoint_id: str) -> None:
+        cp = self._checkpoint_path(api_path, checkpoint_id)
+        try:
+            self.fs.delete(cp)
+        except VfsError as e:
+            raise ContentsError(str(e), status=404) from None
+
+    # -- notebook helpers ------------------------------------------------------------
+    def get_notebook(self, api_path: str) -> Notebook:
+        model = self.get(api_path)
+        if model["type"] != "notebook":
+            raise ContentsError(f"{api_path!r} is not a notebook", status=400)
+        return Notebook.from_dict(model["content"])
+
+    def save_notebook(self, api_path: str, nb: Notebook) -> Dict[str, Any]:
+        return self.save(api_path, {"type": "notebook", "content": nb.to_dict()})

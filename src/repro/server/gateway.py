@@ -1,0 +1,314 @@
+"""Simnet adapter: raw TCP bytes ↔ the Jupyter server application.
+
+:class:`ServerGateway` binds the server's HTTP port on its simnet host,
+parses requests incrementally (clients may dribble bytes), answers REST
+calls, and upgrades ``/api/kernels/<id>/channels`` connections to
+WebSocket.  Upgraded connections bridge both ways:
+
+    client WS frame (Jupyter JSON) → shell/control ZMTP → kernel
+    kernel iopub/replies (ZMTP)    → WS frames         → client
+
+— the complete Fig. 2 data path, every hop of it on the tapped network.
+
+:class:`WebSocketKernelClient` is the client-side helper used by
+examples, workloads, and attacks: it performs the HTTP auth + upgrade
+dance and exposes ``execute()``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+from repro.messaging import Channel, Message, Session
+from repro.server.app import JupyterServer
+from repro.simnet import Host, TcpConnection
+from repro.util.errors import ProtocolError
+from repro.util.ids import new_id
+from repro.wire.http import HttpRequest, HttpResponse, parse_request, parse_response
+from repro.wire.websocket import (
+    Opcode,
+    WebSocketDecoder,
+    build_handshake_request,
+    build_handshake_response,
+    encode_binary,
+    encode_close,
+    encode_text,
+)
+
+
+class _GatewayConnection:
+    """Per-TCP-connection state machine on the server side."""
+
+    def __init__(self, gateway: "ServerGateway", conn: TcpConnection):
+        self.gateway = gateway
+        self.conn = conn
+        self.buffer = b""
+        self.upgraded = False
+        self.ws_decoder: Optional[WebSocketDecoder] = None
+        self.kernel_id: Optional[str] = None
+        conn.on_data_server = self.feed
+        conn.on_close_server = self.on_close
+
+    def feed(self, data: bytes) -> None:
+        if self.upgraded:
+            self._feed_websocket(data)
+            return
+        self.buffer += data
+        while True:
+            try:
+                request, rest = parse_request(self.buffer)
+            except ProtocolError as e:
+                self.gateway.protocol_errors.append(str(e))
+                self.conn.close(by_client=False)
+                return
+            if request is None:
+                return
+            self.buffer = rest
+            self._handle_http(request)
+            if self.upgraded:
+                if self.buffer:
+                    remaining, self.buffer = self.buffer, b""
+                    self._feed_websocket(remaining)
+                return
+
+    # -- HTTP ---------------------------------------------------------------------
+    def _handle_http(self, request: HttpRequest) -> None:
+        server = self.gateway.server
+        source_ip = self.conn.client.ip
+        if request.is_websocket_upgrade():
+            response, kernel_id = self._try_upgrade(request, source_ip)
+            self.conn.send_to_client(response.encode())
+            if response.status == 101:
+                self.upgraded = True
+                self.ws_decoder = WebSocketDecoder()
+                self.kernel_id = kernel_id
+                self.gateway.attach_ws_bridge(self)
+            return
+        response = server.handle_request(request, source_ip=source_ip)
+        self.conn.send_to_client(response.encode())
+
+    def _try_upgrade(self, request: HttpRequest, source_ip: str):
+        server = self.gateway.server
+        auth = server._authenticate(request, source_ip)
+        if not auth.ok:
+            return HttpResponse(403, body=b'{"message": "Forbidden"}'), None
+        path = request.path
+        if not (path.startswith("/api/kernels/") and path.endswith("/channels")):
+            return HttpResponse(404, body=b'{"message": "not a channels endpoint"}'), None
+        kernel_id = path[len("/api/kernels/"):-len("/channels")]
+        if kernel_id not in server.kernels:
+            return HttpResponse(404, body=b'{"message": "kernel not found"}'), None
+        key = request.header("sec-websocket-key")
+        if not key:
+            return HttpResponse(400, body=b'{"message": "missing Sec-WebSocket-Key"}'), None
+        return build_handshake_response(key), kernel_id
+
+    # -- WebSocket ------------------------------------------------------------------
+    def _feed_websocket(self, data: bytes) -> None:
+        assert self.ws_decoder is not None
+        try:
+            self.ws_decoder.feed(data)
+        except ProtocolError as e:
+            self.gateway.protocol_errors.append(str(e))
+            self.conn.send_to_client(encode_close(1002, "protocol error"))
+            self.conn.close(by_client=False)
+            return
+        for opcode, payload in self.ws_decoder.messages():
+            if opcode == Opcode.PING:
+                self.conn.send_to_client(
+                    # pong mirrors payload
+                    bytes([0x8A, len(payload)]) + payload if len(payload) <= 125 else b""
+                )
+            elif opcode == Opcode.CLOSE:
+                self.conn.close(by_client=False)
+            elif opcode in (Opcode.TEXT, Opcode.BINARY):
+                self.gateway.forward_to_kernel(self, payload)
+
+    def send_ws(self, payload: str) -> None:
+        if self.conn.open:
+            self.conn.send_to_client(encode_text(payload))
+
+    def on_close(self) -> None:
+        self.gateway.detach_ws_bridge(self)
+
+
+class ServerGateway:
+    """Binds the server app onto its host's HTTP port."""
+
+    def __init__(self, server: JupyterServer):
+        self.server = server
+        self.host = server.host
+        self.connections: List[_GatewayConnection] = []
+        self.protocol_errors: List[str] = []
+        self._bridges: Dict[str, List[_GatewayConnection]] = {}
+        self._iopub_hooked: set[str] = set()
+        bind_ip = "127.0.0.1" if server.config.ip == "127.0.0.1" else "0.0.0.0"
+        self.host.listen(server.config.port, self._accept, bind_ip=bind_ip)
+
+    def _accept(self, conn: TcpConnection) -> None:
+        self.connections.append(_GatewayConnection(self, conn))
+
+    # -- ws ↔ zmtp bridging ------------------------------------------------------------
+    def attach_ws_bridge(self, gconn: _GatewayConnection) -> None:
+        kid = gconn.kernel_id
+        assert kid is not None
+        self._bridges.setdefault(kid, []).append(gconn)
+        if kid not in self._iopub_hooked:
+            self._iopub_hooked.add(kid)
+            client = self.server.kernel_clients[kid]
+            client.on_iopub.append(lambda msg, kid=kid: self._broadcast(kid, msg))
+            client.on_shell_reply.append(lambda msg, kid=kid: self._broadcast(kid, msg))
+            client.on_control_reply.append(lambda msg, kid=kid: self._broadcast(kid, msg))
+
+    def detach_ws_bridge(self, gconn: _GatewayConnection) -> None:
+        if gconn.kernel_id and gconn.kernel_id in self._bridges:
+            try:
+                self._bridges[gconn.kernel_id].remove(gconn)
+            except ValueError:
+                pass
+
+    def _broadcast(self, kernel_id: str, msg: Message) -> None:
+        text = msg.to_websocket_json()
+        for gconn in list(self._bridges.get(kernel_id, [])):
+            gconn.send_ws(text)
+
+    def forward_to_kernel(self, gconn: _GatewayConnection, payload: bytes) -> None:
+        kid = gconn.kernel_id
+        client = self.server.kernel_clients.get(kid or "")
+        if client is None:
+            return
+        try:
+            msg = Message.from_websocket_json(payload)
+        except (json.JSONDecodeError, KeyError) as e:
+            self.protocol_errors.append(f"bad ws message: {e}")
+            return
+        client.send(msg)
+
+
+class WebSocketKernelClient:
+    """Client-side: REST + WebSocket against a (possibly remote) server.
+
+    Drives the full network path; used by benign workloads and by
+    attacks that masquerade as notebook users.
+    """
+
+    def __init__(self, client_host: Host, server_host: Host, *, port: int = 8888,
+                 token: str = "", username: str = "scientist"):
+        self.client_host = client_host
+        self.server_host = server_host
+        self.port = port
+        self.token = token
+        self.session = Session(b"", username=username, check_replay=False)
+        self.received: List[Message] = []
+        self.iopub: List[Message] = []
+        self.replies: Dict[str, Message] = {}
+        self._http_buffer = b""
+        self._ws_decoder: Optional[WebSocketDecoder] = None
+        self._conn: Optional[TcpConnection] = None
+        self.kernel_id: Optional[str] = None
+
+    # -- plain REST -----------------------------------------------------------------
+    def request(self, method: str, path: str, body: bytes = b"") -> HttpResponse:
+        """One-shot REST request on a fresh connection."""
+        conn = self.client_host.connect(self.server_host, self.port)
+        responses: List[HttpResponse] = []
+        buffer = b""
+
+        def on_data(data: bytes) -> None:
+            nonlocal buffer
+            buffer += data
+            resp, rest = parse_response(buffer)
+            if resp is not None:
+                responses.append(resp)
+                buffer = rest
+
+        conn.on_data_client = on_data
+        headers = {"Host": f"{self.server_host.ip}:{self.port}"}
+        if self.token:
+            headers["Authorization"] = f"token {self.token}"
+        conn.send_to_server(HttpRequest(method, path, headers, body).encode())
+        self.client_host.network.run(1.0)
+        if conn.open:
+            conn.close()
+        if not responses:
+            raise ProtocolError(f"no response to {method} {path}")
+        return responses[0]
+
+    def json(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        resp = self.request(method, path, json.dumps(payload).encode() if payload is not None else b"")
+        return json.loads(resp.body or b"{}")
+
+    # -- kernel lifecycle --------------------------------------------------------------
+    def start_kernel(self) -> str:
+        resp = self.json("POST", "/api/kernels")
+        self.kernel_id = resp["id"]
+        return self.kernel_id
+
+    def connect_channels(self) -> None:
+        """HTTP upgrade; afterwards :meth:`execute` works."""
+        if self.kernel_id is None:
+            raise ProtocolError("start a kernel first")
+        conn = self.client_host.connect(self.server_host, self.port)
+        self._conn = conn
+        self._ws_decoder = None
+        upgraded = []
+        http_buf = b""
+
+        def on_data(data: bytes) -> None:
+            nonlocal http_buf
+            if self._ws_decoder is None:
+                http_buf += data
+                resp, rest = parse_response(http_buf)
+                if resp is None:
+                    return
+                if resp.status != 101:
+                    raise ProtocolError(f"upgrade refused: {resp.status}")
+                self._ws_decoder = WebSocketDecoder()
+                upgraded.append(True)
+                if rest:
+                    self._feed_ws(rest)
+            else:
+                self._feed_ws(data)
+
+        conn.on_data_client = on_data
+        req = build_handshake_request(
+            f"{self.server_host.ip}:{self.port}",
+            f"/api/kernels/{self.kernel_id}/channels",
+            "x3JJHMbDL1EzLkh9GBhXDw==",
+            token=self.token,
+        )
+        conn.send_to_server(req.encode())
+        self.client_host.network.run(1.0)
+        if not upgraded:
+            raise ProtocolError("websocket upgrade did not complete")
+
+    def _feed_ws(self, data: bytes) -> None:
+        assert self._ws_decoder is not None
+        self._ws_decoder.feed(data)
+        for opcode, payload in self._ws_decoder.messages():
+            if opcode not in (Opcode.TEXT, Opcode.BINARY):
+                continue
+            msg = Message.from_websocket_json(payload)
+            self.received.append(msg)
+            if msg.channel == Channel.IOPUB:
+                self.iopub.append(msg)
+            elif msg.parent_header is not None:
+                self.replies[msg.parent_header.msg_id] = msg
+
+    def send(self, msg: Message) -> None:
+        if self._conn is None or self._ws_decoder is None:
+            raise ProtocolError("channels not connected")
+        self._conn.send_to_server(encode_text(msg.to_websocket_json(), mask_key=b"\x11\x22\x33\x44"))
+
+    def execute(self, code: str, *, wait: float = 30.0) -> Optional[Message]:
+        """Send an execute_request and run the network until the reply lands."""
+        req = self.session.execute_request(code)
+        self.send(req)
+        self.client_host.network.run(wait)
+        return self.replies.get(req.msg_id)
+
+    def close(self) -> None:
+        if self._conn is not None and self._conn.open:
+            self._conn.send_to_server(encode_close(1000, "bye", mask_key=b"\x01\x02\x03\x04"))
+            self._conn.close()

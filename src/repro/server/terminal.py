@@ -1,0 +1,173 @@
+"""The terminal attack surface: an audited mini-shell over the VFS.
+
+Real Jupyter's terminado hands attackers a full login shell; the paper
+lists it first among Jupyter's attack interfaces.  Our simulation
+supports the command repertoire observed in real Jupyter intrusions
+(recon, staging, download-and-run) with every invocation recorded, so
+the audit experiments can flag terminal abuse patterns.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.util.clock import Clock, SimClock
+from repro.vfs import VfsError, VirtualFS
+
+
+@dataclass
+class TerminalCommand:
+    ts: float
+    command: str
+    exit_code: int
+    output: str
+
+
+class Terminal:
+    """One terminal session."""
+
+    def __init__(self, name: str, fs: VirtualFS, *, cwd: str = "home",
+                 clock: Optional[Clock] = None, username: str = "scientist"):
+        self.name = name
+        self.fs = fs
+        self.cwd = cwd
+        self.clock = clock or SimClock()
+        self.username = username
+        self.history: List[TerminalCommand] = []
+        self.listeners: List[Callable[[TerminalCommand], None]] = []
+
+    def _resolve(self, path: str) -> str:
+        if path.startswith("/"):
+            return path.lstrip("/")
+        return f"{self.cwd}/{path}" if self.cwd else path
+
+    def run(self, command_line: str) -> Tuple[int, str]:
+        """Execute one command; returns (exit_code, output)."""
+        try:
+            parts = shlex.split(command_line)
+        except ValueError as e:
+            return self._finish(command_line, 2, f"parse error: {e}")
+        if not parts:
+            return self._finish(command_line, 0, "")
+        cmd, *args = parts
+        handler = getattr(self, f"_cmd_{cmd.replace('-', '_')}", None)
+        if handler is None:
+            return self._finish(command_line, 127, f"{cmd}: command not found")
+        try:
+            code, out = handler(args)
+        except VfsError as e:
+            code, out = 1, str(e)
+        return self._finish(command_line, code, out)
+
+    def _finish(self, command_line: str, code: int, out: str) -> Tuple[int, str]:
+        rec = TerminalCommand(self.clock.now(), command_line, code, out)
+        self.history.append(rec)
+        for fn in self.listeners:
+            fn(rec)
+        return code, out
+
+    # -- command handlers -----------------------------------------------------
+    def _cmd_ls(self, args: List[str]) -> Tuple[int, str]:
+        path = self._resolve(args[0]) if args else self.cwd
+        return 0, "\n".join(self.fs.listdir(path))
+
+    def _cmd_pwd(self, args: List[str]) -> Tuple[int, str]:
+        return 0, "/" + self.cwd
+
+    def _cmd_cd(self, args: List[str]) -> Tuple[int, str]:
+        target = self._resolve(args[0]) if args else "home"
+        if not self.fs.is_dir(target):
+            return 1, f"cd: no such directory: {args[0] if args else '~'}"
+        self.cwd = target
+        return 0, ""
+
+    def _cmd_cat(self, args: List[str]) -> Tuple[int, str]:
+        out = []
+        for a in args:
+            out.append(self.fs.read(self._resolve(a)).decode("utf-8", "replace"))
+        return 0, "".join(out)
+
+    def _cmd_echo(self, args: List[str]) -> Tuple[int, str]:
+        return 0, " ".join(args)
+
+    def _cmd_rm(self, args: List[str]) -> Tuple[int, str]:
+        targets = [a for a in args if not a.startswith("-")]
+        recursive = any(a in ("-r", "-rf", "-fr") for a in args)
+        for t in targets:
+            full = self._resolve(t)
+            if recursive and self.fs.is_dir(full):
+                for f in list(self.fs.walk(full)):
+                    self.fs.delete(f)
+            else:
+                self.fs.delete(full)
+        return 0, ""
+
+    def _cmd_mv(self, args: List[str]) -> Tuple[int, str]:
+        if len(args) != 2:
+            return 2, "mv: usage: mv SRC DST"
+        self.fs.rename(self._resolve(args[0]), self._resolve(args[1]))
+        return 0, ""
+
+    def _cmd_mkdir(self, args: List[str]) -> Tuple[int, str]:
+        for a in args:
+            if not a.startswith("-"):
+                self.fs.mkdir(self._resolve(a))
+        return 0, ""
+
+    def _cmd_whoami(self, args: List[str]) -> Tuple[int, str]:
+        return 0, self.username
+
+    def _cmd_uname(self, args: List[str]) -> Tuple[int, str]:
+        return 0, "Linux jupyter-node 5.15.0 x86_64 GNU/Linux"
+
+    def _cmd_df(self, args: List[str]) -> Tuple[int, str]:
+        used = self.fs.total_bytes()
+        return 0, f"Filesystem     Used\nvfs      {used}"
+
+    def _cmd_wget(self, args: List[str]) -> Tuple[int, str]:
+        # Download attempts are the classic staging step; no network in the
+        # terminal, but the attempt lands in the audit trail.
+        url = args[-1] if args else ""
+        return 4, f"wget: unable to resolve host address {url!r}"
+
+    _cmd_curl = _cmd_wget
+
+    def _cmd_nvidia_smi(self, args: List[str]) -> Tuple[int, str]:
+        return 0, "GPU 0: A100-SXM4-40GB (UUID: GPU-sim)\nUtilization: 0%"
+
+    def _cmd_history(self, args: List[str]) -> Tuple[int, str]:
+        return 0, "\n".join(h.command for h in self.history)
+
+
+class TerminalManager:
+    """The ``/api/terminals`` table."""
+
+    def __init__(self, fs: VirtualFS, clock: Optional[Clock] = None):
+        self.fs = fs
+        self.clock = clock or SimClock()
+        self.terminals: Dict[str, Terminal] = {}
+        self._counter = 0
+
+    def create(self, *, username: str = "scientist") -> Terminal:
+        self._counter += 1
+        name = str(self._counter)
+        term = Terminal(name, self.fs, clock=self.clock, username=username)
+        self.terminals[name] = term
+        return term
+
+    def get(self, name: str) -> Optional[Terminal]:
+        return self.terminals.get(name)
+
+    def delete(self, name: str) -> bool:
+        return self.terminals.pop(name, None) is not None
+
+    def list_names(self) -> List[str]:
+        return sorted(self.terminals)
+
+    def all_commands(self) -> List[TerminalCommand]:
+        out: List[TerminalCommand] = []
+        for t in self.terminals.values():
+            out.extend(t.history)
+        return sorted(out, key=lambda c: c.ts)

@@ -1,0 +1,226 @@
+"""Kernel channel bindings: ZMTP over simulated loopback TCP.
+
+Faithful to the paper's Fig. 2 and §II: the kernel listens on
+``shell_port``, ``iopub_port``, ``control_port``, ``hb_port`` with TCP
+transport and HMAC-SHA256-signed messages.  The server connects as a
+client.  The network tap therefore sees *real ZMTP bytes carrying real
+signed Jupyter messages*, which is the traffic the paper says existing
+monitors cannot interpret.
+
+Execution timing: when a shell request arrives the kernel replies
+``status:busy``/``execute_input`` immediately and schedules the
+remaining iopub traffic and the reply after the cell's *simulated
+duration*, so long-running (e.g. mining) cells occupy the kernel in
+simulation time exactly as they would a real node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.kernel.runtime import KernelRuntime
+from repro.messaging import Channel, Message, Session
+from repro.simnet import Host, Network, TcpConnection
+from repro.util.errors import ProtocolError
+from repro.wire.zmtp import ZmtpDecoder, encode_greeting, encode_multipart, encode_ready
+
+#: Default port layout (base + offset per channel), mirroring a real
+#: connection file's shell_port/iopub_port/control_port/hb_port.
+CHANNEL_PORT_OFFSETS = {
+    Channel.SHELL: 0,
+    Channel.IOPUB: 1,
+    Channel.CONTROL: 2,
+    Channel.HEARTBEAT: 3,
+    Channel.STDIN: 4,
+}
+
+
+@dataclass
+class ConnectionInfo:
+    """The 'connection file' a client needs to reach a kernel."""
+
+    ip: str
+    shell_port: int
+    iopub_port: int
+    control_port: int
+    hb_port: int
+    stdin_port: int
+    key: bytes
+    signature_scheme: str = "hmac-sha256"
+
+
+class _ZmtpPeer:
+    """Server side of one accepted ZMTP connection."""
+
+    def __init__(self, conn: TcpConnection, on_message: Callable[[List[bytes]], None]):
+        self.conn = conn
+        self.decoder = ZmtpDecoder()
+        self.on_message = on_message
+        conn.on_data_server = self._feed
+        # Kernel side sends its greeting + READY straight away.
+        conn.send_to_client(encode_greeting(as_server=True) + encode_ready("ROUTER"))
+
+    def _feed(self, data: bytes) -> None:
+        self.decoder.feed(data)
+        for parts in self.decoder.messages():
+            self.on_message(parts)
+
+    def send(self, parts: List[bytes]) -> None:
+        if self.conn.open:
+            self.conn.send_to_client(encode_multipart(parts))
+
+
+class KernelZmtpBinding:
+    """Exposes one kernel's five channels as ZMTP listeners on a host."""
+
+    def __init__(self, kernel: KernelRuntime, host: Host, network: Network,
+                 *, base_port: int = 50000, bind_ip: str = "127.0.0.1"):
+        self.kernel = kernel
+        self.host = host
+        self.network = network
+        self.base_port = base_port
+        self.ports: Dict[Channel, int] = {
+            ch: base_port + off for ch, off in CHANNEL_PORT_OFFSETS.items()
+        }
+        self._iopub_peers: List[_ZmtpPeer] = []
+        for ch in (Channel.SHELL, Channel.CONTROL):
+            host.listen(self.ports[ch], self._make_request_acceptor(ch), bind_ip=bind_ip)
+        host.listen(self.ports[Channel.IOPUB], self._accept_iopub, bind_ip=bind_ip)
+        host.listen(self.ports[Channel.HEARTBEAT], self._accept_heartbeat, bind_ip=bind_ip)
+        host.listen(self.ports[Channel.STDIN], self._make_request_acceptor(Channel.STDIN), bind_ip=bind_ip)
+
+    def connection_info(self) -> ConnectionInfo:
+        return ConnectionInfo(
+            ip=self.host.ip,
+            shell_port=self.ports[Channel.SHELL],
+            iopub_port=self.ports[Channel.IOPUB],
+            control_port=self.ports[Channel.CONTROL],
+            hb_port=self.ports[Channel.HEARTBEAT],
+            stdin_port=self.ports[Channel.STDIN],
+            key=self.kernel.session.signer.key if hasattr(self.kernel.session.signer, "key") else b"",
+        )
+
+    # -- channel acceptors ------------------------------------------------------
+    def _make_request_acceptor(self, channel: Channel):
+        def accept(conn: TcpConnection) -> None:
+            peer: _ZmtpPeer = _ZmtpPeer(conn, lambda parts: self._on_request(peer, parts))
+
+        return accept
+
+    def _accept_iopub(self, conn: TcpConnection) -> None:
+        peer = _ZmtpPeer(conn, lambda parts: None)  # SUB side never sends messages
+        self._iopub_peers.append(peer)
+
+    def _accept_heartbeat(self, conn: TcpConnection) -> None:
+        def on_message(parts: List[bytes]) -> None:
+            try:
+                echo = self.kernel.heartbeat(parts[0] if parts else b"")
+            except RuntimeError:
+                conn.close(by_client=False)
+                return
+            peer.send([echo])
+
+        peer = _ZmtpPeer(conn, on_message)
+
+    # -- request handling ----------------------------------------------------------
+    def _on_request(self, peer: _ZmtpPeer, parts: List[bytes]) -> None:
+        try:
+            request = self.kernel.session.unserialize(parts)
+        except ProtocolError as e:
+            # Signature failures never reach the interpreter; the kernel
+            # logs and drops, exactly like jupyter_client.
+            self.kernel.world.emit("bad_message", error=str(e))
+            return
+        msgs = self.kernel.handle(request)
+        reply, iopub = msgs[0], msgs[1:]
+        duration = 0.0
+        if request.msg_type == "execute_request" and self.kernel.history:
+            duration = self.kernel.history[-1].duration
+        loop = self.network.loop
+
+        def send_iopub(msg: Message) -> None:
+            wire = self.kernel.session.serialize(msg)
+            for sub in list(self._iopub_peers):
+                if sub.conn.open:
+                    sub.send(wire)
+
+        # busy/execute_input go out immediately; results after the work.
+        immediate = [m for m in iopub if m.msg_type in ("status", "execute_input")
+                     and m.content.get("execution_state") != "idle"]
+        deferred = [m for m in iopub if m not in immediate]
+        for m in immediate:
+            send_iopub(m)
+        if duration > 0:
+            loop.call_later(duration, lambda: ([send_iopub(m) for m in deferred],
+                                               peer.send(self.kernel.session.serialize(reply))))
+        else:
+            for m in deferred:
+                send_iopub(m)
+            peer.send(self.kernel.session.serialize(reply))
+
+
+class ZmtpKernelClient:
+    """The server's client half: connects to a kernel's ZMTP ports."""
+
+    def __init__(self, info: ConnectionInfo, server_host: Host, kernel_host: Host,
+                 *, session: Optional[Session] = None):
+        self.info = info
+        self.session = session or Session(info.key, check_replay=False)
+        self._decoders: Dict[Channel, ZmtpDecoder] = {}
+        self._conns: Dict[Channel, TcpConnection] = {}
+        self.on_shell_reply: List[Callable[[Message], None]] = []
+        self.on_iopub: List[Callable[[Message], None]] = []
+        self.on_control_reply: List[Callable[[Message], None]] = []
+        self.hb_echoes: List[bytes] = []
+        ports = {
+            Channel.SHELL: info.shell_port,
+            Channel.IOPUB: info.iopub_port,
+            Channel.CONTROL: info.control_port,
+            Channel.HEARTBEAT: info.hb_port,
+        }
+        for ch, port in ports.items():
+            conn = server_host.connect(kernel_host, port)
+            self._conns[ch] = conn
+            self._decoders[ch] = ZmtpDecoder()
+            conn.on_data_client = self._make_feed(ch)
+            conn.send_to_server(encode_greeting() + encode_ready("DEALER"))
+
+    def _make_feed(self, channel: Channel):
+        def feed(data: bytes) -> None:
+            dec = self._decoders[channel]
+            dec.feed(data)
+            for parts in dec.messages():
+                self._dispatch(channel, parts)
+
+        return feed
+
+    def _dispatch(self, channel: Channel, parts: List[bytes]) -> None:
+        if channel == Channel.HEARTBEAT:
+            self.hb_echoes.append(parts[0] if parts else b"")
+            return
+        msg = self.session.unserialize(parts)
+        msg.channel = channel
+        targets = {
+            Channel.SHELL: self.on_shell_reply,
+            Channel.IOPUB: self.on_iopub,
+            Channel.CONTROL: self.on_control_reply,
+        }[channel]
+        for fn in targets:
+            fn(msg)
+
+    # -- sending ------------------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        channel = msg.channel or msg.expected_channel() or Channel.SHELL
+        if channel == Channel.IOPUB:
+            raise ProtocolError("clients cannot publish on iopub")
+        conn = self._conns[Channel.SHELL if channel == Channel.STDIN else channel]
+        conn.send_to_server(encode_multipart(self.session.serialize(msg)))
+
+    def ping(self, payload: bytes = b"ping") -> None:
+        self._conns[Channel.HEARTBEAT].send_to_server(encode_multipart([payload]))
+
+    def close(self) -> None:
+        for conn in self._conns.values():
+            if conn.open:
+                conn.close()

@@ -1,0 +1,38 @@
+"""Deterministic discrete-event network simulation.
+
+The paper's experiments need a *network vantage point*: the monitor sits
+on a tap and sees TCP segments between clients, the Jupyter server, and
+attacker infrastructure.  This package provides that world:
+
+- :class:`EventLoop` — a heap-based discrete-event scheduler driving a
+  shared :class:`~repro.util.clock.SimClock`.
+- :class:`Network` / :class:`Host` — addressable endpoints with latency
+  and per-link bandwidth pacing.
+- :class:`TcpConnection` — ordered byte streams with MSS chunking, so
+  protocol parsers face realistic segment boundaries.
+- :class:`NetworkTap` — the passive observer feeding the monitor
+  :class:`Segment` records.
+
+Determinism is absolute: same seed, same wiring → identical segment
+timelines, which makes every benchmark and dataset reproducible.
+"""
+
+from repro.simnet.loop import EventLoop
+from repro.simnet.net import (
+    Host,
+    Listener,
+    Network,
+    NetworkTap,
+    Segment,
+    TcpConnection,
+)
+
+__all__ = [
+    "EventLoop",
+    "Network",
+    "Host",
+    "Listener",
+    "TcpConnection",
+    "NetworkTap",
+    "Segment",
+]

@@ -1,0 +1,290 @@
+"""Hosts, TCP-like connections, and passive taps.
+
+The model is deliberately at the "reassembled TCP" level of abstraction:
+segments are ordered, reliable, and at most ``mss`` bytes — what a Zeek
+tap sees after its own reassembly.  Loss/retransmission modelling would
+add realism the paper's experiments never exercise; segment *boundaries*
+and *timing* are what the observability experiments need, and those are
+faithful (per-link latency plus bandwidth pacing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simnet.loop import EventLoop
+from repro.util.errors import ReproError
+from repro.util.ids import new_id
+
+DEFAULT_MSS = 1400
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One observed TCP segment (what a tap records)."""
+
+    ts: float
+    src: str
+    sport: int
+    dst: str
+    dport: int
+    payload: bytes
+    flags: str = ""  # "S" syn, "F" fin, "" data
+    conn_id: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+    def five_tuple(self) -> Tuple[str, int, str, int, str]:
+        return (self.src, self.sport, self.dst, self.dport, "tcp")
+
+
+class NetworkTap:
+    """Passive observer of every segment crossing the network.
+
+    The monitor subscribes a callback; the dataset builder records
+    segments wholesale.  Taps never mutate traffic.
+    """
+
+    def __init__(self, name: str = "tap0"):
+        self.name = name
+        self.segments: List[Segment] = []
+        self._subscribers: List[Callable[[Segment], None]] = []
+        self.enabled = True
+
+    def subscribe(self, fn: Callable[[Segment], None]) -> None:
+        self._subscribers.append(fn)
+
+    def observe(self, segment: Segment) -> None:
+        if not self.enabled:
+            return
+        self.segments.append(segment)
+        for fn in self._subscribers:
+            fn(segment)
+
+    def total_bytes(self) -> int:
+        return sum(s.size for s in self.segments)
+
+    def clear(self) -> None:
+        self.segments.clear()
+
+
+class TcpConnection:
+    """A bidirectional ordered byte stream between two hosts.
+
+    ``send`` chunks data into MSS-sized segments, schedules delivery
+    after the link latency (plus bandwidth pacing), mirrors each segment
+    to all taps, and invokes the peer's ``on_data`` callback on arrival.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        client: "Host",
+        client_port: int,
+        server: "Host",
+        server_port: int,
+    ):
+        self.network = network
+        self.client = client
+        self.client_port = client_port
+        self.server = server
+        self.server_port = server_port
+        self.conn_id = new_id("conn-")[:16]
+        self.open = True
+        # Per-direction receive callbacks, set by endpoints.
+        self.on_data_client: Optional[Callable[[bytes], None]] = None
+        self.on_data_server: Optional[Callable[[bytes], None]] = None
+        self.on_close_client: Optional[Callable[[], None]] = None
+        self.on_close_server: Optional[Callable[[], None]] = None
+        # Pacing state per direction: time the link frees up.
+        self._link_free_at: Dict[str, float] = {"c2s": 0.0, "s2c": 0.0}
+        self.bytes_c2s = 0
+        self.bytes_s2c = 0
+        self.opened_at = network.loop.clock.now()
+
+    # -- endpoint API --------------------------------------------------------
+    def send_to_server(self, data: bytes) -> None:
+        self._send("c2s", data)
+
+    def send_to_client(self, data: bytes) -> None:
+        self._send("s2c", data)
+
+    def close(self, *, by_client: bool = True) -> None:
+        if not self.open:
+            return
+        self.open = False
+        direction = "c2s" if by_client else "s2c"
+        self._emit_segment(direction, b"", flags="F")
+        loop = self.network.loop
+        latency = self.network.latency(self.client, self.server)
+        cb_cb, cb_sb = self.on_close_client, self.on_close_server
+
+        def deliver_close():
+            if direction == "c2s" and cb_sb:
+                cb_sb()
+            elif direction == "s2c" and cb_cb:
+                cb_cb()
+
+        loop.call_later(latency, deliver_close)
+
+    # -- internals ------------------------------------------------------------
+    def _send(self, direction: str, data: bytes) -> None:
+        if not self.open:
+            raise ReproError(f"send on closed connection {self.conn_id}")
+        if not data:
+            return
+        loop = self.network.loop
+        latency = self.network.latency(self.client, self.server)
+        bandwidth = self.network.bandwidth_bps
+        now = loop.clock.now()
+        depart = max(now, self._link_free_at[direction])
+        mss = self.network.mss
+        for i in range(0, len(data), mss):
+            chunk = data[i : i + mss]
+            if bandwidth > 0:
+                depart += len(chunk) * 8.0 / bandwidth
+            arrive = depart + latency
+            self._schedule_delivery(direction, chunk, arrive)
+        self._link_free_at[direction] = depart
+        if direction == "c2s":
+            self.bytes_c2s += len(data)
+        else:
+            self.bytes_s2c += len(data)
+
+    def _schedule_delivery(self, direction: str, chunk: bytes, arrive: float) -> None:
+        loop = self.network.loop
+
+        def deliver():
+            self._emit_segment(direction, chunk)
+            if direction == "c2s" and self.on_data_server:
+                self.on_data_server(chunk)
+            elif direction == "s2c" and self.on_data_client:
+                self.on_data_client(chunk)
+
+        loop.call_at(max(arrive, loop.clock.now()), deliver)
+
+    def _emit_segment(self, direction: str, payload: bytes, flags: str = "") -> None:
+        ts = self.network.loop.clock.now()
+        if direction == "c2s":
+            seg = Segment(ts, self.client.ip, self.client_port, self.server.ip, self.server_port,
+                          payload, flags, self.conn_id)
+        else:
+            seg = Segment(ts, self.server.ip, self.server_port, self.client.ip, self.client_port,
+                          payload, flags, self.conn_id)
+        for tap in self.network.taps:
+            tap.observe(seg)
+
+
+@dataclass
+class Listener:
+    """A bound (host, port) accepting connections."""
+
+    host: "Host"
+    port: int
+    on_connect: Callable[[TcpConnection], None]
+    bind_ip: str = "0.0.0.0"
+
+    def accessible_from(self, src: "Host") -> bool:
+        """Loopback binds only accept same-host connections."""
+        if self.bind_ip in ("0.0.0.0", self.host.ip):
+            return True
+        if self.bind_ip == "127.0.0.1":
+            return src is self.host
+        return False
+
+
+class Host:
+    """An addressable endpoint: runs servers (listeners) and clients."""
+
+    def __init__(self, network: "Network", name: str, ip: str):
+        self.network = network
+        self.name = name
+        self.ip = ip
+        self.listeners: Dict[int, Listener] = {}
+        self._ephemeral = 49152
+
+    def listen(self, port: int, on_connect: Callable[[TcpConnection], None], *, bind_ip: str = "0.0.0.0") -> Listener:
+        if port in self.listeners:
+            raise ReproError(f"{self.name}: port {port} already bound")
+        lst = Listener(self, port, on_connect, bind_ip)
+        self.listeners[port] = lst
+        return lst
+
+    def unlisten(self, port: int) -> None:
+        self.listeners.pop(port, None)
+
+    def next_ephemeral_port(self) -> int:
+        self._ephemeral += 1
+        return self._ephemeral
+
+    def connect(self, dst: "Host", port: int) -> TcpConnection:
+        """Open a connection to ``dst:port``; raises if nothing listens
+        or the listener's bind address excludes us.  Refused attempts
+        still emit a SYN/RST probe pair to the taps — port scans are
+        visible to the monitor exactly as they are to a real sensor."""
+        listener = dst.listeners.get(port)
+        if listener is None or not listener.accessible_from(self):
+            ts = self.network.loop.clock.now()
+            sport = self.next_ephemeral_port()
+            for tap in self.network.taps:
+                tap.observe(Segment(ts, self.ip, sport, dst.ip, port, b"", "S"))
+                tap.observe(Segment(ts, dst.ip, port, self.ip, sport, b"", "R"))
+            if listener is None:
+                raise ReproError(f"connection refused: {dst.name}:{port} not listening")
+            raise ReproError(f"connection refused: {dst.name}:{port} bound to {listener.bind_ip}")
+        conn = TcpConnection(self.network, self, self.next_ephemeral_port(), dst, port)
+        conn._emit_segment("c2s", b"", flags="S")
+        listener.on_connect(conn)
+        return conn
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Host({self.name}@{self.ip})"
+
+
+class Network:
+    """The world: hosts, links, taps, and one event loop."""
+
+    def __init__(
+        self,
+        loop: Optional[EventLoop] = None,
+        *,
+        default_latency: float = 0.001,
+        bandwidth_bps: float = 0.0,  # 0 = infinite
+        mss: int = DEFAULT_MSS,
+    ):
+        self.loop = loop or EventLoop()
+        self.hosts: Dict[str, Host] = {}
+        self.taps: List[NetworkTap] = []
+        self.default_latency = default_latency
+        self.bandwidth_bps = bandwidth_bps
+        self.mss = mss
+        self._latency_overrides: Dict[frozenset, float] = {}
+
+    def add_host(self, name: str, ip: str) -> Host:
+        if name in self.hosts:
+            raise ReproError(f"duplicate host {name}")
+        if any(h.ip == ip for h in self.hosts.values()):
+            raise ReproError(f"duplicate ip {ip}")
+        host = Host(self, name, ip)
+        self.hosts[name] = host
+        return host
+
+    def add_tap(self, name: str = "tap0") -> NetworkTap:
+        tap = NetworkTap(name)
+        self.taps.append(tap)
+        return tap
+
+    def set_latency(self, a: Host, b: Host, latency: float) -> None:
+        self._latency_overrides[frozenset((a.name, b.name))] = latency
+
+    def latency(self, a: Host, b: Host) -> float:
+        if a is b:
+            return 0.0
+        return self._latency_overrides.get(frozenset((a.name, b.name)), self.default_latency)
+
+    def run(self, duration: float) -> int:
+        """Advance the world by ``duration`` seconds of simulated time."""
+        return self.loop.run_until(self.loop.clock.now() + duration)

@@ -1,0 +1,39 @@
+"""The paper's taxonomy: OSCRP threat model for Jupyter deployments.
+
+Encodes Fig. 1/Fig. 3 (avenues of attack → concerns → consequences,
+following TrustedCI's Open Science Cyber Risk Profile) and Table 1 as a
+queryable object model, plus the attack-technique tree ("attacks in the
+wild") and the CVE registry the paper cites.  The benchmark for FIG1
+re-renders the figure from this model and cross-checks it against live
+attack executions.
+"""
+
+from repro.taxonomy.oscrp import (
+    Asset,
+    Avenue,
+    Concern,
+    Consequence,
+    OSCRPProfile,
+    JUPYTER_OSCRP,
+)
+from repro.taxonomy.techniques import TechniqueNode, ATTACK_TREE, find_technique
+from repro.taxonomy.cves import CVE_REGISTRY, CveEntry, cves_for_component
+from repro.taxonomy.render import render_tree, render_table, render_oscrp_figure
+
+__all__ = [
+    "Asset",
+    "Avenue",
+    "Concern",
+    "Consequence",
+    "OSCRPProfile",
+    "JUPYTER_OSCRP",
+    "TechniqueNode",
+    "ATTACK_TREE",
+    "find_technique",
+    "CVE_REGISTRY",
+    "CveEntry",
+    "cves_for_component",
+    "render_tree",
+    "render_table",
+    "render_oscrp_figure",
+]

@@ -1,0 +1,103 @@
+"""CVE registry: the vulnerabilities the paper and its references name.
+
+Summaries are condensed from the public NVD entries; the misconfig
+scanner joins on affected components/versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.taxonomy.oscrp import Avenue
+
+
+@dataclass(frozen=True)
+class CveEntry:
+    cve_id: str
+    component: str
+    summary: str
+    cvss: float
+    avenue: Avenue
+    affected_versions: tuple = ()
+
+
+CVE_REGISTRY: Dict[str, CveEntry] = {
+    e.cve_id: e
+    for e in [
+        CveEntry(
+            "CVE-2024-22415",
+            "jupyter-lsp",
+            "Unauthenticated access to jupyter-lsp websocket enables arbitrary "
+            "file read/write and code execution on the server.",
+            9.8,
+            Avenue.ZERO_DAY,
+            ("2023.12.0",),
+        ),
+        CveEntry(
+            "CVE-2021-32798",
+            "jupyter-notebook",
+            "Untrusted notebook output XSS leads to arbitrary code execution "
+            "in the single-user server.",
+            9.6,
+            Avenue.ZERO_DAY,
+            ("2021.8.0",),
+        ),
+        CveEntry(
+            "CVE-2020-16977",
+            "vscode-jupyter",
+            "Notebook rendering in VS Code allows remote code execution via "
+            "crafted notebook files.",
+            8.8,
+            Avenue.ZERO_DAY,
+            ("2020.10.0",),
+        ),
+        CveEntry(
+            "CVE-2022-29238",
+            "jupyter-notebook",
+            "Token-protected static files served without authentication checks "
+            "under specific configurations.",
+            6.5,
+            Avenue.MISCONFIGURATION,
+            ("6.4.0", "6.4.11"),
+        ),
+        CveEntry(
+            "CVE-2022-24758",
+            "jupyter-server",
+            "Operations log leaks authentication tokens to other local users.",
+            7.1,
+            Avenue.ACCOUNT_TAKEOVER,
+            ("6.4.0",),
+        ),
+        CveEntry(
+            "CVE-2019-10856",
+            "jupyter-notebook",
+            "Open redirect via crafted URL enables credential phishing.",
+            6.1,
+            Avenue.ACCOUNT_TAKEOVER,
+            ("5.7.8",),
+        ),
+        CveEntry(
+            "CVE-2019-9644",
+            "jupyter-notebook",
+            "XSSI allows cross-origin reads of notebook contents.",
+            5.3,
+            Avenue.DATA_EXFILTRATION,
+            ("5.7.8",),
+        ),
+    ]
+}
+
+
+def cves_for_component(component: str) -> List[CveEntry]:
+    return sorted(
+        (e for e in CVE_REGISTRY.values() if e.component == component),
+        key=lambda e: -e.cvss,
+    )
+
+
+def cves_for_version(version: str) -> List[CveEntry]:
+    return sorted(
+        (e for e in CVE_REGISTRY.values() if version in e.affected_versions),
+        key=lambda e: -e.cvss,
+    )

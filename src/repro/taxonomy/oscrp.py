@@ -1,0 +1,159 @@
+"""Open Science Cyber Risk Profile (OSCRP) model for Jupyter.
+
+Transcribes the paper's Fig. 3: avenues of attack (ransomware,
+crypto-mining, data exfiltration, account takeover, zero-day), concerns
+(inaccessible/incorrect data, exposed data, disruption of computing),
+and consequences (irreproducible results, misguided interpretation,
+legal actions, funding loss, reduced reputation), with the edges between
+them.  The model is executable documentation: the attack framework tags
+every attack with its avenue, and the TAB1 benchmark verifies that the
+*observed* impacts of running each attack match the declared mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Tuple
+
+
+class Avenue(str, Enum):
+    """Avenues of attack (Fig. 3, middle band)."""
+
+    RANSOMWARE = "ransomware"
+    CRYPTOMINING = "crypto-mining"
+    DATA_EXFILTRATION = "data-exfiltration"
+    ACCOUNT_TAKEOVER = "account-takeover"
+    ZERO_DAY = "zero-day"
+    MISCONFIGURATION = "security-misconfiguration"
+
+
+class Concern(str, Enum):
+    """Concerns about science assets (Fig. 3, top band)."""
+
+    INACCESSIBLE_OR_INCORRECT_DATA = "inaccessible-or-incorrect-data"
+    EXPOSED_DATA = "exposed-data"
+    DISRUPTION_OF_COMPUTING = "disruption-of-computing"
+
+
+class Consequence(str, Enum):
+    """Consequences to science, facilities, and humans (Fig. 3, bottom band)."""
+
+    IRREPRODUCIBLE_RESULTS = "irreproducible-results"
+    MISGUIDED_INTERPRETATION = "misguided-scientific-interpretation"
+    LEGAL_ACTIONS = "legal-actions"
+    FUNDING_LOSS = "funding-loss"
+    REDUCED_REPUTATION = "reduced-reputation"
+
+
+class Asset(str, Enum):
+    """Key science assets at risk (paper §III)."""
+
+    TRAINED_MODELS = "expensively-trained-ai-models"
+    TRAINING_DATA = "training-data"
+    HPC_ALLOCATION = "hpc-compute-allocation"
+    CREDENTIALS = "credentials-and-tokens"
+    RESEARCH_ARTIFACTS = "unpublished-research-artifacts"
+    SERVICE_AVAILABILITY = "science-gateway-availability"
+
+
+@dataclass(frozen=True)
+class OSCRPProfile:
+    """The full mapping; edges are (avenue → concern) and (concern → consequence)."""
+
+    avenue_concerns: Dict[Avenue, FrozenSet[Concern]]
+    concern_consequences: Dict[Concern, FrozenSet[Consequence]]
+    avenue_assets: Dict[Avenue, FrozenSet[Asset]]
+
+    def concerns_for(self, avenue: Avenue) -> FrozenSet[Concern]:
+        return self.avenue_concerns.get(avenue, frozenset())
+
+    def consequences_for(self, avenue: Avenue) -> FrozenSet[Consequence]:
+        out: set[Consequence] = set()
+        for concern in self.concerns_for(avenue):
+            out |= self.concern_consequences.get(concern, frozenset())
+        return frozenset(out)
+
+    def assets_for(self, avenue: Avenue) -> FrozenSet[Asset]:
+        return self.avenue_assets.get(avenue, frozenset())
+
+    def table_rows(self) -> List[Tuple[str, str, str]]:
+        """Table 1 rows: (avenue, concerns, consequences)."""
+        rows = []
+        for avenue in Avenue:
+            concerns = ", ".join(sorted(c.value for c in self.concerns_for(avenue)))
+            consequences = ", ".join(sorted(c.value for c in self.consequences_for(avenue)))
+            rows.append((avenue.value, concerns, consequences))
+        return rows
+
+    def validate(self) -> List[str]:
+        """Structural sanity: every avenue mapped, every concern consequential."""
+        problems = []
+        for avenue in Avenue:
+            if not self.concerns_for(avenue):
+                problems.append(f"avenue {avenue.value} has no concerns")
+            if not self.assets_for(avenue):
+                problems.append(f"avenue {avenue.value} has no assets")
+        for concern in Concern:
+            if not self.concern_consequences.get(concern):
+                problems.append(f"concern {concern.value} has no consequences")
+        return problems
+
+
+#: The paper's instantiation (Fig. 3 edges, read off the figure).
+JUPYTER_OSCRP = OSCRPProfile(
+    avenue_concerns={
+        Avenue.RANSOMWARE: frozenset({
+            Concern.INACCESSIBLE_OR_INCORRECT_DATA,
+            Concern.DISRUPTION_OF_COMPUTING,
+        }),
+        Avenue.CRYPTOMINING: frozenset({
+            Concern.DISRUPTION_OF_COMPUTING,
+        }),
+        Avenue.DATA_EXFILTRATION: frozenset({
+            Concern.EXPOSED_DATA,
+        }),
+        Avenue.ACCOUNT_TAKEOVER: frozenset({
+            Concern.EXPOSED_DATA,
+            Concern.INACCESSIBLE_OR_INCORRECT_DATA,
+            Concern.DISRUPTION_OF_COMPUTING,
+        }),
+        Avenue.ZERO_DAY: frozenset({
+            Concern.INACCESSIBLE_OR_INCORRECT_DATA,
+            Concern.EXPOSED_DATA,
+            Concern.DISRUPTION_OF_COMPUTING,
+        }),
+        Avenue.MISCONFIGURATION: frozenset({
+            Concern.EXPOSED_DATA,
+            Concern.DISRUPTION_OF_COMPUTING,
+        }),
+    },
+    concern_consequences={
+        Concern.INACCESSIBLE_OR_INCORRECT_DATA: frozenset({
+            Consequence.IRREPRODUCIBLE_RESULTS,
+            Consequence.MISGUIDED_INTERPRETATION,
+        }),
+        Concern.EXPOSED_DATA: frozenset({
+            Consequence.LEGAL_ACTIONS,
+            Consequence.REDUCED_REPUTATION,
+            Consequence.FUNDING_LOSS,
+        }),
+        Concern.DISRUPTION_OF_COMPUTING: frozenset({
+            Consequence.IRREPRODUCIBLE_RESULTS,
+            Consequence.FUNDING_LOSS,
+            Consequence.REDUCED_REPUTATION,
+        }),
+    },
+    avenue_assets={
+        Avenue.RANSOMWARE: frozenset({Asset.TRAINING_DATA, Asset.RESEARCH_ARTIFACTS,
+                                      Asset.TRAINED_MODELS}),
+        Avenue.CRYPTOMINING: frozenset({Asset.HPC_ALLOCATION, Asset.SERVICE_AVAILABILITY}),
+        Avenue.DATA_EXFILTRATION: frozenset({Asset.TRAINED_MODELS, Asset.TRAINING_DATA,
+                                             Asset.RESEARCH_ARTIFACTS}),
+        Avenue.ACCOUNT_TAKEOVER: frozenset({Asset.CREDENTIALS, Asset.HPC_ALLOCATION}),
+        Avenue.ZERO_DAY: frozenset({Asset.SERVICE_AVAILABILITY, Asset.CREDENTIALS,
+                                    Asset.TRAINED_MODELS}),
+        Avenue.MISCONFIGURATION: frozenset({Asset.CREDENTIALS, Asset.RESEARCH_ARTIFACTS,
+                                            Asset.SERVICE_AVAILABILITY}),
+    },
+)

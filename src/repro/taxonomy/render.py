@@ -1,0 +1,76 @@
+"""Renderers regenerating the paper's figures/table as text artifacts.
+
+``render_oscrp_figure`` reproduces Fig. 3's three-band layout;
+``render_tree`` reproduces Fig. 1's technique hierarchy; ``render_table``
+prints Table 1.  The FIG1/TAB1 benchmarks print these so a reader can
+diff them against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.taxonomy.oscrp import Avenue, Concern, Consequence, OSCRPProfile
+from repro.taxonomy.techniques import TechniqueNode
+
+
+def render_tree(node: TechniqueNode, *, show_observables: bool = False) -> str:
+    """ASCII tree of the technique taxonomy (paper Fig. 1)."""
+    lines: List[str] = []
+
+    def rec(n: TechniqueNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(n.name)
+        else:
+            branch = "└── " if is_last else "├── "
+            label = n.name
+            if n.avenue is not None and not n.children:
+                label += f"  [{n.avenue.value}]"
+            lines.append(prefix + branch + label)
+            if show_observables and n.observable:
+                cont = "    " if is_last else "│   "
+                lines.append(prefix + cont + f"      observable: {n.observable}")
+        child_prefix = "" if is_root else prefix + ("    " if is_last else "│   ")
+        for i, child in enumerate(n.children):
+            rec(child, child_prefix, i == len(n.children) - 1, False)
+
+    rec(node, "", True, True)
+    return "\n".join(lines)
+
+
+def render_table(rows: Sequence[Tuple[str, ...]], headers: Sequence[str]) -> str:
+    """Fixed-width table (Table 1 and benchmark outputs)."""
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i in range(cols):
+            widths[i] = max(widths[i], len(str(row[i])))
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [sep, "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |", sep]
+    for row in rows:
+        out.append("| " + " | ".join(str(c).ljust(w) for c, w in zip(row, widths)) + " |")
+    out.append(sep)
+    return "\n".join(out)
+
+
+def render_oscrp_figure(profile: OSCRPProfile) -> str:
+    """Fig. 3's three bands with explicit edges."""
+    lines = ["Jupyter's Open Science Cyber Risk Profile (OSCRP)", "=" * 52, ""]
+    lines.append("Avenues of Attack:")
+    for avenue in Avenue:
+        lines.append(f"  [{avenue.value}]")
+        for concern in sorted(profile.concerns_for(avenue), key=lambda c: c.value):
+            lines.append(f"      --> concern: {concern.value}")
+    lines.append("")
+    lines.append("Concerns -> Consequences:")
+    for concern in Concern:
+        lines.append(f"  [{concern.value}]")
+        for consequence in sorted(profile.concern_consequences.get(concern, frozenset()),
+                                  key=lambda c: c.value):
+            lines.append(f"      --> {consequence.value}")
+    lines.append("")
+    lines.append("Assets at risk per avenue:")
+    for avenue in Avenue:
+        assets = ", ".join(sorted(a.value for a in profile.assets_for(avenue)))
+        lines.append(f"  {avenue.value}: {assets}")
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""The 'attacks in the wild' technique tree (paper Fig. 1).
+
+Each leaf carries the observable the monitor/auditor keys on, the attack
+module that implements it, and the OSCRP avenue it belongs to — making
+the taxonomy navigable from figure to code to detection rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.taxonomy.oscrp import Avenue
+
+
+@dataclass
+class TechniqueNode:
+    """One node of the technique tree."""
+
+    name: str
+    description: str = ""
+    avenue: Optional[Avenue] = None
+    observable: str = ""          # what a defender sees
+    implemented_by: str = ""      # module path of the attack simulator
+    detected_by: str = ""         # detector / rule family
+    children: List["TechniqueNode"] = field(default_factory=list)
+
+    def add(self, child: "TechniqueNode") -> "TechniqueNode":
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["TechniqueNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> List["TechniqueNode"]:
+        return [n for n in self.walk() if not n.children]
+
+    def find(self, name: str) -> Optional["TechniqueNode"]:
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+
+def _build_tree() -> TechniqueNode:
+    root = TechniqueNode("jupyter-attacks", "Network-based attacks on Jupyter deployments")
+
+    ransom = root.add(TechniqueNode("ransomware", "Encrypt-and-extort against notebook storage",
+                                    avenue=Avenue.RANSOMWARE))
+    ransom.add(TechniqueNode(
+        "notebook-encryption", "Encrypt .ipynb/data files via kernel code or terminal",
+        avenue=Avenue.RANSOMWARE,
+        observable="burst of high-entropy overwrites + extension renames + ransom note",
+        implemented_by="repro.attacks.ransomware.RansomwareAttack",
+        detected_by="monitor.anomaly.EntropyBurstDetector, audit.policy.mass-file-overwrite",
+    ))
+    ransom.add(TechniqueNode(
+        "checkpoint-destruction", "Delete .ipynb_checkpoints before encrypting",
+        avenue=Avenue.RANSOMWARE,
+        observable="checkpoint directory deletions preceding overwrites",
+        implemented_by="repro.attacks.ransomware.RansomwareAttack",
+        detected_by="audit.policy.checkpoint-tamper",
+    ))
+
+    exfil = root.add(TechniqueNode("data-exfiltration", "Steal research artifacts",
+                                   avenue=Avenue.DATA_EXFILTRATION))
+    exfil.add(TechniqueNode(
+        "bulk-egress", "Read artifacts in kernel, stream to external host",
+        avenue=Avenue.DATA_EXFILTRATION,
+        observable="large outbound byte volume to rare destination",
+        implemented_by="repro.attacks.exfiltration.ExfiltrationAttack",
+        detected_by="monitor.anomaly.EgressVolumeDetector",
+    ))
+    exfil.add(TechniqueNode(
+        "low-and-slow-egress", "Rate-shaped exfiltration under volume thresholds",
+        avenue=Avenue.DATA_EXFILTRATION,
+        observable="long-lived trickle to rare destination",
+        implemented_by="repro.attacks.exfiltration.LowAndSlowExfiltration",
+        detected_by="monitor.anomaly.CusumEgressDetector",
+    ))
+    exfil.add(TechniqueNode(
+        "output-channel-smuggling", "Hide data in notebook outputs/display payloads",
+        avenue=Avenue.DATA_EXFILTRATION,
+        observable="oversized base64 blobs in iopub display_data",
+        implemented_by="repro.attacks.exfiltration.OutputSmugglingAttack",
+        detected_by="monitor.jupyter-layer output-size rule",
+    ))
+
+    mining = root.add(TechniqueNode("resource-abuse", "Steal compute for cryptocurrency",
+                                    avenue=Avenue.CRYPTOMINING))
+    mining.add(TechniqueNode(
+        "kernel-cryptominer", "Hash loops inside kernel cells",
+        avenue=Avenue.CRYPTOMINING,
+        observable="sustained CPU + periodic stratum-style beacons",
+        implemented_by="repro.attacks.mining.CryptominingAttack",
+        detected_by="monitor.anomaly.BeaconDetector, audit.policy.cpu-abuse",
+    ))
+
+    takeover = root.add(TechniqueNode("account-takeover", "Gain another user's access",
+                                      avenue=Avenue.ACCOUNT_TAKEOVER))
+    takeover.add(TechniqueNode(
+        "token-bruteforce", "Guess weak access tokens over HTTP",
+        avenue=Avenue.ACCOUNT_TAKEOVER,
+        observable="high 403 rate from one source",
+        implemented_by="repro.attacks.takeover.TokenBruteforceAttack",
+        detected_by="monitor.anomaly.BruteForceDetector",
+    ))
+    takeover.add(TechniqueNode(
+        "credential-stuffing", "Replay leaked password lists",
+        avenue=Avenue.ACCOUNT_TAKEOVER,
+        observable="failed password auths across many usernames",
+        implemented_by="repro.attacks.takeover.CredentialStuffingAttack",
+        detected_by="monitor.anomaly.BruteForceDetector",
+    ))
+    takeover.add(TechniqueNode(
+        "stolen-token-session", "Use a leaked token from new infrastructure",
+        avenue=Avenue.ACCOUNT_TAKEOVER,
+        observable="valid auth from never-seen source IP",
+        implemented_by="repro.attacks.takeover.StolenTokenAttack",
+        detected_by="monitor.anomaly.NewSourceDetector",
+    ))
+
+    misconf = root.add(TechniqueNode("security-misconfiguration",
+                                     "Exploit unsafe deployment settings",
+                                     avenue=Avenue.MISCONFIGURATION))
+    misconf.add(TechniqueNode(
+        "open-server-scan", "Internet-wide scan for token-less servers",
+        avenue=Avenue.MISCONFIGURATION,
+        observable="probes for /api from scanning infrastructure",
+        implemented_by="repro.attacks.misconfig.OpenServerScanAttack",
+        detected_by="monitor.anomaly.ScanDetector, misconfig.scanner",
+    ))
+    misconf.add(TechniqueNode(
+        "unauthenticated-api-abuse", "Full API access on open servers",
+        avenue=Avenue.MISCONFIGURATION,
+        observable="contents/kernels API use without credentials",
+        implemented_by="repro.attacks.misconfig.OpenServerExploitAttack",
+        detected_by="misconfig.scanner (preventive)",
+    ))
+
+    zero = root.add(TechniqueNode("zero-day", "Unknown-unknown exploits",
+                                  avenue=Avenue.ZERO_DAY))
+    zero.add(TechniqueNode(
+        "novel-exploit-standin", "Parameterized anomaly with no known signature",
+        avenue=Avenue.ZERO_DAY,
+        observable="behavioural deviation only (no signature match)",
+        implemented_by="repro.attacks.zeroday.ZeroDayAttack",
+        detected_by="anomaly detectors only — signature engines blind by construction",
+    ))
+
+    evasion = root.add(TechniqueNode("monitor-evasion", "Attacks on the defenders (paper §IV.A)"))
+    evasion.add(TechniqueNode(
+        "monitor-dos", "Flood the security monitor to force drops",
+        observable="monitor queue saturation / processing lag",
+        implemented_by="repro.attacks.evasion.MonitorFloodAttack",
+        detected_by="monitor self-health metrics",
+    ))
+    evasion.add(TechniqueNode(
+        "rule-inference", "Probe detector thresholds via adversarial queries",
+        observable="structured probe sequences straddling thresholds",
+        implemented_by="repro.attacks.evasion.RuleInferenceAttack",
+        detected_by="probe-pattern meta-detector (open problem, per paper)",
+    ))
+    return root
+
+
+#: The canonical tree (Fig. 1 re-rendered by the FIG1 benchmark).
+ATTACK_TREE = _build_tree()
+
+
+def find_technique(name: str) -> Optional[TechniqueNode]:
+    """Look up a technique anywhere in the canonical tree."""
+    return ATTACK_TREE.find(name)

@@ -1,0 +1,39 @@
+"""Shared low-level utilities for the jupyter-armor reproduction.
+
+This package holds the pieces every other subsystem leans on: a
+deterministic simulation clock, seeded randomness helpers, Shannon
+entropy (the workhorse of the ransomware detector), identifier
+generation, and the common error hierarchy.
+"""
+
+from repro.util.clock import SimClock, WallClock, Clock
+from repro.util.entropy import shannon_entropy, byte_histogram, chi_square_uniform
+from repro.util.errors import (
+    ReproError,
+    ProtocolError,
+    AuthError,
+    ValidationError,
+    ResourceLimitError,
+    SecurityViolation,
+)
+from repro.util.ids import new_id, new_token, short_id
+from repro.util.rng import DeterministicRNG
+
+__all__ = [
+    "SimClock",
+    "WallClock",
+    "Clock",
+    "shannon_entropy",
+    "byte_histogram",
+    "chi_square_uniform",
+    "ReproError",
+    "ProtocolError",
+    "AuthError",
+    "ValidationError",
+    "ResourceLimitError",
+    "SecurityViolation",
+    "new_id",
+    "new_token",
+    "short_id",
+    "DeterministicRNG",
+]

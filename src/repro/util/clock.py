@@ -1,0 +1,74 @@
+"""Simulation and wall clocks.
+
+All time in the simulated world flows through a :class:`Clock` so that an
+entire experiment — server, kernels, attackers, monitor — shares one
+notion of "now" and every run is bit-for-bit reproducible.  The monitor
+and dataset layers stamp records with ``clock.now()``; benchmarks that
+need real elapsed time use :class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Abstract time source measured in fractional seconds."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in seconds."""
+
+    def isoformat(self) -> str:
+        """Render ``now()`` as a fixed-epoch ISO-8601 timestamp.
+
+        The simulated epoch is 2024-01-01T00:00:00Z, matching the
+        collection window of the paper's NCSA testbed logs.
+        """
+        epoch = 1704067200.0  # 2024-01-01T00:00:00Z
+        t = epoch + self.now()
+        return time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(t)) + f".{int((t % 1) * 1e6):06d}Z"
+
+
+class SimClock(Clock):
+    """A manually advanced clock for deterministic simulation.
+
+    Time never moves on its own: the event loop (or a test) calls
+    :meth:`advance` or :meth:`advance_to`.  Attempting to move backwards
+    raises ``ValueError`` — the discrete-event queue relies on
+    monotonicity.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Jump to absolute time ``t`` (must not be in the past)."""
+        if t < self._now:
+            raise ValueError(f"cannot move clock backwards: {t} < {self._now}")
+        self._now = float(t)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"
+
+
+class WallClock(Clock):
+    """Real time, for benchmark harnesses measuring actual throughput."""
+
+    def __init__(self):
+        self._t0 = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._t0

@@ -1,0 +1,47 @@
+"""Common exception hierarchy.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the simulator can catch one type at the boundary.  The
+subclasses mirror the architectural layers: wire-protocol parsing
+(:class:`ProtocolError`), authentication (:class:`AuthError`), document
+validation (:class:`ValidationError`), kernel resource metering
+(:class:`ResourceLimitError`), and audit-policy enforcement
+(:class:`SecurityViolation`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ProtocolError(ReproError):
+    """A wire-level protocol violation (bad frame, bad greeting, bad HTTP)."""
+
+
+class AuthError(ReproError):
+    """Authentication or authorization failure."""
+
+
+class ValidationError(ReproError):
+    """A document or message failed schema validation."""
+
+
+class ResourceLimitError(ReproError):
+    """A kernel execution exceeded its configured resource budget."""
+
+    def __init__(self, message: str, *, resource: str = "", limit: float = 0.0, used: float = 0.0):
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+
+
+class SecurityViolation(ReproError):
+    """An audit policy denied an operation."""
+
+    def __init__(self, message: str, *, policy: str = "", detail: str = ""):
+        super().__init__(message)
+        self.policy = policy
+        self.detail = detail

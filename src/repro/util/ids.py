@@ -1,0 +1,53 @@
+"""Identifier and token generation.
+
+Simulation components need two flavours of identifier: reproducible ones
+(drawn from a seeded RNG so a whole experiment replays identically) and
+cryptographically strong ones (for the auth layer, where token *entropy*
+is itself the subject of a misconfiguration check).
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+
+_ALPHABET = "0123456789abcdef"
+
+# Module-level RNG used only for deterministic IDs.  Experiments that need
+# full reproducibility call seed_ids() first.
+_id_rng = random.Random(0xA11CE)
+_counter = 0
+
+
+def seed_ids(seed: int) -> None:
+    """Re-seed the deterministic ID stream (used by experiment runners)."""
+    global _id_rng, _counter
+    _id_rng = random.Random(seed)
+    _counter = 0
+
+
+def new_id(prefix: str = "") -> str:
+    """Return a deterministic 32-hex-char identifier, optionally prefixed.
+
+    The stream depends only on the seed and call order, which keeps log
+    files diffable across runs.
+    """
+    global _counter
+    _counter += 1
+    body = "".join(_id_rng.choice(_ALPHABET) for _ in range(32))
+    return f"{prefix}{body}" if prefix else body
+
+
+def short_id(prefix: str = "") -> str:
+    """Return an 8-hex-char deterministic identifier."""
+    return (prefix + new_id())[: len(prefix) + 8]
+
+
+def new_token(nbytes: int = 24) -> str:
+    """Return a cryptographically strong URL-safe token (real secrets).
+
+    This mirrors ``jupyter_server``'s token generation; the misconfig
+    scanner measures the entropy of tokens produced here versus weak
+    operator-chosen ones.
+    """
+    return secrets.token_urlsafe(nbytes)

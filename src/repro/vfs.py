@@ -1,0 +1,188 @@
+"""Virtual filesystem shared by the server's contents manager and kernels.
+
+A flat path→file map with directory semantics (paths are ``/``-separated,
+directories exist implicitly or explicitly), modification times from the
+simulation clock, and byte-level contents.  Ransomware walks it; the
+contents API serves it; the audit layer records events against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.util.clock import Clock, SimClock
+from repro.util.errors import ReproError
+
+
+class VfsError(ReproError):
+    """Filesystem operation failure (missing path, is-a-directory, ...)."""
+
+
+def normalize(path: str) -> str:
+    """Collapse a path to canonical form: no leading/trailing slash, no
+    empty or dot segments.  Rejects ``..`` traversal outright — the
+    misconfig experiments probe traversal at the HTTP layer, and the VFS
+    must be the backstop."""
+    parts = [p for p in path.split("/") if p not in ("", ".")]
+    if any(p == ".." for p in parts):
+        raise VfsError(f"path traversal rejected: {path!r}")
+    return "/".join(parts)
+
+
+@dataclass
+class FileEntry:
+    """One stored file."""
+
+    content: bytes
+    created: float
+    modified: float
+    writable: bool = True
+
+
+class VirtualFS:
+    """In-memory filesystem with simulated timestamps."""
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock = clock or SimClock()
+        self._files: Dict[str, FileEntry] = {}
+        self._dirs: set[str] = {""}
+        # Counters for the audit/overhead experiments.
+        self.reads = 0
+        self.writes = 0
+        self.deletes = 0
+
+    # -- directories -----------------------------------------------------------
+    def mkdir(self, path: str, *, parents: bool = True) -> None:
+        path = normalize(path)
+        if path in self._files:
+            raise VfsError(f"file exists at {path!r}")
+        if parents:
+            parts = path.split("/")
+            for i in range(1, len(parts) + 1):
+                self._dirs.add("/".join(parts[:i]))
+        else:
+            parent = path.rsplit("/", 1)[0] if "/" in path else ""
+            if parent not in self._dirs:
+                raise VfsError(f"no such directory: {parent!r}")
+            self._dirs.add(path)
+
+    def is_dir(self, path: str) -> bool:
+        return normalize(path) in self._dirs
+
+    def is_file(self, path: str) -> bool:
+        return normalize(path) in self._files
+
+    def exists(self, path: str) -> bool:
+        return self.is_dir(path) or self.is_file(path)
+
+    # -- files -------------------------------------------------------------------
+    def write(self, path: str, content: bytes) -> None:
+        path = normalize(path)
+        if path in self._dirs:
+            raise VfsError(f"is a directory: {path!r}")
+        parent = path.rsplit("/", 1)[0] if "/" in path else ""
+        if parent not in self._dirs:
+            self.mkdir(parent)
+        now = self.clock.now()
+        existing = self._files.get(path)
+        if existing is not None:
+            if not existing.writable:
+                raise VfsError(f"read-only file: {path!r}")
+            existing.content = content
+            existing.modified = now
+        else:
+            self._files[path] = FileEntry(content, created=now, modified=now)
+        self.writes += 1
+
+    def read(self, path: str) -> bytes:
+        path = normalize(path)
+        entry = self._files.get(path)
+        if entry is None:
+            raise VfsError(f"no such file: {path!r}")
+        self.reads += 1
+        return entry.content
+
+    def delete(self, path: str) -> None:
+        path = normalize(path)
+        if path in self._files:
+            del self._files[path]
+            self.deletes += 1
+            return
+        if path in self._dirs:
+            children = [f for f in self._files if f.startswith(path + "/")]
+            subdirs = [d for d in self._dirs if d.startswith(path + "/")]
+            if children or subdirs:
+                raise VfsError(f"directory not empty: {path!r}")
+            self._dirs.discard(path)
+            self.deletes += 1
+            return
+        raise VfsError(f"no such path: {path!r}")
+
+    def rename(self, src: str, dst: str) -> None:
+        src, dst = normalize(src), normalize(dst)
+        if src in self._files:
+            if dst in self._files or dst in self._dirs:
+                raise VfsError(f"destination exists: {dst!r}")
+            entry = self._files.pop(src)
+            parent = dst.rsplit("/", 1)[0] if "/" in dst else ""
+            if parent not in self._dirs:
+                self.mkdir(parent)
+            entry.modified = self.clock.now()
+            self._files[dst] = entry
+            return
+        if src in self._dirs:
+            if any(d == dst or d.startswith(dst + "/") for d in self._dirs):
+                raise VfsError(f"destination exists: {dst!r}")
+            moves = [(f, dst + f[len(src):]) for f in list(self._files) if f.startswith(src + "/")]
+            for old, new in moves:
+                self._files[new] = self._files.pop(old)
+            for d in [d for d in self._dirs if d == src or d.startswith(src + "/")]:
+                self._dirs.discard(d)
+                self._dirs.add(dst + d[len(src):])
+            return
+        raise VfsError(f"no such path: {src!r}")
+
+    def stat(self, path: str) -> FileEntry:
+        path = normalize(path)
+        entry = self._files.get(path)
+        if entry is None:
+            raise VfsError(f"no such file: {path!r}")
+        return entry
+
+    def set_writable(self, path: str, writable: bool) -> None:
+        self.stat(path).writable = writable
+
+    # -- listing -------------------------------------------------------------------
+    def listdir(self, path: str = "") -> List[str]:
+        """Immediate children names (files and subdirectories)."""
+        path = normalize(path)
+        if path and path not in self._dirs:
+            raise VfsError(f"no such directory: {path!r}")
+        prefix = path + "/" if path else ""
+        names = set()
+        for f in self._files:
+            if f.startswith(prefix) and "/" not in f[len(prefix):]:
+                names.add(f[len(prefix):])
+        for d in self._dirs:
+            if d and d != path and d.startswith(prefix) and "/" not in d[len(prefix):]:
+                names.add(d[len(prefix):])
+        return sorted(names)
+
+    def walk(self, root: str = "") -> Iterator[str]:
+        """Yield every file path under ``root`` in sorted order."""
+        root = normalize(root)
+        prefix = root + "/" if root else ""
+        for path in sorted(self._files):
+            if path.startswith(prefix) or path == root:
+                yield path
+
+    def total_bytes(self, root: str = "") -> int:
+        return sum(len(self._files[p].content) for p in self.walk(root))
+
+    def file_count(self) -> int:
+        return len(self._files)
+
+    def snapshot(self) -> Dict[str, bytes]:
+        """Copy of all file contents (used by integrity checks in tests)."""
+        return {p: e.content for p, e in self._files.items()}

@@ -1,0 +1,61 @@
+"""Wire-level protocol codecs.
+
+These produce and parse *real bytes*: the network monitor (the paper's
+proposed Zeek-like tool) must demonstrate visibility into HTTP Upgrade
+handshakes, RFC 6455 WebSocket frames, and ZMTP 3.0 ZeroMQ framing — the
+exact layers the paper says "challenge even the most state-of-the-art
+network observability tools".
+"""
+
+from repro.wire.http import HttpRequest, HttpResponse, parse_request, parse_response
+from repro.wire.websocket import (
+    Frame,
+    Opcode,
+    WebSocketDecoder,
+    accept_key,
+    build_handshake_request,
+    build_handshake_response,
+    decode_frame,
+    encode_frame,
+    encode_text,
+    encode_binary,
+    encode_close,
+    encode_ping,
+    encode_pong,
+)
+from repro.wire.zmtp import (
+    ZmtpFrame,
+    ZmtpDecoder,
+    encode_greeting,
+    parse_greeting,
+    encode_zmtp_frame,
+    encode_multipart,
+    decode_multipart,
+)
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "parse_request",
+    "parse_response",
+    "Frame",
+    "Opcode",
+    "WebSocketDecoder",
+    "accept_key",
+    "build_handshake_request",
+    "build_handshake_response",
+    "decode_frame",
+    "encode_frame",
+    "encode_text",
+    "encode_binary",
+    "encode_close",
+    "encode_ping",
+    "encode_pong",
+    "ZmtpFrame",
+    "ZmtpDecoder",
+    "encode_greeting",
+    "parse_greeting",
+    "encode_zmtp_frame",
+    "encode_multipart",
+    "decode_multipart",
+]

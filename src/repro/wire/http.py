@@ -1,0 +1,165 @@
+"""Minimal HTTP/1.1 message codec.
+
+Covers exactly what the simulated Jupyter server and the monitor need:
+request/response lines, headers, Content-Length bodies, and the
+``Upgrade: websocket`` handshake.  Chunked transfer encoding is out of
+scope (Jupyter's REST API and the WebSocket upgrade never require it in
+this simulation) — the parser raises :class:`ProtocolError` if it sees
+it, and the monitor records a ``weird`` event instead of crashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.util.errors import ProtocolError
+
+CRLF = b"\r\n"
+HEADER_END = b"\r\n\r\n"
+
+
+def _ci_get(headers: Dict[str, str], name: str, default: str = "") -> str:
+    """Case-insensitive header lookup (parsed messages store lowercase keys,
+    hand-built ones keep their original casing)."""
+    lname = name.lower()
+    if lname in headers:
+        return headers[lname]
+    for k, v in headers.items():
+        if k.lower() == lname:
+            return v
+    return default
+
+
+@dataclass
+class HttpRequest:
+    """Parsed (or to-be-encoded) HTTP request."""
+
+    method: str
+    target: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def path(self) -> str:
+        return urlsplit(self.target).path
+
+    @property
+    def query(self) -> Dict[str, list[str]]:
+        return parse_qs(urlsplit(self.target).query)
+
+    def header(self, name: str, default: str = "") -> str:
+        return _ci_get(self.headers, name, default)
+
+    def is_websocket_upgrade(self) -> bool:
+        return (
+            "upgrade" in self.header("connection").lower()
+            and self.header("upgrade").lower() == "websocket"
+        )
+
+    def encode(self) -> bytes:
+        headers = dict(self.headers)
+        if self.body and "content-length" not in {k.lower() for k in headers}:
+            headers["Content-Length"] = str(len(self.body))
+        lines = [f"{self.method} {self.target} {self.version}".encode()]
+        lines += [f"{k}: {v}".encode() for k, v in headers.items()]
+        return CRLF.join(lines) + HEADER_END + self.body
+
+
+@dataclass
+class HttpResponse:
+    """Parsed (or to-be-encoded) HTTP response."""
+
+    status: int
+    reason: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    _REASONS = {
+        200: "OK", 201: "Created", 204: "No Content", 101: "Switching Protocols",
+        301: "Moved Permanently", 302: "Found", 400: "Bad Request",
+        401: "Unauthorized", 403: "Forbidden", 404: "Not Found",
+        405: "Method Not Allowed", 429: "Too Many Requests",
+        500: "Internal Server Error", 503: "Service Unavailable",
+    }
+
+    def header(self, name: str, default: str = "") -> str:
+        return _ci_get(self.headers, name, default)
+
+    def encode(self) -> bytes:
+        reason = self.reason or self._REASONS.get(self.status, "Unknown")
+        headers = dict(self.headers)
+        if "content-length" not in {k.lower() for k in headers} and self.status != 101:
+            headers["Content-Length"] = str(len(self.body))
+        lines = [f"{self.version} {self.status} {reason}".encode()]
+        lines += [f"{k}: {v}".encode() for k, v in headers.items()]
+        return CRLF.join(lines) + HEADER_END + self.body
+
+
+def _parse_headers(block: bytes) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in block.split(CRLF):
+        if not line:
+            continue
+        if b":" not in line:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        name, _, value = line.partition(b":")
+        headers[name.decode("latin-1").strip().lower()] = value.decode("latin-1").strip()
+    return headers
+
+
+def parse_request(data: bytes) -> Tuple[Optional[HttpRequest], bytes]:
+    """Incrementally parse one request from ``data``.
+
+    Returns ``(request, remainder)``; ``(None, data)`` if incomplete.
+    """
+    end = data.find(HEADER_END)
+    if end < 0:
+        return None, data
+    head, rest = data[:end], data[end + len(HEADER_END):]
+    first, _, header_block = head.partition(CRLF)
+    parts = first.split(b" ", 2)
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {first!r}")
+    method, target, version = (p.decode("latin-1") for p in parts)
+    if not version.startswith("HTTP/"):
+        raise ProtocolError(f"bad HTTP version: {version!r}")
+    headers = _parse_headers(header_block)
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise ProtocolError("chunked transfer encoding unsupported")
+    length = int(headers.get("content-length", "0") or 0)
+    if len(rest) < length:
+        return None, data
+    body, remainder = rest[:length], rest[length:]
+    return HttpRequest(method, target, headers, body, version), remainder
+
+
+def parse_response(data: bytes) -> Tuple[Optional[HttpResponse], bytes]:
+    """Incrementally parse one response from ``data``.
+
+    A ``101 Switching Protocols`` response has no body; everything after
+    the header block belongs to the upgraded protocol and is returned as
+    the remainder.
+    """
+    end = data.find(HEADER_END)
+    if end < 0:
+        return None, data
+    head, rest = data[:end], data[end + len(HEADER_END):]
+    first, _, header_block = head.partition(CRLF)
+    parts = first.split(b" ", 2)
+    if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+        raise ProtocolError(f"malformed status line: {first!r}")
+    version = parts[0].decode("latin-1")
+    status = int(parts[1])
+    reason = parts[2].decode("latin-1") if len(parts) > 2 else ""
+    headers = _parse_headers(header_block)
+    if status == 101:
+        return HttpResponse(status, reason, headers, b"", version), rest
+    length = int(headers.get("content-length", "0") or 0)
+    if len(rest) < length:
+        return None, data
+    body, remainder = rest[:length], rest[length:]
+    return HttpResponse(status, reason, headers, body, version), remainder

@@ -1,0 +1,263 @@
+"""RFC 6455 WebSocket framing and handshake.
+
+Jupyter fronts every kernel channel with WebSocket, and the paper's core
+observability complaint is that these frames defeat conventional network
+monitors.  This codec is complete enough to defeat *or* enable one:
+
+- client handshake (``Sec-WebSocket-Key`` → ``Sec-WebSocket-Accept`` with
+  the RFC's fixed GUID),
+- frame encode/decode with 7/16/64-bit lengths,
+- client-to-server masking (XOR with the 4-byte key),
+- fragmentation (continuation frames) and control frames (ping/pong/close),
+- an incremental :class:`WebSocketDecoder` suitable for a passive tap
+  that sees arbitrary byte chunk boundaries.
+
+Validated against hand-computed vectors and property-based round-trips in
+``tests/test_wire_websocket.py``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from repro.util.errors import ProtocolError
+from repro.wire.http import HttpRequest, HttpResponse
+
+#: Fixed GUID from RFC 6455 §1.3.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+
+class Opcode(IntEnum):
+    CONTINUATION = 0x0
+    TEXT = 0x1
+    BINARY = 0x2
+    CLOSE = 0x8
+    PING = 0x9
+    PONG = 0xA
+
+    @property
+    def is_control(self) -> bool:
+        return self >= Opcode.CLOSE
+
+
+@dataclass
+class Frame:
+    """A single decoded WebSocket frame."""
+
+    fin: bool
+    opcode: Opcode
+    payload: bytes
+    masked: bool = False
+
+    @property
+    def close_code(self) -> Optional[int]:
+        if self.opcode != Opcode.CLOSE or len(self.payload) < 2:
+            return None
+        return struct.unpack(">H", self.payload[:2])[0]
+
+
+def accept_key(client_key: str) -> str:
+    """Compute ``Sec-WebSocket-Accept`` for a client ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((client_key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def build_handshake_request(host: str, path: str, key: str, *, token: str = "") -> HttpRequest:
+    """Build the HTTP Upgrade request a Jupyter client sends."""
+    headers = {
+        "Host": host,
+        "Upgrade": "websocket",
+        "Connection": "Upgrade",
+        "Sec-WebSocket-Key": key,
+        "Sec-WebSocket-Version": "13",
+    }
+    if token:
+        headers["Authorization"] = f"token {token}"
+    return HttpRequest("GET", path, headers)
+
+
+def build_handshake_response(client_key: str) -> HttpResponse:
+    """Build the 101 Switching Protocols response."""
+    return HttpResponse(
+        101,
+        "Switching Protocols",
+        {
+            "Upgrade": "websocket",
+            "Connection": "Upgrade",
+            "Sec-WebSocket-Accept": accept_key(client_key),
+        },
+    )
+
+
+def _apply_mask(payload: bytes, mask: bytes) -> bytes:
+    # XOR with a repeating 4-byte key; masking is an involution.
+    if not payload:
+        return b""
+    repeated = (mask * (len(payload) // 4 + 1))[: len(payload)]
+    return bytes(a ^ b for a, b in zip(payload, repeated))
+
+
+def encode_frame(frame: Frame, *, mask_key: bytes | None = None) -> bytes:
+    """Serialize ``frame``; supply ``mask_key`` (4 bytes) for client→server."""
+    if frame.opcode.is_control and len(frame.payload) > 125:
+        raise ProtocolError("control frame payload must be <= 125 bytes")
+    if frame.opcode.is_control and not frame.fin:
+        raise ProtocolError("control frames must not be fragmented")
+    b0 = (0x80 if frame.fin else 0x00) | int(frame.opcode)
+    masked = mask_key is not None
+    n = len(frame.payload)
+    if n <= 125:
+        header = struct.pack(">BB", b0, (0x80 if masked else 0) | n)
+    elif n <= 0xFFFF:
+        header = struct.pack(">BBH", b0, (0x80 if masked else 0) | 126, n)
+    else:
+        header = struct.pack(">BBQ", b0, (0x80 if masked else 0) | 127, n)
+    if masked:
+        if len(mask_key) != 4:
+            raise ProtocolError("mask key must be 4 bytes")
+        return header + mask_key + _apply_mask(frame.payload, mask_key)
+    return header + frame.payload
+
+
+def decode_frame(data: bytes) -> Tuple[Optional[Frame], bytes]:
+    """Decode one frame from ``data``; returns ``(None, data)`` if incomplete."""
+    if len(data) < 2:
+        return None, data
+    b0, b1 = data[0], data[1]
+    fin = bool(b0 & 0x80)
+    rsv = b0 & 0x70
+    if rsv:
+        raise ProtocolError(f"nonzero RSV bits: {rsv:#x} (no extension negotiated)")
+    try:
+        opcode = Opcode(b0 & 0x0F)
+    except ValueError:
+        raise ProtocolError(f"unknown opcode {b0 & 0x0F:#x}") from None
+    masked = bool(b1 & 0x80)
+    length = b1 & 0x7F
+    offset = 2
+    if length == 126:
+        if len(data) < offset + 2:
+            return None, data
+        (length,) = struct.unpack(">H", data[offset : offset + 2])
+        offset += 2
+    elif length == 127:
+        if len(data) < offset + 8:
+            return None, data
+        (length,) = struct.unpack(">Q", data[offset : offset + 8])
+        offset += 8
+    mask = b""
+    if masked:
+        if len(data) < offset + 4:
+            return None, data
+        mask = data[offset : offset + 4]
+        offset += 4
+    if len(data) < offset + length:
+        return None, data
+    payload = data[offset : offset + length]
+    if masked:
+        payload = _apply_mask(payload, mask)
+    return Frame(fin, opcode, payload, masked), data[offset + length :]
+
+
+# -- convenience encoders ----------------------------------------------------
+
+
+def encode_text(text: str, *, mask_key: bytes | None = None, fin: bool = True) -> bytes:
+    return encode_frame(Frame(fin, Opcode.TEXT, text.encode("utf-8")), mask_key=mask_key)
+
+
+def encode_binary(payload: bytes, *, mask_key: bytes | None = None, fin: bool = True) -> bytes:
+    return encode_frame(Frame(fin, Opcode.BINARY, payload), mask_key=mask_key)
+
+
+def encode_ping(payload: bytes = b"", *, mask_key: bytes | None = None) -> bytes:
+    return encode_frame(Frame(True, Opcode.PING, payload), mask_key=mask_key)
+
+
+def encode_pong(payload: bytes = b"", *, mask_key: bytes | None = None) -> bytes:
+    return encode_frame(Frame(True, Opcode.PONG, payload), mask_key=mask_key)
+
+
+def encode_close(code: int = 1000, reason: str = "", *, mask_key: bytes | None = None) -> bytes:
+    payload = struct.pack(">H", code) + reason.encode("utf-8")
+    return encode_frame(Frame(True, Opcode.CLOSE, payload), mask_key=mask_key)
+
+
+def fragment_message(payload: bytes, chunk: int, opcode: Opcode = Opcode.BINARY,
+                     *, mask_key: bytes | None = None) -> List[bytes]:
+    """Split ``payload`` into a fragmented frame sequence of ``chunk`` bytes."""
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    pieces = [payload[i : i + chunk] for i in range(0, len(payload), chunk)] or [b""]
+    frames = []
+    for i, piece in enumerate(pieces):
+        op = opcode if i == 0 else Opcode.CONTINUATION
+        fin = i == len(pieces) - 1
+        frames.append(encode_frame(Frame(fin, op, piece), mask_key=mask_key))
+    return frames
+
+
+class WebSocketDecoder:
+    """Incremental frame decoder with fragmentation reassembly.
+
+    Feed arbitrary byte chunks; harvest complete frames with
+    :meth:`frames` and complete (defragmented) *messages* with
+    :meth:`messages`.  This is the component the network monitor embeds
+    per reassembled TCP stream.
+    """
+
+    def __init__(self, *, max_message_size: int = 64 * 1024 * 1024):
+        self._buffer = b""
+        self._fragments: List[bytes] = []
+        self._fragment_opcode: Optional[Opcode] = None
+        self._frames: List[Frame] = []
+        self._messages: List[Tuple[Opcode, bytes]] = []
+        self.max_message_size = max_message_size
+        self.bytes_consumed = 0
+
+    def feed(self, data: bytes) -> None:
+        self._buffer += data
+        while True:
+            before = len(self._buffer)
+            frame, self._buffer = decode_frame(self._buffer)
+            if frame is None:
+                break
+            self.bytes_consumed += before - len(self._buffer)
+            self._frames.append(frame)
+            self._process(frame)
+
+    def _process(self, frame: Frame) -> None:
+        if frame.opcode.is_control:
+            self._messages.append((frame.opcode, frame.payload))
+            return
+        if frame.opcode == Opcode.CONTINUATION:
+            if self._fragment_opcode is None:
+                raise ProtocolError("continuation frame with no message in progress")
+            self._fragments.append(frame.payload)
+        else:
+            if self._fragment_opcode is not None:
+                raise ProtocolError("new data frame while fragmented message in progress")
+            self._fragment_opcode = frame.opcode
+            self._fragments = [frame.payload]
+        total = sum(len(f) for f in self._fragments)
+        if total > self.max_message_size:
+            raise ProtocolError(f"message exceeds cap ({total} > {self.max_message_size})")
+        if frame.fin:
+            self._messages.append((self._fragment_opcode, b"".join(self._fragments)))
+            self._fragment_opcode = None
+            self._fragments = []
+
+    def frames(self) -> List[Frame]:
+        """Drain and return raw frames decoded so far."""
+        out, self._frames = self._frames, []
+        return out
+
+    def messages(self) -> List[Tuple[Opcode, bytes]]:
+        """Drain and return complete messages (control frames pass through)."""
+        out, self._messages = self._messages, []
+        return out

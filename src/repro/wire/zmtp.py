@@ -1,0 +1,188 @@
+"""ZMTP 3.0 (ZeroMQ Message Transport Protocol) framing.
+
+Jupyter kernels listen on raw TCP ports (shell/iopub/control/stdin/hb)
+speaking ZeroMQ; on the wire that is ZMTP.  The monitor's ZMTP analyzer
+parses exactly what this module emits:
+
+- the 64-byte greeting (signature ``\\xff...\\x7f``, version 3.0,
+  mechanism, as-server flag, filler),
+- command and message frames with SHORT (1-byte) and LONG (8-byte)
+  length encodings and the MORE continuation flag,
+- multipart message assembly.
+
+The subset omits the full NULL-mechanism READY metadata negotiation
+(we emit a fixed READY command) — handshake *content* is irrelevant to
+the observability experiments, framing fidelity is what matters.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.util.errors import ProtocolError
+
+SIGNATURE_PREFIX = b"\xff\x00\x00\x00\x00\x00\x00\x00\x01\x7f"
+GREETING_SIZE = 64
+
+FLAG_MORE = 0x01
+FLAG_LONG = 0x02
+FLAG_COMMAND = 0x04
+
+
+def encode_greeting(*, mechanism: str = "NULL", as_server: bool = False) -> bytes:
+    """Build the 64-byte ZMTP 3.0 greeting."""
+    mech = mechanism.encode("ascii")
+    if len(mech) > 20:
+        raise ProtocolError("mechanism name too long")
+    return (
+        SIGNATURE_PREFIX
+        + bytes([3, 0])  # major, minor
+        + mech.ljust(20, b"\x00")
+        + (b"\x01" if as_server else b"\x00")
+        + b"\x00" * 31
+    )
+
+
+def parse_greeting(data: bytes) -> Tuple[Optional[dict], bytes]:
+    """Parse a greeting; returns ``(None, data)`` if incomplete."""
+    if len(data) < GREETING_SIZE:
+        return None, data
+    g = data[:GREETING_SIZE]
+    if g[0] != 0xFF or g[9] != 0x7F:
+        raise ProtocolError("bad ZMTP signature")
+    info = {
+        "version": (g[10], g[11]),
+        "mechanism": g[12:32].rstrip(b"\x00").decode("ascii", "replace"),
+        "as_server": bool(g[32]),
+    }
+    return info, data[GREETING_SIZE:]
+
+
+@dataclass
+class ZmtpFrame:
+    """One ZMTP frame (command or message part)."""
+
+    payload: bytes
+    more: bool = False
+    command: bool = False
+
+
+def encode_zmtp_frame(frame: ZmtpFrame) -> bytes:
+    flags = 0
+    if frame.more:
+        flags |= FLAG_MORE
+    if frame.command:
+        flags |= FLAG_COMMAND
+    n = len(frame.payload)
+    if n <= 255:
+        return bytes([flags]) + bytes([n]) + frame.payload
+    return bytes([flags | FLAG_LONG]) + struct.pack(">Q", n) + frame.payload
+
+
+def decode_zmtp_frame(data: bytes) -> Tuple[Optional[ZmtpFrame], bytes]:
+    if len(data) < 2:
+        return None, data
+    flags = data[0]
+    if flags & ~(FLAG_MORE | FLAG_LONG | FLAG_COMMAND):
+        raise ProtocolError(f"reserved ZMTP flag bits set: {flags:#x}")
+    if flags & FLAG_LONG:
+        if len(data) < 9:
+            return None, data
+        (n,) = struct.unpack(">Q", data[1:9])
+        off = 9
+    else:
+        n = data[1]
+        off = 2
+    if len(data) < off + n:
+        return None, data
+    payload = data[off : off + n]
+    return (
+        ZmtpFrame(payload, more=bool(flags & FLAG_MORE), command=bool(flags & FLAG_COMMAND)),
+        data[off + n :],
+    )
+
+
+def encode_command(name: str, body: bytes = b"") -> bytes:
+    """Encode a ZMTP command frame (e.g. READY)."""
+    name_b = name.encode("ascii")
+    return encode_zmtp_frame(ZmtpFrame(bytes([len(name_b)]) + name_b + body, command=True))
+
+
+def encode_ready(socket_type: str) -> bytes:
+    """A minimal READY command advertising ``Socket-Type``."""
+    key = b"Socket-Type"
+    val = socket_type.encode("ascii")
+    body = bytes([len(key)]) + key + struct.pack(">I", len(val)) + val
+    return encode_command("READY", body)
+
+
+def encode_multipart(parts: List[bytes]) -> bytes:
+    """Encode a multipart ZeroMQ message (MORE set on all but the last)."""
+    if not parts:
+        raise ProtocolError("multipart message needs at least one part")
+    out = b""
+    for i, part in enumerate(parts):
+        out += encode_zmtp_frame(ZmtpFrame(part, more=i < len(parts) - 1))
+    return out
+
+
+def decode_multipart(data: bytes) -> Tuple[Optional[List[bytes]], bytes]:
+    """Decode one complete multipart message; ``(None, data)`` if incomplete."""
+    parts: List[bytes] = []
+    rest = data
+    while True:
+        frame, rest2 = decode_zmtp_frame(rest)
+        if frame is None:
+            return None, data
+        if frame.command:
+            # Commands are not message parts; skip them transparently.
+            rest = rest2
+            continue
+        parts.append(frame.payload)
+        rest = rest2
+        if not frame.more:
+            return parts, rest
+
+
+class ZmtpDecoder:
+    """Incremental ZMTP stream decoder: greeting, commands, multiparts.
+
+    Mirrors :class:`repro.wire.websocket.WebSocketDecoder` so the
+    monitor can treat both uniformly.
+    """
+
+    def __init__(self):
+        self._buffer = b""
+        self.greeting: Optional[dict] = None
+        self._parts: List[bytes] = []
+        self._messages: List[List[bytes]] = []
+        self._commands: List[bytes] = []
+
+    def feed(self, data: bytes) -> None:
+        self._buffer += data
+        if self.greeting is None:
+            greeting, self._buffer = parse_greeting(self._buffer)
+            if greeting is None:
+                return
+            self.greeting = greeting
+        while True:
+            frame, self._buffer = decode_zmtp_frame(self._buffer)
+            if frame is None:
+                return
+            if frame.command:
+                self._commands.append(frame.payload)
+                continue
+            self._parts.append(frame.payload)
+            if not frame.more:
+                self._messages.append(self._parts)
+                self._parts = []
+
+    def messages(self) -> List[List[bytes]]:
+        out, self._messages = self._messages, []
+        return out
+
+    def commands(self) -> List[bytes]:
+        out, self._commands = self._commands, []
+        return out

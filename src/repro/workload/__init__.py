@@ -1,0 +1,13 @@
+"""Benign scientist workloads.
+
+False-positive rates are meaningless without realistic background
+traffic.  :class:`ScientistWorkload` drives a
+:class:`~repro.server.gateway.WebSocketKernelClient` through behaviour
+mixes observed on science gateways: exploratory cell editing, data
+staging, bursty compute, file browsing — each cell drawn from a
+templated corpus with seeded randomness.
+"""
+
+from repro.workload.scientist import BENIGN_CELL_TEMPLATES, ScientistWorkload, WorkloadReport
+
+__all__ = ["ScientistWorkload", "WorkloadReport", "BENIGN_CELL_TEMPLATES"]

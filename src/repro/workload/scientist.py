@@ -1,0 +1,83 @@
+"""Simulated benign research sessions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.attacks.scenario import Scenario
+from repro.util.rng import DeterministicRNG
+
+#: Templated benign cells; ``{i}`` is filled with a seeded integer so
+#: repeated sessions are similar-but-not-identical, like real users.
+BENIGN_CELL_TEMPLATES = [
+    "import math\nvalues = [math.sqrt(x) for x in range({i})]\nsum(values)",
+    "data = list(range({i}))\nmean = sum(data) / len(data)\nprint(mean)",
+    "results = {{}}\nfor trial in range(10):\n    results[trial] = trial * {i}\nlen(results)",
+    "text = open('data/measurements_0.csv').read()\nlines = text.split('\\n')\nlen(lines)",
+    "counts = {{}}\nfor x in [1, 2, 2, 3, 3, 3]:\n    counts[x] = counts.get(x, 0) + 1\ncounts",
+    "def objective(x):\n    return (x - {i}) ** 2\nbest = min(range(100), key=objective)\nbest",
+    "log = open('run_{i}.log', 'w')\nlog.write('epoch=1 loss=0.5')\nlog.close()",
+    "import hashlib\nchecksum = hashlib.sha256(open('data/measurements_0.csv').read()).hexdigest()\nchecksum[:8]",
+    "matrix = [[i * j for j in range(20)] for i in range(20)]\nsum(sum(row) for row in matrix)",
+    "print('experiment {i} complete')",
+]
+
+#: Benign REST actions: (method, path-template, body-factory or None)
+BENIGN_REST_ACTIONS = [
+    ("GET", "/api/contents/", None),
+    ("GET", "/api/contents/experiments", None),
+    ("GET", "/api/status", None),
+    ("GET", "/api/contents/experiments/run0.ipynb", None),
+]
+
+
+@dataclass
+class WorkloadReport:
+    cells_executed: int = 0
+    rest_requests: int = 0
+    errors: int = 0
+    duration: float = 0.0
+
+
+class ScientistWorkload:
+    """One benign user session against a scenario."""
+
+    def __init__(self, scenario: Scenario, *, username: str = "scientist",
+                 seed_name: str = "workload", think_time: float = 8.0,
+                 audited: bool = True):
+        self.scenario = scenario
+        self.username = username
+        self.rng: DeterministicRNG = scenario.rng.child(f"{seed_name}:{username}")
+        self.think_time = think_time
+        self.audited = audited
+
+    def run_session(self, *, cells: int = 10, rest_actions: int = 3) -> WorkloadReport:
+        """Execute a full session: browse, start kernel, iterate cells."""
+        report = WorkloadReport()
+        start = self.scenario.clock.now()
+        client = self.scenario.user_client(username=self.username)
+        for _ in range(rest_actions):
+            method, path, _ = self.rng.choice(BENIGN_REST_ACTIONS)
+            try:
+                client.request(method, path)
+                report.rest_requests += 1
+            except Exception:
+                report.errors += 1
+        if self.audited:
+            self.scenario.audited_session(client)
+        else:
+            client.start_kernel()
+            client.connect_channels()
+        for _ in range(cells):
+            template = self.rng.choice(BENIGN_CELL_TEMPLATES)
+            code = template.format(i=self.rng.randint(10, 400))
+            reply = client.execute(code, wait=60.0)
+            if reply is None or reply.content.get("status") != "ok":
+                report.errors += 1
+            report.cells_executed += 1
+            # Think time between cells: lognormal, like real interaction gaps.
+            self.scenario.run(max(0.5, self.rng.lognormvariate(0, 0.6) * self.think_time))
+        client.close()
+        report.duration = self.scenario.clock.now() - start
+        return report

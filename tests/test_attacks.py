@@ -1,0 +1,269 @@
+"""Integration tests: every avenue of attack executed end-to-end, with the
+monitor and auditor watching.  This is the taxonomy made executable."""
+
+import pytest
+
+from repro.attacks import (
+    CryptominingAttack,
+    CredentialStuffingAttack,
+    ExfiltrationAttack,
+    LowAndSlowExfiltration,
+    MonitorFloodAttack,
+    OpenServerExploitAttack,
+    OpenServerScanAttack,
+    OutputSmugglingAttack,
+    RansomwareAttack,
+    RuleInferenceAttack,
+    StolenTokenAttack,
+    TokenBruteforceAttack,
+    ZeroDayAttack,
+)
+from repro.attacks.scenario import build_scenario
+from repro.crypto.passwords import hash_password
+from repro.server.config import ServerConfig, insecure_demo_config
+from repro.taxonomy.oscrp import Avenue, Concern
+
+
+class TestRansomware:
+    def test_kernel_variant_encrypts_and_is_detected(self):
+        sc = build_scenario(seed=1)
+        result = RansomwareAttack(via="kernel").run(sc)
+        assert result.success
+        assert Concern.INACCESSIBLE_OR_INCORRECT_DATA in result.observed_concerns
+        assert result.metrics["files_encrypted"] >= 8
+        # Audit plane: mass overwrite policy + entropy cross-feed.
+        auditor = next(iter(sc.auditors.values()))
+        assert "POLICY_MASS_FILE_OVERWRITE" in auditor.notice_names()
+        assert "RANSOMWARE_ENTROPY_BURST" in sc.monitor.logs.notice_names()
+
+    def test_kernel_variant_files_actually_unreadable(self):
+        sc = build_scenario(seed=2)
+        before = {p: c for p, c in sc.server.fs.snapshot().items() if p.endswith(".csv")}
+        RansomwareAttack(via="kernel").run(sc)
+        for path, original in before.items():
+            assert not sc.server.fs.is_file(path)
+            locked = sc.server.fs.read(path + ".locked")
+            assert locked != original
+
+    def test_rest_variant_detected_on_the_wire(self):
+        sc = build_scenario(seed=3)
+        result = RansomwareAttack(via="rest").run(sc)
+        assert result.success
+        assert "RANSOMWARE_ENTROPY_BURST" in sc.monitor.logs.notice_names()
+        assert result.metrics["note_dropped"]
+
+    def test_checkpoints_destroyed_blocks_recovery(self):
+        sc = build_scenario(seed=4)
+        RansomwareAttack(via="rest", destroy_checkpoints=True).run(sc)
+        assert sc.server.contents.list_checkpoints("experiments/run0.ipynb") == []
+
+    def test_checkpoints_preserved_allows_recovery(self):
+        sc = build_scenario(seed=5)
+        RansomwareAttack(via="rest", destroy_checkpoints=False).run(sc)
+        # Victim restores from checkpoint.
+        sc.server.contents.restore_checkpoint("experiments/run0.ipynb")
+        model = sc.server.contents.get("experiments/run0.ipynb")
+        assert model["type"] == "notebook"
+
+    def test_decrypt_helper_roundtrip(self):
+        from repro.crypto.chacha20 import chacha20_encrypt
+
+        attack = RansomwareAttack(via="rest")
+        blob = chacha20_encrypt(attack.key, attack.nonce, b"plaintext")
+        assert attack.decrypt(blob) == b"plaintext"
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            RansomwareAttack(via="email")
+
+
+class TestExfiltration:
+    def test_bulk_exfil_succeeds_and_fires_volume_detector(self):
+        sc = build_scenario(seed=10)
+        result = ExfiltrationAttack().run(sc)
+        assert result.success
+        assert Concern.EXPOSED_DATA in result.observed_concerns
+        assert result.metrics["bytes_exfiltrated"] >= 20_000
+        assert "EXFIL_VOLUME" in sc.monitor.logs.notice_names()
+
+    def test_bulk_exfil_flagged_by_audit_shape_policy(self):
+        sc = build_scenario(seed=11)
+        ExfiltrationAttack().run(sc)
+        auditor = next(iter(sc.auditors.values()))
+        assert "POLICY_NET_PLUS_FILE_READ" in auditor.notice_names()
+
+    def test_provenance_reconstructs_exfil_lineage(self):
+        sc = build_scenario(seed=12)
+        ExfiltrationAttack().run(sc)
+        auditor = next(iter(sc.auditors.values()))
+        lineage = auditor.provenance.exfil_lineage(sc.exfil_sink.host.ip, 443)
+        assert any(p.endswith("weights.bin") for p in lineage)
+
+    def test_low_and_slow_evades_threshold_detector(self):
+        sc = build_scenario(seed=13)
+        result = LowAndSlowExfiltration(bytes_per_burst=600, interval_seconds=20,
+                                        total_bytes=12_000).run(sc)
+        assert result.success
+        assert "EXFIL_VOLUME" not in sc.monitor.logs.notice_names()
+
+    def test_low_and_slow_caught_by_cusum_eventually(self):
+        sc = build_scenario(seed=14)
+        # Tune CUSUM for the test's short horizon.
+        sc.monitor.cusum.baseline = 50.0
+        sc.monitor.cusum.slack = 50.0
+        sc.monitor.cusum.h = 20_000.0
+        LowAndSlowExfiltration(bytes_per_burst=2000, interval_seconds=10,
+                               total_bytes=60_000).run(sc)
+        assert "EXFIL_CUSUM_DRIFT" in sc.monitor.logs.notice_names()
+
+    def test_output_smuggling_exact_bytes(self):
+        sc = build_scenario(seed=15)
+        result = OutputSmugglingAttack().run(sc)
+        assert result.success
+        assert result.metrics["bytes_exfiltrated"] == 20_000
+
+    def test_output_smuggling_invisible_to_egress_detector(self):
+        sc = build_scenario(seed=16)
+        OutputSmugglingAttack().run(sc)
+        assert "EXFIL_VOLUME" not in sc.monitor.logs.notice_names()
+
+
+class TestMining:
+    def test_miner_runs_and_burns_cpu(self):
+        sc = build_scenario(seed=20)
+        result = CryptominingAttack(rounds=10, hashes_per_round=300).run(sc)
+        assert result.success
+        assert Concern.DISRUPTION_OF_COMPUTING in result.observed_concerns
+        assert result.metrics["cpu_seconds"] > 1.0
+        assert result.metrics["pool_messages"] >= 10
+
+    def test_miner_all_three_detection_planes(self):
+        sc = build_scenario(seed=21)
+        CryptominingAttack(rounds=10, hashes_per_round=300, beacon_interval=30).run(sc)
+        names = set(sc.monitor.logs.notice_names())
+        auditor = next(iter(sc.auditors.values()))
+        assert "SIG-MINER-POOL" in names                      # signature plane
+        assert "MINER_BEACON" in names                        # traffic plane
+        assert "POLICY_MINER_SHAPE" in auditor.notice_names()  # audit plane
+
+    def test_stealth_miner_evades_signatures_not_behaviour(self):
+        sc = build_scenario(seed=22)
+        CryptominingAttack(rounds=10, hashes_per_round=300,
+                           stealth_no_keywords=True).run(sc)
+        names = set(sc.monitor.logs.notice_names())
+        auditor = next(iter(sc.auditors.values()))
+        assert "SIG-MINER-POOL" not in names                  # keywords scrubbed
+        assert "MINER_BEACON" in names                        # timing survives
+        assert "POLICY_MINER_SHAPE" in auditor.notice_names()  # structure survives
+
+
+class TestTakeover:
+    def test_bruteforce_fails_against_strong_token(self):
+        sc = build_scenario()  # default strong token
+        result = TokenBruteforceAttack().run(sc)
+        assert not result.success
+        assert "AUTH_BRUTEFORCE" in sc.monitor.logs.notice_names()
+
+    def test_bruteforce_succeeds_against_weak_token(self):
+        sc = build_scenario(config=ServerConfig(ip="0.0.0.0", token="admin"))
+        result = TokenBruteforceAttack(delay=0.1).run(sc)
+        assert result.success
+        assert result.metrics["token_found"] == "admin"
+        assert Concern.EXPOSED_DATA in result.observed_concerns
+
+    def test_credential_stuffing_against_weak_password(self):
+        cfg = ServerConfig(ip="0.0.0.0", token="",
+                           password_hash=hash_password("hunter2", rounds=100))
+        sc = build_scenario(config=cfg)
+        result = CredentialStuffingAttack(delay=0.2).run(sc)
+        assert result.success
+
+    def test_credential_stuffing_fails_against_strong_password(self):
+        cfg = ServerConfig(ip="0.0.0.0", token="",
+                           password_hash=hash_password("X9$v!qT2#mK8@pL4", rounds=100))
+        sc = build_scenario(config=cfg)
+        assert not CredentialStuffingAttack(delay=0.2).run(sc).success
+
+    def test_stolen_token_quiet_but_new_source_fires(self):
+        sc = build_scenario(seed=30)
+        sc.monitor.newsource.learning_until = 0.0  # learning done before attack
+        # Baseline: the legitimate user logs in first from the campus IP.
+        sc.monitor.newsource._known.add(sc.user_host.ip)
+        result = StolenTokenAttack().run(sc)
+        assert result.success
+        assert "AUTH_BRUTEFORCE" not in sc.monitor.logs.notice_names()
+        assert "NEW_SOURCE_LOGIN" in sc.monitor.logs.notice_names()
+
+
+class TestMisconfig:
+    def test_scan_finds_open_server_and_is_detected(self):
+        sc = build_scenario(config=insecure_demo_config())
+        result = OpenServerScanAttack(probe_delay=0.05).run(sc)
+        assert result.success
+        assert any("10.0.0.10" in s for s in result.metrics["servers_found"])
+        assert "PORT_SCAN" in sc.monitor.logs.notice_names()
+
+    def test_exploit_open_server_full_compromise(self):
+        sc = build_scenario(config=insecure_demo_config())
+        result = OpenServerExploitAttack().run(sc)
+        assert result.success
+        assert result.metrics["code_execution"]
+        assert Concern.EXPOSED_DATA in result.observed_concerns
+        assert Concern.DISRUPTION_OF_COMPUTING in result.observed_concerns
+
+    def test_exploit_fails_against_hardened_server(self):
+        sc = build_scenario()  # token required
+        result = OpenServerExploitAttack().run(sc)
+        assert not result.success
+
+
+class TestZeroDay:
+    def test_signatureless_by_construction(self):
+        sc = build_scenario(seed=40)
+        result = ZeroDayAttack(exfil_bytes=5000).run(sc)
+        assert result.success
+        sig_notices = [n for n in sc.monitor.logs.notices if n.detector == "signature"]
+        assert sig_notices == []
+
+    def test_behavioural_footprints_still_observable(self):
+        sc = build_scenario(seed=41)
+        result = ZeroDayAttack(exfil_bytes=2_000_000).run(sc)
+        assert Concern.EXPOSED_DATA in result.observed_concerns
+        assert "EXFIL_VOLUME" in sc.monitor.logs.notice_names()
+
+
+class TestEvasion:
+    def test_flood_forces_drops_on_budgeted_monitor(self):
+        sc = build_scenario(monitor_budget=20)
+        result = MonitorFloodAttack().run(sc)
+        assert result.success
+        assert result.metrics["segments_dropped"] > 0
+
+    def test_flood_harmless_against_unbudgeted_monitor(self):
+        sc = build_scenario()  # unlimited budget
+        result = MonitorFloodAttack().run(sc)
+        assert not result.success
+
+    def test_rule_inference_recovers_threshold(self):
+        sc = build_scenario(seed=50)
+        result = RuleInferenceAttack().run(sc)
+        assert result.success
+        assert result.metrics["relative_error"] < 0.05
+        assert result.metrics["probes"] < 30  # log2 search, not brute force
+
+
+class TestResultBookkeeping:
+    def test_results_accumulate_on_scenario(self):
+        sc = build_scenario(seed=60)
+        ExfiltrationAttack().run(sc)
+        CryptominingAttack(rounds=3, hashes_per_round=100).run(sc)
+        assert [r.attack for r in sc.results] == ["data-exfiltration", "cryptomining"]
+        assert all(r.finished >= r.started for r in sc.results)
+
+    def test_avenue_tags_match_taxonomy(self):
+        from repro.taxonomy import JUPYTER_OSCRP
+
+        sc = build_scenario(seed=61)
+        result = ExfiltrationAttack().run(sc)
+        declared = JUPYTER_OSCRP.concerns_for(result.avenue)
+        assert result.observed_concerns <= declared

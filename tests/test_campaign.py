@@ -1,0 +1,80 @@
+"""Tests for automated campaign generation (§IV.B AI-driven attacks)."""
+
+import pytest
+
+from repro.attacks.campaign import (
+    OBJECTIVES,
+    Campaign,
+    CampaignGenerator,
+    CampaignRunner,
+)
+
+
+class TestGenerator:
+    def test_generates_requested_objective(self):
+        gen = CampaignGenerator(seed=1)
+        campaign = gen.generate("extort")
+        assert campaign.objective == "extort"
+        assert "ransomware" in campaign.stage_names()
+
+    def test_all_objectives_reachable(self):
+        gen = CampaignGenerator(seed=2)
+        objectives = {gen.generate().objective for _ in range(30)}
+        assert objectives == set(OBJECTIVES)
+
+    def test_deterministic_given_seed(self):
+        a = CampaignGenerator(seed=3).generate_fleet(5)
+        b = CampaignGenerator(seed=3).generate_fleet(5)
+        assert [c.stage_names() for c in a] == [c.stage_names() for c in b]
+        assert [c.objective for c in a] == [c.objective for c in b]
+
+    def test_parameter_variation_between_campaigns(self):
+        """No two generated ransomware payloads share a key — the
+        'variety defeats exact signatures' property."""
+        gen = CampaignGenerator(seed=4)
+        keys = []
+        for _ in range(10):
+            c = gen.generate("extort")
+            ransomware = next(s for s in c.stages if s.name == "ransomware")
+            keys.append(ransomware.key)
+        assert len(set(keys)) == len(keys)
+
+    def test_access_stage_always_present(self):
+        gen = CampaignGenerator(seed=5)
+        for _ in range(10):
+            c = gen.generate()
+            assert "stolen-token" in c.stage_names()
+
+    def test_ids_increment(self):
+        gen = CampaignGenerator(seed=6)
+        fleet = gen.generate_fleet(3)
+        assert [c.campaign_id for c in fleet] == [1, 2, 3]
+
+
+class TestRunner:
+    def test_small_fleet_runs_and_is_detected(self):
+        campaigns = CampaignGenerator(seed=7, with_recon=False).generate_fleet(
+            3, objective="mine")
+        runner = CampaignRunner(base_seed=6000)
+        outcomes = runner.run(campaigns)
+        assert len(outcomes) == 3
+        assert runner.success_rate() == 1.0
+        # Miners hit at least the behaviour-plane detectors every time.
+        assert runner.detection_rate() == 1.0
+
+    def test_by_objective_breakdown(self):
+        campaigns = (CampaignGenerator(seed=8, with_recon=False).generate_fleet(2, objective="mine")
+                     + CampaignGenerator(seed=9, with_recon=False).generate_fleet(2, objective="steal"))
+        runner = CampaignRunner(base_seed=6100)
+        runner.run(campaigns)
+        breakdown = runner.by_objective()
+        assert breakdown["mine"]["campaigns"] == 2
+        assert breakdown["steal"]["campaigns"] == 2
+        assert 0.0 <= breakdown["steal"]["detected"] <= 1.0
+
+    def test_outcome_records_notices(self):
+        campaigns = CampaignGenerator(seed=10, with_recon=False).generate_fleet(
+            1, objective="extort")
+        outcomes = CampaignRunner(base_seed=6200).run(campaigns)
+        assert outcomes[0].succeeded
+        assert any("RANSOMWARE" in n or "POLICY" in n for n in outcomes[0].notices_triggered)

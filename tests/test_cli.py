@@ -1,0 +1,120 @@
+"""Tests for the command-line tools (invoked in-process)."""
+
+import json
+
+import pytest
+
+from repro.cli import attack as cli_attack
+from repro.cli import dataset as cli_dataset
+from repro.cli import monitor as cli_monitor
+from repro.cli import scan as cli_scan
+from repro.cli import taxonomy as cli_taxonomy
+
+
+class TestScanCli:
+    def test_insecure_profile_fails_with_findings(self, capsys):
+        rc = cli_scan.main(["--profile", "insecure-demo"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "grade F" in out
+        assert "JPT-001" in out
+
+    def test_hardened_profile_passes(self, capsys):
+        rc = cli_scan.main(["--profile", "hardened"])
+        assert rc == 0
+        assert "grade" in capsys.readouterr().out
+
+    def test_json_output_parses(self, capsys):
+        cli_scan.main(["--profile", "insecure-demo", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["grade"] == "F"
+        assert any(f["id"] == "JPT-001" for f in payload["failures"])
+
+    def test_config_file(self, tmp_path, capsys):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({"ip": "0.0.0.0", "token": ""}))
+        rc = cli_scan.main(["--config", str(cfg)])
+        assert rc == 1
+
+    def test_unknown_config_field_rejected(self, tmp_path):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({"bogus_field": 1}))
+        with pytest.raises(SystemExit):
+            cli_scan.main(["--config", str(cfg)])
+
+
+class TestTaxonomyCli:
+    def test_all_artifacts(self, capsys):
+        rc = cli_taxonomy.main(["all"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Figure 1" in out and "Figure 3" in out and "Table 1" in out
+        assert "ransomware" in out
+
+    def test_single_artifact(self, capsys):
+        cli_taxonomy.main(["table1"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Figure 1" not in out
+
+    def test_observables_flag(self, capsys):
+        cli_taxonomy.main(["fig1", "--observables"])
+        assert "observable:" in capsys.readouterr().out
+
+
+class TestAttackCli:
+    def test_text_output(self, capsys):
+        rc = cli_attack.main(["stolen-token", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "attack    : stolen-token" in out
+        assert "success   : True" in out
+
+    def test_json_output(self, capsys):
+        cli_attack.main(["exfiltration", "--json", "--seed", "5"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attack"] == "data-exfiltration"
+        assert payload["success"] is True
+        assert "EXFIL_VOLUME" in payload["defender"]["network_notices"]
+
+    def test_insecure_server_flag(self, capsys):
+        cli_attack.main(["open-server-exploit", "--insecure-server", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["success"] is True
+        assert payload["metrics"]["code_execution"] is True
+
+
+class TestDatasetCli:
+    def test_stdout_jsonl(self, capsys):
+        rc = cli_dataset.main(["--attacks", "none", "--benign-sessions", "1", "--anonymize", "none"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert all(json.loads(l) for l in lines)
+
+    def test_file_output_with_stats(self, tmp_path, capsys):
+        out_path = tmp_path / "corpus.jsonl"
+        rc = cli_dataset.main(["--out", str(out_path), "--attacks", "none",
+                               "--benign-sessions", "1", "--stats"])
+        assert rc == 0
+        assert out_path.exists()
+        stats = json.loads(capsys.readouterr().err)
+        assert stats["records"] > 0
+        assert "k_anonymity" in stats
+
+
+class TestMonitorCli:
+    def test_benign_run(self, capsys):
+        rc = cli_monitor.main(["--depth", "jupyter"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "analyzer depth: JUPYTER" in out
+
+    def test_with_attacks_shows_notices(self, capsys):
+        cli_monitor.main(["--with-attacks"])
+        out = capsys.readouterr().out
+        assert "AUTH_BRUTEFORCE" in out or "EXFIL_VOLUME" in out
+
+    def test_json_mode(self, capsys):
+        cli_monitor.main(["--json", "--depth", "http"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["depth"] == "HTTP"

@@ -1,0 +1,87 @@
+"""ChaCha20 tests, including the RFC 7539 reference vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.chacha20 import ChaCha20, chacha20_block, chacha20_decrypt, chacha20_encrypt
+from repro.util.entropy import shannon_entropy
+
+RFC_KEY = bytes(range(32))
+RFC_NONCE = bytes.fromhex("000000090000004a00000000")
+
+
+class TestRfc7539Vectors:
+    def test_block_function_vector(self):
+        # RFC 7539 §2.3.2 test vector.
+        block = chacha20_block(RFC_KEY, 1, RFC_NONCE)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e"
+        )
+        assert block == expected
+
+    def test_encryption_vector(self):
+        # RFC 7539 §2.4.2: the "sunscreen" plaintext.
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (
+            b"Ladies and Gentlemen of the class of '99: If I could offer you "
+            b"only one tip for the future, sunscreen would be it."
+        )
+        expected = bytes.fromhex(
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b357"
+            "1639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e"
+            "52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42"
+            "874d"
+        )
+        assert chacha20_encrypt(key, nonce, plaintext, counter=1) == expected
+
+
+class TestRoundTrip:
+    @given(st.binary(max_size=4096))
+    def test_encrypt_decrypt_identity(self, plaintext):
+        key = b"\x01" * 32
+        nonce = b"\x02" * 12
+        ct = chacha20_encrypt(key, nonce, plaintext)
+        assert chacha20_decrypt(key, nonce, ct) == plaintext
+
+    @given(st.binary(min_size=1, max_size=1024))
+    def test_wrong_key_garbles(self, plaintext):
+        ct = chacha20_encrypt(b"\x01" * 32, b"\x00" * 12, plaintext)
+        wrong = chacha20_decrypt(b"\x02" * 32, b"\x00" * 12, ct)
+        # With overwhelming probability a 1-byte+ message decrypts wrong.
+        if len(plaintext) >= 8:
+            assert wrong != plaintext
+
+    @given(st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=8))
+    def test_streaming_equals_oneshot(self, chunks):
+        key, nonce = b"\x07" * 32, b"\x09" * 12
+        stream = ChaCha20(key, nonce)
+        streamed = b"".join(stream.update(c) for c in chunks)
+        assert streamed == chacha20_encrypt(key, nonce, b"".join(chunks))
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            ChaCha20(b"short", b"\x00" * 12)
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ValueError):
+            ChaCha20(b"\x00" * 32, b"\x00" * 5)
+
+
+class TestEntropySignal:
+    def test_ciphertext_entropy_high(self):
+        """The property the ransomware detector relies on."""
+        plaintext = (b"import numpy as np\n" * 400)
+        ct = chacha20_encrypt(b"\x05" * 32, b"\x06" * 12, plaintext)
+        assert shannon_entropy(plaintext) < 5.0
+        assert shannon_entropy(ct) > 7.5

@@ -1,0 +1,61 @@
+"""Tests for the harvest-now-decrypt-later exposure model."""
+
+import pytest
+
+from repro.crypto.hndl import HNDLModel, TrafficRecord
+
+
+def make_corpus():
+    m = HNDLModel()
+    # Classical-signed research data with a 10-year secrecy lifetime.
+    m.add(TrafficRecord(2024, 10, "hmac-sha256", size_bytes=1000))
+    # Classical-signed ephemeral heartbeat — stale within a year.
+    m.add(TrafficRecord(2024, 1, "hmac-sha256", size_bytes=10))
+    # PQ-signed record: never exposed.
+    m.add(TrafficRecord(2024, 50, "merkle", size_bytes=500))
+    return m
+
+
+class TestExposure:
+    def test_empty_model(self):
+        assert HNDLModel().exposed_fraction(2030) == 0.0
+
+    def test_crqc_before_expiry_exposes(self):
+        m = make_corpus()
+        # CRQC in 2030: 10-year record (sensitive until 2034) exposed,
+        # 1-year record (stale since 2025) not, merkle never.
+        assert m.exposed_fraction(2030) == pytest.approx(1 / 3)
+
+    def test_crqc_late_exposes_nothing(self):
+        assert make_corpus().exposed_fraction(2100) == 0.0
+
+    def test_crqc_immediate_exposes_all_classical(self):
+        assert make_corpus().exposed_fraction(2024) == pytest.approx(2 / 3)
+
+    def test_exposed_bytes(self):
+        assert make_corpus().exposed_bytes(2030) == 1000
+
+    def test_sweep_monotone_nonincreasing(self):
+        m = make_corpus()
+        years = [2024, 2026, 2030, 2040, 2100]
+        sweep = m.sweep(years)
+        values = [sweep[y] for y in years]
+        assert values == sorted(values, reverse=True)
+
+    def test_breakdown_by_scheme(self):
+        br = make_corpus().breakdown_by_scheme(2024)
+        assert br["hmac-sha256"] == 1.0
+        assert br["merkle"] == 0.0
+
+    def test_migration_benefit_positive(self):
+        m = HNDLModel()
+        for year in (2024, 2025, 2026, 2027):
+            m.add(TrafficRecord(year, 20, "hmac-sha256"))
+        # Migrating in 2025 saves the 2025-2027 records from a 2030 CRQC.
+        benefit = m.migration_benefit(migrate_year=2025, crqc_year=2030)
+        assert benefit == pytest.approx(3 / 4)
+
+    def test_migration_benefit_zero_when_too_late(self):
+        m = HNDLModel()
+        m.add(TrafficRecord(2024, 2, "hmac-sha256"))
+        assert m.migration_benefit(migrate_year=2050, crqc_year=2025) == 0.0

@@ -1,0 +1,155 @@
+"""Tests for the hash-based post-quantum signature schemes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.pq import WOTS, LamportOTS, MerkleSignature, MerkleSigner
+
+SEED = b"\xaa" * 32
+
+
+class TestLamport:
+    def test_sign_verify(self):
+        s = LamportOTS(SEED)
+        sig = s.sign([b"execute_request"])
+        assert s.verify([b"execute_request"], sig)
+
+    def test_verify_rejects_other_message(self):
+        s = LamportOTS(SEED)
+        sig = s.sign([b"msg"])
+        verifier = LamportOTS(SEED)
+        assert not verifier.verify([b"other"], sig)
+
+    def test_verify_rejects_bitflip(self):
+        s = LamportOTS(SEED)
+        sig = bytearray(s.sign([b"msg"]))
+        sig[0] ^= 1
+        assert not s.verify([b"msg"], bytes(sig))
+
+    def test_verify_rejects_wrong_length(self):
+        s = LamportOTS(SEED)
+        assert not s.verify([b"msg"], b"short")
+
+    def test_one_time_enforced(self):
+        s = LamportOTS(SEED)
+        s.sign([b"first"])
+        with pytest.raises(RuntimeError):
+            s.sign([b"second"])
+
+    def test_resigning_same_message_ok(self):
+        s = LamportOTS(SEED)
+        assert s.sign([b"same"]) == s.sign([b"same"])
+
+    def test_signature_size(self):
+        assert len(LamportOTS(SEED).sign([b"m"])) == 256 * 32
+
+    def test_seed_too_short(self):
+        with pytest.raises(ValueError):
+            LamportOTS(b"tiny")
+
+    def test_quantum_resistant_flag(self):
+        assert LamportOTS(SEED).quantum_resistant
+
+
+class TestWOTS:
+    def test_sign_verify(self):
+        s = WOTS(SEED)
+        sig = s.sign([b"hello"])
+        assert s.verify([b"hello"], sig)
+
+    def test_cross_instance_verify(self):
+        signer = WOTS(SEED)
+        verifier = WOTS(SEED)
+        assert verifier.verify([b"m"], signer.sign([b"m"]))
+
+    def test_rejects_tampered_message(self):
+        s = WOTS(SEED)
+        sig = s.sign([b"m"])
+        assert not WOTS(SEED).verify([b"m2"], sig)
+
+    def test_rejects_tampered_signature(self):
+        s = WOTS(SEED)
+        sig = bytearray(s.sign([b"m"]))
+        sig[5] ^= 0xFF
+        assert not s.verify([b"m"], bytes(sig))
+
+    def test_smaller_than_lamport(self):
+        assert len(WOTS(SEED).sign([b"m"])) < len(LamportOTS(SEED).sign([b"m"]))
+
+    def test_w_parameter_sizes(self):
+        # Larger w -> fewer chains -> smaller signatures.
+        s4 = WOTS(SEED, w=4)
+        s256 = WOTS(SEED, w=256)
+        assert len(s256.sign([b"m"])) < len(s4.sign([b"m"]))
+        assert s4.verify([b"m"], s4.sign([b"m"]))
+        assert s256.verify([b"m"], s256.sign([b"m"]))
+
+    def test_invalid_w(self):
+        with pytest.raises(ValueError):
+            WOTS(SEED, w=3)
+
+    def test_one_time_enforced(self):
+        s = WOTS(SEED)
+        s.sign([b"a"])
+        with pytest.raises(RuntimeError):
+            s.sign([b"b"])
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=1, max_size=64))
+    def test_property_roundtrip(self, msg):
+        s = WOTS(SEED)
+        assert s.verify([msg], s.sign([msg]))
+
+
+class TestMerkle:
+    def test_many_time_signing(self):
+        s = MerkleSigner(SEED, height=2)
+        msgs = [b"m0", b"m1", b"m2", b"m3"]
+        sigs = [s.sign([m]) for m in msgs]
+        verifier = MerkleSigner(SEED, height=2)
+        for m, sig in zip(msgs, sigs):
+            assert verifier.verify([m], sig)
+
+    def test_capacity_exhaustion(self):
+        s = MerkleSigner(SEED, height=1)
+        s.sign([b"a"])
+        s.sign([b"b"])
+        with pytest.raises(RuntimeError):
+            s.sign([b"c"])
+
+    def test_remaining_counter(self):
+        s = MerkleSigner(SEED, height=2)
+        assert s.remaining == 4
+        s.sign([b"x"])
+        assert s.remaining == 3
+
+    def test_rejects_cross_message(self):
+        s = MerkleSigner(SEED, height=1)
+        sig = s.sign([b"m"])
+        assert not s.verify([b"other"], sig)
+
+    def test_rejects_garbage(self):
+        s = MerkleSigner(SEED, height=1)
+        assert not s.verify([b"m"], b"\x00" * 10)
+        assert not s.verify([b"m"], b"")
+
+    def test_rejects_truncated_auth_path(self):
+        s = MerkleSigner(SEED, height=2)
+        sig = MerkleSignature.decode(s.sign([b"m"]))
+        sig.auth_path = sig.auth_path[:-1]
+        assert not s.verify([b"m"], sig.encode())
+
+    def test_signature_encoding_roundtrip(self):
+        s = MerkleSigner(SEED, height=2)
+        raw = s.sign([b"m"])
+        ms = MerkleSignature.decode(raw)
+        assert ms.encode() == raw
+
+    def test_invalid_height(self):
+        with pytest.raises(ValueError):
+            MerkleSigner(SEED, height=0)
+
+    def test_different_leaves_different_sigs(self):
+        s = MerkleSigner(SEED, height=1)
+        assert s.sign([b"same"]) != s.sign([b"same"])  # different leaf index

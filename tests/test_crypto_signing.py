@@ -1,0 +1,122 @@
+"""Tests for classical signers, the agility registry, and passwords."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.passwords import (
+    hash_password,
+    parse_hash_rounds,
+    token_entropy_bits,
+    verify_password,
+)
+from repro.crypto.signing import (
+    HMACSHA3Signer,
+    HMACSigner,
+    NullSigner,
+    available_schemes,
+    get_signer,
+)
+
+
+class TestHMACSigner:
+    def test_known_answer(self):
+        # HMAC-SHA256("key", "abc") — cross-checked with hashlib directly.
+        import hashlib
+        import hmac as hmac_mod
+
+        signer = HMACSigner(b"key")
+        expected = hmac_mod.new(b"key", b"abc", hashlib.sha256).hexdigest().encode()
+        assert signer.sign([b"a", b"bc"]) == expected
+
+    def test_verify_roundtrip(self):
+        s = HMACSigner(b"secret")
+        sig = s.sign([b"header", b"content"])
+        assert s.verify([b"header", b"content"], sig)
+
+    def test_verify_rejects_tamper(self):
+        s = HMACSigner(b"secret")
+        sig = s.sign([b"header", b"content"])
+        assert not s.verify([b"header", b"contenT"], sig)
+
+    def test_verify_rejects_wrong_key(self):
+        sig = HMACSigner(b"k1").sign([b"x"])
+        assert not HMACSigner(b"k2").verify([b"x"], sig)
+
+    def test_segmentation_matters_not(self):
+        # HMAC over concatenated segments: [b"ab"] == [b"a", b"b"].
+        s = HMACSigner(b"k")
+        assert s.sign([b"ab"]) == s.sign([b"a", b"b"])
+
+    def test_key_must_be_bytes(self):
+        with pytest.raises(TypeError):
+            HMACSigner("string-key")
+
+    @given(st.lists(st.binary(max_size=100), max_size=5), st.binary(min_size=1, max_size=32))
+    def test_property_roundtrip(self, segments, key):
+        s = HMACSigner(key)
+        assert s.verify(segments, s.sign(segments))
+
+
+class TestSHA3AndNull:
+    def test_sha3_differs_from_sha2(self):
+        assert HMACSigner(b"k").sign([b"m"]) != HMACSHA3Signer(b"k").sign([b"m"])
+
+    def test_sha3_roundtrip(self):
+        s = HMACSHA3Signer(b"k")
+        assert s.verify([b"m"], s.sign([b"m"]))
+
+    def test_null_signer_accepts_anything(self):
+        s = NullSigner()
+        assert s.sign([b"m"]) == b""
+        assert s.verify([b"m"], b"forged-signature")
+
+    def test_signature_size(self):
+        assert HMACSigner(b"k").signature_size == 64  # hex sha256
+        assert NullSigner().signature_size == 0
+
+
+class TestRegistry:
+    def test_known_schemes_present(self):
+        schemes = available_schemes()
+        for s in ("hmac-sha256", "hmac-sha3-256", "none", "lamport", "wots", "merkle"):
+            assert s in schemes
+
+    def test_get_signer_builds_correct_type(self):
+        assert isinstance(get_signer("hmac-sha256", b"k"), HMACSigner)
+        assert isinstance(get_signer("none"), NullSigner)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError):
+            get_signer("rot13")
+
+
+class TestPasswords:
+    def test_roundtrip(self):
+        stored = hash_password("hunter2", rounds=1000)
+        assert verify_password("hunter2", stored)
+        assert not verify_password("hunter3", stored)
+
+    def test_distinct_salts(self):
+        assert hash_password("pw", rounds=100) != hash_password("pw", rounds=100)
+
+    def test_malformed_hash_rejected(self):
+        assert not verify_password("pw", "not-a-hash")
+        assert not verify_password("pw", "md5:1:aa:bb")
+
+    def test_parse_rounds(self):
+        assert parse_hash_rounds(hash_password("pw", rounds=1234)) == 1234
+        assert parse_hash_rounds("garbage") is None
+
+    def test_token_entropy_ordering(self):
+        from repro.util.ids import new_token
+
+        weak = token_entropy_bits("password")
+        strong = token_entropy_bits(new_token())
+        assert weak < 40
+        assert strong > 100
+
+    def test_token_entropy_degenerate(self):
+        assert token_entropy_bits("") == 0.0
+        assert token_entropy_bits("a") == 0.0
+        assert token_entropy_bits("aaaa") < 3

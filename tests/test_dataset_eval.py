@@ -1,0 +1,239 @@
+"""Tests for workloads, dataset building, anonymization, and metrics."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import ExfiltrationAttack, TokenBruteforceAttack
+from repro.attacks.scenario import build_scenario
+from repro.dataset import (
+    AnonymizationPolicy,
+    Anonymizer,
+    DatasetBuilder,
+    LabeledRecord,
+    k_anonymity,
+)
+from repro.dataset.anonymize import reidentification_risk
+from repro.eval import ConfusionMatrix, DetectionEvaluator, roc_sweep
+from repro.workload import ScientistWorkload
+
+
+class TestWorkload:
+    def test_session_runs_clean(self):
+        sc = build_scenario(seed=100)
+        report = ScientistWorkload(sc, username="alice").run_session(cells=5)
+        assert report.cells_executed == 5
+        assert report.errors == 0
+        assert report.duration > 0
+
+    def test_benign_workload_triggers_no_high_notices(self):
+        sc = build_scenario(seed=101)
+        ScientistWorkload(sc).run_session(cells=8)
+        high = [n for n in sc.monitor.logs.notices if n.severity in ("high", "critical")]
+        assert high == []
+
+    def test_deterministic_given_seed(self):
+        def run():
+            sc = build_scenario(seed=102)
+            ScientistWorkload(sc, username="bob").run_session(cells=4)
+            return [j.code for j in sc.monitor.logs.jupyter if j.msg_type == "execute_request"]
+
+        assert run() == run()
+
+    def test_different_users_different_cells(self):
+        sc = build_scenario(seed=103)
+        w1 = ScientistWorkload(sc, username="u1")
+        w2 = ScientistWorkload(sc, username="u2")
+        c1 = [w1.rng.choice(range(1000)) for _ in range(5)]
+        c2 = [w2.rng.choice(range(1000)) for _ in range(5)]
+        assert c1 != c2
+
+
+class TestDatasetBuilder:
+    def test_mixed_corpus_has_both_labels(self):
+        builder = DatasetBuilder(seed=200, benign_sessions=2, benign_cells_per_session=3)
+        records = builder.build([TokenBruteforceAttack(delay=0.2)])
+        summary = DatasetBuilder.summary(records)
+        assert summary["malicious"] > 0
+        assert summary["benign"] > summary["malicious"]
+        assert summary["families"]["http"] > 0
+
+    def test_ground_truth_not_derived_from_detection(self):
+        builder = DatasetBuilder(seed=201, benign_sessions=1, benign_cells_per_session=2)
+        records = builder.build([ExfiltrationAttack()])
+        # Jupyter records from the stolen session are labeled malicious even
+        # though they traverse the benign user's host.
+        stolen = [r for r in records if r.family == "jupyter"
+                  and r.fields.get("username") == "attacker-via-stolen-session"]
+        assert stolen and all(r.label_malicious for r in stolen)
+
+    def test_jsonl_export_parses(self):
+        builder = DatasetBuilder(seed=202, benign_sessions=1, benign_cells_per_session=2)
+        records = builder.build()
+        text = DatasetBuilder.export_jsonl(records)
+        parsed = [json.loads(line) for line in text.splitlines()]
+        assert len(parsed) == len(records)
+        assert all("label_malicious" in p for p in parsed)
+
+    def test_records_time_ordered(self):
+        builder = DatasetBuilder(seed=203, benign_sessions=1, benign_cells_per_session=2)
+        records = builder.build()
+        times = [r.ts for r in records]
+        assert times == sorted(times)
+
+
+def sample_records():
+    return [
+        LabeledRecord(ts=12.3, family="jupyter", src="10.0.0.42", dst="10.0.0.10",
+                      fields={"username": "alice", "session": "s1", "code": "import os",
+                              "code_size": 9},
+                      label_malicious=False),
+        LabeledRecord(ts=83.9, family="http", src="203.0.113.66", dst="10.0.0.10",
+                      fields={"method": "GET", "path": "/api/status", "status": 403},
+                      label_malicious=True, label_attack="token-bruteforce"),
+        LabeledRecord(ts=90.1, family="http", src="203.0.113.66", dst="10.0.0.10",
+                      fields={"method": "GET", "path": "/api/status", "status": 403},
+                      label_malicious=True, label_attack="token-bruteforce"),
+    ]
+
+
+class TestAnonymizer:
+    def test_ips_pseudonymized_deterministically(self):
+        anon = Anonymizer(AnonymizationPolicy())
+        a1 = anon.pseudonymize_ip("10.0.0.42")
+        a2 = anon.pseudonymize_ip("10.0.0.42")
+        assert a1 == a2
+        assert a1 != "10.0.0.42"
+
+    def test_prefix_preservation(self):
+        anon = Anonymizer(AnonymizationPolicy())
+        a = anon.pseudonymize_ip("10.0.0.42").split(".")
+        b = anon.pseudonymize_ip("10.0.0.99").split(".")
+        c = anon.pseudonymize_ip("10.0.7.42").split(".")
+        d = anon.pseudonymize_ip("192.168.0.42").split(".")
+        assert a[:3] == b[:3]          # same /24 stays together
+        assert a[:2] == c[:2]          # same /16 stays together
+        assert a[0] != d[0] or a[1] != d[1]  # different nets diverge
+
+    def test_different_keys_different_pseudonyms(self):
+        a = Anonymizer(AnonymizationPolicy(key=b"k1")).pseudonymize_ip("10.0.0.42")
+        b = Anonymizer(AnonymizationPolicy(key=b"k2")).pseudonymize_ip("10.0.0.42")
+        assert a != b
+
+    def test_non_ip_sources_hashed(self):
+        anon = Anonymizer(AnonymizationPolicy())
+        # Principal names use the identity PRF so they stay joinable with
+        # hashed username fields across record families.
+        assert anon.pseudonymize_ip("kernel").startswith("u-")
+        assert anon.pseudonymize_ip("alice") == anon.hash_identity("alice")
+
+    def test_identity_hashing(self):
+        anon = Anonymizer(AnonymizationPolicy())
+        rec = anon.anonymize_record(sample_records()[0])
+        assert rec.fields["username"].startswith("u-")
+        assert rec.fields["session"].startswith("u-")
+
+    def test_code_dropped_size_kept(self):
+        anon = Anonymizer(AnonymizationPolicy())
+        rec = anon.anonymize_record(sample_records()[0])
+        assert "code" not in rec.fields
+        assert rec.fields["code_size"] == 9
+
+    def test_timestamp_coarsening(self):
+        anon = Anonymizer(AnonymizationPolicy(coarsen_timestamps_to=60))
+        rec = anon.anonymize_record(sample_records()[1])
+        assert rec.ts == 60.0
+
+    def test_labels_preserved(self):
+        anon = Anonymizer(AnonymizationPolicy.maximal())
+        recs = anon.anonymize(sample_records())
+        assert [r.label_malicious for r in recs] == [False, True, True]
+
+    def test_none_policy_identity(self):
+        anon = Anonymizer(AnonymizationPolicy.none())
+        recs = anon.anonymize(sample_records())
+        assert recs[0].src == "10.0.0.42"
+        assert recs[0].fields["code"] == "import os"
+        assert recs[0].ts == 12.3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 255), min_size=4, max_size=4))
+    def test_pseudonym_is_valid_ip_shape(self, octets):
+        anon = Anonymizer(AnonymizationPolicy())
+        out = anon.pseudonymize_ip(".".join(map(str, octets)))
+        parts = out.split(".")
+        assert len(parts) == 4
+        assert all(0 <= int(p) <= 255 for p in parts)
+
+    def test_pseudonymization_injective_within_subnet(self):
+        anon = Anonymizer(AnonymizationPolicy())
+        outs = {anon.pseudonymize_ip(f"10.0.0.{i}") for i in range(0, 200)}
+        # The per-octet keyed permutation is injective: no two hosts in a
+        # subnet may collide, or flow counts would silently merge.
+        assert len(outs) == 200
+
+
+class TestPrivacyMetrics:
+    def test_k_anonymity(self):
+        recs = sample_records()
+        assert k_anonymity(recs, ("src", "family")) == 1  # alice's record is unique
+        assert k_anonymity(recs[1:], ("src", "family")) == 2
+
+    def test_k_anonymity_empty(self):
+        assert k_anonymity([]) == 0
+
+    def test_reidentification_risk(self):
+        recs = sample_records()
+        risk = reidentification_risk(recs, k=2)
+        assert risk == pytest.approx(1 / 3)
+
+    def test_coarsening_raises_k(self):
+        # Coarsened corpus merges quasi-identifier classes.
+        recs = sample_records()
+        anon = Anonymizer(AnonymizationPolicy.maximal())
+        k_before = k_anonymity(recs, ("src", "family"))
+        k_after = k_anonymity(anon.anonymize(recs), ("src", "family"))
+        assert k_after >= k_before
+
+
+class TestMetrics:
+    def test_confusion_matrix_math(self):
+        cm = ConfusionMatrix()
+        for actual, predicted in [(True, True), (True, False), (False, False), (False, True)]:
+            cm.add(actual=actual, predicted=predicted)
+        assert cm.tpr == 0.5 and cm.fpr == 0.5
+        assert cm.precision == 0.5
+        assert cm.f1 == 0.5
+
+    def test_empty_matrix_safe(self):
+        cm = ConfusionMatrix()
+        assert cm.tpr == cm.fpr == cm.precision == cm.f1 == 0.0
+
+    def test_source_level_evaluation(self):
+        recs = sample_records() + [
+            LabeledRecord(ts=95.0, family="notice", src="203.0.113.66", dst="",
+                          fields={"name": "AUTH_BRUTEFORCE"}, label_malicious=True),
+        ]
+        cm = DetectionEvaluator().evaluate_sources(recs)
+        assert cm.tp == 1   # attacker flagged
+        assert cm.fp == 0   # alice not flagged
+        assert cm.tn == 1
+
+    def test_per_attack_detection(self):
+        recs = sample_records() + [
+            LabeledRecord(ts=95.0, family="notice", src="203.0.113.66", dst="",
+                          fields={"name": "AUTH_BRUTEFORCE"}, label_malicious=True),
+        ]
+        per = DetectionEvaluator().per_attack_detection(recs)
+        assert per == {"token-bruteforce": True}
+
+    def test_roc_sweep_monotone(self):
+        pairs = [(float(i), i >= 50) for i in range(100)]
+        points = roc_sweep(pairs, thresholds=[0.0, 25.0, 50.0, 75.0, 200.0])
+        tprs = [p["tpr"] for p in points]
+        fprs = [p["fpr"] for p in points]
+        assert tprs == sorted(tprs, reverse=True)
+        assert fprs == sorted(fprs, reverse=True)
+        assert points[3]["fpr"] == 0.0 and points[3]["tpr"] == 0.5

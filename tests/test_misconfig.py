@@ -1,0 +1,104 @@
+"""Tests for the misconfiguration scanner."""
+
+import pytest
+
+from repro.crypto.passwords import hash_password
+from repro.misconfig import MisconfigScanner, Severity, run_checks
+from repro.server.config import ServerConfig, insecure_demo_config
+from repro.util.ids import new_token
+
+
+def failures(cfg):
+    return {r.check_id for r in run_checks(cfg) if not r.passed}
+
+
+class TestChecks:
+    def test_default_config_mostly_clean(self):
+        cfg = ServerConfig()
+        ids = failures(cfg)
+        # Default lacks only rate limiting and TLS is fine on loopback.
+        assert "JPT-001" not in ids
+        assert "JPT-002" not in ids
+        assert "JPT-009" not in ids
+
+    def test_insecure_demo_fails_hard(self):
+        ids = failures(insecure_demo_config())
+        for expected in ("JPT-001", "JPT-002", "JPT-006", "JPT-007", "JPT-008",
+                         "JPT-009", "JPT-010", "JPT-012"):
+            assert expected in ids
+
+    def test_no_auth_is_critical(self):
+        results = run_checks(insecure_demo_config())
+        auth = next(r for r in results if r.check_id == "JPT-001")
+        assert not auth.passed and auth.severity == Severity.CRITICAL
+        assert auth.remediation
+
+    def test_weak_token_flagged(self):
+        assert "JPT-004" in failures(ServerConfig(token="admin"))
+        assert "JPT-004" not in failures(ServerConfig(token=new_token()))
+
+    def test_weak_password_rounds_flagged(self):
+        weak = ServerConfig(password_hash=hash_password("pw", rounds=100))
+        assert "JPT-005" in failures(weak)
+        strong = ServerConfig(password_hash=hash_password("pw", rounds=20_000))
+        assert "JPT-005" not in failures(strong)
+
+    def test_tls_required_when_public(self):
+        public_no_tls = ServerConfig(ip="0.0.0.0")
+        assert "JPT-003" in failures(public_no_tls)
+        public_tls = ServerConfig(ip="0.0.0.0", certfile="c", keyfile="k")
+        assert "JPT-003" not in failures(public_tls)
+
+    def test_vulnerable_version_names_cves(self):
+        cfg = ServerConfig(version="6.4.0")
+        result = next(r for r in run_checks(cfg) if r.check_id == "JPT-009")
+        assert not result.passed
+        assert "CVE-2022-29238" in result.finding
+
+    def test_empty_session_key_flagged(self):
+        assert "JPT-010" in failures(ServerConfig(session_key=b""))
+
+    def test_terminals_public_flagged(self):
+        assert "JPT-012" in failures(ServerConfig(ip="0.0.0.0", terminals_enabled=True))
+        assert "JPT-012" not in failures(ServerConfig(ip="0.0.0.0", terminals_enabled=False))
+
+    def test_unknown_signature_scheme_flagged(self):
+        assert "JPT-013" in failures(ServerConfig(signature_scheme="rot13"))
+
+
+class TestScanner:
+    def test_grades_ordered_by_risk(self):
+        scanner = MisconfigScanner()
+        clean = scanner.scan(ServerConfig(rate_limit_window_seconds=60,
+                                          rate_limit_max_requests=100))
+        awful = scanner.scan(insecure_demo_config())
+        assert clean.risk_score < awful.risk_score
+        assert clean.grade in ("A", "B")
+        assert awful.grade == "F"
+
+    def test_fleet_scan_sorted_worst_first(self):
+        scanner = MisconfigScanner()
+        reports = scanner.scan_fleet([
+            ServerConfig(server_name="good"),
+            insecure_demo_config(),
+        ])
+        assert reports[0].risk_score >= reports[1].risk_score
+
+    def test_hardening_delta_reduces_risk_to_low(self):
+        scanner = MisconfigScanner()
+        delta = scanner.hardening_delta(insecure_demo_config())
+        assert delta["before"] > 40
+        assert delta["after"] <= 5
+        assert delta["reduction"] > 35
+
+    def test_render_contains_findings_and_remediations(self):
+        report = MisconfigScanner().scan(insecure_demo_config())
+        text = report.render()
+        assert "grade F" in text
+        assert "JPT-001" in text
+        assert "Remediations:" in text
+
+    def test_failures_by_severity(self):
+        report = MisconfigScanner().scan(insecure_demo_config())
+        by_sev = report.failures_by_severity()
+        assert by_sev.get("critical", 0) >= 2

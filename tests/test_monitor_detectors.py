@@ -1,0 +1,199 @@
+"""Unit tests for the anomaly detector suite."""
+
+import pytest
+
+from repro.crypto.chacha20 import chacha20_encrypt
+from repro.monitor.anomaly import (
+    BeaconDetector,
+    BruteForceDetector,
+    CusumEgressDetector,
+    EgressVolumeDetector,
+    EntropyBurstDetector,
+    NewSourceDetector,
+    ScanDetector,
+)
+from repro.taxonomy.oscrp import Avenue
+
+ENC = chacha20_encrypt(b"\x11" * 32, b"\x00" * 12, b"notebook content " * 64)
+TEXT = b"import numpy as np\nresult = np.mean(data)\n" * 20
+
+
+class TestEntropyBurst:
+    def test_encrypted_burst_fires(self):
+        det = EntropyBurstDetector(min_files=3, window=60)
+        notices = [det.observe_write(float(i), f"home/f{i}.ipynb", ENC) for i in range(3)]
+        assert notices[-1] is not None
+        assert notices[-1].name == "RANSOMWARE_ENTROPY_BURST"
+        assert notices[-1].avenue == Avenue.RANSOMWARE
+
+    def test_plaintext_burst_ignored(self):
+        det = EntropyBurstDetector(min_files=3)
+        assert all(det.observe_write(float(i), f"f{i}", TEXT) is None for i in range(10))
+
+    def test_slow_writes_age_out(self):
+        det = EntropyBurstDetector(min_files=3, window=10)
+        assert det.observe_write(0.0, "a", ENC) is None
+        assert det.observe_write(20.0, "b", ENC) is None
+        assert det.observe_write(40.0, "c", ENC) is None  # only 1 in window each time
+
+    def test_same_file_rewrites_do_not_fire(self):
+        det = EntropyBurstDetector(min_files=3, window=60)
+        assert all(det.observe_write(float(i), "same.bin", ENC) is None for i in range(10))
+
+    def test_small_files_ignored(self):
+        det = EntropyBurstDetector(min_files=2, min_size=64)
+        short = ENC[:32]
+        assert det.observe_write(0, "a", short) is None
+        assert det.observe_write(1, "b", short) is None
+
+    def test_dedup_within_interval(self):
+        det = EntropyBurstDetector(min_files=2, window=600, renotify_interval=300)
+        det.observe_write(0, "a", ENC)
+        det.observe_write(1, "b", ENC)
+        det.observe_write(2, "c", ENC)
+        det.observe_write(3, "d", ENC)
+        assert len(det.notices) == 1
+        det.observe_write(400, "e", ENC)
+        assert len(det.notices) == 2
+
+
+class TestEgressVolume:
+    def test_bulk_transfer_fires(self):
+        det = EgressVolumeDetector(window=60, threshold_bytes=10_000)
+        notice = None
+        for i in range(20):
+            notice = det.observe_bytes(float(i), "10.0.0.1", "203.0.113.5", 1000) or notice
+        assert notice is not None and notice.name == "EXFIL_VOLUME"
+
+    def test_internal_transfers_ignored(self):
+        det = EgressVolumeDetector(threshold_bytes=100)
+        assert det.observe_bytes(0, "10.0.0.1", "10.0.0.2", 10**9) is None
+
+    def test_inbound_ignored(self):
+        det = EgressVolumeDetector(threshold_bytes=100)
+        assert det.observe_bytes(0, "203.0.113.5", "10.0.0.1", 10**9) is None
+
+    def test_low_and_slow_evades_threshold(self):
+        """The evasion the paper warns about: stay under the window budget."""
+        det = EgressVolumeDetector(window=60, threshold_bytes=60_000)
+        # 500 B/s for an hour = 1.8 MB total, never >30k per minute window.
+        for t in range(3600):
+            assert det.observe_bytes(float(t), "10.0.0.1", "203.0.113.5", 500) is None
+
+
+class TestCusumEgress:
+    def test_catches_low_and_slow(self):
+        """CUSUM accumulates what the threshold detector forgets."""
+        det = CusumEgressDetector(bucket_seconds=10, baseline_bytes=100,
+                                  slack_bytes=100, decision_threshold=50_000)
+        fired = None
+        for t in range(3600):
+            fired = det.observe_bytes(float(t), "10.0.0.1", "203.0.113.5", 500) or fired
+        assert fired is not None
+        assert fired.name == "EXFIL_CUSUM_DRIFT"
+
+    def test_benign_baseline_quiet(self):
+        det = CusumEgressDetector(bucket_seconds=10, baseline_bytes=5000,
+                                  slack_bytes=5000, decision_threshold=50_000)
+        for t in range(0, 3600, 10):
+            assert det.observe_bytes(float(t), "10.0.0.1", "203.0.113.5", 300) is None
+
+    def test_idle_buckets_decay(self):
+        det = CusumEgressDetector(bucket_seconds=1, baseline_bytes=100,
+                                  slack_bytes=100, decision_threshold=10_000)
+        # One big burst then silence: S decays by (baseline+slack) per idle bucket.
+        det.observe_bytes(0.0, "10.0.0.1", "203.0.113.5", 5000)
+        det.observe_bytes(100.0, "10.0.0.1", "203.0.113.5", 1)  # closes buckets
+        assert det._cusum[("10.0.0.1", "203.0.113.5")] == 0.0
+
+
+class TestBeacon:
+    def test_regular_beacons_fire(self):
+        det = BeaconDetector(min_events=8, cv_threshold=0.3)
+        notice = None
+        for i in range(20):
+            notice = det.observe_send(30.0 * i, "10.0.0.1", "198.51.100.9", 120) or notice
+        assert notice is not None and notice.name == "MINER_BEACON"
+        assert notice.avenue == Avenue.CRYPTOMINING
+
+    def test_bursty_traffic_quiet(self):
+        import random
+
+        rng = random.Random(7)
+        det = BeaconDetector(min_events=8, cv_threshold=0.25)
+        t = 0.0
+        for _ in range(50):
+            t += rng.expovariate(1 / 30.0)  # CV of exponential = 1
+            assert det.observe_send(t, "10.0.0.1", "198.51.100.9", 120) is None
+
+    def test_large_payloads_ignored(self):
+        det = BeaconDetector(min_events=4, max_payload=1000)
+        for i in range(20):
+            assert det.observe_send(10.0 * i, "10.0.0.1", "198.51.100.9", 50_000) is None
+
+    def test_internal_destinations_ignored(self):
+        det = BeaconDetector(min_events=4)
+        for i in range(20):
+            assert det.observe_send(10.0 * i, "10.0.0.1", "10.0.0.2", 120) is None
+
+
+class TestBruteForce:
+    def test_failure_burst_fires(self):
+        det = BruteForceDetector(window=120, max_failures=5)
+        notice = None
+        for i in range(6):
+            notice = det.observe_auth(float(i), "6.6.6.6", ok=False) or notice
+        assert notice is not None and notice.name == "AUTH_BRUTEFORCE"
+
+    def test_successes_ignored(self):
+        det = BruteForceDetector(max_failures=2)
+        for i in range(10):
+            assert det.observe_auth(float(i), "1.1.1.1", ok=True) is None
+
+    def test_failures_age_out(self):
+        det = BruteForceDetector(window=10, max_failures=3)
+        assert det.observe_auth(0.0, "2.2.2.2", False) is None
+        assert det.observe_auth(100.0, "2.2.2.2", False) is None
+        assert det.observe_auth(200.0, "2.2.2.2", False) is None
+
+    def test_per_source_isolation(self):
+        det = BruteForceDetector(window=60, max_failures=3)
+        det.observe_auth(0, "3.3.3.3", False)
+        det.observe_auth(1, "3.3.3.3", False)
+        assert det.observe_auth(2, "4.4.4.4", False) is None
+
+
+class TestScan:
+    def test_fanout_fires(self):
+        det = ScanDetector(window=60, max_targets=5)
+        notice = None
+        for port in range(8880, 8890):
+            notice = det.observe_probe(1.0, "6.6.6.6", "10.0.0.1", port) or notice
+        assert notice is not None and notice.name == "PORT_SCAN"
+
+    def test_repeat_probes_one_target_quiet(self):
+        det = ScanDetector(max_targets=5)
+        for i in range(50):
+            assert det.observe_probe(float(i), "6.6.6.6", "10.0.0.1", 8888) is None
+
+
+class TestNewSource:
+    def test_learning_period_silent(self):
+        det = NewSourceDetector(learning_until=100)
+        assert det.observe_auth(50, "10.0.0.2", True) is None
+
+    def test_new_source_after_learning_fires(self):
+        det = NewSourceDetector(learning_until=100)
+        det.observe_auth(50, "10.0.0.2", True)
+        notice = det.observe_auth(200, "203.0.113.77", True)
+        assert notice is not None and notice.name == "NEW_SOURCE_LOGIN"
+
+    def test_known_source_quiet(self):
+        det = NewSourceDetector(learning_until=100)
+        det.observe_auth(50, "10.0.0.2", True)
+        assert det.observe_auth(200, "10.0.0.2", True) is None
+
+    def test_failed_auth_not_learned(self):
+        det = NewSourceDetector(learning_until=100)
+        det.observe_auth(50, "7.7.7.7", False)
+        assert det.observe_auth(200, "7.7.7.7", True) is not None

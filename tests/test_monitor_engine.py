@@ -1,0 +1,184 @@
+"""Integration tests: monitor attached to the live simnet world."""
+
+import pytest
+
+from repro.monitor import AnalyzerDepth, JupyterNetworkMonitor
+from repro.monitor.signatures import Signature, SignatureEngine
+from repro.server import JupyterServer, ServerConfig, ServerGateway, WebSocketKernelClient
+from repro.simnet import Network
+from repro.taxonomy.oscrp import Avenue
+
+
+def make_monitored_world(*, depth=AnalyzerDepth.JUPYTER, token="tok", budget=0.0, key=b""):
+    net = Network(default_latency=0.001)
+    server_host = net.add_host("jupyter", "10.0.0.1")
+    client_host = net.add_host("laptop", "10.0.0.2")
+    tap = net.add_tap()
+    cfg = ServerConfig(ip="0.0.0.0", token=token)
+    if key:
+        cfg.session_key = key
+    server = JupyterServer(cfg, net, server_host)
+    ServerGateway(server)
+    monitor = JupyterNetworkMonitor(depth=depth, budget_events_per_second=budget,
+                                    session_key=key)
+    monitor.attach(tap)
+    client = WebSocketKernelClient(client_host, server_host, token=token)
+    return net, server, monitor, client
+
+
+class TestProtocolVisibility:
+    def test_http_transactions_logged(self):
+        _, _, monitor, client = make_monitored_world()
+        client.request("GET", "/api/status")
+        recs = [r for r in monitor.logs.http if r.path == "/api/status"]
+        assert recs and recs[0].status == 200
+        assert recs[0].has_auth
+
+    def test_conn_records_with_service(self):
+        _, _, monitor, client = make_monitored_world()
+        client.request("GET", "/api/status")
+        assert any(c.service == "http" for c in monitor.logs.conn)
+
+    def test_websocket_and_jupyter_records(self):
+        _, _, monitor, client = make_monitored_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("1 + 1")
+        assert any(c.service == "websocket" for c in monitor.logs.conn)
+        assert monitor.logs.websocket
+        exec_msgs = [j for j in monitor.logs.jupyter if j.msg_type == "execute_request"]
+        assert exec_msgs and exec_msgs[0].code == "1 + 1"
+
+    def test_zmtp_records_from_kernel_loopback(self):
+        _, _, monitor, client = make_monitored_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("2 + 2")
+        assert monitor.logs.zmtp
+        zmtp_jupyter = [j for j in monitor.logs.jupyter if j.channel == "zmtp"]
+        assert any(j.msg_type == "execute_request" for j in zmtp_jupyter)
+
+    def test_depth_http_skips_websocket(self):
+        _, _, monitor, client = make_monitored_world(depth=AnalyzerDepth.HTTP)
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("1")
+        assert monitor.logs.http
+        assert not monitor.logs.websocket
+        assert not monitor.logs.jupyter
+
+    def test_depth_conn_sees_only_flows(self):
+        _, _, monitor, client = make_monitored_world(depth=AnalyzerDepth.CONN)
+        client.request("GET", "/api/status")
+        assert monitor.logs.conn
+        assert not monitor.logs.http
+
+    def test_signature_verification_with_key(self):
+        key = b"shared-session-key"
+        _, _, monitor, client = make_monitored_world(key=key)
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("1")
+        checked = [j for j in monitor.logs.jupyter if j.signature_ok is not None]
+        assert checked and all(j.signature_ok for j in checked)
+
+
+class TestDetectionIntegration:
+    def test_bruteforce_detected_from_http(self):
+        _, _, monitor, client = make_monitored_world()
+        client.token = "wrong-token"
+        for _ in range(12):
+            client.request("GET", "/api/status")
+        assert "AUTH_BRUTEFORCE" in monitor.logs.notice_names()
+
+    def test_signature_fires_on_malicious_cell(self):
+        _, _, monitor, client = make_monitored_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("url = 'stratum+tcp://pool.minexmr.com:4444'")
+        assert "SIG-MINER-POOL" in monitor.logs.notice_names()
+        notice = next(n for n in monitor.logs.notices if n.name == "SIG-MINER-POOL")
+        assert notice.avenue == Avenue.CRYPTOMINING
+
+    def test_benign_session_no_notices(self):
+        _, _, monitor, client = make_monitored_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("data = [x * 2 for x in range(100)]")
+        client.execute("print(sum(data))")
+        high = [n for n in monitor.logs.notices if n.severity in ("high", "critical")]
+        assert high == []
+
+    def test_custom_signature_ingestion(self):
+        engine = SignatureEngine()
+        engine.add(Signature("SIG-CUSTOM-1", "test rule", "jupyter-code", r"EVIL_MARKER_XYZ",
+                             avenue=Avenue.ZERO_DAY, source="intel"))
+        net = Network(default_latency=0.001)
+        sh = net.add_host("jupyter", "10.0.0.1")
+        ch = net.add_host("laptop", "10.0.0.2")
+        tap = net.add_tap()
+        server = JupyterServer(ServerConfig(ip="0.0.0.0", token="tok"), net, sh)
+        ServerGateway(server)
+        monitor = JupyterNetworkMonitor(signatures=engine)
+        monitor.attach(tap)
+        client = WebSocketKernelClient(ch, sh, token="tok")
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("x = 'EVIL_MARKER_XYZ'")
+        assert "SIG-CUSTOM-1" in monitor.logs.notice_names()
+
+    def test_scan_detection_from_refused_probes(self):
+        net, server, monitor, client = make_monitored_world()
+        attacker = net.add_host("attacker", "6.6.6.6")
+        from repro.util.errors import ReproError
+
+        for port in range(8800, 8815):
+            try:
+                attacker.connect(server.host, port)
+            except ReproError:
+                pass
+        assert "PORT_SCAN" in monitor.logs.notice_names()
+
+    def test_entropy_burst_via_contents_api(self):
+        """Ransomware via REST: PUT encrypted bodies over the network."""
+        from repro.crypto.chacha20 import chacha20_encrypt
+
+        _, _, monitor, client = make_monitored_world()
+        for i in range(6):
+            blob = chacha20_encrypt(b"\x22" * 32, b"\x00" * 12, b"victim notebook " * 64)
+            client.json("PUT", f"/api/contents/f{i}.ipynb.locked",
+                        {"type": "file", "format": "base64", "content":
+                         __import__("base64").b64encode(blob).decode()})
+        assert "RANSOMWARE_ENTROPY_BURST" in monitor.logs.notice_names()
+
+
+class TestMonitorHealth:
+    def test_budget_forces_drops(self):
+        _, _, monitor, client = make_monitored_world(budget=5)
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("sum(range(100))")
+        assert monitor.health.segments_dropped > 0
+        assert monitor.health.drop_rate > 0
+
+    def test_unlimited_budget_no_drops(self):
+        _, _, monitor, client = make_monitored_world()
+        client.request("GET", "/api/status")
+        assert monitor.health.segments_dropped == 0
+
+    def test_summary_shape(self):
+        _, _, monitor, client = make_monitored_world()
+        client.request("GET", "/api/status")
+        s = monitor.summary()
+        assert s["depth"] == "JUPYTER"
+        assert s["logs"]["http"] >= 1
+        assert s["health"]["segments"] > 0
+
+    def test_garbage_traffic_goes_weird_not_crash(self):
+        net, server, monitor, client = make_monitored_world()
+        # Speak garbage at the HTTP port.
+        raw = net.hosts["laptop"].connect(server.host, 8888)
+        raw.send_to_server(b"GET / HTTP/1.1\r\nbroken header no colon\r\n\r\n")
+        net.run(0.5)
+        assert monitor.health.parse_errors >= 1
+        assert monitor.logs.weird

@@ -1,0 +1,117 @@
+"""Tests for log records, the log store, and Zeek-style TSV export."""
+
+import pytest
+
+from repro.monitor.export import export_zeek_logs, parse_tsv, records_to_tsv
+from repro.monitor.logs import (
+    ConnRecord,
+    HttpRecord,
+    JupyterMsgRecord,
+    LogStore,
+    Notice,
+)
+from repro.taxonomy.oscrp import Avenue
+
+
+def sample_store() -> LogStore:
+    store = LogStore()
+    store.conn.append(ConnRecord(ts=1.5, uid="c1", src="10.0.0.2", sport=50000,
+                                 dst="10.0.0.1", dport=8888, service="http",
+                                 bytes_orig=120, bytes_resp=456, closed=True,
+                                 duration=2.25))
+    store.http.append(HttpRecord(ts=1.6, uid="c1", src="10.0.0.2", dst="10.0.0.1",
+                                 method="GET", path="/api/status", status=200,
+                                 has_auth=True))
+    store.jupyter.append(JupyterMsgRecord(ts=2.0, uid="c2", src="10.0.0.2",
+                                          dst="10.0.0.1", channel="shell",
+                                          msg_type="execute_request",
+                                          code="print(1)", code_size=8))
+    store.notices.append(Notice(ts=3.0, detector="signature", name="SIG-MINER-POOL",
+                                severity="high", src="10.0.0.2",
+                                avenue=Avenue.CRYPTOMINING,
+                                detail={"description": "stratum handshake"}))
+    return store
+
+
+class TestLogStore:
+    def test_counts(self):
+        counts = sample_store().counts()
+        assert counts == {"conn": 1, "http": 1, "websocket": 0, "zmtp": 0,
+                          "jupyter": 1, "weird": 0, "notices": 1}
+
+    def test_notice_queries(self):
+        store = sample_store()
+        assert store.notice_names() == ["SIG-MINER-POOL"]
+        assert len(store.notices_for(Avenue.CRYPTOMINING)) == 1
+        assert store.notices_for(Avenue.RANSOMWARE) == []
+
+
+class TestTsvExport:
+    def test_header_structure(self):
+        text = records_to_tsv(sample_store().conn, path_name="conn")
+        lines = text.splitlines()
+        assert lines[0] == "#separator \\x09"
+        assert lines[2] == "#path conn"
+        assert lines[3].startswith("#fields\tts\tuid\tsrc")
+        assert lines[4].startswith("#types\tdouble\tstring")
+
+    def test_value_rendering(self):
+        text = records_to_tsv(sample_store().conn, path_name="conn")
+        row = text.splitlines()[-1].split("\t")
+        assert row[0] == "1.500000"        # double format
+        assert "T" in row                   # bool closed=True
+        assert "10.0.0.2" in row
+
+    def test_empty_family(self):
+        text = records_to_tsv([], path_name="weird")
+        assert "#path weird" in text
+        assert text.splitlines()[-1] == "#fields"
+
+    def test_all_families_exported(self):
+        logs = export_zeek_logs(sample_store())
+        assert set(logs) == {"conn.log", "http.log", "websocket.log", "zmtp.log",
+                             "jupyter.log", "notice.log", "weird.log"}
+        assert "execute_request" in logs["jupyter.log"]
+        assert "SIG-MINER-POOL" in logs["notice.log"]
+
+    def test_tabs_and_newlines_sanitized(self):
+        store = LogStore()
+        store.jupyter.append(JupyterMsgRecord(
+            ts=1.0, uid="u", src="a", dst="b", channel="shell",
+            msg_type="execute_request", code="evil\tcode\nwith newline"))
+        text = records_to_tsv(store.jupyter, path_name="jupyter")
+        data_rows = [l for l in text.splitlines() if not l.startswith("#")]
+        # Column count must stay constant despite hostile content.
+        assert all(len(r.split("\t")) == len(data_rows[0].split("\t")) for r in data_rows)
+
+    def test_roundtrip_parse(self):
+        store = sample_store()
+        rows = parse_tsv(records_to_tsv(store.http, path_name="http"))
+        assert len(rows) == 1
+        assert rows[0]["method"] == "GET"
+        assert rows[0]["path"] == "/api/status"
+        assert rows[0]["status"] == "200"
+
+    def test_live_monitor_export(self):
+        """End-to-end: a real session's logs export and parse cleanly."""
+        from repro.monitor import JupyterNetworkMonitor
+        from repro.server import JupyterServer, ServerConfig, ServerGateway, WebSocketKernelClient
+        from repro.simnet import Network
+
+        net = Network(default_latency=0.001)
+        sh = net.add_host("jupyter", "10.0.0.1")
+        ch = net.add_host("laptop", "10.0.0.2")
+        tap = net.add_tap()
+        server = JupyterServer(ServerConfig(ip="0.0.0.0", token="tok"), net, sh)
+        ServerGateway(server)
+        monitor = JupyterNetworkMonitor()
+        monitor.attach(tap)
+        client = WebSocketKernelClient(ch, sh, token="tok")
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("1 + 1")
+        logs = export_zeek_logs(monitor.logs)
+        conn_rows = parse_tsv(logs["conn.log"])
+        jupyter_rows = parse_tsv(logs["jupyter.log"])
+        assert conn_rows and jupyter_rows
+        assert any(r["msg_type"] == "execute_request" for r in jupyter_rows)

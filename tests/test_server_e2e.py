@@ -1,0 +1,204 @@
+"""End-to-end server tests: REST + WebSocket + ZMTP over the simnet.
+
+This is the paper's Fig. 2 exercised in full: an external client on a
+separate host authenticates over HTTP, upgrades to WebSocket, executes a
+cell; the server relays to the kernel over ZMTP loopback; the tap sees
+every byte of all three protocols.
+"""
+
+import json
+
+import pytest
+
+from repro.server import JupyterServer, ServerConfig, ServerGateway, WebSocketKernelClient
+from repro.simnet import Network
+
+
+def make_world(*, token="tok", config=None, tap=True):
+    net = Network(default_latency=0.001)
+    server_host = net.add_host("jupyter", "10.0.0.1")
+    client_host = net.add_host("laptop", "10.0.0.2")
+    the_tap = net.add_tap() if tap else None
+    cfg = config or ServerConfig(ip="0.0.0.0", token=token)
+    server = JupyterServer(cfg, net, server_host)
+    gateway = ServerGateway(server)
+    client = WebSocketKernelClient(client_host, server_host, port=cfg.port, token=token)
+    return net, server, gateway, client, the_tap
+
+
+class TestRest:
+    def test_api_version_is_public(self):
+        _, _, _, client, _ = make_world()
+        client.token = ""  # no creds
+        assert client.json("GET", "/api")["version"]
+
+    def test_status_requires_auth(self):
+        _, _, _, client, _ = make_world()
+        client.token = "wrong"
+        resp = client.request("GET", "/api/status")
+        assert resp.status == 403
+
+    def test_status_with_token(self):
+        _, _, _, client, _ = make_world()
+        assert client.json("GET", "/api/status")["started"] is True
+
+    def test_contents_crud_over_network(self):
+        _, server, _, client, _ = make_world()
+        created = client.json("PUT", "/api/contents/exp/notes.txt",
+                              {"type": "file", "content": "results"})
+        assert created["path"] == "exp/notes.txt"
+        got = client.json("GET", "/api/contents/exp/notes.txt")
+        assert got["content"] == "results"
+        resp = client.request("DELETE", "/api/contents/exp/notes.txt")
+        assert resp.status == 204
+        assert client.request("GET", "/api/contents/exp/notes.txt").status == 404
+
+    def test_contents_patch_rename(self):
+        _, _, _, client, _ = make_world()
+        client.json("PUT", "/api/contents/a.txt", {"type": "file", "content": "1"})
+        moved = client.json("PATCH", "/api/contents/a.txt", {"path": "b.txt"})
+        assert moved["path"] == "b.txt"
+
+    def test_kernel_lifecycle_rest(self):
+        _, server, _, client, _ = make_world()
+        kid = client.json("POST", "/api/kernels")["id"]
+        listing = client.json("GET", "/api/kernels")
+        assert [k["id"] for k in listing] == [kid]
+        assert client.request("POST", f"/api/kernels/{kid}/interrupt").status == 204
+        assert client.json("POST", f"/api/kernels/{kid}/restart")["id"] == kid
+        assert client.request("DELETE", f"/api/kernels/{kid}").status == 204
+        assert client.json("GET", "/api/kernels") == []
+
+    def test_unknown_kernel_404(self):
+        _, _, _, client, _ = make_world()
+        assert client.request("GET", "/api/kernels/nope").status == 404
+
+    def test_terminal_over_rest(self):
+        _, _, _, client, _ = make_world()
+        name = client.json("POST", "/api/terminals")["name"]
+        out = client.json("POST", f"/api/terminals/{name}/run")
+        client.json("PUT", "/api/contents/f.txt", {"type": "file", "content": "data"})
+        resp = client.request("POST", f"/api/terminals/{name}/run", b"cat f.txt")
+        assert json.loads(resp.body)["output"] == "data"
+
+    def test_terminals_can_be_disabled(self):
+        cfg = ServerConfig(ip="0.0.0.0", token="tok", terminals_enabled=False)
+        _, _, _, client, _ = make_world(config=cfg)
+        assert client.request("POST", "/api/terminals").status == 403
+
+    def test_rate_limiting(self):
+        cfg = ServerConfig(ip="0.0.0.0", token="tok",
+                           rate_limit_window_seconds=60, rate_limit_max_requests=5)
+        _, _, _, client, _ = make_world(config=cfg)
+        statuses = [client.request("GET", "/api/status").status for _ in range(8)]
+        assert statuses[:5] == [200] * 5
+        assert 429 in statuses[5:]
+
+    def test_access_log_populated(self):
+        _, server, _, client, _ = make_world()
+        client.request("GET", "/api/status")
+        assert server.access_log
+        entry = server.access_log[-1]
+        assert entry.source_ip == "10.0.0.2"
+        assert entry.path == "/api/status"
+        assert entry.status == 200
+
+
+class TestWebSocketExecution:
+    def test_execute_roundtrip(self):
+        net, _, _, client, _ = make_world()
+        client.start_kernel()
+        client.connect_channels()
+        reply = client.execute("21 * 2")
+        assert reply is not None
+        assert reply.content["status"] == "ok"
+        results = [m for m in client.iopub if m.msg_type == "execute_result"]
+        assert results and results[0].content["data"]["text/plain"] == "42"
+
+    def test_stream_output(self):
+        _, _, _, client, _ = make_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("print('over the wire')")
+        streams = [m for m in client.iopub if m.msg_type == "stream"]
+        assert streams[0].content["text"] == "over the wire\n"
+
+    def test_busy_idle_bracketing(self):
+        _, _, _, client, _ = make_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("1")
+        states = [m.content["execution_state"] for m in client.iopub if m.msg_type == "status"]
+        assert states[0] == "busy" and states[-1] == "idle"
+
+    def test_state_persists_across_cells(self):
+        _, _, _, client, _ = make_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("x = 10")
+        reply = client.execute("x + 5")
+        results = [m for m in client.iopub if m.msg_type == "execute_result"]
+        assert results[-1].content["data"]["text/plain"] == "15"
+
+    def test_error_propagates(self):
+        _, _, _, client, _ = make_world()
+        client.start_kernel()
+        client.connect_channels()
+        reply = client.execute("1/0")
+        assert reply.content["status"] == "error"
+        errors = [m for m in client.iopub if m.msg_type == "error"]
+        assert errors[0].content["ename"] == "ZeroDivisionError"
+
+    def test_upgrade_requires_auth(self):
+        net, server, _, client, _ = make_world()
+        client.start_kernel()
+        client.token = "stolen-wrong"
+        with pytest.raises(Exception):
+            client.connect_channels()
+
+    def test_upgrade_unknown_kernel_404(self):
+        _, _, _, client, _ = make_world()
+        client.kernel_id = "nonexistent"
+        with pytest.raises(Exception):
+            client.connect_channels()
+
+    def test_cell_side_effects_reach_contents_api(self):
+        """Code executed via WS writes files visible over REST — shared world."""
+        _, server, _, client, _ = make_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("f = open('produced.txt', 'w')\nf.write('artifact')\nf.close()")
+        model = client.json("GET", "/api/contents/produced.txt")
+        assert model["content"] == "artifact"
+
+    def test_execution_takes_simulated_time(self):
+        net, _, _, client, _ = make_world()
+        client.start_kernel()
+        client.connect_channels()
+        t0 = net.loop.clock.now()
+        client.execute("total = 0\nfor i in range(200000):\n    total += 1")
+        # >= 200k ops at 1e6 ops/sec -> at least 0.2 simulated seconds.
+        assert net.loop.clock.now() - t0 > 0.2
+
+
+class TestTapVisibility:
+    def test_tap_sees_all_three_protocols(self):
+        net, server, _, client, tap = make_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("sum(range(10))")
+        blob = b"".join(s.payload for s in tap.segments)
+        assert b"HTTP/1.1 101" in blob                      # websocket upgrade
+        assert b"\xff\x00\x00\x00\x00\x00\x00\x00\x01\x7f" in blob  # ZMTP greeting
+        assert b"<IDS|MSG>" in blob                          # jupyter wire protocol
+        assert b"execute_request" in blob
+
+    def test_zmtp_ports_are_loopback_only(self):
+        net, server, _, client, _ = make_world()
+        client.start_kernel()
+        binding = next(iter(server.kernel_bindings.values()))
+        from repro.util.errors import ReproError
+
+        attacker = net.add_host("attacker", "6.6.6.6")
+        with pytest.raises(ReproError, match="refused"):
+            attacker.connect(server.host, binding.ports[list(binding.ports)[0]])

@@ -1,0 +1,243 @@
+"""Tests for the discrete-event network simulator."""
+
+import pytest
+
+from repro.simnet import EventLoop, Network, NetworkTap
+from repro.util.errors import ReproError
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.call_at(2.0, lambda: order.append("b"))
+        loop.call_at(1.0, lambda: order.append("a"))
+        loop.call_at(3.0, lambda: order.append("c"))
+        loop.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        loop = EventLoop()
+        order = []
+        for i in range(5):
+            loop.call_at(1.0, lambda i=i: order.append(i))
+        loop.run_all()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        loop.call_at(5.0, lambda: None)
+        loop.run_all()
+        assert loop.clock.now() == 5.0
+
+    def test_run_until_stops_at_horizon(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, lambda: fired.append(1))
+        loop.call_at(10.0, lambda: fired.append(10))
+        n = loop.run_until(5.0)
+        assert n == 1 and fired == [1]
+        assert loop.clock.now() == 5.0
+        assert loop.pending() == 1
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.call_at(2.0, lambda: None)
+        loop.run_all()
+        with pytest.raises(ValueError):
+            loop.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().call_later(-1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                loop.call_later(1.0, lambda: chain(n + 1))
+
+        loop.call_at(0.0, lambda: chain(0))
+        loop.run_all()
+        assert seen == [0, 1, 2, 3]
+        assert loop.clock.now() == 3.0
+
+    def test_event_storm_guard(self):
+        loop = EventLoop()
+
+        def rescheduler():
+            loop.call_later(0.0, rescheduler)
+
+        loop.call_at(0.0, rescheduler)
+        with pytest.raises(RuntimeError, match="storm"):
+            loop.run_until(1.0, max_events=100)
+
+
+def make_pair():
+    net = Network(default_latency=0.01)
+    server = net.add_host("jupyter", "10.0.0.1")
+    client = net.add_host("laptop", "10.0.0.2")
+    return net, server, client
+
+
+class TestNetwork:
+    def test_duplicate_host_rejected(self):
+        net, _, _ = make_pair()
+        with pytest.raises(ReproError):
+            net.add_host("jupyter", "10.0.0.9")
+        with pytest.raises(ReproError):
+            net.add_host("other", "10.0.0.1")
+
+    def test_connect_refused_when_not_listening(self):
+        _, server, client = make_pair()
+        with pytest.raises(ReproError, match="refused"):
+            client.connect(server, 8888)
+
+    def test_data_delivery_and_latency(self):
+        net, server, client = make_pair()
+        received = []
+        server.listen(8888, lambda conn: setattr(conn, "on_data_server", received.append))
+        conn = client.connect(server, 8888)
+        conn.send_to_server(b"hello")
+        assert received == []  # not yet delivered
+        net.run(0.02)
+        assert received == [b"hello"]
+        assert net.loop.clock.now() == pytest.approx(0.02)
+
+    def test_bidirectional(self):
+        net, server, client = make_pair()
+        got_client = []
+
+        def on_connect(conn):
+            conn.on_data_server = lambda d: conn.send_to_client(b"pong:" + d)
+
+        server.listen(9999, on_connect)
+        conn = client.connect(server, 9999)
+        conn.on_data_client = got_client.append
+        conn.send_to_server(b"ping")
+        net.run(0.1)
+        assert got_client == [b"pong:ping"]
+
+    def test_mss_chunking(self):
+        net = Network(default_latency=0.001, mss=100)
+        server = net.add_host("s", "10.0.0.1")
+        client = net.add_host("c", "10.0.0.2")
+        tap = net.add_tap()
+        chunks = []
+        server.listen(1, lambda conn: setattr(conn, "on_data_server", chunks.append))
+        conn = client.connect(server, 1)
+        conn.send_to_server(b"x" * 250)
+        net.run(1.0)
+        assert [len(c) for c in chunks] == [100, 100, 50]
+        data_segs = [s for s in tap.segments if s.flags == ""]
+        assert [s.size for s in data_segs] == [100, 100, 50]
+
+    def test_in_order_delivery_across_sends(self):
+        net, server, client = make_pair()
+        got = []
+        server.listen(1, lambda conn: setattr(conn, "on_data_server", got.append))
+        conn = client.connect(server, 1)
+        for i in range(10):
+            conn.send_to_server(f"m{i}".encode())
+        net.run(1.0)
+        assert b"".join(got) == b"".join(f"m{i}".encode() for i in range(10))
+
+    def test_bandwidth_pacing_orders_arrivals(self):
+        # 1000 bytes at 8000 bps = 1 second serialization per 1000B chunk.
+        net = Network(default_latency=0.0, bandwidth_bps=8000, mss=1000)
+        server = net.add_host("s", "10.0.0.1")
+        client = net.add_host("c", "10.0.0.2")
+        arrivals = []
+        server.listen(1, lambda conn: setattr(
+            conn, "on_data_server", lambda d: arrivals.append(net.loop.clock.now())))
+        conn = client.connect(server, 1)
+        conn.send_to_server(b"a" * 2000)  # two chunks -> 1s, 2s
+        net.run(5.0)
+        assert arrivals == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_send_on_closed_raises(self):
+        net, server, client = make_pair()
+        server.listen(1, lambda conn: None)
+        conn = client.connect(server, 1)
+        conn.close()
+        with pytest.raises(ReproError, match="closed"):
+            conn.send_to_server(b"late")
+
+    def test_close_notifies_peer(self):
+        net, server, client = make_pair()
+        closed = []
+        server.listen(1, lambda conn: setattr(conn, "on_close_server", lambda: closed.append(True)))
+        conn = client.connect(server, 1)
+        conn.close(by_client=True)
+        net.run(1.0)
+        assert closed == [True]
+
+    def test_loopback_bind_excludes_remote(self):
+        net, server, client = make_pair()
+        server.listen(8888, lambda conn: None, bind_ip="127.0.0.1")
+        with pytest.raises(ReproError, match="refused"):
+            client.connect(server, 8888)
+        # Same-host connections succeed.
+        conn = server.connect(server, 8888)
+        assert conn.open
+
+    def test_latency_override(self):
+        net, server, client = make_pair()
+        net.set_latency(server, client, 0.5)
+        times = []
+        server.listen(1, lambda conn: setattr(
+            conn, "on_data_server", lambda d: times.append(net.loop.clock.now())))
+        conn = client.connect(server, 1)
+        conn.send_to_server(b"x")
+        net.run(1.0)
+        assert times == [pytest.approx(0.5)]
+
+
+class TestTap:
+    def test_tap_sees_syn_data_fin(self):
+        net, server, client = make_pair()
+        tap = net.add_tap()
+        server.listen(1, lambda conn: None)
+        conn = client.connect(server, 1)
+        conn.send_to_server(b"payload")
+        net.run(0.1)
+        conn.close()
+        flags = [s.flags for s in tap.segments]
+        assert flags == ["S", "", "F"]
+        assert tap.total_bytes() == len(b"payload")
+
+    def test_tap_subscription(self):
+        net, server, client = make_pair()
+        tap = net.add_tap()
+        seen = []
+        tap.subscribe(lambda seg: seen.append(seg.size))
+        server.listen(1, lambda conn: None)
+        client.connect(server, 1).send_to_server(b"abc")
+        net.run(0.1)
+        assert 3 in seen
+
+    def test_disabled_tap_records_nothing(self):
+        net, server, client = make_pair()
+        tap = net.add_tap()
+        tap.enabled = False
+        server.listen(1, lambda conn: None)
+        client.connect(server, 1).send_to_server(b"abc")
+        net.run(0.1)
+        assert tap.segments == []
+
+    def test_determinism(self):
+        def run_once():
+            net, server, client = make_pair()
+            tap = net.add_tap()
+            server.listen(1, lambda conn: setattr(
+                conn, "on_data_server", lambda d: conn.send_to_client(d * 2)))
+            conn = client.connect(server, 1)
+            conn.on_data_client = lambda d: None
+            conn.send_to_server(b"abc")
+            net.run(1.0)
+            return [(s.ts, s.src, s.dst, s.payload) for s in tap.segments]
+
+        assert run_once() == run_once()

@@ -1,0 +1,134 @@
+"""Tests for the taxonomy model, technique tree, CVE registry, renderers."""
+
+import pytest
+
+from repro.taxonomy import (
+    ATTACK_TREE,
+    CVE_REGISTRY,
+    JUPYTER_OSCRP,
+    Avenue,
+    Concern,
+    Consequence,
+    TechniqueNode,
+    cves_for_component,
+    find_technique,
+    render_oscrp_figure,
+    render_table,
+    render_tree,
+)
+from repro.taxonomy.cves import cves_for_version
+from repro.taxonomy.oscrp import Asset, OSCRPProfile
+
+
+class TestOSCRP:
+    def test_profile_validates(self):
+        assert JUPYTER_OSCRP.validate() == []
+
+    def test_every_avenue_has_concerns_and_assets(self):
+        for avenue in Avenue:
+            assert JUPYTER_OSCRP.concerns_for(avenue)
+            assert JUPYTER_OSCRP.assets_for(avenue)
+
+    def test_consequences_follow_concern_edges(self):
+        cons = JUPYTER_OSCRP.consequences_for(Avenue.CRYPTOMINING)
+        # crypto-mining -> disruption -> {irreproducible, funding, reputation}
+        assert Consequence.FUNDING_LOSS in cons
+        assert Consequence.LEGAL_ACTIONS not in cons  # no exposed-data edge
+
+    def test_exfiltration_implies_legal_actions(self):
+        cons = JUPYTER_OSCRP.consequences_for(Avenue.DATA_EXFILTRATION)
+        assert Consequence.LEGAL_ACTIONS in cons
+
+    def test_table_rows_complete(self):
+        rows = JUPYTER_OSCRP.table_rows()
+        assert len(rows) == len(Avenue)
+        assert all(len(r) == 3 for r in rows)
+
+    def test_incomplete_profile_fails_validation(self):
+        broken = OSCRPProfile(avenue_concerns={}, concern_consequences={}, avenue_assets={})
+        problems = broken.validate()
+        assert len(problems) >= len(Avenue)
+
+    def test_assets_cover_paper_list(self):
+        all_assets = set()
+        for avenue in Avenue:
+            all_assets |= JUPYTER_OSCRP.assets_for(avenue)
+        assert Asset.TRAINED_MODELS in all_assets
+        assert Asset.HPC_ALLOCATION in all_assets
+
+
+class TestTechniqueTree:
+    def test_walk_covers_all_nodes(self):
+        names = [n.name for n in ATTACK_TREE.walk()]
+        assert names[0] == "jupyter-attacks"
+        assert len(names) == len(set(names)), "duplicate technique names"
+
+    def test_find(self):
+        node = find_technique("kernel-cryptominer")
+        assert node is not None
+        assert node.avenue == Avenue.CRYPTOMINING
+        assert find_technique("nonexistent") is None
+
+    def test_leaves_have_metadata(self):
+        for leaf in ATTACK_TREE.leaves():
+            assert leaf.observable, leaf.name
+            assert leaf.implemented_by, leaf.name
+            assert leaf.detected_by, leaf.name
+
+    def test_every_avenue_represented_in_tree(self):
+        tree_avenues = {n.avenue for n in ATTACK_TREE.walk() if n.avenue}
+        assert tree_avenues >= {Avenue.RANSOMWARE, Avenue.CRYPTOMINING,
+                                Avenue.DATA_EXFILTRATION, Avenue.ACCOUNT_TAKEOVER,
+                                Avenue.MISCONFIGURATION, Avenue.ZERO_DAY}
+
+    def test_add_child(self):
+        node = TechniqueNode("parent")
+        child = node.add(TechniqueNode("child"))
+        assert node.children == [child]
+        assert node.find("child") is child
+
+
+class TestCVERegistry:
+    def test_paper_cves_present(self):
+        for cve in ("CVE-2024-22415", "CVE-2021-32798", "CVE-2020-16977"):
+            assert cve in CVE_REGISTRY
+
+    def test_component_lookup_sorted_by_cvss(self):
+        entries = cves_for_component("jupyter-notebook")
+        assert entries
+        scores = [e.cvss for e in entries]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_version_lookup(self):
+        assert any(e.cve_id == "CVE-2022-29238" for e in cves_for_version("6.4.11"))
+        assert cves_for_version("99.0.0") == []
+
+    def test_entries_have_avenues(self):
+        assert all(isinstance(e.avenue, Avenue) for e in CVE_REGISTRY.values())
+
+
+class TestRenderers:
+    def test_tree_render_contains_branches(self):
+        text = render_tree(ATTACK_TREE)
+        assert "jupyter-attacks" in text
+        assert "├──" in text and "└──" in text
+        assert "ransomware" in text
+
+    def test_tree_observables_mode(self):
+        text = render_tree(ATTACK_TREE, show_observables=True)
+        assert "observable:" in text
+
+    def test_oscrp_figure_three_bands(self):
+        text = render_oscrp_figure(JUPYTER_OSCRP)
+        assert "Avenues of Attack:" in text
+        assert "Concerns -> Consequences:" in text
+        assert "Assets at risk" in text
+
+    def test_table_alignment(self):
+        table = render_table([("a", "bb"), ("ccc", "d")], ["col1", "col2"])
+        lines = table.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+    def test_table_handles_long_cells(self):
+        table = render_table([("x" * 50, "y")], ["a", "b"])
+        assert "x" * 50 in table

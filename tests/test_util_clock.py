@@ -1,0 +1,59 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.util import SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(10.5).now() == 10.5
+
+    def test_advance_returns_new_time(self):
+        c = SimClock()
+        assert c.advance(2.5) == 2.5
+        assert c.now() == 2.5
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(1.0)
+        c.advance(0.25)
+        assert c.now() == 1.25
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_absolute(self):
+        c = SimClock()
+        c.advance_to(7.0)
+        assert c.now() == 7.0
+
+    def test_advance_to_past_rejected(self):
+        c = SimClock(5.0)
+        with pytest.raises(ValueError):
+            c.advance_to(4.0)
+
+    def test_advance_to_same_time_ok(self):
+        c = SimClock(5.0)
+        assert c.advance_to(5.0) == 5.0
+
+    def test_isoformat_epoch(self):
+        c = SimClock()
+        assert c.isoformat().startswith("2024-01-01T00:00:00")
+
+    def test_isoformat_advances(self):
+        c = SimClock()
+        c.advance(3661.0)  # 1h 1m 1s
+        assert c.isoformat().startswith("2024-01-01T01:01:01")
+
+
+class TestWallClock:
+    def test_monotone(self):
+        w = WallClock()
+        t1 = w.now()
+        t2 = w.now()
+        assert t2 >= t1 >= 0.0

@@ -1,0 +1,76 @@
+"""Unit and property tests for entropy utilities — the ransomware signal."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.entropy import (
+    byte_histogram,
+    chi_square_uniform,
+    looks_encrypted,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_empty_is_zero(self):
+        assert shannon_entropy(b"") == 0.0
+
+    def test_constant_is_zero(self):
+        assert shannon_entropy(b"\x00" * 1000) == 0.0
+
+    def test_two_symbols_equal_is_one_bit(self):
+        assert shannon_entropy(b"ab" * 500) == pytest.approx(1.0)
+
+    def test_uniform_256_is_eight_bits(self):
+        assert shannon_entropy(bytes(range(256)) * 4) == pytest.approx(8.0)
+
+    def test_english_text_below_five_bits(self):
+        text = b"the quick brown fox jumps over the lazy dog " * 50
+        assert shannon_entropy(text) < 5.0
+
+    @given(st.binary(min_size=1, max_size=2048))
+    def test_bounds(self, data):
+        e = shannon_entropy(data)
+        assert 0.0 <= e <= 8.0 + 1e-9
+
+    @given(st.binary(min_size=1, max_size=512))
+    def test_permutation_invariant(self, data):
+        assert shannon_entropy(data) == pytest.approx(shannon_entropy(bytes(sorted(data))))
+
+
+class TestByteHistogram:
+    def test_counts_sum_to_length(self):
+        data = b"hello world"
+        assert sum(byte_histogram(data)) == len(data)
+
+    def test_specific_counts(self):
+        hist = byte_histogram(b"aab")
+        assert hist[ord("a")] == 2
+        assert hist[ord("b")] == 1
+
+    def test_empty(self):
+        assert sum(byte_histogram(b"")) == 0
+
+
+class TestChiSquare:
+    def test_empty_is_inf(self):
+        assert chi_square_uniform(b"") == math.inf
+
+    def test_structured_much_larger_than_random(self):
+        structured = b"A" * 4096
+        pseudo_random = bytes((i * 131 + 17) % 256 for i in range(4096))
+        assert chi_square_uniform(structured) > 100 * chi_square_uniform(pseudo_random)
+
+
+class TestLooksEncrypted:
+    def test_short_buffers_never_encrypted(self):
+        assert not looks_encrypted(bytes(range(63)))
+
+    def test_text_not_encrypted(self):
+        assert not looks_encrypted(b"print('hello world from a notebook cell')" * 10)
+
+    def test_uniform_bytes_encrypted(self):
+        assert looks_encrypted(bytes(range(256)) * 8)

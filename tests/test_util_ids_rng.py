@@ -1,0 +1,73 @@
+"""Tests for identifier generation and deterministic RNG streams."""
+
+from repro.util.ids import new_id, new_token, seed_ids, short_id
+from repro.util.rng import DeterministicRNG
+
+
+class TestIds:
+    def test_new_id_hex32(self):
+        i = new_id()
+        assert len(i) == 32
+        assert all(c in "0123456789abcdef" for c in i)
+
+    def test_prefix(self):
+        assert new_id("kernel-").startswith("kernel-")
+
+    def test_ids_distinct(self):
+        assert len({new_id() for _ in range(100)}) == 100
+
+    def test_seeded_stream_reproducible(self):
+        seed_ids(42)
+        a = [new_id() for _ in range(5)]
+        seed_ids(42)
+        b = [new_id() for _ in range(5)]
+        assert a == b
+
+    def test_short_id_length(self):
+        assert len(short_id()) == 8
+        assert len(short_id("x-")) == 10
+
+    def test_token_is_strong_and_distinct(self):
+        t1, t2 = new_token(), new_token()
+        assert t1 != t2
+        assert len(t1) >= 24
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(7)
+        b = DeterministicRNG(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_string_seed(self):
+        a = DeterministicRNG("attacker")
+        b = DeterministicRNG("attacker")
+        assert a.randint(0, 1 << 30) == b.randint(0, 1 << 30)
+
+    def test_children_independent_of_sibling_order(self):
+        root = DeterministicRNG(1)
+        w1 = root.child("workload")
+        first = w1.random()
+        # Creating another child must not perturb the workload stream.
+        root2 = DeterministicRNG(1)
+        _ = root2.child("attacker")
+        w2 = root2.child("workload")
+        assert w2.random() == first
+
+    def test_children_differ_by_name(self):
+        root = DeterministicRNG(1)
+        assert root.child("a").random() != root.child("b").random()
+
+    def test_poisson_times_sorted_within_horizon(self):
+        rng = DeterministicRNG(3)
+        times = list(rng.poisson_times(rate=5.0, horizon=10.0))
+        assert times == sorted(times)
+        assert all(0 < t <= 10.0 for t in times)
+        assert len(times) > 10  # E[N] = 50
+
+    def test_poisson_zero_rate_empty(self):
+        rng = DeterministicRNG(3)
+        assert list(rng.poisson_times(rate=0.0, horizon=10.0)) == []
+
+    def test_randbytes_length(self):
+        assert len(DeterministicRNG(0).randbytes(17)) == 17

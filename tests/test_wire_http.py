@@ -1,0 +1,98 @@
+"""Tests for the HTTP/1.1 codec."""
+
+import pytest
+
+from repro.util.errors import ProtocolError
+from repro.wire.http import HttpRequest, HttpResponse, parse_request, parse_response
+
+
+class TestRequestEncodeParse:
+    def test_roundtrip_get(self):
+        req = HttpRequest("GET", "/api/contents?path=work", {"Host": "hub.ncsa.edu"})
+        parsed, rest = parse_request(req.encode())
+        assert rest == b""
+        assert parsed.method == "GET"
+        assert parsed.path == "/api/contents"
+        assert parsed.query == {"path": ["work"]}
+        assert parsed.header("host") == "hub.ncsa.edu"
+
+    def test_roundtrip_post_body(self):
+        req = HttpRequest("POST", "/api/kernels", {"Host": "h"}, b'{"name":"python3"}')
+        parsed, rest = parse_request(req.encode())
+        assert parsed.body == b'{"name":"python3"}'
+        assert rest == b""
+
+    def test_incomplete_returns_none(self):
+        data = b"GET / HTTP/1.1\r\nHost: h\r\n"
+        parsed, rest = parse_request(data)
+        assert parsed is None
+        assert rest == data
+
+    def test_incomplete_body_returns_none(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        parsed, _ = parse_request(raw)
+        assert parsed is None
+
+    def test_pipelined_requests(self):
+        raw = HttpRequest("GET", "/a", {"Host": "h"}).encode() + HttpRequest(
+            "GET", "/b", {"Host": "h"}
+        ).encode()
+        r1, rest = parse_request(raw)
+        r2, rest = parse_request(rest)
+        assert (r1.target, r2.target) == ("/a", "/b")
+        assert rest == b""
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"GARBAGE\r\n\r\n")
+
+    def test_bad_version(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"GET / SPDY/9\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    def test_chunked_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+
+    def test_websocket_upgrade_detection(self):
+        req = HttpRequest(
+            "GET",
+            "/api/kernels/k1/channels",
+            {"Connection": "keep-alive, Upgrade", "Upgrade": "websocket"},
+        )
+        parsed, _ = parse_request(req.encode())
+        assert parsed.is_websocket_upgrade()
+
+    def test_not_upgrade(self):
+        parsed, _ = parse_request(HttpRequest("GET", "/", {"Host": "h"}).encode())
+        assert not parsed.is_websocket_upgrade()
+
+
+class TestResponseEncodeParse:
+    def test_roundtrip(self):
+        resp = HttpResponse(200, body=b'{"ok":true}')
+        parsed, rest = parse_response(resp.encode())
+        assert parsed.status == 200
+        assert parsed.body == b'{"ok":true}'
+        assert rest == b""
+
+    def test_default_reason_phrase(self):
+        assert b"404 Not Found" in HttpResponse(404).encode()
+
+    def test_101_has_no_body_and_preserves_remainder(self):
+        raw = HttpResponse(101, headers={"Upgrade": "websocket"}).encode() + b"\x81\x05hello"
+        parsed, rest = parse_response(raw)
+        assert parsed.status == 101
+        assert rest == b"\x81\x05hello"
+
+    def test_incomplete(self):
+        parsed, _ = parse_response(b"HTTP/1.1 200 OK\r\n")
+        assert parsed is None
+
+    def test_malformed_status(self):
+        with pytest.raises(ProtocolError):
+            parse_response(b"NOPE\r\n\r\n")

