@@ -1,0 +1,115 @@
+"""EXP-HUB — fleet-scale hub: routing throughput, isolation, campaign.
+
+The hub subsystem exists so scenario traffic scales past one server:
+hundreds of per-user backends behind one reverse proxy and one tap.
+Three questions, answered with numbers:
+
+1. **Routing throughput** — real (wall-clock) requests/second through
+   the proxy as the fleet grows, N ∈ {10, 50, 200}.  The routing table
+   is a dict, so per-request cost should stay roughly flat with N.
+2. **Per-tenant isolation** — requests aimed at tenant *i* land on
+   tenant *i*'s backend and no other; per-route counters agree with
+   per-backend access logs.
+3. **Fleet campaign** — on a 50-tenant hub with the shared-token
+   misconfiguration, the cross-tenant pivot compromises most of the
+   fleet, the monitor at the proxy tap flags the sweep, and the idle
+   culler reclaims abandoned servers afterwards.
+"""
+
+import time
+
+from _bench_utils import report
+
+from repro.attacks import CrossTenantPivotAttack
+from repro.hub import HubConfig, build_hub_scenario, insecure_hub_config
+from repro.workload import ScientistWorkload
+
+FLEET_SIZES = [10, 50, 200]
+REQUESTS_PER_RUN = 120
+
+
+def _drive_requests(scenario, n_requests: int) -> float:
+    """Round-robin REST requests across all tenants; returns wall seconds."""
+    names = scenario.tenant_names
+    clients = [scenario.user_client(username=name) for name in names]
+    t0 = time.perf_counter()
+    for i in range(n_requests):
+        resp = clients[i % len(clients)].request("GET", "/api/status")
+        assert resp.status == 200
+    return time.perf_counter() - t0
+
+
+def test_routing_throughput_scales_with_fleet_size():
+    report("EXP-HUB", "EXP-HUB: proxy routing throughput vs fleet size")
+    report("EXP-HUB", f"  {'tenants':>8} {'requests':>9} {'wall_s':>8} "
+                      f"{'req/s':>9} {'routed':>7}")
+    throughputs = {}
+    for n in FLEET_SIZES:
+        scenario = build_hub_scenario(
+            n_tenants=n, seed=900 + n, seed_data=False,
+            hub_config=HubConfig(api_token="bench-hub-token",
+                                 max_servers=n + 8, culling_enabled=False))
+        wall = _drive_requests(scenario, REQUESTS_PER_RUN)
+        rps = REQUESTS_PER_RUN / wall if wall > 0 else float("inf")
+        throughputs[n] = rps
+        stats = scenario.proxy.stats
+        assert stats.routed_total == REQUESTS_PER_RUN
+        assert stats.upstream_errors == 0
+        report("EXP-HUB", f"  {n:>8} {REQUESTS_PER_RUN:>9} {wall:>8.2f} "
+                          f"{rps:>9.0f} {stats.routed_total:>7}")
+    # Routing is table-lookup cheap: 20x more tenants must not collapse
+    # throughput (allow generous slack for wall-clock noise).
+    assert throughputs[200] > throughputs[10] / 10
+
+
+def test_per_tenant_isolation_under_load():
+    n = 24
+    scenario = build_hub_scenario(n_tenants=n, seed=41, seed_data=False)
+    per_tenant = 5
+    for name in scenario.tenant_names:
+        client = scenario.user_client(username=name)
+        for _ in range(per_tenant):
+            assert client.request("GET", "/api/status").status == 200
+    mismatches = []
+    for name in scenario.tenant_names:
+        backend = scenario.spawner.active[name].server
+        hits = [e for e in backend.access_log if e.path == "/api/status"]
+        route = scenario.proxy.routes[name]
+        if len(hits) != per_tenant or route.requests != per_tenant:
+            mismatches.append((name, len(hits), route.requests))
+    assert not mismatches, mismatches
+    report("EXP-HUB", f"  isolation: {n} tenants x {per_tenant} requests, "
+                      f"0 cross-tenant leaks")
+
+
+def test_fleet_campaign_detected_and_culler_reclaims():
+    n = 50
+    scenario = build_hub_scenario(
+        n_tenants=n, seed=777,
+        hub_config=insecure_hub_config())
+    # Benign foreground on two tenants, so the campaign hides in traffic.
+    for name in scenario.tenant_names[:2]:
+        ScientistWorkload(scenario, username=name).run_session(cells=3)
+
+    result = CrossTenantPivotAttack().run(scenario)
+    assert result.success
+    assert result.metrics["tenants_pivoted"] >= int(0.8 * (n - 1))
+    scenario.run(10.0)
+
+    notices = {notice.name for notice in scenario.monitor.logs.notices}
+    assert "CROSS_TENANT_SWEEP" in notices
+
+    # The insecure hub never culls; flip culling on (the remediation) and
+    # verify idle servers are reclaimed.
+    assert scenario.culler.sweeps == 0
+    scenario.culler.enable(idle_timeout=300.0, interval=60.0)
+    scenario.run(2000.0)
+    assert len(scenario.culler.culled) >= 1
+    assert len(scenario.spawner.running()) < n
+
+    report("EXP-HUB", "EXP-HUB: 50-tenant fleet campaign (shared-token hub)")
+    report("EXP-HUB", f"  pivoted tenants : {result.metrics['tenants_pivoted']}/{n - 1}")
+    report("EXP-HUB", f"  bytes browsed   : {result.metrics['bytes_browsed']}")
+    report("EXP-HUB", f"  proxy-tap alarm : CROSS_TENANT_SWEEP "
+                      f"(+{sorted(notices - {'CROSS_TENANT_SWEEP'})})")
+    report("EXP-HUB", f"  culler reclaimed: {len(scenario.culler.culled)} idle servers")

@@ -1,2 +1,25 @@
-from setuptools import setup
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="jupyter-attacks-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Jupyter Notebook Attacks Taxonomy: Ransomware, "
+        "Data Exfiltration, and Security Misconfiguration' — simulated "
+        "deployments, attacks, monitors, and a multi-tenant hub"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli.main:main",
+            "repro-scan=repro.cli.scan:main",
+            "repro-taxonomy=repro.cli.taxonomy:main",
+            "repro-attack=repro.cli.attack:main",
+            "repro-dataset=repro.cli.dataset:main",
+            "repro-monitor=repro.cli.monitor:main",
+            "repro-hub=repro.cli.hub:main",
+        ]
+    },
+)

@@ -15,6 +15,8 @@ taxonomy.
 - :mod:`repro.attacks.misconfig` — open-server scanning and exploitation.
 - :mod:`repro.attacks.zeroday` — the signatureless stand-in.
 - :mod:`repro.attacks.evasion` — monitor DoS and rule inference (paper §IV.A).
+- :mod:`repro.attacks.hubpivot` — cross-tenant pivot through a
+  misconfigured multi-tenant hub.
 """
 
 from repro.attacks.base import Attack, AttackResult
@@ -34,6 +36,7 @@ from repro.attacks.takeover import (
 from repro.attacks.misconfig import OpenServerExploitAttack, OpenServerScanAttack
 from repro.attacks.zeroday import ZeroDayAttack
 from repro.attacks.evasion import MonitorFloodAttack, RuleInferenceAttack
+from repro.attacks.hubpivot import CrossTenantPivotAttack
 
 __all__ = [
     "Attack",
@@ -52,4 +55,5 @@ __all__ = [
     "ZeroDayAttack",
     "MonitorFloodAttack",
     "RuleInferenceAttack",
+    "CrossTenantPivotAttack",
 ]

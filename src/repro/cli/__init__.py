@@ -1,7 +1,9 @@
 """Command-line tools.
 
-Five entry points (installed via ``pyproject.toml``):
+One umbrella command plus six dedicated entry points (installed via
+``setup.py``):
 
+- ``repro <subcommand>`` — umbrella dispatcher over all of the below.
 - ``repro-scan`` — misconfiguration scanner over a config JSON or the
   built-in profiles.
 - ``repro-taxonomy`` — render Fig. 1 / Fig. 3 / Table 1.
@@ -11,4 +13,6 @@ Five entry points (installed via ``pyproject.toml``):
   corpus.
 - ``repro-monitor`` — replay a corpus-driven scenario and print the
   monitor's logs/notices summary.
+- ``repro-hub`` — run a fleet-scale multi-tenant hub scenario (proxy,
+  spawner, culler, cross-tenant campaign).
 """

@@ -1,0 +1,103 @@
+"""``repro-hub`` / ``repro hub``: run a fleet-scale hub scenario.
+
+Stands up the multi-tenant testbed (reverse proxy + N per-user servers),
+drives benign tenant sessions, optionally launches the cross-tenant
+pivot campaign, and prints what the hub saw: routing counters, culler
+activity, the hub misconfiguration scan, and monitor notices from the
+proxy tap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.attacks.hubpivot import CrossTenantPivotAttack
+from repro.hub import HubConfig, build_hub_scenario, insecure_hub_config
+from repro.misconfig import MisconfigScanner
+from repro.workload import ScientistWorkload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-hub",
+        description="Run a multi-tenant hub scenario: proxy, spawner, culler, attack")
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument("--insecure-hub", action="store_true",
+                        help="open signup, shared token, proxy auth off, no culling")
+    parser.add_argument("--attack", action="store_true",
+                        help="launch the cross-tenant pivot campaign")
+    parser.add_argument("--workload-tenants", type=int, default=2,
+                        help="how many tenants run a benign session first")
+    parser.add_argument("--cells", type=int, default=4)
+    parser.add_argument("--idle", type=float, default=0.0,
+                        help="extra idle sim-seconds at the end (exercises the culler)")
+    parser.add_argument("--seed", type=int, default=1337)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+    if args.tenants < 1:
+        parser.error("--tenants must be >= 1")
+
+    hub_config = insecure_hub_config() if args.insecure_hub else HubConfig(
+        api_token="cli-hub-token", max_servers=max(args.tenants + 8, 64),
+        cull_idle_timeout=300.0, cull_interval=60.0)
+    scenario = build_hub_scenario(n_tenants=args.tenants, hub_config=hub_config,
+                                  seed=args.seed)
+
+    workloads = []
+    for name in scenario.tenant_names[: max(0, args.workload_tenants)]:
+        report = ScientistWorkload(scenario, username=name).run_session(cells=args.cells)
+        workloads.append({"tenant": name, "cells": report.cells_executed,
+                          "errors": report.errors})
+
+    attack_payload = None
+    if args.attack:
+        result = CrossTenantPivotAttack().run(scenario)
+        attack_payload = {
+            "attack": result.attack,
+            "success": result.success,
+            "narrative": result.narrative,
+            "metrics": result.metrics,
+        }
+    if args.idle > 0:
+        scenario.run(args.idle)
+    scenario.run(5.0)
+
+    scan = MisconfigScanner().scan_hub(scenario.hub_config)
+    payload = {
+        "tenants": len(scenario.tenant_names),
+        "servers_running": len(scenario.spawner.running()),
+        "servers_culled": len(scenario.culler.culled),
+        "proxy": scenario.proxy.summary(),
+        "workloads": workloads,
+        "attack": attack_payload,
+        "hub_scan": {"grade": scan.grade, "risk_score": scan.risk_score,
+                     "failures": [r.check_id for r in scan.failures]},
+        "monitor_notices": sorted({n.name for n in scenario.monitor.logs.notices}),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(f"hub       : {len(scenario.tenant_names)} tenants, "
+              f"{payload['servers_running']} running, "
+              f"{payload['servers_culled']} culled")
+        proxy = payload["proxy"]
+        print(f"proxy     : {proxy['requests_total']} requests "
+              f"({proxy['routed_total']} routed, {proxy['denied_total']} denied), "
+              f"{proxy['bytes_in']}B in / {proxy['bytes_out']}B out")
+        for w in workloads:
+            print(f"workload  : {w['tenant']} ran {w['cells']} cells ({w['errors']} errors)")
+        if attack_payload:
+            print(f"attack    : {attack_payload['narrative']} "
+                  f"(success={attack_payload['success']})")
+        print(f"hub scan  : grade {payload['hub_scan']['grade']} "
+              f"(risk {payload['hub_scan']['risk_score']:.0f}) "
+              f"failures: {', '.join(payload['hub_scan']['failures']) or '(none)'}")
+        print(f"monitor   : {', '.join(payload['monitor_notices']) or '(no notices)'}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

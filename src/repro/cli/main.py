@@ -1,0 +1,51 @@
+"""``repro``: the umbrella command-line entry point.
+
+One console script with subcommands delegating to the dedicated tools::
+
+    repro scan ...       misconfiguration scanner
+    repro taxonomy ...   render Fig. 1 / Fig. 3 / Table 1
+    repro attack ...     run one attack against a fresh scenario
+    repro dataset ...    build/export a labeled corpus
+    repro monitor ...    replay a scenario and summarize monitor logs
+    repro hub ...        run a fleet-scale multi-tenant hub scenario
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.cli import attack as _attack
+from repro.cli import dataset as _dataset
+from repro.cli import hub as _hub
+from repro.cli import monitor as _monitor
+from repro.cli import scan as _scan
+from repro.cli import taxonomy as _taxonomy
+
+SUBCOMMANDS: Dict[str, Callable[[Optional[List[str]]], int]] = {
+    "scan": _scan.main,
+    "taxonomy": _taxonomy.main,
+    "attack": _attack.main,
+    "dataset": _dataset.main,
+    "monitor": _monitor.main,
+    "hub": _hub.main,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(sorted(SUBCOMMANDS))
+        print(f"usage: repro <subcommand> [options]\nsubcommands: {names}")
+        return 0 if argv else 2
+    name, rest = argv[0], argv[1:]
+    sub = SUBCOMMANDS.get(name)
+    if sub is None:
+        print(f"repro: unknown subcommand {name!r} "
+              f"(expected one of: {', '.join(sorted(SUBCOMMANDS))})", file=sys.stderr)
+        return 2
+    return sub(rest)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

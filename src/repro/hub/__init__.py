@@ -1,0 +1,49 @@
+"""Multi-tenant hub: reverse proxy + spawner + culler + hub identity.
+
+The paper's NCSA deployment — like most campus/HPC Jupyter offerings —
+is not one server but a *hub*: a reverse proxy front door that launches
+and routes to per-user servers.  This package reproduces that layer on
+the simnet stack so fleet-scale scenarios (cross-tenant pivots,
+hub-level misconfiguration, proxy-vantage monitoring, hundreds of
+tenants behind one tap) compose with the existing attack taxonomy.
+
+- :mod:`repro.hub.users`   — :class:`HubConfig` (the misconfigurable
+  knobs) and :class:`HubUserDirectory` (accounts + tokens).
+- :mod:`repro.hub.spawner` — lazy per-user server spawning across fleet
+  nodes with max-server and spawn-rate limits.
+- :mod:`repro.hub.proxy`   — the ``/user/<name>`` reverse proxy with
+  WebSocket piping, per-route counters, and the ``/hub/api`` surface.
+- :mod:`repro.hub.culler`  — event-loop-driven idle-server reclamation.
+- :mod:`repro.hub.scenario` — :class:`HubScenario`, a drop-in
+  multi-tenant replacement for the standard testbed.
+"""
+
+from repro.hub.culler import CullRecord, IdleCuller
+from repro.hub.proxy import ProxyStats, ReverseProxy, RouteEntry
+from repro.hub.scenario import HubScenario, build_hub_scenario
+from repro.hub.spawner import SpawnedServer, Spawner, SpawnError
+from repro.hub.users import (
+    HubConfig,
+    HubUser,
+    HubUserDirectory,
+    HubUserError,
+    insecure_hub_config,
+)
+
+__all__ = [
+    "HubConfig",
+    "HubUser",
+    "HubUserDirectory",
+    "HubUserError",
+    "insecure_hub_config",
+    "Spawner",
+    "SpawnedServer",
+    "SpawnError",
+    "ReverseProxy",
+    "RouteEntry",
+    "ProxyStats",
+    "IdleCuller",
+    "CullRecord",
+    "HubScenario",
+    "build_hub_scenario",
+]

@@ -1,0 +1,92 @@
+"""Idle-server culling, driven by the simulation's event loop.
+
+JupyterHub deployments run ``jupyterhub-idle-culler`` for two reasons
+the paper's misconfiguration discussion makes security-relevant: an
+abandoned server is wasted capacity *and* a standing attack surface (a
+leaked token stays useful for as long as the server it opens is up).
+``culling_enabled=False`` is therefore a hub-level misconfiguration
+(HUB-004), and the scaling benchmark verifies the culler actually
+reclaims servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hub.proxy import ReverseProxy
+from repro.hub.spawner import Spawner
+from repro.simnet.loop import EventLoop
+
+
+@dataclass(frozen=True)
+class CullRecord:
+    """One reclaimed server."""
+
+    ts: float
+    username: str
+    idle_seconds: float
+
+
+class IdleCuller:
+    """Periodically stops servers whose route has gone quiet."""
+
+    def __init__(self, loop: EventLoop, spawner: Spawner, proxy: ReverseProxy,
+                 *, interval: float = 60.0, idle_timeout: float = 600.0,
+                 enabled: bool = True):
+        self.loop = loop
+        self.spawner = spawner
+        self.proxy = proxy
+        self.interval = interval
+        self.idle_timeout = idle_timeout
+        self.enabled = enabled
+        self.culled: List[CullRecord] = []
+        self.sweeps = 0
+        if enabled:
+            self._schedule()
+
+    def enable(self, *, idle_timeout: Optional[float] = None,
+               interval: Optional[float] = None) -> None:
+        """Turn culling on mid-run (the remediation path)."""
+        if idle_timeout is not None:
+            self.idle_timeout = idle_timeout
+        if interval is not None:
+            self.interval = interval
+        if not self.enabled:
+            self.enabled = True
+            self._schedule()
+
+    def _schedule(self) -> None:
+        self.loop.call_later(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        self.sweep()
+        self._schedule()
+
+    def last_activity(self, username: str) -> Optional[float]:
+        """Latest traffic timestamp for a user's server (route counters,
+        falling back to the spawn time for never-visited servers)."""
+        spawned = self.spawner.active.get(username)
+        if spawned is None:
+            return None
+        route = self.proxy.routes.get(username)
+        if route is None:
+            return spawned.started_at
+        return max(route.last_activity, spawned.started_at)
+
+    def sweep(self) -> List[CullRecord]:
+        """One culling pass; returns the servers reclaimed this sweep."""
+        self.sweeps += 1
+        now = self.loop.clock.now()
+        reclaimed: List[CullRecord] = []
+        for username in self.spawner.running():
+            last = self.last_activity(username)
+            if last is None:
+                continue
+            idle = now - last
+            if idle >= self.idle_timeout:
+                self.spawner.stop(username)
+                record = CullRecord(ts=now, username=username, idle_seconds=idle)
+                self.culled.append(record)
+                reclaimed.append(record)
+        return reclaimed

@@ -1,0 +1,452 @@
+"""The hub's reverse proxy: one front door, many per-user backends.
+
+Modelled on configurable-http-proxy/JupyterHub (and the SDSC Satellite
+design the related-work survey describes): clients speak to a single
+``hub:8000`` host; the proxy authenticates at the edge, consults its
+routing table, rewrites ``/user/<name>/...`` to the backend's native
+paths, and relays bytes.  WebSocket upgrades switch the relay into raw
+bidirectional piping, so kernel channels flow through unchanged.
+
+Every hop is on the tapped simnet, which means the monitor at the proxy
+tap sees both legs (client↔proxy and proxy↔backend) of every request —
+the fleet-wide vantage point the paper's NCSA deployment argues for.
+
+Routing state lives in :class:`RouteEntry` records with per-route
+counters (requests, upgrades, bytes, last activity); the idle culler
+reads ``last_activity`` to reclaim abandoned servers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.hub.spawner import SpawnedServer, Spawner, SpawnError
+from repro.hub.users import HubConfig, HubUser, HubUserDirectory, HubUserError
+from repro.simnet import Host, Network, TcpConnection
+from repro.util.errors import ProtocolError
+from repro.wire.http import HttpRequest, HttpResponse, parse_request, parse_response
+
+HUB_VERSION = "1.0"
+
+
+def _json_response(status: int, payload: Any) -> HttpResponse:
+    return HttpResponse(
+        status,
+        headers={"Content-Type": "application/json"},
+        body=json.dumps(payload, sort_keys=True, default=str).encode(),
+    )
+
+
+def _extract_token(request: HttpRequest) -> str:
+    auth = request.header("authorization")
+    if auth.lower().startswith("token "):
+        return auth[6:].strip()
+    return (request.query.get("token") or [""])[0]
+
+
+@dataclass
+class RouteEntry:
+    """One ``/user/<name>`` → backend mapping with traffic counters."""
+
+    username: str
+    host: Host
+    port: int
+    created: float
+    requests: int = 0
+    ws_upgrades: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    last_activity: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "prefix": f"/user/{self.username}",
+            "target": f"{self.host.ip}:{self.port}",
+            "requests": self.requests,
+            "ws_upgrades": self.ws_upgrades,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "last_activity": self.last_activity,
+        }
+
+
+@dataclass
+class ProxyStats:
+    """Hub-wide counters the scaling benchmark reports.
+
+    Byte counts are cumulative across the proxy's lifetime — unlike the
+    per-route counters, they survive a route being culled."""
+
+    requests_total: int = 0
+    routed_total: int = 0
+    hub_requests: int = 0
+    denied_total: int = 0
+    not_found_total: int = 0
+    upstream_errors: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+
+class _ProxyChannel:
+    """State machine for one client connection to the proxy.
+
+    HTTP mode parses requests and relays them one at a time (responses
+    stay ordered even if the client pipelines); after a successful
+    WebSocket upgrade the channel degrades to a transparent byte pipe.
+    """
+
+    def __init__(self, proxy: "ReverseProxy", conn: TcpConnection):
+        self.proxy = proxy
+        self.conn = conn
+        self.buffer = b""
+        self.piping = False
+        self.route: Optional[RouteEntry] = None
+        self.backend: Optional[TcpConnection] = None
+        self._backend_buffer = b""
+        #: ordered work while a backend relay is in flight: either a
+        #: queued relay ("relay", request, route) or an already-computed
+        #: local response ("respond", response).
+        self._pending: List[Tuple] = []
+        self._busy = False
+        conn.on_data_server = self.feed
+        conn.on_close_server = self.on_client_close
+
+    # -- client side ----------------------------------------------------------
+    def feed(self, data: bytes) -> None:
+        if self.piping:
+            self.proxy.stats.bytes_in += len(data)
+            if self.route is not None:
+                self.route.bytes_in += len(data)
+                self.route.last_activity = self.proxy.clock.now()
+            if self.backend is not None and self.backend.open:
+                self.backend.send_to_server(data)
+            return
+        self.buffer += data
+        while True:
+            try:
+                request, rest = parse_request(self.buffer)
+            except ProtocolError as e:
+                self.proxy.protocol_errors.append(str(e))
+                self.respond(_json_response(400, {"message": f"bad request: {e}"}))
+                self.conn.close(by_client=False)
+                return
+            if request is None:
+                return
+            self.buffer = rest
+            self.proxy.handle_request(self, request)
+            if self.piping:
+                # Frames the client sent right behind the handshake.
+                if self.buffer:
+                    leftover, self.buffer = self.buffer, b""
+                    self.feed(leftover)
+                return
+
+    def respond(self, response: HttpResponse) -> None:
+        """Write a response now (bypasses ordering; internal use)."""
+        if self.conn.open:
+            self.conn.send_to_client(response.encode())
+
+    def deliver(self, response: HttpResponse) -> None:
+        """Send a locally-computed response in request order: if a
+        backend relay is in flight, queue behind it so a pipelining
+        client never sees responses out of order."""
+        if self._busy:
+            self._pending.append(("respond", response))
+            return
+        self.respond(response)
+
+    def on_client_close(self) -> None:
+        if self.backend is not None and self.backend.open:
+            self.backend.close()
+        try:
+            self.proxy.channels.remove(self)
+        except ValueError:
+            pass
+
+    # -- backend side ---------------------------------------------------------
+    def relay(self, route: RouteEntry, request: HttpRequest) -> None:
+        """Forward one rewritten request to ``route``'s backend."""
+        if self._busy:
+            self._pending.append(("relay", request, route))
+            return
+        self._start_backend(route, request)
+
+    def _start_backend(self, route: RouteEntry, request: HttpRequest) -> None:
+        try:
+            backend = self.proxy.host.connect(route.host, route.port)
+        except Exception as e:
+            self.proxy.stats.upstream_errors += 1
+            self.respond(_json_response(502, {"message": f"bad gateway: {e}"}))
+            return
+        self._busy = True
+        self.backend = backend
+        self.route = route
+        self._backend_buffer = b""
+        upgrade = request.is_websocket_upgrade()
+        backend.on_data_client = lambda data: self._on_backend_data(data, upgrade)
+        backend.on_close_client = self._on_backend_close
+        raw = request.encode()
+        route.requests += 1
+        route.bytes_in += len(raw)
+        self.proxy.stats.bytes_in += len(raw)
+        route.last_activity = self.proxy.clock.now()
+        backend.send_to_server(raw)
+
+    def _on_backend_data(self, data: bytes, upgrade: bool) -> None:
+        route = self.route
+        if self.piping:
+            self.proxy.stats.bytes_out += len(data)
+            if route is not None:
+                route.bytes_out += len(data)
+                route.last_activity = self.proxy.clock.now()
+            if self.conn.open:
+                self.conn.send_to_client(data)
+            return
+        self._backend_buffer += data
+        try:
+            resp, rest = parse_response(self._backend_buffer)
+        except ProtocolError as e:
+            self.proxy.protocol_errors.append(str(e))
+            self._finish_backend()
+            self.respond(_json_response(502, {"message": "bad upstream response"}))
+            return
+        if resp is None:
+            return
+        self._backend_buffer = b""
+        self.proxy.stats.bytes_out += len(resp.body)
+        if route is not None:
+            route.bytes_out += len(resp.body)
+            route.last_activity = self.proxy.clock.now()
+        self.respond(resp)
+        if resp.status == 101 and upgrade:
+            self.piping = True
+            if route is not None:
+                route.ws_upgrades += 1
+            if rest and self.conn.open:
+                self.conn.send_to_client(rest)
+            # Frames the client sent before the 101 arrived sat in the
+            # HTTP buffer (incomplete as a request); pipe them now.
+            if self.buffer:
+                leftover, self.buffer = self.buffer, b""
+                self.feed(leftover)
+            return
+        self._finish_backend()
+
+    def _on_backend_close(self) -> None:
+        if self.piping and self.conn.open:
+            self.conn.close(by_client=False)
+        self.backend = None
+
+    def _finish_backend(self) -> None:
+        if self.backend is not None and self.backend.open:
+            self.backend.close()
+        self.backend = None
+        self._busy = False
+        while self._pending:
+            item = self._pending.pop(0)
+            if item[0] == "respond":
+                self.respond(item[1])
+                continue
+            _, request, route = item
+            self._start_backend(route, request)
+            if self._busy:
+                return  # relay in flight; drain resumes on its completion
+
+
+class ReverseProxy:
+    """Routes ``/hub/...`` to the hub API and ``/user/<name>/...`` to
+    per-user backends."""
+
+    def __init__(self, network: Network, host: Host, users: HubUserDirectory,
+                 config: HubConfig, *, spawner: Optional[Spawner] = None):
+        self.network = network
+        self.host = host
+        self.users = users
+        self.config = config
+        self.spawner = spawner
+        self.clock = network.loop.clock
+        self.routes: Dict[str, RouteEntry] = {}
+        self.stats = ProxyStats()
+        self.channels: List[_ProxyChannel] = []
+        self.protocol_errors: List[str] = []
+        host.listen(config.port, self._accept,
+                    bind_ip="127.0.0.1" if config.ip == "127.0.0.1" else "0.0.0.0")
+
+    def _accept(self, conn: TcpConnection) -> None:
+        self.channels.append(_ProxyChannel(self, conn))
+
+    # -- routing table --------------------------------------------------------
+    def add_route(self, spawned: SpawnedServer) -> RouteEntry:
+        entry = RouteEntry(username=spawned.username, host=spawned.host,
+                           port=spawned.port, created=self.clock.now(),
+                           last_activity=self.clock.now())
+        self.routes[spawned.username] = entry
+        return entry
+
+    def remove_route(self, username: str) -> bool:
+        return self.routes.pop(username, None) is not None
+
+    # -- authorization --------------------------------------------------------
+    def _identify(self, request: HttpRequest) -> Tuple[Optional[HubUser], bool]:
+        return self.users.authenticate(_extract_token(request))
+
+    def _authorize_user_path(self, request: HttpRequest, target: str) -> Tuple[bool, str]:
+        """May the bearer of this request reach ``/user/<target>``?"""
+        if not self.config.proxy_auth_required:
+            return True, "proxy auth disabled"
+        user, is_hub = self._identify(request)
+        if is_hub:
+            return True, "hub token"
+        if user is None:
+            return False, "invalid or missing token"
+        if user.name == target or user.admin:
+            return True, user.name
+        return False, f"user {user.name!r} may not access /user/{target}"
+
+    def _is_hub_admin(self, request: HttpRequest) -> bool:
+        if not self.config.proxy_auth_required:
+            return True
+        user, is_hub = self._identify(request)
+        return is_hub or (user is not None and user.admin)
+
+    # -- request handling -----------------------------------------------------
+    def handle_request(self, channel: _ProxyChannel, request: HttpRequest) -> None:
+        self.stats.requests_total += 1
+        path = request.path
+        if path == "/hub" or path.startswith("/hub/"):
+            self.stats.hub_requests += 1
+            channel.deliver(self._hub_api(request))
+            return
+        if path.startswith("/user/"):
+            self._route_user_path(channel, request)
+            return
+        self.stats.not_found_total += 1
+        channel.deliver(_json_response(404, {
+            "message": f"no route for {path}",
+            "hint": "tenant servers live under /user/<name>/, the hub API under /hub/api",
+        }))
+
+    def _route_user_path(self, channel: _ProxyChannel, request: HttpRequest) -> None:
+        parts = request.path.split("/")
+        target = parts[2] if len(parts) > 2 else ""
+        ok, why = self._authorize_user_path(request, target)
+        if not ok:
+            self.stats.denied_total += 1
+            channel.deliver(_json_response(403, {"message": f"Forbidden: {why}"}))
+            return
+        route = self.routes.get(target)
+        if route is None:
+            status, message = (
+                (503, f"server for {target!r} is not running")
+                if self.users.get(target) is not None
+                else (404, f"no such user {target!r}")
+            )
+            self.stats.not_found_total += 1
+            channel.deliver(_json_response(status, {
+                "message": message,
+                "hint": f"POST /hub/api/users/{target}/server to start it",
+            }))
+            return
+        prefix = f"/user/{target}"
+        rewritten = request.target[len(prefix):]
+        if not rewritten.startswith("/"):
+            rewritten = "/" + rewritten
+        # The hub owns its backends: once the edge authorizes a request,
+        # the proxy swaps in the tenant's own credential (real hubs pass
+        # an internal auth header the single-user server trusts).
+        headers = {k: v for k, v in request.headers.items()
+                   if k.lower() != "authorization"}
+        target_user = self.users.get(target)
+        if target_user is not None:
+            headers["Authorization"] = f"token {target_user.token}"
+        self.stats.routed_total += 1
+        channel.relay(route, HttpRequest(request.method, rewritten,
+                                         headers, request.body, request.version))
+
+    # -- hub API --------------------------------------------------------------
+    def _hub_api(self, request: HttpRequest) -> HttpResponse:
+        path, method = request.path, request.method
+        if path in ("/hub/api", "/hub/api/") and method == "GET":
+            return _json_response(200, {
+                "version": HUB_VERSION,
+                "hub": self.config.hub_name,
+                "users": len(self.users),
+                "servers_running": len(self.routes),
+            })
+        if path == "/hub/signup" and method == "POST":
+            return self._handle_signup(request)
+        if path == "/hub/api/users" and method == "GET":
+            if not self._is_hub_admin(request):
+                self.stats.denied_total += 1
+                return _json_response(403, {"message": "admin access required"})
+            return _json_response(200, [
+                {"name": u.name, "admin": u.admin,
+                 "server_running": u.name in self.routes}
+                for u in sorted(self.users.users.values(), key=lambda u: u.name)
+            ])
+        if path == "/hub/api/routes" and method == "GET":
+            if not self._is_hub_admin(request):
+                self.stats.denied_total += 1
+                return _json_response(403, {"message": "admin access required"})
+            return _json_response(200, {
+                f"/user/{name}": r.to_dict() for name, r in sorted(self.routes.items())
+            })
+        if path.startswith("/hub/api/users/") and path.endswith("/server"):
+            name = path[len("/hub/api/users/"):-len("/server")].strip("/")
+            return self._handle_server_lifecycle(request, name, method)
+        return _json_response(404, {"message": f"no hub handler for {method} {path}"})
+
+    def _handle_signup(self, request: HttpRequest) -> HttpResponse:
+        try:
+            body = json.loads(request.body or b"{}")
+            name = str(body.get("name", ""))
+        except json.JSONDecodeError:
+            return _json_response(400, {"message": "invalid JSON body"})
+        try:
+            user = self.users.signup(name)
+        except HubUserError as e:
+            if e.status == 403:
+                self.stats.denied_total += 1
+            return _json_response(e.status, {"message": str(e)})
+        return _json_response(201, {"name": user.name, "token": user.token})
+
+    def _handle_server_lifecycle(self, request: HttpRequest, name: str,
+                                 method: str) -> HttpResponse:
+        user = self.users.get(name)
+        if user is None:
+            return _json_response(404, {"message": f"no such user {name!r}"})
+        ok, why = self._authorize_user_path(request, name)
+        if not ok:
+            self.stats.denied_total += 1
+            return _json_response(403, {"message": f"Forbidden: {why}"})
+        if method == "POST":
+            if self.spawner is None:
+                return _json_response(501, {"message": "no spawner configured"})
+            try:
+                spawned = self.spawner.spawn(user)
+            except SpawnError as e:
+                return _json_response(e.status, {"message": str(e)})
+            return _json_response(201, {"name": name, "url": spawned.url_prefix + "/"})
+        if method == "DELETE":
+            if self.spawner is None:
+                return _json_response(501, {"message": "no spawner configured"})
+            stopped = self.spawner.stop(name)
+            return _json_response(204 if stopped else 404,
+                                  {} if stopped else {"message": "server not running"})
+        return _json_response(405, {"message": f"{method} not allowed"})
+
+    # -- reporting ------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "routes": len(self.routes),
+            "requests_total": self.stats.requests_total,
+            "routed_total": self.stats.routed_total,
+            "hub_requests": self.stats.hub_requests,
+            "denied_total": self.stats.denied_total,
+            "not_found_total": self.stats.not_found_total,
+            "upstream_errors": self.stats.upstream_errors,
+            "bytes_in": self.stats.bytes_in,
+            "bytes_out": self.stats.bytes_out,
+        }

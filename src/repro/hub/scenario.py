@@ -1,0 +1,195 @@
+"""The fleet-scale experiment world: proxy + spawner + N tenants.
+
+:class:`HubScenario` extends the standard single-server
+:class:`~repro.attacks.scenario.Scenario` so every existing attack,
+workload, and benchmark runs unchanged — except that all client traffic
+now enters through the hub's reverse proxy and fans out to per-user
+backends on fleet nodes.  ``scenario.server`` is the *default tenant*'s
+backend (the one attacks loot), ``scenario.server_host`` is the proxy
+host, and clients carry a ``/user/<name>`` path prefix.
+
+The network tap sits where the paper's monitor would: in front of the
+proxy, seeing both the client↔proxy and proxy↔backend legs of every
+request for the whole fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.attacks.scenario import Scenario, SinkServer
+from repro.hub.culler import IdleCuller
+from repro.hub.proxy import ReverseProxy
+from repro.hub.spawner import SpawnedServer, Spawner
+from repro.hub.users import HubConfig, HubUserDirectory
+from repro.monitor import AnalyzerDepth, JupyterNetworkMonitor
+from repro.server import ServerConfig, WebSocketKernelClient
+from repro.simnet import Network
+from repro.util.rng import DeterministicRNG
+
+DEFAULT_TENANTS_PER_NODE = 25
+
+
+@dataclass
+class HubScenario(Scenario):
+    """A multi-tenant testbed behind one reverse proxy.
+
+    ``server``/``gateway``/``token`` point at the default tenant so the
+    single-server attack suite targets it transparently; the hub-aware
+    extras (proxy, spawner, culler, user directory) enable fleet-level
+    scenarios on top.
+    """
+
+    proxy: Optional[ReverseProxy] = None
+    spawner: Optional[Spawner] = None
+    culler: Optional[IdleCuller] = None
+    hub: Optional[HubUserDirectory] = None
+    hub_config: Optional[HubConfig] = None
+    tenant_names: List[str] = field(default_factory=list)
+
+    @property
+    def default_tenant(self) -> str:
+        return self.tenant_names[0] if self.tenant_names else "user00"
+
+    # -- clients --------------------------------------------------------------
+    def ensure_tenant(self, username: str) -> SpawnedServer:
+        """Create + spawn on first use — the hub's lazy-spawn path."""
+        assert self.hub is not None and self.spawner is not None
+        user = self.hub.get(username)
+        if user is None:
+            user = self.hub.create(username)
+            self.tenant_names.append(username)
+        spawned = self.spawner.active.get(username)
+        if spawned is None:
+            spawned = self.spawner.spawn(user)
+        return spawned
+
+    def user_client(self, *, username: str = "") -> WebSocketKernelClient:
+        """A client through the proxy.
+
+        A ``username`` naming a hub account targets that tenant (spawning
+        it on demand); any other name is just a session label on the
+        *default* tenant — e.g. the single-server attacks' stolen victim
+        sessions — mirroring the base scenario's semantics.
+        """
+        assert self.hub is not None
+        name = username or self.default_tenant
+        if self.hub.get(name) is not None:
+            self.ensure_tenant(name)
+            target, token = name, self.hub.users[name].token
+        else:
+            target, token = self.default_tenant, self.token
+        return WebSocketKernelClient(
+            self.user_host, self.server_host, port=self.proxy.config.port,
+            token=token, username=name, path_prefix=f"/user/{target}")
+
+    def attacker_client(self, *, token: str = "", username: str = "attacker",
+                        tenant: str = "") -> WebSocketKernelClient:
+        """A client from attacker infrastructure aimed (by default) at the
+        default tenant's server, through the proxy."""
+        target = tenant or self.default_tenant
+        return WebSocketKernelClient(
+            self.attacker_host, self.server_host, port=self.proxy.config.port,
+            token=token, username=username, path_prefix=f"/user/{target}")
+
+    def tenant_server(self, username: str):
+        """The live backend for one tenant (None if stopped/culled)."""
+        assert self.spawner is not None
+        spawned = self.spawner.active.get(username)
+        return spawned.server if spawned else None
+
+    def audited_session(self, client: WebSocketKernelClient):
+        """Start a kernel through ``client`` and attach an auditor — on
+        whichever tenant backend the client's prefix points at."""
+        from repro.audit import KernelAuditor
+
+        prefix = client.path_prefix
+        name = prefix[len("/user/"):] if prefix.startswith("/user/") else self.default_tenant
+        server = self.tenant_server(name) or self.server
+        kid = client.start_kernel()
+        kernel = server.kernels[kid]
+        auditor = KernelAuditor(kernel, monitor=self.monitor)
+        self.auditors[kid] = auditor
+        client.connect_channels()
+        return auditor
+
+
+def build_hub_scenario(
+    *,
+    n_tenants: int = 4,
+    hub_config: Optional[HubConfig] = None,
+    server_config: Optional[ServerConfig] = None,
+    depth: AnalyzerDepth = AnalyzerDepth.JUPYTER,
+    seed: int = 1337,
+    monitor_budget: float = 0.0,
+    seed_data: bool = True,
+    spawn_all: bool = True,
+    tenants_per_node: int = DEFAULT_TENANTS_PER_NODE,
+    tenant_prefix: str = "user",
+) -> HubScenario:
+    """Construct the fleet testbed: proxy front door, ``n_tenants``
+    per-user servers across enough fleet nodes, attacker infrastructure,
+    and a monitor on the proxy tap."""
+    if n_tenants < 1:
+        raise ValueError("a hub scenario needs at least one tenant")
+    rng = DeterministicRNG(seed)
+    net = Network(default_latency=0.002)
+    proxy_host = net.add_host("hub", "10.0.0.2")
+    n_nodes = max(1, -(-n_tenants // tenants_per_node))
+    nodes = [net.add_host(f"node{i:02d}", f"10.0.1.{10 + i}") for i in range(n_nodes)]
+    user_host = net.add_host("laptop", "10.0.0.42")
+    attacker_host = net.add_host("attacker", "203.0.113.66")
+    sink_host = net.add_host("exfil-sink", "198.51.100.9")
+    pool_host = net.add_host("mining-pool", "198.51.100.77")
+    tap = net.add_tap("hub-tap")
+
+    hub_cfg = hub_config or HubConfig(api_token="hub-admin-token",
+                                      max_servers=max(n_tenants + 8, 64))
+    base_cfg = server_config or ServerConfig(ip="0.0.0.0", token="")
+
+    users = HubUserDirectory(hub_cfg, net.loop.clock, rng=rng.child("hub-tokens"))
+    spawner = Spawner(net, nodes, base_cfg, hub_cfg)
+    proxy = ReverseProxy(net, proxy_host, users, hub_cfg, spawner=spawner)
+    spawner.on_spawn.append(lambda s: proxy.add_route(s))
+    spawner.on_stop.append(lambda name: proxy.remove_route(name))
+    culler = IdleCuller(net.loop, spawner, proxy,
+                        interval=hub_cfg.cull_interval,
+                        idle_timeout=hub_cfg.cull_idle_timeout,
+                        enabled=hub_cfg.culling_enabled)
+
+    monitor = JupyterNetworkMonitor(depth=depth,
+                                    budget_events_per_second=monitor_budget,
+                                    infrastructure_ips={proxy_host.ip})
+    # Same scale-model thresholds as the single-server testbed.
+    monitor.egress.threshold_bytes = 20_000
+    monitor.cusum.baseline = 200.0
+    monitor.cusum.slack = 200.0
+    monitor.cusum.h = 30_000.0
+    monitor.attach(tap)
+
+    exfil_sink = SinkServer(sink_host, 443)
+    mining_pool = SinkServer(pool_host, 3333,
+                             reply=b'{"id":1,"result":{"job":"deadbeef"},"error":null}\n')
+
+    names = [f"{tenant_prefix}{i:02d}" for i in range(n_tenants)]
+    for name in names:
+        user = users.create(name)
+        if spawn_all:
+            spawner.spawn(user)
+    if not spawn_all and names:
+        spawner.spawn(users.users[names[0]])  # the default tenant always runs
+
+    default = spawner.active[names[0]]
+    scenario = HubScenario(
+        network=net, server=default.server, gateway=default.gateway,
+        monitor=monitor, tap=tap,
+        server_host=proxy_host, user_host=user_host, attacker_host=attacker_host,
+        exfil_sink=exfil_sink, mining_pool=mining_pool,
+        token=users.users[names[0]].token, rng=rng,
+        proxy=proxy, spawner=spawner, culler=culler,
+        hub=users, hub_config=hub_cfg, tenant_names=list(names),
+    )
+    if seed_data:
+        scenario.seed_research_data()
+    return scenario

@@ -1,0 +1,141 @@
+"""Per-user server spawner: one hub, a fleet of backends.
+
+Each spawn stands up a full :class:`~repro.server.app.JupyterServer` +
+:class:`~repro.server.gateway.ServerGateway` on a fleet node host, with
+its own port, filesystem, and (by default) its own access token — real
+tenant isolation, so cross-tenant access is an *attack outcome*, never
+an artifact of shared state.  Limits mirror JupyterHub's: a ceiling on
+concurrently running servers and a spawn-rate throttle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.hub.users import HubConfig, HubUser
+from repro.server.app import JupyterServer
+from repro.server.config import ServerConfig
+from repro.server.gateway import ServerGateway
+from repro.simnet import Host, Network
+from repro.util.errors import ReproError
+
+BASE_BACKEND_PORT = 8801
+
+
+class SpawnError(ReproError):
+    """Spawn refused; carries an HTTP-ish status for the hub API."""
+
+    def __init__(self, message: str, *, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class SpawnedServer:
+    """One running per-user backend."""
+
+    username: str
+    server: JupyterServer
+    gateway: ServerGateway
+    host: Host
+    port: int
+    started_at: float
+
+    @property
+    def url_prefix(self) -> str:
+        return f"/user/{self.username}"
+
+
+class Spawner:
+    """Lazily spawns and stops per-user servers across fleet nodes."""
+
+    def __init__(self, network: Network, nodes: List[Host],
+                 base_config: ServerConfig, config: HubConfig,
+                 *, seed_tenant_files: bool = True):
+        if not nodes:
+            raise SpawnError("spawner needs at least one fleet node", status=500)
+        self.network = network
+        self.nodes = nodes
+        self.base_config = base_config
+        self.config = config
+        self.seed_tenant_files = seed_tenant_files
+        self.active: Dict[str, SpawnedServer] = {}
+        self.total_spawned = 0
+        self.total_stopped = 0
+        self._next_node = 0
+        self._next_port: Dict[str, int] = {h.name: BASE_BACKEND_PORT for h in nodes}
+        self._spawn_times: Deque[float] = deque()
+        #: wiring hooks (the proxy registers its route table here)
+        self.on_spawn: List[Callable[[SpawnedServer], None]] = []
+        self.on_stop: List[Callable[[str], None]] = []
+
+    # -- limits ---------------------------------------------------------------
+    def _check_limits(self, now: float) -> None:
+        if self.config.max_servers > 0 and len(self.active) >= self.config.max_servers:
+            raise SpawnError(
+                f"server limit reached ({self.config.max_servers} running)", status=403)
+        rate = self.config.spawn_rate_per_minute
+        if rate > 0:
+            cutoff = now - 60.0
+            while self._spawn_times and self._spawn_times[0] < cutoff:
+                self._spawn_times.popleft()
+            if len(self._spawn_times) >= rate:
+                raise SpawnError(
+                    f"spawn rate limit reached ({rate}/min)", status=429)
+
+    # -- lifecycle ------------------------------------------------------------
+    def spawn(self, user: HubUser) -> SpawnedServer:
+        """Start ``user``'s server; idempotent if already running."""
+        existing = self.active.get(user.name)
+        if existing is not None:
+            return existing
+        now = self.network.loop.clock.now()
+        self._check_limits(now)
+        node = self.nodes[self._next_node % len(self.nodes)]
+        self._next_node += 1
+        port = self._next_port[node.name]
+        self._next_port[node.name] = port + 1
+        cfg = replace(
+            self.base_config,
+            ip="0.0.0.0",
+            port=port,
+            token=user.token,
+            server_name=f"jupyter-{user.name}",
+        )
+        server = JupyterServer(cfg, self.network, node)
+        gateway = ServerGateway(server)
+        if self.seed_tenant_files:
+            # Every tenant home gets the small dataset the benign cell
+            # templates read, so fresh tenants behave like real accounts.
+            rows = "\n".join(f"{j},{(j * 37) % 101},{(j * 17) % 13}" for j in range(40))
+            server.fs.write(f"{cfg.root_dir}/data/measurements_0.csv",
+                            ("a,b,c\n" + rows).encode())
+        spawned = SpawnedServer(username=user.name, server=server, gateway=gateway,
+                                host=node, port=port, started_at=now)
+        self.active[user.name] = spawned
+        self.total_spawned += 1
+        self._spawn_times.append(now)
+        for hook in self.on_spawn:
+            hook(spawned)
+        return spawned
+
+    def stop(self, username: str) -> bool:
+        """Stop a user's server: shut kernels down, release the port."""
+        spawned = self.active.pop(username, None)
+        if spawned is None:
+            return False
+        for kid in list(spawned.server.kernels):
+            spawned.server.shutdown_kernel(kid)
+        spawned.host.unlisten(spawned.port)
+        self.total_stopped += 1
+        for hook in self.on_stop:
+            hook(username)
+        return True
+
+    def stop_all(self) -> int:
+        return sum(1 for name in list(self.active) if self.stop(name))
+
+    def running(self) -> List[str]:
+        return sorted(self.active)

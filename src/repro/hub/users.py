@@ -1,0 +1,160 @@
+"""Hub identity: users, tokens, and the knobs that go wrong.
+
+A multi-tenant hub concentrates exactly the misconfiguration avenues the
+paper catalogues for single servers, one layer up: open signup turns the
+front door into an account factory, a shared API token collapses tenant
+isolation (one compromised laptop pivots to every server), and a
+disabled proxy-auth check makes the reverse proxy a transparent relay.
+:class:`HubConfig` models those knobs; :mod:`repro.misconfig.hubchecks`
+audits them; :class:`~repro.attacks.hubpivot.CrossTenantPivotAttack`
+exploits them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.clock import Clock, SimClock
+from repro.util.errors import ReproError
+from repro.util.ids import new_token
+from repro.util.rng import DeterministicRNG
+
+
+class HubUserError(ReproError):
+    """Signup/lookup failures; carries an HTTP-ish status."""
+
+    def __init__(self, message: str, *, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HubConfig:
+    """Deployment configuration for one hub (proxy + spawner + culler).
+
+    Field names mirror JupyterHub's traitlets where one exists, so the
+    hub-level misconfiguration checks read like real hardening guidance.
+    """
+
+    hub_name: str = "hub"
+    ip: str = "0.0.0.0"
+    port: int = 8000
+    # identity
+    signup_mode: str = "invite"      # "invite" | "open" — open signup is the footgun
+    admin_users: Tuple[str, ...] = ()
+    api_token: str = field(default_factory=new_token)  # hub service token
+    per_user_tokens: bool = True     # False = every tenant shares api_token
+    proxy_auth_required: bool = True  # False = proxy forwards without checking
+    # spawner limits
+    max_servers: int = 512           # 0 = unlimited (a DoS invitation)
+    spawn_rate_per_minute: int = 0   # 0 = unlimited
+    # culling
+    culling_enabled: bool = True
+    cull_idle_timeout: float = 600.0
+    cull_interval: float = 60.0
+
+    def is_admin(self, username: str) -> bool:
+        return username in self.admin_users
+
+
+def insecure_hub_config() -> HubConfig:
+    """The hub-level analogue of ``insecure_demo_config``: open signup,
+    one short token shared by every tenant, proxy auth off, no culling,
+    no spawn ceiling."""
+    return HubConfig(
+        signup_mode="open",
+        api_token="hub",
+        per_user_tokens=False,
+        proxy_auth_required=False,
+        culling_enabled=False,
+        max_servers=0,
+        spawn_rate_per_minute=0,
+    )
+
+
+@dataclass
+class HubUser:
+    """One hub account."""
+
+    name: str
+    token: str
+    admin: bool = False
+    created: float = 0.0
+
+
+class HubUserDirectory:
+    """Accounts and token authentication for one hub.
+
+    Token generation is deterministic when an RNG is supplied (keeping
+    benchmark traffic byte-reproducible) and cryptographically strong
+    otherwise.
+    """
+
+    def __init__(self, config: HubConfig, clock: Optional[Clock] = None,
+                 *, rng: Optional[DeterministicRNG] = None):
+        self.config = config
+        self.clock = clock or SimClock()
+        self.rng = rng
+        self.users: Dict[str, HubUser] = {}
+        self._by_token: Dict[str, HubUser] = {}
+        self.signup_rejections = 0
+
+    # -- account lifecycle ---------------------------------------------------
+    def _new_token(self) -> str:
+        if not self.config.per_user_tokens:
+            return self.config.api_token
+        if self.rng is not None:
+            return self.rng.randbytes(16).hex()
+        return new_token()
+
+    def create(self, name: str, *, admin: bool = False) -> HubUser:
+        """Administrative account creation (bypasses signup_mode)."""
+        if not name or "/" in name or name.startswith("."):
+            raise HubUserError(f"invalid username {name!r}", status=400)
+        if name in self.users:
+            raise HubUserError(f"user {name!r} already exists", status=409)
+        user = HubUser(name=name, token=self._new_token(),
+                       admin=admin or self.config.is_admin(name),
+                       created=self.clock.now())
+        self.users[name] = user
+        self._by_token.setdefault(user.token, user)
+        return user
+
+    def signup(self, name: str) -> HubUser:
+        """Self-service signup — only allowed when the hub is misconfigured
+        (or deliberately) open."""
+        if self.config.signup_mode != "open":
+            self.signup_rejections += 1
+            raise HubUserError("signup is invite-only", status=403)
+        return self.create(name)
+
+    def remove(self, name: str) -> bool:
+        user = self.users.pop(name, None)
+        if user is not None and self._by_token.get(user.token) is user:
+            del self._by_token[user.token]
+        return user is not None
+
+    def get(self, name: str) -> Optional[HubUser]:
+        return self.users.get(name)
+
+    # -- authentication ------------------------------------------------------
+    def authenticate(self, token: str) -> Tuple[Optional[HubUser], bool]:
+        """Resolve a token to ``(user, is_hub_token)``.
+
+        The hub API token authenticates as the hub itself (admin-
+        equivalent).  When ``per_user_tokens`` is off every user shares
+        that token — the pivot the cross-tenant attack exploits.
+        """
+        if not token:
+            return None, False
+        if token == self.config.api_token:
+            return None, True
+        user = self._by_token.get(token)
+        return (user, False) if user is not None else (None, False)
+
+    def names(self) -> List[str]:
+        return sorted(self.users)
+
+    def __len__(self) -> int:
+        return len(self.users)

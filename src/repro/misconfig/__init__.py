@@ -9,6 +9,7 @@ misconfiguration attacks against the same configs.
 """
 
 from repro.misconfig.checks import ALL_CHECKS, CheckResult, Severity, run_checks
+from repro.misconfig.hubchecks import ALL_HUB_CHECKS, run_hub_checks
 from repro.misconfig.scanner import MisconfigScanner, ScanReport
 
 __all__ = [
@@ -18,4 +19,6 @@ __all__ = [
     "Severity",
     "ALL_CHECKS",
     "run_checks",
+    "ALL_HUB_CHECKS",
+    "run_hub_checks",
 ]

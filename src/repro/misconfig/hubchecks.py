@@ -1,0 +1,80 @@
+"""Hub-level misconfiguration checks (the HUB- catalogue).
+
+The paper's third headline avenue, one layer up: a multi-tenant hub
+concentrates hundreds of servers behind one proxy, so a single hub knob
+set wrong is a fleet-wide exposure.  Every check is a pure function over
+:class:`~repro.hub.users.HubConfig`, mirroring the JPT- catalogue's
+shape so the scanner can score and render both kinds of report with the
+same machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.crypto.passwords import token_entropy_bits
+from repro.hub.users import HubConfig
+from repro.misconfig.checks import CheckResult, Severity, _result
+
+
+def check_signup_mode(cfg: HubConfig) -> CheckResult:
+    ok = cfg.signup_mode != "open"
+    return _result("HUB-001", "signup is invite-only", ok, Severity.HIGH,
+                   "open signup: anyone on the network mints an account (and a "
+                   "server) on your hardware",
+                   "set signup to invite/allowlist; review existing accounts")
+
+
+def check_per_user_tokens(cfg: HubConfig) -> CheckResult:
+    ok = cfg.per_user_tokens
+    return _result("HUB-002", "per-user API tokens", ok, Severity.CRITICAL,
+                   "all tenants share the hub API token: one phished laptop "
+                   "opens every server (cross-tenant pivot)",
+                   "issue per-user tokens; rotate the hub service token")
+
+
+def check_proxy_auth(cfg: HubConfig) -> CheckResult:
+    ok = cfg.proxy_auth_required
+    return _result("HUB-003", "proxy authenticates at the edge", ok, Severity.CRITICAL,
+                   "the reverse proxy relays /user/<name> traffic without "
+                   "checking credentials — tenant isolation is advisory",
+                   "require a valid token at the proxy before routing")
+
+
+def check_culling(cfg: HubConfig) -> CheckResult:
+    ok = cfg.culling_enabled
+    return _result("HUB-004", "idle servers are culled", ok, Severity.LOW,
+                   "no idle culling: abandoned servers accumulate as standing "
+                   "attack surface (a leaked token stays useful indefinitely)",
+                   "enable the idle culler with a sensible timeout")
+
+
+def check_server_ceiling(cfg: HubConfig) -> CheckResult:
+    ok = cfg.max_servers > 0
+    return _result("HUB-005", "bounded concurrent servers", ok, Severity.MEDIUM,
+                   "no ceiling on spawned servers: signup + spawn is a "
+                   "resource-exhaustion DoS",
+                   "set max_servers to provisioned capacity")
+
+
+def check_hub_token_strength(cfg: HubConfig) -> CheckResult:
+    bits = token_entropy_bits(cfg.api_token) if cfg.api_token else 0.0
+    ok = bits >= 64
+    return _result("HUB-006", "hub API token strength", ok, Severity.HIGH,
+                   f"hub service token carries ~{bits:.0f} bits of entropy — "
+                   "guessable, and it is admin-equivalent",
+                   "generate with secrets.token_urlsafe and store it secretly")
+
+
+ALL_HUB_CHECKS: List[Callable[[HubConfig], CheckResult]] = [
+    check_signup_mode,
+    check_per_user_tokens,
+    check_proxy_auth,
+    check_culling,
+    check_server_ceiling,
+    check_hub_token_strength,
+]
+
+
+def run_hub_checks(cfg: HubConfig) -> List[CheckResult]:
+    return [check(cfg) for check in ALL_HUB_CHECKS]

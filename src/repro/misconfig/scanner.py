@@ -65,6 +65,14 @@ class MisconfigScanner:
     def scan(self, config: ServerConfig) -> ScanReport:
         return ScanReport(server_name=config.server_name, results=run_checks(config))
 
+    def scan_hub(self, hub_config) -> ScanReport:
+        """Audit a :class:`~repro.hub.users.HubConfig` against the HUB-
+        catalogue (same report machinery, hub-level knobs)."""
+        from repro.misconfig.hubchecks import run_hub_checks
+
+        return ScanReport(server_name=hub_config.hub_name,
+                          results=run_hub_checks(hub_config))
+
     def scan_fleet(self, configs: List[ServerConfig]) -> List[ScanReport]:
         return sorted((self.scan(c) for c in configs), key=lambda r: -r.risk_score)
 

@@ -33,6 +33,7 @@ from repro.monitor.anomaly import (
     EntropyBurstDetector,
     NewSourceDetector,
     ScanDetector,
+    TenantSweepDetector,
 )
 
 __all__ = [
@@ -58,4 +59,5 @@ __all__ = [
     "BruteForceDetector",
     "ScanDetector",
     "NewSourceDetector",
+    "TenantSweepDetector",
 ]

@@ -11,6 +11,7 @@ onto the taxonomy's observables:
 - :class:`BruteForceDetector`   — token/password guessing (auth failures)
 - :class:`ScanDetector`         — misconfiguration scans (fan-out probes)
 - :class:`NewSourceDetector`    — stolen-token use (new infrastructure)
+- :class:`TenantSweepDetector`  — cross-tenant pivots through a hub proxy
 
 EXP-EVADE sweeps exfiltration rate against EgressVolume vs Cusum — the
 threshold detector goes blind below its rate floor while CUSUM trades
@@ -274,6 +275,47 @@ class ScanDetector(AnomalyDetector):
                 ts=ts, detector=self.name, name="PORT_SCAN", severity="medium",
                 src=src, avenue=Avenue.MISCONFIGURATION,
                 detail={"distinct_targets": len(targets), "window": self.window},
+            ))
+        return None
+
+
+class TenantSweepDetector(AnomalyDetector):
+    """One source fanning out across hub tenants: the pivot fingerprint.
+
+    At the proxy tap every tenant's traffic shares one front door, so a
+    cross-tenant campaign shows up as a single client IP touching many
+    distinct ``/user/<name>/`` prefixes in a short window.  Benign users
+    touch one prefix (their own; admins occasionally a second), so the
+    threshold can sit low without false positives.
+    """
+
+    name = "tenant-sweep"
+
+    def __init__(self, *, window: float = 120.0, max_tenants: int = 3, **kw):
+        super().__init__(**kw)
+        self.window = window
+        self.max_tenants = max_tenants
+        self._touched: Dict[str, Deque[Tuple[float, str]]] = defaultdict(deque)
+
+    def observe_request(self, ts: float, src: str, path: str) -> Optional[Notice]:
+        if not path.startswith("/user/"):
+            return None
+        parts = path.split("/", 3)
+        tenant = parts[2] if len(parts) > 2 else ""
+        if not tenant:
+            return None
+        q = self._touched[src]
+        q.append((ts, tenant))
+        cutoff = ts - self.window
+        while q and q[0][0] < cutoff:
+            q.popleft()
+        tenants = {t for _, t in q}
+        if len(tenants) >= self.max_tenants:
+            return self._emit(Notice(
+                ts=ts, detector=self.name, name="CROSS_TENANT_SWEEP", severity="high",
+                src=src, avenue=Avenue.ACCOUNT_TAKEOVER,
+                detail={"distinct_tenants": len(tenants), "window": self.window,
+                        "example_tenants": sorted(tenants)[:5]},
             ))
         return None
 

@@ -28,6 +28,7 @@ from repro.monitor.anomaly import (
     EntropyBurstDetector,
     NewSourceDetector,
     ScanDetector,
+    TenantSweepDetector,
 )
 from repro.monitor.logs import (
     ConnRecord,
@@ -101,7 +102,13 @@ class JupyterNetworkMonitor:
         budget_events_per_second: float = 0.0,  # 0 = unlimited
         internal_prefix: str = "10.",
         output_size_threshold: int = 16_384,
+        infrastructure_ips: Optional[set] = None,
     ):
+        #: Own-infrastructure sources (e.g. a hub reverse proxy) whose
+        #: authenticated traffic is plumbing, not a client logging in —
+        #: excluded from auth-outcome detectors so the proxy's backend
+        #: leg never reads as a stolen credential or a brute force.
+        self.infrastructure_ips = infrastructure_ips or set()
         self.output_size_threshold = output_size_threshold
         self.depth = depth
         self.logs = LogStore()
@@ -121,8 +128,10 @@ class JupyterNetworkMonitor:
         self.bruteforce = BruteForceDetector()
         self.scan = ScanDetector()
         self.newsource = NewSourceDetector()
+        self.tenantsweep = TenantSweepDetector()
         self.detectors = [self.entropy, self.egress, self.cusum, self.beacon,
-                          self.bruteforce, self.scan, self.newsource]
+                          self.bruteforce, self.scan, self.newsource,
+                          self.tenantsweep]
 
     # -- wiring ---------------------------------------------------------------------
     def attach(self, tap: NetworkTap) -> None:
@@ -240,6 +249,8 @@ class JupyterNetworkMonitor:
                 self.logs.http.append(rec)
                 for n in self.signatures.scan_http(rec, req.body.decode("latin-1")):
                     self.logs.notices.append(n)
+                # Hub-path visibility: a client IP spread across tenants.
+                self._note(self.tenantsweep.observe_request(seg.ts, conn.src, req.path))
                 # Network-plane ransomware signal: high-entropy PUT bodies.
                 if req.method in ("PUT", "POST") and req.body:
                     content = req.body
@@ -262,8 +273,11 @@ class JupyterNetworkMonitor:
                         rec.status = resp.status
                         rec.response_bytes = len(resp.body)
                         break
-                # Auth outcome signals (brute force / stolen token).
-                if path.startswith("/api") and resp.status in (200, 201, 204, 403, 101):
+                # Auth outcome signals (brute force / stolen token); hub
+                # paths (/user/<name>/api, /hub/api) carry the same signal.
+                if (path.startswith(("/api", "/user/", "/hub/"))
+                        and resp.status in (200, 201, 204, 403, 101)
+                        and conn.src not in self.infrastructure_ips):
                     ok = resp.status != 403
                     self._note(self.bruteforce.observe_auth(seg.ts, conn.src, ok))
                     self._note(self.newsource.observe_auth(seg.ts, conn.src, ok))

@@ -105,6 +105,11 @@ class JupyterServer:
 
     def start_kernel(self) -> KernelRuntime:
         kernel = KernelRuntime(self._kernel_world(), key=self.config.session_key)
+        # Multiple servers can share one host (hub fleet nodes), so skip
+        # past port blocks a sibling's kernels already bound.
+        while any(p in self.host.listeners
+                  for p in range(self._next_kernel_port, self._next_kernel_port + 10)):
+            self._next_kernel_port += 10
         binding = KernelZmtpBinding(kernel, self.host, self.network, base_port=self._next_kernel_port)
         self._next_kernel_port += 10
         client = ZmtpKernelClient(binding.connection_info(), self.host, self.host)

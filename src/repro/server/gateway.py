@@ -194,11 +194,15 @@ class WebSocketKernelClient:
     """
 
     def __init__(self, client_host: Host, server_host: Host, *, port: int = 8888,
-                 token: str = "", username: str = "scientist"):
+                 token: str = "", username: str = "scientist", path_prefix: str = ""):
         self.client_host = client_host
         self.server_host = server_host
         self.port = port
         self.token = token
+        #: Prepended to ``/api/...`` paths — set to ``/user/<name>`` to
+        #: reach a tenant behind a hub reverse proxy.  Non-API paths
+        #: (``/hub/...``) pass through untouched.
+        self.path_prefix = path_prefix.rstrip("/")
         self.session = Session(b"", username=username, check_replay=False)
         self.received: List[Message] = []
         self.iopub: List[Message] = []
@@ -211,6 +215,8 @@ class WebSocketKernelClient:
     # -- plain REST -----------------------------------------------------------------
     def request(self, method: str, path: str, body: bytes = b"") -> HttpResponse:
         """One-shot REST request on a fresh connection."""
+        if self.path_prefix and path.startswith("/api"):
+            path = self.path_prefix + path
         conn = self.client_host.connect(self.server_host, self.port)
         responses: List[HttpResponse] = []
         buffer = b""
@@ -274,7 +280,7 @@ class WebSocketKernelClient:
         conn.on_data_client = on_data
         req = build_handshake_request(
             f"{self.server_host.ip}:{self.port}",
-            f"/api/kernels/{self.kernel_id}/channels",
+            f"{self.path_prefix}/api/kernels/{self.kernel_id}/channels",
             "x3JJHMbDL1EzLkh9GBhXDw==",
             token=self.token,
         )

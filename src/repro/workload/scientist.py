@@ -18,7 +18,7 @@ BENIGN_CELL_TEMPLATES = [
     "counts = {{}}\nfor x in [1, 2, 2, 3, 3, 3]:\n    counts[x] = counts.get(x, 0) + 1\ncounts",
     "def objective(x):\n    return (x - {i}) ** 2\nbest = min(range(100), key=objective)\nbest",
     "log = open('run_{i}.log', 'w')\nlog.write('epoch=1 loss=0.5')\nlog.close()",
-    "import hashlib\nchecksum = hashlib.sha256(open('data/measurements_0.csv').read()).hexdigest()\nchecksum[:8]",
+    "import hashlib\nchecksum = hashlib.sha256(open('data/measurements_0.csv').read().encode()).hexdigest()\nchecksum[:8]",
     "matrix = [[i * j for j in range(20)] for i in range(20)]\nsum(sum(row) for row in matrix)",
     "print('experiment {i} complete')",
 ]

@@ -1,0 +1,142 @@
+"""Incremental-parsing robustness for the server gateway and the hub
+proxy path: requests dribbled byte-by-byte and WebSocket frames
+fragmented across TCP segment boundaries must reassemble correctly at
+every hop (client → proxy → backend → kernel and back)."""
+
+import json
+
+import pytest
+
+from repro.attacks.scenario import build_scenario
+from repro.hub import build_hub_scenario
+from repro.wire.http import HttpRequest, parse_response
+from repro.wire.websocket import Opcode, fragment_message
+
+
+def _raw_roundtrip(client_host, server_host, port, raw: bytes, network,
+                   *, chunk: int = 1, step: float = 0.02):
+    """Send ``raw`` in ``chunk``-byte dribbles; collect parsed responses."""
+    conn = client_host.connect(server_host, port)
+    responses = []
+    buf = b""
+
+    def on_data(data):
+        nonlocal buf
+        buf += data
+        while True:
+            resp, rest = parse_response(buf)
+            if resp is None:
+                return
+            responses.append(resp)
+            buf = rest
+
+    conn.on_data_client = on_data
+    for i in range(0, len(raw), chunk):
+        conn.send_to_server(raw[i:i + chunk])
+        network.run(step)
+    network.run(2.0)
+    return responses
+
+
+class TestGatewayDribbledHttp:
+    def test_byte_at_a_time_request_direct(self):
+        s = build_scenario(seed_data=False)
+        req = HttpRequest("GET", "/api/status",
+                          {"Host": "jupyter", "Authorization": f"token {s.token}"})
+        responses = _raw_roundtrip(s.user_host, s.server_host,
+                                   s.server.config.port, req.encode(), s.network)
+        assert len(responses) == 1 and responses[0].status == 200
+
+    def test_byte_at_a_time_request_through_proxy(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        req = HttpRequest("GET", "/user/user01/api/status",
+                          {"Host": "hub", "Authorization": f"token {s.hub.users['user01'].token}"})
+        responses = _raw_roundtrip(s.user_host, s.server_host,
+                                   s.hub_config.port, req.encode(), s.network)
+        assert len(responses) == 1 and responses[0].status == 200
+        backend = s.spawner.active["user01"].server
+        assert backend.access_log[-1].path == "/api/status"
+
+    def test_dribbled_body_post_through_proxy(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        body = json.dumps({"type": "file", "content": "x" * 200}).encode()
+        req = HttpRequest("PUT", "/user/user00/api/contents/dribble.txt",
+                          {"Host": "hub",
+                           "Authorization": f"token {s.hub.users['user00'].token}"},
+                          body)
+        responses = _raw_roundtrip(s.user_host, s.server_host, s.hub_config.port,
+                                   req.encode(), s.network, chunk=7)
+        assert responses and responses[0].status == 200
+        assert s.server.fs.is_file("home/dribble.txt")
+
+    def test_two_pipelined_requests_stay_ordered_through_proxy(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        token = s.hub.users["user00"].token
+        raw = (HttpRequest("GET", "/user/user00/api/status",
+                           {"Host": "hub", "Authorization": f"token {token}"}).encode()
+               + HttpRequest("GET", "/user/user00/api/contents/",
+                             {"Host": "hub", "Authorization": f"token {token}"}).encode())
+        responses = _raw_roundtrip(s.user_host, s.server_host, s.hub_config.port,
+                                   raw, s.network, chunk=11)
+        assert [r.status for r in responses] == [200, 200]
+        assert b"version" in responses[0].body       # /api/status first
+        assert b"content" in responses[1].body       # then the listing
+
+
+class TestFragmentedWebSocketFrames:
+    def _connected_client(self, scenario, username):
+        client = scenario.user_client(username=username)
+        client.start_kernel()
+        client.connect_channels()
+        return client
+
+    def test_fragmented_execute_request_through_proxy(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        client = self._connected_client(s, "user01")
+        req = client.session.execute_request("21 * 2")
+        payload = req.to_websocket_json().encode()
+        frames = fragment_message(payload, 32, Opcode.TEXT, mask_key=b"\x0a\x0b\x0c\x0d")
+        assert len(frames) > 3  # genuinely fragmented
+        for frame in frames:
+            client._conn.send_to_server(frame)
+            s.run(0.05)
+        s.run(30.0)
+        reply = client.replies.get(req.msg_id)
+        assert reply is not None and reply.content["status"] == "ok"
+
+    def test_frames_crossing_tcp_segments_small_mss(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        s.network.mss = 48  # every WS frame spans multiple TCP segments
+        client = self._connected_client(s, "user00")
+        reply = client.execute("sum(range(100))")
+        assert reply is not None and reply.content["status"] == "ok"
+        result = [m for m in client.iopub if m.msg_type == "execute_result"]
+        assert result and "4950" in result[-1].content["data"]["text/plain"]
+
+    def test_fragmented_frames_and_small_mss_direct(self):
+        s = build_scenario(seed_data=False)
+        s.network.mss = 64
+        client = s.user_client()
+        client.start_kernel()
+        client.connect_channels()
+        req = client.session.execute_request("'x' * 500")
+        payload = req.to_websocket_json().encode()
+        for frame in fragment_message(payload, 50, Opcode.TEXT,
+                                      mask_key=b"\x01\x02\x03\x04"):
+            client._conn.send_to_server(frame)
+            s.run(0.05)
+        s.run(30.0)
+        reply = client.replies.get(req.msg_id)
+        assert reply is not None and reply.content["status"] == "ok"
+
+    def test_monitor_reassembles_proxied_fragments(self):
+        """The tap sees proxied traffic segment-by-segment; the monitor's
+        own decoders must reassemble the same messages the kernel saw."""
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        s.network.mss = 96
+        client = self._connected_client(s, "user00")
+        reply = client.execute("1 + 1")
+        assert reply is not None
+        exec_msgs = [r for r in s.monitor.logs.jupyter
+                     if r.msg_type == "execute_request"]
+        assert exec_msgs and any("1 + 1" in r.code for r in exec_msgs)

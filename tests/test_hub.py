@@ -1,0 +1,452 @@
+"""Tests for the multi-tenant hub: users, spawner, proxy, culler,
+misconfiguration checks, and the cross-tenant pivot attack."""
+
+import json
+
+import pytest
+
+from repro.attacks import CrossTenantPivotAttack, StolenTokenAttack
+from repro.hub import (
+    HubConfig,
+    HubUserDirectory,
+    HubUserError,
+    SpawnError,
+    build_hub_scenario,
+    insecure_hub_config,
+)
+from repro.misconfig import MisconfigScanner, run_hub_checks
+from repro.monitor.anomaly import TenantSweepDetector
+from repro.workload import ScientistWorkload
+
+
+class TestHubUsers:
+    def test_invite_mode_rejects_signup(self):
+        users = HubUserDirectory(HubConfig(signup_mode="invite"))
+        with pytest.raises(HubUserError) as e:
+            users.signup("mallory")
+        assert e.value.status == 403
+        assert users.signup_rejections == 1
+
+    def test_open_mode_allows_signup(self):
+        users = HubUserDirectory(HubConfig(signup_mode="open"))
+        user = users.signup("alice")
+        assert user.name == "alice" and user.token
+
+    def test_duplicate_and_invalid_names_rejected(self):
+        users = HubUserDirectory(HubConfig())
+        users.create("alice")
+        with pytest.raises(HubUserError):
+            users.create("alice")
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(HubUserError):
+                users.create(bad)
+
+    def test_per_user_tokens_are_distinct(self):
+        users = HubUserDirectory(HubConfig(per_user_tokens=True))
+        a, b = users.create("a"), users.create("b")
+        assert a.token != b.token
+
+    def test_shared_token_mode_reuses_hub_token(self):
+        cfg = HubConfig(api_token="shared", per_user_tokens=False)
+        users = HubUserDirectory(cfg)
+        a, b = users.create("a"), users.create("b")
+        assert a.token == b.token == "shared"
+
+    def test_authenticate_resolves_user_and_hub_token(self):
+        cfg = HubConfig(api_token="hubtok")
+        users = HubUserDirectory(cfg)
+        alice = users.create("alice")
+        assert users.authenticate(alice.token) == (alice, False)
+        assert users.authenticate("hubtok") == (None, True)
+        assert users.authenticate("nope") == (None, False)
+        assert users.authenticate("") == (None, False)
+
+    def test_admin_from_config_list(self):
+        users = HubUserDirectory(HubConfig(admin_users=("root",)))
+        assert users.create("root").admin
+        assert not users.create("pleb").admin
+
+
+class TestSpawner:
+    def _scenario(self, **kw):
+        kw.setdefault("n_tenants", 2)
+        kw.setdefault("seed_data", False)
+        return build_hub_scenario(**kw)
+
+    def test_spawn_is_idempotent(self):
+        s = self._scenario()
+        user = s.hub.users["user00"]
+        assert s.spawner.spawn(user) is s.spawner.active["user00"]
+        assert s.spawner.total_spawned == 2
+
+    def test_servers_get_distinct_ports_and_isolated_fs(self):
+        s = self._scenario()
+        a = s.spawner.active["user00"]
+        b = s.spawner.active["user01"]
+        assert (a.host.name, a.port) != (b.host.name, b.port)
+        a.server.fs.write("home/only-a.txt", b"x")
+        assert not b.server.fs.is_file("home/only-a.txt")
+
+    def test_max_servers_enforced(self):
+        s = self._scenario(hub_config=HubConfig(api_token="t", max_servers=2))
+        with pytest.raises(SpawnError) as e:
+            s.ensure_tenant("overflow")
+        assert e.value.status == 403
+
+    def test_spawn_rate_enforced(self):
+        cfg = HubConfig(api_token="t", spawn_rate_per_minute=2)
+        s = build_hub_scenario(n_tenants=2, seed_data=False, hub_config=cfg)
+        with pytest.raises(SpawnError) as e:
+            s.ensure_tenant("third")
+        assert e.value.status == 429
+        s.run(70.0)  # window passes; spawning resumes
+        assert s.ensure_tenant("third").username == "third"
+
+    def test_stop_releases_port_and_route(self):
+        s = self._scenario()
+        spawned = s.spawner.active["user01"]
+        assert s.spawner.stop("user01")
+        assert spawned.port not in spawned.host.listeners
+        assert "user01" not in s.proxy.routes
+        assert not s.spawner.stop("user01")
+
+    def test_tenant_files_seeded(self):
+        s = self._scenario()
+        server = s.spawner.active["user01"].server
+        assert server.fs.is_file("home/data/measurements_0.csv")
+
+
+class TestReverseProxy:
+    def test_routes_rest_to_the_right_tenant(self):
+        s = build_hub_scenario(n_tenants=3, seed_data=False)
+        client = s.user_client(username="user02")
+        resp = client.request("GET", "/api/status")
+        assert resp.status == 200
+        backend = s.spawner.active["user02"].server
+        assert backend.access_log and backend.access_log[-1].path == "/api/status"
+        assert s.proxy.routes["user02"].requests == 1
+
+    def test_unknown_user_404_stopped_server_503(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        client = s.user_client(username="user00")
+        client.path_prefix = "/user/ghost"
+        assert client.request("GET", "/api/status").status == 403  # not our token
+        hub_client = s.user_client(username="user00")
+        hub_client.token = s.hub_config.api_token
+        hub_client.path_prefix = "/user/ghost"
+        assert hub_client.request("GET", "/api/status").status == 404
+        s.spawner.stop("user01")
+        hub_client.path_prefix = "/user/user01"
+        assert hub_client.request("GET", "/api/status").status == 503
+
+    def test_proxy_denies_cross_tenant_token(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        client = s.user_client(username="user00")
+        client.path_prefix = "/user/user01"
+        resp = client.request("GET", "/api/contents/")
+        assert resp.status == 403
+        assert s.proxy.stats.denied_total == 1
+
+    def test_hub_token_reaches_any_tenant(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        client = s.attacker_client(token=s.hub_config.api_token, tenant="user01")
+        assert client.request("GET", "/api/status").status == 200
+
+    def test_proxy_auth_bypass_routes_anything(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False,
+                               hub_config=insecure_hub_config())
+        client = s.attacker_client(token="", tenant="user01")
+        assert client.request("GET", "/api/status").status == 200
+
+    def test_websocket_execute_through_proxy(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        client = s.user_client(username="user01")
+        client.start_kernel()
+        client.connect_channels()
+        reply = client.execute("6 * 7")
+        assert reply is not None and reply.content["status"] == "ok"
+        assert s.proxy.routes["user01"].ws_upgrades == 1
+        # The kernel ran on user01's backend, not the default tenant's.
+        assert s.spawner.active["user01"].server.kernels
+        assert not s.server.kernels
+
+    def test_route_counters_accumulate(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        client = s.user_client(username="user00")
+        for _ in range(3):
+            client.request("GET", "/api/status")
+        route = s.proxy.routes["user00"]
+        assert route.requests == 3
+        assert route.bytes_in > 0 and route.bytes_out > 0
+        assert route.last_activity > 0
+
+
+class TestHubApi:
+    def test_status_endpoint(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        client = s.user_client(username="user00")
+        payload = client.json("GET", "/hub/api")
+        assert payload["users"] == 2 and payload["servers_running"] == 2
+
+    def test_signup_open_vs_invite(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False,
+                               hub_config=insecure_hub_config())
+        client = s.attacker_client()
+        resp = client.request("POST", "/hub/signup",
+                              json.dumps({"name": "evil"}).encode())
+        assert resp.status == 201
+        assert json.loads(resp.body)["token"]
+
+        s2 = build_hub_scenario(n_tenants=1, seed_data=False)
+        resp2 = s2.attacker_client().request(
+            "POST", "/hub/signup", json.dumps({"name": "evil"}).encode())
+        assert resp2.status == 403
+
+    def test_user_listing_is_admin_only(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        client = s.user_client(username="user00")
+        assert client.request("GET", "/hub/api/users").status == 403
+        client.token = s.hub_config.api_token
+        listing = client.json("GET", "/hub/api/users")
+        assert [u["name"] for u in listing] == ["user00", "user01"]
+
+    def test_server_lifecycle_via_hub_api(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False, spawn_all=False)
+        assert "user01" not in s.spawner.active
+        client = s.user_client(username="user00")
+        client.token = s.hub_config.api_token
+        resp = client.request("POST", "/hub/api/users/user01/server")
+        assert resp.status == 201
+        assert "user01" in s.spawner.active
+        assert client.request("DELETE", "/hub/api/users/user01/server").status == 204
+        assert "user01" not in s.spawner.active
+
+    def test_routes_table_reports_counters(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        user = s.user_client(username="user01")
+        user.request("GET", "/api/status")
+        admin = s.user_client(username="user00")
+        admin.token = s.hub_config.api_token
+        routes = admin.json("GET", "/hub/api/routes")
+        assert routes["/user/user01"]["requests"] == 1
+
+
+class TestIdleCuller:
+    def test_idle_servers_reclaimed(self):
+        cfg = HubConfig(api_token="t", cull_idle_timeout=120.0, cull_interval=30.0)
+        s = build_hub_scenario(n_tenants=3, seed_data=False, hub_config=cfg)
+        s.run(400.0)
+        assert not s.spawner.running()
+        assert {r.username for r in s.culler.culled} == {"user00", "user01", "user02"}
+
+    def test_active_server_survives_idle_ones_die(self):
+        cfg = HubConfig(api_token="t", cull_idle_timeout=200.0, cull_interval=50.0)
+        s = build_hub_scenario(n_tenants=2, seed_data=False, hub_config=cfg)
+        client = s.user_client(username="user00")
+        for _ in range(4):
+            s.run(60.0)
+            client.request("GET", "/api/status")
+        assert "user00" in s.spawner.running()
+        assert "user01" not in s.spawner.running()
+
+    def test_disabled_culler_never_fires(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False,
+                               hub_config=insecure_hub_config())
+        s.run(5000.0)
+        assert s.culler.sweeps == 0
+        assert len(s.spawner.running()) == 2
+
+
+class TestHubMisconfig:
+    def test_insecure_hub_fails_every_check(self):
+        results = run_hub_checks(insecure_hub_config())
+        assert all(not r.passed for r in results)
+        report = MisconfigScanner().scan_hub(insecure_hub_config())
+        assert report.grade == "F"
+        assert {"HUB-002", "HUB-003"} <= {r.check_id for r in report.failures}
+
+    def test_hardened_hub_passes(self):
+        cfg = HubConfig()  # defaults: invite, per-user tokens, proxy auth, culling
+        report = MisconfigScanner().scan_hub(cfg)
+        assert report.grade == "A", [r.check_id for r in report.failures]
+
+    def test_shared_token_is_critical(self):
+        results = {r.check_id: r for r in run_hub_checks(
+            HubConfig(per_user_tokens=False))}
+        assert not results["HUB-002"].passed
+        assert results["HUB-002"].severity.value == "critical"
+
+
+class TestTenantSweepDetector:
+    def test_fires_on_tenant_fanout(self):
+        det = TenantSweepDetector(max_tenants=3)
+        assert det.observe_request(1.0, "6.6.6.6", "/user/a/api/status") is None
+        assert det.observe_request(2.0, "6.6.6.6", "/user/b/api/status") is None
+        notice = det.observe_request(3.0, "6.6.6.6", "/user/c/api/status")
+        assert notice is not None and notice.name == "CROSS_TENANT_SWEEP"
+
+    def test_single_tenant_user_never_fires(self):
+        det = TenantSweepDetector(max_tenants=3)
+        for t in range(50):
+            assert det.observe_request(float(t), "10.0.0.42",
+                                       "/user/alice/api/contents/") is None
+
+    def test_ignores_non_hub_paths(self):
+        det = TenantSweepDetector(max_tenants=2)
+        assert det.observe_request(1.0, "1.2.3.4", "/api/status") is None
+        assert det.observe_request(2.0, "1.2.3.4", "/hub/api") is None
+
+
+class TestCrossTenantPivot:
+    def test_pivot_succeeds_on_shared_token_hub(self):
+        s = build_hub_scenario(n_tenants=5, seed=77,
+                               hub_config=insecure_hub_config())
+        result = CrossTenantPivotAttack().run(s)
+        assert result.success
+        assert result.metrics["tenants_pivoted"] >= 4
+        assert result.metrics["bytes_browsed"] > 0
+        s.run(10.0)
+        assert "CROSS_TENANT_SWEEP" in {n.name for n in s.monitor.logs.notices}
+
+    def test_pivot_fails_on_per_user_token_hub(self):
+        s = build_hub_scenario(n_tenants=5, seed=78)
+        result = CrossTenantPivotAttack().run(s)
+        assert not result.success
+        assert result.metrics["tenants_pivoted"] == 0
+
+    def test_pivot_needs_a_hub(self):
+        from repro.attacks.scenario import build_scenario
+
+        result = CrossTenantPivotAttack().run(build_scenario(seed_data=False))
+        assert not result.success
+
+
+class TestHubScenarioCompat:
+    def test_single_server_attack_runs_unchanged(self):
+        s = build_hub_scenario(n_tenants=2, seed=31)
+        result = StolenTokenAttack().run(s)
+        assert result.success
+
+    def test_workload_on_named_tenant(self):
+        s = build_hub_scenario(n_tenants=2, seed=32, seed_data=False)
+        report = ScientistWorkload(s, username="user01").run_session(cells=3)
+        assert report.cells_executed == 3 and report.errors == 0
+        assert s.spawner.active["user01"].server.kernels
+
+    def test_unknown_username_lands_on_default_tenant(self):
+        s = build_hub_scenario(n_tenants=2, seed=33, seed_data=False)
+        client = s.user_client(username="stolen-session")
+        assert client.path_prefix == "/user/user00"
+        assert client.token == s.token
+
+
+class TestProxyEdgeCases:
+    def test_frames_sent_before_101_are_not_lost(self):
+        """A real client fires frames right behind the handshake without
+        waiting for the 101; the proxy must pipe them once upgraded."""
+        from repro.wire.http import parse_response
+        from repro.wire.websocket import (
+            Opcode, WebSocketDecoder, build_handshake_request, encode_ping)
+
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        client = s.user_client(username="user00")
+        kid = client.start_kernel()
+        conn = s.user_host.connect(s.server_host, s.hub_config.port)
+        state = {"buf": b"", "decoder": None}
+
+        def on_data(data):
+            if state["decoder"] is None:
+                state["buf"] += data
+                resp, rest = parse_response(state["buf"])
+                if resp is None:
+                    return
+                assert resp.status == 101
+                state["decoder"] = WebSocketDecoder()
+                state["decoder"].feed(rest)
+            else:
+                state["decoder"].feed(data)
+
+        conn.on_data_client = on_data
+        req = build_handshake_request(
+            "hub:8000", f"/user/user00/api/kernels/{kid}/channels",
+            "x3JJHMbDL1EzLkh9GBhXDw==", token=s.hub.users["user00"].token)
+        conn.send_to_server(req.encode())
+        # No network.run between: the PING races the 101 through the proxy.
+        conn.send_to_server(encode_ping(b"hi", mask_key=b"\x01\x02\x03\x04"))
+        s.run(5.0)
+        assert state["decoder"] is not None
+        pongs = [(op, p) for op, p in state["decoder"].messages()
+                 if op == Opcode.PONG]
+        assert pongs and pongs[0][1] == b"hi"
+
+    def test_pipelined_local_and_relayed_responses_stay_ordered(self):
+        """A /user (relayed) then /hub (local) request in one segment must
+        answer in request order, not local-first."""
+        from repro.wire.http import HttpRequest, parse_response
+
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        token = s.hub.users["user00"].token
+        raw = (HttpRequest("GET", "/user/user00/api/status",
+                           {"Host": "hub", "Authorization": f"token {token}"}).encode()
+               + HttpRequest("GET", "/hub/api",
+                             {"Host": "hub", "Authorization": f"token {token}"}).encode())
+        conn = s.user_host.connect(s.server_host, s.hub_config.port)
+        responses = []
+        buf = b""
+
+        def on_data(data):
+            nonlocal buf
+            buf += data
+            while True:
+                resp, rest = parse_response(buf)
+                if resp is None:
+                    return
+                responses.append(resp)
+                buf = rest
+
+        conn.on_data_client = on_data
+        conn.send_to_server(raw)
+        s.run(5.0)
+        assert len(responses) == 2
+        assert b"started" in responses[0].body          # backend /api/status
+        assert b"servers_running" in responses[1].body  # hub API second
+
+    def test_proxy_backend_leg_is_not_a_client_login(self):
+        """The proxy's own authenticated requests to backends must not
+        read as stolen-credential logins after the learning period."""
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        s.run(3700.0)  # past NewSourceDetector.learning_until
+        client = s.user_client(username="user00")
+        assert client.request("GET", "/api/status").status == 200
+        proxy_ip = s.proxy.host.ip
+        assert not any(n.name == "NEW_SOURCE_LOGIN" and n.src == proxy_ip
+                       for n in s.monitor.logs.notices)
+
+    def test_closed_channels_are_pruned(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        client = s.user_client(username="user00")
+        for _ in range(5):
+            client.request("GET", "/api/status")
+        s.run(5.0)
+        assert len(s.proxy.channels) == 0
+
+
+class TestHubCli:
+    def test_cli_insecure_with_attack(self, capsys):
+        from repro.cli import hub as cli_hub
+
+        rc = cli_hub.main(["--tenants", "4", "--insecure-hub", "--attack",
+                           "--workload-tenants", "1", "--cells", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attack"]["success"] is True
+        assert payload["hub_scan"]["grade"] == "F"
+        assert "CROSS_TENANT_SWEEP" in payload["monitor_notices"]
+
+    def test_umbrella_dispatcher(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main.main(["-h"]) == 0
+        assert "hub" in capsys.readouterr().out
+        assert cli_main.main([]) == 2  # no subcommand is a usage error
+        assert cli_main.main(["no-such-command"]) == 2

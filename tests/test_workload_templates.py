@@ -1,0 +1,46 @@
+"""Regression: every benign cell template must execute cleanly.
+
+The templates are the benign baseline for every detection experiment —
+a template that errors in a real kernel (e.g. hashing a ``str``) skews
+false-positive accounting, so each one is executed in a live
+:class:`KernelRuntime` against a seeded home directory."""
+
+import pytest
+
+from repro.kernel import KernelRuntime, KernelWorld
+from repro.messaging import Session
+from repro.vfs import VirtualFS
+from repro.workload.scientist import BENIGN_CELL_TEMPLATES
+
+
+def _runtime() -> KernelRuntime:
+    fs = VirtualFS()
+    rows = "\n".join(f"{j},{j % 7},{j % 3}" for j in range(50))
+    fs.write("home/data/measurements_0.csv", ("a,b,c\n" + rows).encode())
+    return KernelRuntime(KernelWorld(fs=fs))
+
+
+@pytest.mark.parametrize("index", range(len(BENIGN_CELL_TEMPLATES)),
+                         ids=lambda i: f"template{i}")
+def test_every_benign_template_executes_ok(index):
+    runtime = _runtime()
+    client = Session(b"", username="scientist", check_replay=False)
+    code = BENIGN_CELL_TEMPLATES[index].format(i=42)
+    messages = runtime.handle(client.execute_request(code))
+    replies = [m for m in messages if m.msg_type == "execute_reply"]
+    assert replies, f"no execute_reply for template {index}"
+    content = replies[-1].content
+    assert content["status"] == "ok", (
+        f"template {index} failed: {content.get('ename')}: {content.get('evalue')}\n{code}")
+
+
+def test_templates_vary_with_parameter():
+    runtime = _runtime()
+    client = Session(b"", username="scientist", check_replay=False)
+    a = BENIGN_CELL_TEMPLATES[0].format(i=10)
+    b = BENIGN_CELL_TEMPLATES[0].format(i=300)
+    assert a != b
+    for code in (a, b):
+        reply = [m for m in runtime.handle(client.execute_request(code))
+                 if m.msg_type == "execute_reply"][-1]
+        assert reply.content["status"] == "ok"
