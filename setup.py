@@ -10,7 +10,7 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.9",
+    python_requires=">=3.10",  # dataclass(slots=True) on the hot wire records
     entry_points={
         "console_scripts": [
             "repro=repro.cli.main:main",

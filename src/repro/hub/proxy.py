@@ -26,7 +26,14 @@ from repro.hub.spawner import SpawnedServer, Spawner, SpawnError
 from repro.hub.users import HubConfig, HubUser, HubUserDirectory, HubUserError
 from repro.simnet import Host, Network, TcpConnection
 from repro.util.errors import ProtocolError
-from repro.wire.http import HttpRequest, HttpResponse, parse_request, parse_response
+from repro.wire.buffer import ByteCursor
+from repro.wire.http import (
+    HEADER_END,
+    HttpRequest,
+    HttpResponse,
+    parse_request_from,
+    parse_response_from,
+)
 
 HUB_VERSION = "1.0"
 
@@ -85,6 +92,7 @@ class ProxyStats:
     denied_total: int = 0
     not_found_total: int = 0
     upstream_errors: int = 0
+    buffer_overflows: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
 
@@ -100,11 +108,11 @@ class _ProxyChannel:
     def __init__(self, proxy: "ReverseProxy", conn: TcpConnection):
         self.proxy = proxy
         self.conn = conn
-        self.buffer = b""
+        self.buffer = ByteCursor()
         self.piping = False
         self.route: Optional[RouteEntry] = None
         self.backend: Optional[TcpConnection] = None
-        self._backend_buffer = b""
+        self._backend_buffer = ByteCursor()
         #: ordered work while a backend relay is in flight: either a
         #: queued relay ("relay", request, route) or an already-computed
         #: local response ("respond", response).
@@ -115,6 +123,8 @@ class _ProxyChannel:
 
     # -- client side ----------------------------------------------------------
     def feed(self, data: bytes) -> None:
+        if not self.conn.open:
+            return  # segments still in flight after we closed on the peer
         if self.piping:
             self.proxy.stats.bytes_in += len(data)
             if self.route is not None:
@@ -123,25 +133,41 @@ class _ProxyChannel:
             if self.backend is not None and self.backend.open:
                 self.backend.send_to_server(data)
             return
-        self.buffer += data
+        self.buffer.append(data)
         while True:
             try:
-                request, rest = parse_request(self.buffer)
+                request = parse_request_from(self.buffer)
             except ProtocolError as e:
                 self.proxy.protocol_errors.append(str(e))
                 self.respond(_json_response(400, {"message": f"bad request: {e}"}))
                 self.conn.close(by_client=False)
                 return
             if request is None:
+                if self._overflowed(self.buffer):
+                    # A request head or body that never completes: reject
+                    # it instead of buffering without bound.  431 when the
+                    # header block itself never ends, 413 when headers are
+                    # fine but the declared body exceeds the cap.
+                    status = 413 if self.buffer.find(HEADER_END) >= 0 else 431
+                    self.respond(_json_response(status, {
+                        "message": "request exceeds proxy buffer limit",
+                        "limit": self.proxy.buffer_limit,
+                    }))
+                    self.conn.close(by_client=False)
                 return
-            self.buffer = rest
             self.proxy.handle_request(self, request)
             if self.piping:
                 # Frames the client sent right behind the handshake.
                 if self.buffer:
-                    leftover, self.buffer = self.buffer, b""
-                    self.feed(leftover)
+                    self.feed(self.buffer.take_all())
                 return
+
+    def _overflowed(self, cursor: ByteCursor) -> bool:
+        limit = self.proxy.buffer_limit
+        if limit <= 0 or len(cursor) <= limit:
+            return False
+        self.proxy.stats.buffer_overflows += 1
+        return True
 
     def respond(self, response: HttpResponse) -> None:
         """Write a response now (bypasses ordering; internal use)."""
@@ -183,7 +209,7 @@ class _ProxyChannel:
         self._busy = True
         self.backend = backend
         self.route = route
-        self._backend_buffer = b""
+        self._backend_buffer.clear()
         upgrade = request.is_websocket_upgrade()
         backend.on_data_client = lambda data: self._on_backend_data(data, upgrade)
         backend.on_close_client = self._on_backend_close
@@ -204,17 +230,27 @@ class _ProxyChannel:
             if self.conn.open:
                 self.conn.send_to_client(data)
             return
-        self._backend_buffer += data
+        self._backend_buffer.append(data)
         try:
-            resp, rest = parse_response(self._backend_buffer)
+            resp = parse_response_from(self._backend_buffer)
         except ProtocolError as e:
             self.proxy.protocol_errors.append(str(e))
             self._finish_backend()
             self.respond(_json_response(502, {"message": "bad upstream response"}))
             return
         if resp is None:
+            if self._overflowed(self._backend_buffer):
+                # A withholding backend (response that never completes)
+                # surfaces as an upstream error, not unbounded growth.
+                self.proxy.stats.upstream_errors += 1
+                self._finish_backend()
+                self.respond(_json_response(502, {
+                    "message": "upstream response exceeds proxy buffer limit",
+                    "limit": self.proxy.buffer_limit,
+                }))
             return
-        self._backend_buffer = b""
+        rest = self._backend_buffer.take_all() if resp.status == 101 else b""
+        self._backend_buffer.clear()
         self.proxy.stats.bytes_out += len(resp.body)
         if route is not None:
             route.bytes_out += len(resp.body)
@@ -229,8 +265,7 @@ class _ProxyChannel:
             # Frames the client sent before the 101 arrived sat in the
             # HTTP buffer (incomplete as a request); pipe them now.
             if self.buffer:
-                leftover, self.buffer = self.buffer, b""
-                self.feed(leftover)
+                self.feed(self.buffer.take_all())
             return
         self._finish_backend()
 
@@ -268,6 +303,8 @@ class ReverseProxy:
         self.spawner = spawner
         self.clock = network.loop.clock
         self.routes: Dict[str, RouteEntry] = {}
+        #: Per-connection parse-buffer cap (bytes); 0 disables the cap.
+        self.buffer_limit = config.proxy_buffer_limit
         self.stats = ProxyStats()
         self.channels: List[_ProxyChannel] = []
         self.protocol_errors: List[str] = []
@@ -447,6 +484,7 @@ class ReverseProxy:
             "denied_total": self.stats.denied_total,
             "not_found_total": self.stats.not_found_total,
             "upstream_errors": self.stats.upstream_errors,
+            "buffer_overflows": self.stats.buffer_overflows,
             "bytes_in": self.stats.bytes_in,
             "bytes_out": self.stats.bytes_out,
         }

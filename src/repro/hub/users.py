@@ -49,6 +49,12 @@ class HubConfig:
     # spawner limits
     max_servers: int = 512           # 0 = unlimited (a DoS invitation)
     spawn_rate_per_minute: int = 0   # 0 = unlimited
+    # proxy relay limits: cap on any one connection's parse buffer, so a
+    # slow or withholding peer (headers that never finish, a body that
+    # never arrives) cannot grow proxy memory without bound.  The proxy
+    # must buffer a whole request before relaying, so this also bounds
+    # request size — the default leaves room for large notebook uploads.
+    proxy_buffer_limit: int = 32 << 20  # bytes; 0 = unlimited (unsafe)
     # culling
     culling_enabled: bool = True
     cull_idle_timeout: float = 600.0

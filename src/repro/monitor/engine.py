@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.monitor.anomaly import (
     BeaconDetector,
@@ -45,7 +45,9 @@ from repro.simnet import NetworkTap, Segment
 from repro.taxonomy.oscrp import Avenue
 from repro.util.entropy import shannon_entropy
 from repro.util.errors import ProtocolError
-from repro.wire.http import parse_request, parse_response
+from repro.wire.buffer import ByteCursor
+from repro.wire.http import parse_request_from, parse_response_from
+from repro.wire.jupyter import LazyJupyterMessage, _json_decode
 from repro.wire.websocket import Opcode, WebSocketDecoder
 from repro.wire.zmtp import SIGNATURE_PREFIX, ZmtpDecoder
 
@@ -66,7 +68,7 @@ class _DirState:
     __slots__ = ("buffer", "protocol", "ws_decoder", "zmtp_decoder", "http_requests")
 
     def __init__(self) -> None:
-        self.buffer = b""
+        self.buffer = ByteCursor()
         self.protocol = "unknown"
         self.ws_decoder: Optional[WebSocketDecoder] = None
         self.zmtp_decoder: Optional[ZmtpDecoder] = None
@@ -74,6 +76,9 @@ class _DirState:
 
 
 _HTTP_METHODS = (b"GET ", b"POST", b"PUT ", b"DELE", b"PATC", b"HEAD", b"OPTI")
+
+#: Opcode -> lowercase name, hoisted out of the per-message hot loop.
+_OPCODE_NAMES = {op: op.name.lower() for op in Opcode}
 
 
 @dataclass
@@ -84,10 +89,19 @@ class MonitorHealth:
     segments_dropped: int = 0
     bytes_seen: int = 0
     parse_errors: int = 0
+    # Per-layer byte accounting: how much of the stream each analyzer
+    # actually consumed (decoder ``bytes_consumed`` deltas, so the WS and
+    # ZMTP numbers line up with the wire-level counters).
+    bytes_http: int = 0
+    bytes_ws: int = 0
+    bytes_zmtp: int = 0
 
     @property
     def drop_rate(self) -> float:
         return self.segments_dropped / self.segments_seen if self.segments_seen else 0.0
+
+    def layer_bytes(self) -> Dict[str, int]:
+        return {"http": self.bytes_http, "websocket": self.bytes_ws, "zmtp": self.bytes_zmtp}
 
 
 class JupyterNetworkMonitor:
@@ -103,6 +117,7 @@ class JupyterNetworkMonitor:
         internal_prefix: str = "10.",
         output_size_threshold: int = 16_384,
         infrastructure_ips: Optional[set] = None,
+        max_buffered_bytes: int = 64 << 20,  # per-direction reassembly cap
     ):
         #: Own-infrastructure sources (e.g. a hub reverse proxy) whose
         #: authenticated traffic is plumbing, not a client logging in —
@@ -110,6 +125,14 @@ class JupyterNetworkMonitor:
         #: leg never reads as a stolen credential or a brute force.
         self.infrastructure_ips = infrastructure_ips or set()
         self.output_size_threshold = output_size_threshold
+        #: Cap on any one direction's unparsed reassembly buffer: a peer
+        #: that opens with an HTTP-looking prefix and then never
+        #: completes a message (withholding-peer DoS) is marked broken
+        #: instead of growing monitor memory and rescan cost.  Sized
+        #: above anything a backend would actually accept (the hub proxy
+        #: allows 32 MiB uploads) so legitimate traffic never trips it.
+        #: 0 = off.
+        self.max_buffered_bytes = max_buffered_bytes
         self.depth = depth
         self.logs = LogStore()
         self.signatures = signatures or SignatureEngine()
@@ -120,6 +143,9 @@ class JupyterNetworkMonitor:
         self._budget_bucket: Tuple[int, int] = (0, 0)  # (second, events)
         self._conns: Dict[str, ConnRecord] = {}
         self._dirstate: Dict[Tuple[str, str], _DirState] = {}
+        #: (src, dst) -> "is internal→external" cache for the byte-level
+        #: detector gate (all three share it; see :meth:`on_segment`).
+        self._egress_flows: Dict[Tuple[str, str], bool] = {}
         # Detector suite.
         self.entropy = EntropyBurstDetector()
         self.egress = EgressVolumeDetector(internal_prefix=internal_prefix)
@@ -155,40 +181,53 @@ class JupyterNetworkMonitor:
 
     # -- segment intake ----------------------------------------------------------------
     def on_segment(self, seg: Segment) -> None:
-        self.health.segments_seen += 1
-        self.health.bytes_seen += seg.size
-        if self._over_budget(seg.ts):
-            self.health.segments_dropped += 1
+        ts, src, dst, size = seg.ts, seg.src, seg.dst, len(seg.payload)
+        health = self.health
+        health.segments_seen += 1
+        health.bytes_seen += size
+        if self.budget > 0 and self._over_budget(ts):
+            health.segments_dropped += 1
             return
-        conn = self._conns.get(seg.conn_id or f"{seg.src}:{seg.sport}->{seg.dst}:{seg.dport}")
-        key = seg.conn_id or f"{seg.src}:{seg.sport}->{seg.dst}:{seg.dport}"
+        key = seg.conn_id or f"{src}:{seg.sport}->{dst}:{seg.dport}"
+        conn = self._conns.get(key)
         if conn is None:
-            conn = ConnRecord(seg.ts, key, seg.src, seg.sport, seg.dst, seg.dport)
+            conn = ConnRecord(ts, key, src, seg.sport, dst, seg.dport)
             self._conns[key] = conn
             self.logs.conn.append(conn)
-        if seg.flags == "R":
+        flags = seg.flags
+        if flags == "R":
             # The reset direction of a refused probe; the SYN already fed
             # the scan detector, so just mark the conn rejected.
             conn.service = conn.service or "rejected"
             return
-        if seg.flags == "S":
-            self._note(self.scan.observe_probe(seg.ts, seg.src, seg.dst, seg.dport))
+        if flags == "S":
+            self._note(self.scan.observe_probe(ts, src, dst, seg.dport))
             return
-        if seg.flags == "F":
+        if flags == "F":
             conn.closed = True
-            conn.duration = seg.ts - conn.ts
+            conn.duration = ts - conn.ts
             return
-        origin_to_responder = seg.src == conn.src and seg.sport == conn.sport
+        origin_to_responder = src == conn.src and seg.sport == conn.sport
         if origin_to_responder:
-            conn.bytes_orig += seg.size
+            conn.bytes_orig += size
         else:
-            conn.bytes_resp += seg.size
+            conn.bytes_resp += size
         # Egress accounting happens at the segment level: every outbound
-        # byte counts, regardless of protocol.
-        self._note(self.egress.observe_bytes(seg.ts, seg.src, seg.dst, seg.size))
-        self._note(self.cusum.observe_bytes(seg.ts, seg.src, seg.dst, seg.size))
-        self._note(self.beacon.observe_send(seg.ts, seg.src, seg.dst, seg.size))
-        if self.depth >= AnalyzerDepth.HTTP and seg.payload:
+        # byte counts, regardless of protocol.  All three byte-level
+        # detectors gate on the same internal→external test, so the
+        # verdict is cached per flow and internal↔internal traffic (the
+        # vast majority at a hub tap) skips the fan-out entirely.
+        flow = (src, dst)
+        is_egress = self._egress_flows.get(flow)
+        if is_egress is None:
+            prefix = self.internal_prefix
+            is_egress = src.startswith(prefix) and not dst.startswith(prefix)
+            self._egress_flows[flow] = is_egress
+        if is_egress:
+            self._note(self.egress.observe_bytes(ts, src, dst, size))
+            self._note(self.cusum.observe_bytes(ts, src, dst, size))
+            self._note(self.beacon.observe_send(ts, src, dst, size))
+        if size and self.depth >= AnalyzerDepth.HTTP:
             self._analyze(seg, conn, origin_to_responder)
 
     # -- protocol analysis ----------------------------------------------------------------
@@ -202,43 +241,67 @@ class JupyterNetworkMonitor:
 
     def _analyze(self, seg: Segment, conn: ConnRecord, orig: bool) -> None:
         state = self._dir(conn, orig)
-        state.buffer += seg.payload
-        if state.protocol == "unknown":
-            self._sniff(state, conn)
         try:
+            # Upgraded protocols skip the direction buffer entirely:
+            # segment payloads go straight into the incremental decoder
+            # (zero staging copies).  Protocols nothing will ever parse
+            # ("opaque", "broken", or layers above our depth) buffer
+            # nothing, so a firehose of unparseable traffic cannot grow
+            # monitor memory.
+            if state.protocol == "websocket":
+                if self.depth >= AnalyzerDepth.WEBSOCKET:
+                    self._feed_ws(seg.ts, conn, orig, state, seg.payload)
+                return
+            if state.protocol == "zmtp":
+                if self.depth >= AnalyzerDepth.ZMTP:
+                    self._feed_zmtp(seg.ts, conn, orig, state, seg.payload)
+                return
+            if state.protocol in ("opaque", "broken"):
+                return
+            state.buffer.append(seg.payload)
+            if self.max_buffered_bytes and len(state.buffer) > self.max_buffered_bytes:
+                raise ProtocolError(
+                    f"direction buffer exceeds cap ({len(state.buffer)} > "
+                    f"{self.max_buffered_bytes}) without a parseable message")
+            if state.protocol == "unknown":
+                self._sniff(state, conn)
             if state.protocol == "http":
                 self._analyze_http(seg, conn, orig, state)
-            elif state.protocol == "websocket" and self.depth >= AnalyzerDepth.WEBSOCKET:
-                self._analyze_websocket(seg, conn, orig, state)
-            elif state.protocol == "zmtp" and self.depth >= AnalyzerDepth.ZMTP:
-                self._analyze_zmtp(seg, conn, orig, state)
+            elif state.protocol == "zmtp":
+                # Sniffed just now: drain the sniff buffer into the decoder.
+                if self.depth >= AnalyzerDepth.ZMTP:
+                    self._feed_zmtp(seg.ts, conn, orig, state, state.buffer.take_all())
+                else:
+                    state.buffer.clear()
         except ProtocolError as e:
             self.health.parse_errors += 1
             self.logs.weird.append(WeirdRecord(seg.ts, conn.uid, "parse_error", str(e)))
             state.protocol = "broken"
-            state.buffer = b""
+            state.buffer.clear()
 
     def _sniff(self, state: _DirState, conn: ConnRecord) -> None:
-        buf = state.buffer
-        if len(buf) < 4:
+        if len(state.buffer) < 4:
             return
-        if buf[:4] in _HTTP_METHODS or buf.startswith(b"HTTP/"):
+        head = state.buffer.peek(5)
+        if head[:4] in _HTTP_METHODS or head.startswith(b"HTTP/"):
             state.protocol = "http"
             conn.service = conn.service or "http"
-        elif buf.startswith(SIGNATURE_PREFIX[:4]):
+        elif head.startswith(SIGNATURE_PREFIX[:4]):
             state.protocol = "zmtp"
-            state.zmtp_decoder = ZmtpDecoder()
+            state.zmtp_decoder = ZmtpDecoder(collect_commands=False)
             conn.service = "zmtp"
         else:
             state.protocol = "opaque"
+            state.buffer.clear()
 
     def _analyze_http(self, seg: Segment, conn: ConnRecord, orig: bool, state: _DirState) -> None:
         while True:
             if orig:
-                req, rest = parse_request(state.buffer)
+                consumed_before = state.buffer.total_consumed
+                req = parse_request_from(state.buffer)
                 if req is None:
                     return
-                state.buffer = rest
+                self.health.bytes_http += state.buffer.total_consumed - consumed_before
                 rec = HttpRecord(
                     ts=seg.ts, uid=conn.uid, src=conn.src, dst=conn.dst,
                     method=req.method, path=req.path,
@@ -262,10 +325,11 @@ class JupyterNetworkMonitor:
                 else:
                     state.http_requests.append((req.method, req.path))
             else:
-                resp, rest = parse_response(state.buffer)
+                consumed_before = state.buffer.total_consumed
+                resp = parse_response_from(state.buffer)
                 if resp is None:
                     return
-                state.buffer = rest
+                self.health.bytes_http += state.buffer.total_consumed - consumed_before
                 peer = self._dir(conn, True)
                 method, path = peer.http_requests.pop(0) if peer.http_requests else ("", "")
                 for rec in reversed(self.logs.http):
@@ -284,15 +348,16 @@ class JupyterNetworkMonitor:
                 if resp.status == 101:
                     if method == "UPGRADE":
                         conn.service = "websocket"
-                        # Both directions switch to WS framing.
+                        # Both directions switch to WS framing; any bytes
+                        # already buffered (frames behind the handshake)
+                        # drain straight into the new decoders.
                         for d in (True, False):
                             s = self._dir(conn, d)
                             s.protocol = "websocket"
-                            s.ws_decoder = WebSocketDecoder()
-                        state.buffer, leftover = b"", state.buffer
-                        if leftover and self.depth >= AnalyzerDepth.WEBSOCKET:
-                            self._dir(conn, orig).buffer = b""
-                            self._feed_ws(seg, conn, orig, leftover)
+                            s.ws_decoder = WebSocketDecoder(collect_frames=False)
+                            leftover = s.buffer.take_all()
+                            if leftover and self.depth >= AnalyzerDepth.WEBSOCKET:
+                                self._feed_ws(seg.ts, conn, d, s, leftover)
                     return
 
     @staticmethod
@@ -311,80 +376,121 @@ class JupyterNetworkMonitor:
         except (json.JSONDecodeError, ValueError, AttributeError):
             return body
 
-    def _analyze_websocket(self, seg: Segment, conn: ConnRecord, orig: bool, state: _DirState) -> None:
-        data, state.buffer = state.buffer, b""
-        self._feed_ws(seg, conn, orig, data)
+    #: msg_types whose content size feeds the output-smuggling detector.
+    _OUTPUT_MSG_TYPES = frozenset(("execute_result", "display_data", "stream"))
 
-    def _feed_ws(self, seg: Segment, conn: ConnRecord, orig: bool, data: bytes) -> None:
-        state = self._dir(conn, orig)
+    def _feed_ws(self, ts: float, conn: ConnRecord, orig: bool, state: _DirState,
+                 data: bytes) -> None:
         if state.ws_decoder is None:
-            state.ws_decoder = WebSocketDecoder()
-        state.ws_decoder.feed(data)
+            state.ws_decoder = WebSocketDecoder(collect_frames=False)
+        decoder = state.ws_decoder
+        consumed_before = decoder.bytes_consumed
+        decoder.feed(data)
+        self.health.bytes_ws += decoder.bytes_consumed - consumed_before
+        msgs = decoder.messages()
+        if not msgs:
+            return
         src = conn.src if orig else conn.dst
         dst = conn.dst if orig else conn.src
-        for opcode, payload in state.ws_decoder.messages():
-            self.logs.websocket.append(WebSocketRecord(
-                ts=seg.ts, uid=conn.uid, src=src, dst=dst,
-                opcode=opcode.name.lower(), payload_bytes=len(payload),
-                masked=orig, entropy=round(shannon_entropy(payload), 3),
+        # Batched fan-out: one pass over the drained messages; records and
+        # notices accumulate locally and the log-store counters update
+        # once per feed, not once per frame.
+        uid = conn.uid
+        jupyter_depth = self.depth >= AnalyzerDepth.JUPYTER
+        ws_records = []
+        jupyter_records: List[JupyterMsgRecord] = []
+        notices: List[Notice] = []
+        weird: List[WeirdRecord] = []
+        make_ws_record = WebSocketRecord
+        entropy_of = shannon_entropy
+        for opcode, payload in msgs:
+            # Positional args: these constructors run once per message.
+            ws_records.append(make_ws_record(
+                ts, uid, src, dst, _OPCODE_NAMES[opcode], len(payload),
+                orig, round(entropy_of(payload), 3),
             ))
-            if self.depth >= AnalyzerDepth.JUPYTER and opcode in (Opcode.TEXT, Opcode.BINARY):
-                self._analyze_jupyter_ws(seg.ts, conn, src, dst, payload)
+            if jupyter_depth and (opcode is Opcode.TEXT or opcode is Opcode.BINARY):
+                self._analyze_jupyter_ws(ts, uid, src, dst, payload,
+                                         jupyter_records, notices, weird)
+        self.logs.websocket.extend(ws_records)
+        if jupyter_records:
+            self.logs.jupyter.extend(jupyter_records)
+        if notices:
+            self.logs.notices.extend(notices)
+        if weird:
+            self.logs.weird.extend(weird)
 
-    def _analyze_jupyter_ws(self, ts: float, conn: ConnRecord, src: str, dst: str, payload: bytes) -> None:
-        try:
-            d = json.loads(payload)
-            header = d.get("header", {})
-        except (json.JSONDecodeError, AttributeError):
-            self.logs.weird.append(WeirdRecord(ts, conn.uid, "ws_not_jupyter", ""))
+    def _analyze_jupyter_ws(self, ts: float, uid: str, src: str, dst: str, payload: bytes,
+                            records: List[JupyterMsgRecord], notices: List[Notice],
+                            weird: List[WeirdRecord]) -> None:
+        msg = LazyJupyterMessage.parse(payload)
+        header = msg.header if msg is not None else None
+        if type(header) is not dict or "msg_type" not in header:
+            weird.append(WeirdRecord(ts, uid, "ws_not_jupyter", ""))
             return
-        if not isinstance(header, dict) or "msg_type" not in header:
-            self.logs.weird.append(WeirdRecord(ts, conn.uid, "ws_not_jupyter", ""))
-            return
-        content = d.get("content", {}) if isinstance(d.get("content"), dict) else {}
-        code = str(content.get("code", ""))
-        output_size = 0
-        if header.get("msg_type") in ("execute_result", "display_data", "stream"):
-            output_size = len(json.dumps(content))
+        get = header.get
+        msg_type = get("msg_type", "")
+        if type(msg_type) is not str:
+            msg_type = str(msg_type)
+        session = get("session", "")
+        username = get("username", "")
+        # Lazy content: only messages that can possibly carry code pay
+        # the content JSON decode; everything else is sized from the raw
+        # span without being parsed at all.
+        code = ""
+        if msg.content_contains(b'"code"'):
+            content = msg.content
+            if isinstance(content, dict):
+                code = content.get("code", "")
+                if type(code) is not str:
+                    code = str(code)
+        output_size = msg.content_size() if msg_type in self._OUTPUT_MSG_TYPES else 0
         rec = JupyterMsgRecord(
-            ts=ts, uid=conn.uid, src=src, dst=dst,
-            channel=str(d.get("channel", "")), msg_type=str(header.get("msg_type", "")),
-            session=str(header.get("session", "")), username=str(header.get("username", "")),
-            code_size=len(code), output_size=output_size, code=code,
+            ts, uid, src, dst, msg.channel, msg_type,
+            session if type(session) is str else str(session),
+            username if type(username) is str else str(username),
+            len(code), output_size, code,
         )
-        self.logs.jupyter.append(rec)
-        self._check_output_size(rec)
-        for n in self.signatures.scan_jupyter(rec):
-            self.logs.notices.append(n)
+        records.append(rec)
+        if output_size > self.output_size_threshold:
+            notices.append(self._oversized_output_notice(rec))
+        if code:
+            notices.extend(self.signatures.scan_jupyter(rec))
 
-    def _check_output_size(self, rec: JupyterMsgRecord) -> None:
+    def _oversized_output_notice(self, rec: JupyterMsgRecord) -> Notice:
         """Output-channel smuggling: data exfiltrated *through iopub* never
         touches an attacker socket, so volume detectors are blind — but a
         single text output larger than any plausible repr is the tell."""
-        if rec.output_size > self.output_size_threshold:
-            self.logs.notices.append(Notice(
-                ts=rec.ts, detector="jupyter-layer", name="OVERSIZED_OUTPUT",
-                severity="high", src=rec.src, dst=rec.dst,
-                avenue=Avenue.DATA_EXFILTRATION,
-                detail={"output_size": rec.output_size, "msg_type": rec.msg_type,
-                        "threshold": self.output_size_threshold},
-            ))
+        return Notice(
+            ts=rec.ts, detector="jupyter-layer", name="OVERSIZED_OUTPUT",
+            severity="high", src=rec.src, dst=rec.dst,
+            avenue=Avenue.DATA_EXFILTRATION,
+            detail={"output_size": rec.output_size, "msg_type": rec.msg_type,
+                    "threshold": self.output_size_threshold},
+        )
 
-    def _analyze_zmtp(self, seg: Segment, conn: ConnRecord, orig: bool, state: _DirState) -> None:
-        data, state.buffer = state.buffer, b""
-        assert state.zmtp_decoder is not None
-        state.zmtp_decoder.feed(data)
+    def _feed_zmtp(self, ts: float, conn: ConnRecord, orig: bool, state: _DirState,
+                   data: bytes) -> None:
+        if state.zmtp_decoder is None:
+            state.zmtp_decoder = ZmtpDecoder(collect_commands=False)
+        decoder = state.zmtp_decoder
+        consumed_before = decoder.bytes_consumed
+        decoder.feed(data)
+        self.health.bytes_zmtp += decoder.bytes_consumed - consumed_before
+        msgs = decoder.messages()
+        if not msgs:
+            return
         src = conn.src if orig else conn.dst
         dst = conn.dst if orig else conn.src
-        mechanism = (state.zmtp_decoder.greeting or {}).get("mechanism", "")
-        for parts in state.zmtp_decoder.messages():
-            self.logs.zmtp.append(ZmtpRecord(
-                ts=seg.ts, uid=conn.uid, src=src, dst=dst,
-                parts=len(parts), payload_bytes=sum(len(p) for p in parts),
-                mechanism=mechanism,
-            ))
-            if self.depth >= AnalyzerDepth.JUPYTER:
-                self._analyze_jupyter_zmtp(seg.ts, conn, src, dst, parts)
+        mechanism = (decoder.greeting or {}).get("mechanism", "")
+        uid = conn.uid
+        self.logs.zmtp.extend([
+            ZmtpRecord(ts, uid, src, dst, len(parts), sum(map(len, parts)), mechanism)
+            for parts in msgs
+        ])
+        if self.depth >= AnalyzerDepth.JUPYTER:
+            for parts in msgs:
+                self._analyze_jupyter_zmtp(ts, conn, src, dst, parts)
 
     def _analyze_jupyter_zmtp(self, ts: float, conn: ConnRecord, src: str, dst: str,
                               parts: List[bytes]) -> None:
@@ -392,21 +498,35 @@ class JupyterNetworkMonitor:
             idx = parts.index(b"<IDS|MSG>")
         except ValueError:
             return
-        after = parts[idx + 1:]
-        if len(after) < 5:
+        if len(parts) - idx - 1 < 5:
             return
-        signature, header_b, _parent, _md, content_b = after[:5]
+        signature = parts[idx + 1]
+        header_b = parts[idx + 2]
+        content_b = parts[idx + 5]
         try:
-            header = json.loads(header_b)
-            content = json.loads(content_b)
-        except json.JSONDecodeError:
+            header = _json_decode(header_b.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
             self.logs.weird.append(WeirdRecord(ts, conn.uid, "zmtp_bad_jupyter_json", ""))
             return
+        # Lazy content: small content (the overwhelmingly common case) is
+        # decoded eagerly, keeping the seed's full malformed-JSON
+        # detection.  Large content is decoded only when it can actually
+        # carry ``code`` — a ``\u`` escape could spell the key, so it also
+        # forces a decode; oversize code-free content (big outputs) is
+        # sized without validation, a documented fidelity/DoS trade.
+        content: Any = None
+        if (len(content_b) <= 4096
+                or b'"code"' in content_b or b"\\u" in content_b):
+            try:
+                content = _json_decode(content_b.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self.logs.weird.append(WeirdRecord(ts, conn.uid, "zmtp_bad_jupyter_json", ""))
+                return
         sig_ok: Optional[bool] = None
         if self.session_key:
             from repro.crypto.signing import HMACSigner
 
-            sig_ok = HMACSigner(self.session_key).verify(after[1:5], signature)
+            sig_ok = HMACSigner(self.session_key).verify(parts[idx + 2 : idx + 6], signature)
             if not sig_ok:
                 self.logs.notices.append(Notice(
                     ts=ts, detector="integrity", name="BAD_MESSAGE_SIGNATURE", severity="high",
@@ -421,8 +541,9 @@ class JupyterNetworkMonitor:
             code_size=len(code), output_size=0, code=code, signature_ok=sig_ok,
         )
         self.logs.jupyter.append(rec)
-        for n in self.signatures.scan_jupyter(rec):
-            self.logs.notices.append(n)
+        if code:
+            for n in self.signatures.scan_jupyter(rec):
+                self.logs.notices.append(n)
 
     # -- external observation feeds (audit plane, server logs) ---------------------------
     def observe_file_write(self, ts: float, path: str, content: bytes, *, src: str = "kernel") -> None:
@@ -442,6 +563,7 @@ class JupyterNetworkMonitor:
                 "dropped": self.health.segments_dropped,
                 "bytes": self.health.bytes_seen,
                 "parse_errors": self.health.parse_errors,
+                "layer_bytes": self.health.layer_bytes(),
             },
             "logs": self.logs.counts(),
             "notices": sorted({n.name for n in self.logs.notices}),

@@ -15,7 +15,7 @@ from typing import Any, Dict, List, Optional
 from repro.taxonomy.oscrp import Avenue
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnRecord:
     """One TCP connection (conn.log)."""
 
@@ -32,7 +32,7 @@ class ConnRecord:
     duration: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class HttpRecord:
     """One HTTP transaction (http.log)."""
 
@@ -49,7 +49,7 @@ class HttpRecord:
     user_agent: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class WebSocketRecord:
     """One WebSocket message (websocket.log, à la Zeek PR #3555)."""
 
@@ -63,7 +63,7 @@ class WebSocketRecord:
     entropy: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ZmtpRecord:
     """One ZMTP multipart message (the analyzer Zeek lacks)."""
 
@@ -76,7 +76,7 @@ class ZmtpRecord:
     mechanism: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class JupyterMsgRecord:
     """One Jupyter-protocol message, from either WS or ZMTP framing."""
 
@@ -94,7 +94,7 @@ class JupyterMsgRecord:
     signature_ok: Optional[bool] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class WeirdRecord:
     """Protocol anomalies the analyzers could not interpret (weird.log)."""
 
@@ -104,7 +104,7 @@ class WeirdRecord:
     detail: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Notice:
     """An actionable security notice (notice.log), OSCRP-tagged."""
 

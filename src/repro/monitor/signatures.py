@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Pattern
+from typing import Any, Callable, Dict, List, Optional, Pattern, Tuple
 
 from repro.monitor.logs import HttpRecord, JupyterMsgRecord, Notice
 from repro.taxonomy.oscrp import Avenue
@@ -29,6 +29,12 @@ class Signature:
     severity: str = "high"
     avenue: Optional[Avenue] = None
     source: str = "builtin"   # "builtin" | "honeypot:<name>" | "intel"
+    #: Content prefilter (à la Suricata's fast-pattern): lowercase
+    #: literals, at least one of which MUST appear in any text the regex
+    #: can match.  Lets the engine gate the (expensive) regex pass behind
+    #: C substring checks.  Empty = no safe anchor known; the rule's
+    #: family then always runs its full regex loop.
+    anchors: Tuple[str, ...] = ()
     _compiled: Optional[Pattern[str]] = field(default=None, repr=False, compare=False)
 
     def compiled(self) -> Pattern[str]:
@@ -44,25 +50,32 @@ class Signature:
 BUILTIN_SIGNATURES: List[Signature] = [
     Signature("SIG-MINER-POOL", "Stratum mining pool handshake in cell code",
               "jupyter-code", r"stratum\+tcp://|mining\.subscribe|minexmr|xmrig",
-              avenue=Avenue.CRYPTOMINING),
+              avenue=Avenue.CRYPTOMINING,
+              anchors=("stratum+tcp://", "mining.subscribe", "minexmr", "xmrig")),
     Signature("SIG-RANSOM-NOTE", "Ransom note vocabulary in cell code",
               "jupyter-code", r"(files (are|have been) encrypted|bitcoin|decryption key|pay.{0,20}ransom)",
-              avenue=Avenue.RANSOMWARE),
+              avenue=Avenue.RANSOMWARE,
+              anchors=("encrypted", "bitcoin", "decryption key", "ransom")),
     Signature("SIG-REVSHELL", "Reverse shell one-liner",
               "jupyter-code", r"(/dev/tcp/|nc -e|bash -i >&|socket\.socket\(\).{0,80}subprocess)",
-              avenue=Avenue.ZERO_DAY),
+              avenue=Avenue.ZERO_DAY,
+              anchors=("/dev/tcp/", "nc -e", "bash -i >&", "socket.socket()")),
     Signature("SIG-CRED-HARVEST", "Credential file access from cell code",
               "jupyter-code", r"(\.ssh/id_rsa|\.aws/credentials|JUPYTER_TOKEN|/etc/passwd)",
-              avenue=Avenue.ACCOUNT_TAKEOVER),
+              avenue=Avenue.ACCOUNT_TAKEOVER,
+              anchors=(".ssh/id_rsa", ".aws/credentials", "jupyter_token", "/etc/passwd")),
     Signature("SIG-PIPE-SH", "Download-and-execute staging",
               "terminal", r"(curl|wget).{0,120}\|\s*(ba)?sh",
-              avenue=Avenue.ZERO_DAY),
+              avenue=Avenue.ZERO_DAY,
+              anchors=("curl", "wget")),
     Signature("SIG-LSP-TRAVERSAL", "jupyter-lsp path traversal probe (CVE-2024-22415)",
               "http-path", r"/lsp/.*\.\./",
-              avenue=Avenue.ZERO_DAY),
+              avenue=Avenue.ZERO_DAY,
+              anchors=("/lsp/",)),
     Signature("SIG-API-SCAN", "Scanner fingerprinting the /api endpoint",
               "http-path", r"^/api/?$",
-              severity="low", avenue=Avenue.MISCONFIGURATION),
+              severity="low", avenue=Avenue.MISCONFIGURATION,
+              anchors=("/api",)),
 ]
 
 
@@ -72,6 +85,8 @@ class SignatureEngine:
     def __init__(self, signatures: Optional[List[Signature]] = None):
         self.signatures: List[Signature] = list(signatures if signatures is not None else BUILTIN_SIGNATURES)
         self.match_count: Dict[str, int] = {}
+        self._family_index: Dict[str, Tuple[List[Signature], Optional[Pattern[str]]]] = {}
+        self._indexed_count = -1
 
     def add(self, signature: Signature) -> None:
         """Install a rule (threat-intel ingestion path). Id-dedups."""
@@ -81,10 +96,46 @@ class SignatureEngine:
     def ids(self) -> List[str]:
         return [s.sig_id for s in self.signatures]
 
+    def _by_family(self, family: str) -> Tuple[List[Signature], Optional[Tuple[str, ...]]]:
+        """Per-family ``(rules, anchor_literals)``, rebuilt when rules were
+        added.  When *every* rule in a family declares anchors, benign
+        text (the overwhelmingly common case) is cleared by a handful of
+        C substring checks instead of one regex search per rule; a single
+        anchorless rule disables the shortcut for its whole family."""
+        if self._indexed_count != len(self.signatures):
+            index: Dict[str, List[Signature]] = {}
+            for sig in self.signatures:
+                index.setdefault(sig.family, []).append(sig)
+            combined: Dict[str, Tuple[List[Signature], Optional[Tuple[str, ...]]]] = {}
+            for fam, sigs in index.items():
+                anchors: Optional[Tuple[str, ...]] = None
+                if all(s.anchors for s in sigs):
+                    seen: Dict[str, None] = {}
+                    for s in sigs:
+                        for a in s.anchors:
+                            seen[a.lower()] = None
+                    anchors = tuple(seen)
+                combined[fam] = (sigs, anchors)
+            self._family_index = combined
+            self._indexed_count = len(self.signatures)
+        return self._family_index.get(family, ([], None))
+
     def _match(self, family: str, text: str) -> List[Signature]:
+        if not text:
+            return []
+        sigs, anchors = self._by_family(family)
+        if not sigs:
+            return []
+        if anchors is not None:
+            lowered = text.lower()
+            for a in anchors:
+                if a in lowered:
+                    break
+            else:
+                return []
         hits = []
-        for sig in self.signatures:
-            if sig.family == family and text and sig.matches(text):
+        for sig in sigs:
+            if sig.matches(text):
                 hits.append(sig)
                 self.match_count[sig.sig_id] = self.match_count.get(sig.sig_id, 0) + 1
         return hits

@@ -25,7 +25,8 @@ from repro.server.app import JupyterServer
 from repro.simnet import Host, TcpConnection
 from repro.util.errors import ProtocolError
 from repro.util.ids import new_id
-from repro.wire.http import HttpRequest, HttpResponse, parse_request, parse_response
+from repro.wire.buffer import ByteCursor
+from repro.wire.http import HttpRequest, HttpResponse, parse_request_from, parse_response
 from repro.wire.websocket import (
     Opcode,
     WebSocketDecoder,
@@ -40,10 +41,16 @@ from repro.wire.websocket import (
 class _GatewayConnection:
     """Per-TCP-connection state machine on the server side."""
 
+    #: Cap on the unparsed request buffer — a head that never completes
+    #: or a body beyond any legitimate upload must not grow server
+    #: memory without bound (same withholding-peer guard the hub proxy
+    #: and monitor have).
+    MAX_BUFFER = 64 << 20
+
     def __init__(self, gateway: "ServerGateway", conn: TcpConnection):
         self.gateway = gateway
         self.conn = conn
-        self.buffer = b""
+        self.buffer = ByteCursor()
         self.upgraded = False
         self.ws_decoder: Optional[WebSocketDecoder] = None
         self.kernel_id: Optional[str] = None
@@ -51,25 +58,30 @@ class _GatewayConnection:
         conn.on_close_server = self.on_close
 
     def feed(self, data: bytes) -> None:
+        if not self.conn.open:
+            return  # segments still in flight after we closed on the peer
         if self.upgraded:
             self._feed_websocket(data)
             return
-        self.buffer += data
+        self.buffer.append(data)
         while True:
             try:
-                request, rest = parse_request(self.buffer)
+                request = parse_request_from(self.buffer)
             except ProtocolError as e:
                 self.gateway.protocol_errors.append(str(e))
                 self.conn.close(by_client=False)
                 return
             if request is None:
+                if len(self.buffer) > self.MAX_BUFFER:
+                    self.gateway.protocol_errors.append("request exceeds buffer cap")
+                    self.conn.send_to_client(HttpResponse(
+                        413, body=b"request exceeds buffer cap").encode())
+                    self.conn.close(by_client=False)
                 return
-            self.buffer = rest
             self._handle_http(request)
             if self.upgraded:
                 if self.buffer:
-                    remaining, self.buffer = self.buffer, b""
-                    self._feed_websocket(remaining)
+                    self._feed_websocket(self.buffer.take_all())
                 return
 
     # -- HTTP ---------------------------------------------------------------------
@@ -81,7 +93,7 @@ class _GatewayConnection:
             self.conn.send_to_client(response.encode())
             if response.status == 101:
                 self.upgraded = True
-                self.ws_decoder = WebSocketDecoder()
+                self.ws_decoder = WebSocketDecoder(collect_frames=False)
                 self.kernel_id = kernel_id
                 self.gateway.attach_ws_bridge(self)
             return
@@ -270,7 +282,7 @@ class WebSocketKernelClient:
                     return
                 if resp.status != 101:
                     raise ProtocolError(f"upgrade refused: {resp.status}")
-                self._ws_decoder = WebSocketDecoder()
+                self._ws_decoder = WebSocketDecoder(collect_frames=False)
                 upgraded.append(True)
                 if rest:
                     self._feed_ws(rest)

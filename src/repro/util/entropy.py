@@ -21,6 +21,21 @@ try:  # numpy is present in the target environment; fall back gracefully.
 except ImportError:  # pragma: no cover
     _np = None
 
+#: Precomputed c·log2(c) for counts up to 64 KiB, so the entropy hot path
+#: (one call per decoded WebSocket message) is a histogram, a table
+#: gather, and a sum — no per-call log vectors.  H = log2(n) − Σc·log2(c)/n.
+_CLOG2_LIMIT = 65536
+_clog2_table = None
+
+
+def _clog2(counts) -> float:
+    global _clog2_table
+    if _clog2_table is None:
+        c = _np.arange(_CLOG2_LIMIT + 1, dtype=_np.float64)
+        c[0] = 1.0  # avoid log2(0); 0·log2(0) := 0
+        _clog2_table = _np.arange(_CLOG2_LIMIT + 1, dtype=_np.float64) * _np.log2(c)
+    return float(_clog2_table.take(counts).sum())
+
 
 def byte_histogram(data: bytes) -> Sequence[int]:
     """Return a 256-bin count histogram of ``data``."""
@@ -45,6 +60,12 @@ def shannon_entropy(data: bytes) -> float:
     if n == 0:
         return 0.0
     if _np is not None:
+        if n <= _CLOG2_LIMIT:
+            # No minlength: the table gather only needs occupied bins.
+            counts = _np.bincount(_np.frombuffer(data, dtype=_np.uint8))
+            # max() clamps the ~1e-15 negative residue of the identity
+            # for single-symbol inputs.
+            return max(0.0, math.log2(n) - _clog2(counts) / n)
         counts = _np.bincount(_np.frombuffer(data, dtype=_np.uint8), minlength=256)
         nz = counts[counts > 0].astype(_np.float64)
         p = nz / n

@@ -7,7 +7,16 @@ exact layers the paper says "challenge even the most state-of-the-art
 network observability tools".
 """
 
-from repro.wire.http import HttpRequest, HttpResponse, parse_request, parse_response
+from repro.wire.buffer import ByteCursor
+from repro.wire.http import (
+    HttpRequest,
+    HttpResponse,
+    parse_request,
+    parse_request_from,
+    parse_response,
+    parse_response_from,
+)
+from repro.wire.jupyter import LazyJupyterMessage, scan_spans
 from repro.wire.websocket import (
     Frame,
     Opcode,
@@ -34,10 +43,15 @@ from repro.wire.zmtp import (
 )
 
 __all__ = [
+    "ByteCursor",
     "HttpRequest",
     "HttpResponse",
+    "LazyJupyterMessage",
+    "scan_spans",
     "parse_request",
+    "parse_request_from",
     "parse_response",
+    "parse_response_from",
     "Frame",
     "Opcode",
     "WebSocketDecoder",

@@ -1,0 +1,141 @@
+"""Shared zero-copy byte cursor for all incremental wire decoders.
+
+Every stream parser in this codebase (WebSocket, ZMTP, HTTP, the
+monitor's per-direction reassembly buffers, the hub proxy's relay
+buffers) used to follow the same pattern::
+
+    self._buffer += data                  # copy #1
+    frame, self._buffer = decode(...)     # copy #2: re-slice the tail
+
+Both lines copy the *entire* unconsumed buffer, so feeding N bytes in
+k chunks costs O(N * k) — quadratic when chunks are small, which is
+exactly what a passive tap sees.  ``ByteCursor`` replaces that with a
+bytearray plus a consumed-offset: appends are amortized O(1), consuming
+advances an integer, and parsers read through :meth:`view` memoryviews
+without copying.  The dead prefix is compacted away only when it is both
+large and the majority of the allocation, keeping total work O(N).
+
+Rules for parser authors:
+
+- :meth:`view` returns a memoryview of the unread region.  Release it
+  (``with cursor.view() as v:``) before calling :meth:`append`,
+  :meth:`skip`, :meth:`take` or anything else that may resize the
+  underlying bytearray, or Python raises :class:`BufferError`.
+- :meth:`peek` copies and is meant for small fixed headers.
+- Copy payload bytes out (``bytes(v[a:b])``) exactly once, when a
+  complete message is known to be present.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+BytesLike = Union[bytes, bytearray, memoryview]
+
+#: Compact only once this many dead bytes have accumulated; below it the
+#: occasional memmove costs more than the memory it reclaims.
+DEFAULT_COMPACT_AT = 64 * 1024
+
+
+class ByteCursor:
+    """A growable byte buffer with an O(1) consume cursor."""
+
+    __slots__ = ("_buf", "_pos", "_compact_at", "_mark", "total_appended", "total_consumed")
+
+    def __init__(self, data: BytesLike = b"", *, compact_at: int = DEFAULT_COMPACT_AT):
+        self._buf = bytearray(data)
+        self._pos = 0
+        self._compact_at = max(1, compact_at)
+        self._mark = 0  # find_marked() resume point (cursor-relative)
+        self.total_appended = len(self._buf)
+        self.total_consumed = 0
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buf) - self._pos
+
+    def __bool__(self) -> bool:
+        return len(self._buf) > self._pos
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0 or index >= len(self):
+            raise IndexError("cursor index out of range")
+        return self._buf[self._pos + index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ByteCursor(unread={len(self)}, consumed={self.total_consumed})"
+
+    # -- reading -------------------------------------------------------------
+    def view(self) -> memoryview:
+        """Zero-copy memoryview of the unread region (release before mutating)."""
+        return memoryview(self._buf)[self._pos:]
+
+    def peek(self, n: Optional[int] = None, offset: int = 0) -> bytes:
+        """Copy out up to ``n`` unread bytes starting at ``offset`` (small reads)."""
+        start = self._pos + offset
+        end = len(self._buf) if n is None else min(start + n, len(self._buf))
+        return bytes(self._buf[start:end])
+
+    def find(self, sub: bytes, start: int = 0) -> int:
+        """Index of ``sub`` relative to the cursor, or -1 — no copying."""
+        idx = self._buf.find(sub, self._pos + start)
+        return -1 if idx < 0 else idx - self._pos
+
+    def find_marked(self, sub: bytes) -> int:
+        """Like :meth:`find`, but remembers how far it scanned so a
+        delimiter search over a growing buffer (e.g. an HTTP header end
+        that hasn't arrived yet) resumes where it left off instead of
+        rescanning from the start each feed — total scan work stays O(n).
+        The mark tracks consumption and assumes the same ``sub`` is
+        searched until bytes are consumed."""
+        start = self._mark - len(sub) + 1
+        idx = self.find(sub, start if start > 0 else 0)
+        self._mark = len(self) if idx < 0 else idx
+        return idx
+
+    # -- writing -------------------------------------------------------------
+    def append(self, data: BytesLike) -> None:
+        self._buf += data
+        self.total_appended += len(data)
+
+    # -- consuming -----------------------------------------------------------
+    def skip(self, n: int) -> None:
+        """Consume ``n`` unread bytes without materializing them."""
+        if n < 0 or n > len(self):
+            raise ValueError(f"cannot skip {n} of {len(self)} unread bytes")
+        self._pos += n
+        self.total_consumed += n
+        self._mark = self._mark - n if self._mark > n else 0
+        self._maybe_compact()
+
+    def take(self, n: int) -> bytes:
+        """Consume and return exactly ``n`` unread bytes (one copy)."""
+        if n < 0 or n > len(self):
+            raise ValueError(f"cannot take {n} of {len(self)} unread bytes")
+        start = self._pos
+        out = bytes(self._buf[start:start + n])
+        self._pos = start + n
+        self.total_consumed += n
+        self._mark = self._mark - n if self._mark > n else 0
+        self._maybe_compact()
+        return out
+
+    def take_all(self) -> bytes:
+        """Consume and return everything unread."""
+        return self.take(len(self))
+
+    def clear(self) -> None:
+        """Drop all unread bytes (protocol-error recovery path)."""
+        self.total_consumed += len(self)
+        self._buf = bytearray()
+        self._pos = 0
+        self._mark = 0
+
+    def _maybe_compact(self) -> None:
+        # Compact when the dead prefix is big *and* dominates the buffer;
+        # the copied tail is then < the bytes freed, so total compaction
+        # work stays O(total bytes appended).
+        pos = self._pos
+        if pos >= self._compact_at and pos * 2 >= len(self._buf):
+            del self._buf[:pos]
+            self._pos = 0

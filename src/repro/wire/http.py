@@ -15,6 +15,7 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.util.errors import ProtocolError
+from repro.wire.buffer import ByteCursor
 
 CRLF = b"\r\n"
 HEADER_END = b"\r\n\r\n"
@@ -82,7 +83,8 @@ class HttpResponse:
         200: "OK", 201: "Created", 204: "No Content", 101: "Switching Protocols",
         301: "Moved Permanently", 302: "Found", 400: "Bad Request",
         401: "Unauthorized", 403: "Forbidden", 404: "Not Found",
-        405: "Method Not Allowed", 429: "Too Many Requests",
+        405: "Method Not Allowed", 413: "Payload Too Large",
+        429: "Too Many Requests", 431: "Request Header Fields Too Large",
         500: "Internal Server Error", 503: "Service Unavailable",
     }
 
@@ -111,15 +113,23 @@ def _parse_headers(block: bytes) -> Dict[str, str]:
     return headers
 
 
-def parse_request(data: bytes) -> Tuple[Optional[HttpRequest], bytes]:
-    """Incrementally parse one request from ``data``.
+def _content_length(headers: Dict[str, str]) -> int:
+    """Validated Content-Length: a malformed or negative value must be a
+    :class:`ProtocolError` (which callers handle), never a ValueError
+    escaping into a data callback."""
+    raw = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw)
+    except ValueError:
+        raise ProtocolError(f"invalid Content-Length: {raw!r}") from None
+    if length < 0:
+        raise ProtocolError(f"negative Content-Length: {length}")
+    return length
 
-    Returns ``(request, remainder)``; ``(None, data)`` if incomplete.
-    """
-    end = data.find(HEADER_END)
-    if end < 0:
-        return None, data
-    head, rest = data[:end], data[end + len(HEADER_END):]
+
+def _parse_request_head(head: bytes) -> Tuple[str, str, str, Dict[str, str], int]:
+    """Parse a request head block; returns (method, target, version, headers,
+    content_length).  Raises :class:`ProtocolError` on malformed input."""
     first, _, header_block = head.partition(CRLF)
     parts = first.split(b" ", 2)
     if len(parts) != 3:
@@ -130,11 +140,58 @@ def parse_request(data: bytes) -> Tuple[Optional[HttpRequest], bytes]:
     headers = _parse_headers(header_block)
     if headers.get("transfer-encoding", "").lower() == "chunked":
         raise ProtocolError("chunked transfer encoding unsupported")
-    length = int(headers.get("content-length", "0") or 0)
+    return method, target, version, headers, _content_length(headers)
+
+
+def _parse_response_head(head: bytes) -> Tuple[str, int, str, Dict[str, str], int]:
+    """Parse a response head block; returns (version, status, reason,
+    headers, content_length)."""
+    first, _, header_block = head.partition(CRLF)
+    parts = first.split(b" ", 2)
+    if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+        raise ProtocolError(f"malformed status line: {first!r}")
+    version = parts[0].decode("latin-1")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise ProtocolError(f"non-numeric status code: {parts[1]!r}") from None
+    reason = parts[2].decode("latin-1") if len(parts) > 2 else ""
+    headers = _parse_headers(header_block)
+    return version, status, reason, headers, _content_length(headers)
+
+
+def parse_request(data: bytes) -> Tuple[Optional[HttpRequest], bytes]:
+    """Incrementally parse one request from ``data``.
+
+    Returns ``(request, remainder)``; ``(None, data)`` if incomplete.
+    """
+    end = data.find(HEADER_END)
+    if end < 0:
+        return None, data
+    method, target, version, headers, length = _parse_request_head(data[:end])
+    rest = data[end + len(HEADER_END):]
     if len(rest) < length:
         return None, data
     body, remainder = rest[:length], rest[length:]
     return HttpRequest(method, target, headers, body, version), remainder
+
+
+def parse_request_from(cursor: ByteCursor) -> Optional[HttpRequest]:
+    """Cursor-based incremental request parse: consumes from ``cursor``
+    only when a complete request is present, so re-feeding never
+    re-copies the unconsumed tail (the seed's quadratic re-slicing).
+    The marked find also resumes the header-end scan across feeds, so a
+    dribbled header costs O(n) total scanning, not O(n²)."""
+    end = cursor.find_marked(HEADER_END)
+    if end < 0:
+        return None
+    method, target, version, headers, length = _parse_request_head(cursor.peek(end))
+    head_size = end + len(HEADER_END)
+    if len(cursor) < head_size + length:
+        return None
+    cursor.skip(head_size)
+    body = cursor.take(length)
+    return HttpRequest(method, target, headers, body, version)
 
 
 def parse_response(data: bytes) -> Tuple[Optional[HttpResponse], bytes]:
@@ -147,19 +204,30 @@ def parse_response(data: bytes) -> Tuple[Optional[HttpResponse], bytes]:
     end = data.find(HEADER_END)
     if end < 0:
         return None, data
-    head, rest = data[:end], data[end + len(HEADER_END):]
-    first, _, header_block = head.partition(CRLF)
-    parts = first.split(b" ", 2)
-    if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
-        raise ProtocolError(f"malformed status line: {first!r}")
-    version = parts[0].decode("latin-1")
-    status = int(parts[1])
-    reason = parts[2].decode("latin-1") if len(parts) > 2 else ""
-    headers = _parse_headers(header_block)
+    version, status, reason, headers, length = _parse_response_head(data[:end])
+    rest = data[end + len(HEADER_END):]
     if status == 101:
         return HttpResponse(status, reason, headers, b"", version), rest
-    length = int(headers.get("content-length", "0") or 0)
     if len(rest) < length:
         return None, data
     body, remainder = rest[:length], rest[length:]
     return HttpResponse(status, reason, headers, body, version), remainder
+
+
+def parse_response_from(cursor: ByteCursor) -> Optional[HttpResponse]:
+    """Cursor-based incremental response parse (see
+    :func:`parse_request_from`).  For a 101 response the upgraded-protocol
+    bytes stay unconsumed in the cursor."""
+    end = cursor.find_marked(HEADER_END)
+    if end < 0:
+        return None
+    version, status, reason, headers, length = _parse_response_head(cursor.peek(end))
+    head_size = end + len(HEADER_END)
+    if status == 101:
+        cursor.skip(head_size)
+        return HttpResponse(status, reason, headers, b"", version)
+    if len(cursor) < head_size + length:
+        return None
+    cursor.skip(head_size)
+    body = cursor.take(length)
+    return HttpResponse(status, reason, headers, body, version)

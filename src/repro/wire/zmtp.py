@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.util.errors import ProtocolError
+from repro.wire.buffer import ByteCursor
 
 SIGNATURE_PREFIX = b"\xff\x00\x00\x00\x00\x00\x00\x00\x01\x7f"
 GREETING_SIZE = 64
@@ -60,7 +61,7 @@ def parse_greeting(data: bytes) -> Tuple[Optional[dict], bytes]:
     return info, data[GREETING_SIZE:]
 
 
-@dataclass
+@dataclass(slots=True)
 class ZmtpFrame:
     """One ZMTP frame (command or message part)."""
 
@@ -81,27 +82,37 @@ def encode_zmtp_frame(frame: ZmtpFrame) -> bytes:
     return bytes([flags | FLAG_LONG]) + struct.pack(">Q", n) + frame.payload
 
 
-def decode_zmtp_frame(data: bytes) -> Tuple[Optional[ZmtpFrame], bytes]:
-    if len(data) < 2:
-        return None, data
-    flags = data[0]
+def _parse_zmtp_frame(buf: bytes | memoryview) -> Tuple[Optional[ZmtpFrame], int]:
+    """Parse one frame from the head of ``buf`` (bytes or memoryview)
+    without consuming; returns ``(frame, bytes_consumed)`` or ``(None, 0)``."""
+    avail = len(buf)
+    if avail < 2:
+        return None, 0
+    flags = buf[0]
     if flags & ~(FLAG_MORE | FLAG_LONG | FLAG_COMMAND):
         raise ProtocolError(f"reserved ZMTP flag bits set: {flags:#x}")
     if flags & FLAG_LONG:
-        if len(data) < 9:
-            return None, data
-        (n,) = struct.unpack(">Q", data[1:9])
+        if avail < 9:
+            return None, 0
+        (n,) = struct.unpack(">Q", buf[1:9])
         off = 9
     else:
-        n = data[1]
+        n = buf[1]
         off = 2
-    if len(data) < off + n:
-        return None, data
-    payload = data[off : off + n]
+    if avail < off + n:
+        return None, 0
+    payload = bytes(buf[off : off + n])
     return (
         ZmtpFrame(payload, more=bool(flags & FLAG_MORE), command=bool(flags & FLAG_COMMAND)),
-        data[off + n :],
+        off + n,
     )
+
+
+def decode_zmtp_frame(data: bytes) -> Tuple[Optional[ZmtpFrame], bytes]:
+    frame, consumed = _parse_zmtp_frame(data)
+    if frame is None:
+        return None, data
+    return frame, data[consumed:]
 
 
 def encode_command(name: str, body: bytes = b"") -> bytes:
@@ -122,10 +133,10 @@ def encode_multipart(parts: List[bytes]) -> bytes:
     """Encode a multipart ZeroMQ message (MORE set on all but the last)."""
     if not parts:
         raise ProtocolError("multipart message needs at least one part")
-    out = b""
-    for i, part in enumerate(parts):
-        out += encode_zmtp_frame(ZmtpFrame(part, more=i < len(parts) - 1))
-    return out
+    last = len(parts) - 1
+    return b"".join(
+        encode_zmtp_frame(ZmtpFrame(part, more=i < last)) for i, part in enumerate(parts)
+    )
 
 
 def decode_multipart(data: bytes) -> Tuple[Optional[List[bytes]], bytes]:
@@ -153,31 +164,98 @@ class ZmtpDecoder:
     monitor can treat both uniformly.
     """
 
-    def __init__(self):
-        self._buffer = b""
+    def __init__(self, *, max_frame_size: int = 64 * 1024 * 1024,
+                 collect_commands: bool = True):
+        self._cursor = ByteCursor()
         self.greeting: Optional[dict] = None
         self._parts: List[bytes] = []
         self._messages: List[List[bytes]] = []
+        #: Command retention is opt-out, like WebSocketDecoder's frame
+        #: retention: consumers that never drain :meth:`commands` (the
+        #: monitor) pass ``collect_commands=False``.
+        self._collect_commands = collect_commands
         self._commands: List[bytes] = []
+        #: Oversize frames are rejected at *header* time so a peer
+        #: declaring a terabyte part cannot make us buffer toward it.
+        self.max_frame_size = max_frame_size
+        #: Same accounting :class:`WebSocketDecoder` keeps — greeting
+        #: bytes included, so per-layer counters add up to stream bytes.
+        self.bytes_consumed = 0
+        self._consumed = 0  # offset consumed by the last _parse_frames call
 
     def feed(self, data: bytes) -> None:
-        self._buffer += data
+        cursor = self._cursor
+        if not cursor and self.greeting is not None:
+            # Fast path: nothing buffered — parse straight out of the
+            # incoming bytes, buffering only an incomplete tail (the
+            # steady state never touches the cursor at all).  On error
+            # the unconsumed tail, bad frame included, stays buffered.
+            avail = len(data)
+            try:
+                self._parse_frames(data, 0, avail)
+            finally:
+                done = self._consumed
+                if done < avail:
+                    cursor.append(data[done:] if done else data)
+            return
+        cursor.append(data)
         if self.greeting is None:
-            greeting, self._buffer = parse_greeting(self._buffer)
-            if greeting is None:
+            if len(cursor) < GREETING_SIZE:
                 return
+            greeting, _ = parse_greeting(cursor.peek(GREETING_SIZE))
+            cursor.skip(GREETING_SIZE)
+            self.bytes_consumed += GREETING_SIZE
             self.greeting = greeting
+        # Single pass over one view and one cursor advance per feed.
+        try:
+            with cursor.view() as view:
+                self._parse_frames(view, 0, len(view))
+        finally:
+            # The view is released by now; good frames decoded before an
+            # error stay consumed, the bad frame's bytes stay buffered.
+            if self._consumed:
+                cursor.skip(self._consumed)
+
+    def _parse_frames(self, buf: bytes | memoryview, pos: int, avail: int) -> int:
+        """Consume every complete frame in ``buf[pos:avail]``; returns the
+        new offset (also left in ``self._consumed`` for error cleanup).
+        Frame fields are parsed inline so the per-part hot loop allocates
+        nothing but the payload bytes."""
+        self._consumed = 0
+        parts = self._parts
         while True:
-            frame, self._buffer = decode_zmtp_frame(self._buffer)
-            if frame is None:
-                return
-            if frame.command:
-                self._commands.append(frame.payload)
-                continue
-            self._parts.append(frame.payload)
-            if not frame.more:
-                self._messages.append(self._parts)
-                self._parts = []
+            if avail < pos + 2:
+                break
+            flags = buf[pos]
+            if flags & ~(FLAG_MORE | FLAG_LONG | FLAG_COMMAND):
+                raise ProtocolError(f"reserved ZMTP flag bits set: {flags:#x}")
+            if flags & FLAG_LONG:
+                if avail < pos + 9:
+                    break
+                (n,) = struct.unpack_from(">Q", buf, pos + 1)
+                if n > self.max_frame_size:
+                    raise ProtocolError(
+                        f"declared ZMTP frame length {n} exceeds cap ({self.max_frame_size})")
+                off = pos + 9
+            else:
+                n = buf[pos + 1]
+                off = pos + 2
+            end = off + n
+            if avail < end:
+                break
+            payload = bytes(buf[off:end])
+            self.bytes_consumed += end - pos
+            pos = end
+            self._consumed = end
+            if flags & FLAG_COMMAND:
+                if self._collect_commands:
+                    self._commands.append(payload)
+            else:
+                parts.append(payload)
+                if not flags & FLAG_MORE:
+                    self._messages.append(parts)
+                    self._parts = parts = []
+        return pos
 
     def messages(self) -> List[List[bytes]]:
         out, self._messages = self._messages, []

@@ -140,3 +140,35 @@ class TestFragmentedWebSocketFrames:
         exec_msgs = [r for r in s.monitor.logs.jupyter
                      if r.msg_type == "execute_request"]
         assert exec_msgs and any("1 + 1" in r.code for r in exec_msgs)
+
+
+class TestGatewayBufferCap:
+    def test_request_beyond_cap_is_rejected_not_buffered(self):
+        """Same withholding-peer guard the proxy has: a request that can
+        never complete within the cap answers 413 and closes."""
+        from repro.server import JupyterServer, ServerConfig, ServerGateway
+        from repro.simnet import Network
+
+        net = Network(default_latency=0.001)
+        sh = net.add_host("jupyter", "10.0.0.1")
+        ch = net.add_host("laptop", "10.0.0.2")
+        server = JupyterServer(ServerConfig(ip="0.0.0.0", token="tok"), net, sh)
+        gateway = ServerGateway(server)
+        # Shrink the cap for the test via the class attribute.
+        from repro.server.gateway import _GatewayConnection
+
+        old = _GatewayConnection.MAX_BUFFER
+        _GatewayConnection.MAX_BUFFER = 4096
+        try:
+            conn = ch.connect(sh, 8888)
+            got = []
+            conn.on_data_client = got.append
+            conn.send_to_server(b"POST /api/contents/x HTTP/1.1\r\n"
+                                b"Content-Length: 100000\r\n\r\n" + b"A" * 20000)
+            net.run(2.0)
+            raw = b"".join(got)
+            assert raw.startswith(b"HTTP/1.1 413")
+            assert not conn.open
+            assert "request exceeds buffer cap" in gateway.protocol_errors
+        finally:
+            _GatewayConnection.MAX_BUFFER = old

@@ -431,6 +431,77 @@ class TestProxyEdgeCases:
         assert len(s.proxy.channels) == 0
 
 
+class TestProxyBufferCaps:
+    def test_client_request_that_never_completes_is_rejected(self):
+        """Headers that never terminate must hit the buffer cap, answer
+        431, and count in stats — not grow proxy memory forever."""
+        s = build_hub_scenario(n_tenants=1, seed_data=False,
+                               hub_config=HubConfig(proxy_buffer_limit=2048))
+        conn = s.user_host.connect(s.server_host, s.hub_config.port)
+        got = []
+        conn.on_data_client = got.append
+        conn.send_to_server(b"GET /hub/api HTTP/1.1\r\nX-Pad: " + b"A" * 5000)
+        s.run(5.0)
+        raw = b"".join(got)
+        assert raw.startswith(b"HTTP/1.1 431")
+        assert s.proxy.stats.buffer_overflows == 1
+        assert not conn.open
+
+    def test_withholding_backend_surfaces_upstream_error(self):
+        """A backend that streams an endless unfinished response must be
+        cut off at the cap and surface as a 502 upstream error."""
+        s = build_hub_scenario(n_tenants=1, seed_data=False,
+                               hub_config=HubConfig(proxy_buffer_limit=8192))
+        evil = s.network.add_host("evil-backend", "10.9.9.9")
+
+        def accept(conn):
+            conn.on_data_server = lambda data: conn.send_to_client(
+                b"HTTP/1.1 200 OK\r\nContent-Length: 999999\r\n\r\n" + b"A" * 30000)
+        evil.listen(9000, accept)
+        from repro.hub.proxy import RouteEntry
+
+        s.proxy.routes["user00"] = RouteEntry(
+            username="user00", host=evil, port=9000, created=0.0)
+        client = s.user_client(username="user00")
+        resp = client.request("GET", "/api/status")
+        assert resp.status == 502
+        assert s.proxy.stats.buffer_overflows >= 1
+        assert s.proxy.stats.upstream_errors >= 1
+
+    def test_complete_headers_with_oversize_body_get_413(self):
+        """Headers finished but a declared body beyond the cap: the
+        status distinguishes body overflow (413) from header overflow."""
+        s = build_hub_scenario(n_tenants=1, seed_data=False,
+                               hub_config=HubConfig(proxy_buffer_limit=2048))
+        conn = s.user_host.connect(s.server_host, s.hub_config.port)
+        got = []
+        conn.on_data_client = got.append
+        conn.send_to_server(b"POST /hub/signup HTTP/1.1\r\nContent-Length: 100000\r\n\r\n"
+                            + b"B" * 8000)
+        s.run(5.0)
+        raw = b"".join(got)
+        assert raw.startswith(b"HTTP/1.1 413")
+        assert s.proxy.stats.buffer_overflows == 1
+
+    def test_limit_zero_disables_the_cap(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False,
+                               hub_config=HubConfig(proxy_buffer_limit=0))
+        conn = s.user_host.connect(s.server_host, s.hub_config.port)
+        got = []
+        conn.on_data_client = got.append
+        conn.send_to_server(b"GET /hub/api HTTP/1.1\r\nX-Pad: " + b"A" * 5000)
+        s.run(2.0)
+        assert got == []  # still buffering, never rejected
+        assert s.proxy.stats.buffer_overflows == 0
+
+    def test_normal_traffic_unaffected_by_cap(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False,
+                               hub_config=HubConfig(proxy_buffer_limit=1 << 20))
+        client = s.user_client(username="user00")
+        assert client.request("GET", "/api/status").status == 200
+        assert s.proxy.stats.buffer_overflows == 0
+
+
 class TestHubCli:
     def test_cli_insecure_with_attack(self, capsys):
         from repro.cli import hub as cli_hub

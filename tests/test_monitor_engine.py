@@ -174,6 +174,54 @@ class TestMonitorHealth:
         assert s["logs"]["http"] >= 1
         assert s["health"]["segments"] > 0
 
+    def test_unicode_escaped_code_key_still_scanned(self):
+        """The raw b'\"code\"' prefilter must not be evadable with JSON
+        unicode escapes: \\u0063ode decodes to the same key."""
+        import json as _json
+
+        from repro.monitor import JupyterNetworkMonitor
+
+        monitor = JupyterNetworkMonitor()
+        payload = (b'{"channel": "shell", "header": {"msg_type": "execute_request", '
+                   b'"session": "s"}, "content": {"\\u0063ode": '
+                   + _json.dumps("url = 'stratum+tcp://pool.minexmr.com:4444'").encode()
+                   + b'}}')
+        assert _json.loads(payload)["content"]["code"].startswith("url")
+        records, notices, weird = [], [], []
+        monitor._analyze_jupyter_ws(1.0, "uid", "6.6.6.6", "10.0.0.1", payload,
+                                    records, notices, weird)
+        assert records and records[0].code.startswith("url")
+        assert any(n.name == "SIG-MINER-POOL" for n in notices)
+
+    def test_http_direction_buffer_is_capped(self):
+        """An HTTP-looking stream that never completes a message must be
+        marked broken at the cap, not grow monitor memory forever."""
+        net, server, monitor, client = make_monitored_world()
+        monitor.max_buffered_bytes = 4096
+        raw = net.hosts["laptop"].connect(server.host, 8888)
+        raw.send_to_server(b"GET /drip HTTP/1.1\r\nX-Pad: " + b"A" * 20000)
+        net.run(1.0)
+        assert any(w.name == "parse_error" and "cap" in w.detail
+                   for w in monitor.logs.weird)
+        assert all(len(s.buffer) <= 4096 + 1500  # cap + one in-flight segment
+                   for s in monitor._dirstate.values())
+
+    def test_per_layer_byte_counters(self):
+        """MonitorHealth reports how many bytes each analyzer consumed."""
+        _, _, monitor, client = make_monitored_world()
+        client.request("GET", "/api/status")
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("1 + 1")
+        layer = monitor.health.layer_bytes()
+        assert layer["http"] > 0
+        assert layer["websocket"] > 0
+        assert layer["zmtp"] > 0
+        # Layer consumption never exceeds what crossed the wire, and the
+        # summary exposes the same numbers.
+        assert sum(layer.values()) <= monitor.health.bytes_seen
+        assert monitor.summary()["health"]["layer_bytes"] == layer
+
     def test_garbage_traffic_goes_weird_not_crash(self):
         net, server, monitor, client = make_monitored_world()
         # Speak garbage at the HTTP port.

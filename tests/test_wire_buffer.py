@@ -1,0 +1,130 @@
+"""Tests for the shared zero-copy ByteCursor."""
+
+import pytest
+
+from repro.wire.buffer import ByteCursor
+
+
+class TestBasics:
+    def test_empty(self):
+        cur = ByteCursor()
+        assert len(cur) == 0
+        assert not cur
+        assert cur.peek() == b""
+        assert cur.take_all() == b""
+
+    def test_append_take(self):
+        cur = ByteCursor()
+        cur.append(b"hello ")
+        cur.append(b"world")
+        assert len(cur) == 11
+        assert cur.take(6) == b"hello "
+        assert len(cur) == 5
+        assert cur.take_all() == b"world"
+        assert not cur
+
+    def test_init_with_data(self):
+        cur = ByteCursor(b"abc")
+        assert cur.take_all() == b"abc"
+
+    def test_peek_does_not_consume(self):
+        cur = ByteCursor(b"abcdef")
+        assert cur.peek(3) == b"abc"
+        assert cur.peek(3, offset=2) == b"cde"
+        assert cur.peek(100) == b"abcdef"
+        assert len(cur) == 6
+
+    def test_skip(self):
+        cur = ByteCursor(b"abcdef")
+        cur.skip(2)
+        assert cur.peek(2) == b"cd"
+        assert cur.total_consumed == 2
+
+    def test_indexing(self):
+        cur = ByteCursor(b"abc")
+        cur.skip(1)
+        assert cur[0] == ord("b")
+        assert cur[1] == ord("c")
+        with pytest.raises(IndexError):
+            cur[2]
+
+    def test_find_is_cursor_relative(self):
+        cur = ByteCursor(b"xxabcd")
+        cur.skip(2)
+        assert cur.find(b"cd") == 2
+        assert cur.find(b"xx") == -1
+        assert cur.find(b"cd", start=3) == -1
+
+    def test_take_bounds(self):
+        cur = ByteCursor(b"ab")
+        with pytest.raises(ValueError):
+            cur.take(3)
+        with pytest.raises(ValueError):
+            cur.skip(-1)
+
+    def test_clear(self):
+        cur = ByteCursor(b"abcdef")
+        cur.skip(1)
+        cur.clear()
+        assert len(cur) == 0
+        assert cur.total_consumed == 6
+
+    def test_view_matches_unread(self):
+        cur = ByteCursor(b"abcdef")
+        cur.skip(2)
+        with cur.view() as v:
+            assert bytes(v) == b"cdef"
+
+    def test_accounting_totals(self):
+        cur = ByteCursor()
+        cur.append(b"x" * 10)
+        cur.take(4)
+        cur.append(b"y" * 5)
+        cur.skip(3)
+        assert cur.total_appended == 15
+        assert cur.total_consumed == 7
+        assert len(cur) == 8
+
+
+class TestCompaction:
+    def test_compacts_after_threshold(self):
+        cur = ByteCursor(compact_at=64)
+        cur.append(b"a" * 200)
+        cur.skip(150)
+        # Dead prefix (150) > threshold and > half the buffer: compacted.
+        assert len(cur._buf) == 50
+        assert cur.take_all() == b"a" * 50
+
+    def test_no_compaction_when_tail_dominates(self):
+        cur = ByteCursor(compact_at=64)
+        cur.append(b"a" * 1000)
+        cur.skip(100)  # prefix > threshold but < half: left in place
+        assert len(cur._buf) == 1000
+        assert len(cur) == 900
+
+    def test_amortized_linear_ingest(self):
+        """Feeding N bytes in small chunks with interleaved consumption
+        must not blow up: the compaction bound keeps total copying O(N)."""
+        cur = ByteCursor(compact_at=256)
+        total = 0
+        for i in range(2000):
+            chunk = bytes([i & 0xFF]) * 37
+            cur.append(chunk)
+            total += len(chunk)
+            if len(cur) > 64:
+                cur.skip(64)
+        assert cur.total_appended == total
+        assert cur.total_consumed + len(cur) == total
+
+    def test_data_integrity_across_compactions(self):
+        cur = ByteCursor(compact_at=16)
+        expect = bytearray()
+        got = bytearray()
+        for i in range(300):
+            piece = bytes([i % 251]) * (i % 7 + 1)
+            cur.append(piece)
+            expect += piece
+            if i % 3 == 0:
+                got += cur.take(min(len(cur), 5))
+        got += cur.take_all()
+        assert bytes(got) == bytes(expect)

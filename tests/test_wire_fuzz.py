@@ -1,0 +1,304 @@
+"""Chunk-boundary fuzz: cursor decoders vs whole-buffer oracles.
+
+The zero-copy rewrite of :class:`WebSocketDecoder` / :class:`ZmtpDecoder`
+must be *observably identical* to the seed decoders: same frames, same
+messages, same commands, same byte accounting, and the same errors at
+the same feed — no matter how the stream is sliced into chunks.  The
+oracles below re-implement the seed's whole-buffer algorithm verbatim
+(``buffer += data`` then repeated one-shot decode + re-slice) on top of
+the pure one-shot codec functions, and every trace is fed to both sides
+in one-shot, 1-byte, and random-sized chunkings.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.errors import ProtocolError
+from repro.wire.websocket import (
+    Frame,
+    Opcode,
+    WebSocketDecoder,
+    decode_frame,
+    encode_close,
+    encode_frame,
+    encode_ping,
+    encode_pong,
+    fragment_message,
+)
+from repro.wire.zmtp import (
+    ZmtpDecoder,
+    ZmtpFrame,
+    decode_zmtp_frame,
+    encode_greeting,
+    encode_multipart,
+    encode_ready,
+    encode_zmtp_frame,
+    parse_greeting,
+)
+
+
+class OracleWsDecoder:
+    """The seed's WebSocketDecoder feed loop, bit for bit: O(n²) buffer
+    re-slicing over the one-shot :func:`decode_frame`.  One intentional
+    divergence from the seed is replicated here so it stays covered: the
+    cursor decoder rejects a frame *declaring* more than
+    ``max_message_size`` at header time (withholding-peer DoS fix)."""
+
+    def __init__(self, *, max_message_size: int = 64 * 1024 * 1024):
+        self._buffer = b""
+        self._fragments = []
+        self._fragment_opcode = None
+        self.frames = []
+        self.messages = []
+        self.max_message_size = max_message_size
+        self.bytes_consumed = 0
+
+    def _check_declared_length(self) -> None:
+        buf = self._buffer
+        if len(buf) < 2:
+            return
+        length = buf[1] & 0x7F
+        if length == 126:
+            if len(buf) < 4:
+                return
+            length = int.from_bytes(buf[2:4], "big")
+        elif length == 127:
+            if len(buf) < 10:
+                return
+            length = int.from_bytes(buf[2:10], "big")
+        if length > self.max_message_size:
+            raise ProtocolError(
+                f"declared frame length {length} exceeds cap ({self.max_message_size})")
+
+    def feed(self, data: bytes) -> None:
+        self._buffer += data
+        while True:
+            before = len(self._buffer)
+            frame, self._buffer = decode_frame(self._buffer)
+            if frame is None:
+                self._check_declared_length()
+                break
+            self.bytes_consumed += before - len(self._buffer)
+            self.frames.append(frame)
+            self._process(frame)
+
+    def _process(self, frame: Frame) -> None:
+        if frame.opcode.is_control:
+            self.messages.append((frame.opcode, frame.payload))
+            return
+        if frame.opcode == Opcode.CONTINUATION:
+            if self._fragment_opcode is None:
+                raise ProtocolError("continuation frame with no message in progress")
+            self._fragments.append(frame.payload)
+        else:
+            if self._fragment_opcode is not None:
+                raise ProtocolError("new data frame while fragmented message in progress")
+            self._fragment_opcode = frame.opcode
+            self._fragments = [frame.payload]
+        total = sum(len(f) for f in self._fragments)
+        if total > self.max_message_size:
+            raise ProtocolError(f"message exceeds cap ({total} > {self.max_message_size})")
+        if frame.fin:
+            self.messages.append((self._fragment_opcode, b"".join(self._fragments)))
+            self._fragment_opcode = None
+            self._fragments = []
+
+
+class OracleZmtpDecoder:
+    """The seed's ZmtpDecoder feed loop on one-shot codec functions,
+    plus the cursor decoder's one intentional divergence: oversize
+    declared LONG frames are rejected at header time."""
+
+    def __init__(self, *, max_frame_size: int = 64 * 1024 * 1024):
+        self._buffer = b""
+        self.greeting = None
+        self._parts = []
+        self.messages = []
+        self.commands = []
+        self.max_frame_size = max_frame_size
+        self.bytes_consumed = 0
+
+    def _check_declared_length(self) -> None:
+        buf = self._buffer
+        if len(buf) >= 9 and buf[0] & 0x02:  # FLAG_LONG
+            n = int.from_bytes(buf[1:9], "big")
+            if n > self.max_frame_size:
+                raise ProtocolError(
+                    f"declared ZMTP frame length {n} exceeds cap ({self.max_frame_size})")
+
+    def feed(self, data: bytes) -> None:
+        self._buffer += data
+        if self.greeting is None:
+            if len(self._buffer) < 64:
+                return
+            self.greeting, self._buffer = parse_greeting(self._buffer)
+            self.bytes_consumed += 64
+        while True:
+            before = len(self._buffer)
+            frame, self._buffer = decode_zmtp_frame(self._buffer)
+            if frame is None:
+                self._check_declared_length()
+                return
+            self.bytes_consumed += before - len(self._buffer)
+            if frame.command:
+                self.commands.append(frame.payload)
+                continue
+            self._parts.append(frame.payload)
+            if not frame.more:
+                self.messages.append(self._parts)
+                self._parts = []
+
+
+def _chunkings(stream: bytes, rng: random.Random):
+    """One-shot, 1-byte, and three random chunkings of ``stream``."""
+    yield [stream]
+    yield [stream[i : i + 1] for i in range(len(stream))]
+    for _ in range(3):
+        chunks, i = [], 0
+        while i < len(stream):
+            step = rng.randint(1, 19)
+            chunks.append(stream[i : i + step])
+            i += step
+        yield chunks
+
+
+def _run(decoder, chunks):
+    """Feed chunks; returns (observations, error repr or None)."""
+    error = None
+    fed = 0
+    for i, chunk in enumerate(chunks):
+        try:
+            decoder.feed(chunk)
+            fed = i + 1
+        except ProtocolError as e:
+            error = (i, str(e))
+            break
+    return fed, error
+
+
+def _compare_ws(stream: bytes, seed: int):
+    rng = random.Random(seed)
+    for chunks in _chunkings(stream, rng):
+        oracle, cursor = OracleWsDecoder(), WebSocketDecoder()
+        fed_o, err_o = _run(oracle, chunks)
+        fed_c, err_c = _run(cursor, chunks)
+        assert err_o == err_c, f"error divergence: {err_o!r} vs {err_c!r}"
+        assert fed_o == fed_c
+        assert oracle.frames == cursor.frames()
+        assert oracle.messages == cursor.messages()
+        assert oracle.bytes_consumed == cursor.bytes_consumed
+
+
+def _compare_zmtp(stream: bytes, seed: int):
+    rng = random.Random(seed)
+    for chunks in _chunkings(stream, rng):
+        oracle, cursor = OracleZmtpDecoder(), ZmtpDecoder()
+        fed_o, err_o = _run(oracle, chunks)
+        fed_c, err_c = _run(cursor, chunks)
+        assert err_o == err_c, f"error divergence: {err_o!r} vs {err_c!r}"
+        assert fed_o == fed_c
+        assert oracle.greeting == cursor.greeting
+        assert oracle.messages == cursor.messages()
+        assert oracle.commands == cursor.commands()
+        assert oracle.bytes_consumed == cursor.bytes_consumed
+
+
+# -- deterministic trace corpus ------------------------------------------------
+
+
+def _random_ws_stream(rng: random.Random, *, broken: bool) -> bytes:
+    out = []
+    for _ in range(rng.randint(1, 12)):
+        kind = rng.random()
+        payload = rng.randbytes(rng.randint(0, 300))
+        mask = rng.randbytes(4) if rng.random() < 0.5 else None
+        if kind < 0.55:
+            opcode = Opcode.TEXT if rng.random() < 0.5 else Opcode.BINARY
+            out.append(encode_frame(Frame(True, opcode, payload), mask_key=mask))
+        elif kind < 0.75:
+            out.extend(fragment_message(payload, rng.randint(1, 64), mask_key=mask))
+        elif kind < 0.85:
+            out.append(encode_ping(payload[:125], mask_key=mask))
+        elif kind < 0.95:
+            out.append(encode_pong(payload[:125], mask_key=mask))
+        else:
+            out.append(encode_close(1000, "bye", mask_key=mask))
+    if broken:
+        bad = rng.choice([
+            b"\xc1\x00",                 # RSV bits set
+            b"\x83\x02ab",               # unknown opcode
+            b"\x00\x01x",                # stray continuation
+            b"\x81\xff" + (1 << 63).to_bytes(8, "big") + b"zz",  # MSB length
+            b"\x01\x01a\x81\x01b",       # new data frame mid-fragment
+        ])
+        out.insert(rng.randrange(len(out) + 1), bad)
+    return b"".join(out)
+
+
+def _random_zmtp_stream(rng: random.Random, *, broken: bool) -> bytes:
+    out = [encode_greeting(mechanism="NULL", as_server=rng.random() < 0.5)]
+    out.append(encode_ready(rng.choice(["ROUTER", "DEALER"])))
+    for _ in range(rng.randint(1, 10)):
+        parts = [rng.randbytes(rng.randint(0, 300))
+                 for _ in range(rng.randint(1, 6))]
+        out.append(encode_multipart(parts))
+        if rng.random() < 0.2:
+            out.append(encode_ready("SUB"))
+    if broken:
+        out.insert(1 + rng.randrange(len(out)), b"\x80\x00")  # reserved flag bits
+    return b"".join(out)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_ws_fuzz_valid_streams(seed):
+    rng = random.Random(1000 + seed)
+    _compare_ws(_random_ws_stream(rng, broken=False), seed)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_ws_fuzz_broken_streams(seed):
+    rng = random.Random(2000 + seed)
+    _compare_ws(_random_ws_stream(rng, broken=True), seed)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_zmtp_fuzz_valid_streams(seed):
+    rng = random.Random(3000 + seed)
+    _compare_zmtp(_random_zmtp_stream(rng, broken=False), seed)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_zmtp_fuzz_broken_streams(seed):
+    rng = random.Random(4000 + seed)
+    _compare_zmtp(_random_zmtp_stream(rng, broken=True), seed)
+
+
+def test_ws_truncated_streams_stay_pending():
+    """Truncation at every byte boundary: both sides agree on partial state."""
+    rng = random.Random(99)
+    stream = _random_ws_stream(rng, broken=False)
+    for cut in range(0, len(stream), 7):
+        oracle, cursor = OracleWsDecoder(), WebSocketDecoder()
+        oracle.feed(stream[:cut])
+        cursor.feed(stream[:cut])
+        assert oracle.frames == cursor.frames()
+        assert oracle.bytes_consumed == cursor.bytes_consumed
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=400), st.integers(min_value=0, max_value=2**32 - 1))
+def test_ws_hypothesis_garbage(data, seed):
+    """Arbitrary bytes: identical error/frame behavior under chunking."""
+    _compare_ws(data, seed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=400), st.integers(min_value=0, max_value=2**32 - 1))
+def test_zmtp_hypothesis_garbage(data, seed):
+    """Arbitrary bytes (greeting-prefixed half the time) behave identically."""
+    if seed % 2:
+        data = encode_greeting() + data
+    _compare_zmtp(data, seed)

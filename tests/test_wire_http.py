@@ -96,3 +96,38 @@ class TestResponseEncodeParse:
     def test_malformed_status(self):
         with pytest.raises(ProtocolError):
             parse_response(b"NOPE\r\n\r\n")
+
+
+class TestContentLengthValidation:
+    """Malformed Content-Length must surface as ProtocolError (which every
+    caller handles), never as a ValueError escaping a data callback."""
+
+    def test_negative_content_length_request(self):
+        from repro.wire.buffer import ByteCursor
+        from repro.wire.http import parse_request_from
+
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\nAAAAAAAAAA"
+        with pytest.raises(ProtocolError, match="negative"):
+            parse_request(raw)
+        with pytest.raises(ProtocolError, match="negative"):
+            parse_request_from(ByteCursor(raw))
+
+    def test_garbage_content_length_request(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        with pytest.raises(ProtocolError, match="invalid"):
+            parse_request(raw)
+
+    def test_negative_content_length_response(self):
+        from repro.wire.buffer import ByteCursor
+        from repro.wire.http import parse_response_from
+
+        raw = b"HTTP/1.1 200 OK\r\nContent-Length: -1\r\n\r\nBB"
+        with pytest.raises(ProtocolError, match="negative"):
+            parse_response(raw)
+        with pytest.raises(ProtocolError, match="negative"):
+            parse_response_from(ByteCursor(raw))
+
+    def test_non_numeric_status_line_is_protocol_error(self):
+        raw = b"HTTP/1.1 abc\r\n\r\n"
+        with pytest.raises(ProtocolError, match="non-numeric"):
+            parse_response(raw)

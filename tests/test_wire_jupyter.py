@@ -1,0 +1,120 @@
+"""Tests for the lazy span-based Jupyter message view."""
+
+import json
+
+import pytest
+
+from repro.messaging import Session
+from repro.wire.jupyter import SPAN_SCAN_THRESHOLD, LazyJupyterMessage, scan_spans
+
+
+def _payload(code="print(1)"):
+    return Session(b"k").execute_request(code).to_websocket_json().encode()
+
+
+class TestScanSpans:
+    def test_spans_match_json_loads(self):
+        raw = _payload()
+        spans = scan_spans(raw)
+        doc = json.loads(raw)
+        assert spans is not None
+        assert set(spans) == set(doc)
+        for key, (a, b) in spans.items():
+            assert json.loads(raw[a:b]) == doc[key]
+
+    def test_scalar_values(self):
+        raw = b'{"a": 1, "b": "two", "c": true, "d": null, "e": -2.5e3}'
+        spans = scan_spans(raw)
+        doc = json.loads(raw)
+        for key, (a, b) in spans.items():
+            assert json.loads(raw[a:b]) == doc[key]
+
+    def test_nested_containers(self):
+        raw = b'{"a": {"x": [1, {"y": "}"}]}, "b": ["[", {"c": "]"}]}'
+        spans = scan_spans(raw)
+        doc = json.loads(raw)
+        for key, (a, b) in spans.items():
+            assert json.loads(raw[a:b]) == doc[key]
+
+    def test_escaped_strings(self):
+        raw = json.dumps({"code": 'print("\\"}{[")', "k\\n": 1}).encode()
+        spans = scan_spans(raw)
+        doc = json.loads(raw)
+        assert spans is not None and set(spans) == set(doc)
+
+    def test_empty_object(self):
+        assert scan_spans(b"{}") == {}
+        assert scan_spans(b"  { } ") == {}
+
+    @pytest.mark.parametrize("bad", [
+        b"", b"[1,2]", b'"str"', b"42", b"{", b'{"a"}', b'{"a":}', b'{"a":1,}',
+        b'{"a":1}trailing', b'{"a" 1}', b'{"unterminated: 1}', b'{"a":1 "b":2}',
+        b"not json at all",
+    ])
+    def test_malformed_returns_none(self, bad):
+        assert scan_spans(bad) is None
+
+    def test_big_payload_scans(self):
+        raw = _payload("x" * (2 * SPAN_SCAN_THRESHOLD))
+        spans = scan_spans(raw)
+        doc = json.loads(raw)
+        for key, (a, b) in spans.items():
+            assert json.loads(raw[a:b]) == doc[key]
+
+
+class TestLazyJupyterMessage:
+    def test_eager_backend_for_small_payloads(self):
+        msg = LazyJupyterMessage.parse(_payload())
+        assert msg is not None
+        assert msg._doc is not None  # eager C parse below the threshold
+        assert msg.header["msg_type"] == "execute_request"
+        assert msg.channel == "shell"
+        assert msg.content["code"] == "print(1)"
+
+    def test_span_backend_for_large_payloads(self):
+        raw = _payload("y = 1  # " + "pad " * SPAN_SCAN_THRESHOLD)
+        msg = LazyJupyterMessage.parse(raw)
+        assert msg is not None
+        assert msg._spans is not None  # lazy span backend above the threshold
+        assert msg.header["msg_type"] == "execute_request"
+        # content decodes only on first touch, then caches
+        assert "_cache" not in dir(msg) or "content" not in msg._cache
+        assert msg.content["code"].startswith("y = 1")
+        assert "content" in msg._cache
+
+    def test_content_size_matches_span(self):
+        raw = _payload("z" * (SPAN_SCAN_THRESHOLD + 100))
+        msg = LazyJupyterMessage.parse(raw)
+        a, b = msg._spans["content"]
+        assert msg.content_size() == b - a
+        # span length tracks the serialized content closely
+        assert abs(msg.content_size() - len(json.dumps(json.loads(raw)["content"]))) < 64
+
+    def test_content_contains_prefilter(self):
+        raw = _payload("q" * (SPAN_SCAN_THRESHOLD + 1))
+        msg = LazyJupyterMessage.parse(raw)
+        assert msg.content_contains(b'"code"')
+        assert not msg.content_contains(b"no-such-token-anywhere")
+        # a miss must not have triggered the content decode
+        assert "content" not in msg._cache
+
+    def test_non_object_payloads_rejected(self):
+        assert LazyJupyterMessage.parse(b"[1, 2]") is None
+        assert LazyJupyterMessage.parse(b"not json") is None
+        assert LazyJupyterMessage.parse(b"\xff\xfe\x00garbage") is None
+
+    def test_missing_keys_default(self):
+        msg = LazyJupyterMessage.parse(b'{"header": {"msg_type": "x"}}')
+        assert msg.channel == ""
+        assert msg.content is None
+        assert msg.content_size() == 0
+        assert not msg.content_contains(b"anything")
+
+    def test_header_not_a_dict(self):
+        msg = LazyJupyterMessage.parse(b'{"header": 5}')
+        assert msg is not None
+        assert msg.header == 5  # caller decides it is not Jupyter traffic
+
+    def test_memoryview_input(self):
+        msg = LazyJupyterMessage.parse(memoryview(_payload()))
+        assert msg.header["msg_type"] == "execute_request"

@@ -98,6 +98,47 @@ class TestFrameCodec:
         frame, _ = decode_frame(encode_close(1001, "going away"))
         assert frame.close_code == 1001
 
+    def test_64bit_length_msb_rejected_on_decode(self):
+        # RFC 6455 §5.2: the most significant bit of the 64-bit payload
+        # length MUST be 0.
+        import struct
+
+        raw = b"\x81\x7f" + struct.pack(">Q", 1 << 63) + b"xx"
+        with pytest.raises(ProtocolError, match="MSB"):
+            decode_frame(raw)
+        raw = b"\x81\x7f" + struct.pack(">Q", (1 << 64) - 1)
+        with pytest.raises(ProtocolError, match="MSB"):
+            decode_frame(raw)
+
+    def test_64bit_length_msb_rejected_incrementally(self):
+        import struct
+
+        dec = WebSocketDecoder()
+        dec.feed(encode_text("ok"))
+        with pytest.raises(ProtocolError, match="MSB"):
+            dec.feed(b"\x81\x7f" + struct.pack(">Q", 1 << 63))
+        assert dec.messages() == [(Opcode.TEXT, b"ok")]
+
+    def test_64bit_length_msb_rejected_on_encode(self):
+        # len() cannot return >= 2**63 in CPython, so the guard is
+        # exercised through the header builder encode_frame uses.
+        from repro.wire.websocket import _frame_header
+
+        assert _frame_header(0x82, False, (1 << 63) - 1)[1] == 127
+        with pytest.raises(ProtocolError, match="63-bit"):
+            _frame_header(0x82, False, 1 << 63)
+        with pytest.raises(ProtocolError, match="63-bit"):
+            _frame_header(0x82, True, (1 << 64) - 1)
+
+    def test_63bit_boundary_header_accepted(self):
+        # Exactly 2^63 - 1 is legal on the wire; the decoder must ask for
+        # more bytes rather than raise.
+        import struct
+
+        raw = b"\x81\x7f" + struct.pack(">Q", (1 << 63) - 1)
+        frame, rest = decode_frame(raw)
+        assert frame is None and rest == raw
+
     @given(st.binary(max_size=2000), st.booleans())
     def test_property_roundtrip(self, payload, mask):
         key = b"\xde\xad\xbe\xef" if mask else None
@@ -166,3 +207,28 @@ class TestDecoder:
     def test_fragment_chunk_validation(self):
         with pytest.raises(ValueError):
             fragment_message(b"x", 0)
+
+    def test_oversize_declared_frame_rejected_at_header(self):
+        """A peer declaring a frame beyond max_message_size must be
+        rejected when the header arrives — not buffered toward a payload
+        that never completes (withholding-peer DoS)."""
+        import struct
+
+        dec = WebSocketDecoder(max_message_size=1024)
+        with pytest.raises(ProtocolError, match="exceeds cap"):
+            dec.feed(b"\x81\x7e" + struct.pack(">H", 2048))
+        dec = WebSocketDecoder(max_message_size=1024)
+        with pytest.raises(ProtocolError, match="exceeds cap"):
+            dec.feed(b"\x81\x7f" + struct.pack(">Q", 1 << 40) + b"partial")
+
+    def test_frame_retention_is_opt_out(self):
+        """Long-lived consumers that only drain messages() must be able
+        to turn off raw-frame history (it otherwise grows forever)."""
+        raw = encode_text("one") + encode_text("two")
+        keeper = WebSocketDecoder()
+        keeper.feed(raw)
+        assert len(keeper.frames()) == 2
+        dropper = WebSocketDecoder(collect_frames=False)
+        dropper.feed(raw)
+        assert dropper.frames() == []
+        assert [m for _, m in dropper.messages()] == [b"one", b"two"]

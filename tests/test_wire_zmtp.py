@@ -118,3 +118,34 @@ class TestDecoder:
         dec.feed(encode_greeting() + encode_multipart([b"m"]))
         assert dec.messages() == [[b"m"]]
         assert dec.messages() == []
+
+    def test_bytes_consumed_parity_with_websocket_decoder(self):
+        """ZmtpDecoder keeps the same accounting WebSocketDecoder has:
+        every consumed byte (greeting included) is counted exactly once."""
+        raw = encode_greeting() + encode_ready("ROUTER") + encode_multipart([b"a", b"bb"])
+        dec = ZmtpDecoder()
+        for i in range(len(raw)):
+            dec.feed(raw[i : i + 1])
+        assert dec.bytes_consumed == len(raw)
+
+    def test_bytes_consumed_stops_at_incomplete_frame(self):
+        raw = encode_greeting() + encode_multipart([b"whole"])
+        partial = encode_zmtp_frame(ZmtpFrame(b"partial"))[:-2]
+        dec = ZmtpDecoder()
+        dec.feed(raw + partial)
+        assert dec.bytes_consumed == len(raw)
+
+    def test_oversize_declared_frame_rejected_at_header(self):
+        import struct
+
+        dec = ZmtpDecoder(max_frame_size=1024)
+        dec.feed(encode_greeting())
+        with pytest.raises(ProtocolError, match="exceeds cap"):
+            dec.feed(b"\x02" + struct.pack(">Q", 1 << 40) + b"partial")
+
+    def test_command_retention_is_opt_out(self):
+        raw = encode_greeting() + encode_ready("ROUTER") + encode_multipart([b"m"])
+        dropper = ZmtpDecoder(collect_commands=False)
+        dropper.feed(raw)
+        assert dropper.commands() == []
+        assert dropper.messages() == [[b"m"]]  # commands still skipped in-stream
