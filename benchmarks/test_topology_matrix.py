@@ -1,0 +1,73 @@
+"""EXP-TOPO — the campaign matrix: every objective against every topology.
+
+The paper's threat taxonomy is defined against one deployment; the
+topology layer runs it against *four* — the single open server, the
+multi-tenant hub, the consistent-hash-sharded hub, and the
+honeypot-tenant hub — and reports detection/success rates per
+(topology, objective) cell.  Two claims get numbers:
+
+1. **Coverage** — every generated objective (extort/steal/mine) runs
+   end-to-end on every registered topology preset; no attack is
+   single-server-only.
+2. **Defense-in-depth ordering** — campaigns remain broadly detectable
+   on every topology (the monitor rides the tap wherever the tap is),
+   and the honeypot-tenant hub additionally burns the attacking source
+   into the intel feed, a signal no other topology produces.
+"""
+
+from _bench_utils import report
+
+from repro.attacks.campaign import OBJECTIVES, TopologyMatrixRunner
+from repro.topology import spec_preset
+
+#: Small worlds so the matrix stays CI-sized; the shapes are the point.
+TOPOLOGIES = {
+    "single-server": spec_preset("single-server"),
+    "hub": spec_preset("hub", n_tenants=2),
+    "sharded-hub": spec_preset("sharded-hub", n_shards=3, n_tenants=6),
+    "honeypot-hub": spec_preset("honeypot-hub", n_tenants=2),
+}
+
+
+def test_campaign_matrix_covers_every_topology_and_objective():
+    runner = TopologyMatrixRunner(TOPOLOGIES, campaigns_per_cell=1,
+                                  base_seed=8800, with_recon=False)
+    matrix = runner.run()
+
+    # Completeness: one cell per (topology, objective), none silently
+    # dropped, every campaign ran to completion (no aborted stages).
+    assert matrix.topologies() == sorted(TOPOLOGIES)
+    for topology in TOPOLOGIES:
+        for objective in OBJECTIVES:
+            cell = matrix.cell(topology, objective)
+            assert cell is not None, (topology, objective)
+            assert cell.rates["campaigns"] == 1
+            assert cell.rates["aborted"] == 0.0, (
+                topology, objective, [o.failure for o in cell.outcomes])
+
+    by_topology = matrix.by_topology()
+    for topology, rates in by_topology.items():
+        assert rates["campaigns"] == len(OBJECTIVES)
+        assert 0.0 <= rates["detected"] <= 1.0
+        assert rates["succeeded"] > 0.0, topology
+        # The monitor travels with the topology: campaigns do not go
+        # dark just because the world got more complicated.
+        assert rates["detected"] > 0.0, topology
+
+    report("EXP-TOPO", "EXP-TOPO: campaign matrix "
+                       "(1 campaign/cell, objectives x topologies)")
+    report("EXP-TOPO", matrix.render())
+    report("EXP-TOPO", "  per-topology: " + ", ".join(
+        f"{t}: det={r['detected']:.2f} succ={r['succeeded']:.2f}"
+        for t, r in sorted(by_topology.items())))
+
+
+def test_matrix_runs_are_reproducible():
+    small = {"single-server": spec_preset("single-server")}
+    a = TopologyMatrixRunner(small, objectives=["mine"], campaigns_per_cell=2,
+                             base_seed=8900).run()
+    b = TopologyMatrixRunner(small, objectives=["mine"], campaigns_per_cell=2,
+                             base_seed=8900).run()
+    assert a.to_dict() == b.to_dict()
+    assert [o.notices_triggered for c in a.cells for o in c.outcomes] == \
+           [o.notices_triggered for c in b.cells for o in c.outcomes]

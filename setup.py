@@ -20,6 +20,7 @@ setup(
             "repro-dataset=repro.cli.dataset:main",
             "repro-monitor=repro.cli.monitor:main",
             "repro-hub=repro.cli.hub:main",
+            "repro-topology=repro.cli.topology:main",
         ]
     },
 )

@@ -15,7 +15,7 @@ fleets of generated campaigns and aggregates what the defenders caught.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.exfiltration import ExfiltrationAttack, LowAndSlowExfiltration, OutputSmugglingAttack
@@ -25,7 +25,11 @@ from repro.attacks.ransomware import RansomwareAttack
 from repro.attacks.scenario import Scenario, build_scenario
 from repro.attacks.takeover import StolenTokenAttack, TokenBruteforceAttack
 from repro.attacks.zeroday import ZeroDayAttack
+from repro.eval.metrics import outcome_rates
 from repro.util.rng import DeterministicRNG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology.spec import WorldSpec
 
 
 @dataclass
@@ -118,6 +122,10 @@ class CampaignOutcome:
     campaign: Campaign
     results: List[AttackResult]
     notices_triggered: List[str]
+    #: Stage that raised, and the exception, when the campaign aborted —
+    #: distinguishes "short campaign" from "campaign that died mid-run".
+    failed_stage: Optional[str] = None
+    failure: str = ""
 
     @property
     def detected(self) -> bool:
@@ -127,51 +135,167 @@ class CampaignOutcome:
     def succeeded(self) -> bool:
         return any(r.success for r in self.results)
 
+    @property
+    def aborted(self) -> bool:
+        return self.failed_stage is not None
+
 
 class CampaignRunner:
-    """Runs campaigns, each against a fresh scenario, and aggregates."""
+    """Runs campaigns, each against a fresh world, and aggregates.
 
-    def __init__(self, *, base_seed: int = 5000, monitor_budget: float = 0.0):
+    ``spec`` selects the topology every campaign runs against: ``None``
+    keeps the classic single-server world, otherwise pass a
+    :class:`~repro.topology.spec.WorldSpec` or a preset name
+    (``"hub"``, ``"sharded-hub"``, ``"honeypot-hub"``, ...).  The spec
+    is compiled freshly per campaign with a per-campaign seed, so
+    campaigns stay independent and reproducible.
+    """
+
+    def __init__(self, *, base_seed: int = 5000,
+                 monitor_budget: Optional[float] = None,
+                 spec: Union[None, str, "WorldSpec"] = None):
         self.base_seed = base_seed
+        #: None = inherit whatever budget the spec carries; a float
+        #: overrides it for every campaign.
         self.monitor_budget = monitor_budget
+        self.spec = spec
         self.outcomes: List[CampaignOutcome] = []
+
+    def _build_world(self, index: int) -> Scenario:
+        if self.spec is None:
+            return build_scenario(seed=self.base_seed + index,
+                                  monitor_budget=self.monitor_budget or 0.0)
+        from repro.topology import WorldBuilder, resolve_spec
+
+        return WorldBuilder().build(resolve_spec(self.spec),
+                                    seed=self.base_seed + index,
+                                    monitor_budget=self.monitor_budget)
 
     def run(self, campaigns: Sequence[Campaign]) -> List[CampaignOutcome]:
         for i, campaign in enumerate(campaigns):
-            scenario = build_scenario(seed=self.base_seed + i,
-                                      monitor_budget=self.monitor_budget)
-            results = []
+            scenario = self._build_world(i)
+            results: List[AttackResult] = []
+            failed_stage: Optional[str] = None
+            failure = ""
             for stage in campaign.stages:
                 try:
                     results.append(stage.run(scenario))
-                except Exception:
-                    # A failed stage aborts the campaign, as it would live.
+                except Exception as e:
+                    # A failed stage aborts the campaign, as it would
+                    # live — but the post-mortem keeps the evidence.
+                    failed_stage = stage.name
+                    failure = f"{type(e).__name__}: {e}"
                     break
             scenario.run(20.0)
             notices = sorted({n.name for n in scenario.monitor.logs.notices
                               if n.severity in ("high", "critical")})
-            self.outcomes.append(CampaignOutcome(campaign, results, notices))
+            self.outcomes.append(CampaignOutcome(
+                campaign, results, notices,
+                failed_stage=failed_stage, failure=failure))
         return self.outcomes
 
     # -- aggregates ---------------------------------------------------------------
     def detection_rate(self) -> float:
-        if not self.outcomes:
-            return 0.0
-        return sum(1 for o in self.outcomes if o.detected) / len(self.outcomes)
+        return outcome_rates(self.outcomes)["detected"]
 
     def success_rate(self) -> float:
-        if not self.outcomes:
-            return 0.0
-        return sum(1 for o in self.outcomes if o.succeeded) / len(self.outcomes)
+        return outcome_rates(self.outcomes)["succeeded"]
+
+    def aborted(self) -> List[CampaignOutcome]:
+        return [o for o in self.outcomes if o.aborted]
 
     def by_objective(self) -> Dict[str, Dict[str, float]]:
         out: Dict[str, Dict[str, float]] = {}
         for obj in OBJECTIVES:
             subset = [o for o in self.outcomes if o.campaign.objective == obj]
             if subset:
-                out[obj] = {
-                    "campaigns": len(subset),
-                    "detected": sum(1 for o in subset if o.detected) / len(subset),
-                    "succeeded": sum(1 for o in subset if o.succeeded) / len(subset),
-                }
+                out[obj] = outcome_rates(subset)
         return out
+
+
+@dataclass
+class MatrixCell:
+    """One (topology, objective) cell of the campaign matrix."""
+
+    topology: str
+    objective: str
+    rates: Dict[str, float]
+    outcomes: List[CampaignOutcome] = field(default_factory=list)
+
+
+@dataclass
+class MatrixReport:
+    """Per-topology detection/success rates for every objective."""
+
+    cells: List[MatrixCell]
+
+    def cell(self, topology: str, objective: str) -> Optional[MatrixCell]:
+        for c in self.cells:
+            if c.topology == topology and c.objective == objective:
+                return c
+        return None
+
+    def topologies(self) -> List[str]:
+        return sorted({c.topology for c in self.cells})
+
+    def by_topology(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for topology in self.topologies():
+            outcomes = [o for c in self.cells if c.topology == topology
+                        for o in c.outcomes]
+            out[topology] = outcome_rates(outcomes)
+        return out
+
+    def to_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for c in self.cells:
+            out.setdefault(c.topology, {})[c.objective] = dict(c.rates)
+        return out
+
+    def render(self) -> str:
+        lines = [f"{'topology':<14} {'objective':<8} {'n':>3} "
+                 f"{'detected':>9} {'succeeded':>10} {'aborted':>8}"]
+        for c in self.cells:
+            r = c.rates
+            lines.append(f"{c.topology:<14} {c.objective:<8} "
+                         f"{int(r['campaigns']):>3} {r['detected']:>9.2f} "
+                         f"{r['succeeded']:>10.2f} {r['aborted']:>8.2f}")
+        return "\n".join(lines)
+
+
+class TopologyMatrixRunner:
+    """Runs the same generated campaigns across many topologies.
+
+    The ROADMAP's "run every attack against many topology variants"
+    harness: for each (topology, objective) cell it generates
+    ``campaigns_per_cell`` campaigns with a cell-deterministic seed and
+    reports detection/success/abort rates per cell and per topology.
+    """
+
+    def __init__(self, topologies: Dict[str, Union[str, "WorldSpec"]], *,
+                 objectives: Optional[Sequence[str]] = None,
+                 campaigns_per_cell: int = 3, base_seed: int = 9000,
+                 monitor_budget: Optional[float] = None,
+                 with_recon: bool = False):
+        self.topologies = dict(topologies)
+        self.objectives = list(objectives) if objectives else sorted(OBJECTIVES)
+        self.campaigns_per_cell = campaigns_per_cell
+        self.base_seed = base_seed
+        self.monitor_budget = monitor_budget
+        self.with_recon = with_recon
+
+    def run(self) -> MatrixReport:
+        cells: List[MatrixCell] = []
+        for t_idx, (name, spec) in enumerate(sorted(self.topologies.items())):
+            for o_idx, objective in enumerate(self.objectives):
+                cell_seed = self.base_seed + 1000 * t_idx + 100 * o_idx
+                campaigns = CampaignGenerator(
+                    seed=cell_seed, with_recon=self.with_recon,
+                ).generate_fleet(self.campaigns_per_cell, objective=objective)
+                runner = CampaignRunner(base_seed=cell_seed, spec=spec,
+                                        monitor_budget=self.monitor_budget)
+                outcomes = runner.run(campaigns)
+                cells.append(MatrixCell(topology=name, objective=objective,
+                                        rates=outcome_rates(outcomes),
+                                        outcomes=outcomes))
+        return MatrixReport(cells)

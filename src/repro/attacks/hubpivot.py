@@ -55,8 +55,13 @@ class CrossTenantPivotAttack(Attack):
                        token: str) -> WebSocketKernelClient:
         proxy = getattr(scenario, "proxy", None)
         assert proxy is not None
+        # Each tenant is reached at its canonical front door — on a
+        # sharded hub that is the consistent-hash-assigned shard, which
+        # spreads the sweep across every shard's tap.
+        front_door = getattr(scenario, "front_door_host", None)
+        host = front_door(tenant) if front_door is not None else scenario.server_host
         return WebSocketKernelClient(
-            scenario.attacker_host, scenario.server_host, port=proxy.config.port,
+            scenario.attacker_host, host, port=proxy.config.port,
             token=token, username="pivot", path_prefix=f"/user/{tenant}")
 
     def _enumerate(self, scenario: Scenario, token: str) -> List[str]:

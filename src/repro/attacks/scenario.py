@@ -11,18 +11,27 @@ One call builds the whole testbed the paper's NCSA deployment implies:
 - per-kernel :class:`~repro.audit.auditor.KernelAuditor` attachment;
 - attacker-side listeners that record whatever arrives (the exfil sink
   and the stratum pool).
+
+Since the topology refactor this module is a *facade*: the world is
+described by a declarative :class:`~repro.topology.spec.WorldSpec` and
+wired by :class:`~repro.topology.builder.WorldBuilder`;
+:func:`build_scenario` keeps its historical signature and compiles the
+``single-server`` spec.  See DESIGN.md for the layer's architecture.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.audit import KernelAuditor
 from repro.monitor import AnalyzerDepth, JupyterNetworkMonitor
 from repro.server import JupyterServer, ServerConfig, ServerGateway, WebSocketKernelClient
 from repro.simnet import Host, Network, NetworkTap, TcpConnection
 from repro.util.rng import DeterministicRNG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology.spec import WorldSpec
 
 
 class SinkServer:
@@ -68,10 +77,23 @@ class Scenario:
     rng: DeterministicRNG
     auditors: Dict[str, KernelAuditor] = field(default_factory=dict)
     results: list = field(default_factory=list)
+    #: All attacker-side sinks by spec key (``exfil_sink``/``mining_pool``
+    #: are also dedicated fields for the common pair).
+    sinks: Dict[str, "SinkServer"] = field(default_factory=dict)
+    #: The spec this world was compiled from (None for hand-wired worlds).
+    spec: Optional["WorldSpec"] = None
 
     @property
     def clock(self):
         return self.network.loop.clock
+
+    @classmethod
+    def build(cls, **kwargs) -> "Scenario":
+        """Compile the standard single-server spec (the benchmark-facing
+        constructor; same keywords as :func:`build_scenario`)."""
+        from repro.topology import WorldBuilder, single_server_spec
+
+        return WorldBuilder().build(single_server_spec(**kwargs))
 
     # -- clients -------------------------------------------------------------------
     def user_client(self, *, username: str = "scientist") -> WebSocketKernelClient:
@@ -137,48 +159,16 @@ def build_scenario(
     seed_data: bool = True,
     monitor_has_session_key: bool = False,
 ) -> Scenario:
-    """Construct the standard testbed."""
-    rng = DeterministicRNG(seed)
-    net = Network(default_latency=0.002)
-    server_host = net.add_host("jupyter", "10.0.0.10")
-    user_host = net.add_host("laptop", "10.0.0.42")
-    attacker_host = net.add_host("attacker", "203.0.113.66")
-    sink_host = net.add_host("exfil-sink", "198.51.100.9")
-    pool_host = net.add_host("mining-pool", "198.51.100.77")
-    tap = net.add_tap("campus-tap")
+    """Construct the standard testbed.
 
-    cfg = config or ServerConfig(ip="0.0.0.0", token="unit-test-token")
-    server = JupyterServer(cfg, net, server_host)
-    gateway = ServerGateway(server)
-    monitor = JupyterNetworkMonitor(
-        depth=depth,
-        budget_events_per_second=monitor_budget,
-        session_key=cfg.session_key if monitor_has_session_key else b"",
+    The testbed is a scale model: artifacts are tens of KB, not tens of
+    GB, so the monitor's volume thresholds scale down with them (the
+    *ratios* between attack volume, benign volume, and threshold match a
+    real deployment; see DESIGN.md).  Those thresholds — and everything
+    else about the world — live in the ``single-server`` spec this
+    function compiles.
+    """
+    return Scenario.build(
+        config=config, depth=depth, seed=seed, monitor_budget=monitor_budget,
+        seed_data=seed_data, monitor_has_session_key=monitor_has_session_key,
     )
-    # The testbed is a scale model: artifacts are tens of KB, not tens of
-    # GB, so the volume thresholds scale down with them (the *ratios*
-    # between attack volume, benign volume, and threshold match a real
-    # deployment; see DESIGN.md).
-    monitor.egress.threshold_bytes = 20_000
-    monitor.cusum.baseline = 200.0
-    monitor.cusum.slack = 200.0
-    monitor.cusum.h = 30_000.0
-    monitor.attach(tap)
-
-    exfil_sink = SinkServer(sink_host, 443)
-    mining_pool = SinkServer(pool_host, 3333,
-                             reply=b'{"id":1,"result":{"job":"deadbeef"},"error":null}\n')
-
-    scenario = Scenario(
-        network=net, server=server, gateway=gateway, monitor=monitor, tap=tap,
-        server_host=server_host, user_host=user_host, attacker_host=attacker_host,
-        exfil_sink=exfil_sink, mining_pool=mining_pool,
-        token=cfg.token, rng=rng,
-    )
-    if seed_data:
-        scenario.seed_research_data()
-    return scenario
-
-
-# Convenience alias used throughout benchmarks.
-Scenario.build = staticmethod(build_scenario)  # type: ignore[attr-defined]

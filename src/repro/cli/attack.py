@@ -8,6 +8,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.attacks import (
+    CrossTenantPivotAttack,
     CryptominingAttack,
     CredentialStuffingAttack,
     ExfiltrationAttack,
@@ -22,7 +23,6 @@ from repro.attacks import (
     TokenBruteforceAttack,
     ZeroDayAttack,
 )
-from repro.attacks.scenario import build_scenario
 from repro.server.config import ServerConfig, insecure_demo_config
 
 ATTACKS: Dict[str, Callable[[], object]] = {
@@ -40,6 +40,7 @@ ATTACKS: Dict[str, Callable[[], object]] = {
     "zero-day": lambda: ZeroDayAttack(exfil_bytes=50_000),
     "monitor-flood": MonitorFloodAttack,
     "rule-inference": RuleInferenceAttack,
+    "cross-tenant-pivot": CrossTenantPivotAttack,
 }
 
 
@@ -48,17 +49,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                                      description="Run one attack against a fresh simulated deployment")
     parser.add_argument("attack", choices=sorted(ATTACKS))
     parser.add_argument("--insecure-server", action="store_true",
-                        help="target the classic token-less 0.0.0.0 deployment")
+                        help="target the classic token-less 0.0.0.0 deployment "
+                             "(single-server topology only)")
+    parser.add_argument("--topology", default="single-server",
+                        help="world spec preset to attack "
+                             "(single-server, hub, sharded-hub, honeypot-hub, ...)")
     parser.add_argument("--seed", type=int, default=1337)
     parser.add_argument("--monitor-budget", type=float, default=0.0,
                         help="monitor processing budget (segments/sec, 0=unlimited)")
     parser.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
 
-    config = insecure_demo_config() if args.insecure_server else ServerConfig(
-        ip="0.0.0.0", token="cli-demo-token")
-    scenario = build_scenario(config=config, seed=args.seed,
-                              monitor_budget=args.monitor_budget)
+    from repro.topology import WorldBuilder, list_presets, spec_preset
+
+    if args.topology not in list_presets():
+        parser.error(f"unknown topology {args.topology!r} "
+                     f"(registered: {', '.join(list_presets())})")
+    overrides = {}
+    if args.topology == "single-server":
+        overrides["config"] = insecure_demo_config() if args.insecure_server \
+            else ServerConfig(ip="0.0.0.0", token="cli-demo-token")
+    elif args.insecure_server:
+        parser.error("--insecure-server only applies to --topology single-server")
+    spec = spec_preset(args.topology, seed=args.seed,
+                       monitor_budget=args.monitor_budget, **overrides)
+    scenario = WorldBuilder().build(spec)
     attack = ATTACKS[args.attack]()
     result = attack.run(scenario)
 

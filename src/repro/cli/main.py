@@ -8,6 +8,7 @@ One console script with subcommands delegating to the dedicated tools::
     repro dataset ...    build/export a labeled corpus
     repro monitor ...    replay a scenario and summarize monitor logs
     repro hub ...        run a fleet-scale multi-tenant hub scenario
+    repro topology ...   list/smoke/matrix the registered world specs
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ from repro.cli import hub as _hub
 from repro.cli import monitor as _monitor
 from repro.cli import scan as _scan
 from repro.cli import taxonomy as _taxonomy
+from repro.cli import topology as _topology
 
 SUBCOMMANDS: Dict[str, Callable[[Optional[List[str]]], int]] = {
     "scan": _scan.main,
@@ -29,6 +31,7 @@ SUBCOMMANDS: Dict[str, Callable[[Optional[List[str]]], int]] = {
     "dataset": _dataset.main,
     "monitor": _monitor.main,
     "hub": _hub.main,
+    "topology": _topology.main,
 }
 
 

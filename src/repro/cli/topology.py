@@ -1,0 +1,118 @@
+"""``repro topology``: inspect, smoke-test, and matrix-run topologies.
+
+Three modes:
+
+- ``--list``   — registered ``WorldSpec`` presets with their shapes.
+- ``--smoke``  — build every preset and run one quickstart attack on
+  each (the CI ``topology-smoke`` job); non-zero exit on any failure.
+- ``--matrix`` — run the campaign matrix: topologies × objectives with
+  per-cell detection/success/abort rates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.attacks.campaign import TopologyMatrixRunner
+from repro.attacks.takeover import StolenTokenAttack
+from repro.topology import WorldBuilder, list_presets, spec_preset
+
+#: Small-world overrides per preset so smoke/matrix runs stay fast.
+SMALL: Dict[str, Dict] = {
+    "single-server": {},
+    "hub": {"n_tenants": 2},
+    "sharded-hub": {"n_shards": 3, "n_tenants": 6},
+    "honeypot-hub": {"n_tenants": 2},
+}
+
+
+def _spec_shape(name: str) -> str:
+    spec = spec_preset(name)  # the preset's real defaults, not SMALL
+    if spec.server is not None:
+        return "1 server"
+    hub = spec.hub
+    assert hub is not None
+    parts = [f"{hub.n_tenants} tenants"]
+    parts.append(f"{len(hub.shards) or 1} front door(s)")
+    if hub.decoy_tenants:
+        parts.append(f"{len(hub.decoy_tenants)} decoy tenant(s)")
+    return ", ".join(parts)
+
+
+def smoke(*, seed: int = 1337, out=None) -> int:
+    """Build every registered preset and run one quickstart attack."""
+    out = out or sys.stdout
+    builder = WorldBuilder()
+    failures = 0
+    for name in list_presets():
+        try:
+            spec = spec_preset(name, seed=seed, **SMALL.get(name, {}))
+            scenario = builder.build(spec)
+            result = StolenTokenAttack().run(scenario)
+            scenario.run(10.0)
+            notices = sorted({n.name for n in scenario.monitor.logs.notices})
+            status = "ok" if result.success else "FAIL(attack)"
+            if not result.success:
+                failures += 1
+            print(f"  {name:<14} {status:<12} notices={','.join(notices) or '-'}",
+                  file=out)
+        except Exception as e:  # a preset that cannot build is a failure
+            failures += 1
+            print(f"  {name:<14} FAIL(build)   {type(e).__name__}: {e}", file=out)
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-topology",
+        description="List, smoke-test, or matrix-run the registered world topologies")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--list", action="store_true", help="list registered presets")
+    mode.add_argument("--smoke", action="store_true",
+                      help="build every preset and run one quickstart attack")
+    mode.add_argument("--matrix", action="store_true",
+                      help="run the topology x objective campaign matrix")
+    parser.add_argument("--topologies", nargs="*", default=None,
+                        help="subset of presets for --matrix (default: all)")
+    parser.add_argument("--campaigns", type=int, default=2,
+                        help="campaigns per matrix cell")
+    parser.add_argument("--seed", type=int, default=1337)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        payload = {name: _spec_shape(name) for name in list_presets()}
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            for name, shape in payload.items():
+                print(f"  {name:<14} {shape}")
+        return 0
+
+    if args.smoke:
+        print("topology smoke: one quickstart attack per preset")
+        failures = smoke(seed=args.seed)
+        print(f"topology smoke: {'PASS' if failures == 0 else f'{failures} FAILURES'}")
+        return 1 if failures else 0
+
+    names = args.topologies or list_presets()
+    unknown = [n for n in names if n not in list_presets()]
+    if unknown:
+        parser.error(f"unknown presets: {', '.join(unknown)}")
+    topologies = {name: spec_preset(name, **SMALL.get(name, {})) for name in names}
+    report = TopologyMatrixRunner(
+        topologies, campaigns_per_cell=args.campaigns,
+        base_seed=args.seed).run()
+    if args.json:
+        print(json.dumps({"cells": report.to_dict(),
+                          "by_topology": report.by_topology()}, indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

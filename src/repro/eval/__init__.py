@@ -1,5 +1,10 @@
 """Evaluation: detection metrics and experiment harness utilities."""
 
-from repro.eval.metrics import ConfusionMatrix, DetectionEvaluator, roc_sweep
+from repro.eval.metrics import (
+    ConfusionMatrix,
+    DetectionEvaluator,
+    outcome_rates,
+    roc_sweep,
+)
 
-__all__ = ["ConfusionMatrix", "DetectionEvaluator", "roc_sweep"]
+__all__ = ["ConfusionMatrix", "DetectionEvaluator", "outcome_rates", "roc_sweep"]

@@ -1,4 +1,4 @@
-"""Detection metrics over labeled corpora."""
+"""Detection metrics over labeled corpora and campaign outcomes."""
 
 from __future__ import annotations
 
@@ -6,6 +6,26 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.dataset.builder import LabeledRecord
+
+
+def outcome_rates(outcomes: Sequence) -> Dict[str, float]:
+    """Aggregate campaign outcomes into the rates every report shares.
+
+    Accepts any sequence with ``detected``/``succeeded``/``aborted``
+    boolean attributes (:class:`~repro.attacks.campaign.CampaignOutcome`
+    and the topology-matrix cells both qualify).  Empty input yields the
+    all-zero row rather than a division error, so sparse matrix subsets
+    (an objective never generated for some topology) stay well-defined.
+    """
+    n = len(outcomes)
+    if n == 0:
+        return {"campaigns": 0, "detected": 0.0, "succeeded": 0.0, "aborted": 0.0}
+    return {
+        "campaigns": n,
+        "detected": sum(1 for o in outcomes if o.detected) / n,
+        "succeeded": sum(1 for o in outcomes if o.succeeded) / n,
+        "aborted": sum(1 for o in outcomes if getattr(o, "aborted", False)) / n,
+    }
 
 
 @dataclass

@@ -112,8 +112,12 @@ class DecoyJupyterServer:
         original_handle = server.handle_request
 
         def recording_handle(request: HttpRequest, *, source_ip: str = ""):
-            self._record("http", source_ip, f"{request.method} {request.target}",
-                         {"body_bytes": len(request.body)})
+            # Behind a hub proxy every request arrives from the proxy
+            # host; X-Forwarded-For (set by the proxy, stripped from
+            # client input) restores the true source for attribution.
+            src = request.header("x-forwarded-for") or source_ip
+            self._record("http", src, f"{request.method} {request.target}",
+                         {"body_bytes": len(request.body), "relay_ip": source_ip})
             return original_handle(request, source_ip=source_ip)
 
         server.handle_request = recording_handle  # type: ignore[method-assign]

@@ -46,6 +46,13 @@ class HoneypotFleet:
         self.decoys.append(decoy)
         return decoy
 
+    def adopt(self, decoy: DecoyJupyterServer) -> DecoyJupyterServer:
+        """Bring an externally deployed decoy (e.g. a hub decoy tenant)
+        under this fleet's harvesting."""
+        if decoy not in self.decoys:
+            self.decoys.append(decoy)
+        return decoy
+
     def schedule_harvesting(self, *, horizon: float) -> None:
         """Install periodic harvest events on the simulation loop."""
         loop = self.network.loop
@@ -71,6 +78,29 @@ class HoneypotFleet:
                                total_indicators=len(self.feed.indicators))
         self.reports.append(report)
         return report
+
+    def publish_source_indicators(self, *, confidence: float = 0.95) -> int:
+        """Publish a burned-source indicator for every IP that touched a
+        decoy.  Decoys have no legitimate users, so a single interaction
+        is a high-confidence verdict on the *source* even when the
+        payload itself yields no content signature (e.g. a quiet
+        cross-tenant looting sweep)."""
+        now = self.network.loop.clock.now()
+        published = 0
+        for decoy in self.decoys:
+            for ip in decoy.attacker_ips():
+                indicator = Indicator(
+                    indicator_id=f"ind-src-{ip}",
+                    indicator_type="source-ip",
+                    pattern=ip,
+                    description=f"source interacted with decoy {decoy.name}",
+                    confidence=confidence,
+                    source=f"honeypot:{decoy.name}",
+                    created=now,
+                )
+                if self.feed.publish(indicator):
+                    published += 1
+        return published
 
     # -- the EXP-HPOT metric -------------------------------------------------------
     def lead_time(self, pattern_fragment: str, production_hit_ts: float) -> Optional[float]:

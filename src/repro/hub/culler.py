@@ -12,7 +12,7 @@ reclaims servers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.hub.proxy import ReverseProxy
 from repro.hub.spawner import Spawner
@@ -33,10 +33,15 @@ class IdleCuller:
 
     def __init__(self, loop: EventLoop, spawner: Spawner, proxy: ReverseProxy,
                  *, interval: float = 60.0, idle_timeout: float = 600.0,
-                 enabled: bool = True):
+                 enabled: bool = True,
+                 proxies: Optional[Sequence[ReverseProxy]] = None):
         self.loop = loop
         self.spawner = spawner
         self.proxy = proxy
+        #: All front doors carrying routes for this fleet.  A sharded hub
+        #: has one proxy per shard; a server is idle only if *every*
+        #: shard's route for it has gone quiet.
+        self.proxies: List[ReverseProxy] = list(proxies) if proxies else [proxy]
         self.interval = interval
         self.idle_timeout = idle_timeout
         self.enabled = enabled
@@ -64,15 +69,18 @@ class IdleCuller:
         self._schedule()
 
     def last_activity(self, username: str) -> Optional[float]:
-        """Latest traffic timestamp for a user's server (route counters,
-        falling back to the spawn time for never-visited servers)."""
+        """Latest traffic timestamp for a user's server across every
+        front door (route counters, falling back to the spawn time for
+        never-visited servers)."""
         spawned = self.spawner.active.get(username)
         if spawned is None:
             return None
-        route = self.proxy.routes.get(username)
-        if route is None:
-            return spawned.started_at
-        return max(route.last_activity, spawned.started_at)
+        latest = spawned.started_at
+        for proxy in self.proxies:
+            route = proxy.routes.get(username)
+            if route is not None:
+                latest = max(latest, route.last_activity)
+        return latest
 
     def sweep(self) -> List[CullRecord]:
         """One culling pass; returns the servers reclaimed this sweep."""

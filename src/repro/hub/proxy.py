@@ -316,10 +316,15 @@ class ReverseProxy:
 
     # -- routing table --------------------------------------------------------
     def add_route(self, spawned: SpawnedServer) -> RouteEntry:
-        entry = RouteEntry(username=spawned.username, host=spawned.host,
-                           port=spawned.port, created=self.clock.now(),
+        return self.add_static_route(spawned.username, spawned.host, spawned.port)
+
+    def add_static_route(self, username: str, host: Host, port: int) -> RouteEntry:
+        """Route ``/user/<username>`` to a backend the spawner does not
+        manage (e.g. a decoy-tenant honeypot server)."""
+        entry = RouteEntry(username=username, host=host, port=port,
+                           created=self.clock.now(),
                            last_activity=self.clock.now())
-        self.routes[spawned.username] = entry
+        self.routes[username] = entry
         return entry
 
     def remove_route(self, username: str) -> bool:
@@ -394,10 +399,13 @@ class ReverseProxy:
         # the proxy swaps in the tenant's own credential (real hubs pass
         # an internal auth header the single-user server trusts).
         headers = {k: v for k, v in request.headers.items()
-                   if k.lower() != "authorization"}
+                   if k.lower() not in ("authorization", "x-forwarded-for")}
         target_user = self.users.get(target)
         if target_user is not None:
             headers["Authorization"] = f"token {target_user.token}"
+        # Backends otherwise see every request arriving from the proxy
+        # host; decoy-tenant honeypots attribute interactions with this.
+        headers["X-Forwarded-For"] = channel.conn.client.ip
         self.stats.routed_total += 1
         channel.relay(route, HttpRequest(request.method, rewritten,
                                          headers, request.body, request.version))

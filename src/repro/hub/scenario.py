@@ -11,6 +11,12 @@ host, and clients carry a ``/user/<name>`` path prefix.
 The network tap sits where the paper's monitor would: in front of the
 proxy, seeing both the client↔proxy and proxy↔backend legs of every
 request for the whole fleet.
+
+Like the single-server module, this is a facade since the topology
+refactor: :func:`build_hub_scenario` compiles the ``hub``
+:class:`~repro.topology.spec.WorldSpec`; the sharded and honeypot-tenant
+hub variants are sibling specs compiled by the same
+:class:`~repro.topology.builder.WorldBuilder` (see DESIGN.md).
 """
 
 from __future__ import annotations
@@ -18,15 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.attacks.scenario import Scenario, SinkServer
+from repro.attacks.scenario import Scenario
 from repro.hub.culler import IdleCuller
 from repro.hub.proxy import ReverseProxy
 from repro.hub.spawner import SpawnedServer, Spawner
 from repro.hub.users import HubConfig, HubUserDirectory
-from repro.monitor import AnalyzerDepth, JupyterNetworkMonitor
+from repro.monitor import AnalyzerDepth
 from repro.server import ServerConfig, WebSocketKernelClient
-from repro.simnet import Network
-from repro.util.rng import DeterministicRNG
+from repro.simnet import Host
 
 DEFAULT_TENANTS_PER_NODE = 25
 
@@ -51,6 +56,19 @@ class HubScenario(Scenario):
     @property
     def default_tenant(self) -> str:
         return self.tenant_names[0] if self.tenant_names else "user00"
+
+    @classmethod
+    def build(cls, **kwargs) -> "HubScenario":
+        """Compile the ``hub`` spec (same keywords as
+        :func:`build_hub_scenario`)."""
+        from repro.topology import WorldBuilder, hub_spec
+
+        return WorldBuilder().build(hub_spec(**kwargs))
+
+    def front_door_host(self, tenant: str) -> Host:
+        """The front-door host serving ``/user/<tenant>`` — always the
+        single proxy here; sharded hubs route by consistent hash."""
+        return self.server_host
 
     # -- clients --------------------------------------------------------------
     def ensure_tenant(self, username: str) -> SpawnedServer:
@@ -81,16 +99,16 @@ class HubScenario(Scenario):
         else:
             target, token = self.default_tenant, self.token
         return WebSocketKernelClient(
-            self.user_host, self.server_host, port=self.proxy.config.port,
+            self.user_host, self.front_door_host(target), port=self.proxy.config.port,
             token=token, username=name, path_prefix=f"/user/{target}")
 
     def attacker_client(self, *, token: str = "", username: str = "attacker",
                         tenant: str = "") -> WebSocketKernelClient:
         """A client from attacker infrastructure aimed (by default) at the
-        default tenant's server, through the proxy."""
+        default tenant's server, through that tenant's front door."""
         target = tenant or self.default_tenant
         return WebSocketKernelClient(
-            self.attacker_host, self.server_host, port=self.proxy.config.port,
+            self.attacker_host, self.front_door_host(target), port=self.proxy.config.port,
             token=token, username=username, path_prefix=f"/user/{target}")
 
     def tenant_server(self, username: str):
@@ -130,66 +148,10 @@ def build_hub_scenario(
 ) -> HubScenario:
     """Construct the fleet testbed: proxy front door, ``n_tenants``
     per-user servers across enough fleet nodes, attacker infrastructure,
-    and a monitor on the proxy tap."""
-    if n_tenants < 1:
-        raise ValueError("a hub scenario needs at least one tenant")
-    rng = DeterministicRNG(seed)
-    net = Network(default_latency=0.002)
-    proxy_host = net.add_host("hub", "10.0.0.2")
-    n_nodes = max(1, -(-n_tenants // tenants_per_node))
-    nodes = [net.add_host(f"node{i:02d}", f"10.0.1.{10 + i}") for i in range(n_nodes)]
-    user_host = net.add_host("laptop", "10.0.0.42")
-    attacker_host = net.add_host("attacker", "203.0.113.66")
-    sink_host = net.add_host("exfil-sink", "198.51.100.9")
-    pool_host = net.add_host("mining-pool", "198.51.100.77")
-    tap = net.add_tap("hub-tap")
-
-    hub_cfg = hub_config or HubConfig(api_token="hub-admin-token",
-                                      max_servers=max(n_tenants + 8, 64))
-    base_cfg = server_config or ServerConfig(ip="0.0.0.0", token="")
-
-    users = HubUserDirectory(hub_cfg, net.loop.clock, rng=rng.child("hub-tokens"))
-    spawner = Spawner(net, nodes, base_cfg, hub_cfg)
-    proxy = ReverseProxy(net, proxy_host, users, hub_cfg, spawner=spawner)
-    spawner.on_spawn.append(lambda s: proxy.add_route(s))
-    spawner.on_stop.append(lambda name: proxy.remove_route(name))
-    culler = IdleCuller(net.loop, spawner, proxy,
-                        interval=hub_cfg.cull_interval,
-                        idle_timeout=hub_cfg.cull_idle_timeout,
-                        enabled=hub_cfg.culling_enabled)
-
-    monitor = JupyterNetworkMonitor(depth=depth,
-                                    budget_events_per_second=monitor_budget,
-                                    infrastructure_ips={proxy_host.ip})
-    # Same scale-model thresholds as the single-server testbed.
-    monitor.egress.threshold_bytes = 20_000
-    monitor.cusum.baseline = 200.0
-    monitor.cusum.slack = 200.0
-    monitor.cusum.h = 30_000.0
-    monitor.attach(tap)
-
-    exfil_sink = SinkServer(sink_host, 443)
-    mining_pool = SinkServer(pool_host, 3333,
-                             reply=b'{"id":1,"result":{"job":"deadbeef"},"error":null}\n')
-
-    names = [f"{tenant_prefix}{i:02d}" for i in range(n_tenants)]
-    for name in names:
-        user = users.create(name)
-        if spawn_all:
-            spawner.spawn(user)
-    if not spawn_all and names:
-        spawner.spawn(users.users[names[0]])  # the default tenant always runs
-
-    default = spawner.active[names[0]]
-    scenario = HubScenario(
-        network=net, server=default.server, gateway=default.gateway,
-        monitor=monitor, tap=tap,
-        server_host=proxy_host, user_host=user_host, attacker_host=attacker_host,
-        exfil_sink=exfil_sink, mining_pool=mining_pool,
-        token=users.users[names[0]].token, rng=rng,
-        proxy=proxy, spawner=spawner, culler=culler,
-        hub=users, hub_config=hub_cfg, tenant_names=list(names),
+    and a monitor on the proxy tap — compiled from the ``hub`` spec."""
+    return HubScenario.build(
+        n_tenants=n_tenants, hub_config=hub_config, server_config=server_config,
+        depth=depth, seed=seed, monitor_budget=monitor_budget,
+        seed_data=seed_data, spawn_all=spawn_all,
+        tenants_per_node=tenants_per_node, tenant_prefix=tenant_prefix,
     )
-    if seed_data:
-        scenario.seed_research_data()
-    return scenario

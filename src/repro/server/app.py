@@ -47,6 +47,9 @@ class AccessLogEntry:
     status: int
     username: str
     body_bytes: int
+    #: Original client IP when the request was relayed by a hub proxy
+    #: (the proxy sets X-Forwarded-For; empty for direct connections).
+    forwarded_for: str = ""
 
 
 class JupyterServer:
@@ -169,6 +172,7 @@ class JupyterServer:
                 status=response.status,
                 username=getattr(response, "_username", ""),
                 body_bytes=len(response.body),
+                forwarded_for=request.header("x-forwarded-for"),
             )
         )
         return response

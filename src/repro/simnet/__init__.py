@@ -19,6 +19,7 @@ timelines, which makes every benchmark and dataset reproducible.
 
 from repro.simnet.loop import EventLoop
 from repro.simnet.net import (
+    FilteredTap,
     Host,
     Listener,
     Network,
@@ -34,5 +35,6 @@ __all__ = [
     "Listener",
     "TcpConnection",
     "NetworkTap",
+    "FilteredTap",
     "Segment",
 ]

@@ -11,7 +11,7 @@ faithful (per-link latency plus bandwidth pacing).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.simnet.loop import EventLoop
 from repro.util.errors import ReproError
@@ -69,6 +69,26 @@ class NetworkTap:
 
     def clear(self) -> None:
         self.segments.clear()
+
+
+class FilteredTap(NetworkTap):
+    """A tap with a vantage point: only segments touching ``only_ips``.
+
+    Real sensors sit on a link, not on the whole world; a filtered tap
+    models that — e.g. one tap per hub front-door shard, seeing the
+    client↔shard and shard↔backend legs of that shard's traffic and
+    nothing else.  An empty filter behaves like a plain (see-all) tap.
+    """
+
+    def __init__(self, name: str = "tap0", *, only_ips: Iterable[str] = ()):
+        super().__init__(name)
+        self.only_ips = frozenset(only_ips)
+
+    def observe(self, segment: Segment) -> None:
+        if self.only_ips and segment.src not in self.only_ips \
+                and segment.dst not in self.only_ips:
+            return
+        super().observe(segment)
 
 
 class TcpConnection:
@@ -272,8 +292,9 @@ class Network:
         self.hosts[name] = host
         return host
 
-    def add_tap(self, name: str = "tap0") -> NetworkTap:
-        tap = NetworkTap(name)
+    def add_tap(self, name: str = "tap0", *,
+                only_ips: Optional[Iterable[str]] = None) -> NetworkTap:
+        tap = FilteredTap(name, only_ips=only_ips) if only_ips else NetworkTap(name)
         self.taps.append(tap)
         return tap
 

@@ -1,0 +1,77 @@
+"""The declarative topology layer: specs in, wired worlds out.
+
+The paper's taxonomy spans single open servers, multi-tenant hubs, and
+honeypot deployments; this package makes each of those a *data value* —
+a frozen :class:`WorldSpec` — compiled by one :class:`WorldBuilder`.
+``Scenario``, ``HubScenario``, and the campaign runner are thin facades
+over it, so every attack, benchmark, example, and CLI entry point runs
+unchanged against any spec, and a new topology is ~20 lines of spec
+rather than a new wiring module.
+
+- :mod:`repro.topology.spec`     — the plain-dataclass vocabulary
+  (hosts, taps, servers, hub shards, decoy tenants, sinks, monitors).
+- :mod:`repro.topology.builder`  — the compiler (deterministic wiring).
+- :mod:`repro.topology.presets`  — the registry: ``single-server``,
+  ``hub``, ``sharded-hub``, ``honeypot-hub``.
+- :mod:`repro.topology.hashring` — consistent-hash shard assignment.
+- :mod:`repro.topology.fleet`    — sharded/honeypot hub scenario types
+  and the merged :class:`FleetMonitorView`.
+"""
+
+from repro.topology.builder import WorldBuilder
+from repro.topology.fleet import (
+    FleetMonitorView,
+    HoneypotHubScenario,
+    HubShard,
+    ShardedHubScenario,
+)
+from repro.topology.hashring import ConsistentHashRing
+from repro.topology.presets import (
+    PRESETS,
+    honeypot_hub_spec,
+    hub_spec,
+    list_presets,
+    register_preset,
+    resolve_spec,
+    sharded_hub_spec,
+    single_server_spec,
+    spec_preset,
+)
+from repro.topology.spec import (
+    DecoyTenantSpec,
+    HostSpec,
+    HubSpec,
+    MonitorSpec,
+    ServerSpec,
+    ShardSpec,
+    SinkSpec,
+    TapSpec,
+    WorldSpec,
+)
+
+__all__ = [
+    "WorldSpec",
+    "WorldBuilder",
+    "HostSpec",
+    "TapSpec",
+    "SinkSpec",
+    "MonitorSpec",
+    "ServerSpec",
+    "ShardSpec",
+    "DecoyTenantSpec",
+    "HubSpec",
+    "HubShard",
+    "ShardedHubScenario",
+    "HoneypotHubScenario",
+    "FleetMonitorView",
+    "ConsistentHashRing",
+    "PRESETS",
+    "single_server_spec",
+    "hub_spec",
+    "sharded_hub_spec",
+    "honeypot_hub_spec",
+    "spec_preset",
+    "list_presets",
+    "register_preset",
+    "resolve_spec",
+]

@@ -1,0 +1,230 @@
+"""Compile a :class:`~repro.topology.spec.WorldSpec` into a wired world.
+
+One builder, every topology.  The compile order is deliberately frozen —
+host creation order, RNG child streams, spawn order — so that a spec
+compiles to the byte-identical world the hand-wired builders used to
+produce: same seed, same spec → same segment timeline, which keeps every
+benchmark and dataset reproducible across the refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.monitor import JupyterNetworkMonitor
+from repro.server import JupyterServer, ServerConfig, ServerGateway
+from repro.simnet import Host, Network
+from repro.topology.fleet import (
+    FleetMonitorView,
+    HoneypotHubScenario,
+    HubShard,
+    ShardedHubScenario,
+)
+from repro.topology.hashring import ConsistentHashRing
+from repro.topology.spec import WorldSpec
+from repro.util.rng import DeterministicRNG
+
+
+class WorldBuilder:
+    """Compiles specs.  Stateless; one instance can build many worlds."""
+
+    def build(self, spec: WorldSpec, *, seed: Optional[int] = None,
+              monitor_budget: Optional[float] = None,
+              seed_data: Optional[bool] = None):
+        """Build the world ``spec`` describes.
+
+        ``seed``/``monitor_budget``/``seed_data`` override the spec's
+        values without mutating it (the campaign runner builds a fresh
+        world per campaign from one shared spec, varying only the seed).
+        """
+        overrides: Dict[str, object] = {}
+        if seed is not None:
+            overrides["seed"] = seed
+        if seed_data is not None:
+            overrides["seed_data"] = seed_data
+        if monitor_budget is not None:
+            overrides["monitor"] = replace(
+                spec.monitor, budget_events_per_second=monitor_budget)
+        if overrides:
+            spec = replace(spec, **overrides)
+        if spec.server is not None:
+            return self._build_single(spec)
+        return self._build_hub(spec)
+
+    # -- shared pieces --------------------------------------------------------
+    def _tune_monitor(self, spec: WorldSpec, monitor: JupyterNetworkMonitor) -> None:
+        """Apply the spec's scale-model detector calibration (DESIGN.md)."""
+        ms = spec.monitor
+        monitor.egress.threshold_bytes = ms.egress_threshold_bytes
+        monitor.cusum.baseline = ms.cusum_baseline
+        monitor.cusum.slack = ms.cusum_slack
+        monitor.cusum.h = ms.cusum_h
+
+    def _build_sinks(self, spec: WorldSpec, hosts: Dict[str, Host]):
+        from repro.attacks.scenario import SinkServer
+
+        return {s.key: SinkServer(hosts[s.key], s.port, reply=s.reply)
+                for s in spec.sinks}
+
+    # -- single server --------------------------------------------------------
+    def _build_single(self, spec: WorldSpec):
+        from repro.attacks.scenario import Scenario
+
+        assert spec.server is not None
+        rng = DeterministicRNG(spec.seed)
+        net = Network(default_latency=spec.default_latency)
+        server_host = net.add_host(spec.server.host.name, spec.server.host.ip)
+        user_host = net.add_host(spec.user_host.name, spec.user_host.ip)
+        attacker_host = net.add_host(spec.attacker_host.name, spec.attacker_host.ip)
+        sink_hosts = {s.key: net.add_host(s.host.name, s.host.ip) for s in spec.sinks}
+        tap = net.add_tap(spec.server.tap.name,
+                          only_ips=spec.server.tap.only_ips or None)
+
+        cfg = spec.server.config or ServerConfig(ip="0.0.0.0", token="unit-test-token")
+        server = JupyterServer(cfg, net, server_host)
+        gateway = ServerGateway(server)
+        monitor = JupyterNetworkMonitor(
+            depth=spec.monitor.depth,
+            budget_events_per_second=spec.monitor.budget_events_per_second,
+            session_key=cfg.session_key if spec.monitor.has_session_key else b"",
+        )
+        self._tune_monitor(spec, monitor)
+        monitor.attach(tap)
+
+        sinks = self._build_sinks(spec, sink_hosts)
+        scenario = Scenario(
+            network=net, server=server, gateway=gateway, monitor=monitor, tap=tap,
+            server_host=server_host, user_host=user_host, attacker_host=attacker_host,
+            exfil_sink=sinks["exfil_sink"], mining_pool=sinks["mining_pool"],
+            token=cfg.token, rng=rng, sinks=sinks, spec=spec,
+        )
+        if spec.seed_data:
+            scenario.seed_research_data()
+        return scenario
+
+    # -- hubs (plain, sharded, honeypot-tenant) -------------------------------
+    def _build_hub(self, spec: WorldSpec):
+        from repro.hub.culler import IdleCuller
+        from repro.hub.scenario import DEFAULT_TENANTS_PER_NODE, HubScenario
+        from repro.hub.spawner import Spawner
+        from repro.hub.users import HubConfig, HubUserDirectory
+        from repro.hub.proxy import ReverseProxy
+
+        hub = spec.hub
+        assert hub is not None
+        if hub.shards and hub.decoy_tenants:
+            raise ValueError("decoy tenants on a sharded hub are not supported yet")
+
+        rng = DeterministicRNG(spec.seed)
+        net = Network(default_latency=spec.default_latency)
+
+        # Front doors.  Plain hub: one proxy host + one see-all tap.
+        # Sharded: one host + one filtered tap per shard.
+        shard_specs = list(hub.shards)
+        if shard_specs:
+            shard_hosts = [net.add_host(s.host.name, s.host.ip) for s in shard_specs]
+        else:
+            shard_hosts = [net.add_host(hub.proxy_host.name, hub.proxy_host.ip)]
+
+        tenants_per_node = hub.tenants_per_node or DEFAULT_TENANTS_PER_NODE
+        n_nodes = max(1, -(-hub.n_tenants // tenants_per_node))
+        nodes = [net.add_host(f"node{i:02d}", f"10.0.1.{10 + i}") for i in range(n_nodes)]
+        user_host = net.add_host(spec.user_host.name, spec.user_host.ip)
+        attacker_host = net.add_host(spec.attacker_host.name, spec.attacker_host.ip)
+        sink_hosts = {s.key: net.add_host(s.host.name, s.host.ip) for s in spec.sinks}
+        if shard_specs:
+            taps = [net.add_tap(s.tap.name, only_ips=s.tap.only_ips or None)
+                    for s in shard_specs]
+        else:
+            taps = [net.add_tap(hub.tap.name, only_ips=hub.tap.only_ips or None)]
+
+        hub_cfg = hub.hub_config or HubConfig(
+            api_token="hub-admin-token", max_servers=max(hub.n_tenants + 8, 64))
+        base_cfg = hub.server_config or ServerConfig(ip="0.0.0.0", token="")
+
+        users = HubUserDirectory(hub_cfg, net.loop.clock, rng=rng.child("hub-tokens"))
+        spawner = Spawner(net, nodes, base_cfg, hub_cfg)
+        proxies = [ReverseProxy(net, host, users, hub_cfg, spawner=spawner)
+                   for host in shard_hosts]
+        for proxy in proxies:
+            spawner.on_spawn.append(lambda s, p=proxy: p.add_route(s))
+            spawner.on_stop.append(lambda name, p=proxy: p.remove_route(name))
+        culler = IdleCuller(net.loop, spawner, proxies[0],
+                            interval=hub_cfg.cull_interval,
+                            idle_timeout=hub_cfg.cull_idle_timeout,
+                            enabled=hub_cfg.culling_enabled,
+                            proxies=proxies)
+
+        infrastructure = {h.ip for h in shard_hosts}
+        monitors = []
+        for tap in taps:
+            monitor = JupyterNetworkMonitor(
+                depth=spec.monitor.depth,
+                budget_events_per_second=spec.monitor.budget_events_per_second,
+                infrastructure_ips=set(infrastructure))
+            self._tune_monitor(spec, monitor)
+            monitor.attach(tap)
+            monitors.append(monitor)
+
+        sinks = self._build_sinks(spec, sink_hosts)
+
+        names = [f"{hub.tenant_prefix}{i:02d}" for i in range(hub.n_tenants)]
+        for name in names:
+            user = users.create(name)
+            if hub.spawn_all:
+                spawner.spawn(user)
+        if not hub.spawn_all and names:
+            spawner.spawn(users.users[names[0]])  # the default tenant always runs
+
+        default = spawner.active[names[0]]
+        common = dict(
+            network=net, server=default.server, gateway=default.gateway,
+            tap=taps[0],
+            server_host=shard_hosts[0], user_host=user_host,
+            attacker_host=attacker_host,
+            exfil_sink=sinks["exfil_sink"], mining_pool=sinks["mining_pool"],
+            token=users.users[names[0]].token, rng=rng, sinks=sinks, spec=spec,
+            proxy=proxies[0], spawner=spawner, culler=culler,
+            hub=users, hub_config=hub_cfg, tenant_names=list(names),
+        )
+
+        if shard_specs:
+            shards = [HubShard(name=s.name, host=h, proxy=p, tap=t, monitor=m)
+                      for s, h, p, t, m in zip(shard_specs, shard_hosts,
+                                               proxies, taps, monitors)]
+            scenario: HubScenario = ShardedHubScenario(
+                monitor=FleetMonitorView(monitors), shards=shards,
+                ring=ConsistentHashRing([s.name for s in shard_specs]), **common)
+        elif hub.decoy_tenants:
+            scenario = self._add_decoy_tenants(spec, net, users, proxies[0],
+                                               monitors[0], common)
+        else:
+            scenario = HubScenario(monitor=monitors[0], **common)
+
+        if spec.seed_data:
+            scenario.seed_research_data()
+        return scenario
+
+    def _add_decoy_tenants(self, spec: WorldSpec, net: Network, users, proxy,
+                           monitor: JupyterNetworkMonitor,
+                           common: Dict) -> HoneypotHubScenario:
+        from repro.honeypot.decoy import DecoyJupyterServer
+        from repro.honeypot.fleet import HoneypotFleet
+
+        hub = spec.hub
+        assert hub is not None
+        fleet = HoneypotFleet(net, harvest_interval=hub.harvest_interval)
+        decoys: List[DecoyJupyterServer] = []
+        decoy_names: List[str] = []
+        for d in hub.decoy_tenants:
+            host = net.add_host(d.host.name, d.host.ip)
+            decoy = DecoyJupyterServer(net, host, name=f"decoy-{d.name}",
+                                       interaction=d.interaction)
+            fleet.adopt(decoy)
+            users.create(d.name)
+            proxy.add_static_route(d.name, host, decoy.config.port)
+            decoys.append(decoy)
+            decoy_names.append(d.name)
+        return HoneypotHubScenario(monitor=monitor, fleet=fleet, decoys=decoys,
+                                   decoy_tenant_names=decoy_names, **common)

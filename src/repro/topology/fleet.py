@@ -1,0 +1,258 @@
+"""Fleet-scale scenario types the topology layer compiles to.
+
+Two worlds that exist only as specs — no hand-wired module builds them:
+
+- :class:`ShardedHubScenario` — N reverse-proxy front doors over one
+  spawner fleet.  Users are pinned to shards by consistent hash, each
+  shard carries its own (filtered) tap and monitor, and
+  :class:`FleetMonitorView` merges the per-shard views into the single
+  fleet-wide picture the paper's NCSA deployment argues for — including
+  a fleet-level tenant-sweep detector that catches a pivot spread so
+  thinly across shards that no single shard's detector fires.
+- :class:`HoneypotHubScenario` — a hub whose tenant list includes decoy
+  accounts backed by instrumented honeypot servers, so a cross-tenant
+  sweep burns its source and payloads on bait before reaching anyone
+  real, and the interactions flow into the shared threat-intel feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.honeypot.decoy import DecoyJupyterServer, InteractionRecord
+from repro.honeypot.fleet import HoneypotFleet
+from repro.hub.proxy import ReverseProxy
+from repro.hub.scenario import HubScenario
+from repro.monitor import JupyterNetworkMonitor
+from repro.monitor.anomaly import TenantSweepDetector
+from repro.monitor.logs import Notice
+from repro.simnet import Host, NetworkTap
+from repro.topology.hashring import ConsistentHashRing
+
+
+@dataclass
+class HubShard:
+    """One front door: proxy host + its own tap and monitor."""
+
+    name: str
+    host: Host
+    proxy: ReverseProxy
+    tap: NetworkTap
+    monitor: JupyterNetworkMonitor
+
+
+class FleetLogView:
+    """Read-only, LogStore-shaped merge over every shard monitor's logs."""
+
+    def __init__(self, view: "FleetMonitorView"):
+        self._view = view
+
+    def _merged(self, family: str) -> list:
+        records = [r for m in self._view.monitors for r in getattr(m.logs, family)]
+        records.sort(key=lambda r: r.ts)
+        return records
+
+    @property
+    def conn(self):
+        return self._merged("conn")
+
+    @property
+    def http(self):
+        return self._merged("http")
+
+    @property
+    def websocket(self):
+        return self._merged("websocket")
+
+    @property
+    def zmtp(self):
+        return self._merged("zmtp")
+
+    @property
+    def jupyter(self):
+        return self._merged("jupyter")
+
+    @property
+    def weird(self):
+        return self._merged("weird")
+
+    @property
+    def notices(self) -> List[Notice]:
+        self._view.refresh()
+        merged = [n for m in self._view.monitors for n in m.logs.notices]
+        merged.extend(self._view.fleet_notices)
+        merged.sort(key=lambda n: n.ts)
+        return merged
+
+    def notice_names(self) -> List[str]:
+        return [n.name for n in self.notices]
+
+    def notices_for(self, avenue) -> List[Notice]:
+        return [n for n in self.notices if n.avenue == avenue]
+
+    def counts(self) -> Dict[str, int]:
+        out = {"conn": 0, "http": 0, "websocket": 0, "zmtp": 0,
+               "jupyter": 0, "weird": 0}
+        for m in self._view.monitors:
+            for key, n in m.logs.counts().items():
+                if key in out:
+                    out[key] += n
+        out["notices"] = len(self.notices)
+        return out
+
+
+class FleetMonitorView:
+    """The merged monitor: one fleet-wide view over per-shard monitors.
+
+    Quacks enough like :class:`JupyterNetworkMonitor` (``logs``,
+    ``observe_file_write``, ``observe_terminal``, ``summary``) that
+    attacks, workloads, campaigns, and CLIs written against a single
+    monitor run unchanged against a sharded fleet.
+
+    On top of the merge it runs its own :class:`TenantSweepDetector`
+    over the union of shard HTTP logs: a source sweeping two tenants per
+    shard never trips a shard-local detector, but the fleet view sees
+    the full fan-out.
+    """
+
+    def __init__(self, monitors: List[JupyterNetworkMonitor], *,
+                 sweep_window: float = 120.0, sweep_max_tenants: int = 3):
+        if not monitors:
+            raise ValueError("a fleet view needs at least one monitor")
+        self.monitors = list(monitors)
+        self.fleet_sweep = TenantSweepDetector(window=sweep_window,
+                                               max_tenants=sweep_max_tenants)
+        self.fleet_sweep.name = "fleet-tenant-sweep"
+        self.fleet_notices: List[Notice] = []
+        self._fed = [0] * len(self.monitors)
+        self.logs = FleetLogView(self)
+
+    @property
+    def primary(self) -> JupyterNetworkMonitor:
+        return self.monitors[0]
+
+    @property
+    def depth(self):
+        return self.primary.depth
+
+    def __getattr__(self, name: str):
+        """Anything not merged here resolves to the primary shard's
+        monitor — detectors (``egress``, ``cusum``, ...), ``health``,
+        ``budget``, ``signatures`` — so code written against a single
+        :class:`JupyterNetworkMonitor` (the evasion attacks, the CLIs)
+        runs unchanged.  Fleet-wide aggregates live in :meth:`summary`.
+        """
+        if name.startswith("_") or name == "monitors":
+            raise AttributeError(name)
+        return getattr(self.monitors[0], name)
+
+    def refresh(self) -> None:
+        """Feed shard HTTP records observed since the last refresh into
+        the fleet-level sweep detector (incremental, so repeated reads
+        of ``logs.notices`` stay cheap)."""
+        for i, monitor in enumerate(self.monitors):
+            records = monitor.logs.http
+            for rec in records[self._fed[i]:]:
+                notice = self.fleet_sweep.observe_request(rec.ts, rec.src, rec.path)
+                if notice is not None:
+                    self.fleet_notices.append(notice)
+            self._fed[i] = len(records)
+
+    # -- feed-in hooks (kernel auditor, terminals) ----------------------------
+    def observe_file_write(self, ts: float, path: str, content: bytes, *,
+                           src: str = "kernel") -> None:
+        self.primary.observe_file_write(ts, path, content, src=src)
+
+    def observe_terminal(self, ts: float, src: str, command: str) -> None:
+        self.primary.observe_terminal(ts, src, command)
+
+    # -- reporting ------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        health = {"segments": 0, "dropped": 0, "bytes": 0, "parse_errors": 0}
+        for m in self.monitors:
+            health["segments"] += m.health.segments_seen
+            health["dropped"] += m.health.segments_dropped
+            health["bytes"] += m.health.bytes_seen
+            health["parse_errors"] += m.health.parse_errors
+        return {
+            "depth": self.depth.name,
+            "shards": len(self.monitors),
+            "health": health,
+            "logs": self.logs.counts(),
+            "notices": sorted({n.name for n in self.logs.notices}),
+        }
+
+
+@dataclass
+class ShardedHubScenario(HubScenario):
+    """A hub with N consistent-hash-routed front doors.
+
+    ``proxy``/``tap``/``monitor`` (inherited) are the primary shard's,
+    except ``monitor`` is the merged :class:`FleetMonitorView`; the
+    per-shard pieces live in ``shards``.
+    """
+
+    shards: List[HubShard] = field(default_factory=list)
+    ring: Optional[ConsistentHashRing] = None
+
+    def shard_for(self, username: str) -> HubShard:
+        assert self.ring is not None and self.shards
+        name = self.ring.node_for(username)
+        for shard in self.shards:
+            if shard.name == name:
+                return shard
+        raise KeyError(name)
+
+    def front_door_host(self, tenant: str) -> Host:
+        return self.shard_for(tenant).host
+
+    def shard_assignment(self) -> Dict[str, str]:
+        """tenant -> shard name, for reporting."""
+        assert self.ring is not None
+        return {t: self.ring.node_for(t) for t in self.tenant_names}
+
+
+@dataclass
+class HoneypotHubScenario(HubScenario):
+    """A hub whose ``/user/<name>`` table includes decoy tenants."""
+
+    fleet: Optional[HoneypotFleet] = None
+    decoys: List[DecoyJupyterServer] = field(default_factory=list)
+    decoy_tenant_names: List[str] = field(default_factory=list)
+
+    def decoy_interactions(self) -> List[InteractionRecord]:
+        records = [r for d in self.decoys for r in d.records]
+        records.sort(key=lambda r: r.ts)
+        return records
+
+    def first_decoy_contact(self, source_ip: str) -> Optional[float]:
+        """Timestamp of the first attacker interaction with any decoy."""
+        for rec in self.decoy_interactions():
+            if rec.source_ip == source_ip:
+                return rec.ts
+        return None
+
+    def first_real_contact(self, source_ip: str) -> Optional[float]:
+        """Timestamp of the first attacker request a *real* tenant served
+        (proxied requests are attributed via X-Forwarded-For)."""
+        assert self.spawner is not None
+        hits = [e.ts
+                for spawned in self.spawner.active.values()
+                for e in spawned.server.access_log
+                if source_ip in (e.source_ip, e.forwarded_for)]
+        return min(hits) if hits else None
+
+    def harvest_intel(self) -> Dict[str, int]:
+        """Harvest decoy interactions into the shared intel feed: content
+        signatures plus burned-source indicators for every IP that
+        touched a decoy tenant (no benign user has a reason to)."""
+        assert self.fleet is not None
+        report = self.fleet.harvest_now()
+        burned = self.fleet.publish_source_indicators()
+        return {
+            "new_signatures": report.new_signatures,
+            "new_burned_sources": burned,
+            "total_indicators": len(self.fleet.feed.indicators),
+            "decoy_interactions": len(self.decoy_interactions()),
+        }

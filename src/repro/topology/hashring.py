@@ -1,0 +1,55 @@
+"""Consistent-hash ring for front-door shard assignment.
+
+The SDSC Satellite design (PAPERS.md) routes each user to one of many
+reverse-proxy front doors; a consistent hash keeps that assignment
+stable as shards join or leave — a user's bookmarked front door keeps
+working when the fleet is rescaled, and only ~1/N of users move when a
+shard is added.
+
+Deterministic by construction (BLAKE2b, no process-salted ``hash()``),
+so scenario traffic stays byte-reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence
+
+
+def _point(key: str) -> int:
+    return int.from_bytes(hashlib.blake2b(key.encode(), digest_size=8).digest(), "big")
+
+
+class ConsistentHashRing:
+    """Maps keys (usernames) to nodes (shard names) on a hash ring."""
+
+    def __init__(self, nodes: Sequence[str], *, replicas: int = 64):
+        if not nodes:
+            raise ValueError("hash ring needs at least one node")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._ring: Dict[int, str] = {}
+        self._points: List[int] = []
+        for node in nodes:
+            self.add(node)
+
+    def add(self, node: str) -> None:
+        for r in range(self.replicas):
+            point = _point(f"{node}#{r}")
+            if point not in self._ring:  # extreme-rarity collision: first wins
+                self._ring[point] = node
+                bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        for point in [p for p, n in self._ring.items() if n == node]:
+            del self._ring[point]
+            self._points.remove(point)
+
+    def node_for(self, key: str) -> str:
+        idx = bisect.bisect(self._points, _point(key)) % len(self._points)
+        return self._ring[self._points[idx]]
+
+    def nodes(self) -> List[str]:
+        return sorted(set(self._ring.values()))

@@ -1,0 +1,186 @@
+"""The spec registry: every named topology the repo ships.
+
+Presets are factories, not constants — each takes the same knobs the old
+hand-wired builders took (seed, depth, tenant count, hub config, ...)
+and returns a frozen :class:`WorldSpec`.  ``spec_preset("sharded-hub",
+n_shards=5)`` is the whole API for standing up a variant world; compile
+it with :class:`~repro.topology.builder.WorldBuilder`.
+
+Registered presets (``repro topology --list``):
+
+- ``single-server`` — the paper's standalone campus deployment.
+- ``hub``           — multi-tenant hub behind one reverse proxy.
+- ``sharded-hub``   — N front-door proxies, consistent-hash user
+  routing, one tap per shard, merged fleet monitor view.
+- ``honeypot-hub``  — a (misconfigured) hub whose tenant list includes
+  decoy accounts backed by instrumented honeypots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.hub.users import HubConfig, insecure_hub_config
+from repro.monitor import AnalyzerDepth
+from repro.server.config import ServerConfig
+from repro.topology.spec import (
+    DecoyTenantSpec,
+    HostSpec,
+    HubSpec,
+    MonitorSpec,
+    ServerSpec,
+    ShardSpec,
+    TapSpec,
+    WorldSpec,
+)
+
+
+def single_server_spec(
+    *,
+    config: Optional[ServerConfig] = None,
+    depth: AnalyzerDepth = AnalyzerDepth.JUPYTER,
+    seed: int = 1337,
+    monitor_budget: float = 0.0,
+    seed_data: bool = True,
+    monitor_has_session_key: bool = False,
+) -> WorldSpec:
+    """The standard single-server testbed (`build_scenario`'s world)."""
+    return WorldSpec(
+        name="single-server", seed=seed, seed_data=seed_data,
+        monitor=MonitorSpec(depth=depth,
+                            budget_events_per_second=monitor_budget,
+                            has_session_key=monitor_has_session_key),
+        server=ServerSpec(config=config),
+    )
+
+
+def hub_spec(
+    *,
+    n_tenants: int = 4,
+    hub_config: Optional[HubConfig] = None,
+    server_config: Optional[ServerConfig] = None,
+    depth: AnalyzerDepth = AnalyzerDepth.JUPYTER,
+    seed: int = 1337,
+    monitor_budget: float = 0.0,
+    seed_data: bool = True,
+    spawn_all: bool = True,
+    tenants_per_node: int = 25,
+    tenant_prefix: str = "user",
+) -> WorldSpec:
+    """The one-front-door multi-tenant hub (`build_hub_scenario`'s world)."""
+    return WorldSpec(
+        name="hub", seed=seed, seed_data=seed_data,
+        monitor=MonitorSpec(depth=depth, budget_events_per_second=monitor_budget),
+        hub=HubSpec(n_tenants=n_tenants, hub_config=hub_config,
+                    server_config=server_config, tenants_per_node=tenants_per_node,
+                    tenant_prefix=tenant_prefix, spawn_all=spawn_all),
+    )
+
+
+def sharded_hub_spec(
+    *,
+    n_shards: int = 3,
+    n_tenants: int = 9,
+    hub_config: Optional[HubConfig] = None,
+    server_config: Optional[ServerConfig] = None,
+    depth: AnalyzerDepth = AnalyzerDepth.JUPYTER,
+    seed: int = 1337,
+    monitor_budget: float = 0.0,
+    seed_data: bool = True,
+    spawn_all: bool = True,
+    tenants_per_node: int = 25,
+    tenant_prefix: str = "user",
+) -> WorldSpec:
+    """N consistent-hash-routed front doors, one filtered tap + monitor
+    per shard, merged fleet monitor view."""
+    if n_shards < 1:
+        raise ValueError("a sharded hub needs at least one shard")
+    shards = tuple(
+        ShardSpec(name=f"shard{i}",
+                  host=HostSpec(f"hub{i}", f"10.0.0.{2 + i}"),
+                  tap=TapSpec(f"shard{i}-tap", only_ips=(f"10.0.0.{2 + i}",)))
+        for i in range(n_shards)
+    )
+    return WorldSpec(
+        name="sharded-hub", seed=seed, seed_data=seed_data,
+        monitor=MonitorSpec(depth=depth, budget_events_per_second=monitor_budget),
+        hub=HubSpec(n_tenants=n_tenants, hub_config=hub_config,
+                    server_config=server_config, tenants_per_node=tenants_per_node,
+                    tenant_prefix=tenant_prefix, spawn_all=spawn_all,
+                    shards=shards),
+    )
+
+
+def honeypot_hub_spec(
+    *,
+    n_tenants: int = 4,
+    decoy_names: Sequence[str] = ("admin", "svc-backup"),
+    hub_config: Optional[HubConfig] = None,
+    server_config: Optional[ServerConfig] = None,
+    depth: AnalyzerDepth = AnalyzerDepth.JUPYTER,
+    seed: int = 1337,
+    monitor_budget: float = 0.0,
+    seed_data: bool = True,
+    spawn_all: bool = True,
+    tenants_per_node: int = 25,
+    tenant_prefix: str = "user",
+    harvest_interval: float = 60.0,
+) -> WorldSpec:
+    """A hub with decoy tenants.  Defaults to the *insecure* hub config
+    (shared token, proxy auth off) — the deployment that needs decoys:
+    a cross-tenant pivot would otherwise loot the fleet unimpeded, so
+    decoy accounts that sort ahead of real tenants absorb and record the
+    sweep first.  Decoy names must enumerate before real tenants for the
+    burn-first property; the defaults do."""
+    if not decoy_names:
+        raise ValueError("a honeypot hub needs at least one decoy tenant")
+    decoys = tuple(
+        DecoyTenantSpec(name=name, host=HostSpec(f"decoy{i}", f"10.0.3.{10 + i}"))
+        for i, name in enumerate(decoy_names)
+    )
+    return WorldSpec(
+        name="honeypot-hub", seed=seed, seed_data=seed_data,
+        monitor=MonitorSpec(depth=depth, budget_events_per_second=monitor_budget),
+        hub=HubSpec(n_tenants=n_tenants,
+                    hub_config=hub_config if hub_config is not None
+                    else insecure_hub_config(),
+                    server_config=server_config, tenants_per_node=tenants_per_node,
+                    tenant_prefix=tenant_prefix, spawn_all=spawn_all,
+                    decoy_tenants=decoys, harvest_interval=harvest_interval),
+    )
+
+
+#: name -> spec factory.  ``repro topology`` and the CI smoke job iterate this.
+PRESETS: Dict[str, Callable[..., WorldSpec]] = {
+    "single-server": single_server_spec,
+    "hub": hub_spec,
+    "sharded-hub": sharded_hub_spec,
+    "honeypot-hub": honeypot_hub_spec,
+}
+
+
+def register_preset(name: str, factory: Callable[..., WorldSpec]) -> None:
+    """Register a new named topology (experiments, downstream users)."""
+    if name in PRESETS:
+        raise ValueError(f"preset {name!r} already registered")
+    PRESETS[name] = factory
+
+
+def list_presets() -> List[str]:
+    return sorted(PRESETS)
+
+
+def spec_preset(name: str, **overrides) -> WorldSpec:
+    """Instantiate a registered preset with factory-kwarg overrides."""
+    factory = PRESETS.get(name)
+    if factory is None:
+        raise KeyError(f"unknown topology preset {name!r} "
+                       f"(registered: {', '.join(list_presets())})")
+    return factory(**overrides)
+
+
+def resolve_spec(spec: Union[str, WorldSpec], **overrides) -> WorldSpec:
+    """Accept either a preset name or an already-built spec."""
+    if isinstance(spec, WorldSpec):
+        return spec
+    return spec_preset(spec, **overrides)

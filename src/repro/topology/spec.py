@@ -1,0 +1,174 @@
+"""Declarative world descriptions: what a testbed *is*, not how to wire it.
+
+A :class:`WorldSpec` is a plain-data description of one experiment
+topology — hosts, taps, servers, hub shards, honeypot decoys, attacker
+sinks, and monitor placement.  Nothing in this module touches the
+simnet; :class:`~repro.topology.builder.WorldBuilder` compiles a spec
+into the live, fully wired world.
+
+Every scenario in the repo — the single open server, the multi-tenant
+hub, the consistent-hash-sharded hub, the honeypot-tenant hub — is one
+of these specs.  Adding a topology means writing ~20 lines of spec, not
+a new wiring module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.hub.users import HubConfig
+from repro.monitor import AnalyzerDepth
+from repro.server.config import ServerConfig
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One addressable endpoint in the world."""
+
+    name: str
+    ip: str
+
+
+@dataclass(frozen=True)
+class TapSpec:
+    """A passive observation point.
+
+    ``only_ips`` narrows the vantage: a filtered tap sees only segments
+    with one of those IPs as an endpoint (how a per-shard tap sees its
+    shard's two legs and nothing else).  Empty = see-all campus tap.
+    """
+
+    name: str = "tap0"
+    only_ips: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """Attacker-side listener (exfil collector, mining pool, ...)."""
+
+    key: str                    # attribute-ish name, e.g. "exfil_sink"
+    host: HostSpec = HostSpec("exfil-sink", "198.51.100.9")
+    port: int = 443
+    reply: bytes = b""
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """Where the paper's monitor sits and how deep it parses.
+
+    The threshold fields are the scale-model calibration shared by every
+    topology (see DESIGN.md for the ratio argument): artifacts in the
+    testbed are tens of KB, not tens of GB, so volume thresholds scale
+    down with them while the attack/benign/threshold *ratios* match a
+    real deployment.
+    """
+
+    depth: AnalyzerDepth = AnalyzerDepth.JUPYTER
+    budget_events_per_second: float = 0.0
+    has_session_key: bool = False   # single-server: verify kernel-msg HMACs
+    egress_threshold_bytes: int = 20_000
+    cusum_baseline: float = 200.0
+    cusum_slack: float = 200.0
+    cusum_h: float = 30_000.0
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One standalone Jupyter server (the paper's single-server world)."""
+
+    host: HostSpec = HostSpec("jupyter", "10.0.0.10")
+    config: Optional[ServerConfig] = None   # None = tokened unit-test config
+    tap: TapSpec = TapSpec("campus-tap")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One hub front-door shard: a proxy host with its own tap."""
+
+    name: str
+    host: HostSpec
+    tap: TapSpec
+
+
+@dataclass(frozen=True)
+class DecoyTenantSpec:
+    """A honeypot tenant: a ``/user/<name>`` route backed by a decoy.
+
+    The decoy is a fully instrumented honeypot server on its own host;
+    the hub lists the account like any other, so an attacker sweeping
+    tenants burns their source and payloads on it first.
+    """
+
+    name: str
+    host: HostSpec
+    interaction: str = "high"
+
+
+@dataclass(frozen=True)
+class HubSpec:
+    """A multi-tenant hub: front door(s), spawner fleet, tenants.
+
+    With ``shards`` empty this is the classic one-proxy hub.  With N
+    shards the fleet gets N front doors, users are assigned to shards by
+    consistent hash, each shard carries its own tap + monitor, and the
+    compiled scenario exposes a *merged* fleet monitor view.
+    """
+
+    n_tenants: int = 4
+    hub_config: Optional[HubConfig] = None
+    server_config: Optional[ServerConfig] = None
+    tenants_per_node: int = 25
+    tenant_prefix: str = "user"
+    spawn_all: bool = True
+    proxy_host: HostSpec = HostSpec("hub", "10.0.0.2")
+    tap: TapSpec = TapSpec("hub-tap")
+    shards: Tuple[ShardSpec, ...] = ()
+    decoy_tenants: Tuple[DecoyTenantSpec, ...] = ()
+    harvest_interval: float = 60.0  # honeypot-intel cadence for decoy tenants
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """The whole world, declaratively.  Exactly one of ``server``/``hub``."""
+
+    name: str
+    seed: int = 1337
+    default_latency: float = 0.002
+    user_host: HostSpec = HostSpec("laptop", "10.0.0.42")
+    attacker_host: HostSpec = HostSpec("attacker", "203.0.113.66")
+    sinks: Tuple[SinkSpec, ...] = (
+        SinkSpec("exfil_sink"),
+        SinkSpec("mining_pool", HostSpec("mining-pool", "198.51.100.77"), 3333,
+                 b'{"id":1,"result":{"job":"deadbeef"},"error":null}\n'),
+    )
+    monitor: MonitorSpec = MonitorSpec()
+    server: Optional[ServerSpec] = None
+    hub: Optional[HubSpec] = None
+    seed_data: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.server is None) == (self.hub is None):
+            raise ValueError(
+                f"WorldSpec {self.name!r} needs exactly one of server=/hub=")
+        if self.hub is not None and self.hub.n_tenants < 1:
+            raise ValueError("a hub topology needs at least one tenant")
+        keys = [s.key for s in self.sinks]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate sink keys in {self.name!r}: {keys}")
+        # Every compiled scenario exposes these two sinks as dedicated
+        # fields (attacks hard-wire them); extra sinks are fine.
+        missing = {"exfil_sink", "mining_pool"} - set(keys)
+        if missing:
+            raise ValueError(
+                f"WorldSpec {self.name!r} must keep the standard sinks "
+                f"{sorted(missing)} (add extras alongside, don't replace)")
+
+    @property
+    def kind(self) -> str:
+        if self.server is not None:
+            return "single-server"
+        assert self.hub is not None
+        if self.hub.decoy_tenants:
+            return "honeypot-hub"
+        return "sharded-hub" if self.hub.shards else "hub"

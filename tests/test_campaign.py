@@ -1,13 +1,20 @@
-"""Tests for automated campaign generation (§IV.B AI-driven attacks)."""
+"""Tests for automated campaign generation (§IV.B AI-driven attacks),
+campaign failure forensics, and the topology matrix."""
 
 import pytest
 
+from repro.attacks.base import Attack
 from repro.attacks.campaign import (
     OBJECTIVES,
     Campaign,
     CampaignGenerator,
+    CampaignOutcome,
     CampaignRunner,
+    MatrixCell,
+    MatrixReport,
+    TopologyMatrixRunner,
 )
+from repro.eval.metrics import outcome_rates
 
 
 class TestGenerator:
@@ -78,3 +85,154 @@ class TestRunner:
         outcomes = CampaignRunner(base_seed=6200).run(campaigns)
         assert outcomes[0].succeeded
         assert any("RANSOMWARE" in n or "POLICY" in n for n in outcomes[0].notices_triggered)
+
+    def test_runs_against_a_hub_spec(self):
+        from repro.topology import spec_preset
+
+        spec = spec_preset("hub", n_tenants=2)
+        campaigns = CampaignGenerator(seed=11, with_recon=False).generate_fleet(
+            1, objective="steal")
+        runner = CampaignRunner(base_seed=6300, spec=spec)
+        outcomes = runner.run(campaigns)
+        assert len(outcomes) == 1 and outcomes[0].succeeded
+
+    def test_spec_accepts_preset_name(self):
+        campaigns = CampaignGenerator(seed=12, with_recon=False).generate_fleet(
+            1, objective="mine")
+        runner = CampaignRunner(base_seed=6400, spec="single-server")
+        assert runner.run(campaigns)[0].succeeded
+
+    def test_spec_monitor_budget_survives_the_runner(self):
+        from repro.topology import spec_preset
+
+        spec = spec_preset("single-server", monitor_budget=50.0)
+        world = CampaignRunner(spec=spec)._build_world(0)
+        assert world.monitor.budget == 50.0
+        overridden = CampaignRunner(spec=spec, monitor_budget=10.0)._build_world(0)
+        assert overridden.monitor.budget == 10.0
+
+
+class _BoomAttack(Attack):
+    name = "boom"
+
+    def execute(self, scenario):
+        raise RuntimeError("stage blew up")
+
+
+class TestFailureForensics:
+    def test_aborted_campaign_records_stage_and_error(self):
+        campaign = Campaign(1, [_BoomAttack()], "steal")
+        runner = CampaignRunner(base_seed=6500)
+        outcome = runner.run([campaign])[0]
+        assert outcome.aborted
+        assert outcome.failed_stage == "boom"
+        assert outcome.failure == "RuntimeError: stage blew up"
+        assert runner.aborted() == [outcome]
+
+    def test_later_stages_skipped_after_failure(self):
+        ran = []
+
+        class Tracker(Attack):
+            name = "tracker"
+
+            def execute(self, scenario):
+                ran.append(1)
+                return self._result(success=True)
+
+        campaign = Campaign(1, [_BoomAttack(), Tracker()], "steal")
+        outcome = CampaignRunner(base_seed=6600).run([campaign])[0]
+        assert outcome.aborted and not ran
+
+    def test_short_campaign_is_not_aborted(self):
+        campaigns = CampaignGenerator(seed=13, with_recon=False).generate_fleet(
+            1, objective="mine")
+        outcome = CampaignRunner(base_seed=6700).run(campaigns)[0]
+        assert not outcome.aborted
+        assert outcome.failed_stage is None and outcome.failure == ""
+
+
+def _fake_outcome(objective="mine", *, detected=False, succeeded=False,
+                  aborted=False):
+    class _R:
+        success = succeeded
+
+    return CampaignOutcome(
+        Campaign(1, [], objective),
+        results=[_R()] if succeeded else [],
+        notices_triggered=["X"] if detected else [],
+        failed_stage="boom" if aborted else None,
+    )
+
+
+class TestAggregates:
+    def test_empty_runner_rates_are_zero(self):
+        runner = CampaignRunner()
+        assert runner.detection_rate() == 0.0
+        assert runner.success_rate() == 0.0
+        assert runner.by_objective() == {}
+        assert runner.aborted() == []
+
+    def test_outcome_rates_empty_subset(self):
+        assert outcome_rates([]) == {"campaigns": 0, "detected": 0.0,
+                                     "succeeded": 0.0, "aborted": 0.0}
+
+    def test_outcome_rates_math(self):
+        outcomes = [
+            _fake_outcome(detected=True, succeeded=True),
+            _fake_outcome(detected=True),
+            _fake_outcome(aborted=True),
+            _fake_outcome(),
+        ]
+        rates = outcome_rates(outcomes)
+        assert rates == {"campaigns": 4, "detected": 0.5,
+                         "succeeded": 0.25, "aborted": 0.25}
+
+    def test_by_objective_omits_empty_subsets(self):
+        runner = CampaignRunner()
+        runner.outcomes = [_fake_outcome("mine", detected=True)]
+        breakdown = runner.by_objective()
+        assert set(breakdown) == {"mine"}
+        assert breakdown["mine"]["campaigns"] == 1
+        assert breakdown["mine"]["detected"] == 1.0
+
+
+class TestMatrixReport:
+    def make_report(self):
+        cells = []
+        for topology in ("single-server", "hub"):
+            for objective in ("mine", "steal"):
+                detected = topology == "hub"
+                outcomes = [_fake_outcome(objective, detected=detected,
+                                          succeeded=True) for _ in range(2)]
+                cells.append(MatrixCell(topology, objective,
+                                        outcome_rates(outcomes), outcomes))
+        return MatrixReport(cells)
+
+    def test_cell_lookup_and_missing_cell(self):
+        report = self.make_report()
+        cell = report.cell("hub", "mine")
+        assert cell is not None and cell.rates["detected"] == 1.0
+        assert report.cell("hub", "extort") is None
+
+    def test_by_topology_merges_objectives(self):
+        report = self.make_report()
+        by_topology = report.by_topology()
+        assert by_topology["hub"] == {"campaigns": 4, "detected": 1.0,
+                                      "succeeded": 1.0, "aborted": 0.0}
+        assert by_topology["single-server"]["detected"] == 0.0
+
+    def test_to_dict_and_render(self):
+        report = self.make_report()
+        d = report.to_dict()
+        assert d["hub"]["steal"]["succeeded"] == 1.0
+        text = report.render()
+        assert "topology" in text and "hub" in text and "steal" in text
+
+    def test_small_real_matrix_run(self):
+        report = TopologyMatrixRunner(
+            {"single-server": "single-server"}, objectives=["mine"],
+            campaigns_per_cell=1, base_seed=7000).run()
+        assert len(report.cells) == 1
+        cell = report.cells[0]
+        assert cell.rates["campaigns"] == 1
+        assert cell.rates["succeeded"] == 1.0
