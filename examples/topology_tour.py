@@ -18,6 +18,11 @@ SMALL = {
     "hub": {"n_tenants": 2},
     "sharded-hub": {"n_shards": 3, "n_tenants": 6},
     "honeypot-hub": {"n_tenants": 2},
+    "sharded-honeypot-hub": {"n_shards": 3, "n_tenants": 6},
+    "sharded-hub-geo": {"n_tenants": 6},
+    "defended-hub": {"n_tenants": 2},
+    "defended-sharded-hub": {"n_shards": 3, "n_tenants": 6},
+    "defended-honeypot-hub": {"n_tenants": 2},
 }
 
 
@@ -27,7 +32,8 @@ def main() -> None:
     # 1. Same attack, every topology: the facades make worlds fungible.
     print("=== one attack across every registered topology ===")
     for name in list_presets():
-        scenario = builder.build(spec_preset(name, seed=42, **SMALL[name]))
+        scenario = builder.build(spec_preset(name, seed=42,
+                                             **SMALL.get(name, {})))
         result = StolenTokenAttack().run(scenario)
         scenario.run(10.0)
         notices = sorted({n.name for n in scenario.monitor.logs.notices})
@@ -63,6 +69,19 @@ def main() -> None:
     for indicator in hp.fleet.feed.indicators.values():
         print(f"    [{indicator.indicator_type}] {indicator.pattern} "
               f"({indicator.source})")
+
+    # 4. The defended hub: the same pivot meets an automated responder.
+    print("\n=== defended hub: the pivot gets contained ===")
+    armed = builder.build(spec_preset("defended-hub", seed=42, n_tenants=4,
+                                      hub_config=insecure_hub_config()))
+    StolenTokenAttack().run(armed)
+    first = CrossTenantPivotAttack().run(armed)
+    armed.run(10.0)
+    again = CrossTenantPivotAttack().run(armed)  # the return wave
+    print(f"  first wave:  {first.narrative}")
+    print(f"  return wave: {again.narrative}")
+    for line in armed.soc.timeline():
+        print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -19,16 +19,18 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Unio
 
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.exfiltration import ExfiltrationAttack, LowAndSlowExfiltration, OutputSmugglingAttack
+from repro.attacks.hubpivot import CrossTenantPivotAttack
 from repro.attacks.mining import CryptominingAttack
 from repro.attacks.misconfig import OpenServerScanAttack
 from repro.attacks.ransomware import RansomwareAttack
 from repro.attacks.scenario import Scenario, build_scenario
 from repro.attacks.takeover import StolenTokenAttack, TokenBruteforceAttack
 from repro.attacks.zeroday import ZeroDayAttack
-from repro.eval.metrics import outcome_rates
+from repro.eval.metrics import containment_rates, outcome_rates
 from repro.util.rng import DeterministicRNG
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.soc.playbook import ResponseAction
     from repro.topology.spec import WorldSpec
 
 
@@ -84,10 +86,21 @@ def _mine(rng: DeterministicRNG) -> List[Attack]:
     ]
 
 
+def _pivot(rng: DeterministicRNG) -> List[Attack]:
+    # Lateral movement through a hub: a stolen token, then the sweep.
+    # On a hub-less (single-server) world the pivot stage reports its
+    # own graceful failure, so the objective still runs everywhere.
+    return [
+        StolenTokenAttack(),
+        CrossTenantPivotAttack(request_delay=rng.uniform(0.3, 0.9)),
+    ]
+
+
 OBJECTIVES: Dict[str, Callable[[DeterministicRNG], List[Attack]]] = {
     "extort": _extort,
     "steal": _steal,
     "mine": _mine,
+    "pivot": _pivot,
 }
 
 
@@ -126,6 +139,13 @@ class CampaignOutcome:
     #: distinguishes "short campaign" from "campaign that died mid-run".
     failed_stage: Optional[str] = None
     failure: str = ""
+    # -- containment forensics (populated when the world has a SOC) ------------
+    #: First high/critical notice — when a defender *could* have acted.
+    detected_at: Optional[float] = None
+    #: First executed (non-dry-run, successful) containment action.
+    contained_at: Optional[float] = None
+    #: Every response decision the SOC made during the campaign.
+    actions: List["ResponseAction"] = field(default_factory=list)
 
     @property
     def detected(self) -> bool:
@@ -138,6 +158,75 @@ class CampaignOutcome:
     @property
     def aborted(self) -> bool:
         return self.failed_stage is not None
+
+    @property
+    def contained(self) -> bool:
+        return self.contained_at is not None
+
+    @property
+    def containment_leadtime(self) -> Optional[float]:
+        """Detection → first containment action, in sim seconds."""
+        if self.detected_at is None or self.contained_at is None:
+            return None
+        return self.contained_at - self.detected_at
+
+    @property
+    def post_detection_success(self) -> Optional[bool]:
+        """Did the attacker win anything *started* after detection?
+        ``None`` when the campaign was never detected (the question is
+        undefined for a blind defender)."""
+        if self.detected_at is None:
+            return None
+        return any(r.success and r.started > self.detected_at
+                   for r in self.results)
+
+    @property
+    def stages_prevented(self) -> int:
+        """Stages the defender denied: planned stages that never ran
+        (an earlier stage died against containment) plus stages that
+        started after containment and failed."""
+        prevented = max(0, len(self.campaign.stages) - len(self.results))
+        if self.contained_at is not None:
+            prevented += sum(1 for r in self.results
+                             if r.started >= self.contained_at and not r.success)
+        return prevented
+
+    def actions_taken(self) -> List[str]:
+        return [f"{a.action}({a.target})" for a in self.actions
+                if a.ok and not a.dry_run]
+
+
+def run_campaign(scenario: Scenario, campaign: Campaign, *,
+                 settle_seconds: float = 20.0) -> CampaignOutcome:
+    """Execute one campaign against an already-built world and collect
+    the outcome, including containment forensics when the scenario
+    carries a response controller (``scenario.soc``)."""
+    results: List[AttackResult] = []
+    failed_stage: Optional[str] = None
+    failure = ""
+    for stage in campaign.stages:
+        try:
+            results.append(stage.run(scenario))
+        except Exception as e:
+            # A failed stage aborts the campaign, as it would
+            # live — but the post-mortem keeps the evidence.
+            failed_stage = stage.name
+            failure = f"{type(e).__name__}: {e}"
+            break
+    scenario.run(settle_seconds)
+    soc = getattr(scenario, "soc", None)
+    if soc is not None:
+        soc.poll()  # final sweep so trailing notices still correlate
+    high = [n for n in scenario.monitor.logs.notices
+            if n.severity in ("high", "critical")]
+    notices = sorted({n.name for n in high})
+    return CampaignOutcome(
+        campaign, results, notices,
+        failed_stage=failed_stage, failure=failure,
+        detected_at=min((n.ts for n in high), default=None),
+        contained_at=soc.first_containment_ts() if soc is not None else None,
+        actions=list(soc.executed) if soc is not None else [],
+    )
 
 
 class CampaignRunner:
@@ -174,24 +263,7 @@ class CampaignRunner:
     def run(self, campaigns: Sequence[Campaign]) -> List[CampaignOutcome]:
         for i, campaign in enumerate(campaigns):
             scenario = self._build_world(i)
-            results: List[AttackResult] = []
-            failed_stage: Optional[str] = None
-            failure = ""
-            for stage in campaign.stages:
-                try:
-                    results.append(stage.run(scenario))
-                except Exception as e:
-                    # A failed stage aborts the campaign, as it would
-                    # live — but the post-mortem keeps the evidence.
-                    failed_stage = stage.name
-                    failure = f"{type(e).__name__}: {e}"
-                    break
-            scenario.run(20.0)
-            notices = sorted({n.name for n in scenario.monitor.logs.notices
-                              if n.severity in ("high", "critical")})
-            self.outcomes.append(CampaignOutcome(
-                campaign, results, notices,
-                failed_stage=failed_stage, failure=failure))
+            self.outcomes.append(run_campaign(scenario, campaign))
         return self.outcomes
 
     # -- aggregates ---------------------------------------------------------------
@@ -200,6 +272,9 @@ class CampaignRunner:
 
     def success_rate(self) -> float:
         return outcome_rates(self.outcomes)["succeeded"]
+
+    def containment_summary(self) -> Dict[str, float]:
+        return containment_rates(self.outcomes)
 
     def aborted(self) -> List[CampaignOutcome]:
         return [o for o in self.outcomes if o.aborted]
@@ -243,7 +318,7 @@ class MatrixReport:
         for topology in self.topologies():
             outcomes = [o for c in self.cells if c.topology == topology
                         for o in c.outcomes]
-            out[topology] = outcome_rates(outcomes)
+            out[topology] = containment_rates(outcomes)
         return out
 
     def to_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
@@ -253,13 +328,18 @@ class MatrixReport:
         return out
 
     def render(self) -> str:
-        lines = [f"{'topology':<14} {'objective':<8} {'n':>3} "
-                 f"{'detected':>9} {'succeeded':>10} {'aborted':>8}"]
+        lines = [f"{'topology':<22} {'objective':<9} {'n':>3} "
+                 f"{'detected':>9} {'succeeded':>10} {'aborted':>8} "
+                 f"{'contained':>10} {'post-det':>9}"]
         for c in self.cells:
             r = c.rates
-            lines.append(f"{c.topology:<14} {c.objective:<8} "
+            post = r.get("post_detection_succeeded")
+            post_s = "-" if post is None else f"{post:.2f}"
+            lines.append(f"{c.topology:<22} {c.objective:<9} "
                          f"{int(r['campaigns']):>3} {r['detected']:>9.2f} "
-                         f"{r['succeeded']:>10.2f} {r['aborted']:>8.2f}")
+                         f"{r['succeeded']:>10.2f} {r['aborted']:>8.2f} "
+                         f"{r.get('contained', 0.0):>10.2f} "
+                         f"{post_s:>9}")
         return "\n".join(lines)
 
 
@@ -286,9 +366,13 @@ class TopologyMatrixRunner:
 
     def run(self) -> MatrixReport:
         cells: List[MatrixCell] = []
-        for t_idx, (name, spec) in enumerate(sorted(self.topologies.items())):
+        for name, spec in sorted(self.topologies.items()):
             for o_idx, objective in enumerate(self.objectives):
-                cell_seed = self.base_seed + 1000 * t_idx + 100 * o_idx
+                # The cell seed depends on the objective only, so every
+                # topology row faces the *same* generated campaigns —
+                # rows are A/B-comparable (undefended vs defended twins
+                # differ only in what the world did about the attack).
+                cell_seed = self.base_seed + 100 * o_idx
                 campaigns = CampaignGenerator(
                     seed=cell_seed, with_recon=self.with_recon,
                 ).generate_fleet(self.campaigns_per_cell, objective=objective)
@@ -296,6 +380,6 @@ class TopologyMatrixRunner:
                                         monitor_budget=self.monitor_budget)
                 outcomes = runner.run(campaigns)
                 cells.append(MatrixCell(topology=name, objective=objective,
-                                        rates=outcome_rates(outcomes),
+                                        rates=containment_rates(outcomes),
                                         outcomes=outcomes))
         return MatrixReport(cells)

@@ -31,6 +31,7 @@ from repro.simnet import Host, Network, NetworkTap, TcpConnection
 from repro.util.rng import DeterministicRNG
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.soc.controller import ResponseController
     from repro.topology.spec import WorldSpec
 
 
@@ -82,6 +83,9 @@ class Scenario:
     sinks: Dict[str, "SinkServer"] = field(default_factory=dict)
     #: The spec this world was compiled from (None for hand-wired worlds).
     spec: Optional["WorldSpec"] = None
+    #: Automated-response controller when the spec carried a
+    #: ResponsePolicy (the "defended" variants); None = passive defender.
+    soc: Optional["ResponseController"] = None
 
     @property
     def clock(self):

@@ -9,6 +9,7 @@ One console script with subcommands delegating to the dedicated tools::
     repro monitor ...    replay a scenario and summarize monitor logs
     repro hub ...        run a fleet-scale multi-tenant hub scenario
     repro topology ...   list/smoke/matrix the registered world specs
+    repro soc ...        rules/replay/matrix for the automated response layer
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ from repro.cli import dataset as _dataset
 from repro.cli import hub as _hub
 from repro.cli import monitor as _monitor
 from repro.cli import scan as _scan
+from repro.cli import soc as _soc
 from repro.cli import taxonomy as _taxonomy
 from repro.cli import topology as _topology
 
@@ -32,6 +34,7 @@ SUBCOMMANDS: Dict[str, Callable[[Optional[List[str]]], int]] = {
     "monitor": _monitor.main,
     "hub": _hub.main,
     "topology": _topology.main,
+    "soc": _soc.main,
 }
 
 

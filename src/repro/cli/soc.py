@@ -1,0 +1,161 @@
+"""``repro soc``: inspect, replay, and matrix the automated response layer.
+
+Three modes:
+
+- ``--rules``  — the playbook catalogue a defended topology starts with.
+- ``--replay`` — drive one canned arms-race campaign (``pivot`` or
+  ``exfil``) through a topology and print the detection→containment
+  timeline.  Exit status is non-zero if a *defended* topology executed
+  zero containment actions — the CI ``soc-smoke`` gate.
+- ``--matrix`` — the arms-race matrix: undefended vs defended hubs
+  across campaign objectives, with containment and post-detection
+  success columns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.attacks.campaign import TopologyMatrixRunner
+from repro.hub.users import insecure_hub_config
+from repro.soc.playbook import DEFAULT_RULES
+from repro.soc.replay import CANNED, run_replay
+from repro.topology import list_presets, spec_preset
+
+
+def _print_rules(as_json: bool) -> None:
+    if as_json:
+        print(json.dumps([{
+            "name": r.name, "actions": list(r.actions),
+            "avenues": [a.value for a in r.avenues],
+            "min_severity": r.min_severity, "min_notices": r.min_notices,
+            "source_scope": r.source_scope, "cooldown": r.cooldown,
+            "description": r.description,
+        } for r in DEFAULT_RULES], indent=2))
+        return
+    for rule in DEFAULT_RULES:
+        avenues = ",".join(a.value for a in rule.avenues) or "any"
+        print(f"  {rule.name}")
+        print(f"    when: severity>={rule.min_severity} "
+              f"notices>={rule.min_notices} scope={rule.source_scope} "
+              f"avenues={avenues} cooldown={rule.cooldown:.0f}s")
+        print(f"    do:   {' -> '.join(rule.actions)}")
+        print(f"    {rule.description}")
+
+
+def _replay(args, out) -> int:
+    report = run_replay(topology=args.topology, campaign=args.campaign,
+                        seed=args.seed, insecure=not args.secure,
+                        n_tenants=args.tenants)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=str), file=out)
+    else:
+        o = report.outcome
+        print(f"replay: campaign={report.campaign!r} "
+              f"topology={report.topology!r} seed={args.seed}", file=out)
+        for line in report.notices:
+            print(f"  {line}", file=out)
+        for line in report.timeline:
+            print(f"  {line}", file=out)
+        for r in o.results:
+            print(f"  stage {r.attack:<28} "
+                  f"{'SUCCESS' if r.success else 'failed':<8} {r.narrative}",
+                  file=out)
+        if o.failed_stage:
+            print(f"  stage {o.failed_stage:<28} ABORTED  {o.failure}", file=out)
+        lead = o.containment_leadtime
+        print(f"  detected={o.detected} contained={o.contained} "
+              f"leadtime={f'{lead:.1f}s' if lead is not None else '-'} "
+              f"stages_prevented={o.stages_prevented} "
+              f"actions={report.containment_actions}", file=out)
+    defended = args.topology.startswith("defended-")
+    if defended and report.containment_actions == 0:
+        print("soc replay: FAIL — defended topology executed no containment "
+              "actions", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _matrix(args, out) -> int:
+    insecure = None if args.secure else insecure_hub_config()
+
+    def pair(name: str) -> Dict[str, object]:
+        kwargs = {"n_tenants": args.tenants}
+        if insecure is not None:
+            kwargs["hub_config"] = insecure_hub_config()
+        return {name: spec_preset(name, **kwargs),
+                f"defended-{name}": spec_preset(f"defended-{name}", **kwargs)}
+
+    topologies: Dict[str, object] = {}
+    for name in args.topologies:
+        topologies.update(pair(name))
+    report = TopologyMatrixRunner(
+        topologies, objectives=args.objectives,
+        campaigns_per_cell=args.campaigns, base_seed=args.seed).run()
+    if args.json:
+        print(json.dumps({"cells": report.to_dict(),
+                          "by_topology": report.by_topology()},
+                         indent=2, default=str), file=out)
+    else:
+        print(report.render(), file=out)
+    # The gate the ISSUE's CI job needs: a defended matrix that never
+    # contains anything means the response layer is wired to nothing.
+    defended_contained = sum(
+        1 for cell in report.cells
+        if cell.topology.startswith("defended-")
+        for o in cell.outcomes if o.contained)
+    if defended_contained == 0:
+        print("soc matrix: FAIL — zero containment actions across the "
+              "defended cells", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-soc",
+        description="Inspect, replay, or matrix-run the automated response layer")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--rules", action="store_true",
+                      help="print the default response playbook")
+    mode.add_argument("--replay", action="store_true",
+                      help="run one canned arms-race campaign and print the "
+                           "detection->containment timeline")
+    mode.add_argument("--matrix", action="store_true",
+                      help="undefended vs defended campaign matrix")
+    parser.add_argument("--topology", default="defended-hub",
+                        help="topology preset for --replay (default: defended-hub)")
+    parser.add_argument("--campaign", default="pivot", choices=sorted(CANNED),
+                        help="canned campaign for --replay")
+    parser.add_argument("--topologies", nargs="*", default=["hub"],
+                        help="base presets for --matrix; each runs undefended "
+                             "and defended (default: hub)")
+    parser.add_argument("--objectives", nargs="*",
+                        default=["pivot", "steal"],
+                        help="campaign objectives for --matrix")
+    parser.add_argument("--campaigns", type=int, default=2,
+                        help="campaigns per matrix cell")
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--secure", action="store_true",
+                        help="use the hardened hub config instead of the "
+                             "insecure (shared-token) one the arms race assumes")
+    parser.add_argument("--seed", type=int, default=4242)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        _print_rules(args.json)
+        return 0
+    if args.replay:
+        if args.topology not in list_presets():
+            parser.error(f"unknown topology {args.topology!r} "
+                         f"(registered: {', '.join(list_presets())})")
+        return _replay(args, sys.stdout)
+    return _matrix(args, sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -26,6 +26,11 @@ SMALL: Dict[str, Dict] = {
     "hub": {"n_tenants": 2},
     "sharded-hub": {"n_shards": 3, "n_tenants": 6},
     "honeypot-hub": {"n_tenants": 2},
+    "sharded-honeypot-hub": {"n_shards": 3, "n_tenants": 6},
+    "sharded-hub-geo": {"n_tenants": 6},
+    "defended-hub": {"n_tenants": 2},
+    "defended-sharded-hub": {"n_shards": 3, "n_tenants": 6},
+    "defended-honeypot-hub": {"n_tenants": 2},
 }
 
 
@@ -39,6 +44,10 @@ def _spec_shape(name: str) -> str:
     parts.append(f"{len(hub.shards) or 1} front door(s)")
     if hub.decoy_tenants:
         parts.append(f"{len(hub.decoy_tenants)} decoy tenant(s)")
+    if spec.links:
+        parts.append(f"{len(spec.links)} latency link(s)")
+    if spec.defended:
+        parts.append("automated response")
     return ", ".join(parts)
 
 

@@ -3,8 +3,11 @@
 from repro.eval.metrics import (
     ConfusionMatrix,
     DetectionEvaluator,
+    containment_rates,
+    median,
     outcome_rates,
     roc_sweep,
 )
 
-__all__ = ["ConfusionMatrix", "DetectionEvaluator", "outcome_rates", "roc_sweep"]
+__all__ = ["ConfusionMatrix", "DetectionEvaluator", "containment_rates",
+           "median", "outcome_rates", "roc_sweep"]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dataset.builder import LabeledRecord
 
@@ -26,6 +26,57 @@ def outcome_rates(outcomes: Sequence) -> Dict[str, float]:
         "succeeded": sum(1 for o in outcomes if o.succeeded) / n,
         "aborted": sum(1 for o in outcomes if getattr(o, "aborted", False)) / n,
     }
+
+
+def median(values: Sequence[float]) -> Optional[float]:
+    """Plain median; ``None`` for an empty sequence (lead-time reports
+    must distinguish "never contained" from "contained instantly")."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def containment_rates(outcomes: Sequence) -> Dict[str, object]:
+    """:func:`outcome_rates` extended with the response subsystem's
+    arms-race metrics.
+
+    - ``contained`` — fraction of campaigns with at least one executed
+      containment action.
+    - ``post_detection_succeeded`` — among *detected* campaigns, the
+      fraction where the attacker still won a stage started after the
+      first detection (the rate a defender exists to push down);
+      ``None`` when nothing was detected.
+    - ``median_containment_leadtime`` — median detection→first-action
+      delay in sim seconds; ``None`` when nothing was contained.
+
+    Outcomes lacking the forensics attributes (hand-rolled stubs) count
+    as uncontained, so the function stays usable on any outcome-shaped
+    sequence.
+    """
+    rates: Dict[str, object] = dict(outcome_rates(outcomes))
+    n = len(outcomes)
+    if n == 0:
+        rates.update({"contained": 0.0, "post_detection_succeeded": None,
+                      "median_containment_leadtime": None,
+                      "stages_prevented": 0})
+        return rates
+    contained = sum(1 for o in outcomes if getattr(o, "contained", False))
+    post = [o.post_detection_success for o in outcomes
+            if getattr(o, "post_detection_success", None) is not None]
+    leadtimes = [o.containment_leadtime for o in outcomes
+                 if getattr(o, "containment_leadtime", None) is not None]
+    rates.update({
+        "contained": contained / n,
+        "post_detection_succeeded": (sum(post) / len(post)) if post else None,
+        "median_containment_leadtime": median(leadtimes),
+        "stages_prevented": sum(getattr(o, "stages_prevented", 0)
+                                for o in outcomes),
+    })
+    return rates
 
 
 @dataclass

@@ -91,6 +91,7 @@ class ProxyStats:
     hub_requests: int = 0
     denied_total: int = 0
     not_found_total: int = 0
+    blocked_total: int = 0
     upstream_errors: int = 0
     buffer_overflows: int = 0
     bytes_in: int = 0
@@ -303,6 +304,9 @@ class ReverseProxy:
         self.spawner = spawner
         self.clock = network.loop.clock
         self.routes: Dict[str, RouteEntry] = {}
+        #: Source IPs denied service (containment: every request answers
+        #: 403 and established channels are severed on block).
+        self.blocked_sources: set = set()
         #: Per-connection parse-buffer cap (bytes); 0 disables the cap.
         self.buffer_limit = config.proxy_buffer_limit
         self.stats = ProxyStats()
@@ -330,6 +334,40 @@ class ReverseProxy:
     def remove_route(self, username: str) -> bool:
         return self.routes.pop(username, None) is not None
 
+    # -- containment (the SOC's edge enforcement point) ------------------------
+    def block_source(self, ip: str) -> bool:
+        """Deny ``ip`` all service: future requests (including WebSocket
+        upgrades) answer 403, and channels it already holds — HTTP or
+        piped WebSocket relays — are closed now.  Returns False if the
+        source was already blocked."""
+        if ip in self.blocked_sources:
+            return False
+        self.blocked_sources.add(ip)
+        for channel in list(self.channels):
+            if channel.conn.client.ip == ip and channel.conn.open:
+                channel.conn.close(by_client=False)
+        return True
+
+    def unblock_source(self, ip: str) -> bool:
+        """Restore service for ``ip``; returns False if it was not blocked."""
+        if ip not in self.blocked_sources:
+            return False
+        self.blocked_sources.discard(ip)
+        return True
+
+    def sever_tenant_channels(self, username: str) -> int:
+        """Close every channel currently relaying to ``username``'s
+        backend (quarantine support: the route is gone, but established
+        WebSocket pipes would otherwise keep flowing)."""
+        severed = 0
+        for channel in list(self.channels):
+            route = channel.route
+            if route is not None and route.username == username:
+                if channel.conn.open:
+                    channel.conn.close(by_client=False)
+                    severed += 1
+        return severed
+
     # -- authorization --------------------------------------------------------
     def _identify(self, request: HttpRequest) -> Tuple[Optional[HubUser], bool]:
         return self.users.authenticate(_extract_token(request))
@@ -356,6 +394,14 @@ class ReverseProxy:
     # -- request handling -----------------------------------------------------
     def handle_request(self, channel: _ProxyChannel, request: HttpRequest) -> None:
         self.stats.requests_total += 1
+        source = channel.conn.client.ip
+        if source in self.blocked_sources:
+            self.stats.blocked_total += 1
+            self.stats.denied_total += 1
+            channel.deliver(_json_response(403, {
+                "message": f"Forbidden: source {source} is blocked by security policy",
+            }))
+            return
         path = request.path
         if path == "/hub" or path.startswith("/hub/"):
             self.stats.hub_requests += 1
@@ -491,6 +537,8 @@ class ReverseProxy:
             "hub_requests": self.stats.hub_requests,
             "denied_total": self.stats.denied_total,
             "not_found_total": self.stats.not_found_total,
+            "blocked_total": self.stats.blocked_total,
+            "blocked_sources": sorted(self.blocked_sources),
             "upstream_errors": self.stats.upstream_errors,
             "buffer_overflows": self.stats.buffer_overflows,
             "bytes_in": self.stats.bytes_in,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.hub.users import HubConfig, HubUser
 from repro.server.app import JupyterServer
@@ -62,6 +62,9 @@ class Spawner:
         self.config = config
         self.seed_tenant_files = seed_tenant_files
         self.active: Dict[str, SpawnedServer] = {}
+        #: Tenants under containment: their servers are stopped and any
+        #: respawn is refused until :meth:`release`.
+        self.quarantined: Set[str] = set()
         self.total_spawned = 0
         self.total_stopped = 0
         self._next_node = 0
@@ -91,6 +94,8 @@ class Spawner:
         existing = self.active.get(user.name)
         if existing is not None:
             return existing
+        if user.name in self.quarantined:
+            raise SpawnError(f"user {user.name!r} is quarantined", status=403)
         now = self.network.loop.clock.now()
         self._check_limits(now)
         node = self.nodes[self._next_node % len(self.nodes)]
@@ -133,6 +138,18 @@ class Spawner:
         for hook in self.on_stop:
             hook(username)
         return True
+
+    def quarantine(self, username: str) -> bool:
+        """Containment: stop the tenant's server and refuse respawns
+        until :meth:`release`.  Returns True if a server was stopped."""
+        self.quarantined.add(username)
+        return self.stop(username)
+
+    def release(self, username: str) -> bool:
+        """Lift a quarantine; the tenant may spawn again."""
+        was = username in self.quarantined
+        self.quarantined.discard(username)
+        return was
 
     def stop_all(self) -> int:
         return sum(1 for name in list(self.active) if self.stop(name))

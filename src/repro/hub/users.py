@@ -13,7 +13,7 @@ exploits them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.util.clock import Clock, SimClock
 from repro.util.errors import ReproError
@@ -105,14 +105,24 @@ class HubUserDirectory:
         self.users: Dict[str, HubUser] = {}
         self._by_token: Dict[str, HubUser] = {}
         self.signup_rejections = 0
+        self.revocations = 0
+        #: Wiring hooks called with (name, new_token) after a rotation —
+        #: the builder syncs the tenant's spawned backend here, so a
+        #: revocation never locks the legitimate owner out of their own
+        #: server (the proxy swaps the directory's current token in).
+        self.on_revoke: List[Callable[[str, str], None]] = []
 
     # -- account lifecycle ---------------------------------------------------
-    def _new_token(self) -> str:
-        if not self.config.per_user_tokens:
-            return self.config.api_token
+    def _fresh_token(self) -> str:
+        """A new account-unique token (deterministic under an RNG)."""
         if self.rng is not None:
             return self.rng.randbytes(16).hex()
         return new_token()
+
+    def _new_token(self) -> str:
+        if not self.config.per_user_tokens:
+            return self.config.api_token
+        return self._fresh_token()
 
     def create(self, name: str, *, admin: bool = False) -> HubUser:
         """Administrative account creation (bypasses signup_mode)."""
@@ -134,6 +144,29 @@ class HubUserDirectory:
             self.signup_rejections += 1
             raise HubUserError("signup is invite-only", status=403)
         return self.create(name)
+
+    def revoke_token(self, name: str) -> Optional[str]:
+        """Rotate one account's token (the containment path for a stolen
+        credential).  The old token stops authenticating immediately;
+        the fresh one is always account-unique — on a shared-token hub
+        this is also the remediation that peels the account off the
+        shared credential.  Returns the new token, or ``None`` for an
+        unknown account."""
+        user = self.users.get(name)
+        if user is None:
+            return None
+        old = user.token
+        if self._by_token.get(old) is user:
+            del self._by_token[old]
+        # Always a fresh unique token (never _new_token: on a shared-
+        # token hub that would hand the "rotated" account the same
+        # compromised credential back).
+        user.token = self._fresh_token()
+        self._by_token[user.token] = user
+        self.revocations += 1
+        for hook in self.on_revoke:
+            hook(name, user.token)
+        return user.token
 
     def remove(self, name: str) -> bool:
         user = self.users.pop(name, None)

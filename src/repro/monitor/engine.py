@@ -16,6 +16,7 @@ the-monitor failure mode the paper's §IV.A warns about.
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Dict, List, Optional, Tuple
@@ -95,13 +96,36 @@ class MonitorHealth:
     bytes_http: int = 0
     bytes_ws: int = 0
     bytes_zmtp: int = 0
+    # msg_id dedupe between the WS and ZMTP legs (and proxied WS relays)
+    # of the same kernel message: how often the JUPYTER analyzer skipped
+    # the content parse + detector fan-out because another leg already
+    # paid for it.  At a hub tap most messages appear 2-3 times, so the
+    # hit rate is the fraction of C-JSON work the dedupe saved.
+    jupyter_msgs: int = 0
+    jupyter_dedup_hits: int = 0
 
     @property
     def drop_rate(self) -> float:
         return self.segments_dropped / self.segments_seen if self.segments_seen else 0.0
 
+    @property
+    def dedupe_hit_rate(self) -> float:
+        return self.jupyter_dedup_hits / self.jupyter_msgs if self.jupyter_msgs else 0.0
+
     def layer_bytes(self) -> Dict[str, int]:
         return {"http": self.bytes_http, "websocket": self.bytes_ws, "zmtp": self.bytes_zmtp}
+
+
+#: Dedupe-store flags: which legs of a msg_id the analyzer has seen, and
+#: whether any leg already paid the content parse + signature scan.
+_MSG_WS_SEEN = 1
+_MSG_ZMTP_SEEN = 2
+_MSG_CONTENT_SCANNED = 4
+
+#: Bound on the msg_id dedupe store (LRU).  Legs of one message arrive
+#: within milliseconds of each other; thousands of distinct in-flight
+#: messages of slack is far more than any tap needs.
+_MSG_DEDUPE_CAP = 8192
 
 
 class JupyterNetworkMonitor:
@@ -118,6 +142,7 @@ class JupyterNetworkMonitor:
         output_size_threshold: int = 16_384,
         infrastructure_ips: Optional[set] = None,
         max_buffered_bytes: int = 64 << 20,  # per-direction reassembly cap
+        dedupe_msg_ids: bool = True,
     ):
         #: Own-infrastructure sources (e.g. a hub reverse proxy) whose
         #: authenticated traffic is plumbing, not a client logging in —
@@ -143,6 +168,13 @@ class JupyterNetworkMonitor:
         self._budget_bucket: Tuple[int, int] = (0, 0)  # (second, events)
         self._conns: Dict[str, ConnRecord] = {}
         self._dirstate: Dict[Tuple[str, str], _DirState] = {}
+        #: One kernel message crosses the tap several times — the WS legs
+        #: either side of a hub proxy plus the server↔kernel ZMTP hop.
+        #: The first leg at each layer pays the full analysis; later legs
+        #: are recognized by header msg_id and skip the content JSON
+        #: parse and detector fan-out (hit rate in ``health``).
+        self.dedupe_msg_ids = dedupe_msg_ids
+        self._seen_msg_ids: "OrderedDict[str, int]" = OrderedDict()
         #: (src, dst) -> "is internal→external" cache for the byte-level
         #: detector gate (all three share it; see :meth:`on_segment`).
         self._egress_flows: Dict[Tuple[str, str], bool] = {}
@@ -420,6 +452,21 @@ class JupyterNetworkMonitor:
         if weird:
             self.logs.weird.extend(weird)
 
+    # -- msg_id dedupe store ---------------------------------------------------
+    def _msg_flags(self, msg_id: str) -> int:
+        return self._seen_msg_ids.get(msg_id, 0)
+
+    def _mark_msg(self, msg_id: str, flags: int) -> None:
+        seen = self._seen_msg_ids
+        current = seen.get(msg_id)
+        if current is None:
+            if len(seen) >= _MSG_DEDUPE_CAP:
+                seen.popitem(last=False)
+            seen[msg_id] = flags
+        else:
+            seen[msg_id] = current | flags
+            seen.move_to_end(msg_id)
+
     def _analyze_jupyter_ws(self, ts: float, uid: str, src: str, dst: str, payload: bytes,
                             records: List[JupyterMsgRecord], notices: List[Notice],
                             weird: List[WeirdRecord]) -> None:
@@ -434,16 +481,35 @@ class JupyterNetworkMonitor:
             msg_type = str(msg_type)
         session = get("session", "")
         username = get("username", "")
+        msg_id = get("msg_id", "")
+        dedupe = self.dedupe_msg_ids and type(msg_id) is str and bool(msg_id)
+        flags = self._msg_flags(msg_id) if dedupe else 0
+        self.health.jupyter_msgs += 1
+        if flags & _MSG_WS_SEEN:
+            # The same WS bytes, relayed through a proxy hop: log the
+            # leg, skip the content work the first leg already did.
+            self.health.jupyter_dedup_hits += 1
+            records.append(JupyterMsgRecord(
+                ts, uid, src, dst, msg.channel, msg_type,
+                session if type(session) is str else str(session),
+                username if type(username) is str else str(username),
+            ))
+            return
         # Lazy content: only messages that can possibly carry code pay
         # the content JSON decode; everything else is sized from the raw
-        # span without being parsed at all.
+        # span without being parsed at all.  A msg_id whose content an
+        # earlier (ZMTP) leg already scanned skips even that.
         code = ""
-        if msg.content_contains(b'"code"'):
+        if not (flags & _MSG_CONTENT_SCANNED) and msg.content_contains(b'"code"'):
             content = msg.content
             if isinstance(content, dict):
                 code = content.get("code", "")
                 if type(code) is not str:
                     code = str(code)
+        elif flags & _MSG_CONTENT_SCANNED:
+            self.health.jupyter_dedup_hits += 1
+        # Output sizing stays per-WS-leg: the ZMTP analyzer never sizes
+        # outputs, so the smuggling detector keys on the first WS leg.
         output_size = msg.content_size() if msg_type in self._OUTPUT_MSG_TYPES else 0
         rec = JupyterMsgRecord(
             ts, uid, src, dst, msg.channel, msg_type,
@@ -456,6 +522,13 @@ class JupyterNetworkMonitor:
             notices.append(self._oversized_output_notice(rec))
         if code:
             notices.extend(self.signatures.scan_jupyter(rec))
+        if dedupe:
+            # Marking CONTENT_SCANNED here is sound even when no decode
+            # happened: content_contains() only reports False when the
+            # raw bytes can *prove* no ``code`` key exists (it forces
+            # True on any ``\u`` escape), so a skipped decode is itself
+            # a completed scan verdict, not a gap the ZMTP leg must fill.
+            self._mark_msg(msg_id, _MSG_WS_SEEN | _MSG_CONTENT_SCANNED)
 
     def _oversized_output_notice(self, rec: JupyterMsgRecord) -> Notice:
         """Output-channel smuggling: data exfiltrated *through iopub* never
@@ -508,6 +581,17 @@ class JupyterNetworkMonitor:
         except (json.JSONDecodeError, UnicodeDecodeError):
             self.logs.weird.append(WeirdRecord(ts, conn.uid, "zmtp_bad_jupyter_json", ""))
             return
+        msg_id = header.get("msg_id", "") if isinstance(header, dict) else ""
+        dedupe = self.dedupe_msg_ids and type(msg_id) is str and bool(msg_id)
+        flags = self._msg_flags(msg_id) if dedupe else 0
+        self.health.jupyter_msgs += 1
+        skip_content = bool(flags & (_MSG_CONTENT_SCANNED | _MSG_ZMTP_SEEN))
+        if skip_content:
+            # Another leg of this msg_id (usually the WS hop the tap saw
+            # first) already parsed and signature-scanned the content;
+            # this leg only needs the header-level record and — below —
+            # the transport-specific HMAC check.
+            self.health.jupyter_dedup_hits += 1
         # Lazy content: small content (the overwhelmingly common case) is
         # decoded eagerly, keeping the seed's full malformed-JSON
         # detection.  Large content is decoded only when it can actually
@@ -515,8 +599,8 @@ class JupyterNetworkMonitor:
         # forces a decode; oversize code-free content (big outputs) is
         # sized without validation, a documented fidelity/DoS trade.
         content: Any = None
-        if (len(content_b) <= 4096
-                or b'"code"' in content_b or b"\\u" in content_b):
+        if not skip_content and (len(content_b) <= 4096
+                                 or b'"code"' in content_b or b"\\u" in content_b):
             try:
                 content = _json_decode(content_b.decode("utf-8"))
             except (json.JSONDecodeError, UnicodeDecodeError):
@@ -544,6 +628,9 @@ class JupyterNetworkMonitor:
         if code:
             for n in self.signatures.scan_jupyter(rec):
                 self.logs.notices.append(n)
+        if dedupe:
+            self._mark_msg(msg_id, _MSG_ZMTP_SEEN
+                           | (0 if skip_content else _MSG_CONTENT_SCANNED))
 
     # -- external observation feeds (audit plane, server logs) ---------------------------
     def observe_file_write(self, ts: float, path: str, content: bytes, *, src: str = "kernel") -> None:
@@ -564,6 +651,7 @@ class JupyterNetworkMonitor:
                 "bytes": self.health.bytes_seen,
                 "parse_errors": self.health.parse_errors,
                 "layer_bytes": self.health.layer_bytes(),
+                "jupyter_dedupe_rate": round(self.health.dedupe_hit_rate, 4),
             },
             "logs": self.logs.counts(),
             "notices": sorted({n.name for n in self.logs.notices}),

@@ -1,0 +1,51 @@
+"""The automated response subsystem: detection → incident → containment.
+
+The paper's taxonomy stops at the Notice — the monitor sees the attack,
+and nothing acts.  This package closes the loop the way a hub operator's
+SOC would:
+
+- :mod:`repro.soc.incidents`  — fold notice streams into deduplicated,
+  severity-escalating :class:`Incident` objects keyed by
+  ``(source, tenant, avenue)``, merged across shard monitors.
+- :mod:`repro.soc.playbook`   — declarative :class:`ResponseRule`
+  catalogues with thresholds, scopes, cooldowns, and a dry-run mode;
+  :class:`ResponsePolicy` rides inside a frozen ``WorldSpec``.
+- :mod:`repro.soc.actions`    — containment enforced at existing
+  layers: proxy source blocklists, hub token rotation, spawner
+  tenant quarantine.
+- :mod:`repro.soc.controller` — the event-loop-driven
+  :class:`ResponseController` tying the three together, plus the
+  honeypot path: intel-feed indicators auto-install as monitor
+  signatures and burned sources auto-block fleet-wide.
+- :mod:`repro.soc.replay`     — canned multi-wave arms-race campaigns
+  for ``repro soc --replay`` and the EXP-SOC benchmark.
+"""
+
+from repro.soc.actions import ContainmentActions
+from repro.soc.controller import ResponseController
+from repro.soc.incidents import AlertCorrelator, Incident
+from repro.soc.playbook import (
+    DEFAULT_RULES,
+    PlaybookRunner,
+    ResponseAction,
+    ResponsePolicy,
+    ResponseRule,
+    severity_rank,
+)
+from repro.soc.replay import CANNED, ReplayReport, run_replay
+
+__all__ = [
+    "AlertCorrelator",
+    "Incident",
+    "ResponseRule",
+    "ResponsePolicy",
+    "ResponseAction",
+    "PlaybookRunner",
+    "DEFAULT_RULES",
+    "severity_rank",
+    "ContainmentActions",
+    "ResponseController",
+    "CANNED",
+    "ReplayReport",
+    "run_replay",
+]

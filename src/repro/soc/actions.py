@@ -1,0 +1,111 @@
+"""Containment actions: what the playbook can actually *do*.
+
+Each action is enforced at an existing layer, where a real deployment
+enforces it (the SDSC Satellite lesson — containment lives in the proxy
+tier, not the detector):
+
+- **block_source** — drop the source into every front-door proxy's
+  blocklist (new requests answer 403, established channels are severed).
+- **revoke_token** — rotate a hub account's token; the stolen credential
+  dies at the edge while the tenant re-authenticates with the new one.
+  The spawned backend's config is kept in sync so the rotation does not
+  lock the legitimate owner out of their own server.
+- **quarantine_tenant** — stop the tenant's server via the spawner and
+  refuse respawns until released; the proxy routes and live channels go
+  down with it.
+
+Every method returns ``(ok, detail)`` so the controller can log honest
+:class:`~repro.soc.playbook.ResponseAction` records for partial failures
+(e.g. a source that was already blocked, a tenant with no server).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hub.proxy import ReverseProxy
+from repro.hub.spawner import SpawnError, Spawner
+from repro.hub.users import HubUserDirectory
+
+
+class ContainmentActions:
+    """Containment primitives bound to one hub fleet's control surfaces."""
+
+    def __init__(self, *, proxies: Sequence[ReverseProxy] = (),
+                 users: Optional[HubUserDirectory] = None,
+                 spawner: Optional[Spawner] = None):
+        self.proxies: List[ReverseProxy] = list(proxies)
+        self.users = users
+        self.spawner = spawner
+        #: Own-infrastructure allowlist: egress detectors attribute the
+        #: proxy's client-facing leg to the proxy itself, so without this
+        #: guard a loud loot transfer would make the SOC block its own
+        #: front door.  Real SOCs carry exactly this "never block your
+        #: own kit" list.
+        self.protected_sources = {p.host.ip for p in self.proxies}
+
+    # -- edge blocking --------------------------------------------------------
+    def block_source(self, ip: str) -> Tuple[bool, str]:
+        if not ip or "." not in ip:
+            return False, f"unblockable source {ip!r}"
+        if ip in self.protected_sources:
+            return False, f"refusing to block own infrastructure {ip}"
+        if not self.proxies:
+            return False, "no front-door proxies to block at"
+        newly = sum(1 for proxy in self.proxies if proxy.block_source(ip))
+        if newly == 0:
+            return False, f"{ip} already blocked on all {len(self.proxies)} front door(s)"
+        return True, f"blocked {ip} on {newly}/{len(self.proxies)} front door(s)"
+
+    def unblock_source(self, ip: str) -> Tuple[bool, str]:
+        if not self.proxies:
+            return False, "no front-door proxies"
+        newly = sum(1 for proxy in self.proxies if proxy.unblock_source(ip))
+        return newly > 0, f"unblocked {ip} on {newly} front door(s)"
+
+    # -- identity -------------------------------------------------------------
+    def revoke_token(self, username: str) -> Tuple[bool, str]:
+        if self.users is None:
+            return False, "no user directory"
+        # The directory's on_revoke hooks (wired by WorldBuilder) keep
+        # the spawned backend's token in sync, so the legitimate owner
+        # stays able to reach their own server with the fresh token.
+        new_token = self.users.revoke_token(username)
+        if new_token is None:
+            return False, f"no such user {username!r}"
+        return True, f"rotated token for {username!r}"
+
+    # -- spawner --------------------------------------------------------------
+    def quarantine_tenant(self, username: str) -> Tuple[bool, str]:
+        if self.spawner is None:
+            return False, "no spawner"
+        if username in self.spawner.quarantined:
+            return False, f"{username!r} already quarantined"
+        try:
+            stopped = self.spawner.quarantine(username)
+        except SpawnError as e:  # pragma: no cover - defensive
+            return False, str(e)
+        # Tear down any proxy channel still piping for this tenant:
+        # stopping the server removes the route, but an established
+        # WebSocket relay would otherwise keep flowing.
+        for proxy in self.proxies:
+            proxy.sever_tenant_channels(username)
+        return True, ("stopped and quarantined" if stopped else
+                      "quarantined (server was not running)")
+
+    def release_tenant(self, username: str) -> Tuple[bool, str]:
+        if self.spawner is None:
+            return False, "no spawner"
+        was = self.spawner.release(username)
+        return was, (f"released {username!r}" if was
+                     else f"{username!r} was not quarantined")
+
+    # -- resolution helpers (used by the controller) --------------------------
+    def tenants_on_host_ip(self, ip: str) -> List[str]:
+        """Tenants whose spawned server lives on the node with ``ip`` —
+        how an internal-source incident (kernel egress shows the *node*
+        as source) maps back to quarantine targets."""
+        if self.spawner is None:
+            return []
+        return sorted(name for name, spawned in self.spawner.active.items()
+                      if spawned.host.ip == ip)

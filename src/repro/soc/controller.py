@@ -1,0 +1,208 @@
+"""The response controller: detection → incident → playbook → containment.
+
+One :class:`ResponseController` closes the loop for one hub fleet.  On
+an event-loop cadence (like the idle culler) it:
+
+1. harvests any adopted honeypot fleet, so decoy burns become intel
+   indicators within one poll;
+2. folds new monitor notices into incidents via the
+   :class:`~repro.soc.incidents.AlertCorrelator`;
+3. evaluates the :class:`~repro.soc.playbook.PlaybookRunner` rules
+   against open incidents and executes the due containment actions.
+
+Independently of the poll, the controller subscribes to the threat-intel
+feed: content-signature indicators are installed into every monitor's
+signature engine, and burned-source indicators are auto-blocked at every
+front door — the ROADMAP's "honeypot burn → fleet-wide block" path, with
+the detection→containment lead time measurable from the action log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.soc.actions import ContainmentActions
+from repro.soc.incidents import AlertCorrelator, Incident
+from repro.soc.playbook import (
+    PlaybookRunner,
+    ResponseAction,
+    ResponsePolicy,
+    ResponseRule,
+)
+
+
+class ResponseController:
+    """Wires correlation, playbooks, and containment to one fleet."""
+
+    def __init__(self, *, loop, monitor, proxies: Sequence = (),
+                 users=None, spawner=None,
+                 policy: Optional[ResponsePolicy] = None,
+                 internal_prefix: str = "10."):
+        self.loop = loop
+        self.monitor = monitor
+        self.policy = policy or ResponsePolicy()
+        self.correlator = AlertCorrelator(internal_prefix=internal_prefix)
+        self.playbook = PlaybookRunner(self.policy.rules)
+        self.actions = ContainmentActions(proxies=proxies, users=users,
+                                          spawner=spawner)
+        #: Every action decided, executed or dry-run, in decision order.
+        self.executed: List[ResponseAction] = []
+        self.polls = 0
+        self.fleet = None  # honeypot fleet, when the topology has decoys
+        self._intel_blocked: set = set()
+        if self.policy.enabled:
+            self._schedule()
+
+    # -- monitors (single or merged fleet view) -------------------------------
+    @property
+    def monitors(self) -> List:
+        inner = getattr(self.monitor, "monitors", None)
+        return list(inner) if inner is not None else [self.monitor]
+
+    # -- honeypot intel -------------------------------------------------------
+    def adopt_fleet(self, fleet) -> None:
+        """Close the honeypot loop: harvest on poll, and subscribe the
+        production side to the fleet's intel feed."""
+        self.fleet = fleet
+        self.subscribe_feed(fleet.feed)
+
+    def subscribe_feed(self, feed) -> None:
+        for monitor in self.monitors:
+            feed.subscribe_engine(monitor.signatures)
+        if self.policy.auto_block_intel:
+            feed.subscribe(self._on_indicator)
+
+    def _on_indicator(self, indicator) -> None:
+        if indicator.indicator_type != "source-ip":
+            return
+        if indicator.confidence < self.policy.intel_min_confidence:
+            return
+        ip = indicator.pattern
+        if ip in self._intel_blocked:
+            return
+        self._intel_blocked.add(ip)
+        ok, detail = (True, "dry-run") if self.policy.dry_run \
+            else self.actions.block_source(ip)
+        self.executed.append(ResponseAction(
+            ts=self.loop.clock.now(), rule="intel-auto-block",
+            action="block_source", target=ip, incident_id="-",
+            ok=ok, dry_run=self.policy.dry_run,
+            detail=detail or f"indicator {indicator.indicator_id} "
+                             f"({indicator.source})"))
+
+    # -- the poll loop --------------------------------------------------------
+    def _schedule(self) -> None:
+        self.loop.call_later(self.policy.poll_interval, self._tick)
+
+    def _tick(self) -> None:
+        self.poll()
+        self._schedule()
+
+    def poll(self) -> List[ResponseAction]:
+        """One detection→containment pass; returns the actions decided."""
+        self.polls += 1
+        before = len(self.executed)
+        if self.fleet is not None and self.policy.harvest_on_poll:
+            self.fleet.harvest_now()
+            self.fleet.publish_source_indicators()
+        self.correlator.collect(self.monitor)
+        now = self.loop.clock.now()
+        # Contained incidents stay eligible: the playbook's cooldown +
+        # new-evidence gating governs re-firing, so an attack that
+        # continues past a partial containment (or returns after an
+        # unblock) is re-evaluated instead of latched closed forever.
+        for incident in self.correlator.incidents.values():
+            for rule in self.playbook.due(incident, now):
+                self.playbook.mark_fired(rule, incident, now)
+                for action_name in rule.actions:
+                    self._dispatch(rule, action_name, incident)
+        return self.executed[before:]
+
+    # -- action dispatch ------------------------------------------------------
+    def _dispatch(self, rule: ResponseRule, action_name: str,
+                  incident: Incident) -> None:
+        targets = self._resolve_targets(action_name, incident)
+        if not targets:
+            self._record(rule, action_name, "-", incident, ok=False,
+                         detail="no resolvable target")
+            return
+        for action, target in targets:
+            if self.policy.dry_run:
+                self._record(rule, action, target, incident,
+                             ok=True, detail="dry-run")
+                continue
+            ok, detail = self._execute(action, target)
+            self._record(rule, action, target, incident, ok=ok, detail=detail)
+            if ok:
+                incident.status = "contained"
+
+    def _resolve_targets(self, action_name: str, incident: Incident):
+        """Map an abstract rule action onto concrete (action, target)
+        pairs for this incident."""
+        if action_name == "block_source":
+            if incident.source and "." in incident.source:
+                return [("block_source", incident.source)]
+            return []
+        if action_name == "revoke_exposed_tokens":
+            return [("revoke_token", name) for name in sorted(incident.tenants)]
+        if action_name == "quarantine_tenants":
+            tenants = sorted(incident.tenants) or \
+                self.actions.tenants_on_host_ip(incident.source)
+            if tenants:
+                return [("quarantine_tenant", name) for name in tenants]
+            # No tenant resolves (e.g. the source is a client session,
+            # not a fleet node): contain the session at the edge instead.
+            if incident.source and "." in incident.source:
+                return [("block_source", incident.source)]
+            return []
+        if action_name == "unblock_source":
+            return [("unblock_source", incident.source)]
+        return [(action_name, incident.source)]
+
+    def _execute(self, action: str, target: str):
+        method = getattr(self.actions, action, None)
+        if method is None:
+            return False, f"unknown action {action!r}"
+        return method(target)
+
+    def _record(self, rule: ResponseRule, action: str, target: str,
+                incident: Incident, *, ok: bool, detail: str) -> None:
+        record = ResponseAction(
+            ts=self.loop.clock.now(), rule=rule.name, action=action,
+            target=target, incident_id=incident.incident_id,
+            ok=ok, dry_run=self.policy.dry_run, detail=detail)
+        self.executed.append(record)
+        incident.actions.append(record)
+
+    # -- reporting ------------------------------------------------------------
+    def containment_actions(self) -> List[ResponseAction]:
+        """Actions that actually changed the world (executed and ok)."""
+        return [a for a in self.executed if a.ok and not a.dry_run]
+
+    def first_containment_ts(self) -> Optional[float]:
+        executed = self.containment_actions()
+        return min((a.ts for a in executed), default=None)
+
+    def timeline(self) -> List[str]:
+        lines = [f"{i.opened:9.2f}s  incident  {i.describe()}"
+                 for i in self.correlator.by_severity()]
+        lines += [f"{a.ts:9.2f}s  action    [{a.rule}] {a.action}({a.target}) "
+                  f"{'DRY-RUN' if a.dry_run else ('ok' if a.ok else 'FAILED')} "
+                  f"{a.detail}" for a in self.executed]
+        return sorted(lines, key=lambda l: float(l.split("s", 1)[0]))
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "policy": {"rules": [r.name for r in self.playbook.rules],
+                       "poll_interval": self.policy.poll_interval,
+                       "dry_run": self.policy.dry_run},
+            "polls": self.polls,
+            "incidents": self.correlator.summary(),
+            "actions": {
+                "decided": len(self.executed),
+                "executed": len(self.containment_actions()),
+                "failed": sum(1 for a in self.executed
+                              if not a.ok and not a.dry_run),
+                "dry_run": sum(1 for a in self.executed if a.dry_run),
+            },
+        }

@@ -1,0 +1,196 @@
+"""Alert correlation: notice streams in, deduplicated incidents out.
+
+Detectors emit :class:`~repro.monitor.logs.Notice` records per
+observation; an analyst (and a playbook) reasons about *incidents* — one
+sustained activity by one source down one avenue.  The
+:class:`AlertCorrelator` folds notices into :class:`Incident` objects
+keyed by ``(source, tenant, avenue)`` with severity escalation, and
+deduplicates across shards: a sweep that trips three per-shard monitors
+plus the fleet-level detector is still *one* incident, because every
+shard's notice carries the same source and avenue.
+
+The correlator is pull-based: :meth:`collect` reads whatever notices a
+monitor (or merged fleet view) has accumulated and processes each notice
+object exactly once, so it can be polled from the response controller's
+event-loop tick without double-counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.monitor.logs import Notice
+from repro.soc.playbook import ResponseAction, severity_rank
+from repro.taxonomy.oscrp import Avenue
+
+IncidentKey = Tuple[str, str, Optional[Avenue]]
+
+
+def _looks_like_ip(source: str) -> bool:
+    """Notice sources are IPs on the network plane but *principals*
+    (session usernames, "kernel") on the audit plane; only the former
+    can be external infrastructure."""
+    return bool(source) and all(c.isdigit() or c == "." for c in source)
+
+
+@dataclass
+class Incident:
+    """One correlated activity: a source working an avenue."""
+
+    incident_id: str
+    source: str
+    tenant: str
+    avenue: Optional[Avenue]
+    opened: float
+    last_update: float
+    severity: str = "low"
+    notice_count: int = 0
+    notice_names: List[str] = field(default_factory=list)  # ordered, unique
+    detectors: Set[str] = field(default_factory=set)
+    #: Tenants the notices implicate (e.g. a sweep's example_tenants) —
+    #: the targets token-revocation and quarantine actions resolve.
+    tenants: Set[str] = field(default_factory=set)
+    external: bool = False
+    status: str = "open"  # "open" | "contained"
+    actions: List[ResponseAction] = field(default_factory=list)
+
+    @property
+    def key(self) -> IncidentKey:
+        return (self.source, self.tenant, self.avenue)
+
+    @property
+    def contained(self) -> bool:
+        return any(a.ok and not a.dry_run for a in self.actions)
+
+    def describe(self) -> str:
+        avenue = self.avenue.value if self.avenue else "-"
+        return (f"{self.incident_id} src={self.source or '-'} "
+                f"avenue={avenue} sev={self.severity} "
+                f"notices={self.notice_count} "
+                f"[{','.join(self.notice_names)}] status={self.status}")
+
+
+class AlertCorrelator:
+    """Folds notice streams into incidents.
+
+    ``internal_prefix`` classifies incident sources the way the
+    monitor's egress detectors do: a source outside the prefix is
+    attacker infrastructure (blockable at the front door), inside it is
+    a compromised fleet asset (quarantinable, not blockable).
+    """
+
+    def __init__(self, *, internal_prefix: str = "10.",
+                 min_severity: str = "low"):
+        self.internal_prefix = internal_prefix
+        self.min_severity = min_severity
+        self.incidents: Dict[IncidentKey, Incident] = {}
+        self._by_id: Dict[str, Incident] = {}
+        self._seen_notices: Set[Tuple] = set()
+        #: Per-source read cursors into append-only notice lists, so a
+        #: 2-second poll cadence costs O(new notices), not O(log size).
+        self._cursors: Dict[int, int] = {}
+        self._counter = 0
+
+    # -- intake ---------------------------------------------------------------
+    def collect(self, monitor) -> List[Incident]:
+        """Fold every not-yet-seen notice from ``monitor`` (a
+        :class:`JupyterNetworkMonitor` or merged fleet view); returns the
+        incidents that changed.  Reads each underlying append-only
+        notice list from a cursor, so repeated polls only pay for the
+        tail (the fingerprint set still deduplicates the same event
+        reported by two shards)."""
+        inner = getattr(monitor, "monitors", None)
+        if inner is None:
+            return self._ingest_tail(monitor.logs.notices, source=id(monitor))
+        # A merged fleet view: read each shard monitor's own log plus
+        # the view's fleet-level notices, all append-only.
+        refresh = getattr(monitor, "refresh", None)
+        if refresh is not None:
+            refresh()
+        touched: List[Incident] = []
+        for shard_monitor in inner:
+            touched.extend(self._ingest_tail(shard_monitor.logs.notices,
+                                             source=id(shard_monitor)))
+        fleet_notices = getattr(monitor, "fleet_notices", None)
+        if fleet_notices is not None:
+            touched.extend(self._ingest_tail(fleet_notices, source=id(monitor)))
+        return touched
+
+    def _ingest_tail(self, notices: List[Notice], *, source: int) -> List[Incident]:
+        start = self._cursors.get(source, 0)
+        touched = self.ingest(notices[start:])
+        self._cursors[source] = len(notices)
+        return touched
+
+    @staticmethod
+    def _fingerprint(notice: Notice) -> Tuple:
+        """Content identity, not object identity: repeated polls over
+        the same log, and two shard monitors reporting the same event
+        from their own vantage points, fold to one observation."""
+        return (notice.ts, notice.detector, notice.name, notice.src,
+                notice.dst, notice.severity)
+
+    def ingest(self, notices: Iterable[Notice]) -> List[Incident]:
+        touched: Dict[IncidentKey, Incident] = {}
+        for notice in notices:
+            marker = self._fingerprint(notice)
+            if marker in self._seen_notices:
+                continue
+            self._seen_notices.add(marker)
+            if severity_rank(notice.severity) < severity_rank(self.min_severity):
+                continue
+            incident = self._fold(notice)
+            touched[incident.key] = incident
+        return list(touched.values())
+
+    def _fold(self, notice: Notice) -> Incident:
+        tenant = str(notice.detail.get("tenant", "")) if notice.detail else ""
+        key: IncidentKey = (notice.src, tenant, notice.avenue)
+        incident = self.incidents.get(key)
+        if incident is None:
+            self._counter += 1
+            incident = Incident(
+                incident_id=f"INC-{self._counter:04d}",
+                source=notice.src, tenant=tenant, avenue=notice.avenue,
+                opened=notice.ts, last_update=notice.ts,
+                external=_looks_like_ip(notice.src)
+                and not notice.src.startswith(self.internal_prefix),
+            )
+            self.incidents[key] = incident
+            self._by_id[incident.incident_id] = incident
+        incident.last_update = max(incident.last_update, notice.ts)
+        incident.notice_count += 1
+        if notice.name not in incident.notice_names:
+            incident.notice_names.append(notice.name)
+        incident.detectors.add(notice.detector)
+        if severity_rank(notice.severity) > severity_rank(incident.severity):
+            incident.severity = notice.severity
+        if notice.detail:
+            for name in notice.detail.get("example_tenants", ()) or ():
+                incident.tenants.add(str(name))
+        return incident
+
+    # -- queries --------------------------------------------------------------
+    def open_incidents(self) -> List[Incident]:
+        return [i for i in self.incidents.values() if i.status == "open"]
+
+    def get(self, incident_id: str) -> Optional[Incident]:
+        return self._by_id.get(incident_id)
+
+    def by_severity(self) -> List[Incident]:
+        return sorted(self.incidents.values(),
+                      key=lambda i: (-severity_rank(i.severity), i.opened))
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "incidents": len(self.incidents),
+            "open": len(self.open_incidents()),
+            "contained": sum(1 for i in self.incidents.values()
+                             if i.status == "contained"),
+            "by_severity": {
+                sev: sum(1 for i in self.incidents.values() if i.severity == sev)
+                for sev in ("critical", "high", "medium", "low")
+                if any(i.severity == sev for i in self.incidents.values())
+            },
+        }

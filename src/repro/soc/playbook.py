@@ -1,0 +1,176 @@
+"""Declarative response playbooks: rules in, containment decisions out.
+
+A :class:`ResponseRule` is the SOC analogue of a detection signature —
+pure data describing *when* to act (avenue, severity, notice threshold,
+source scope) and *what* to do (an ordered tuple of action names the
+:class:`~repro.soc.actions.ContainmentActions` layer implements).  The
+:class:`PlaybookRunner` evaluates rules against open incidents with
+per-(rule, incident) cooldowns so a noisy incident cannot re-trigger the
+same containment every poll.
+
+Everything in this module is plain data + bookkeeping: no network, no
+scenario objects.  That keeps it importable from the topology spec layer
+(a :class:`ResponsePolicy` rides inside a frozen ``WorldSpec``) without
+dragging the live wiring along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.taxonomy.oscrp import Avenue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.soc.incidents import Incident
+
+#: Notice severity, orderable.  Shared by the correlator and the rules.
+SEVERITY_ORDER: Dict[str, int] = {"low": 0, "medium": 1, "high": 2, "critical": 3}
+
+
+def severity_rank(severity: str) -> int:
+    return SEVERITY_ORDER.get(severity, 0)
+
+
+@dataclass(frozen=True)
+class ResponseRule:
+    """One containment rule: incident predicate → ordered actions.
+
+    ``actions`` name methods of the containment layer:
+    ``block_source``, ``revoke_exposed_tokens``, ``quarantine_tenants``,
+    ``unblock_source``.  ``source_scope`` distinguishes incidents blamed
+    on external infrastructure (block it at the front door) from ones
+    sourced *inside* the fleet (a compromised kernel exfiltrating —
+    nothing to block at the edge; quarantine the tenant instead).
+    """
+
+    name: str
+    actions: Tuple[str, ...]
+    description: str = ""
+    avenues: Tuple[Avenue, ...] = ()       # empty = any avenue
+    notice_names: Tuple[str, ...] = ()     # empty = any notice
+    min_severity: str = "high"
+    min_notices: int = 1                   # incident notice count threshold
+    source_scope: str = "any"              # "external" | "internal" | "any"
+    cooldown: float = 300.0                # seconds between firings per incident
+
+    def matches(self, incident: "Incident") -> bool:
+        if incident.notice_count < self.min_notices:
+            return False
+        if severity_rank(incident.severity) < severity_rank(self.min_severity):
+            return False
+        if self.avenues and incident.avenue not in self.avenues:
+            return False
+        if self.notice_names and not any(n in incident.notice_names
+                                         for n in self.notice_names):
+            return False
+        if self.source_scope == "external" and not incident.external:
+            return False
+        if self.source_scope == "internal" and incident.external:
+            return False
+        return True
+
+
+#: The catalogue a defended hub starts with (``repro soc --rules``).
+DEFAULT_RULES: Tuple[ResponseRule, ...] = (
+    ResponseRule(
+        name="block-hostile-source",
+        description=("An external source implicated in a high-severity "
+                     "incident is severed and blocked at every front door, "
+                     "and any tenant tokens it swept are rotated."),
+        actions=("block_source", "revoke_exposed_tokens"),
+        min_severity="high",
+        source_scope="external",
+        cooldown=60.0,
+    ),
+    ResponseRule(
+        name="contain-compromised-session",
+        description=("A high-severity ransomware/exfiltration/mining "
+                     "incident sourced *inside* the fleet quarantines the "
+                     "implicated tenant servers (falling back to blocking "
+                     "the session's source when no tenant resolves)."),
+        actions=("quarantine_tenants",),
+        avenues=(Avenue.RANSOMWARE, Avenue.DATA_EXFILTRATION,
+                 Avenue.CRYPTOMINING),
+        min_severity="high",
+        source_scope="internal",
+        cooldown=120.0,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ResponsePolicy:
+    """How a defended topology responds — a frozen field of ``WorldSpec``.
+
+    Compiled by :class:`~repro.topology.builder.WorldBuilder` into a live
+    :class:`~repro.soc.controller.ResponseController`.  ``dry_run`` keeps
+    the whole pipeline (correlation, rule matching, action records) but
+    executes nothing — the mode for tuning rules against replayed
+    campaigns before arming them.
+    """
+
+    rules: Tuple[ResponseRule, ...] = DEFAULT_RULES
+    enabled: bool = True
+    poll_interval: float = 2.0
+    dry_run: bool = False
+    #: Auto-subscribe honeypot intel: content signatures flow into every
+    #: monitor's signature engine, and burned-source indicators at or
+    #: above ``intel_min_confidence`` become fleet-wide proxy blocks.
+    auto_block_intel: bool = True
+    intel_min_confidence: float = 0.9
+    #: Harvest any adopted honeypot fleet on every poll, so a decoy burn
+    #: turns into an indicator within one poll interval.
+    harvest_on_poll: bool = True
+
+
+@dataclass
+class ResponseAction:
+    """One containment decision, executed or dry-run."""
+
+    ts: float
+    rule: str
+    action: str
+    target: str
+    incident_id: str
+    ok: bool = True
+    dry_run: bool = False
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"ts": self.ts, "rule": self.rule, "action": self.action,
+                "target": self.target, "incident": self.incident_id,
+                "ok": self.ok, "dry_run": self.dry_run, "detail": self.detail}
+
+
+class PlaybookRunner:
+    """Evaluates rules against incidents, enforcing cooldowns."""
+
+    def __init__(self, rules: Tuple[ResponseRule, ...] = DEFAULT_RULES):
+        self.rules: List[ResponseRule] = list(rules)
+        self._last_fired: Dict[Tuple[str, str], float] = {}
+        self._fired_at_count: Dict[Tuple[str, str], int] = {}
+
+    def due(self, incident: "Incident", now: float) -> List[ResponseRule]:
+        """Rules that match ``incident``, are off cooldown at ``now``,
+        and have new evidence since their last firing (a rule never
+        re-fires on an unchanged incident, however long it stays open)."""
+        out = []
+        for rule in self.rules:
+            if not rule.matches(incident):
+                continue
+            key = (rule.name, incident.incident_id)
+            last = self._last_fired.get(key)
+            if last is not None:
+                if now - last < rule.cooldown:
+                    continue
+                if self._fired_at_count.get(key) == incident.notice_count:
+                    continue
+            out.append(rule)
+        return out
+
+    def mark_fired(self, rule: ResponseRule, incident: "Incident",
+                   now: float) -> None:
+        key = (rule.name, incident.incident_id)
+        self._last_fired[key] = now
+        self._fired_at_count[key] = incident.notice_count

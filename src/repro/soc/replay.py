@@ -1,0 +1,139 @@
+"""Canned arms-race campaigns, replayable against any hub topology.
+
+The stochastic :class:`~repro.attacks.campaign.CampaignGenerator` is the
+right tool for rate *surveys*; tuning and demonstrating a response
+pipeline wants deterministic, multi-wave campaigns where the attacker
+comes back after being burned:
+
+- ``pivot`` — stolen token, a cross-tenant sweep, then a *return wave*
+  of the same sweep.  Undefended, the second wave loots the fleet again;
+  defended, the first wave's CROSS_TENANT_SWEEP incident blocks the
+  source and the return wave dies at the front door.
+- ``exfil`` — stolen token, a bulk exfiltration wave (loud enough that
+  EXFIL_VOLUME fires mid-transfer), then a second bulk wave for the
+  artifacts the victim keeps producing.  Defended, the first wave's
+  incident quarantines the leaking tenant and the return wave dies
+  against the spawner's quarantine.
+
+``repro soc --replay`` and the EXP-SOC benchmark both run these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.attacks.campaign import Campaign, CampaignOutcome, run_campaign
+from repro.attacks.exfiltration import ExfiltrationAttack
+from repro.attacks.hubpivot import CrossTenantPivotAttack
+from repro.attacks.takeover import StolenTokenAttack
+
+
+def pivot_campaign() -> Campaign:
+    return Campaign(1, [
+        StolenTokenAttack(),
+        CrossTenantPivotAttack(request_delay=0.5),
+        CrossTenantPivotAttack(request_delay=0.5),  # the return wave
+    ], "pivot")
+
+
+def exfil_campaign() -> Campaign:
+    # Two bulk waves: the seeded artifacts (~30 kB) cross the
+    # scale-model egress threshold (20 kB / 60 s) inside wave one, so
+    # EXFIL_VOLUME attributes the leak to the tenant's node while the
+    # attacker is still working — and the return wave meets whatever
+    # the defender did about it.
+    return Campaign(2, [
+        StolenTokenAttack(),
+        ExfiltrationAttack(),
+        ExfiltrationAttack(),  # the return wave
+    ], "steal")
+
+
+CANNED: Dict[str, Callable[[], Campaign]] = {
+    "pivot": pivot_campaign,
+    "exfil": exfil_campaign,
+}
+
+
+@dataclass
+class ReplayReport:
+    """One canned campaign run, with the defender's worldview attached."""
+
+    topology: str
+    campaign: str
+    outcome: CampaignOutcome
+    notices: List[str] = field(default_factory=list)
+    incidents: List[str] = field(default_factory=list)
+    timeline: List[str] = field(default_factory=list)
+    soc_summary: Optional[Dict] = None
+    proxy_summary: Optional[Dict] = None
+
+    @property
+    def containment_actions(self) -> int:
+        return len([a for a in self.outcome.actions
+                    if a.ok and not a.dry_run])
+
+    def to_dict(self) -> Dict:
+        o = self.outcome
+        return {
+            "topology": self.topology,
+            "campaign": self.campaign,
+            "stages": [{"name": r.attack, "success": r.success,
+                        "started": r.started, "finished": r.finished,
+                        "narrative": r.narrative} for r in o.results],
+            "aborted_stage": o.failed_stage,
+            "failure": o.failure,
+            "detected": o.detected,
+            "detected_at": o.detected_at,
+            "contained_at": o.contained_at,
+            "containment_leadtime": o.containment_leadtime,
+            "post_detection_success": o.post_detection_success,
+            "stages_prevented": o.stages_prevented,
+            "actions": [a.to_dict() for a in o.actions],
+            "notices": self.notices,
+            "incidents": self.incidents,
+            "soc": self.soc_summary,
+            "proxy": self.proxy_summary,
+        }
+
+
+def run_replay(*, topology: Union[str, object] = "defended-hub",
+               campaign: str = "pivot", seed: int = 4242,
+               insecure: bool = True, n_tenants: int = 6) -> ReplayReport:
+    """Build ``topology`` fresh and drive one canned campaign through it.
+
+    ``insecure`` selects the shared-token/proxy-auth-off hub config —
+    the deployment where a pivot actually spreads, i.e. where a response
+    layer has work to do.  Defended and undefended presets accept the
+    same knobs, so A/B runs differ only in the ResponsePolicy.
+    """
+    from repro.hub.users import insecure_hub_config
+    from repro.topology import WorldBuilder, resolve_spec
+
+    factory = CANNED.get(campaign)
+    if factory is None:
+        raise KeyError(f"unknown canned campaign {campaign!r} "
+                       f"(have: {', '.join(sorted(CANNED))})")
+    overrides = {}
+    if isinstance(topology, str):
+        overrides["n_tenants"] = n_tenants
+        if insecure:
+            overrides["hub_config"] = insecure_hub_config()
+    spec = resolve_spec(topology, **overrides)
+    scenario = WorldBuilder().build(spec, seed=seed)
+    outcome = run_campaign(scenario, factory())
+    soc = getattr(scenario, "soc", None)
+    proxy = getattr(scenario, "proxy", None)
+    return ReplayReport(
+        topology=spec.name, campaign=campaign, outcome=outcome,
+        notices=[f"{n.ts:9.2f}s  notice    {n.name} ({n.severity}) "
+                 f"src={n.src or '-'}"
+                 for n in scenario.monitor.logs.notices
+                 if n.severity in ("high", "critical")],
+        incidents=([i.describe() for i in soc.correlator.by_severity()]
+                   if soc is not None else []),
+        timeline=soc.timeline() if soc is not None else [],
+        soc_summary=soc.summary() if soc is not None else None,
+        proxy_summary=proxy.summary() if proxy is not None else None,
+    )

@@ -18,21 +18,30 @@ rather than a new wiring module.
   and the merged :class:`FleetMonitorView`.
 """
 
+from repro.soc.playbook import ResponsePolicy, ResponseRule
 from repro.topology.builder import WorldBuilder
 from repro.topology.fleet import (
     FleetMonitorView,
     HoneypotHubScenario,
     HubShard,
+    ShardedHoneypotHubScenario,
     ShardedHubScenario,
 )
 from repro.topology.hashring import ConsistentHashRing
 from repro.topology.presets import (
+    GEO_LINKS,
     PRESETS,
+    defend,
+    defended_honeypot_hub_spec,
+    defended_hub_spec,
+    defended_sharded_hub_spec,
     honeypot_hub_spec,
     hub_spec,
     list_presets,
     register_preset,
     resolve_spec,
+    sharded_honeypot_hub_spec,
+    sharded_hub_geo_spec,
     sharded_hub_spec,
     single_server_spec,
     spec_preset,
@@ -41,6 +50,7 @@ from repro.topology.spec import (
     DecoyTenantSpec,
     HostSpec,
     HubSpec,
+    LinkSpec,
     MonitorSpec,
     ServerSpec,
     ShardSpec,
@@ -55,6 +65,7 @@ __all__ = [
     "HostSpec",
     "TapSpec",
     "SinkSpec",
+    "LinkSpec",
     "MonitorSpec",
     "ServerSpec",
     "ShardSpec",
@@ -63,13 +74,23 @@ __all__ = [
     "HubShard",
     "ShardedHubScenario",
     "HoneypotHubScenario",
+    "ShardedHoneypotHubScenario",
     "FleetMonitorView",
     "ConsistentHashRing",
+    "ResponsePolicy",
+    "ResponseRule",
     "PRESETS",
+    "GEO_LINKS",
     "single_server_spec",
     "hub_spec",
     "sharded_hub_spec",
     "honeypot_hub_spec",
+    "sharded_honeypot_hub_spec",
+    "sharded_hub_geo_spec",
+    "defended_hub_spec",
+    "defended_sharded_hub_spec",
+    "defended_honeypot_hub_spec",
+    "defend",
     "spec_preset",
     "list_presets",
     "register_preset",

@@ -19,6 +19,7 @@ from repro.topology.fleet import (
     FleetMonitorView,
     HoneypotHubScenario,
     HubShard,
+    ShardedHoneypotHubScenario,
     ShardedHubScenario,
 )
 from repro.topology.hashring import ConsistentHashRing
@@ -67,6 +68,35 @@ class WorldBuilder:
         return {s.key: SinkServer(hosts[s.key], s.port, reply=s.reply)
                 for s in spec.sinks}
 
+    def _apply_links(self, spec: WorldSpec, net: Network) -> None:
+        """Install the spec's per-link latency overrides.  Called once
+        every host exists, so geo specs can shape any pair."""
+        for link in spec.links:
+            a, b = net.hosts.get(link.a), net.hosts.get(link.b)
+            if a is None or b is None:
+                missing = link.a if a is None else link.b
+                raise ValueError(
+                    f"spec {spec.name!r}: link {link.a}<->{link.b} names "
+                    f"unknown host {missing!r} (hosts: {sorted(net.hosts)})")
+            net.set_latency(a, b, link.latency)
+
+    def _attach_response(self, spec: WorldSpec, scenario, *, proxies,
+                         users, spawner) -> None:
+        """Compile the spec's ResponsePolicy into a live controller."""
+        policy = spec.response
+        if policy is None or not policy.enabled:
+            return
+        from repro.soc.controller import ResponseController
+
+        controller = ResponseController(
+            loop=scenario.network.loop, monitor=scenario.monitor,
+            proxies=proxies, users=users, spawner=spawner, policy=policy,
+            internal_prefix=getattr(scenario.monitor, "internal_prefix", "10."))
+        fleet = getattr(scenario, "fleet", None)
+        if fleet is not None:
+            controller.adopt_fleet(fleet)
+        scenario.soc = controller
+
     # -- single server --------------------------------------------------------
     def _build_single(self, spec: WorldSpec):
         from repro.attacks.scenario import Scenario
@@ -99,6 +129,7 @@ class WorldBuilder:
             exfil_sink=sinks["exfil_sink"], mining_pool=sinks["mining_pool"],
             token=cfg.token, rng=rng, sinks=sinks, spec=spec,
         )
+        self._apply_links(spec, net)
         if spec.seed_data:
             scenario.seed_research_data()
         return scenario
@@ -113,8 +144,6 @@ class WorldBuilder:
 
         hub = spec.hub
         assert hub is not None
-        if hub.shards and hub.decoy_tenants:
-            raise ValueError("decoy tenants on a sharded hub are not supported yet")
 
         rng = DeterministicRNG(spec.seed)
         net = Network(default_latency=spec.default_latency)
@@ -150,6 +179,13 @@ class WorldBuilder:
         for proxy in proxies:
             spawner.on_spawn.append(lambda s, p=proxy: p.add_route(s))
             spawner.on_stop.append(lambda name, p=proxy: p.remove_route(name))
+
+        def _sync_backend_token(name: str, token: str) -> None:
+            spawned = spawner.active.get(name)
+            if spawned is not None:
+                spawned.server.config.token = token
+
+        users.on_revoke.append(_sync_backend_token)
         culler = IdleCuller(net.loop, spawner, proxies[0],
                             interval=hub_cfg.cull_interval,
                             idle_timeout=hub_cfg.cull_idle_timeout,
@@ -189,26 +225,52 @@ class WorldBuilder:
             hub=users, hub_config=hub_cfg, tenant_names=list(names),
         )
 
+        ring = (ConsistentHashRing([s.name for s in shard_specs])
+                if shard_specs else None)
+        decoy_parts: Optional[Dict] = None
+        if hub.decoy_tenants:
+            # Per-shard decoy routing: a decoy tenant's static route is
+            # installed on the same consistent-hash-assigned front door
+            # a real tenant of that name would use; a plain hub has only
+            # the one proxy.
+            shard_index = {s.name: i for i, s in enumerate(shard_specs)}
+
+            def proxy_for(decoy_name: str):
+                if ring is None:
+                    return proxies[0]
+                return proxies[shard_index[ring.node_for(decoy_name)]]
+
+            decoy_parts = self._build_decoy_tenants(spec, net, users, proxy_for)
+
         if shard_specs:
             shards = [HubShard(name=s.name, host=h, proxy=p, tap=t, monitor=m)
                       for s, h, p, t, m in zip(shard_specs, shard_hosts,
                                                proxies, taps, monitors)]
-            scenario: HubScenario = ShardedHubScenario(
-                monitor=FleetMonitorView(monitors), shards=shards,
-                ring=ConsistentHashRing([s.name for s in shard_specs]), **common)
-        elif hub.decoy_tenants:
-            scenario = self._add_decoy_tenants(spec, net, users, proxies[0],
-                                               monitors[0], common)
+            fleet_view = FleetMonitorView(monitors)
+            if decoy_parts is not None:
+                scenario: HubScenario = ShardedHoneypotHubScenario(
+                    monitor=fleet_view, shards=shards, ring=ring,
+                    **decoy_parts, **common)
+            else:
+                scenario = ShardedHubScenario(
+                    monitor=fleet_view, shards=shards, ring=ring, **common)
+        elif decoy_parts is not None:
+            scenario = HoneypotHubScenario(monitor=monitors[0],
+                                           **decoy_parts, **common)
         else:
             scenario = HubScenario(monitor=monitors[0], **common)
 
+        self._apply_links(spec, net)
+        self._attach_response(spec, scenario, proxies=proxies, users=users,
+                              spawner=spawner)
         if spec.seed_data:
             scenario.seed_research_data()
         return scenario
 
-    def _add_decoy_tenants(self, spec: WorldSpec, net: Network, users, proxy,
-                           monitor: JupyterNetworkMonitor,
-                           common: Dict) -> HoneypotHubScenario:
+    def _build_decoy_tenants(self, spec: WorldSpec, net: Network, users,
+                             proxy_for) -> Dict:
+        """Stand up decoy tenants; ``proxy_for(name)`` selects the front
+        door that should carry each decoy's static route."""
         from repro.honeypot.decoy import DecoyJupyterServer
         from repro.honeypot.fleet import HoneypotFleet
 
@@ -223,8 +285,8 @@ class WorldBuilder:
                                        interaction=d.interaction)
             fleet.adopt(decoy)
             users.create(d.name)
-            proxy.add_static_route(d.name, host, decoy.config.port)
+            proxy_for(d.name).add_static_route(d.name, host, decoy.config.port)
             decoys.append(decoy)
             decoy_names.append(d.name)
-        return HoneypotHubScenario(monitor=monitor, fleet=fleet, decoys=decoys,
-                                   decoy_tenant_names=decoy_names, **common)
+        return {"fleet": fleet, "decoys": decoys,
+                "decoy_tenant_names": decoy_names}

@@ -214,8 +214,14 @@ class ShardedHubScenario(HubScenario):
 
 
 @dataclass
-class HoneypotHubScenario(HubScenario):
-    """A hub whose ``/user/<name>`` table includes decoy tenants."""
+class HoneypotTenantOps:
+    """Decoy-tenant state and queries, mixed into any hub scenario.
+
+    Both the single-front-door :class:`HoneypotHubScenario` and the
+    :class:`ShardedHoneypotHubScenario` carry the same decoy machinery;
+    only the routing underneath differs (one proxy vs the decoy's
+    consistent-hash-assigned shard).
+    """
 
     fleet: Optional[HoneypotFleet] = None
     decoys: List[DecoyJupyterServer] = field(default_factory=list)
@@ -256,3 +262,22 @@ class HoneypotHubScenario(HubScenario):
             "total_indicators": len(self.fleet.feed.indicators),
             "decoy_interactions": len(self.decoy_interactions()),
         }
+
+
+@dataclass
+class HoneypotHubScenario(HoneypotTenantOps, HubScenario):
+    """A hub whose ``/user/<name>`` table includes decoy tenants."""
+
+
+@dataclass
+class ShardedHoneypotHubScenario(HoneypotTenantOps, ShardedHubScenario):
+    """A consistent-hash-sharded hub with decoy tenants.
+
+    Each decoy is routed on its hash-assigned shard (the same front door
+    a real tenant of that name would use), so a sweeping attacker meets
+    bait behind every shard boundary and the per-shard taps attribute
+    the burn to the right vantage point.
+    """
+
+    def decoy_shard(self, decoy_name: str) -> HubShard:
+        return self.shard_for(decoy_name)

@@ -8,25 +8,37 @@ it with :class:`~repro.topology.builder.WorldBuilder`.
 
 Registered presets (``repro topology --list``):
 
-- ``single-server`` — the paper's standalone campus deployment.
-- ``hub``           — multi-tenant hub behind one reverse proxy.
-- ``sharded-hub``   — N front-door proxies, consistent-hash user
+- ``single-server``        — the paper's standalone campus deployment.
+- ``hub``                  — multi-tenant hub behind one reverse proxy.
+- ``sharded-hub``          — N front-door proxies, consistent-hash user
   routing, one tap per shard, merged fleet monitor view.
-- ``honeypot-hub``  — a (misconfigured) hub whose tenant list includes
-  decoy accounts backed by instrumented honeypots.
+- ``honeypot-hub``         — a (misconfigured) hub whose tenant list
+  includes decoy accounts backed by instrumented honeypots.
+- ``sharded-honeypot-hub`` — shards *and* decoy tenants: each decoy is
+  routed on its hash-assigned shard.
+- ``sharded-hub-geo``      — the sharded hub with per-link latency
+  structure (one shard local, one continental, one intercontinental).
+- ``defended-hub`` / ``defended-sharded-hub`` / ``defended-honeypot-hub``
+  — the same worlds with a :class:`ResponsePolicy`: an automated
+  response controller correlates monitor notices into incidents and
+  executes containment playbooks (block / revoke / quarantine /
+  intel auto-block).  ``defend(spec)`` wraps any hub spec the same way.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.hub.users import HubConfig, insecure_hub_config
 from repro.monitor import AnalyzerDepth
 from repro.server.config import ServerConfig
+from repro.soc.playbook import ResponsePolicy
 from repro.topology.spec import (
     DecoyTenantSpec,
     HostSpec,
     HubSpec,
+    LinkSpec,
     MonitorSpec,
     ServerSpec,
     ShardSpec,
@@ -150,12 +162,102 @@ def honeypot_hub_spec(
     )
 
 
+def sharded_honeypot_hub_spec(
+    *,
+    n_shards: int = 3,
+    n_tenants: int = 6,
+    decoy_names: Sequence[str] = ("admin", "svc-backup"),
+    hub_config: Optional[HubConfig] = None,
+    depth: AnalyzerDepth = AnalyzerDepth.JUPYTER,
+    seed: int = 1337,
+    monitor_budget: float = 0.0,
+    seed_data: bool = True,
+    spawn_all: bool = True,
+    tenants_per_node: int = 25,
+    tenant_prefix: str = "user",
+    harvest_interval: float = 60.0,
+) -> WorldSpec:
+    """Shards *and* decoy tenants: N front doors with per-shard decoy
+    routing — each decoy's static route lives on the shard the consistent
+    hash assigns it, so bait sits behind every shard boundary.  Defaults
+    to the insecure hub config for the same burn-first reason as
+    ``honeypot-hub``."""
+    base = sharded_hub_spec(
+        n_shards=n_shards, n_tenants=n_tenants,
+        hub_config=hub_config if hub_config is not None else insecure_hub_config(),
+        depth=depth, seed=seed, monitor_budget=monitor_budget,
+        seed_data=seed_data, spawn_all=spawn_all,
+        tenants_per_node=tenants_per_node, tenant_prefix=tenant_prefix)
+    if not decoy_names:
+        raise ValueError("a sharded honeypot hub needs at least one decoy tenant")
+    decoys = tuple(
+        DecoyTenantSpec(name=name, host=HostSpec(f"decoy{i}", f"10.0.3.{10 + i}"))
+        for i, name in enumerate(decoy_names)
+    )
+    assert base.hub is not None
+    return replace(base, name="sharded-honeypot-hub",
+                   hub=replace(base.hub, decoy_tenants=decoys,
+                               harvest_interval=harvest_interval))
+
+
+#: The geo latency map: shard0 stays campus-local, shard1 sits a
+#: continent away, shard2 across an ocean — for both the benign user
+#: population and the attacker (whose staging box is closest to shard2).
+GEO_LINKS: Tuple[LinkSpec, ...] = (
+    LinkSpec("laptop", "hub0", 0.001),
+    LinkSpec("laptop", "hub1", 0.035),
+    LinkSpec("laptop", "hub2", 0.085),
+    LinkSpec("attacker", "hub0", 0.080),
+    LinkSpec("attacker", "hub1", 0.040),
+    LinkSpec("attacker", "hub2", 0.004),
+)
+
+
+def sharded_hub_geo_spec(
+    *,
+    n_tenants: int = 6,
+    links: Tuple[LinkSpec, ...] = GEO_LINKS,
+    **kwargs,
+) -> WorldSpec:
+    """The sharded hub with geographic latency structure.  Three shards
+    (the ``GEO_LINKS`` map assumes three), per-link latency overrides on
+    the client/attacker legs, everything else as ``sharded-hub``."""
+    base = sharded_hub_spec(n_shards=3, n_tenants=n_tenants, **kwargs)
+    return replace(base, name="sharded-hub-geo", links=tuple(links))
+
+
+def defend(spec: WorldSpec, policy: Optional[ResponsePolicy] = None) -> WorldSpec:
+    """Arm any hub spec with an automated response policy."""
+    return replace(spec, name=f"defended-{spec.name}",
+                   response=policy or ResponsePolicy())
+
+
+def _defended_factory(base: Callable[..., WorldSpec]) -> Callable[..., WorldSpec]:
+    def factory(*, policy: Optional[ResponsePolicy] = None, **kwargs) -> WorldSpec:
+        return defend(base(**kwargs), policy)
+
+    factory.__name__ = f"defended_{base.__name__}"
+    factory.__doc__ = (f"``{base.__name__}`` plus a ResponsePolicy: the "
+                       f"arms-race variant with an automated defender.")
+    return factory
+
+
+defended_hub_spec = _defended_factory(hub_spec)
+defended_sharded_hub_spec = _defended_factory(sharded_hub_spec)
+defended_honeypot_hub_spec = _defended_factory(honeypot_hub_spec)
+
+
 #: name -> spec factory.  ``repro topology`` and the CI smoke job iterate this.
 PRESETS: Dict[str, Callable[..., WorldSpec]] = {
     "single-server": single_server_spec,
     "hub": hub_spec,
     "sharded-hub": sharded_hub_spec,
     "honeypot-hub": honeypot_hub_spec,
+    "sharded-honeypot-hub": sharded_honeypot_hub_spec,
+    "sharded-hub-geo": sharded_hub_geo_spec,
+    "defended-hub": defended_hub_spec,
+    "defended-sharded-hub": defended_sharded_hub_spec,
+    "defended-honeypot-hub": defended_honeypot_hub_spec,
 }
 
 

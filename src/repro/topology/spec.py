@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 from repro.hub.users import HubConfig
 from repro.monitor import AnalyzerDepth
 from repro.server.config import ServerConfig
+from repro.soc.playbook import ResponsePolicy
 
 
 @dataclass(frozen=True)
@@ -28,6 +29,21 @@ class HostSpec:
 
     name: str
     ip: str
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A per-link latency override between two named hosts.
+
+    Geo-distributed topologies (a shard per region) are just latency
+    structure: hosts keep the default campus latency except where a link
+    entry says otherwise.  Host names may be any host the builder
+    creates — spec'd hosts, fleet nodes (``node00``...), or sink hosts.
+    """
+
+    a: str
+    b: str
+    latency: float
 
 
 @dataclass(frozen=True)
@@ -146,6 +162,13 @@ class WorldSpec:
     server: Optional[ServerSpec] = None
     hub: Optional[HubSpec] = None
     seed_data: bool = True
+    #: Per-link latency overrides (geo topologies); applied after every
+    #: host exists, so entries may name fleet nodes and sink hosts too.
+    links: Tuple[LinkSpec, ...] = ()
+    #: Automated response: when set, the builder attaches a
+    #: :class:`~repro.soc.controller.ResponseController` to the compiled
+    #: scenario (``scenario.soc``) — the "defended" topology variants.
+    response: Optional[ResponsePolicy] = None
 
     def __post_init__(self) -> None:
         if (self.server is None) == (self.hub is None):
@@ -153,6 +176,10 @@ class WorldSpec:
                 f"WorldSpec {self.name!r} needs exactly one of server=/hub=")
         if self.hub is not None and self.hub.n_tenants < 1:
             raise ValueError("a hub topology needs at least one tenant")
+        if self.response is not None and self.server is not None:
+            raise ValueError(
+                f"WorldSpec {self.name!r}: response policies need a hub "
+                f"topology (containment acts on the proxy/spawner tier)")
         keys = [s.key for s in self.sinks]
         if len(set(keys)) != len(keys):
             raise ValueError(f"duplicate sink keys in {self.name!r}: {keys}")
@@ -169,6 +196,12 @@ class WorldSpec:
         if self.server is not None:
             return "single-server"
         assert self.hub is not None
+        if self.hub.decoy_tenants and self.hub.shards:
+            return "sharded-honeypot-hub"
         if self.hub.decoy_tenants:
             return "honeypot-hub"
         return "sharded-hub" if self.hub.shards else "hub"
+
+    @property
+    def defended(self) -> bool:
+        return self.response is not None and self.response.enabled

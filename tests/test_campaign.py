@@ -217,8 +217,13 @@ class TestMatrixReport:
     def test_by_topology_merges_objectives(self):
         report = self.make_report()
         by_topology = report.by_topology()
-        assert by_topology["hub"] == {"campaigns": 4, "detected": 1.0,
-                                      "succeeded": 1.0, "aborted": 0.0}
+        hub = by_topology["hub"]
+        assert hub["campaigns"] == 4 and hub["detected"] == 1.0
+        assert hub["succeeded"] == 1.0 and hub["aborted"] == 0.0
+        # The containment extension rides along (passive worlds: nothing
+        # contained, post-detection success mirrors plain success).
+        assert hub["contained"] == 0.0
+        assert hub["median_containment_leadtime"] is None
         assert by_topology["single-server"]["detected"] == 0.0
 
     def test_to_dict_and_render(self):

@@ -118,3 +118,54 @@ class TestMonitorCli:
         cli_monitor.main(["--json", "--depth", "http"])
         payload = json.loads(capsys.readouterr().out)
         assert payload["depth"] == "HTTP"
+
+
+class TestSocCli:
+    def test_rules_listing(self, capsys):
+        from repro.cli import soc as cli_soc
+
+        assert cli_soc.main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "block-hostile-source" in out
+        assert "contain-compromised-session" in out
+
+    def test_rules_json(self, capsys):
+        from repro.cli import soc as cli_soc
+
+        assert cli_soc.main(["--rules", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {r["name"] for r in payload} >= {"block-hostile-source"}
+        assert all("actions" in r and "cooldown" in r for r in payload)
+
+    def test_replay_defended_exits_zero_with_actions(self, capsys):
+        from repro.cli import soc as cli_soc
+
+        rc = cli_soc.main(["--replay", "--campaign", "exfil",
+                           "--topology", "defended-hub", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["contained_at"] is not None
+        assert payload["post_detection_success"] is False
+        assert payload["actions"]
+
+    def test_replay_undefended_reports_no_actions(self, capsys):
+        from repro.cli import soc as cli_soc
+
+        rc = cli_soc.main(["--replay", "--campaign", "exfil",
+                           "--topology", "hub", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0  # only *defended* replays gate on containment
+        assert payload["actions"] == []
+
+    def test_replay_rejects_unknown_topology(self):
+        from repro.cli import soc as cli_soc
+
+        with pytest.raises(SystemExit):
+            cli_soc.main(["--replay", "--topology", "atlantis"])
+
+    def test_umbrella_knows_soc(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main.main(["soc", "--rules"]) == 0
+        assert "block-hostile-source" in capsys.readouterr().out

@@ -502,6 +502,123 @@ class TestProxyBufferCaps:
         assert s.proxy.stats.buffer_overflows == 0
 
 
+class TestProxyBlocklist:
+    """Containment semantics at the front door (the SOC's block action)."""
+
+    def test_blocked_source_gets_403_and_counters(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        attacker = s.attacker_client(token=s.token)
+        assert attacker.request("GET", "/api/status").status == 200
+        assert s.proxy.block_source(s.attacker_host.ip) is True
+        resp = s.attacker_client(token=s.token).request("GET", "/api/status")
+        assert resp.status == 403
+        assert b"blocked" in resp.body
+        assert s.proxy.stats.blocked_total == 1
+        assert s.proxy.stats.denied_total >= 1
+        # Idempotent: re-blocking reports False, service stays denied.
+        assert s.proxy.block_source(s.attacker_host.ip) is False
+        assert s.attacker_client(token=s.token).request(
+            "GET", "/api/status").status == 403
+        assert s.proxy.stats.blocked_total == 2
+
+    def test_block_applies_to_hub_api_too(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        s.proxy.block_source(s.attacker_host.ip)
+        client = s.attacker_client(token=s.hub_config.api_token)
+        client.path_prefix = ""
+        assert client.request("GET", "/hub/api").status == 403
+
+    def test_unblock_restores_service(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        s.proxy.block_source(s.attacker_host.ip)
+        assert s.attacker_client(token=s.token).request(
+            "GET", "/api/status").status == 403
+        assert s.proxy.unblock_source(s.attacker_host.ip) is True
+        assert s.attacker_client(token=s.token).request(
+            "GET", "/api/status").status == 200
+        assert s.proxy.unblock_source(s.attacker_host.ip) is False
+        assert s.attacker_host.ip not in s.proxy.summary()["blocked_sources"]
+
+    def test_websocket_upgrade_rejected_while_blocked(self):
+        from repro.util.errors import ProtocolError
+
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        client = s.attacker_client(token=s.token)
+        client.start_kernel()
+        s.proxy.block_source(s.attacker_host.ip)
+        with pytest.raises(ProtocolError, match="upgrade refused: 403"):
+            client.connect_channels()
+
+    def test_block_severs_established_websocket_pipe(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        client = s.user_client(username="user00")
+        client.start_kernel()
+        client.connect_channels()
+        assert client.execute("1 + 1") is not None
+        s.proxy.block_source(s.user_host.ip)
+        s.run(1.0)
+        assert not client._conn.open  # the relay came down with the block
+
+    def test_other_sources_unaffected(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        s.proxy.block_source(s.attacker_host.ip)
+        assert s.user_client(username="user01").request(
+            "GET", "/api/status").status == 200
+
+
+class TestTokenRevocation:
+    def test_revoked_token_dies_new_token_works(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        old = s.hub.users["user01"].token
+        stolen = s.attacker_client(token=old, tenant="user01")
+        assert stolen.request("GET", "/api/status").status == 200
+        new = s.hub.revoke_token("user01")
+        assert new is not None and new != old
+        assert s.hub.authenticate(old) == (None, False)
+        assert s.attacker_client(token=old, tenant="user01").request(
+            "GET", "/api/status").status == 403
+        assert s.attacker_client(token=new, tenant="user01").request(
+            "GET", "/api/status").status == 200
+        assert s.hub.revocations == 1
+
+    def test_revoke_unknown_user(self):
+        users = HubUserDirectory(HubConfig())
+        assert users.revoke_token("ghost") is None
+
+    def test_revoke_peels_account_off_shared_token(self):
+        cfg = HubConfig(api_token="shared", per_user_tokens=False)
+        users = HubUserDirectory(cfg)
+        users.create("a")
+        users.create("b")
+        new = users.revoke_token("a")
+        assert new != "shared"
+        assert users.users["a"].token == new
+        # The hub token itself still authenticates as the hub.
+        assert users.authenticate("shared") == (None, True)
+
+
+class TestSpawnerQuarantine:
+    def test_quarantine_stops_and_refuses_respawn(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        assert s.spawner.quarantine("user01") is True
+        assert "user01" not in s.spawner.active
+        assert "user01" not in s.proxy.routes
+        with pytest.raises(SpawnError) as e:
+            s.spawner.spawn(s.hub.users["user01"])
+        assert e.value.status == 403
+        # Release lifts the hold.
+        assert s.spawner.release("user01") is True
+        assert s.spawner.spawn(s.hub.users["user01"]).username == "user01"
+
+    def test_quarantined_tenant_unreachable_through_proxy(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        s.spawner.quarantine("user01")
+        client = s.user_client(username="user00")
+        client.token = s.hub_config.api_token
+        client.path_prefix = "/user/user01"
+        assert client.request("GET", "/api/status").status == 503
+
+
 class TestHubCli:
     def test_cli_insecure_with_attack(self, capsys):
         from repro.cli import hub as cli_hub

@@ -152,6 +152,79 @@ class TestDetectionIntegration:
         assert "RANSOMWARE_ENTROPY_BURST" in monitor.logs.notice_names()
 
 
+class TestMsgIdDedupe:
+    """One kernel message crosses the tap as both a WS and a ZMTP leg;
+    the analyzer pays the content parse + detector fan-out once."""
+
+    def test_ws_and_zmtp_legs_both_logged_one_scan(self):
+        _, _, monitor, client = make_monitored_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("6 * 7")
+        ws_execs = [j for j in monitor.logs.jupyter
+                    if j.msg_type == "execute_request" and j.channel != "zmtp"]
+        zmtp_execs = [j for j in monitor.logs.jupyter
+                      if j.msg_type == "execute_request" and j.channel == "zmtp"]
+        assert ws_execs and zmtp_execs  # both legs still produce records
+        # The first (WS) leg carried the full analysis...
+        assert ws_execs[0].code == "6 * 7"
+        # ...the ZMTP leg skipped the duplicate content parse.
+        assert zmtp_execs[0].code == ""
+        assert monitor.health.jupyter_dedup_hits > 0
+        assert 0.0 < monitor.health.dedupe_hit_rate < 1.0
+        assert monitor.summary()["health"]["jupyter_dedupe_rate"] == \
+            round(monitor.health.dedupe_hit_rate, 4)
+
+    def test_signature_fires_once_per_message_not_per_leg(self):
+        _, _, monitor, client = make_monitored_world()
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("s = 'stratum+tcp://pool.example:3333'")
+        miner = [n for n in monitor.logs.notices if n.name == "SIG-MINER-POOL"]
+        # Two distinct messages carry the pattern (execute_request and
+        # the iopub execute_input echo) — one notice each, not one per
+        # wire leg (the seed fired four times here).
+        assert len(miner) == 2
+        assert {n.detail["msg_type"] for n in miner} == \
+            {"execute_request", "execute_input"}
+
+    def test_dedupe_can_be_disabled(self):
+        net = Network(default_latency=0.001)
+        server_host = net.add_host("jupyter", "10.0.0.1")
+        client_host = net.add_host("laptop", "10.0.0.2")
+        tap = net.add_tap()
+        server = JupyterServer(ServerConfig(ip="0.0.0.0", token="tok"),
+                               net, server_host)
+        ServerGateway(server)
+        monitor = JupyterNetworkMonitor(dedupe_msg_ids=False)
+        monitor.attach(tap)
+        client = WebSocketKernelClient(client_host, server_host, token="tok")
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("s = 'stratum+tcp://pool.example:3333'")
+        miner = [n for n in monitor.logs.notices if n.name == "SIG-MINER-POOL"]
+        assert len(miner) == 4  # the seed's one-fire-per-leg behavior
+        assert monitor.health.jupyter_dedup_hits == 0
+
+    def test_hmac_verification_still_runs_on_deduped_zmtp_leg(self):
+        key = b"shared-session-key"
+        _, _, monitor, client = make_monitored_world(key=key)
+        client.start_kernel()
+        client.connect_channels()
+        client.execute("1")
+        checked = [j for j in monitor.logs.jupyter if j.signature_ok is not None]
+        assert checked and all(j.signature_ok for j in checked)
+        assert monitor.health.jupyter_dedup_hits > 0
+
+    def test_dedupe_store_is_bounded(self):
+        from repro.monitor.engine import _MSG_DEDUPE_CAP
+
+        monitor = JupyterNetworkMonitor()
+        for i in range(_MSG_DEDUPE_CAP + 100):
+            monitor._mark_msg(f"msg-{i}", 1)
+        assert len(monitor._seen_msg_ids) == _MSG_DEDUPE_CAP
+
+
 class TestMonitorHealth:
     def test_budget_forces_drops(self):
         _, _, monitor, client = make_monitored_world(budget=5)

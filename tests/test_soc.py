@@ -1,0 +1,383 @@
+"""Tests for the automated response subsystem: alert correlation,
+playbooks, containment actions, the response controller on defended
+topologies, intel auto-blocking, and campaign containment forensics."""
+
+import pytest
+
+from repro.attacks import CrossTenantPivotAttack, StolenTokenAttack
+from repro.attacks.campaign import CampaignRunner
+from repro.eval.metrics import containment_rates, median
+from repro.hub import build_hub_scenario, insecure_hub_config
+from repro.monitor.logs import Notice
+from repro.soc import (
+    DEFAULT_RULES,
+    AlertCorrelator,
+    ContainmentActions,
+    PlaybookRunner,
+    ResponsePolicy,
+    ResponseRule,
+    run_replay,
+)
+from repro.soc.replay import exfil_campaign, pivot_campaign
+from repro.taxonomy.oscrp import Avenue
+from repro.topology import WorldBuilder, WorldSpec, defend, spec_preset
+from repro.topology.spec import ServerSpec
+
+
+def notice(name="CROSS_TENANT_SWEEP", *, ts=10.0, src="203.0.113.66",
+           severity="high", avenue=Avenue.ACCOUNT_TAKEOVER, detail=None,
+           detector="tenant-sweep"):
+    return Notice(ts=ts, detector=detector, name=name, severity=severity,
+                  src=src, avenue=avenue, detail=detail or {})
+
+
+class TestAlertCorrelator:
+    def test_folds_notices_into_one_incident_per_key(self):
+        c = AlertCorrelator()
+        c.ingest([notice(ts=1.0), notice(name="AUTH_BRUTEFORCE", ts=2.0,
+                                         detector="brute-force")])
+        assert len(c.incidents) == 1
+        incident = c.open_incidents()[0]
+        assert incident.notice_count == 2
+        assert incident.notice_names == ["CROSS_TENANT_SWEEP", "AUTH_BRUTEFORCE"]
+        assert incident.detectors == {"tenant-sweep", "brute-force"}
+        assert incident.external is True
+
+    def test_distinct_sources_and_avenues_split_incidents(self):
+        c = AlertCorrelator()
+        c.ingest([
+            notice(src="203.0.113.66"),
+            notice(src="203.0.113.99"),
+            notice(src="203.0.113.66", name="EXFIL_VOLUME",
+                   avenue=Avenue.DATA_EXFILTRATION),
+        ])
+        assert len(c.incidents) == 3
+
+    def test_severity_escalates_never_deescalates(self):
+        c = AlertCorrelator()
+        c.ingest([notice(severity="medium", ts=1.0)])
+        c.ingest([notice(severity="critical", ts=2.0)])
+        c.ingest([notice(severity="low", ts=3.0)])
+        incident = c.open_incidents()[0]
+        assert incident.severity == "critical"
+        assert incident.last_update == 3.0
+
+    def test_same_notice_object_processed_once(self):
+        c = AlertCorrelator()
+        n = notice()
+        c.ingest([n])
+        c.ingest([n])  # a merged fleet view re-presents the same objects
+        assert c.open_incidents()[0].notice_count == 1
+
+    def test_cross_shard_notices_fold_to_one_incident(self):
+        # Three shard monitors each notice the same sweep source: one
+        # incident, three corroborating notices.
+        c = AlertCorrelator()
+        c.ingest([notice(ts=float(i)) for i in range(3)])
+        assert len(c.incidents) == 1
+        assert c.open_incidents()[0].notice_count == 3
+
+    def test_internal_and_principal_sources_not_external(self):
+        c = AlertCorrelator()
+        c.ingest([notice(src="10.0.1.10", name="EXFIL_VOLUME",
+                         avenue=Avenue.DATA_EXFILTRATION),
+                  notice(src="kernel", name="RANSOMWARE_ENTROPY_BURST",
+                         avenue=Avenue.RANSOMWARE),
+                  notice(src="attacker-via-stolen-session",
+                         name="POLICY_NET_PLUS_FILE_READ",
+                         avenue=Avenue.DATA_EXFILTRATION)])
+        assert all(not i.external for i in c.open_incidents())
+
+    def test_example_tenants_accumulate(self):
+        c = AlertCorrelator()
+        c.ingest([notice(detail={"example_tenants": ["user00", "user01"]}),
+                  notice(ts=11.0, detail={"example_tenants": ["user02"]})])
+        assert c.open_incidents()[0].tenants == {"user00", "user01", "user02"}
+
+    def test_summary_counts(self):
+        c = AlertCorrelator()
+        c.ingest([notice(), notice(src="10.0.1.9", severity="critical")])
+        s = c.summary()
+        assert s["incidents"] == 2 and s["open"] == 2
+        assert s["by_severity"] == {"critical": 1, "high": 1}
+
+
+class TestPlaybook:
+    def rule(self, **kw):
+        kw.setdefault("name", "r")
+        kw.setdefault("actions", ("block_source",))
+        return ResponseRule(**kw)
+
+    def incident(self, **kw):
+        c = AlertCorrelator()
+        c.ingest([notice(**kw)])
+        return c.open_incidents()[0]
+
+    def test_severity_threshold(self):
+        assert self.rule(min_severity="high").matches(self.incident())
+        assert not self.rule(min_severity="critical").matches(self.incident())
+
+    def test_notice_count_threshold(self):
+        incident = self.incident()
+        assert not self.rule(min_notices=2).matches(incident)
+        incident.notice_count = 2
+        assert self.rule(min_notices=2).matches(incident)
+
+    def test_avenue_and_name_filters(self):
+        incident = self.incident()
+        assert self.rule(avenues=(Avenue.ACCOUNT_TAKEOVER,)).matches(incident)
+        assert not self.rule(avenues=(Avenue.RANSOMWARE,)).matches(incident)
+        assert self.rule(notice_names=("CROSS_TENANT_SWEEP",)).matches(incident)
+        assert not self.rule(notice_names=("EXFIL_VOLUME",)).matches(incident)
+
+    def test_source_scope(self):
+        external = self.incident()
+        internal = self.incident(src="10.0.1.10")
+        assert self.rule(source_scope="external").matches(external)
+        assert not self.rule(source_scope="external").matches(internal)
+        assert self.rule(source_scope="internal").matches(internal)
+        assert self.rule(source_scope="any").matches(external)
+
+    def test_cooldown_and_new_evidence_gating(self):
+        runner = PlaybookRunner((self.rule(cooldown=60.0),))
+        incident = self.incident()
+        (due,) = runner.due(incident, 100.0)
+        runner.mark_fired(due, incident, 100.0)
+        # Inside cooldown: never due, evidence or not.
+        incident.notice_count += 1
+        assert runner.due(incident, 130.0) == []
+        # Cooldown expired + new evidence: due again.
+        assert runner.due(incident, 200.0) == [due]
+        runner.mark_fired(due, incident, 200.0)
+        # Cooldown expired, no new evidence: stays quiet forever.
+        assert runner.due(incident, 10_000.0) == []
+
+    def test_default_rules_cover_both_scopes(self):
+        scopes = {r.source_scope for r in DEFAULT_RULES}
+        assert scopes == {"external", "internal"}
+
+
+class TestContainmentActions:
+    def test_block_refuses_own_infrastructure(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        actions = ContainmentActions(proxies=[s.proxy])
+        ok, detail = actions.block_source(s.server_host.ip)
+        assert not ok and "own infrastructure" in detail
+        assert s.server_host.ip not in s.proxy.blocked_sources
+
+    def test_block_and_unblock_roundtrip(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        actions = ContainmentActions(proxies=[s.proxy])
+        ok, _ = actions.block_source("203.0.113.66")
+        assert ok and "203.0.113.66" in s.proxy.blocked_sources
+        ok2, detail = actions.block_source("203.0.113.66")
+        assert not ok2 and "already blocked" in detail
+        ok3, _ = actions.unblock_source("203.0.113.66")
+        assert ok3 and "203.0.113.66" not in s.proxy.blocked_sources
+
+    def test_unparseable_sources_rejected(self):
+        actions = ContainmentActions()
+        assert actions.block_source("kernel")[0] is False
+        assert actions.block_source("")[0] is False
+
+    def test_quarantine_and_tenant_resolution(self):
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        actions = ContainmentActions(proxies=[s.proxy], users=s.hub,
+                                     spawner=s.spawner)
+        node_ip = s.spawner.active["user00"].host.ip
+        assert actions.tenants_on_host_ip(node_ip) == ["user00", "user01"]
+        ok, detail = actions.quarantine_tenant("user01")
+        assert ok and "quarantined" in detail
+        assert "user01" in s.spawner.quarantined
+        assert actions.tenants_on_host_ip(node_ip) == ["user00"]
+
+    def test_revoke_token_keeps_owner_working(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        actions = ContainmentActions(proxies=[s.proxy], users=s.hub,
+                                     spawner=s.spawner)
+        old = s.hub.users["user00"].token
+        ok, _ = actions.revoke_token("user00")
+        assert ok
+        new = s.hub.users["user00"].token
+        assert new != old
+        # The owner's client (fresh token) still reaches their server.
+        client = s.user_client(username="user00")
+        client.token = new
+        assert client.request("GET", "/api/status").status == 200
+
+
+class TestResponsePolicySpecs:
+    def test_response_on_single_server_rejected(self):
+        with pytest.raises(ValueError, match="hub topology"):
+            WorldSpec(name="bad", server=ServerSpec(),
+                      response=ResponsePolicy())
+
+    def test_defended_presets_carry_policy(self):
+        for name in ("defended-hub", "defended-sharded-hub",
+                     "defended-honeypot-hub"):
+            spec = spec_preset(name)
+            assert spec.defended, name
+            assert spec.response is not None and spec.response.rules
+            assert spec.name.startswith("defended-")
+
+    def test_defend_wraps_any_hub_spec(self):
+        spec = defend(spec_preset("sharded-honeypot-hub"))
+        assert spec.defended and spec.name == "defended-sharded-honeypot-hub"
+
+    def test_builder_attaches_controller(self):
+        s = WorldBuilder().build(spec_preset("defended-hub", n_tenants=1,
+                                             seed_data=False))
+        assert s.soc is not None
+        assert s.soc.playbook.rules == list(DEFAULT_RULES)
+        s.run(5.0)
+        assert s.soc.polls >= 2  # the poll loop is live on the event loop
+
+    def test_undefended_presets_have_no_soc(self):
+        s = build_hub_scenario(n_tenants=1, seed_data=False)
+        assert s.soc is None
+
+    def test_disabled_policy_attaches_nothing(self):
+        spec = defend(spec_preset("hub", n_tenants=1, seed_data=False),
+                      ResponsePolicy(enabled=False))
+        s = WorldBuilder().build(spec)
+        assert s.soc is None
+
+
+class TestDefendedHubEndToEnd:
+    def build_defended(self, **kw):
+        kw.setdefault("n_tenants", 4)
+        kw.setdefault("hub_config", insecure_hub_config())
+        kw.setdefault("seed_data", False)
+        return WorldBuilder().build(spec_preset("defended-hub", **kw), seed=33)
+
+    def test_pivot_is_detected_correlated_and_blocked(self):
+        s = self.build_defended()
+        StolenTokenAttack().run(s)
+        CrossTenantPivotAttack(request_delay=0.5).run(s)
+        s.run(10.0)
+        s.soc.poll()
+        sweep_incidents = [i for i in s.soc.correlator.incidents.values()
+                           if "CROSS_TENANT_SWEEP" in i.notice_names]
+        assert sweep_incidents and sweep_incidents[0].source == s.attacker_host.ip
+        assert s.attacker_host.ip in s.proxy.blocked_sources
+        blocks = [a for a in s.soc.containment_actions()
+                  if a.action == "block_source"
+                  and a.target == s.attacker_host.ip]
+        assert blocks and blocks[0].rule == "block-hostile-source"
+        # Swept tenants had their exposed tokens rotated.
+        assert s.hub.revocations > 0
+        # And the return wave dies at the edge.
+        result = CrossTenantPivotAttack(request_delay=0.2).run(s)
+        assert result.success is False
+
+    def test_dry_run_decides_but_does_not_act(self):
+        spec = defend(
+            spec_preset("hub", n_tenants=4, hub_config=insecure_hub_config(),
+                        seed_data=False),
+            ResponsePolicy(dry_run=True))
+        s = WorldBuilder().build(spec, seed=33)
+        StolenTokenAttack().run(s)
+        CrossTenantPivotAttack(request_delay=0.5).run(s)
+        s.run(10.0)
+        s.soc.poll()
+        assert any(a.dry_run for a in s.soc.executed)
+        assert s.soc.containment_actions() == []
+        assert s.proxy.blocked_sources == set()
+        assert s.spawner.quarantined == set()
+
+    def test_timeline_and_summary_shapes(self):
+        s = self.build_defended(n_tenants=2)
+        StolenTokenAttack().run(s)
+        s.run(10.0)
+        summary = s.soc.summary()
+        assert set(summary) == {"policy", "polls", "incidents", "actions"}
+        assert summary["polls"] >= 1
+        assert all(isinstance(line, str) for line in s.soc.timeline())
+
+
+class TestIntelAutoBlock:
+    def test_decoy_touch_blocks_source_fleetwide(self):
+        s = WorldBuilder().build(
+            spec_preset("defended-honeypot-hub", n_tenants=2), seed=44)
+        from repro.server.gateway import WebSocketKernelClient
+
+        decoy_name = s.decoy_tenant_names[0]
+        probe = WebSocketKernelClient(
+            s.attacker_host, s.server_host, port=s.proxy.config.port,
+            token="", username="sweep", path_prefix=f"/user/{decoy_name}")
+        assert probe.request("GET", "/api/contents/").status == 200
+        s.run(5.0)  # poll -> harvest -> burned-source indicator -> block
+        assert s.attacker_host.ip in s.proxy.blocked_sources
+        intel = [a for a in s.soc.containment_actions()
+                 if a.rule == "intel-auto-block"]
+        assert intel and intel[0].target == s.attacker_host.ip
+
+    def test_intel_signatures_install_into_monitor(self):
+        s = WorldBuilder().build(
+            spec_preset("defended-honeypot-hub", n_tenants=2), seed=44)
+        from repro.honeypot.intel import Indicator
+
+        s.fleet.feed.publish(Indicator(
+            indicator_id="ind-test-xyz", indicator_type="content-signature",
+            pattern=r"xyzpayload", description="test payload",
+            confidence=0.9, source="honeypot:test", created=1.0))
+        assert "SIG-TEST-XYZ" in s.monitor.signatures.ids()
+
+    def test_low_confidence_indicators_not_blocked(self):
+        s = WorldBuilder().build(
+            spec_preset("defended-honeypot-hub", n_tenants=2), seed=44)
+        from repro.honeypot.intel import Indicator
+
+        s.fleet.feed.publish(Indicator(
+            indicator_id="ind-src-1.2.3.4", indicator_type="source-ip",
+            pattern="1.2.3.4", description="weak sighting",
+            confidence=0.2, source="honeypot:test", created=1.0))
+        assert "1.2.3.4" not in s.proxy.blocked_sources
+
+
+class TestCampaignForensics:
+    def test_undefended_outcome_has_no_containment(self):
+        runner = CampaignRunner(base_seed=900, spec=spec_preset(
+            "hub", n_tenants=2, hub_config=insecure_hub_config()))
+        (outcome,) = runner.run([pivot_campaign()])
+        assert outcome.contained is False
+        assert outcome.actions == []
+        assert outcome.containment_leadtime is None
+        if outcome.detected:
+            assert outcome.post_detection_success is True
+
+    def test_defended_outcome_records_leadtime_and_prevention(self):
+        runner = CampaignRunner(base_seed=900, spec=spec_preset(
+            "defended-hub", n_tenants=2, hub_config=insecure_hub_config()))
+        (outcome,) = runner.run([exfil_campaign()])
+        assert outcome.detected and outcome.contained
+        assert outcome.containment_leadtime is not None
+        assert outcome.containment_leadtime >= 0
+        assert outcome.post_detection_success is False
+        assert outcome.stages_prevented >= 1
+        assert outcome.actions_taken()
+
+    def test_containment_rates_math(self):
+        assert median([]) is None
+        assert median([3.0]) == 3.0
+        assert median([1.0, 2.0, 10.0]) == 2.0
+        assert median([1.0, 3.0]) == 2.0
+        rates = containment_rates([])
+        assert rates["contained"] == 0.0
+        assert rates["median_containment_leadtime"] is None
+
+
+class TestReplay:
+    def test_replay_pivot_on_defended_hub(self):
+        report = run_replay(topology="defended-hub", campaign="pivot",
+                            seed=11, n_tenants=4)
+        assert report.containment_actions > 0
+        assert report.outcome.post_detection_success is False
+        d = report.to_dict()
+        assert d["topology"] == "defended-hub"
+        assert d["contained_at"] is not None
+        assert d["actions"]
+
+    def test_replay_unknown_campaign_rejected(self):
+        with pytest.raises(KeyError):
+            run_replay(campaign="no-such-campaign")

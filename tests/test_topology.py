@@ -14,13 +14,17 @@ from repro.topology import (
     ConsistentHashRing,
     FleetMonitorView,
     HoneypotHubScenario,
+    LinkSpec,
+    ShardedHoneypotHubScenario,
     ShardedHubScenario,
     WorldBuilder,
     WorldSpec,
+    defend,
     hub_spec,
     list_presets,
     register_preset,
     resolve_spec,
+    sharded_hub_geo_spec,
     sharded_hub_spec,
     single_server_spec,
     spec_preset,
@@ -31,8 +35,11 @@ from repro.workload import ScientistWorkload
 
 class TestSpecs:
     def test_presets_registered(self):
-        assert list_presets() == ["honeypot-hub", "hub", "sharded-hub",
-                                  "single-server"]
+        assert list_presets() == [
+            "defended-honeypot-hub", "defended-hub", "defended-sharded-hub",
+            "honeypot-hub", "hub", "sharded-honeypot-hub", "sharded-hub",
+            "sharded-hub-geo", "single-server",
+        ]
 
     def test_kind_reflects_shape(self):
         assert single_server_spec().kind == "single-server"
@@ -116,16 +123,31 @@ class TestBuilderFacades:
         result = RansomwareAttack(via="kernel").run(s)
         assert result.success
 
-    def test_decoys_on_sharded_hub_rejected(self):
-        from repro.topology.spec import DecoyTenantSpec, ShardSpec, TapSpec
+    def test_decoys_on_sharded_hub_route_per_shard(self):
+        """The sharded + decoy combination (once rejected) compiles: each
+        decoy's static route lives on exactly the shard its name hashes
+        to — the same front door a real tenant of that name would use."""
+        spec = spec_preset("sharded-honeypot-hub", seed=31, seed_data=False)
+        assert spec.kind == "sharded-honeypot-hub"
+        s = WorldBuilder().build(spec)
+        assert isinstance(s, ShardedHoneypotHubScenario)
+        assert isinstance(s, ShardedHubScenario)
+        assert s.decoy_tenant_names == ["admin", "svc-backup"]
+        for name in s.decoy_tenant_names:
+            home = s.shard_for(name)
+            for shard in s.shards:
+                routed = name in shard.proxy.routes
+                assert routed == (shard is home), (name, shard.name)
+        # The decoy answers through its own front door, like any tenant.
+        from repro.server.gateway import WebSocketKernelClient
 
-        spec = WorldSpec(name="bad", hub=HubSpec(
-            n_tenants=2,
-            shards=(ShardSpec("s0", HostSpec("h0", "10.0.0.2"), TapSpec("t0")),),
-            decoy_tenants=(DecoyTenantSpec("admin", HostSpec("d0", "10.0.3.9")),),
-        ))
-        with pytest.raises(ValueError):
-            WorldBuilder().build(spec)
+        decoy_shard = s.shard_for("admin")
+        client = WebSocketKernelClient(
+            s.attacker_host, decoy_shard.host, port=s.proxy.config.port,
+            token="", username="sweep", path_prefix="/user/admin")
+        assert client.request("GET", "/api/contents/").status == 200
+        assert any(r.source_ip == s.attacker_host.ip
+                   for d in s.decoys for r in d.records)
 
 
 class TestFilteredTap:
@@ -343,14 +365,83 @@ class TestHoneypotHub:
         assert second["new_burned_sources"] == 0
 
 
+class TestGeoLatency:
+    def test_geo_preset_applies_link_overrides(self):
+        s = WorldBuilder().build(sharded_hub_geo_spec(seed=17, seed_data=False))
+        net = s.network
+        laptop, attacker = net.hosts["laptop"], net.hosts["attacker"]
+        spec_links = {frozenset((l.a, l.b)): l.latency for l in s.spec.links}
+        for (pair, latency) in spec_links.items():
+            a, b = (net.hosts[name] for name in pair)
+            assert net.latency(a, b) == latency
+        # The structure is asymmetric by design: the user is closest to
+        # shard0, the attacker to shard2; untouched links keep defaults.
+        assert net.latency(laptop, net.hosts["hub0"]) < \
+            net.latency(laptop, net.hosts["hub2"])
+        assert net.latency(attacker, net.hosts["hub2"]) < \
+            net.latency(attacker, net.hosts["hub0"])
+        assert net.latency(net.hosts["hub0"], net.hosts["node00"]) == \
+            s.spec.default_latency
+
+    def test_geo_latency_visible_in_request_timing(self):
+        s = WorldBuilder().build(sharded_hub_geo_spec(seed=17, seed_data=False))
+        from repro.server.gateway import WebSocketKernelClient
+
+        def rtt(shard_host):
+            client = WebSocketKernelClient(
+                s.user_host, shard_host, port=s.proxy.config.port,
+                token=s.hub_config.api_token, path_prefix="")
+            t0 = s.clock.now()
+            client.request("GET", "/hub/api")
+            # request() pumps a fixed run window; measure via the hub
+            # request log instead: the response left later on the far
+            # shard, so route timing shifts.  Simplest robust check:
+            # segment timestamps at the shard's own tap.
+            return s.clock.now() - t0
+
+        # Same-shaped request through near vs far front door: the far
+        # door's first response segment arrives later within the run.
+        near, far = s.network.hosts["hub0"], s.network.hosts["hub2"]
+        seg_ts = {}
+        for shard, host in (("shard0", near), ("shard2", far)):
+            tap = next(sh.tap for sh in s.shards if sh.name == shard)
+            before = len(tap.segments)
+            rtt(host)
+            reply = [seg for seg in tap.segments[before:]
+                     if seg.src == host.ip and seg.payload]
+            assert reply, shard
+            first_probe = next(seg for seg in tap.segments[before:]
+                               if seg.dst == host.ip)
+            seg_ts[shard] = reply[0].ts - first_probe.ts
+        assert seg_ts["shard2"] > seg_ts["shard0"]
+
+    def test_unknown_link_host_is_a_compile_error(self):
+        spec = sharded_hub_spec(seed=1, seed_data=False)
+        from dataclasses import replace
+
+        bad = replace(spec, links=(LinkSpec("laptop", "atlantis", 0.2),))
+        with pytest.raises(ValueError, match="atlantis"):
+            WorldBuilder().build(bad)
+
+    def test_links_apply_on_single_server_too(self):
+        spec = single_server_spec(seed=1, seed_data=False)
+        from dataclasses import replace
+
+        far = replace(spec, links=(LinkSpec("laptop", "jupyter", 0.25),))
+        s = WorldBuilder().build(far)
+        assert s.network.latency(s.user_host, s.server_host) == 0.25
+
+
 class TestTopologyCli:
     def test_list(self, capsys):
         from repro.cli import topology as cli_topology
 
         assert cli_topology.main(["--list", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"single-server", "hub", "sharded-hub",
-                                "honeypot-hub"}
+        assert set(payload) == set(list_presets())
+        assert "automated response" in payload["defended-hub"]
+        assert "decoy" in payload["sharded-honeypot-hub"]
+        assert "latency" in payload["sharded-hub-geo"]
 
     def test_smoke_passes_every_preset(self, capsys):
         from repro.cli import topology as cli_topology
