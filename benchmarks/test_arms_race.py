@@ -1,0 +1,154 @@
+"""EXP-ARMS — the closed-loop arms race: adaptive attackers vs the SOC.
+
+PR 4's EXP-SOC showed the response layer zeroing a *static* campaign's
+post-detection success.  This experiment closes the other half of the
+loop on the ``defended-sharded-hub`` world and prices all three regimes
+in one table:
+
+1. **static** — the scripted attacker: contained once, stays out
+   (post-detection success 0, no re-entry).
+2. **adaptive vs the standard playbook** (TTL'd containment, the
+   ``adaptive-sharded-hub`` posture): ``source-rotation`` re-enters from
+   fresh sources and keeps looting after detection; ``low-and-slow``
+   exfiltrates under the volume floors without ever being contained.
+3. **adaptive vs a tightened playbook** (short cooldowns, containment
+   never expires): the same rotation attacker runs out of clean sources
+   and gives up — adaptive success is pushed back down.
+
+Everything is deterministic under the fixed seed: the same duel run
+twice must serialize byte-identically (the adversary engine's
+determinism contract).
+"""
+
+from _bench_utils import report
+
+from repro.adversary import AdversaryPolicy, ArmsRaceRunner
+from repro.soc.playbook import tightened
+
+BASE_SEED = 7207
+N_TENANTS = 6
+
+#: The pressed-attacker configuration: one spare source and four
+#: objective waves, so the duel outlives the attacker's fresh pool and
+#: the containment-TTL question decides the outcome.
+PRESSED = AdversaryPolicy(strategy="source-rotation", source_pool_size=1,
+                          horizon=400.0)
+
+ROWS = {}
+
+
+def duel(strategy, *, regime, adversary=None, waves=2, seed_offset=0):
+    runner = ArmsRaceRunner(
+        "adaptive-sharded-hub", seed=BASE_SEED + seed_offset,
+        strategy=strategy, adversary=adversary, waves=waves,
+        n_tenants=N_TENANTS,
+        response=tightened() if regime == "tightened" else None)
+    rep = runner.run()
+    ROWS[(regime, strategy)] = rep
+    return rep
+
+
+def render_table():
+    lines = [f"{'regime':<10} {'strategy':<16} {'outcome':<19} "
+             f"{'re-entry':>8} {'re-cont':>8} {'post-det':>8} "
+             f"{'exfil(B)':>9} {'loot(B)':>9} {'ttr(s)':>7} {'cost':>6}"]
+    for (regime, strategy), rep in ROWS.items():
+        metrics = rep.adaptation_metrics()
+        ttr = metrics["time_to_reentry"]
+        lines.append(
+            f"{regime:<10} {strategy:<16} "
+            f"{rep.agents[0].finish_reason:<19} "
+            f"{len(rep.re_entries):>8} {len(rep.re_containments):>8} "
+            f"{rep.post_detection_successes:>8} "
+            f"{rep.bytes_exfiltrated:>9} {rep.bytes_looted:>9} "
+            f"{f'{ttr:.1f}' if ttr is not None else '-':>7} "
+            f"{rep.total_cost:>6.0f}")
+    return lines
+
+
+def test_static_campaign_stays_contained(benchmark):
+    rep = benchmark.pedantic(
+        lambda: duel("static", regime="standard"), rounds=1, iterations=1)
+    assert rep.detected_at is not None
+    assert rep.first_contained_at is not None
+    # The acceptance line: post-detection success stays 0.0 for the
+    # static attacker, which never re-enters.
+    assert rep.post_detection_successes == 0
+    assert rep.re_entries == []
+
+
+def test_source_rotation_achieves_reentry(benchmark):
+    rep = benchmark.pedantic(
+        lambda: duel("source-rotation", regime="standard",
+                     adversary=PRESSED, waves=4),
+        rounds=1, iterations=1)
+    # Measurable re-entry: the attacker comes back after containment
+    # and wins objective stages after detection.
+    assert len(rep.re_entries) >= 2
+    assert rep.post_detection_successes >= 2
+    assert rep.agents[0].finish_reason == "objective-complete"
+    # Both sides stayed live: the defender released expired blocks and
+    # re-contained the returning source.
+    assert rep.released_total >= 1
+    assert rep.defender_recontained
+    metrics = rep.adaptation_metrics()
+    assert metrics["time_to_reentry"] is not None
+    assert metrics["defense_coverage"]["decay"] > 0.0
+
+
+def test_low_and_slow_exfiltrates_below_the_floor(benchmark):
+    rep = benchmark.pedantic(
+        lambda: duel("low-and-slow", regime="standard"),
+        rounds=1, iterations=1)
+    # Measurable exfil with no volume-detector notice and no
+    # containment: the drip stays under both floors.
+    assert rep.bytes_exfiltrated >= 6400
+    assert not {"EXFIL_VOLUME", "EXFIL_CUSUM_DRIFT"} & set(rep.notices)
+    assert rep.first_contained_at is None
+    assert rep.evictions == []
+
+
+def test_tightened_playbook_pushes_adaptive_success_down(benchmark):
+    rep = benchmark.pedantic(
+        lambda: duel("source-rotation", regime="tightened",
+                     adversary=PRESSED, waves=4),
+        rounds=1, iterations=1)
+    lenient = ROWS[("standard", "source-rotation")]
+    # Permanent blocks + short cooldowns: the pool runs dry, the
+    # attacker concedes, and every adaptive number drops.
+    assert rep.agents[0].finish_reason in ("gave-up", "no-moves")
+    assert rep.post_detection_successes < lenient.post_detection_successes
+    assert len(rep.re_entries) < len(lenient.re_entries)
+    assert rep.bytes_looted < lenient.bytes_looted
+    assert rep.released_total == 0
+    assert rep.adaptation_metrics()["defense_coverage"]["decay"] == 0.0
+
+
+def test_duels_are_deterministic(benchmark):
+    def run_once():
+        return ArmsRaceRunner(
+            "adaptive-sharded-hub", seed=BASE_SEED,
+            strategy="source-rotation", adversary=PRESSED, waves=4,
+            n_tenants=N_TENANTS).run().to_json()
+
+    first = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    second = run_once()
+    assert first == second, "same seed, different duel — determinism broken"
+
+
+def test_write_exp_arms_table():
+    assert len(ROWS) >= 4
+    report("EXP-ARMS", "EXP-ARMS: adaptive adversaries vs the defended "
+                       f"sharded hub ({N_TENANTS} tenants, seed {BASE_SEED})")
+    for line in render_table():
+        report("EXP-ARMS", line)
+    rotation = ROWS[("standard", "source-rotation")]
+    metrics = rotation.adaptation_metrics()
+    half = metrics["containment_half_life"]
+    cpb = metrics["cost_per_exfiltrated_byte"]
+    report("EXP-ARMS",
+           f"\nrotation vs standard playbook: containment half-life "
+           f"{f'{half:.1f}s' if half is not None else '-'}; attacker cost "
+           f"{f'{cpb:.4f}' if cpb is not None else '-'}/byte; "
+           f"defender released {rotation.released_total} and re-contained "
+           f"{rotation.re_contained_total} containments")

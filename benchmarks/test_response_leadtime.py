@@ -103,6 +103,43 @@ def test_exfiltration_arms_race(benchmark):
     assert med is not None and med < 30.0
 
 
+def test_geo_shards_containment_leadtime(benchmark):
+    """The ROADMAP's geo matrix cells: does shard *distance* change
+    containment lead time?  Same canned pivot campaigns against the
+    defended sharded hub with campus links vs the geo latency map
+    (shard0 local, shard1 continental, shard2 transoceanic); the only
+    difference between rows is link latency."""
+
+    def run():
+        outcomes = {}
+        for preset in ("defended-sharded-hub", "defended-sharded-hub-geo"):
+            spec = spec_preset(preset, n_tenants=N_TENANTS,
+                               hub_config=insecure_hub_config())
+            runner = CampaignRunner(base_seed=BASE_SEED, spec=spec)
+            outcomes[preset] = runner.run([pivot_campaign() for _ in range(2)])
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("EXP-SOC", "\n=== geo matrix: shard distance vs containment "
+                      "lead time (canned pivot) ===")
+    leads = {}
+    for preset, outs in outcomes.items():
+        values = [o.containment_leadtime for o in outs]
+        assert all(o.contained for o in outs), f"{preset}: not contained"
+        assert all(v is not None for v in values)
+        leads[preset] = median(values)
+        line, _ = summarize(preset, outs)
+        report("EXP-SOC", line)
+    delta = leads["defended-sharded-hub-geo"] - leads["defended-sharded-hub"]
+    report("EXP-SOC",
+           f"  geo links shift the median detection->containment lead "
+           f"time by {delta:+.2f}s (campus {leads['defended-sharded-hub']:.2f}s"
+           f" -> geo {leads['defended-sharded-hub-geo']:.2f}s)")
+    # Distance may stretch the attack's own timeline, but the poll-driven
+    # SOC must stay in the same containment regime on both maps.
+    assert abs(delta) < 30.0
+
+
 def test_intel_feed_blocks_burned_source_on_production_shard(benchmark):
     """The ROADMAP item, end to end: a honeypot-only observation becomes
     a fleet-wide block with measurable lead time — the attacker never

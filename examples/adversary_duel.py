@@ -1,0 +1,48 @@
+"""Narrated walkthrough: the closed-loop arms race.
+
+Runs the same pressed source-rotation attacker against the defended
+sharded hub twice — once against the standard (TTL'd) playbook, once
+against the tightened one — and prints both sides' scorecards, showing
+exactly where the un-containment path turns a one-shot loss into a
+genuine two-player game.
+
+    PYTHONPATH=src python examples/adversary_duel.py
+"""
+
+from repro.adversary import AdversaryPolicy, ArmsRaceRunner
+from repro.soc.playbook import tightened
+
+PRESSED = AdversaryPolicy(strategy="source-rotation", source_pool_size=1,
+                          horizon=400.0)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Round 1: rotation attacker vs the standard playbook")
+    print("(blocks expire after 90 quiet seconds — the attacker can wait)")
+    print("=" * 72)
+    standard = ArmsRaceRunner("adaptive-sharded-hub", seed=7207,
+                              adversary=PRESSED, waves=4, n_tenants=6).run()
+    print("\n".join(standard.render()))
+
+    print()
+    print("=" * 72)
+    print("Round 2: the defender tightens the playbook")
+    print("(short cooldowns, containment never expires)")
+    print("=" * 72)
+    tight = ArmsRaceRunner("adaptive-sharded-hub", seed=7207,
+                           adversary=PRESSED, waves=4, n_tenants=6,
+                           response=tightened()).run()
+    print("\n".join(tight.render()))
+
+    print()
+    print(f"standard : {standard.agents[0].finish_reason:<18} "
+          f"post-detection successes={standard.post_detection_successes} "
+          f"loot={standard.bytes_looted}B")
+    print(f"tightened: {tight.agents[0].finish_reason:<18} "
+          f"post-detection successes={tight.post_detection_successes} "
+          f"loot={tight.bytes_looted}B")
+
+
+if __name__ == "__main__":
+    main()

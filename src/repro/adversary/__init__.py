@@ -1,0 +1,69 @@
+"""The adaptive adversary engine: ``src/repro/soc``'s missing counterpart.
+
+PR 4 gave the defense a closed loop (detect → correlate → contain); this
+package closes the *attacker's* loop, turning every defended world into
+a two-player game:
+
+- :mod:`repro.adversary.policy`   — :class:`AdversaryPolicy`, the plain-
+  data attacker description a frozen ``WorldSpec`` carries (pool size,
+  phished accounts, strategy, cost model).
+- :mod:`repro.adversary.view`     — :class:`AttackSurfaceView`: the
+  attacker's *only* window on the defense — classification of its own
+  request outcomes (403-blocked, revoked, quarantined, severed).
+- :mod:`repro.adversary.strategy` — the strategy lattice: ``static``,
+  ``source-rotation``, ``low-and-slow``, ``tenant-hop``, ``decoy-wary``.
+- :mod:`repro.adversary.agent`    — :class:`AdversaryAgent`: resumable
+  campaign execution with the probe/adapt feedback loop.
+- :mod:`repro.adversary.runner`   — :class:`ArmsRaceRunner`: N agents
+  co-scheduled against the :class:`ResponseController` on one event
+  loop, plus the strategies × topologies matrix.
+
+Determinism contract: agents draw jitter from named RNG substreams of
+the scenario seed, turns are ordered by (sim-time, agent-index), and no
+wall-clock or unordered-set iteration feeds a decision — the same seed
+replays the same duel byte-for-byte (EXP-ARMS asserts this).
+"""
+
+from repro.adversary.agent import AdversaryAgent, AgentReport, build_plan
+from repro.adversary.policy import AdversaryPolicy
+from repro.adversary.runner import (
+    ArmsRaceRunner,
+    DuelReport,
+    StrategyMatrixCell,
+    StrategyMatrixRunner,
+)
+from repro.adversary.strategy import (
+    STRATEGIES,
+    DecoyWary,
+    LowAndSlow,
+    SourceRotation,
+    StaticStrategy,
+    Strategy,
+    TenantHop,
+    list_strategies,
+    make_strategy,
+)
+from repro.adversary.view import AttackSurfaceView, FeedbackEvent, classify
+
+__all__ = [
+    "AdversaryPolicy",
+    "AttackSurfaceView",
+    "FeedbackEvent",
+    "classify",
+    "Strategy",
+    "StaticStrategy",
+    "SourceRotation",
+    "LowAndSlow",
+    "TenantHop",
+    "DecoyWary",
+    "STRATEGIES",
+    "list_strategies",
+    "make_strategy",
+    "AdversaryAgent",
+    "AgentReport",
+    "build_plan",
+    "ArmsRaceRunner",
+    "DuelReport",
+    "StrategyMatrixRunner",
+    "StrategyMatrixCell",
+]

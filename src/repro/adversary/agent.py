@@ -1,0 +1,342 @@
+"""The adaptive adversary agent: campaign execution with a feedback loop.
+
+One :class:`AdversaryAgent` owns a resumable
+:class:`~repro.attacks.campaign.CampaignPlan` and plays it against a
+(possibly defended) world one *turn* at a time.  Each turn it either
+
+- runs the next pending stage and then fires a canary probe through its
+  :class:`~repro.adversary.view.AttackSurfaceView` to learn whether the
+  defense moved against it, or
+- — when locked out — asks its :class:`~repro.adversary.strategy.Strategy`
+  for one recovery move (rotate source, hop account, wait out a TTL) and
+  verifies the move with a probe.
+
+The agent wields the scenario's attacker identity: before every stage it
+points ``scenario.attacker_host``/``scenario.token`` at its current
+source and credential, which is exactly what those fields model (the
+infrastructure and credential the attacker currently operates from).
+The whole attack suite therefore runs unchanged under rotation and
+account hopping.
+
+Everything the agent knows, it learned from its own traffic: evictions
+come from probe classifications, never from defender state.  Entries,
+evictions, and re-entries are timestamped, which is what the adaptation
+metrics (time-to-re-entry, containment half-life, cost per exfiltrated
+byte) are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.adversary.policy import AdversaryPolicy
+from repro.adversary.strategy import Strategy
+from repro.adversary.view import AttackSurfaceView, FeedbackEvent
+from repro.attacks.campaign import Campaign, CampaignPlan, PlannedStage
+from repro.attacks.exfiltration import ExfiltrationAttack
+from repro.attacks.hubpivot import CrossTenantPivotAttack
+from repro.attacks.takeover import StolenTokenAttack
+from repro.simnet import Host
+from repro.util.rng import DeterministicRNG
+
+#: Cap on the exponential recovery backoff (sim seconds) — long enough
+#: to straddle a containment TTL window, short enough to keep duels fast.
+MAX_BACKOFF = 32.0
+
+
+def build_plan(objective: str, *, waves: int = 2,
+               request_delay: float = 0.4) -> CampaignPlan:
+    """The adaptive campaign plans: access, then ``waves`` repetitions
+    of the objective action — the later waves are where adaptation (or
+    the lack of it) becomes visible."""
+    stages = [StolenTokenAttack()]
+    if objective == "pivot":
+        stages += [CrossTenantPivotAttack(request_delay=request_delay)
+                   for _ in range(waves)]
+    elif objective == "steal":
+        stages += [ExfiltrationAttack() for _ in range(waves)]
+    else:
+        raise KeyError(f"unknown adversary objective {objective!r} "
+                       f"(have: pivot, steal)")
+    return CampaignPlan(Campaign(0, stages, objective))
+
+
+@dataclass
+class AgentReport:
+    """One agent's side of the duel, attacker-observable data only."""
+
+    name: str
+    strategy: str
+    objective: str
+    finish_reason: str
+    entries: List[float]
+    evictions: List[float]
+    re_entries: List[float]
+    rotations: int
+    hops: int
+    sources_used: int
+    sources_burned: int
+    burned_source_ips: List[str]
+    accounts_used: int
+    suspected_decoys: List[str]
+    bytes_exfiltrated: int
+    bytes_browsed: int
+    probes: int
+    requests: int
+    cost: float
+    stages: List[str]
+    stage_results: List[Tuple[str, bool, float]]  # (attack, success, started)
+
+    @property
+    def re_containments(self) -> List[float]:
+        """Evictions the defender scored *after* the attacker had
+        already re-entered once — the defender's rounds of the race."""
+        if not self.re_entries:
+            return []
+        first = self.re_entries[0]
+        return [ts for ts in self.evictions if ts > first]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name, "strategy": self.strategy,
+            "objective": self.objective, "finish_reason": self.finish_reason,
+            "entries": self.entries, "evictions": self.evictions,
+            "re_entries": self.re_entries,
+            "re_containments": self.re_containments,
+            "rotations": self.rotations, "hops": self.hops,
+            "sources_used": self.sources_used,
+            "sources_burned": self.sources_burned,
+            "burned_source_ips": self.burned_source_ips,
+            "accounts_used": self.accounts_used,
+            "suspected_decoys": self.suspected_decoys,
+            "bytes_exfiltrated": self.bytes_exfiltrated,
+            "bytes_browsed": self.bytes_browsed,
+            "probes": self.probes, "requests": self.requests,
+            "cost": round(self.cost, 2),
+            "stages": self.stages,
+        }
+
+
+class AdversaryAgent:
+    """One attacker operator in the arms race."""
+
+    def __init__(self, scenario, *, strategy: Strategy,
+                 policy: Optional[AdversaryPolicy] = None,
+                 name: str = "apt-00", objective: Optional[str] = None,
+                 rng: Optional[DeterministicRNG] = None,
+                 sources: Optional[List[Host]] = None, waves: int = 2):
+        self.scenario = scenario
+        self.policy = policy or getattr(scenario, "adversary_policy", None) \
+            or AdversaryPolicy()
+        self.strategy = strategy
+        self.name = name
+        self.objective = objective or self.policy.objective
+        self.rng = rng or scenario.rng.child(f"adversary:{name}")
+        self.view = AttackSurfaceView(scenario)
+        # -- attacker resources ------------------------------------------------
+        pool = sources if sources is not None else \
+            [scenario.attacker_host] + list(
+                getattr(scenario, "adversary_pool", ()) or ())
+        self.sources: List[Host] = list(pool)
+        self.current_source: Host = self.sources[0]
+        self.burned_sources: Dict[str, float] = {}
+        self.accounts: List[Tuple[str, str]] = list(
+            getattr(scenario, "compromised_accounts", ()) or ())
+        self.current_token: str = scenario.token
+        self.target_tenant: str = getattr(scenario, "default_tenant", "")
+        self.burned_accounts: Set[str] = set()
+        self.accounts_used = 1
+        # -- plan and learned state --------------------------------------------
+        self.plan = build_plan(self.objective, waves=waves)
+        self.known_tenants: Optional[List[str]] = None
+        self.looted_tenants: Set[str] = set()
+        self.suspected_decoys: Set[str] = set()
+        self.last_touched: str = ""
+        # -- timeline ----------------------------------------------------------
+        self.started_at = scenario.clock.now()
+        self.entries: List[float] = []
+        self.evictions: List[float] = []
+        self.re_entries: List[float] = []
+        self.rotations = 0
+        self.hops = 0
+        self.bytes_exfiltrated = 0
+        self.bytes_browsed = 0
+        self.has_access = True  # optimistic until a probe says otherwise
+        self.finished = False
+        self.finish_reason = ""
+        self._recover_attempts = 0
+        self.strategy.prepare(self)
+
+    # -- identity moves (called by strategies) --------------------------------
+    def _assume_identity(self) -> None:
+        self.scenario.attacker_host = self.current_source
+        self.scenario.token = self.current_token
+
+    def mark_source_burned(self) -> None:
+        self.burned_sources.setdefault(self.current_source.ip,
+                                       self.scenario.clock.now())
+
+    def rotate_source(self, *, recycle: bool = True) -> bool:
+        """Move to a fresh pool source; with ``recycle``, fall back to
+        the longest-cold burned source (a bet on blocklist TTLs)."""
+        fresh = [h for h in self.sources
+                 if h.ip not in self.burned_sources
+                 and h is not self.current_source]
+        if fresh:
+            self.current_source = fresh[0]
+        elif recycle:
+            candidates = [h for h in self.sources if h is not self.current_source]
+            if not candidates:
+                return False
+            self.current_source = min(
+                candidates,
+                key=lambda h: self.burned_sources.get(h.ip, float("inf")))
+        else:
+            return False
+        self.rotations += 1
+        return True
+
+    def mark_account_burned(self) -> None:
+        if self.target_tenant:
+            self.burned_accounts.add(self.target_tenant)
+
+    def hop_account(self) -> bool:
+        """Re-enter through the next unburned compromised account."""
+        for tenant, token in self.accounts:
+            if tenant not in self.burned_accounts and tenant != self.target_tenant:
+                self.target_tenant = tenant
+                self.current_token = token
+                self.hops += 1
+                self.accounts_used += 1
+                return True
+        return False
+
+    # -- the feedback loop ----------------------------------------------------
+    def check_access(self) -> FeedbackEvent:
+        event = self.view.probe(source=self.current_source,
+                                tenant=self.target_tenant,
+                                token=self.current_token)
+        self._observe_access(event)
+        return event
+
+    def _observe_access(self, event: FeedbackEvent) -> None:
+        if event.kind == "ok":
+            if not self.has_access:
+                self.has_access = True
+                self._recover_attempts = 0
+                (self.re_entries if self.evictions else self.entries).append(event.ts)
+            elif not self.entries:
+                self.entries.append(event.ts)
+            return
+        if event.locked_out and self.has_access:
+            self.has_access = False
+            self.evictions.append(event.ts)
+            self.strategy.on_eviction(self, event)
+
+    # -- stage execution ------------------------------------------------------
+    def _run_stage(self, stage: PlannedStage) -> None:
+        self._assume_identity()
+        self.strategy.before_stage(self, stage)
+        try:
+            result = stage.attack.run(self.scenario)
+        except Exception as e:
+            # The stage died against containment mid-flight (severed
+            # relay, refused spawn, quarantined backend): resumable.
+            self.view.events.append(FeedbackEvent(
+                ts=self.scenario.clock.now(), kind="severed",
+                source=self.current_source.ip, tenant=self.target_tenant,
+                detail=f"{type(e).__name__}: {e}"))
+            self.plan.record(stage, None, completed=False)
+            self.strategy.on_stage(self, stage, None)
+            return
+        self.plan.record(stage, result, completed=result.success)
+        m = result.metrics
+        self.bytes_exfiltrated += int(m.get("bytes_exfiltrated", 0) or 0)
+        self.bytes_browsed += int(m.get("bytes_browsed", 0) or 0)
+        self.strategy.on_stage(self, stage, result)
+
+    # -- the turn -------------------------------------------------------------
+    def step(self) -> Optional[float]:
+        """Take one turn; returns sim-seconds until the next turn, or
+        ``None`` when this agent is done."""
+        if self.finished:
+            return None
+        now = self.scenario.clock.now()
+        if now - self.started_at >= self.policy.horizon:
+            return self._finish("horizon")
+        if not self.has_access:
+            if self._recover_attempts >= self.policy.patience:
+                return self._finish("gave-up")
+            self._recover_attempts += 1
+            if not self.strategy.recover(self):
+                return self._finish("no-moves")
+            event = self.check_access()
+            if event.kind == "ok":
+                return self.policy.think_time
+            # Still locked out: back off exponentially, so a strategy
+            # recycling burned resources can straddle a containment TTL.
+            return min(MAX_BACKOFF,
+                       self.policy.think_time * (2 ** self._recover_attempts))
+        stage = self.plan.next_stage()
+        if stage is None:
+            return self._finish("objective-complete")
+        self._run_stage(stage)
+        for _ in range(self.strategy.canary_probes):
+            self.check_access()
+            if not self.has_access:
+                break
+        else:
+            self.strategy.on_all_clear(self)
+        return self.policy.think_time
+
+    def run_to_completion(self, *, max_turns: int = 200) -> "AgentReport":
+        """Drive this agent alone (the single-duel convenience path; the
+        multi-agent scheduler lives in the runner)."""
+        for _ in range(max_turns):
+            delay = self.step()
+            if delay is None:
+                break
+            self.scenario.run(delay)
+        else:
+            self._finish("turn-budget")
+        return self.report()
+
+    def _finish(self, reason: str) -> None:
+        self.finished = True
+        self.finish_reason = reason
+        return None
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def cost(self) -> float:
+        """Attacker spend under the policy's cost model: burned
+        infrastructure, extra accounts, and probe traffic."""
+        p = self.policy
+        return (len(self.burned_sources) * p.cost_per_source
+                + (self.accounts_used - 1) * p.cost_per_account
+                + self.view.requests * p.cost_per_request)
+
+    def report(self) -> AgentReport:
+        used_ips = {self.current_source.ip} | set(self.burned_sources)
+        return AgentReport(
+            name=self.name, strategy=self.strategy.name,
+            objective=self.objective,
+            finish_reason=self.finish_reason or ("running" if not self.finished
+                                                 else "done"),
+            entries=list(self.entries), evictions=list(self.evictions),
+            re_entries=list(self.re_entries),
+            rotations=self.rotations, hops=self.hops,
+            sources_used=len(used_ips),
+            sources_burned=len(self.burned_sources),
+            burned_source_ips=sorted(self.burned_sources),
+            accounts_used=self.accounts_used,
+            suspected_decoys=sorted(self.suspected_decoys),
+            bytes_exfiltrated=self.bytes_exfiltrated,
+            bytes_browsed=self.bytes_browsed,
+            probes=self.view.probes, requests=self.view.requests,
+            cost=self.cost,
+            stages=self.plan.summary(),
+            stage_results=[(r.attack, r.success, r.started)
+                           for r in self.plan.results()],
+        )

@@ -1,0 +1,60 @@
+"""The adversary's side of the spec: plain data, no live wiring.
+
+:class:`AdversaryPolicy` rides inside a frozen
+:class:`~repro.topology.spec.WorldSpec` exactly the way
+:class:`~repro.soc.playbook.ResponsePolicy` does — it describes the
+attacker population a topology faces (how many agents, which strategy,
+what resources they start with, and the cost model that prices their
+moves) without importing anything from the live attack/agent layers, so
+the topology spec module stays light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdversaryPolicy:
+    """How a world's attackers adapt — a frozen field of ``WorldSpec``.
+
+    Compiled by :class:`~repro.topology.builder.WorldBuilder` into
+    attacker resources on the scenario (``adversary_pool`` source hosts,
+    ``compromised_accounts`` credentials) and consumed by
+    :class:`~repro.adversary.runner.ArmsRaceRunner`, which instantiates
+    the agents and drives the duel.
+    """
+
+    #: Registered strategy name (``repro adversary --list``):
+    #: ``static`` | ``source-rotation`` | ``low-and-slow`` |
+    #: ``tenant-hop`` | ``decoy-wary``.
+    strategy: str = "source-rotation"
+    #: Campaign objective the agents pursue (``pivot`` | ``steal``).
+    objective: str = "pivot"
+    n_agents: int = 1
+    #: Spare attacker hosts beyond the primary ``attacker_host`` — the
+    #: pool source rotation burns through (203.0.113.100+i).
+    source_pool_size: int = 3
+    #: Tenant credentials the attacker starts with (modeling previously
+    #: phished accounts) — what tenant-hop re-enters through.
+    compromised_accounts: int = 2
+    #: Sim-seconds the duel runs before the horizon ends it.
+    horizon: float = 240.0
+    #: Pause between an agent's turns (plus per-request time).
+    think_time: float = 4.0
+    #: Give up after this many consecutive failed recovery moves.  The
+    #: recovery backoff doubles per attempt (capped), so the default
+    #: rides out a ~90 s containment TTL before conceding.
+    patience: int = 6
+    #: Low-and-slow calibration: pace exfiltration at this fraction of
+    #: the monitor's sustainable-rate floor (egress window rate and
+    #: CUSUM drift allowance, whichever is lower).
+    pacing_safety: float = 0.8
+    # -- attacker cost model (the cost-per-exfiltrated-byte metric) -----------
+    #: Burning a source IP costs this much (clean proxy infrastructure
+    #: is the attacker's scarcest renewable).
+    cost_per_source: float = 50.0
+    #: Burning a compromised account costs more (phishing is slow).
+    cost_per_account: float = 200.0
+    #: Every request (probe or attack traffic) costs a little.
+    cost_per_request: float = 0.1

@@ -1,0 +1,388 @@
+"""The arms-race runner: N adaptive agents vs the response controller.
+
+:class:`ArmsRaceRunner` compiles an ``adaptive-*`` world (or any spec
+you arm with :func:`~repro.topology.presets.versus`) and co-schedules
+its adversary agents against the live
+:class:`~repro.soc.controller.ResponseController` on the *same* event
+loop.  Scheduling is turn-accurate: a priority queue orders agent turns
+by simulated time, each turn advances the world to its timestamp before
+acting, and the sim-time an agent's own traffic consumes pushes its next
+turn later — so a probe-heavy agent pays for its noise in tempo, and the
+SOC's poll cadence interleaves with every agent's moves exactly as the
+clock dictates.
+
+The runner watches the defender through the controller's *observable
+action feed* (never its internal state): containment and release
+actions stream in as they are decided, from which the report constructs
+block spans, coverage decay, and the containment half-life — while the
+attacker-side numbers (re-entries, cost, loot) come from the agents'
+own logs.  :class:`StrategyMatrixRunner` grids strategies × topologies
+into the standing benchmark the ROADMAP asks for.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.adversary.agent import AdversaryAgent, AgentReport
+from repro.adversary.policy import AdversaryPolicy
+from repro.adversary.strategy import make_strategy
+from repro.eval.metrics import (
+    containment_holds,
+    cost_per_exfiltrated_byte,
+    defense_coverage_decay,
+    median,
+    reentry_gaps,
+)
+
+#: Strategies whose natural objective is exfiltration rather than pivot.
+DEFAULT_OBJECTIVE: Dict[str, str] = {"low-and-slow": "steal"}
+
+
+@dataclass
+class DuelReport:
+    """One arms-race run: both sides' scorecards, attacker-observable
+    data on one side, the SOC's action log on the other."""
+
+    topology: str
+    strategy: str
+    objective: str
+    seed: int
+    started: float
+    ended: float
+    agents: List[AgentReport]
+    detected_at: Optional[float] = None
+    first_contained_at: Optional[float] = None
+    notices: List[str] = field(default_factory=list)
+    soc_summary: Optional[Dict] = None
+    block_spans: List[Tuple[float, Optional[float]]] = field(default_factory=list)
+    released_total: int = 0
+    re_contained_total: int = 0
+
+    # -- both-sides-live checks (the CI gate) ---------------------------------
+    @property
+    def re_entries(self) -> List[float]:
+        return sorted(ts for a in self.agents for ts in a.re_entries)
+
+    @property
+    def re_containments(self) -> List[float]:
+        return sorted(ts for a in self.agents for ts in a.re_containments)
+
+    @property
+    def attacker_reentered(self) -> bool:
+        return bool(self.re_entries)
+
+    @property
+    def defender_recontained(self) -> bool:
+        return bool(self.re_containments) or self.re_contained_total > 0
+
+    @property
+    def evictions(self) -> List[float]:
+        return sorted(ts for a in self.agents for ts in a.evictions)
+
+    @property
+    def entries(self) -> List[float]:
+        return sorted(ts for a in self.agents
+                      for ts in (a.entries + a.re_entries))
+
+    @property
+    def bytes_exfiltrated(self) -> int:
+        return sum(a.bytes_exfiltrated for a in self.agents)
+
+    @property
+    def bytes_looted(self) -> int:
+        return sum(a.bytes_exfiltrated + a.bytes_browsed for a in self.agents)
+
+    @property
+    def post_detection_successes(self) -> int:
+        """Stage successes the attacker scored after first detection —
+        the number the response layer exists to hold at zero, and the
+        number adaptation exists to push back up."""
+        if self.detected_at is None:
+            return 0
+        return sum(1 for a in self.agents
+                   for (_, success, started) in a.stage_results
+                   if success and started > self.detected_at)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(a.cost for a in self.agents)
+
+    def adaptation_metrics(self) -> Dict[str, object]:
+        # Gaps are computed per agent, then pooled: one agent's entry
+        # must never count as recovering another agent's eviction.
+        horizon = self.ended
+        gaps: List[float] = []
+        holds: List[float] = []
+        for a in self.agents:
+            entries = a.entries + a.re_entries
+            gaps.extend(reentry_gaps(a.evictions, entries))
+            holds.extend(containment_holds(a.evictions, entries, horizon))
+        return {
+            "time_to_reentry": median(gaps),
+            "containment_half_life": median(holds),
+            "cost_per_exfiltrated_byte": cost_per_exfiltrated_byte(
+                self.total_cost, self.bytes_looted),
+            "defense_coverage": defense_coverage_decay(
+                self.block_spans, horizon),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "topology": self.topology, "strategy": self.strategy,
+            "objective": self.objective, "seed": self.seed,
+            "duration": round(self.ended - self.started, 2),
+            "detected_at": self.detected_at,
+            "first_contained_at": self.first_contained_at,
+            "re_entries": self.re_entries,
+            "re_containments": self.re_containments,
+            "post_detection_successes": self.post_detection_successes,
+            "bytes_exfiltrated": self.bytes_exfiltrated,
+            "bytes_looted": self.bytes_looted,
+            "released_total": self.released_total,
+            "re_contained_total": self.re_contained_total,
+            "adaptation": self.adaptation_metrics(),
+            "notices": self.notices,
+            "agents": [a.to_dict() for a in self.agents],
+            "soc": self.soc_summary,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True,
+                          default=str)
+
+    def render(self) -> List[str]:
+        metrics = self.adaptation_metrics()
+        ttr = metrics["time_to_reentry"]
+        half = metrics["containment_half_life"]
+        cpb = metrics["cost_per_exfiltrated_byte"]
+        cov = metrics["defense_coverage"]
+        lines = [
+            f"duel: {self.strategy!r} vs {self.topology!r} "
+            f"(objective={self.objective}, seed={self.seed}, "
+            f"{self.ended - self.started:.0f}s)",
+        ]
+        for a in self.agents:
+            lines.append(
+                f"  {a.name:<20} {a.finish_reason:<18} "
+                f"entries={len(a.entries)} evictions={len(a.evictions)} "
+                f"re-entries={len(a.re_entries)} rotations={a.rotations} "
+                f"hops={a.hops} loot={a.bytes_exfiltrated + a.bytes_browsed}B "
+                f"cost={a.cost:.0f}")
+            for line in a.stages:
+                lines.append(f"      stage {line}")
+        lines += [
+            f"  detected_at={self.detected_at} "
+            f"first_contained_at={self.first_contained_at} "
+            f"post-detection-successes={self.post_detection_successes}",
+            f"  defender: released={self.released_total} "
+            f"re-contained={self.re_contained_total} "
+            f"blocks peak={cov['peak']} final={cov['final']} "
+            f"decay={cov['decay']}",
+            f"  adaptation: time-to-re-entry="
+            f"{f'{ttr:.1f}s' if ttr is not None else '-'} "
+            f"containment-half-life="
+            f"{f'{half:.1f}s' if half is not None else '-'} "
+            f"cost/byte={f'{cpb:.3f}' if cpb is not None else '-'}",
+        ]
+        return lines
+
+
+class ArmsRaceRunner:
+    """Builds one world and runs its duel to completion."""
+
+    def __init__(self, spec: Union[str, object] = "adaptive-sharded-hub", *,
+                 seed: int = 7001, strategy: Optional[str] = None,
+                 objective: Optional[str] = None,
+                 adversary: Optional[AdversaryPolicy] = None,
+                 response=None, waves: int = 2, settle: float = 10.0,
+                 stagger: float = 3.0, **spec_overrides):
+        from repro.topology import resolve_spec
+
+        spec = resolve_spec(spec, **spec_overrides)
+        policy = adversary or spec.adversary or AdversaryPolicy()
+        if strategy is not None:
+            policy = replace(policy, strategy=strategy)
+        if objective is None:
+            objective = DEFAULT_OBJECTIVE.get(policy.strategy)
+        if objective is not None:
+            policy = replace(policy, objective=objective)
+        if policy is not spec.adversary:
+            spec = replace(spec, adversary=policy)
+        if response is not None:
+            spec = replace(spec,
+                           response=response,
+                           name=f"{spec.name}+custom-response")
+        self.spec = spec
+        self.seed = seed
+        self.waves = waves
+        self.settle = settle
+        self.stagger = stagger
+        self.scenario = None  # the last-built world, for inspection
+
+    def run(self) -> DuelReport:
+        from repro.topology import WorldBuilder
+
+        scenario = WorldBuilder().build(self.spec, seed=self.seed)
+        self.scenario = scenario
+        policy: AdversaryPolicy = scenario.adversary_policy or AdversaryPolicy()
+        clock = scenario.clock
+        started = clock.now()
+
+        # Partition the source pool so concurrent agents never share an
+        # identity (a block against one must not evict another).
+        all_sources = [scenario.attacker_host] + list(scenario.adversary_pool)
+        n = max(1, policy.n_agents)
+        if n > len(all_sources):
+            raise ValueError(
+                f"{n} agents need at least {n} source hosts but the world "
+                f"has {len(all_sources)} (1 + source_pool_size="
+                f"{policy.source_pool_size}); raise "
+                f"AdversaryPolicy.source_pool_size")
+        agents = []
+        for i in range(n):
+            sources = all_sources[i::n]
+            agents.append(AdversaryAgent(
+                scenario,
+                strategy=make_strategy(policy.strategy, policy),
+                policy=policy, objective=policy.objective,
+                name=f"{policy.strategy}-{i:02d}",
+                rng=scenario.rng.child(f"adversary:{i}"),
+                sources=sources, waves=self.waves))
+
+        # Watch the defender through the observable action feed.
+        block_open: Dict[str, float] = {}
+        block_spans: List[Tuple[float, Optional[float]]] = []
+
+        def on_action(action) -> None:
+            if not action.ok or action.dry_run:
+                return
+            if action.action == "block_source":
+                block_open.setdefault(action.target, action.ts)
+            elif action.action == "unblock_source":
+                opened = block_open.pop(action.target, None)
+                if opened is not None:
+                    block_spans.append((opened, action.ts))
+
+        soc = getattr(scenario, "soc", None)
+        if soc is not None:
+            soc.subscribe(on_action)
+
+        # Turn-accurate co-scheduling: earliest-deadline-first agenda.
+        agenda: List[Tuple[float, int]] = [
+            (started + i * self.stagger, i) for i in range(len(agents))]
+        heapq.heapify(agenda)
+        while agenda:
+            ts, idx = heapq.heappop(agenda)
+            now = clock.now()
+            if ts > now:
+                scenario.run(ts - now)
+            delay = agents[idx].step()
+            if delay is not None:
+                heapq.heappush(agenda, (clock.now() + delay, idx))
+        scenario.run(self.settle)
+        if soc is not None:
+            soc.poll()
+        ended = clock.now()
+        block_spans.extend((opened, None) for opened in block_open.values())
+        block_spans.sort(key=lambda s: (s[0], s[1] if s[1] is not None
+                                        else float("inf")))
+
+        high = [n for n in scenario.monitor.logs.notices
+                if n.severity in ("high", "critical")]
+        return DuelReport(
+            topology=self.spec.name, strategy=policy.strategy,
+            objective=policy.objective, seed=self.seed,
+            started=started, ended=ended,
+            agents=[a.report() for a in agents],
+            detected_at=min((n.ts for n in high), default=None),
+            first_contained_at=(soc.first_containment_ts()
+                                if soc is not None else None),
+            notices=sorted({n.name for n in high}),
+            soc_summary=soc.summary() if soc is not None else None,
+            block_spans=block_spans,
+            released_total=soc.released_total if soc is not None else 0,
+            re_contained_total=(soc.re_contained_total
+                                if soc is not None else 0),
+        )
+
+
+@dataclass
+class StrategyMatrixCell:
+    topology: str
+    strategy: str
+    report: DuelReport
+
+    def row(self) -> Dict[str, object]:
+        m = self.report.adaptation_metrics()
+        return {
+            "topology": self.topology, "strategy": self.strategy,
+            "objective": self.report.objective,
+            "re_entries": len(self.report.re_entries),
+            "re_containments": len(self.report.re_containments),
+            "post_detection_successes": self.report.post_detection_successes,
+            "bytes_looted": self.report.bytes_looted,
+            "time_to_reentry": m["time_to_reentry"],
+            "containment_half_life": m["containment_half_life"],
+            "cost_per_byte": m["cost_per_exfiltrated_byte"],
+            "coverage_decay": m["defense_coverage"]["decay"],
+        }
+
+
+class StrategyMatrixRunner:
+    """Strategies × topologies: the standing adversary benchmark grid.
+
+    Cell seeds depend only on the strategy index, so every topology row
+    faces the same attacker decisions wherever the world allows it —
+    rows are A/B-comparable the same way the campaign matrix's are.
+    """
+
+    def __init__(self, *,
+                 topologies: Sequence[str] = ("adaptive-sharded-hub",
+                                              "adaptive-sharded-hub-geo"),
+                 strategies: Sequence[str] = ("static", "source-rotation",
+                                              "low-and-slow"),
+                 base_seed: int = 7100, waves: int = 2, **runner_kwargs):
+        self.topologies = list(topologies)
+        self.strategies = list(strategies)
+        self.base_seed = base_seed
+        self.waves = waves
+        self.runner_kwargs = runner_kwargs
+
+    def run(self) -> List[StrategyMatrixCell]:
+        cells: List[StrategyMatrixCell] = []
+        for topology in self.topologies:
+            for s_idx, strategy in enumerate(self.strategies):
+                runner = ArmsRaceRunner(
+                    topology, seed=self.base_seed + 10 * s_idx,
+                    strategy=strategy, waves=self.waves,
+                    **self.runner_kwargs)
+                cells.append(StrategyMatrixCell(
+                    topology=topology, strategy=strategy, report=runner.run()))
+        return cells
+
+    @staticmethod
+    def render(cells: Sequence[StrategyMatrixCell]) -> str:
+        def fmt(value, spec="{:.1f}") -> str:
+            return "-" if value is None else spec.format(value)
+
+        lines = [f"{'topology':<26} {'strategy':<16} {'obj':<6} "
+                 f"{'re-entry':>8} {'re-cont':>8} {'post-det':>8} "
+                 f"{'loot(B)':>9} {'ttr(s)':>7} {'half(s)':>8} "
+                 f"{'cost/B':>7} {'decay':>6}"]
+        for cell in cells:
+            r = cell.row()
+            lines.append(
+                f"{r['topology']:<26} {r['strategy']:<16} "
+                f"{r['objective']:<6} {r['re_entries']:>8} "
+                f"{r['re_containments']:>8} "
+                f"{r['post_detection_successes']:>8} "
+                f"{r['bytes_looted']:>9} "
+                f"{fmt(r['time_to_reentry']):>7} "
+                f"{fmt(r['containment_half_life']):>8} "
+                f"{fmt(r['cost_per_byte'], '{:.3f}'):>7} "
+                f"{r['coverage_decay']:>6}")
+        return "\n".join(lines)

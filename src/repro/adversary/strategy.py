@@ -1,0 +1,264 @@
+"""Pluggable adversary strategies: how an agent adapts to containment.
+
+A :class:`Strategy` owns the *adaptive* decisions of one
+:class:`~repro.adversary.agent.AdversaryAgent`; the agent owns
+execution.  The hooks form a small lifecycle:
+
+- :meth:`prepare` — shape the initial plan (e.g. swap bulk exfil for a
+  calibrated drip before the first byte moves);
+- :meth:`before_stage` — last-moment stage tuning (e.g. inject the
+  avoid-list into a sweep);
+- :meth:`on_stage` — digest a stage result;
+- :meth:`on_eviction` — digest a lock-out observed by the canary probe;
+- :meth:`recover` — make one move to regain access (rotate, hop, wait);
+  returning ``False`` concedes the duel.
+
+The strategies form a lattice, not a flat list: ``tenant-hop`` and
+``decoy-wary`` both *extend* ``source-rotation`` (a burned source must
+still be rotated away from, whatever else the attacker learns), while
+``low-and-slow`` replaces noisy stages instead of reacting to
+containment — its bet is that containment never happens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING, Type
+
+from repro.adversary.policy import AdversaryPolicy
+from repro.adversary.view import FeedbackEvent
+from repro.attacks.campaign import PlannedStage
+from repro.attacks.exfiltration import ExfiltrationAttack, LowAndSlowExfiltration
+from repro.attacks.hubpivot import CrossTenantPivotAttack
+from repro.attacks.takeover import StolenTokenAttack
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.adversary.agent import AdversaryAgent
+
+
+class Strategy:
+    """Base strategy: run the plan as-is, give up on first eviction."""
+
+    name = "abstract"
+    #: Canary probes fired after each stage.  More probes stretch the
+    #: post-stage observation window (each costs ~a sim-second), which
+    #: matters to strategies that must attribute a containment to the
+    #: exact move that triggered it.
+    canary_probes = 1
+
+    def __init__(self, policy: AdversaryPolicy):
+        self.policy = policy
+
+    # -- lifecycle hooks ------------------------------------------------------
+    def prepare(self, agent: "AdversaryAgent") -> None:
+        pass
+
+    def before_stage(self, agent: "AdversaryAgent", stage: PlannedStage) -> None:
+        pass
+
+    def on_stage(self, agent: "AdversaryAgent", stage: PlannedStage,
+                 result) -> None:
+        pass
+
+    def on_eviction(self, agent: "AdversaryAgent", event: FeedbackEvent) -> None:
+        pass
+
+    def on_all_clear(self, agent: "AdversaryAgent") -> None:
+        """The full canary window after a stage came back clean."""
+
+    def recover(self, agent: "AdversaryAgent") -> bool:
+        return False
+
+    def describe(self) -> str:
+        return (self.__doc__ or "").strip().splitlines()[0]
+
+
+class StaticStrategy(Strategy):
+    """The pre-PR-5 attacker: a scripted campaign with no feedback loop —
+    the baseline every adaptive strategy is measured against."""
+
+    name = "static"
+
+
+class SourceRotation(Strategy):
+    """Rotate to a fresh source IP from the seeded pool when the current
+    one is burned; once the pool is exhausted, retry the longest-cold
+    burned source (betting the blocklist has a TTL)."""
+
+    name = "source-rotation"
+
+    def on_eviction(self, agent: "AdversaryAgent", event: FeedbackEvent) -> None:
+        if event.kind in ("blocked", "severed"):
+            agent.mark_source_burned()
+
+    def recover(self, agent: "AdversaryAgent") -> bool:
+        return agent.rotate_source(recycle=True)
+
+
+class LowAndSlow(Strategy):
+    """Never trip the volume detectors in the first place: drop the loud
+    access stage, and pace exfiltration below both the windowed egress
+    floor and the CUSUM drift allowance, with jittered inter-burst gaps.
+
+    Calibration is read off the world's *spec* (the attacker is assumed
+    to have recon'd the monitoring posture); ``pacing_safety`` keeps the
+    achieved rate a margin under the floor.
+    """
+
+    name = "low-and-slow"
+
+    #: Sim-seconds one drip burst occupies beyond the configured gap
+    #: (the kernel execute round-trip the attack waits out per burst).
+    BURST_OVERHEAD = 30.0
+
+    def __init__(self, policy: AdversaryPolicy, *, total_bytes: int = 6400):
+        super().__init__(policy)
+        self.total_bytes = total_bytes
+
+    def calibrate(self, agent: "AdversaryAgent") -> LowAndSlowExfiltration:
+        spec = agent.scenario.spec
+        monitor = spec.monitor if spec is not None else None
+        egress_rate = (monitor.egress_threshold_bytes if monitor else 20_000) / 60.0
+        cusum_rate = ((monitor.cusum_baseline + monitor.cusum_slack)
+                      if monitor else 400.0) / 10.0
+        rate = min(egress_rate, cusum_rate) * self.policy.pacing_safety
+        interval = 10.0
+        burst = max(64, int(rate * (self.BURST_OVERHEAD + interval)))
+        return LowAndSlowExfiltration(
+            bytes_per_burst=burst, interval_seconds=interval,
+            total_bytes=self.total_bytes, jitter=3.0)
+
+    def prepare(self, agent: "AdversaryAgent") -> None:
+        for stage in agent.plan.stages:
+            if isinstance(stage.attack, StolenTokenAttack):
+                # The content browse is ~30 kB of proxy→attacker egress —
+                # exactly the loud tell this strategy exists to avoid.
+                agent.plan.abandon(stage)
+            elif isinstance(stage.attack, ExfiltrationAttack) \
+                    and not isinstance(stage.attack, LowAndSlowExfiltration):
+                agent.plan.replace(stage, self.calibrate(agent))
+
+    def on_eviction(self, agent: "AdversaryAgent", event: FeedbackEvent) -> None:
+        # Caught anyway: halve the pace on whatever drip remains.
+        for stage in agent.plan.stages:
+            if stage.status == "pending" and \
+                    isinstance(stage.attack, LowAndSlowExfiltration):
+                stage.attack.bytes_per_burst = max(
+                    64, stage.attack.bytes_per_burst // 2)
+
+
+class TenantHop(SourceRotation):
+    """Re-enter through an unburned compromised account when the held
+    credential dies or the target tenant is quarantined; burned sources
+    still rotate (this strategy extends source rotation)."""
+
+    name = "tenant-hop"
+
+    def on_eviction(self, agent: "AdversaryAgent", event: FeedbackEvent) -> None:
+        super().on_eviction(agent, event)
+        if event.kind in ("denied", "quarantined"):
+            agent.mark_account_burned()
+
+    def recover(self, agent: "AdversaryAgent") -> bool:
+        last = agent.view.last_event()
+        if last is not None and last.kind in ("denied", "quarantined"):
+            if agent.hop_account():
+                return True
+        return super().recover(agent)
+
+
+class DecoyWary(SourceRotation):
+    """Guard-discovery-style probing: loot one tenant per turn with a
+    canary window in between, so a burn is blamed on *exactly* the
+    tenant touched last — which is then marked as a suspected decoy and
+    never touched again (by this agent or anyone sharing its intel)."""
+
+    name = "decoy-wary"
+    #: Two canaries ~a second apart straddle the SOC's poll interval, so
+    #: a containment triggered by this turn's touch is observed *this*
+    #: turn — the blame window never slips onto the next tenant.
+    canary_probes = 3
+
+    def __init__(self, policy: AdversaryPolicy):
+        super().__init__(policy)
+        #: Tenants that survived a full canary window after being looted
+        #: — touching them again is established as safe.
+        self.cleared: set = set()
+
+    def prepare(self, agent: "AdversaryAgent") -> None:
+        # Full sweeps are what burns you: drop them; the per-tenant loot
+        # stages are appended one at a time as the duel progresses.
+        for stage in agent.plan.stages:
+            if isinstance(stage.attack, CrossTenantPivotAttack):
+                agent.plan.abandon(stage)
+
+    def _next_target(self, agent: "AdversaryAgent") -> Optional[str]:
+        if agent.known_tenants is None:
+            agent.known_tenants = agent.view.enumerate_tenants(
+                source=agent.current_source, token=agent.current_token)
+        for name in agent.known_tenants:
+            if name not in agent.looted_tenants \
+                    and name not in agent.suspected_decoys:
+                return name
+        return None
+
+    def before_stage(self, agent: "AdversaryAgent", stage: PlannedStage) -> None:
+        if isinstance(stage.attack, CrossTenantPivotAttack):
+            stage.attack.avoid = set(agent.suspected_decoys)
+
+    def on_stage(self, agent: "AdversaryAgent", stage: PlannedStage,
+                 result) -> None:
+        if isinstance(stage.attack, CrossTenantPivotAttack) \
+                and stage.attack.targets:
+            agent.last_touched = stage.attack.targets[-1]
+            if stage.status == "done":
+                agent.looted_tenants.update(stage.attack.targets)
+        if agent.plan.done:
+            target = self._next_target(agent)
+            if target is not None:
+                agent.plan.append(CrossTenantPivotAttack(
+                    targets=[target], request_delay=0.4,
+                    avoid=set(agent.suspected_decoys)))
+
+    def on_all_clear(self, agent: "AdversaryAgent") -> None:
+        if agent.last_touched:
+            self.cleared.add(agent.last_touched)
+
+    def on_eviction(self, agent: "AdversaryAgent", event: FeedbackEvent) -> None:
+        super().on_eviction(agent, event)
+        if agent.last_touched and agent.last_touched not in self.cleared:
+            # The canary window tripped right after touching exactly one
+            # new tenant: that tenant is the bait.
+            agent.suspected_decoys.add(agent.last_touched)
+
+    def recover(self, agent: "AdversaryAgent") -> bool:
+        moved = super().recover(agent)
+        if moved and agent.plan.done:
+            # Back in: queue the next untouched, unsuspected tenant.
+            target = self._next_target(agent)
+            if target is not None:
+                agent.plan.append(CrossTenantPivotAttack(
+                    targets=[target], request_delay=0.4,
+                    avoid=set(agent.suspected_decoys)))
+        return moved
+
+
+#: name -> strategy class (``repro adversary --list``).
+STRATEGIES: Dict[str, Type[Strategy]] = {
+    StaticStrategy.name: StaticStrategy,
+    SourceRotation.name: SourceRotation,
+    LowAndSlow.name: LowAndSlow,
+    TenantHop.name: TenantHop,
+    DecoyWary.name: DecoyWary,
+}
+
+
+def list_strategies() -> List[str]:
+    return sorted(STRATEGIES)
+
+
+def make_strategy(name: str, policy: AdversaryPolicy) -> Strategy:
+    cls = STRATEGIES.get(name)
+    if cls is None:
+        raise KeyError(f"unknown adversary strategy {name!r} "
+                       f"(registered: {', '.join(list_strategies())})")
+    return cls(policy)

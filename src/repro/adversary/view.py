@@ -1,0 +1,158 @@
+"""What the attacker can actually see: the attack-surface view.
+
+An adaptive adversary never reads defender state (the blocklist, the
+incident log, the quarantine set) — it infers the defense's shape from
+its *own* traffic, exactly the feedback channels a real operator has:
+
+- a request answered ``403 ... blocked by security policy`` — the
+  current source is burned at the front door;
+- a plain ``403 Forbidden`` — the held credential stopped working
+  (rotated token, proxy ACL);
+- ``503 server ... not running`` — the target tenant's backend is gone
+  (quarantined, culled, or stopped);
+- no response at all / a send on a closed channel — an established
+  relay was severed mid-flight.
+
+:class:`AttackSurfaceView` issues probes, classifies responses into
+:class:`FeedbackEvent` records, and keeps the attacker-side event log
+that strategies (and the arms-race report) reason over.  Everything here
+costs the attacker real (simulated) time and requests — probing is not
+free, which is what makes low-and-slow vs probe-heavy strategies an
+actual trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.server.gateway import WebSocketKernelClient
+from repro.simnet import Host
+from repro.util.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.attacks.scenario import Scenario
+
+#: Feedback kinds, worst first (used to rank what a probe revealed).
+KINDS = ("blocked", "severed", "denied", "quarantined", "not-found", "ok")
+
+
+@dataclass
+class FeedbackEvent:
+    """One attacker-side observation of the defense."""
+
+    ts: float
+    kind: str          # see KINDS
+    source: str        # IP the observation was made from
+    tenant: str        # tenant targeted ("" for hub-level requests)
+    status: int = 0    # HTTP status (0 when the channel died instead)
+    detail: str = ""
+
+    @property
+    def locked_out(self) -> bool:
+        return self.kind in ("blocked", "severed", "denied", "quarantined")
+
+
+def classify(status: int, body: bytes) -> str:
+    """Map one HTTP response to the attacker-visible feedback kind."""
+    if status == 403:
+        return "blocked" if b"blocked by security policy" in body else "denied"
+    if status == 503:
+        return "quarantined"
+    if status == 404:
+        return "not-found"
+    if status in (200, 201, 204):
+        return "ok"
+    return "denied" if status >= 400 else "ok"
+
+
+class AttackSurfaceView:
+    """The adversary's periscope over one scenario.
+
+    All traffic goes through the same front doors as any client; the
+    only privileged knowledge is *which host object to send from*, which
+    the agent supplies per call (that is the identity being tested).
+    """
+
+    def __init__(self, scenario: "Scenario"):
+        self.scenario = scenario
+        self.events: List[FeedbackEvent] = []
+        self.probes = 0
+        self.requests = 0
+
+    # -- plumbing -------------------------------------------------------------
+    def _front_door(self, tenant: str) -> Host:
+        front = getattr(self.scenario, "front_door_host", None)
+        if front is not None and tenant:
+            return front(tenant)
+        return self.scenario.server_host
+
+    def _port(self) -> int:
+        proxy = getattr(self.scenario, "proxy", None)
+        if proxy is not None:
+            return proxy.config.port
+        return self.scenario.server.config.port
+
+    def client(self, *, source: Host, tenant: str, token: str,
+               username: str = "adversary") -> WebSocketKernelClient:
+        prefix = f"/user/{tenant}" if tenant and \
+            getattr(self.scenario, "proxy", None) is not None else ""
+        return WebSocketKernelClient(
+            source, self._front_door(tenant), port=self._port(),
+            token=token, username=username, path_prefix=prefix)
+
+    def _observe(self, event: FeedbackEvent) -> FeedbackEvent:
+        self.events.append(event)
+        return event
+
+    # -- probes ---------------------------------------------------------------
+    def probe(self, *, source: Host, tenant: str, token: str,
+              path: str = "/api/status") -> FeedbackEvent:
+        """One access check from ``source`` against ``tenant`` — costs a
+        request and ~a second of simulated time, like any real canary."""
+        self.probes += 1
+        self.requests += 1
+        client = self.client(source=source, tenant=tenant, token=token)
+        try:
+            resp = client.request("GET", path)
+        except ReproError as e:
+            return self._observe(FeedbackEvent(
+                ts=self.scenario.clock.now(), kind="severed",
+                source=source.ip, tenant=tenant, detail=str(e)))
+        return self._observe(FeedbackEvent(
+            ts=self.scenario.clock.now(),
+            kind=classify(resp.status, resp.body or b""),
+            source=source.ip, tenant=tenant, status=resp.status,
+            detail=f"GET {path}"))
+
+    def enumerate_tenants(self, *, source: Host, token: str,
+                          max_guesses: int = 12) -> List[str]:
+        """Tenant discovery through the hub API, falling back to a short
+        username spray when the listing is refused.  Only names — no
+        defender-side state leaks into the result."""
+        import json as _json
+
+        self.requests += 1
+        client = self.client(source=source, tenant="", token=token)
+        try:
+            resp = client.request("GET", "/hub/api/users")
+        except ReproError:
+            return []
+        if resp.status == 200:
+            listing = _json.loads(resp.body or b"[]")
+            return [u["name"] for u in listing if u.get("server_running")]
+        from repro.attacks.hubpivot import DEFAULT_USERNAME_GUESSES
+
+        found: List[str] = []
+        for guess in DEFAULT_USERNAME_GUESSES[:max_guesses]:
+            event = self.probe(source=source, tenant=guess, token=token)
+            if event.kind in ("ok", "quarantined"):
+                found.append(guess)
+        return found
+
+    # -- queries over the attacker-side log -----------------------------------
+    def last_event(self) -> Optional[FeedbackEvent]:
+        return self.events[-1] if self.events else None
+
+    def events_of(self, kind: str) -> List[FeedbackEvent]:
+        return [e for e in self.events if e.kind == kind]

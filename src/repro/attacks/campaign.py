@@ -131,6 +131,92 @@ class CampaignGenerator:
 
 
 @dataclass
+class PlannedStage:
+    """One stage of a resumable plan: the attack plus execution state.
+
+    ``pending`` stages may run (again — a stage interrupted by
+    containment stays pending until it completes or exhausts
+    ``max_attempts``); ``done``/``failed``/``abandoned`` are terminal.
+    Every attempt's result is kept, so forensics can see a stage that
+    half-succeeded, was contained, and succeeded on the retry.
+    """
+
+    attack: Attack
+    status: str = "pending"  # pending | done | failed | abandoned
+    attempts: int = 0
+    results: List[AttackResult] = field(default_factory=list)
+
+    @property
+    def last_result(self) -> Optional[AttackResult]:
+        return self.results[-1] if self.results else None
+
+
+class CampaignPlan:
+    """Resumable, re-plannable execution state over a campaign's stages.
+
+    :func:`run_campaign` keeps its run-to-completion-or-abort semantics;
+    an *adaptive* adversary instead drives a plan one stage per turn,
+    marking stages done/failed, retrying a stage the defender
+    interrupted, swapping a stage for a quieter variant
+    (:meth:`replace`), or appending follow-up stages (:meth:`append`)
+    after it learns something about the defense.
+    """
+
+    def __init__(self, campaign: Campaign, *, max_attempts: int = 3):
+        self.campaign = campaign
+        self.max_attempts = max_attempts
+        self.stages: List[PlannedStage] = [PlannedStage(a)
+                                           for a in campaign.stages]
+
+    def next_stage(self) -> Optional[PlannedStage]:
+        """The first stage still worth running (None = plan exhausted)."""
+        for stage in self.stages:
+            if stage.status == "pending":
+                return stage
+        return None
+
+    @property
+    def done(self) -> bool:
+        return self.next_stage() is None
+
+    def record(self, stage: PlannedStage, result: Optional[AttackResult], *,
+               completed: bool) -> None:
+        """Fold one attempt in: completed stages become ``done``; an
+        interrupted stage stays ``pending`` for a retry until its
+        attempt budget runs out, then turns ``failed``."""
+        stage.attempts += 1
+        if result is not None:
+            stage.results.append(result)
+        if completed:
+            stage.status = "done"
+        elif stage.attempts >= self.max_attempts:
+            stage.status = "failed"
+
+    def replace(self, stage: PlannedStage, attack: Attack) -> PlannedStage:
+        """Re-plan: swap a stage's attack (e.g. bulk exfil → low-and-slow
+        drip) and reset its attempt budget."""
+        fresh = PlannedStage(attack)
+        self.stages[self.stages.index(stage)] = fresh
+        return fresh
+
+    def append(self, attack: Attack) -> PlannedStage:
+        stage = PlannedStage(attack)
+        self.stages.append(stage)
+        return stage
+
+    def abandon(self, stage: PlannedStage) -> None:
+        stage.status = "abandoned"
+
+    def results(self) -> List[AttackResult]:
+        return [r for s in self.stages for r in s.results]
+
+    def summary(self) -> List[str]:
+        return [f"{s.attack.name}: {s.status} "
+                f"({s.attempts} attempt{'s' if s.attempts != 1 else ''})"
+                for s in self.stages]
+
+
+@dataclass
 class CampaignOutcome:
     campaign: Campaign
     results: List[AttackResult]

@@ -23,7 +23,7 @@ keys on at the proxy tap.
 from __future__ import annotations
 
 import json
-from typing import List, Optional, Set
+from typing import Collection, List, Optional, Set
 
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.scenario import Scenario
@@ -44,11 +44,20 @@ class CrossTenantPivotAttack(Attack):
     technique = "hub-shared-token-pivot"
 
     def __init__(self, *, token: str = "", username_guesses: Optional[List[str]] = None,
-                 max_tenants: int = 0, request_delay: float = 0.5):
+                 max_tenants: int = 0, request_delay: float = 0.5,
+                 targets: Optional[List[str]] = None,
+                 avoid: Collection[str] = ()):
         self.token = token
         self.username_guesses = username_guesses
         self.max_tenants = max_tenants
         self.request_delay = request_delay
+        #: Pre-selected tenant list: skip enumeration entirely and sweep
+        #: exactly these (how a re-planning adversary loots one tenant at
+        #: a time with a canary probe between touches).
+        self.targets = list(targets) if targets is not None else None
+        #: Tenants the attacker refuses to touch — the decoy-wary
+        #: strategy feeds previously-burned honeypot names here.
+        self.avoid = set(avoid)
 
     # -- helpers --------------------------------------------------------------
     def _tenant_client(self, scenario: Scenario, tenant: str,
@@ -107,7 +116,10 @@ class CrossTenantPivotAttack(Attack):
                                 narrative="no hub in this scenario — nothing to pivot across")
         token = self.token or scenario.token
         rng = scenario.rng.child("hubpivot")
-        tenants = self._enumerate(scenario, token)
+        tenants = (list(self.targets) if self.targets is not None
+                   else self._enumerate(scenario, token))
+        if self.avoid:
+            tenants = [t for t in tenants if t not in self.avoid]
         if self.max_tenants > 0:
             tenants = tenants[: self.max_tenants]
         accessed: List[str] = []

@@ -31,6 +31,7 @@ from repro.simnet import Host, Network, NetworkTap, TcpConnection
 from repro.util.rng import DeterministicRNG
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.adversary.policy import AdversaryPolicy
     from repro.soc.controller import ResponseController
     from repro.topology.spec import WorldSpec
 
@@ -86,6 +87,13 @@ class Scenario:
     #: Automated-response controller when the spec carried a
     #: ResponsePolicy (the "defended" variants); None = passive defender.
     soc: Optional["ResponseController"] = None
+    #: Adaptive-adversary wiring when the spec carried an
+    #: AdversaryPolicy (the "adaptive" variants): spare attacker hosts
+    #: the source-rotation strategy draws from, and tenant credentials
+    #: the attacker starts with (modeling previously phished accounts).
+    adversary_policy: Optional["AdversaryPolicy"] = None
+    adversary_pool: List[Host] = field(default_factory=list)
+    compromised_accounts: List[tuple] = field(default_factory=list)
 
     @property
     def clock(self):

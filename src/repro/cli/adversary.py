@@ -1,0 +1,146 @@
+"""``repro adversary``: run the adaptive-attacker arms race.
+
+Three modes:
+
+- ``--list``   — the registered strategy catalogue.
+- ``--duel``   — one strategy vs one (adaptive) topology: prints both
+  sides' scorecards and the adaptation metrics.  For adaptive
+  strategies the exit status is non-zero unless *both* sides were live:
+  the attacker re-entered after containment AND the defender
+  re-contained it — the CI ``adversary-smoke`` gate.
+- ``--matrix`` — strategies × topologies (including the geo rows), the
+  standing adversary benchmark grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.adversary import (
+    STRATEGIES,
+    ArmsRaceRunner,
+    StrategyMatrixRunner,
+    list_strategies,
+    make_strategy,
+)
+from repro.adversary.policy import AdversaryPolicy
+from repro.soc.playbook import tightened
+from repro.topology import list_presets
+
+
+def _print_strategies(as_json: bool) -> None:
+    policy = AdversaryPolicy()
+    entries = [(name, make_strategy(name, policy).describe())
+               for name in list_strategies()]
+    if as_json:
+        print(json.dumps([{"name": n, "description": d} for n, d in entries],
+                         indent=2))
+        return
+    for name, description in entries:
+        print(f"  {name:<16} {description}")
+
+
+def _duel(args, out) -> int:
+    runner = ArmsRaceRunner(
+        args.topology, seed=args.seed, strategy=args.strategy,
+        waves=args.waves, n_tenants=args.tenants,
+        response=tightened() if args.tightened else None)
+    report = runner.run()
+    if args.json:
+        print(report.to_json(), file=out)
+    else:
+        for line in report.render():
+            print(line, file=out)
+    if args.strategy == "static":
+        return 0
+    if args.strategy == "low-and-slow":
+        # Its success mode is never engaging the loop at all: the gate
+        # is measurable exfiltration, not re-entry.
+        if report.bytes_exfiltrated == 0:
+            print("adversary duel: FAIL — low-and-slow attacker "
+                  "exfiltrated nothing", file=sys.stderr)
+            return 1
+        return 0
+    # The smoke gate: an arms race needs both players alive.
+    if not report.attacker_reentered:
+        print("adversary duel: FAIL — adaptive attacker never re-entered",
+              file=sys.stderr)
+        return 1
+    if not report.defender_recontained:
+        print("adversary duel: FAIL — defender never re-contained the "
+              "returning attacker", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _matrix(args, out) -> int:
+    runner = StrategyMatrixRunner(
+        topologies=args.topologies, strategies=args.strategies,
+        base_seed=args.seed, waves=args.waves, n_tenants=args.tenants)
+    cells = runner.run()
+    if args.json:
+        print(json.dumps([c.row() for c in cells], indent=2, default=str),
+              file=out)
+    else:
+        print(StrategyMatrixRunner.render(cells), file=out)
+    adaptive = [c for c in cells if c.strategy != "static"]
+    if adaptive and not any(c.report.re_entries or c.report.bytes_exfiltrated
+                            for c in adaptive):
+        print("adversary matrix: FAIL — no adaptive strategy achieved "
+              "re-entry or exfiltration anywhere", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-adversary",
+        description="Run strategy-driven adaptive attackers against "
+                    "defended topologies")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--list", action="store_true",
+                      help="print the strategy catalogue")
+    mode.add_argument("--duel", action="store_true",
+                      help="one strategy vs one topology, both scorecards")
+    mode.add_argument("--matrix", action="store_true",
+                      help="strategies x topologies benchmark grid")
+    parser.add_argument("--strategy", default="source-rotation",
+                        choices=sorted(STRATEGIES),
+                        help="adversary strategy for --duel")
+    parser.add_argument("--topology", default="adaptive-sharded-hub",
+                        help="topology preset for --duel "
+                             "(default: adaptive-sharded-hub)")
+    parser.add_argument("--topologies", nargs="*",
+                        default=["adaptive-sharded-hub",
+                                 "adaptive-sharded-hub-geo"],
+                        help="topology rows for --matrix (geo rows included "
+                             "by default)")
+    parser.add_argument("--strategies", nargs="*",
+                        default=["static", "source-rotation", "low-and-slow"],
+                        help="strategy columns for --matrix")
+    parser.add_argument("--tightened", action="store_true",
+                        help="use the tightened response policy (short "
+                             "cooldowns, no containment expiry) for --duel")
+    parser.add_argument("--waves", type=int, default=2,
+                        help="objective waves per campaign plan")
+    parser.add_argument("--tenants", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=7001)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _print_strategies(args.json)
+        return 0
+    if args.duel:
+        if args.topology not in list_presets():
+            parser.error(f"unknown topology {args.topology!r} "
+                         f"(registered: {', '.join(list_presets())})")
+        return _duel(args, sys.stdout)
+    return _matrix(args, sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

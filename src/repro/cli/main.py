@@ -10,6 +10,7 @@ One console script with subcommands delegating to the dedicated tools::
     repro hub ...        run a fleet-scale multi-tenant hub scenario
     repro topology ...   list/smoke/matrix the registered world specs
     repro soc ...        rules/replay/matrix for the automated response layer
+    repro adversary ...  list/duel/matrix for the adaptive adversary engine
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.cli import adversary as _adversary
 from repro.cli import attack as _attack
 from repro.cli import dataset as _dataset
 from repro.cli import hub as _hub
@@ -35,6 +37,7 @@ SUBCOMMANDS: Dict[str, Callable[[Optional[List[str]]], int]] = {
     "hub": _hub.main,
     "topology": _topology.main,
     "soc": _soc.main,
+    "adversary": _adversary.main,
 }
 
 

@@ -132,7 +132,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="canned campaign for --replay")
     parser.add_argument("--topologies", nargs="*", default=["hub"],
                         help="base presets for --matrix; each runs undefended "
-                             "and defended (default: hub)")
+                             "and defended (default: hub; geo cells via "
+                             "sharded-hub-geo)")
     parser.add_argument("--objectives", nargs="*",
                         default=["pivot", "steal"],
                         help="campaign objectives for --matrix")

@@ -79,6 +79,90 @@ def containment_rates(outcomes: Sequence) -> Dict[str, object]:
     return rates
 
 
+# -- arms-race adaptation metrics (the adversary subsystem's vocabulary) ------
+
+def reentry_gaps(evictions: Sequence[float],
+                 entries: Sequence[float]) -> List[float]:
+    """Eviction → next-entry gaps for *one* attacker's timeline.
+    Multi-agent reports must compute gaps per agent and pool them —
+    pooling raw timestamps would let one agent's entry 'recover'
+    another agent's eviction."""
+    gaps = []
+    for evicted in sorted(evictions):
+        later = [ts for ts in entries if ts > evicted]
+        if later:
+            gaps.append(min(later) - evicted)
+    return gaps
+
+
+def containment_holds(evictions: Sequence[float], entries: Sequence[float],
+                      horizon: float) -> List[float]:
+    """How long each containment of one attacker held: eviction until
+    its next entry, censored at ``horizon`` when it held to the end."""
+    holds = []
+    for evicted in sorted(evictions):
+        later = [ts for ts in entries if ts > evicted]
+        holds.append((min(later) - evicted) if later
+                     else max(0.0, horizon - evicted))
+    return holds
+
+
+def time_to_reentry(evictions: Sequence[float],
+                    entries: Sequence[float]) -> Optional[float]:
+    """Median seconds from each eviction to the attacker's next
+    successful entry; ``None`` when no eviction was ever recovered from
+    (the static-attacker case the adaptive engine exists to beat)."""
+    return median(reentry_gaps(evictions, entries))
+
+
+def containment_half_life(evictions: Sequence[float],
+                          entries: Sequence[float],
+                          horizon: float) -> Optional[float]:
+    """Defender-side: median time a containment actually *held* —
+    eviction until the attacker's next entry, censored at ``horizon``
+    for containments that held to the end.  ``None`` with no evictions
+    (nothing was ever contained)."""
+    return median(containment_holds(evictions, entries, horizon))
+
+
+def cost_per_exfiltrated_byte(cost: float, nbytes: int) -> Optional[float]:
+    """Attacker economics: spend per byte of loot; ``None`` when
+    nothing left (an infinitely expensive campaign, reported as
+    undefined rather than a fake infinity)."""
+    if nbytes <= 0:
+        return None
+    return cost / nbytes
+
+
+def defense_coverage_decay(
+        block_spans: Sequence[Tuple[float, Optional[float]]],
+        horizon: float) -> Dict[str, float]:
+    """How blocklist coverage of burned sources erodes over a run.
+
+    ``block_spans`` are (blocked_at, unblocked_at-or-None) intervals.
+    Returns ``peak`` (max concurrent blocks), ``final`` (blocks still
+    standing at ``horizon``), and ``decay`` — the fraction of peak
+    coverage that had lapsed by the end (0.0 = every block held,
+    1.0 = the blocklist fully evaporated).  TTL-driven un-containment
+    trades exactly this decay for a bounded blocklist.
+    """
+    if not block_spans:
+        return {"peak": 0, "final": 0, "decay": 0.0}
+    events = []
+    for start, end in block_spans:
+        events.append((start, 1))
+        events.append((end if end is not None else horizon + 1.0, -1))
+    events.sort()
+    active = peak = 0
+    for _, delta in events:
+        active += delta
+        peak = max(peak, active)
+    final = sum(1 for start, end in block_spans
+                if start <= horizon and (end is None or end > horizon))
+    decay = (1.0 - final / peak) if peak else 0.0
+    return {"peak": peak, "final": final, "decay": round(decay, 4)}
+
+
 @dataclass
 class ConfusionMatrix:
     tp: int = 0

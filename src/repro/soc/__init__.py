@@ -31,6 +31,7 @@ from repro.soc.playbook import (
     ResponsePolicy,
     ResponseRule,
     severity_rank,
+    tightened,
 )
 from repro.soc.replay import CANNED, ReplayReport, run_replay
 
@@ -43,6 +44,7 @@ __all__ = [
     "PlaybookRunner",
     "DEFAULT_RULES",
     "severity_rank",
+    "tightened",
     "ContainmentActions",
     "ResponseController",
     "CANNED",

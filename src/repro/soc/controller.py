@@ -8,18 +8,28 @@ an event-loop cadence (like the idle culler) it:
 2. folds new monitor notices into incidents via the
    :class:`~repro.soc.incidents.AlertCorrelator`;
 3. evaluates the :class:`~repro.soc.playbook.PlaybookRunner` rules
-   against open incidents and executes the due containment actions.
+   against open incidents and executes the due containment actions;
+4. runs the *un-containment* pass: quarantines auto-release after a
+   quiet period, incident-driven source blocks lapse after
+   ``block_ttl`` quiet seconds, and intel-driven blocks lift when their
+   indicator expires — with ``released_total``/``re_contained_total``
+   counters, so attacker adaptation (source rotation, waiting out the
+   blocklist) is measurable as an arms race rather than a one-shot loss.
 
 Independently of the poll, the controller subscribes to the threat-intel
 feed: content-signature indicators are installed into every monitor's
 signature engine, and burned-source indicators are auto-blocked at every
 front door — the ROADMAP's "honeypot burn → fleet-wide block" path, with
 the detection→containment lead time measurable from the action log.
+
+Every decided action — containment *and* release — is also published to
+``subscribe()``-d observers, so an arms-race harness (or a dashboard)
+can watch the defender's moves without polling ``executed``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.soc.actions import ContainmentActions
 from repro.soc.incidents import AlertCorrelator, Incident
@@ -47,9 +57,27 @@ class ResponseController:
                                           spawner=spawner)
         #: Every action decided, executed or dry-run, in decision order.
         self.executed: List[ResponseAction] = []
+        #: Observers notified with each ResponseAction as it is decided
+        #: (containment and release alike) — the observable feed the
+        #: arms-race harness watches.
+        self.observers: List[Callable[[ResponseAction], None]] = []
         self.polls = 0
         self.fleet = None  # honeypot fleet, when the topology has decoys
         self._intel_blocked: set = set()
+        #: ip -> absolute expiry time for intel-driven blocks (None = never).
+        self._intel_expiry: Dict[str, Optional[float]] = {}
+        #: Containment bookkeeping for the un-containment pass.
+        self.blocked_at: Dict[str, float] = {}      # incident-driven blocks
+        self.quarantined_at: Dict[str, float] = {}
+        #: tenant -> incident source that got it quarantined, so the
+        #: quiet-period clock also watches the causing incident (node-
+        #: attributed incidents don't name tenants directly).
+        self._quarantine_source: Dict[str, str] = {}
+        #: Targets the un-containment path let back out; re-containing
+        #: one of them is the defender "winning a round", counted below.
+        self._ever_released: Set[str] = set()
+        self.released_total = 0
+        self.re_contained_total = 0
         if self.policy.enabled:
             self._schedule()
 
@@ -58,6 +86,21 @@ class ResponseController:
     def monitors(self) -> List:
         inner = getattr(self.monitor, "monitors", None)
         return list(inner) if inner is not None else [self.monitor]
+
+    # -- observable action feed -----------------------------------------------
+    def subscribe(self, fn: Callable[[ResponseAction], None], *,
+                  replay: bool = False) -> None:
+        """Watch every decided action as it happens; ``replay`` first
+        delivers the actions already on the log."""
+        self.observers.append(fn)
+        if replay:
+            for action in self.executed:
+                fn(action)
+
+    def _publish(self, action: ResponseAction) -> None:
+        self.executed.append(action)
+        for fn in self.observers:
+            fn(action)
 
     # -- honeypot intel -------------------------------------------------------
     def adopt_fleet(self, fleet) -> None:
@@ -72,6 +115,13 @@ class ResponseController:
         if self.policy.auto_block_intel:
             feed.subscribe(self._on_indicator)
 
+    def _intel_valid_until(self, indicator) -> Optional[float]:
+        if indicator.valid_until is not None:
+            return indicator.valid_until
+        if self.policy.intel_ttl > 0:
+            return indicator.created + self.policy.intel_ttl
+        return None
+
     def _on_indicator(self, indicator) -> None:
         if indicator.indicator_type != "source-ip":
             return
@@ -81,9 +131,12 @@ class ResponseController:
         if ip in self._intel_blocked:
             return
         self._intel_blocked.add(ip)
+        self._intel_expiry[ip] = self._intel_valid_until(indicator)
         ok, detail = (True, "dry-run") if self.policy.dry_run \
             else self.actions.block_source(ip)
-        self.executed.append(ResponseAction(
+        if ok and ip in self._ever_released:
+            self.re_contained_total += 1
+        self._publish(ResponseAction(
             ts=self.loop.clock.now(), rule="intel-auto-block",
             action="block_source", target=ip, incident_id="-",
             ok=ok, dry_run=self.policy.dry_run,
@@ -116,7 +169,72 @@ class ResponseController:
                 self.playbook.mark_fired(rule, incident, now)
                 for action_name in rule.actions:
                     self._dispatch(rule, action_name, incident)
+        if not self.policy.dry_run:
+            self._uncontain(now)
         return self.executed[before:]
+
+    # -- un-containment -------------------------------------------------------
+    def _release(self, *, rule: str, action: str, target: str,
+                 detail: str) -> bool:
+        method = getattr(self.actions, action)
+        ok, note = method(target)
+        self._publish(ResponseAction(
+            ts=self.loop.clock.now(), rule=rule, action=action,
+            target=target, incident_id="-", ok=ok, dry_run=False,
+            detail=f"{detail}; {note}"))
+        if ok:
+            self.released_total += 1
+            self._ever_released.add(target)
+        return ok
+
+    def _uncontain(self, now: float) -> None:
+        """Lift containment that has outlived its policy window: quiet
+        quarantines, quiet incident blocks past their TTL, and intel
+        blocks whose indicator expired.
+
+        Bookkeeping for an expired containment is cleared even when the
+        release action itself reports failure (the world already matches
+        the desired state — e.g. another path unblocked the source
+        first); otherwise the expired entry would be retried and logged
+        on every poll forever, and an intel-blocked source could never
+        be auto-blocked again after a later burn.
+        """
+        policy = self.policy
+        if policy.quarantine_release_after > 0 and self.actions.spawner is not None:
+            for name in sorted(self.actions.spawner.quarantined):
+                since = self.quarantined_at.get(name, 0.0)
+                evidence = [self.correlator.last_evidence_for_tenant(name)]
+                source = self._quarantine_source.get(name)
+                if source:
+                    evidence.append(
+                        self.correlator.last_evidence_for_source(source))
+                quiet_since = max([since] + [e for e in evidence
+                                             if e is not None])
+                if now - quiet_since >= policy.quarantine_release_after:
+                    self._release(
+                        rule="quarantine-auto-release",
+                        action="release_tenant", target=name,
+                        detail=f"quiet for {now - quiet_since:.0f}s")
+                    self.quarantined_at.pop(name, None)
+                    self._quarantine_source.pop(name, None)
+        if policy.block_ttl > 0:
+            for ip, since in sorted(self.blocked_at.items()):
+                evidence = self.correlator.last_evidence_for_source(ip)
+                quiet_since = max(since, evidence or 0.0)
+                if now - quiet_since >= policy.block_ttl:
+                    self._release(
+                        rule="block-ttl-expiry", action="unblock_source",
+                        target=ip,
+                        detail=f"quiet for {now - quiet_since:.0f}s")
+                    self.blocked_at.pop(ip, None)
+        for ip in sorted(self._intel_blocked):
+            expiry = self._intel_expiry.get(ip)
+            if expiry is not None and now >= expiry:
+                self._release(rule="intel-expiry", action="unblock_source",
+                              target=ip,
+                              detail=f"indicator expired at {expiry:.0f}s")
+                self._intel_blocked.discard(ip)
+                self._intel_expiry.pop(ip, None)
 
     # -- action dispatch ------------------------------------------------------
     def _dispatch(self, rule: ResponseRule, action_name: str,
@@ -135,6 +253,14 @@ class ResponseController:
             self._record(rule, action, target, incident, ok=ok, detail=detail)
             if ok:
                 incident.status = "contained"
+                if action == "block_source":
+                    self.blocked_at[target] = self.loop.clock.now()
+                elif action == "quarantine_tenant":
+                    self.quarantined_at[target] = self.loop.clock.now()
+                    self._quarantine_source[target] = incident.source
+                if action in ("block_source", "quarantine_tenant") \
+                        and target in self._ever_released:
+                    self.re_contained_total += 1
 
     def _resolve_targets(self, action_name: str, incident: Incident):
         """Map an abstract rule action onto concrete (action, target)
@@ -171,13 +297,18 @@ class ResponseController:
             ts=self.loop.clock.now(), rule=rule.name, action=action,
             target=target, incident_id=incident.incident_id,
             ok=ok, dry_run=self.policy.dry_run, detail=detail)
-        self.executed.append(record)
+        self._publish(record)
         incident.actions.append(record)
 
     # -- reporting ------------------------------------------------------------
     def containment_actions(self) -> List[ResponseAction]:
         """Actions that actually changed the world (executed and ok)."""
         return [a for a in self.executed if a.ok and not a.dry_run]
+
+    def release_actions(self) -> List[ResponseAction]:
+        """Executed un-containment actions (auto-release / TTL expiry)."""
+        return [a for a in self.containment_actions()
+                if a.action in ("release_tenant", "unblock_source")]
 
     def first_containment_ts(self) -> Optional[float]:
         executed = self.containment_actions()
@@ -204,5 +335,9 @@ class ResponseController:
                 "failed": sum(1 for a in self.executed
                               if not a.ok and not a.dry_run),
                 "dry_run": sum(1 for a in self.executed if a.dry_run),
+            },
+            "uncontainment": {
+                "released_total": self.released_total,
+                "re_contained_total": self.re_contained_total,
             },
         }

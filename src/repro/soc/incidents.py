@@ -175,6 +175,22 @@ class AlertCorrelator:
     def open_incidents(self) -> List[Incident]:
         return [i for i in self.incidents.values() if i.status == "open"]
 
+    def last_evidence_for_source(self, source: str) -> Optional[float]:
+        """Most recent notice timestamp across incidents blamed on
+        ``source`` — the quiet-period clock the un-containment path reads
+        before unblocking."""
+        updates = [i.last_update for i in self.incidents.values()
+                   if i.source == source]
+        return max(updates) if updates else None
+
+    def last_evidence_for_tenant(self, name: str) -> Optional[float]:
+        """Most recent notice timestamp across incidents implicating
+        tenant ``name`` (as the incident's tenant key or among the
+        accumulated implicated tenants)."""
+        updates = [i.last_update for i in self.incidents.values()
+                   if i.tenant == name or name in i.tenants]
+        return max(updates) if updates else None
+
     def get(self, incident_id: str) -> Optional[Incident]:
         return self._by_id.get(incident_id)
 

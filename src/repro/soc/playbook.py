@@ -122,6 +122,33 @@ class ResponsePolicy:
     #: Harvest any adopted honeypot fleet on every poll, so a decoy burn
     #: turns into an indicator within one poll interval.
     harvest_on_poll: bool = True
+    # -- un-containment (what real SOCs do so blocklists don't grow forever) --
+    #: Auto-release a quarantined tenant after this many quiet seconds
+    #: (no new evidence implicating it since the quarantine).  0 = never.
+    quarantine_release_after: float = 0.0
+    #: Unblock an incident-driven source block after this many quiet
+    #: seconds (no new evidence from that source).  0 = permanent.
+    block_ttl: float = 0.0
+    #: Expiry applied to intel-driven source blocks: an indicator with no
+    #: ``valid_until`` of its own is treated as valid for this many
+    #: seconds after creation, after which the block lifts.  0 = forever.
+    intel_ttl: float = 0.0
+
+
+def tightened(policy: Optional[ResponsePolicy] = None, *,
+              cooldown: float = 10.0) -> ResponsePolicy:
+    """The hardened counter-move in the arms race: containment never
+    expires (quarantines stick, blocks are permanent, intel has no TTL)
+    and every rule's cooldown shrinks so re-offending incidents re-fire
+    almost immediately.  ``repro adversary`` and EXP-ARMS use this as the
+    third regime against adaptive attackers."""
+    from dataclasses import replace as _replace
+
+    base = policy or ResponsePolicy()
+    rules = tuple(_replace(r, cooldown=min(r.cooldown, cooldown))
+                  for r in base.rules)
+    return _replace(base, rules=rules, quarantine_release_after=0.0,
+                    block_ttl=0.0, intel_ttl=0.0)
 
 
 @dataclass

@@ -18,6 +18,7 @@ rather than a new wiring module.
   and the merged :class:`FleetMonitorView`.
 """
 
+from repro.adversary.policy import AdversaryPolicy
 from repro.soc.playbook import ResponsePolicy, ResponseRule
 from repro.topology.builder import WorldBuilder
 from repro.topology.fleet import (
@@ -29,11 +30,17 @@ from repro.topology.fleet import (
 )
 from repro.topology.hashring import ConsistentHashRing
 from repro.topology.presets import (
+    ADAPTIVE_RESPONSE,
     GEO_LINKS,
     PRESETS,
+    adaptive_honeypot_hub_spec,
+    adaptive_hub_spec,
+    adaptive_sharded_hub_geo_spec,
+    adaptive_sharded_hub_spec,
     defend,
     defended_honeypot_hub_spec,
     defended_hub_spec,
+    defended_sharded_hub_geo_spec,
     defended_sharded_hub_spec,
     honeypot_hub_spec,
     hub_spec,
@@ -45,6 +52,7 @@ from repro.topology.presets import (
     sharded_hub_spec,
     single_server_spec,
     spec_preset,
+    versus,
 )
 from repro.topology.spec import (
     DecoyTenantSpec,
@@ -79,8 +87,10 @@ __all__ = [
     "ConsistentHashRing",
     "ResponsePolicy",
     "ResponseRule",
+    "AdversaryPolicy",
     "PRESETS",
     "GEO_LINKS",
+    "ADAPTIVE_RESPONSE",
     "single_server_spec",
     "hub_spec",
     "sharded_hub_spec",
@@ -90,7 +100,13 @@ __all__ = [
     "defended_hub_spec",
     "defended_sharded_hub_spec",
     "defended_honeypot_hub_spec",
+    "defended_sharded_hub_geo_spec",
+    "adaptive_hub_spec",
+    "adaptive_sharded_hub_spec",
+    "adaptive_honeypot_hub_spec",
+    "adaptive_sharded_hub_geo_spec",
     "defend",
+    "versus",
     "spec_preset",
     "list_presets",
     "register_preset",

@@ -61,6 +61,8 @@ class WorldBuilder:
         monitor.cusum.baseline = ms.cusum_baseline
         monitor.cusum.slack = ms.cusum_slack
         monitor.cusum.h = ms.cusum_h
+        for detector in monitor.detectors:
+            detector.renotify_interval = ms.renotify_interval
 
     def _build_sinks(self, spec: WorldSpec, hosts: Dict[str, Host]):
         from repro.attacks.scenario import SinkServer
@@ -79,6 +81,26 @@ class WorldBuilder:
                     f"spec {spec.name!r}: link {link.a}<->{link.b} names "
                     f"unknown host {missing!r} (hosts: {sorted(net.hosts)})")
             net.set_latency(a, b, link.latency)
+
+    def _attach_adversary(self, spec: WorldSpec, scenario, net: Network,
+                          users) -> None:
+        """Provision the spec's AdversaryPolicy: a rotation pool of
+        attacker source hosts (203.0.113.100+) and the tenant
+        credentials the attacker starts with (the first
+        ``compromised_accounts`` tenants, modeling phished users)."""
+        policy = spec.adversary
+        if policy is None:
+            return
+        scenario.adversary_policy = policy
+        scenario.adversary_pool = [
+            net.add_host(f"attacker-pool{i}", f"203.0.113.{100 + i}")
+            for i in range(policy.source_pool_size)
+        ]
+        # Real tenants only (never decoys): the first k, modeling the
+        # accounts a phishing run would plausibly have netted.
+        names = list(scenario.tenant_names)[: policy.compromised_accounts]
+        scenario.compromised_accounts = [
+            (name, users.users[name].token) for name in names]
 
     def _attach_response(self, spec: WorldSpec, scenario, *, proxies,
                          users, spawner) -> None:
@@ -263,6 +285,7 @@ class WorldBuilder:
         self._apply_links(spec, net)
         self._attach_response(spec, scenario, proxies=proxies, users=users,
                               spawner=spawner)
+        self._attach_adversary(spec, scenario, net, users)
         if spec.seed_data:
             scenario.seed_research_data()
         return scenario

@@ -19,10 +19,18 @@ Registered presets (``repro topology --list``):
 - ``sharded-hub-geo``      — the sharded hub with per-link latency
   structure (one shard local, one continental, one intercontinental).
 - ``defended-hub`` / ``defended-sharded-hub`` / ``defended-honeypot-hub``
+  / ``defended-sharded-hub-geo``
   — the same worlds with a :class:`ResponsePolicy`: an automated
   response controller correlates monitor notices into incidents and
   executes containment playbooks (block / revoke / quarantine /
   intel auto-block).  ``defend(spec)`` wraps any hub spec the same way.
+- ``adaptive-hub`` / ``adaptive-sharded-hub`` / ``adaptive-honeypot-hub``
+  / ``adaptive-sharded-hub-geo`` — the arms-race worlds: a defended hub
+  whose ResponsePolicy has TTL'd containment (quarantine auto-release,
+  block expiry, intel TTL) *plus* an :class:`AdversaryPolicy` (a
+  source-rotation pool and phished tenant credentials) for the
+  strategy-driven attackers ``repro adversary`` runs.  ``versus(spec)``
+  arms any hub spec the same way.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.adversary.policy import AdversaryPolicy
 from repro.hub.users import HubConfig, insecure_hub_config
 from repro.monitor import AnalyzerDepth
 from repro.server.config import ServerConfig
@@ -245,6 +254,66 @@ def _defended_factory(base: Callable[..., WorldSpec]) -> Callable[..., WorldSpec
 defended_hub_spec = _defended_factory(hub_spec)
 defended_sharded_hub_spec = _defended_factory(sharded_hub_spec)
 defended_honeypot_hub_spec = _defended_factory(honeypot_hub_spec)
+defended_sharded_hub_geo_spec = _defended_factory(sharded_hub_geo_spec)
+
+
+#: The response posture of the ``adaptive-*`` presets: the same default
+#: rules, but containment *expires* — quiet quarantines auto-release,
+#: incident blocks lapse after a quiet TTL, and intel indicators age
+#: out.  That is what turns a defended world into a two-player game: a
+#: rotating or patient attacker has something to wait for, and the
+#: defender's released/re-contained counters have something to count.
+ADAPTIVE_RESPONSE = ResponsePolicy(
+    quarantine_release_after=60.0,
+    block_ttl=90.0,
+    intel_ttl=120.0,
+)
+
+
+def versus(spec: WorldSpec, adversary: Optional[AdversaryPolicy] = None,
+           response: Optional[ResponsePolicy] = None) -> WorldSpec:
+    """Arm any hub spec for the arms race: a ResponsePolicy with
+    un-containment enabled on one side, an AdversaryPolicy on the other.
+    An explicit ``response`` always wins; otherwise an already-defended
+    spec keeps its own policy and an undefended one gets
+    ``ADAPTIVE_RESPONSE``."""
+    if response is not None:
+        armed = replace(spec, response=response)
+    elif spec.defended:
+        armed = spec
+    else:
+        armed = replace(spec, response=ADAPTIVE_RESPONSE)
+    return replace(armed, name=f"adaptive-{spec.name}",
+                   adversary=adversary or AdversaryPolicy())
+
+
+def _adaptive_factory(base: Callable[..., WorldSpec], *,
+                      insecure_default: bool = True) -> Callable[..., WorldSpec]:
+    def factory(*, adversary: Optional[AdversaryPolicy] = None,
+                response: Optional[ResponsePolicy] = None,
+                renotify_interval: float = 45.0,
+                **kwargs) -> WorldSpec:
+        if insecure_default:
+            kwargs.setdefault("hub_config", insecure_hub_config())
+        spec = versus(base(**kwargs), adversary, response)
+        # Containment expires in these worlds, so detectors must
+        # re-alert fast enough for a returning source to be re-contained.
+        return replace(spec, monitor=replace(
+            spec.monitor, renotify_interval=renotify_interval))
+
+    factory.__name__ = f"adaptive_{base.__name__}"
+    factory.__doc__ = (f"``{base.__name__}`` armed for the arms race: a "
+                       f"ResponsePolicy with TTL'd containment plus an "
+                       f"AdversaryPolicy (source pool, phished accounts).")
+    return factory
+
+
+#: Honeypot presets already default to the insecure hub config.
+adaptive_hub_spec = _adaptive_factory(hub_spec)
+adaptive_sharded_hub_spec = _adaptive_factory(sharded_hub_spec)
+adaptive_honeypot_hub_spec = _adaptive_factory(honeypot_hub_spec,
+                                               insecure_default=False)
+adaptive_sharded_hub_geo_spec = _adaptive_factory(sharded_hub_geo_spec)
 
 
 #: name -> spec factory.  ``repro topology`` and the CI smoke job iterate this.
@@ -258,6 +327,11 @@ PRESETS: Dict[str, Callable[..., WorldSpec]] = {
     "defended-hub": defended_hub_spec,
     "defended-sharded-hub": defended_sharded_hub_spec,
     "defended-honeypot-hub": defended_honeypot_hub_spec,
+    "defended-sharded-hub-geo": defended_sharded_hub_geo_spec,
+    "adaptive-hub": adaptive_hub_spec,
+    "adaptive-sharded-hub": adaptive_sharded_hub_spec,
+    "adaptive-honeypot-hub": adaptive_honeypot_hub_spec,
+    "adaptive-sharded-hub-geo": adaptive_sharded_hub_geo_spec,
 }
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.adversary.policy import AdversaryPolicy
 from repro.hub.users import HubConfig
 from repro.monitor import AnalyzerDepth
 from repro.server.config import ServerConfig
@@ -87,6 +88,12 @@ class MonitorSpec:
     cusum_baseline: float = 200.0
     cusum_slack: float = 200.0
     cusum_h: float = 30_000.0
+    #: Detector re-notify dedupe window: how long a (notice, src, dst)
+    #: stays suppressed after firing.  Worlds with an auto-responding
+    #: SOC *and* expiring containment want this short — a source that
+    #: returns after its block lapses must re-alert or the defender
+    #: never re-contains (the adaptive presets set ~45 s).
+    renotify_interval: float = 300.0
 
 
 @dataclass(frozen=True)
@@ -169,6 +176,11 @@ class WorldSpec:
     #: :class:`~repro.soc.controller.ResponseController` to the compiled
     #: scenario (``scenario.soc``) — the "defended" topology variants.
     response: Optional[ResponsePolicy] = None
+    #: Adaptive adversary: when set, the builder provisions the attacker
+    #: population's resources (a rotation pool of source hosts and
+    #: pre-compromised tenant credentials) on the compiled scenario —
+    #: the "adaptive" topology variants the arms-race runner drives.
+    adversary: Optional[AdversaryPolicy] = None
 
     def __post_init__(self) -> None:
         if (self.server is None) == (self.hub is None):
@@ -180,6 +192,10 @@ class WorldSpec:
             raise ValueError(
                 f"WorldSpec {self.name!r}: response policies need a hub "
                 f"topology (containment acts on the proxy/spawner tier)")
+        if self.adversary is not None and self.hub is None:
+            raise ValueError(
+                f"WorldSpec {self.name!r}: adversary policies need a hub "
+                f"topology (rotation and tenant-hop act on the hub tier)")
         keys = [s.key for s in self.sinks]
         if len(set(keys)) != len(keys):
             raise ValueError(f"duplicate sink keys in {self.name!r}: {keys}")
@@ -205,3 +221,7 @@ class WorldSpec:
     @property
     def defended(self) -> bool:
         return self.response is not None and self.response.enabled
+
+    @property
+    def adaptive(self) -> bool:
+        return self.adversary is not None

@@ -1,0 +1,505 @@
+"""Tests for the adaptive adversary engine and the SOC un-containment
+path it exploits: attack-surface feedback classification, strategies,
+resumable campaign plans, blocklist/intel expiry, quarantine
+auto-release, re-entry-after-rotation with agreeing counters, and the
+adaptation metrics."""
+
+import pytest
+
+from repro.adversary import (
+    AdversaryAgent,
+    AdversaryPolicy,
+    ArmsRaceRunner,
+    StrategyMatrixRunner,
+    build_plan,
+    classify,
+    list_strategies,
+    make_strategy,
+)
+from repro.attacks.campaign import Campaign, CampaignPlan
+from repro.attacks.exfiltration import ExfiltrationAttack, LowAndSlowExfiltration
+from repro.attacks.hubpivot import CrossTenantPivotAttack
+from repro.attacks.takeover import StolenTokenAttack
+from repro.eval.metrics import (
+    containment_half_life,
+    cost_per_exfiltrated_byte,
+    defense_coverage_decay,
+    time_to_reentry,
+)
+from repro.honeypot.intel import Indicator
+from repro.monitor.logs import Notice
+from repro.soc import ResponsePolicy, tightened
+from repro.taxonomy.oscrp import Avenue
+from repro.topology import WorldBuilder, WorldSpec, defend, spec_preset, versus
+from repro.topology.spec import ServerSpec
+
+
+def notice(name="CROSS_TENANT_SWEEP", *, ts, src="203.0.113.66",
+           severity="high", avenue=Avenue.ACCOUNT_TAKEOVER, detail=None,
+           detector="tenant-sweep"):
+    return Notice(ts=ts, detector=detector, name=name, severity=severity,
+                  src=src, avenue=avenue, detail=detail or {})
+
+
+def build_defended(policy, **kw):
+    from repro.hub.users import insecure_hub_config
+
+    kw.setdefault("n_tenants", 2)
+    kw.setdefault("hub_config", insecure_hub_config())
+    kw.setdefault("seed_data", False)
+    spec = defend(spec_preset("hub", **kw), policy)
+    return WorldBuilder().build(spec, seed=99)
+
+
+class TestFeedbackClassification:
+    def test_classify_table(self):
+        assert classify(403, b'{"message": "Forbidden: source x is '
+                             b'blocked by security policy"}') == "blocked"
+        assert classify(403, b'{"message": "Forbidden: invalid token"}') == "denied"
+        assert classify(503, b'{"message": "server not running"}') == "quarantined"
+        assert classify(404, b"{}") == "not-found"
+        assert classify(200, b"{}") == "ok"
+
+    def test_probe_sees_edge_block(self):
+        s = build_defended(ResponsePolicy())
+        agent = AdversaryAgent(s, strategy=make_strategy(
+            "static", AdversaryPolicy()), policy=AdversaryPolicy())
+        assert agent.check_access().kind == "ok"
+        s.proxy.block_source(s.attacker_host.ip)
+        event = agent.check_access()
+        assert event.kind == "blocked"
+        assert not agent.has_access
+        assert len(agent.evictions) == 1
+
+    def test_probe_sees_quarantine(self):
+        s = build_defended(ResponsePolicy())
+        agent = AdversaryAgent(s, strategy=make_strategy(
+            "static", AdversaryPolicy()), policy=AdversaryPolicy())
+        s.spawner.quarantine(s.default_tenant)
+        assert agent.check_access().kind == "quarantined"
+
+
+class TestCampaignPlan:
+    def plan(self):
+        return CampaignPlan(Campaign(1, [StolenTokenAttack(),
+                                         ExfiltrationAttack()], "steal"))
+
+    def test_stages_resume_until_attempts_exhausted(self):
+        plan = self.plan()
+        stage = plan.next_stage()
+        plan.record(stage, None, completed=False)
+        assert stage.status == "pending" and plan.next_stage() is stage
+        plan.record(stage, None, completed=False)
+        plan.record(stage, None, completed=False)
+        assert stage.status == "failed"
+        assert plan.next_stage() is not stage
+
+    def test_replace_resets_budget(self):
+        plan = self.plan()
+        bulk = plan.stages[1]
+        fresh = plan.replace(bulk, LowAndSlowExfiltration(total_bytes=100))
+        assert isinstance(plan.stages[1].attack, LowAndSlowExfiltration)
+        assert fresh.attempts == 0
+
+    def test_abandon_and_append(self):
+        plan = self.plan()
+        plan.abandon(plan.stages[0])
+        plan.record(plan.stages[1], None, completed=True)
+        assert plan.done
+        plan.append(ExfiltrationAttack())
+        assert not plan.done
+
+    def test_build_plan_objectives(self):
+        assert [s.attack.name for s in build_plan("pivot", waves=2).stages] == \
+            ["stolen-token", "cross-tenant-pivot", "cross-tenant-pivot"]
+        assert [s.attack.name for s in build_plan("steal", waves=1).stages] == \
+            ["stolen-token", "data-exfiltration"]
+        with pytest.raises(KeyError):
+            build_plan("ransom")
+
+
+class TestPivotTargeting:
+    def test_targets_skip_enumeration_and_avoid_filters(self):
+        from repro.hub import build_hub_scenario, insecure_hub_config
+
+        s = build_hub_scenario(n_tenants=3, hub_config=insecure_hub_config(),
+                               seed_data=False)
+        result = CrossTenantPivotAttack(
+            targets=["user01", "user02"], avoid={"user02"},
+            request_delay=0.1).run(s)
+        assert result.metrics["tenants_enumerated"] == 1
+        assert result.metrics["tenants_accessed"] == 1
+
+
+class TestSpecAndBuilder:
+    def test_adversary_on_single_server_rejected(self):
+        with pytest.raises(ValueError, match="hub topology"):
+            WorldSpec(name="bad", server=ServerSpec(),
+                      adversary=AdversaryPolicy())
+
+    def test_adaptive_presets_armed_on_both_sides(self):
+        for name in ("adaptive-hub", "adaptive-sharded-hub",
+                     "adaptive-honeypot-hub", "adaptive-sharded-hub-geo"):
+            spec = spec_preset(name)
+            assert spec.adaptive and spec.defended, name
+            assert spec.response.block_ttl > 0
+            assert spec.response.quarantine_release_after > 0
+            assert spec.monitor.renotify_interval < 300.0
+
+    def test_versus_wraps_any_hub_spec(self):
+        spec = versus(spec_preset("sharded-honeypot-hub"))
+        assert spec.name == "adaptive-sharded-honeypot-hub"
+        assert spec.adversary is not None and spec.defended
+
+    def test_builder_provisions_pool_and_accounts(self):
+        spec = spec_preset("adaptive-hub", n_tenants=3, seed_data=False,
+                           adversary=AdversaryPolicy(source_pool_size=2,
+                                                     compromised_accounts=2))
+        s = WorldBuilder().build(spec, seed=5)
+        assert [h.ip for h in s.adversary_pool] == \
+            ["203.0.113.100", "203.0.113.101"]
+        assert [name for name, _ in s.compromised_accounts] == \
+            ["user00", "user01"]
+        for name, token in s.compromised_accounts:
+            assert s.hub.users[name].token == token
+
+    def test_geo_defended_preset_registered(self):
+        spec = spec_preset("defended-sharded-hub-geo")
+        assert spec.defended and spec.links
+
+
+class TestUncontainment:
+    def test_block_ttl_expiry_then_recontainment(self):
+        s = build_defended(ResponsePolicy(block_ttl=30.0))
+        soc = s.soc
+        ip = "203.0.113.66"
+        s.monitor.logs.notices.append(notice(
+            ts=s.clock.now(), src=ip, detail={"example_tenants": ["user00"]}))
+        soc.poll()
+        assert ip in s.proxy.blocked_sources
+        # Quiet period elapses: the event-loop polls release the block.
+        # (Run past the rule's 60 s cooldown too, so the re-offense
+        # below is eligible to re-fire.)
+        s.run(70.0)
+        assert ip not in s.proxy.blocked_sources
+        assert soc.released_total == 1
+        release = [a for a in soc.release_actions()
+                   if a.rule == "block-ttl-expiry"]
+        assert release and release[0].target == ip
+        # The source re-offends (cooldown long past, new evidence):
+        # re-blocked, and the re-containment counter agrees.
+        s.monitor.logs.notices.append(notice(ts=s.clock.now(), src=ip))
+        soc.poll()
+        assert ip in s.proxy.blocked_sources
+        assert soc.re_contained_total == 1
+
+    def test_block_ttl_zero_is_permanent(self):
+        s = build_defended(ResponsePolicy(block_ttl=0.0))
+        s.monitor.logs.notices.append(notice(ts=s.clock.now()))
+        s.soc.poll()
+        s.run(120.0)
+        assert "203.0.113.66" in s.proxy.blocked_sources
+        assert s.soc.released_total == 0
+
+    def test_quarantine_auto_release_after_quiet_period(self):
+        s = build_defended(ResponsePolicy(quarantine_release_after=25.0))
+        node_ip = s.spawner.active["user00"].host.ip
+        s.monitor.logs.notices.append(notice(
+            ts=s.clock.now(), name="EXFIL_VOLUME", src=node_ip,
+            avenue=Avenue.DATA_EXFILTRATION, detector="egress-volume"))
+        s.soc.poll()
+        # Node-level attribution quarantines every tenant on the node.
+        assert {"user00", "user01"} <= s.spawner.quarantined
+        s.run(35.0)
+        assert s.spawner.quarantined == set()
+        assert s.soc.released_total == 2
+        # The tenant can spawn again.
+        assert s.spawner.spawn(s.hub.users["user00"]).username == "user00"
+
+    def test_quarantine_release_resets_on_new_evidence(self):
+        s = build_defended(ResponsePolicy(quarantine_release_after=30.0))
+        node_ip = s.spawner.active["user00"].host.ip
+        s.monitor.logs.notices.append(notice(
+            ts=s.clock.now(), name="EXFIL_VOLUME", src=node_ip,
+            avenue=Avenue.DATA_EXFILTRATION, detector="egress-volume"))
+        s.soc.poll()
+        s.run(20.0)  # not quiet long enough...
+        s.monitor.logs.notices.append(notice(
+            ts=s.clock.now(), name="EXFIL_VOLUME", src=node_ip,
+            avenue=Avenue.DATA_EXFILTRATION, detector="egress-volume"))
+        s.soc.poll()
+        s.run(20.0)  # ...and fresh evidence restarted the clock
+        assert "user00" in s.spawner.quarantined
+        s.run(20.0)
+        assert "user00" not in s.spawner.quarantined
+
+    def test_intel_block_expires_with_ttl(self):
+        spec = defend(spec_preset("honeypot-hub", n_tenants=2),
+                      ResponsePolicy(intel_ttl=20.0))
+        s = WorldBuilder().build(spec, seed=7)
+        now = s.clock.now()
+        s.fleet.feed.publish(Indicator(
+            indicator_id="ind-src-198.18.0.9", indicator_type="source-ip",
+            pattern="198.18.0.9", description="burned on decoy",
+            confidence=0.95, source="honeypot:test", created=now))
+        assert "198.18.0.9" in s.proxy.blocked_sources
+        s.run(30.0)
+        assert "198.18.0.9" not in s.proxy.blocked_sources
+        assert any(a.rule == "intel-expiry" for a in s.soc.release_actions())
+
+    def test_indicator_valid_until_beats_policy_ttl(self):
+        spec = defend(spec_preset("honeypot-hub", n_tenants=2),
+                      ResponsePolicy(intel_ttl=1000.0))
+        s = WorldBuilder().build(spec, seed=7)
+        now = s.clock.now()
+        s.fleet.feed.publish(Indicator(
+            indicator_id="ind-src-198.18.0.10", indicator_type="source-ip",
+            pattern="198.18.0.10", description="short-lived sighting",
+            confidence=0.95, source="honeypot:test", created=now,
+            valid_until=now + 10.0))
+        assert "198.18.0.10" in s.proxy.blocked_sources
+        s.run(15.0)
+        assert "198.18.0.10" not in s.proxy.blocked_sources
+
+    def test_tightened_policy_disables_expiry(self):
+        base = ResponsePolicy(block_ttl=90.0, intel_ttl=120.0,
+                              quarantine_release_after=60.0)
+        hard = tightened(base, cooldown=10.0)
+        assert hard.block_ttl == 0.0 and hard.intel_ttl == 0.0
+        assert hard.quarantine_release_after == 0.0
+        assert all(r.cooldown <= 10.0 for r in hard.rules)
+
+    def test_expired_intel_block_clears_even_if_already_unblocked(self):
+        # An ip blocked by an incident AND by intel, with the incident
+        # block's TTL expiring first: when the intel expiry later finds
+        # the source already unblocked, the bookkeeping must still
+        # clear — no per-poll retry spam, and a later burn (fresh
+        # indicator) must be auto-blockable again.
+        spec = defend(spec_preset("honeypot-hub", n_tenants=2),
+                      ResponsePolicy(block_ttl=20.0, intel_ttl=40.0))
+        s = WorldBuilder().build(spec, seed=7)
+        ip = "203.0.113.66"
+        s.monitor.logs.notices.append(notice(ts=s.clock.now(), src=ip))
+        s.soc.poll()                       # incident-driven block
+        s.fleet.feed.publish(Indicator(    # intel block: already blocked
+            indicator_id="ind-src-test-1", indicator_type="source-ip",
+            pattern=ip, description="burn", confidence=0.95,
+            source="honeypot:test", created=s.clock.now()))
+        s.run(25.0)                        # block_ttl lapses first
+        assert ip not in s.proxy.blocked_sources
+        s.run(30.0)                        # intel_ttl lapses (release fails)
+        expiries = [a for a in s.soc.executed if a.rule == "intel-expiry"]
+        assert len(expiries) == 1          # attempted once, never retried
+        s.run(20.0)
+        assert len([a for a in s.soc.executed
+                    if a.rule == "intel-expiry"]) == 1
+        # A fresh indicator for the same source auto-blocks again.
+        s.fleet.feed.publish(Indicator(
+            indicator_id="ind-src-test-2", indicator_type="source-ip",
+            pattern=ip, description="re-burn", confidence=0.95,
+            source="honeypot:test", created=s.clock.now()))
+        assert ip in s.proxy.blocked_sources
+
+    def test_observable_action_feed(self):
+        s = build_defended(ResponsePolicy())
+        seen = []
+        s.soc.subscribe(seen.append)
+        s.monitor.logs.notices.append(notice(ts=s.clock.now()))
+        s.soc.poll()
+        assert seen and any(a.action == "block_source" for a in seen)
+        # Replay delivers the backlog to late subscribers.
+        late = []
+        s.soc.subscribe(late.append, replay=True)
+        assert [a.ts for a in late] == [a.ts for a in s.soc.executed]
+
+
+class TestArmsRace:
+    def test_reentry_after_rotation_counters_agree(self):
+        runner = ArmsRaceRunner("adaptive-hub", seed=7001,
+                                strategy="source-rotation", n_tenants=5)
+        report = runner.run()
+        (agent,) = report.agents
+        # The adversary got back in...
+        assert report.attacker_reentered
+        assert agent.rotations >= 1 and len(agent.re_entries) >= 1
+        # ...the defender re-contained it...
+        assert report.defender_recontained
+        # ...and both sides' books agree: every source the agent burned
+        # was blocked by an executed containment action, and every
+        # eviction pairs with a containment the SOC actually made.
+        soc = runner.scenario.soc
+        blocked = {a.target for a in soc.containment_actions()
+                   if a.action == "block_source"}
+        assert set(agent.burned_source_ips) <= blocked
+        assert len(agent.evictions) <= len(soc.containment_actions())
+        assert len(agent.evictions) == len(agent.re_entries) + (
+            0 if agent.finish_reason == "objective-complete" else 1)
+
+    def test_static_agent_never_reenters(self):
+        runner = ArmsRaceRunner("adaptive-hub", seed=7001,
+                                strategy="static", n_tenants=4)
+        report = runner.run()
+        (agent,) = report.agents
+        assert agent.re_entries == [] and agent.rotations == 0
+        assert report.post_detection_successes == 0
+
+    def test_low_and_slow_exfiltrates_below_the_floor(self):
+        runner = ArmsRaceRunner("adaptive-hub", seed=7001,
+                                strategy="low-and-slow", n_tenants=4)
+        report = runner.run()
+        assert report.bytes_exfiltrated > 0
+        # The drip never trips a network volume detector, so the SOC
+        # never contains anything.
+        assert report.first_contained_at is None
+        assert not {"EXFIL_VOLUME", "EXFIL_CUSUM_DRIFT"} & set(report.notices)
+        assert report.evictions == []
+
+    def test_duel_determinism_same_seed(self):
+        def run():
+            return ArmsRaceRunner("adaptive-hub", seed=7013,
+                                  strategy="source-rotation",
+                                  n_tenants=4).run().to_json()
+
+        assert run() == run()
+
+    def test_tenant_hop_recovers_from_quarantine(self):
+        # Force the quarantine path: quarantine the default tenant
+        # mid-duel and check the agent hops to its second account.
+        spec = spec_preset("adaptive-hub", n_tenants=4,
+                           adversary=AdversaryPolicy(strategy="tenant-hop",
+                                                     objective="steal"))
+        s = WorldBuilder().build(spec, seed=88)
+        policy = s.adversary_policy
+        agent = AdversaryAgent(s, strategy=make_strategy("tenant-hop", policy),
+                               policy=policy, objective="steal")
+        s.spawner.quarantine(s.default_tenant)
+        agent.check_access()          # observes the quarantine
+        assert not agent.has_access
+        assert agent.step() is not None  # recovery turn: hop + probe
+        assert agent.hops == 1
+        assert agent.target_tenant == "user01"
+        assert agent.has_access
+
+    def test_more_agents_than_sources_rejected(self):
+        runner = ArmsRaceRunner(
+            "adaptive-hub", seed=7001, n_tenants=3,
+            adversary=AdversaryPolicy(n_agents=4, source_pool_size=2))
+        with pytest.raises(ValueError, match="source_pool_size"):
+            runner.run()
+
+    def test_versus_explicit_response_beats_existing_policy(self):
+        base = spec_preset("defended-sharded-hub", n_tenants=4)
+        armed = versus(base, response=tightened())
+        assert armed.response.block_ttl == 0.0
+        assert all(r.cooldown <= 10.0 for r in armed.response.rules)
+
+    def test_adaptation_metrics_pool_per_agent(self):
+        # Agent A: evicted at 10, never back.  Agent B: never evicted,
+        # enters at 30.  B's entry must NOT read as A's re-entry.
+        runner = ArmsRaceRunner("adaptive-hub", seed=7001,
+                                strategy="static", n_tenants=4)
+        report = runner.run()
+
+        def stub(entries, evictions, re_entries):
+            from dataclasses import replace as _replace
+
+            return _replace(report.agents[0], entries=entries,
+                            evictions=evictions, re_entries=re_entries)
+
+        from dataclasses import replace as _replace
+
+        doctored = _replace(report, agents=[
+            stub([5.0], [10.0], []), stub([30.0], [], [])])
+        metrics = doctored.adaptation_metrics()
+        assert metrics["time_to_reentry"] is None
+        # A's containment held to the horizon; B contributes no holds.
+        assert metrics["containment_half_life"] == \
+            pytest.approx(doctored.ended - 10.0)
+
+    def test_matrix_runner_shapes(self):
+        cells = StrategyMatrixRunner(
+            topologies=("adaptive-hub",), strategies=("static",),
+            base_seed=7100, n_tenants=3).run()
+        assert len(cells) == 1
+        row = cells[0].row()
+        assert row["strategy"] == "static" and row["re_entries"] == 0
+        assert "cost_per_byte" in row
+        assert StrategyMatrixRunner.render(cells).splitlines()[0].startswith(
+            "topology")
+
+
+class TestDecoyWary:
+    def test_burn_is_blamed_on_last_touched_tenant(self):
+        runner = ArmsRaceRunner("adaptive-honeypot-hub", seed=7001,
+                                strategy="decoy-wary", n_tenants=3)
+        report = runner.run()
+        (agent,) = report.agents
+        # The decoy names enumerate first, so the first burn blames one
+        # of them — and it is never touched again.
+        assert set(agent.suspected_decoys) <= {"admin", "svc-backup"}
+        assert agent.suspected_decoys, "no decoy was ever suspected"
+        scenario = runner.scenario
+        for decoy in agent.suspected_decoys:
+            touches = [r for r in scenario.decoy_interactions()
+                       if r.honeypot == f"decoy-{decoy}"]
+            last_burn = max(t for t in agent.evictions)
+            # No interaction with a suspected decoy after the last burn
+            # it was blamed for.
+            assert all(r.ts <= last_burn + 1.0 for r in touches)
+
+
+class TestAdaptationMetrics:
+    def test_time_to_reentry(self):
+        assert time_to_reentry([], []) is None
+        assert time_to_reentry([10.0], [5.0]) is None
+        assert time_to_reentry([10.0, 30.0], [15.0, 40.0]) == 7.5
+
+    def test_containment_half_life_censors_at_horizon(self):
+        assert containment_half_life([], [], 100.0) is None
+        # One recovered (5s), one held to the horizon (70s).
+        assert containment_half_life([10.0, 30.0], [15.0], 100.0) == 37.5
+
+    def test_cost_per_byte(self):
+        assert cost_per_exfiltrated_byte(100.0, 0) is None
+        assert cost_per_exfiltrated_byte(100.0, 1000) == 0.1
+
+    def test_coverage_decay(self):
+        spans = [(10.0, 50.0), (20.0, None), (30.0, 90.0)]
+        cov = defense_coverage_decay(spans, 100.0)
+        assert cov["peak"] == 3 and cov["final"] == 1
+        assert cov["decay"] == pytest.approx(2 / 3, abs=1e-3)
+        assert defense_coverage_decay([], 100.0)["decay"] == 0.0
+
+
+class TestAdversaryCli:
+    def test_list_strategies(self, capsys):
+        from repro.cli import adversary as cli_adversary
+
+        assert cli_adversary.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in list_strategies():
+            assert name in out
+
+    def test_duel_gate_passes_for_rotation(self, capsys):
+        from repro.cli import adversary as cli_adversary
+
+        rc = cli_adversary.main(["--duel", "--strategy", "source-rotation",
+                                 "--topology", "adaptive-hub",
+                                 "--tenants", "5", "--json"])
+        assert rc == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["re_entries"] and payload["re_containments"]
+
+    def test_duel_rejects_unknown_topology(self):
+        from repro.cli import adversary as cli_adversary
+
+        with pytest.raises(SystemExit):
+            cli_adversary.main(["--duel", "--topology", "atlantis"])
+
+    def test_umbrella_knows_adversary(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main.main(["adversary", "--list"]) == 0
+        assert "source-rotation" in capsys.readouterr().out

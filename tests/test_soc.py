@@ -290,7 +290,8 @@ class TestDefendedHubEndToEnd:
         StolenTokenAttack().run(s)
         s.run(10.0)
         summary = s.soc.summary()
-        assert set(summary) == {"policy", "polls", "incidents", "actions"}
+        assert set(summary) == {"policy", "polls", "incidents", "actions",
+                                "uncontainment"}
         assert summary["polls"] >= 1
         assert all(isinstance(line, str) for line in s.soc.timeline())
 

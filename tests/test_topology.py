@@ -36,7 +36,10 @@ from repro.workload import ScientistWorkload
 class TestSpecs:
     def test_presets_registered(self):
         assert list_presets() == [
+            "adaptive-honeypot-hub", "adaptive-hub", "adaptive-sharded-hub",
+            "adaptive-sharded-hub-geo",
             "defended-honeypot-hub", "defended-hub", "defended-sharded-hub",
+            "defended-sharded-hub-geo",
             "honeypot-hub", "hub", "sharded-honeypot-hub", "sharded-hub",
             "sharded-hub-geo", "single-server",
         ]
