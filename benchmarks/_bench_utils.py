@@ -3,23 +3,63 @@
 ``report(exp_id, text)`` prints the experiment's table (visible with
 ``pytest -s``) and also writes it to ``benchmarks/reports/<exp_id>.txt``
 so EXPERIMENTS.md can reference stable artifacts even under pytest's
-output capture.
+output capture.  The first write of a run stamps the file with run
+metadata (git describe, python, platform, plus whatever the experiment
+passes via ``meta=``) so every committed artifact says which tree and
+parameters produced it; ``run_metadata()`` returns the same record for
+the machine-readable ``BENCH_*.json`` reports.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict
+import platform
+import subprocess
+from typing import Dict, Optional
 
 _REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
 _opened: Dict[str, bool] = {}
 
 
-def report(exp_id: str, text: str) -> None:
+def git_describe() -> str:
+    """The tree that produced this artifact, or "unknown" outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def run_metadata(**extra) -> Dict[str, object]:
+    """Provenance record for report artifacts: git describe, python,
+    platform, plus experiment parameters (seed, preset, ...)."""
+    meta: Dict[str, object] = {
+        "git": git_describe(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    meta.update(extra)
+    return meta
+
+
+def _stamp_line(meta: Optional[Dict[str, object]]) -> str:
+    record = run_metadata(**(meta or {}))
+    fields = " ".join(f"{k}={record[k]}" for k in sorted(record))
+    return f"# run: {fields}"
+
+
+def report(exp_id: str, text: str, *,
+           meta: Optional[Dict[str, object]] = None) -> None:
     os.makedirs(_REPORT_DIR, exist_ok=True)
     path = os.path.join(_REPORT_DIR, f"{exp_id}.txt")
-    mode = "a" if _opened.get(exp_id) else "w"
+    first = not _opened.get(exp_id)
+    mode = "a" if not first else "w"
     _opened[exp_id] = True
     with open(path, mode) as fh:
+        if first:
+            fh.write(_stamp_line(meta) + "\n")
         fh.write(text + "\n")
     print(text)

@@ -139,7 +139,8 @@ def test_duels_are_deterministic(benchmark):
 def test_write_exp_arms_table():
     assert len(ROWS) >= 4
     report("EXP-ARMS", "EXP-ARMS: adaptive adversaries vs the defended "
-                       f"sharded hub ({N_TENANTS} tenants, seed {BASE_SEED})")
+                       f"sharded hub ({N_TENANTS} tenants, seed {BASE_SEED})",
+           meta={"preset": "adaptive-sharded-hub", "seed": BASE_SEED})
     for line in render_table():
         report("EXP-ARMS", line)
     rotation = ROWS[("standard", "source-rotation")]

@@ -40,7 +40,8 @@ def _drive_requests(scenario, n_requests: int) -> float:
 
 
 def test_routing_throughput_scales_with_fleet_size():
-    report("EXP-HUB", "EXP-HUB: proxy routing throughput vs fleet size")
+    report("EXP-HUB", "EXP-HUB: proxy routing throughput vs fleet size",
+           meta={"preset": "hub", "seed": "900+n"})
     report("EXP-HUB", f"  {'tenants':>8} {'requests':>9} {'wall_s':>8} "
                       f"{'req/s':>9} {'routed':>7}")
     throughputs = {}

@@ -60,7 +60,8 @@ def test_pivot_arms_race(benchmark):
     outcomes = benchmark.pedantic(lambda: run_pair(pivot_campaign),
                                   rounds=1, iterations=1)
     report("EXP-SOC", "EXP-SOC: detection -> containment arms race "
-                      f"({N_TENANTS}-tenant insecure hub, canned campaigns)")
+                      f"({N_TENANTS}-tenant insecure hub, canned campaigns)",
+           meta={"preset": "defended-hub", "seed": BASE_SEED})
     report("EXP-SOC", "\n=== cross-tenant pivot (sweep, then a return wave) ===")
     lines = {}
     for label in ("undefended", "defended"):

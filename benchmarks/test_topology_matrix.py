@@ -55,7 +55,8 @@ def test_campaign_matrix_covers_every_topology_and_objective():
         assert rates["detected"] > 0.0, topology
 
     report("EXP-TOPO", "EXP-TOPO: campaign matrix "
-                       "(1 campaign/cell, objectives x topologies)")
+                       "(1 campaign/cell, objectives x topologies)",
+           meta={"seed": 8800})
     report("EXP-TOPO", matrix.render())
     report("EXP-TOPO", "  per-topology: " + ", ".join(
         f"{t}: det={r['detected']:.2f} succ={r['succeeded']:.2f}"

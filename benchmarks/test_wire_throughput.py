@@ -18,6 +18,7 @@ import json
 import os
 import time
 
+from _bench_utils import run_metadata
 from test_overhead_scaling import TRACE, TRACE_BYTES, replay
 
 from repro.messaging import Session
@@ -277,6 +278,7 @@ def test_write_bench_wire_json():
         "benchmark": "BENCH-WIRE",
         "methodology": "best-of-rounds wall clock, single process",
         "guard": "ws_masked_mbps >= 0.5 * ws_unmasked_mbps",
+        "meta": run_metadata(),
         **RESULTS,
     }
     with open(_REPORT_PATH, "w") as fh:

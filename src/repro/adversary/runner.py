@@ -271,6 +271,13 @@ class ArmsRaceRunner:
         if soc is not None:
             soc.subscribe(on_action)
 
+        telemetry = getattr(scenario, "telemetry", None)
+        tele_on = telemetry is not None and telemetry.enabled
+        if tele_on:
+            telemetry.timeline.record(
+                started, "duel.start", source=policy.strategy,
+                topology=self.spec.name, agents=len(agents), seed=self.seed)
+
         # Turn-accurate co-scheduling: earliest-deadline-first agenda.
         agenda: List[Tuple[float, int]] = [
             (started + i * self.stagger, i) for i in range(len(agents))]
@@ -293,11 +300,28 @@ class ArmsRaceRunner:
 
         high = [n for n in scenario.monitor.logs.notices
                 if n.severity in ("high", "critical")]
+        reports = [a.report() for a in agents]
+        if tele_on:
+            # The attacker's lifecycle beats, stamped from the agents'
+            # own logs so the merged timeline shows both sides of every
+            # round (the SOC's actions are already on it).
+            for report in reports:
+                for ts in report.evictions:
+                    telemetry.timeline.record(
+                        ts, "adversary.evicted", source=report.name)
+                for ts in report.re_entries:
+                    telemetry.timeline.record(
+                        ts, "adversary.reentered", source=report.name)
+            telemetry.timeline.record(
+                ended, "duel.end", source=policy.strategy,
+                topology=self.spec.name,
+                evictions=sum(len(r.evictions) for r in reports),
+                re_entries=sum(len(r.re_entries) for r in reports))
         return DuelReport(
             topology=self.spec.name, strategy=policy.strategy,
             objective=policy.objective, seed=self.seed,
             started=started, ended=ended,
-            agents=[a.report() for a in agents],
+            agents=reports,
             detected_at=min((n.ts for n in high), default=None),
             first_contained_at=(soc.first_containment_ts()
                                 if soc is not None else None),

@@ -75,10 +75,37 @@ class AttackSurfaceView:
     """
 
     def __init__(self, scenario: "Scenario"):
+        from repro.telemetry import Telemetry
+
         self.scenario = scenario
         self.events: List[FeedbackEvent] = []
         self.probes = 0
         self.requests = 0
+        self.telemetry = getattr(scenario, "telemetry", None) or Telemetry.disabled()
+        self._tele_on = self.telemetry.enabled
+        if self._tele_on:
+            self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        registry = self.telemetry.registry
+        probes = registry.counter("adversary_probes_total",
+                                  "Attacker-side access probes issued")
+        requests = registry.counter("adversary_requests_total",
+                                    "Attacker-side requests issued")
+        feedback = registry.counter(
+            "adversary_feedback_total",
+            "Attacker-observable feedback events, by kind",
+            labels=("kind",))
+
+        def _collect() -> None:
+            probes.set(self.probes)
+            requests.set(self.requests)
+            for kind in KINDS:
+                n = sum(1 for e in self.events if e.kind == kind)
+                if n:
+                    feedback.labels(kind=kind).set(n)
+
+        registry.register_collector(_collect)
 
     # -- plumbing -------------------------------------------------------------
     def _front_door(self, tenant: str) -> Host:
@@ -103,6 +130,11 @@ class AttackSurfaceView:
 
     def _observe(self, event: FeedbackEvent) -> FeedbackEvent:
         self.events.append(event)
+        if self._tele_on:
+            self.telemetry.timeline.record(
+                event.ts, "adversary.feedback", source=event.source,
+                feedback=event.kind, tenant=event.tenant,
+                status=event.status)
         return event
 
     # -- probes ---------------------------------------------------------------

@@ -33,6 +33,7 @@ from repro.util.rng import DeterministicRNG
 if TYPE_CHECKING:  # pragma: no cover
     from repro.adversary.policy import AdversaryPolicy
     from repro.soc.controller import ResponseController
+    from repro.telemetry import Telemetry
     from repro.topology.spec import WorldSpec
 
 
@@ -94,6 +95,10 @@ class Scenario:
     adversary_policy: Optional["AdversaryPolicy"] = None
     adversary_pool: List[Host] = field(default_factory=list)
     compromised_accounts: List[tuple] = field(default_factory=list)
+    #: The world's shared measurement plane (registry + tracer +
+    #: timeline); the builder threads this same instance through the
+    #: proxy, monitors, SOC, and adversary.  None for hand-wired worlds.
+    telemetry: Optional["Telemetry"] = None
 
     @property
     def clock(self):

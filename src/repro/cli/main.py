@@ -11,6 +11,7 @@ One console script with subcommands delegating to the dedicated tools::
     repro topology ...   list/smoke/matrix the registered world specs
     repro soc ...        rules/replay/matrix for the automated response layer
     repro adversary ...  list/duel/matrix for the adaptive adversary engine
+    repro obs ...        incident forensics and telemetry exporters
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from repro.cli import attack as _attack
 from repro.cli import dataset as _dataset
 from repro.cli import hub as _hub
 from repro.cli import monitor as _monitor
+from repro.cli import obs as _obs
 from repro.cli import scan as _scan
 from repro.cli import soc as _soc
 from repro.cli import taxonomy as _taxonomy
@@ -38,6 +40,7 @@ SUBCOMMANDS: Dict[str, Callable[[Optional[List[str]]], int]] = {
     "topology": _topology.main,
     "soc": _soc.main,
     "adversary": _adversary.main,
+    "obs": _obs.main,
 }
 
 

@@ -1,0 +1,205 @@
+"""``repro obs``: the observability surface over one instrumented world.
+
+Three modes, all of which build a topology fresh, drive one canned
+arms-race campaign through it, and then read *only* the telemetry the
+world accumulated — metrics registry, trace store, event timeline:
+
+- ``--incident [ID]`` — print the causal why-was-this-blocked chain for
+  one incident (default: the first contained external incident): the
+  front-door request, the detector hit it triggered, the correlated
+  incident, and every containment action.  Exit status is non-zero if
+  the chain is missing a causal stage — the acceptance gate that the
+  trace propagation survived proxy → wire → SOC.
+- ``--export FORMAT`` — dump the registry or timeline in ``prometheus``,
+  ``metrics-jsonl``, or ``timeline-jsonl`` form.
+- ``--smoke`` — CI gate: run a short campaign, render every exporter,
+  validate each against its schema, and check the registry actually
+  carries proxy/monitor/SOC families.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.telemetry.exporters import (
+    TIMELINE_REQUIRED_KEYS,
+    render_metrics_jsonl,
+    render_prometheus,
+    render_timeline_jsonl,
+    validate_jsonl,
+    validate_prometheus,
+)
+from repro.telemetry.forensics import (
+    STAGE_NAMES,
+    chain_stages,
+    describe_chain,
+    incident_chain,
+)
+
+EXPORT_FORMATS = ("prometheus", "metrics-jsonl", "timeline-jsonl")
+
+#: Metric families whose presence proves each subsystem reported in.
+SMOKE_REQUIRED_FAMILIES = (
+    "proxy_requests_total",
+    "monitor_segments_total",
+    "soc_polls_total",
+    "wire_messages_total",
+)
+
+
+def _build_and_run(*, topology: str, campaign: str, seed: int,
+                   tenants: int):
+    """One instrumented world with a canned campaign's history in it."""
+    from repro.attacks.campaign import run_campaign
+    from repro.hub.users import insecure_hub_config
+    from repro.soc.replay import CANNED
+    from repro.topology import WorldBuilder, resolve_spec
+
+    factory = CANNED.get(campaign)
+    if factory is None:
+        raise KeyError(f"unknown canned campaign {campaign!r} "
+                       f"(have: {', '.join(sorted(CANNED))})")
+    spec = resolve_spec(topology, n_tenants=tenants,
+                        hub_config=insecure_hub_config())
+    scenario = WorldBuilder().build(spec, seed=seed)
+    run_campaign(scenario, factory())
+    return scenario
+
+
+def _pick_incident(soc, incident_id: Optional[str]):
+    if incident_id:
+        incident = soc.correlator.get(incident_id)
+        if incident is None:
+            known = ", ".join(sorted(i.incident_id
+                                     for i in soc.correlator.incidents.values()))
+            raise KeyError(f"no incident {incident_id!r} "
+                           f"(correlated: {known or 'none'})")
+        return incident
+    # Default: the incident whose story is worth telling — contained
+    # and external first, then by severity.
+    ranked = soc.correlator.by_severity()
+    if not ranked:
+        raise KeyError("the campaign produced no incidents")
+    for incident in ranked:
+        if incident.external and incident.contained:
+            return incident
+    return ranked[0]
+
+
+def _incident(args, out) -> int:
+    scenario = _build_and_run(topology=args.topology, campaign=args.campaign,
+                              seed=args.seed, tenants=args.tenants)
+    soc = getattr(scenario, "soc", None)
+    telemetry = getattr(scenario, "telemetry", None)
+    if soc is None or telemetry is None or not telemetry.enabled:
+        print("obs: topology has no SOC or telemetry is disabled",
+              file=sys.stderr)
+        return 2
+    try:
+        incident = _pick_incident(soc, args.incident or None)
+    except KeyError as exc:
+        print(f"obs: {exc}", file=sys.stderr)
+        return 1
+    spans = incident_chain(telemetry.tracer, incident.span_id)
+    print(f"incident {incident.incident_id}: {incident.describe()}", file=out)
+    if not spans:
+        print("  (no trace recorded — span store may have wrapped)", file=out)
+        return 1
+    for line in describe_chain(spans):
+        print(line, file=out)
+    stages = chain_stages(spans)
+    expected = [label for _, label in STAGE_NAMES]
+    print(f"  stages: {' -> '.join(stages)}", file=out)
+    if args.json:
+        print(json.dumps([s.to_dict() for s in spans], indent=2), file=out)
+    if stages != expected:
+        missing = [s for s in expected if s not in stages]
+        print(f"obs: INCOMPLETE chain — missing stage(s): "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _export(args, out) -> int:
+    scenario = _build_and_run(topology=args.topology, campaign=args.campaign,
+                              seed=args.seed, tenants=args.tenants)
+    telemetry = scenario.telemetry
+    if args.export == "prometheus":
+        out.write(render_prometheus(telemetry.registry))
+    elif args.export == "metrics-jsonl":
+        out.write(render_metrics_jsonl(telemetry.registry))
+    else:
+        out.write(render_timeline_jsonl(telemetry.timeline))
+    return 0
+
+
+def _smoke(args, out) -> int:
+    scenario = _build_and_run(topology=args.topology, campaign=args.campaign,
+                              seed=args.seed, tenants=args.tenants)
+    telemetry = scenario.telemetry
+    problems: List[str] = []
+
+    prom = render_prometheus(telemetry.registry)
+    problems += [f"prometheus: {p}" for p in validate_prometheus(prom)]
+    problems += [f"metrics-jsonl: {p}"
+                 for p in validate_jsonl(render_metrics_jsonl(telemetry.registry),
+                                         required_keys=("name", "labels", "value"))]
+    problems += [f"timeline-jsonl: {p}"
+                 for p in validate_jsonl(render_timeline_jsonl(telemetry.timeline),
+                                         required_keys=TIMELINE_REQUIRED_KEYS)]
+    names = {f.name for f in telemetry.registry.families()}
+    for required in SMOKE_REQUIRED_FAMILIES:
+        if required not in names:
+            problems.append(f"registry: missing family {required!r}")
+    if len(telemetry.timeline) == 0:
+        problems.append("timeline: campaign recorded no events")
+    if not telemetry.tracer.spans():
+        problems.append("tracer: campaign recorded no spans")
+
+    summary = telemetry.summary()
+    summary["exporter_problems"] = len(problems)
+    print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+    if problems:
+        for p in problems:
+            print(f"obs smoke: {p}", file=sys.stderr)
+        print(f"obs smoke: FAIL — {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("obs smoke: OK", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect the telemetry of one instrumented world")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--incident", nargs="?", const="", metavar="ID",
+                      help="print one incident's causal chain "
+                           "(default: the first contained external incident)")
+    mode.add_argument("--export", choices=EXPORT_FORMATS,
+                      help="dump the registry or timeline in one format")
+    mode.add_argument("--smoke", action="store_true",
+                      help="validate every exporter against its schema "
+                           "(the CI obs-smoke gate)")
+    parser.add_argument("--topology", default="defended-sharded-hub",
+                        help="topology preset (default: defended-sharded-hub)")
+    parser.add_argument("--campaign", default="pivot",
+                        help="canned campaign to drive (default: pivot)")
+    parser.add_argument("--tenants", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=4242)
+    parser.add_argument("--json", action="store_true",
+                        help="with --incident, also dump the spans as JSON")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _smoke(args, sys.stdout)
+    if args.export:
+        return _export(args, sys.stdout)
+    return _incident(args, sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -34,7 +34,10 @@ class IdleCuller:
     def __init__(self, loop: EventLoop, spawner: Spawner, proxy: ReverseProxy,
                  *, interval: float = 60.0, idle_timeout: float = 600.0,
                  enabled: bool = True,
-                 proxies: Optional[Sequence[ReverseProxy]] = None):
+                 proxies: Optional[Sequence[ReverseProxy]] = None,
+                 telemetry=None):
+        from repro.telemetry import Telemetry
+
         self.loop = loop
         self.spawner = spawner
         self.proxy = proxy
@@ -47,6 +50,19 @@ class IdleCuller:
         self.enabled = enabled
         self.culled: List[CullRecord] = []
         self.sweeps = 0
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self._tele_on = self.telemetry.enabled
+        if self._tele_on:
+            reg = self.telemetry.registry
+            culled_c = reg.counter("culler_culled_total",
+                                   "Idle servers reclaimed by the culler")
+            sweeps_c = reg.counter("culler_sweeps_total", "Culling passes run")
+
+            def collect() -> None:
+                culled_c.set(len(self.culled))
+                sweeps_c.set(self.sweeps)
+
+            reg.register_collector(collect)
         if enabled:
             self._schedule()
 
@@ -97,4 +113,8 @@ class IdleCuller:
                 record = CullRecord(ts=now, username=username, idle_seconds=idle)
                 self.culled.append(record)
                 reclaimed.append(record)
+                if self._tele_on:
+                    self.telemetry.timeline.record(
+                        now, "culler.culled", source=username,
+                        idle_seconds=idle)
         return reclaimed

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.hub.spawner import SpawnedServer, Spawner, SpawnError
 from repro.hub.users import HubConfig, HubUser, HubUserDirectory, HubUserError
@@ -34,6 +34,9 @@ from repro.wire.http import (
     parse_request_from,
     parse_response_from,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 HUB_VERSION = "1.0"
 
@@ -84,18 +87,29 @@ class ProxyStats:
     """Hub-wide counters the scaling benchmark reports.
 
     Byte counts are cumulative across the proxy's lifetime — unlike the
-    per-route counters, they survive a route being culled."""
+    per-route counters, they survive a route being culled.
+
+    ``denied_total`` used to be a stored field incremented on *both* the
+    blocked-source and auth-failure paths, which made the two causes
+    indistinguishable; it is now derived from the two distinct counters
+    (the registry exports them as ``proxy_denied_total{reason=...}``).
+    """
 
     requests_total: int = 0
     routed_total: int = 0
     hub_requests: int = 0
-    denied_total: int = 0
+    auth_denied_total: int = 0
     not_found_total: int = 0
     blocked_total: int = 0
     upstream_errors: int = 0
     buffer_overflows: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+
+    @property
+    def denied_total(self) -> int:
+        """Legacy aggregate: every 403 the proxy issued, whatever the cause."""
+        return self.auth_denied_total + self.blocked_total
 
 
 class _ProxyChannel:
@@ -296,7 +310,10 @@ class ReverseProxy:
     per-user backends."""
 
     def __init__(self, network: Network, host: Host, users: HubUserDirectory,
-                 config: HubConfig, *, spawner: Optional[Spawner] = None):
+                 config: HubConfig, *, spawner: Optional[Spawner] = None,
+                 telemetry: Optional["Telemetry"] = None):
+        from repro.telemetry import Telemetry
+
         self.network = network
         self.host = host
         self.users = users
@@ -312,8 +329,69 @@ class ReverseProxy:
         self.stats = ProxyStats()
         self.channels: List[_ProxyChannel] = []
         self.protocol_errors: List[str] = []
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        #: Cached enabled flag: the request path tests one boolean, not
+        #: a chain of attribute loads, when telemetry is off.
+        self._tele_on = self.telemetry.enabled
+        if self._tele_on:
+            self._register_metrics()
         host.listen(config.port, self._accept,
                     bind_ip="127.0.0.1" if config.ip == "127.0.0.1" else "0.0.0.0")
+
+    def _register_metrics(self) -> None:
+        """Surface :class:`ProxyStats` *through* the shared registry: a
+        scrape-time collector copies the live counters, so the request
+        path never touches a registry instrument."""
+        reg = self.telemetry.registry
+        name = self.host.name
+        counters = {
+            "requests_total": reg.counter(
+                "proxy_requests_total", "Requests accepted at the front door",
+                labels=("proxy",)).labels(proxy=name),
+            "routed_total": reg.counter(
+                "proxy_routed_total", "Requests relayed to tenant backends",
+                labels=("proxy",)).labels(proxy=name),
+            "hub_requests": reg.counter(
+                "proxy_hub_requests_total", "Requests answered by the hub API",
+                labels=("proxy",)).labels(proxy=name),
+            "not_found_total": reg.counter(
+                "proxy_not_found_total", "Requests with no matching route",
+                labels=("proxy",)).labels(proxy=name),
+            "upstream_errors": reg.counter(
+                "proxy_upstream_errors_total", "Backend relays that failed",
+                labels=("proxy",)).labels(proxy=name),
+            "buffer_overflows": reg.counter(
+                "proxy_buffer_overflows_total", "Parse buffers over the cap",
+                labels=("proxy",)).labels(proxy=name),
+            "bytes_in": reg.counter(
+                "proxy_bytes_in_total", "Bytes received from clients",
+                labels=("proxy",)).labels(proxy=name),
+            "bytes_out": reg.counter(
+                "proxy_bytes_out_total", "Bytes sent to clients",
+                labels=("proxy",)).labels(proxy=name),
+        }
+        denied = reg.counter(
+            "proxy_denied_total",
+            "403s issued at the edge, split by cause",
+            labels=("proxy", "reason"))
+        denied_auth = denied.labels(proxy=name, reason="auth")
+        denied_blocked = denied.labels(proxy=name, reason="blocked")
+        routes_g = reg.gauge("proxy_routes", "Live routing-table entries",
+                             labels=("proxy",)).labels(proxy=name)
+        blocked_g = reg.gauge("proxy_blocked_sources",
+                              "Source IPs currently denied service",
+                              labels=("proxy",)).labels(proxy=name)
+
+        def collect() -> None:
+            s = self.stats
+            for field_name, inst in counters.items():
+                inst.set(getattr(s, field_name))
+            denied_auth.set(s.auth_denied_total)
+            denied_blocked.set(s.blocked_total)
+            routes_g.set(len(self.routes))
+            blocked_g.set(len(self.blocked_sources))
+
+        reg.register_collector(collect)
 
     def _accept(self, conn: TcpConnection) -> None:
         self.channels.append(_ProxyChannel(self, conn))
@@ -346,6 +424,10 @@ class ReverseProxy:
         for channel in list(self.channels):
             if channel.conn.client.ip == ip and channel.conn.open:
                 channel.conn.close(by_client=False)
+        if self._tele_on:
+            self.telemetry.timeline.record(
+                self.clock.now(), "proxy.block_source", source=ip,
+                proxy=self.host.name)
         return True
 
     def unblock_source(self, ip: str) -> bool:
@@ -353,6 +435,10 @@ class ReverseProxy:
         if ip not in self.blocked_sources:
             return False
         self.blocked_sources.discard(ip)
+        if self._tele_on:
+            self.telemetry.timeline.record(
+                self.clock.now(), "proxy.unblock_source", source=ip,
+                proxy=self.host.name)
         return True
 
     def sever_tenant_channels(self, username: str) -> int:
@@ -395,9 +481,18 @@ class ReverseProxy:
     def handle_request(self, channel: _ProxyChannel, request: HttpRequest) -> None:
         self.stats.requests_total += 1
         source = channel.conn.client.ip
+        span = None
+        if self._tele_on:
+            span = self.telemetry.tracer.start_span(
+                "proxy.request", ts=self.clock.now(), source=source,
+                method=request.method, path=request.path, proxy=self.host.name)
         if source in self.blocked_sources:
             self.stats.blocked_total += 1
-            self.stats.denied_total += 1
+            if span is not None:
+                span.finish(self.clock.now(), status="blocked")
+                self.telemetry.timeline.record(
+                    self.clock.now(), "proxy.blocked", source=source,
+                    ctx=span.ctx, path=request.path, proxy=self.host.name)
             channel.deliver(_json_response(403, {
                 "message": f"Forbidden: source {source} is blocked by security policy",
             }))
@@ -405,23 +500,34 @@ class ReverseProxy:
         path = request.path
         if path == "/hub" or path.startswith("/hub/"):
             self.stats.hub_requests += 1
+            if span is not None:
+                span.finish(self.clock.now(), status="hub")
             channel.deliver(self._hub_api(request))
             return
         if path.startswith("/user/"):
-            self._route_user_path(channel, request)
+            self._route_user_path(channel, request, span)
             return
         self.stats.not_found_total += 1
+        if span is not None:
+            span.finish(self.clock.now(), status="not_found")
         channel.deliver(_json_response(404, {
             "message": f"no route for {path}",
             "hint": "tenant servers live under /user/<name>/, the hub API under /hub/api",
         }))
 
-    def _route_user_path(self, channel: _ProxyChannel, request: HttpRequest) -> None:
+    def _route_user_path(self, channel: _ProxyChannel, request: HttpRequest,
+                         span=None) -> None:
         parts = request.path.split("/")
         target = parts[2] if len(parts) > 2 else ""
         ok, why = self._authorize_user_path(request, target)
         if not ok:
-            self.stats.denied_total += 1
+            self.stats.auth_denied_total += 1
+            if span is not None:
+                span.finish(self.clock.now(), status="denied")
+                self.telemetry.timeline.record(
+                    self.clock.now(), "proxy.denied",
+                    source=channel.conn.client.ip, ctx=span.ctx,
+                    path=request.path, why=why, proxy=self.host.name)
             channel.deliver(_json_response(403, {"message": f"Forbidden: {why}"}))
             return
         route = self.routes.get(target)
@@ -432,6 +538,8 @@ class ReverseProxy:
                 else (404, f"no such user {target!r}")
             )
             self.stats.not_found_total += 1
+            if span is not None:
+                span.finish(self.clock.now(), status="not_found")
             channel.deliver(_json_response(status, {
                 "message": message,
                 "hint": f"POST /hub/api/users/{target}/server to start it",
@@ -452,6 +560,20 @@ class ReverseProxy:
         # Backends otherwise see every request arriving from the proxy
         # host; decoy-tenant honeypots attribute interactions with this.
         headers["X-Forwarded-For"] = channel.conn.client.ip
+        if span is not None:
+            # Stamp the backend leg with a request id bound to this span:
+            # the monitor on the tap reads the header back and parents
+            # detector hits to the exact front-door request (the causal
+            # join in `repro obs --incident`).
+            rid = self.telemetry.request_ids.next()
+            headers["X-Request-Id"] = rid
+            self.telemetry.tracer.bind(rid, span.ctx)
+            span.set_attrs(tenant=target, request_id=rid)
+            span.finish(self.clock.now(), status="routed")
+            self.telemetry.timeline.record(
+                self.clock.now(), "proxy.routed",
+                source=channel.conn.client.ip, ctx=span.ctx,
+                tenant=target, path=request.path, proxy=self.host.name)
         self.stats.routed_total += 1
         channel.relay(route, HttpRequest(request.method, rewritten,
                                          headers, request.body, request.version))
@@ -470,7 +592,7 @@ class ReverseProxy:
             return self._handle_signup(request)
         if path == "/hub/api/users" and method == "GET":
             if not self._is_hub_admin(request):
-                self.stats.denied_total += 1
+                self.stats.auth_denied_total += 1
                 return _json_response(403, {"message": "admin access required"})
             return _json_response(200, [
                 {"name": u.name, "admin": u.admin,
@@ -479,7 +601,7 @@ class ReverseProxy:
             ])
         if path == "/hub/api/routes" and method == "GET":
             if not self._is_hub_admin(request):
-                self.stats.denied_total += 1
+                self.stats.auth_denied_total += 1
                 return _json_response(403, {"message": "admin access required"})
             return _json_response(200, {
                 f"/user/{name}": r.to_dict() for name, r in sorted(self.routes.items())
@@ -499,7 +621,7 @@ class ReverseProxy:
             user = self.users.signup(name)
         except HubUserError as e:
             if e.status == 403:
-                self.stats.denied_total += 1
+                self.stats.auth_denied_total += 1
             return _json_response(e.status, {"message": str(e)})
         return _json_response(201, {"name": user.name, "token": user.token})
 
@@ -510,7 +632,7 @@ class ReverseProxy:
             return _json_response(404, {"message": f"no such user {name!r}"})
         ok, why = self._authorize_user_path(request, name)
         if not ok:
-            self.stats.denied_total += 1
+            self.stats.auth_denied_total += 1
             return _json_response(403, {"message": f"Forbidden: {why}"})
         if method == "POST":
             if self.spawner is None:
@@ -536,6 +658,7 @@ class ReverseProxy:
             "routed_total": self.stats.routed_total,
             "hub_requests": self.stats.hub_requests,
             "denied_total": self.stats.denied_total,
+            "auth_denied_total": self.stats.auth_denied_total,
             "not_found_total": self.stats.not_found_total,
             "blocked_total": self.stats.blocked_total,
             "blocked_sources": sorted(self.blocked_sources),

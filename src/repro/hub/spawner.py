@@ -53,7 +53,9 @@ class Spawner:
 
     def __init__(self, network: Network, nodes: List[Host],
                  base_config: ServerConfig, config: HubConfig,
-                 *, seed_tenant_files: bool = True):
+                 *, seed_tenant_files: bool = True, telemetry=None):
+        from repro.telemetry import Telemetry
+
         if not nodes:
             raise SpawnError("spawner needs at least one fleet node", status=500)
         self.network = network
@@ -73,6 +75,25 @@ class Spawner:
         #: wiring hooks (the proxy registers its route table here)
         self.on_spawn: List[Callable[[SpawnedServer], None]] = []
         self.on_stop: List[Callable[[str], None]] = []
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self._tele_on = self.telemetry.enabled
+        if self._tele_on:
+            reg = self.telemetry.registry
+            spawned_c = reg.counter("spawner_spawned_total",
+                                    "Servers started over the run")
+            stopped_c = reg.counter("spawner_stopped_total",
+                                    "Servers stopped over the run")
+            active_g = reg.gauge("spawner_active", "Servers currently running")
+            quarantined_g = reg.gauge("spawner_quarantined",
+                                      "Tenants currently under containment")
+
+            def collect() -> None:
+                spawned_c.set(self.total_spawned)
+                stopped_c.set(self.total_stopped)
+                active_g.set(len(self.active))
+                quarantined_g.set(len(self.quarantined))
+
+            reg.register_collector(collect)
 
     # -- limits ---------------------------------------------------------------
     def _check_limits(self, now: float) -> None:
@@ -122,6 +143,10 @@ class Spawner:
         self.active[user.name] = spawned
         self.total_spawned += 1
         self._spawn_times.append(now)
+        if self._tele_on:
+            self.telemetry.timeline.record(
+                now, "spawner.spawn", source=user.name,
+                node=node.name, port=port)
         for hook in self.on_spawn:
             hook(spawned)
         return spawned
@@ -135,6 +160,9 @@ class Spawner:
             spawned.server.shutdown_kernel(kid)
         spawned.host.unlisten(spawned.port)
         self.total_stopped += 1
+        if self._tele_on:
+            self.telemetry.timeline.record(
+                self.network.loop.clock.now(), "spawner.stop", source=username)
         for hook in self.on_stop:
             hook(username)
         return True
@@ -143,12 +171,20 @@ class Spawner:
         """Containment: stop the tenant's server and refuse respawns
         until :meth:`release`.  Returns True if a server was stopped."""
         self.quarantined.add(username)
+        if self._tele_on:
+            self.telemetry.timeline.record(
+                self.network.loop.clock.now(), "spawner.quarantine",
+                source=username)
         return self.stop(username)
 
     def release(self, username: str) -> bool:
         """Lift a quarantine; the tenant may spawn again."""
         was = username in self.quarantined
         self.quarantined.discard(username)
+        if was and self._tele_on:
+            self.telemetry.timeline.record(
+                self.network.loop.clock.now(), "spawner.release",
+                source=username)
         return was
 
     def stop_all(self) -> int:

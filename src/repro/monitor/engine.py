@@ -143,7 +143,11 @@ class JupyterNetworkMonitor:
         infrastructure_ips: Optional[set] = None,
         max_buffered_bytes: int = 64 << 20,  # per-direction reassembly cap
         dedupe_msg_ids: bool = True,
+        telemetry=None,
+        name: str = "monitor0",
     ):
+        from repro.telemetry import Telemetry
+
         #: Own-infrastructure sources (e.g. a hub reverse proxy) whose
         #: authenticated traffic is plumbing, not a client logging in —
         #: excluded from auth-outcome detectors so the proxy's backend
@@ -190,6 +194,85 @@ class JupyterNetworkMonitor:
         self.detectors = [self.entropy, self.egress, self.cusum, self.beacon,
                           self.bruteforce, self.scan, self.newsource,
                           self.tenantsweep]
+        # Telemetry: shared registry/tracer/timeline (see repro.telemetry).
+        # Health counters surface via a scrape-time collector; the causal
+        # join (proxy request → detector hit) resolves the X-Request-Id the
+        # proxy stamps on backend legs.  One cached boolean gates it all.
+        self.name = name
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self._tele_on = self.telemetry.enabled
+        #: client source ip → the trace context of its latest front-door
+        #: request (bounded LRU); notices parent to this.
+        self._src_ctx: "OrderedDict[str, object]" = OrderedDict()
+        self._ws_counters = self.telemetry.decoder_counters("websocket", name)
+        self._zmtp_counters = self.telemetry.decoder_counters("zmtp", name)
+        if self._tele_on:
+            self._register_metrics()
+
+    _SRC_CTX_CAP = 1024
+
+    def _register_metrics(self) -> None:
+        """Surface :class:`MonitorHealth` through the shared registry —
+        collect-at-scrape, so the segment hot path never touches it."""
+        reg = self.telemetry.registry
+        name = self.name
+
+        def counter(metric: str, help_text: str):
+            return reg.counter(metric, help_text,
+                               labels=("monitor",)).labels(monitor=name)
+
+        counters = {
+            "segments_seen": counter("monitor_segments_total",
+                                     "Segments delivered by the tap"),
+            "segments_dropped": counter("monitor_segments_dropped_total",
+                                        "Segments dropped by the DoS budget"),
+            "bytes_seen": counter("monitor_bytes_total", "Bytes crossing the tap"),
+            "parse_errors": counter("monitor_parse_errors_total",
+                                    "Directions marked broken by a parse error"),
+            "jupyter_msgs": counter("monitor_jupyter_msgs_total",
+                                    "Jupyter messages analyzed (all legs)"),
+            "jupyter_dedup_hits": counter("monitor_jupyter_dedup_hits_total",
+                                          "Legs that skipped content analysis"),
+        }
+        layer_bytes = reg.counter("monitor_layer_bytes_total",
+                                  "Bytes consumed per protocol analyzer",
+                                  labels=("monitor", "layer"))
+        layer_insts = {layer: layer_bytes.labels(monitor=name, layer=layer)
+                       for layer in ("http", "websocket", "zmtp")}
+        notices_c = counter("monitor_notices_total", "Detector notices raised")
+
+        def collect() -> None:
+            h = self.health
+            for field_name, inst in counters.items():
+                inst.set(getattr(h, field_name))
+            for layer, nbytes in h.layer_bytes().items():
+                layer_insts[layer].set(nbytes)
+            notices_c.set(len(self.logs.notices))
+
+        reg.register_collector(collect)
+
+    def _remember_ctx(self, src: str, ctx) -> None:
+        m = self._src_ctx
+        m[src] = ctx
+        m.move_to_end(src)
+        if len(m) > self._SRC_CTX_CAP:
+            m.popitem(last=False)
+
+    def _stamp(self, notice: Notice) -> None:
+        """Give a notice its trace identity: a ``detector.hit`` span
+        parented to the source's latest front-door request (when the
+        proxy's ``X-Request-Id`` resolved one) plus a timeline event."""
+        ctx = self._src_ctx.get(notice.src)
+        span = self.telemetry.tracer.start_span(
+            "detector.hit", parent=ctx, ts=notice.ts,
+            detector=notice.detector, notice=notice.name,
+            severity=notice.severity, src=notice.src, monitor=self.name)
+        span.finish(notice.ts)
+        notice.trace_id = span.trace_id
+        notice.span_id = span.span_id
+        self.telemetry.timeline.record(
+            notice.ts, "detector.notice", source=notice.src, ctx=span.ctx,
+            name=notice.name, severity=notice.severity, monitor=self.name)
 
     # -- wiring ---------------------------------------------------------------------
     def attach(self, tap: NetworkTap) -> None:
@@ -197,6 +280,8 @@ class JupyterNetworkMonitor:
 
     def _note(self, notice: Optional[Notice]) -> None:
         if notice is not None:
+            if self._tele_on:
+                self._stamp(notice)
             self.logs.notices.append(notice)
 
     # -- budget (DoS) ------------------------------------------------------------------
@@ -382,7 +467,7 @@ class JupyterNetworkMonitor:
             conn.service = conn.service or "http"
         elif head.startswith(SIGNATURE_PREFIX[:4]):
             state.protocol = "zmtp"
-            state.zmtp_decoder = ZmtpDecoder(collect_commands=False)
+            state.zmtp_decoder = ZmtpDecoder(collect_commands=False, counters=self._zmtp_counters)
             conn.service = "zmtp"
         else:
             state.protocol = "opaque"
@@ -403,9 +488,23 @@ class JupyterNetworkMonitor:
                     has_auth=bool(req.header("authorization")),
                     user_agent=req.header("user-agent"),
                 )
+                if self._tele_on:
+                    # The proxy stamps backend legs with X-Request-Id and
+                    # binds it in the shared tracer; resolving it here is
+                    # the causal join.  X-Forwarded-For names the actual
+                    # client, so notices keyed by client ip can find the
+                    # request context even though this leg's conn.src is
+                    # the proxy.
+                    rid = req.header("x-request-id")
+                    if rid:
+                        ctx = self.telemetry.tracer.resolve(rid)
+                        if ctx is not None:
+                            rec.request_id = rid
+                            client = req.header("x-forwarded-for") or conn.src
+                            self._remember_ctx(client, ctx)
                 self.logs.http.append(rec)
                 for n in self.signatures.scan_http(rec, req.body.decode("latin-1")):
-                    self.logs.notices.append(n)
+                    self._note(n)
                 # Hub-path visibility: a client IP spread across tenants.
                 self._note(self.tenantsweep.observe_request(seg.ts, conn.src, req.path))
                 # Network-plane ransomware signal: high-entropy PUT bodies.
@@ -448,7 +547,7 @@ class JupyterNetworkMonitor:
                         for d in (True, False):
                             s = self._dir(conn, d)
                             s.protocol = "websocket"
-                            s.ws_decoder = WebSocketDecoder(collect_frames=False)
+                            s.ws_decoder = WebSocketDecoder(collect_frames=False, counters=self._ws_counters)
                             leftover = s.buffer.take_all()
                             if leftover and self.depth >= AnalyzerDepth.WEBSOCKET:
                                 self._feed_ws(seg.ts, conn, d, s, leftover)
@@ -476,7 +575,7 @@ class JupyterNetworkMonitor:
     def _feed_ws(self, ts: float, conn: ConnRecord, orig: bool, state: _DirState,
                  data: bytes) -> None:
         if state.ws_decoder is None:
-            state.ws_decoder = WebSocketDecoder(collect_frames=False)
+            state.ws_decoder = WebSocketDecoder(collect_frames=False, counters=self._ws_counters)
         decoder = state.ws_decoder
         consumed_before = decoder.bytes_consumed
         decoder.feed(data)
@@ -510,6 +609,9 @@ class JupyterNetworkMonitor:
         if jupyter_records:
             self.logs.jupyter.extend(jupyter_records)
         if notices:
+            if self._tele_on:
+                for n in notices:
+                    self._stamp(n)
             self.logs.notices.extend(notices)
         if weird:
             self.logs.weird.extend(weird)
@@ -607,7 +709,7 @@ class JupyterNetworkMonitor:
     def _feed_zmtp(self, ts: float, conn: ConnRecord, orig: bool, state: _DirState,
                    data: bytes) -> None:
         if state.zmtp_decoder is None:
-            state.zmtp_decoder = ZmtpDecoder(collect_commands=False)
+            state.zmtp_decoder = ZmtpDecoder(collect_commands=False, counters=self._zmtp_counters)
         decoder = state.zmtp_decoder
         consumed_before = decoder.bytes_consumed
         decoder.feed(data)
@@ -674,7 +776,7 @@ class JupyterNetworkMonitor:
 
             sig_ok = HMACSigner(self.session_key).verify(parts[idx + 2 : idx + 6], signature)
             if not sig_ok:
-                self.logs.notices.append(Notice(
+                self._note(Notice(
                     ts=ts, detector="integrity", name="BAD_MESSAGE_SIGNATURE", severity="high",
                     src=src, dst=dst, avenue=None,
                     detail={"msg_type": header.get("msg_type", "")},
@@ -689,7 +791,7 @@ class JupyterNetworkMonitor:
         self.logs.jupyter.append(rec)
         if code:
             for n in self.signatures.scan_jupyter(rec):
-                self.logs.notices.append(n)
+                self._note(n)
         if dedupe:
             self._mark_msg(msg_id, _MSG_ZMTP_SEEN
                            | (0 if skip_content else _MSG_CONTENT_SCANNED))
@@ -701,7 +803,7 @@ class JupyterNetworkMonitor:
 
     def observe_terminal(self, ts: float, src: str, command: str) -> None:
         for n in self.signatures.scan_terminal(ts, src, command):
-            self.logs.notices.append(n)
+            self._note(n)
 
     # -- reporting ----------------------------------------------------------------------
     def summary(self) -> Dict[str, object]:

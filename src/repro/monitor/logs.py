@@ -47,6 +47,9 @@ class HttpRecord:
     response_bytes: int = 0
     has_auth: bool = False
     user_agent: str = ""
+    #: The proxy's X-Request-Id when this is a backend leg the telemetry
+    #: tracer could join back to a front-door request ("" otherwise).
+    request_id: str = ""
 
 
 @dataclass(slots=True)
@@ -116,6 +119,11 @@ class Notice:
     dst: str = ""
     avenue: Optional[Avenue] = None
     detail: Dict[str, Any] = field(default_factory=dict)
+    #: Trace identity stamped by the monitor when telemetry is enabled:
+    #: the ``detector.hit`` span (parented to the front-door request
+    #: that carried the payload, when resolvable).  "" when disabled.
+    trace_id: str = ""
+    span_id: str = ""
 
 
 class LogStore:

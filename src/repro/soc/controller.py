@@ -47,11 +47,16 @@ class ResponseController:
     def __init__(self, *, loop, monitor, proxies: Sequence = (),
                  users=None, spawner=None,
                  policy: Optional[ResponsePolicy] = None,
-                 internal_prefix: str = "10."):
+                 internal_prefix: str = "10.", telemetry=None):
+        from repro.telemetry import Telemetry
+
         self.loop = loop
         self.monitor = monitor
         self.policy = policy or ResponsePolicy()
-        self.correlator = AlertCorrelator(internal_prefix=internal_prefix)
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self._tele_on = self.telemetry.enabled
+        self.correlator = AlertCorrelator(internal_prefix=internal_prefix,
+                                          telemetry=self.telemetry)
         self.playbook = PlaybookRunner(self.policy.rules)
         self.actions = ContainmentActions(proxies=proxies, users=users,
                                           spawner=spawner)
@@ -78,8 +83,49 @@ class ResponseController:
         self._ever_released: Set[str] = set()
         self.released_total = 0
         self.re_contained_total = 0
+        if self._tele_on:
+            self._register_metrics()
         if self.policy.enabled:
             self._schedule()
+
+    def _register_metrics(self) -> None:
+        registry = self.telemetry.registry
+        polls = registry.counter("soc_polls_total",
+                                 "Response-controller poll passes")
+        actions = registry.counter(
+            "soc_actions_total",
+            "Response actions decided, by outcome",
+            labels=("outcome",))
+        released = registry.counter(
+            "soc_released_total", "Un-containment releases executed")
+        recontained = registry.counter(
+            "soc_re_contained_total",
+            "Previously released targets contained again")
+        incidents = registry.gauge(
+            "soc_incidents", "Correlated incidents, by status",
+            labels=("status",))
+
+        def _collect() -> None:
+            polls.set(self.polls)
+            executed = failed = dry = 0
+            for a in self.executed:
+                if a.dry_run:
+                    dry += 1
+                elif a.ok:
+                    executed += 1
+                else:
+                    failed += 1
+            actions.labels(outcome="executed").set(executed)
+            actions.labels(outcome="failed").set(failed)
+            actions.labels(outcome="dry_run").set(dry)
+            released.set(self.released_total)
+            recontained.set(self.re_contained_total)
+            open_n = len(self.correlator.open_incidents())
+            incidents.labels(status="open").set(open_n)
+            incidents.labels(status="contained").set(
+                len(self.correlator.incidents) - open_n)
+
+        registry.register_collector(_collect)
 
     # -- monitors (single or merged fleet view) -------------------------------
     @property
@@ -99,6 +145,28 @@ class ResponseController:
 
     def _publish(self, action: ResponseAction) -> None:
         self.executed.append(action)
+        if self._tele_on:
+            # Every decided action — containment, intel block, release —
+            # flows through here, so this is the one place the trace
+            # gains its ``soc.action`` leaf (parented to the incident
+            # span when the action belongs to a correlated incident).
+            from repro.telemetry import TraceContext
+
+            parent = None
+            if action.incident_id != "-":
+                incident = self.correlator.get(action.incident_id)
+                if incident is not None and incident.span_id:
+                    parent = TraceContext(incident.trace_id, incident.span_id)
+            span = self.telemetry.tracer.start_span(
+                "soc.action", parent=parent, ts=action.ts,
+                rule=action.rule, action=action.action, target=action.target,
+                incident_id=action.incident_id, ok=action.ok,
+                dry_run=action.dry_run)
+            span.finish(action.ts, status="ok" if action.ok else "failed")
+            self.telemetry.timeline.record(
+                action.ts, "soc.action", source=action.target, ctx=span.ctx,
+                rule=action.rule, action=action.action,
+                incident_id=action.incident_id, ok=action.ok)
         for fn in self.observers:
             fn(action)
 

@@ -54,6 +54,10 @@ class Incident:
     external: bool = False
     status: str = "open"  # "open" | "contained"
     actions: List[ResponseAction] = field(default_factory=list)
+    #: Trace identity (when telemetry is enabled): the ``incident`` span,
+    #: parented to the first correlated notice's ``detector.hit`` span.
+    trace_id: str = ""
+    span_id: str = ""
 
     @property
     def key(self) -> IncidentKey:
@@ -81,7 +85,9 @@ class AlertCorrelator:
     """
 
     def __init__(self, *, internal_prefix: str = "10.",
-                 min_severity: str = "low"):
+                 min_severity: str = "low", telemetry=None):
+        from repro.telemetry import Telemetry
+
         self.internal_prefix = internal_prefix
         self.min_severity = min_severity
         self.incidents: Dict[IncidentKey, Incident] = {}
@@ -91,6 +97,8 @@ class AlertCorrelator:
         #: 2-second poll cadence costs O(new notices), not O(log size).
         self._cursors: Dict[int, int] = {}
         self._counter = 0
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self._tele_on = self.telemetry.enabled
 
     # -- intake ---------------------------------------------------------------
     def collect(self, monitor) -> List[Incident]:
@@ -159,6 +167,25 @@ class AlertCorrelator:
             )
             self.incidents[key] = incident
             self._by_id[incident.incident_id] = incident
+            if self._tele_on:
+                # The incident joins the first notice's trace: the chain
+                # request → detector → incident stays walkable even after
+                # the correlator folds hundreds more notices in.
+                from repro.telemetry import TraceContext
+
+                parent = (TraceContext(notice.trace_id, notice.span_id)
+                          if notice.span_id else None)
+                span = self.telemetry.tracer.start_span(
+                    "incident", parent=parent, ts=notice.ts,
+                    incident_id=incident.incident_id, source=notice.src,
+                    avenue=notice.avenue.value if notice.avenue else "-",
+                    first_notice=notice.name)
+                incident.trace_id = span.trace_id
+                incident.span_id = span.span_id
+                self.telemetry.timeline.record(
+                    notice.ts, "incident.opened", source=notice.src,
+                    ctx=span.ctx, incident_id=incident.incident_id,
+                    first_notice=notice.name)
         incident.last_update = max(incident.last_update, notice.ts)
         incident.notice_count += 1
         if notice.name not in incident.notice_names:

@@ -1,0 +1,118 @@
+"""Unified telemetry: metrics registry, trace spans, event timeline.
+
+One :class:`Telemetry` instance is created per ``WorldBuilder.build``
+and threaded through every subsystem of that world — hub proxy shards,
+spawner/culler, wire decoders, monitor engines, SOC controller, and the
+adversary runner all share it.  It bundles the three planes:
+
+- :attr:`Telemetry.registry` — labeled counters/gauges/histograms,
+  populated mostly by scrape-time collectors over the existing
+  ``ProxyStats`` / ``MonitorHealth`` / SOC counters;
+- :attr:`Telemetry.tracer` — causal spans from proxied request through
+  decode, detector hit, incident, and containment action;
+- :attr:`Telemetry.timeline` — a bounded ring of narrative events.
+
+``Telemetry.disabled()`` is the null object every component defaults
+to: a single instance whose registry hands out no-op instruments, whose
+tracer returns the null span, and whose timeline drops records at an
+``if not enabled`` — so un-instrumented worlds pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricSample,
+    MetricsRegistry, NULL_INSTRUMENT)
+from repro.telemetry.timeline import EventTimeline, TimelineEvent, merge_timelines
+from repro.telemetry.trace import NULL_SPAN, Span, TraceContext, Tracer
+from repro.util.ids import IdSequence
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "MetricSample",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "TraceContext",
+    "Span",
+    "EventTimeline",
+    "TimelineEvent",
+    "merge_timelines",
+    "DecoderCounters",
+    "NULL_INSTRUMENT",
+    "NULL_SPAN",
+    "DEFAULT_BUCKETS",
+]
+
+
+class DecoderCounters:
+    """Per-layer wire counters a decoder can call once per drained batch.
+
+    The decoders take this as an optional constructor argument defaulting
+    to ``None`` and guard the call with ``is not None`` — with telemetry
+    off the wire hot loop carries exactly one pointer comparison, i.e.
+    the counters compile down to no-ops.
+    """
+
+    __slots__ = ("_messages", "_bytes")
+
+    def __init__(self, registry: MetricsRegistry, layer: str, monitor: str) -> None:
+        fam_msgs = registry.counter(
+            "wire_messages_total",
+            "Messages drained from wire decoders", labels=("layer", "monitor"))
+        fam_bytes = registry.counter(
+            "wire_bytes_total",
+            "Bytes consumed by wire decoders", labels=("layer", "monitor"))
+        self._messages = fam_msgs.labels(layer=layer, monitor=monitor)
+        self._bytes = fam_bytes.labels(layer=layer, monitor=monitor)
+
+    def on_drain(self, n_messages: int, n_bytes: int) -> None:
+        self._messages.inc(n_messages)
+        self._bytes.inc(n_bytes)
+
+
+class Telemetry:
+    """The shared measurement plane of one built world."""
+
+    def __init__(self, *, enabled: bool = True,
+                 span_capacity: int = 8192,
+                 timeline_capacity: int = 4096) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(enabled=enabled, capacity=span_capacity)
+        self.timeline = EventTimeline(enabled=enabled,
+                                      capacity=timeline_capacity)
+        #: Request ids the proxy stamps into ``X-Request-Id``.  A private
+        #: sequence so tracing never perturbs the ``util.ids`` stream
+        #: that names kernels and messages.
+        self.request_ids = IdSequence("R")
+
+    _disabled_singleton: Optional["Telemetry"] = None
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The shared null telemetry every component defaults to."""
+        if cls._disabled_singleton is None:
+            cls._disabled_singleton = cls(enabled=False)
+        return cls._disabled_singleton
+
+    def decoder_counters(self, layer: str, monitor: str) -> Optional[DecoderCounters]:
+        """Counters for a wire decoder, or ``None`` when disabled (the
+        decoder then skips telemetry with one ``is None`` test)."""
+        if not self.enabled:
+            return None
+        return DecoderCounters(self.registry, layer, monitor)
+
+    def summary(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "metric_families": len(self.registry.families()),
+            "spans": len(self.tracer.spans()),
+            "spans_dropped": self.tracer.dropped,
+            "timeline_events": len(self.timeline),
+            "timeline_dropped": self.timeline.dropped,
+        }

@@ -1,0 +1,134 @@
+"""Telemetry exporters: Prometheus-style text and JSONL.
+
+Both formats are line-oriented on purpose — ``repro obs`` streams them
+to stdout and the CI smoke job validates them with the paired
+``validate_*`` functions, which return a list of human-readable
+problems (empty list == valid).  Keeping renderer and validator in one
+module means the schema cannot drift silently: the smoke job fails the
+moment an exporter and its contract disagree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.timeline import EventTimeline
+
+__all__ = [
+    "render_prometheus",
+    "render_metrics_jsonl",
+    "render_timeline_jsonl",
+    "validate_prometheus",
+    "validate_jsonl",
+    "TIMELINE_REQUIRED_KEYS",
+]
+
+#: Keys every timeline JSONL record must carry.
+TIMELINE_REQUIRED_KEYS = ("ts", "kind", "source", "trace_id", "span_id", "detail")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format (# HELP / # TYPE / samples)."""
+    registry.collect()
+    lines: List[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {family.help or family.name}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for sample in family.samples():
+            if sample.labels:
+                labels = ",".join(
+                    f'{k}="{_escape_label(v)}"' for k, v in sample.labels)
+                lines.append(f"{sample.name}{{{labels}}} {_num(sample.value)}")
+            else:
+                lines.append(f"{sample.name} {_num(sample.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _num(v: float) -> str:
+    return repr(int(v)) if float(v).is_integer() else repr(v)
+
+
+def render_metrics_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per sample: ``{"name":..., "labels":..., "value":...}``."""
+    lines = [
+        json.dumps({"name": s.name, "labels": dict(s.labels), "value": s.value},
+                   sort_keys=True)
+        for s in registry.collect()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_timeline_jsonl(timeline: EventTimeline) -> str:
+    """One JSON object per timeline event, oldest first."""
+    lines = [json.dumps(e, sort_keys=True) for e in timeline.to_dicts()]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- validators (used by `repro obs --smoke` and the CI obs-smoke job) --
+
+def validate_prometheus(text: str) -> List[str]:
+    """Check Prometheus text output; returns a list of problems."""
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                problems.append(f"line {i}: malformed TYPE line: {line!r}")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {i}: unknown comment form: {line!r}")
+            continue
+        # sample line: name{labels} value  |  name value
+        head, _, value = line.rpartition(" ")
+        if not head:
+            problems.append(f"line {i}: no value separator: {line!r}")
+            continue
+        try:
+            float(value)
+        except ValueError:
+            problems.append(f"line {i}: non-numeric value {value!r}")
+        name = head.split("{", 1)[0]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            problems.append(f"line {i}: sample {name!r} missing TYPE declaration")
+        if "{" in head and not head.endswith("}"):
+            problems.append(f"line {i}: unterminated label set: {line!r}")
+    return problems
+
+
+def validate_jsonl(text: str, required_keys=()) -> List[str]:
+    """Check that every non-empty line is a JSON object carrying
+    ``required_keys``; returns a list of problems."""
+    problems: List[str] = []
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {i}: invalid JSON ({exc})")
+            continue
+        if not isinstance(obj, dict):
+            problems.append(f"line {i}: expected object, got {type(obj).__name__}")
+            continue
+        missing = [k for k in required_keys if k not in obj]
+        if missing:
+            problems.append(f"line {i}: missing keys {missing}")
+    return problems

@@ -1,0 +1,81 @@
+"""Incident forensics: reconstruct the why-was-this-blocked chain.
+
+Given an incident that carries a span id (stamped by the SOC
+correlator), walk the trace store back to the proxied request that
+started the chain and forward to every containment action the incident
+triggered.  This is what ``repro obs --incident <id>`` prints.
+
+Span names are the contract between the instrumented subsystems and
+this module:
+
+- ``proxy.request``  — the front-door request (root)
+- ``detector.hit``   — a monitor notice, parented to the request whose
+  ``X-Request-Id`` the backend leg carried
+- ``incident``       — the correlator's fold, parented to the first
+  notice
+- ``soc.action``     — playbook-driven containment, parented to the
+  incident (survives un-containment: re-containment actions parent to
+  the same incident span)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.trace import Span, Tracer
+
+__all__ = ["incident_chain", "chain_stages", "describe_chain", "STAGE_NAMES"]
+
+#: Span-name → human stage label, in causal order.
+STAGE_NAMES = (
+    ("proxy.request", "request"),
+    ("detector.hit", "detector"),
+    ("incident", "incident"),
+    ("soc.action", "action"),
+)
+_STAGE_BY_SPAN = dict(STAGE_NAMES)
+
+
+def incident_chain(tracer: Tracer, incident_span_id: str) -> List[Span]:
+    """The full causal chain of one incident, root-first: the ancestor
+    walk (request → detector → incident) plus every action span parented
+    to the incident, in firing order."""
+    chain = tracer.chain(incident_span_id)
+    if not chain:
+        return []
+    actions = sorted(tracer.children(incident_span_id),
+                     key=lambda s: (s.start, s.span_id))
+    return chain + actions
+
+
+def chain_stages(spans: Sequence[Span]) -> List[str]:
+    """Which causal stages the chain covers, in order."""
+    present = {s.name for s in spans}
+    return [label for name, label in STAGE_NAMES if name in present]
+
+
+def describe_chain(spans: Sequence[Span]) -> List[str]:
+    """Render a chain as indented, timestamped lines."""
+    lines: List[str] = []
+    depth: Dict[str, int] = {}
+    for span in spans:
+        d = depth.get(span.parent_id, -1) + 1 if span.parent_id else 0
+        depth[span.span_id] = d
+        stage = _STAGE_BY_SPAN.get(span.name, span.name)
+        attrs = " ".join(f"{k}={_short(v)}" for k, v in sorted(span.attrs.items()))
+        lines.append(f"{span.start:9.2f}s  {'  ' * d}{stage:<9s} "
+                     f"[{span.span_id}] {attrs}".rstrip())
+    return lines
+
+
+def _short(value: object, limit: int = 60) -> str:
+    text = str(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def find_incident_span(tracer: Tracer, incident_id: str) -> Optional[Span]:
+    """Locate an incident span by its ``INC-%04d`` id attribute."""
+    for span in tracer.spans():
+        if span.name == "incident" and span.attrs.get("incident_id") == incident_id:
+            return span
+    return None

@@ -1,0 +1,294 @@
+"""Labeled metrics: counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` is shared by everything a single
+``WorldBuilder.build`` produces — proxy shards, monitors, spawner,
+culler, SOC controller, adversary runner — so a fleet-wide scrape is
+one call, not a tour of five private stat objects.
+
+Two design rules keep the hot paths honest:
+
+- **Null objects, not branches.**  A disabled registry hands out one
+  shared :data:`NULL_INSTRUMENT` whose methods do nothing, so
+  instrumented code never tests an ``enabled`` flag per event and the
+  disabled cost is a no-op method call at worst (usually zero, because
+  integration points also keep a cached ``enabled`` boolean and skip
+  the call entirely).
+- **Collect at scrape, not at increment.**  Existing per-subsystem
+  counters (``ProxyStats``, ``MonitorHealth``, SOC totals) stay plain
+  ``int`` attributes on their owners; the owners register *collectors* —
+  callbacks run by :meth:`MetricsRegistry.collect` that copy the live
+  values into registry instruments.  The steady-state request path pays
+  nothing for metrics that can be derived at scrape time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricSample",
+    "NULL_INSTRUMENT",
+    "DEFAULT_BUCKETS",
+]
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets, in seconds — tuned for sim-time latencies
+#: (sub-millisecond link hops up to multi-minute containment leadtimes).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0)
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in for every instrument of a disabled
+    registry.  ``labels()`` returns itself so call chains stay valid."""
+
+    __slots__ = ()
+
+    def labels(self, **_kv: str) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class Counter:
+    """A monotonically increasing value.  ``set()`` exists for
+    scrape-time adapters that mirror an externally-owned total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        # Adapters copy a live total; never step a counter backwards.
+        if value > self.value:
+            self.value = value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative bucket counts, sum, count."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +Inf tail
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class MetricFamily:
+    """A named metric plus its labeled children.
+
+    ``labels(**kv)`` returns the child for one label combination,
+    creating it on first use; an unlabeled family has exactly one child
+    (the empty label set) and the family itself proxies ``inc``/``set``/
+    ``observe`` to it for convenience.
+    """
+
+    __slots__ = ("name", "help", "type", "labelnames", "buckets", "_children")
+
+    def __init__(self, name: str, help_text: str, metric_type: str,
+                 labelnames: Tuple[str, ...],
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.help = help_text
+        self.type = metric_type
+        self.labelnames = labelnames
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _make(self) -> object:
+        if self.type == "counter":
+            return Counter()
+        if self.type == "gauge":
+            return Gauge()
+        return Histogram(self.buckets or DEFAULT_BUCKETS)
+
+    def labels(self, **kv: object):
+        values = tuple(str(kv[name]) for name in self.labelnames)
+        child = self._children.get(values)
+        if child is None:
+            if set(kv) != set(self.labelnames):
+                raise ValueError(
+                    f"metric {self.name!r} takes labels {self.labelnames}, "
+                    f"got {tuple(sorted(kv))}")
+            child = self._children[values] = self._make()
+        return child
+
+    # Unlabeled convenience: family acts as its own single child.
+    def _default(self):
+        child = self._children.get(())
+        if child is None:
+            child = self._children[()] = self._make()
+        return child
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def samples(self) -> List["MetricSample"]:
+        out: List[MetricSample] = []
+        for values, child in sorted(self._children.items()):
+            pairs: LabelPairs = tuple(zip(self.labelnames, values))
+            if isinstance(child, Histogram):
+                running = 0
+                for bound, n in zip(child.buckets, child.counts):
+                    running += n
+                    out.append(MetricSample(
+                        f"{self.name}_bucket", pairs + (("le", _fmt(bound)),),
+                        float(running)))
+                out.append(MetricSample(
+                    f"{self.name}_bucket", pairs + (("le", "+Inf"),),
+                    float(child.count)))
+                out.append(MetricSample(f"{self.name}_sum", pairs, child.sum))
+                out.append(MetricSample(
+                    f"{self.name}_count", pairs, float(child.count)))
+            else:
+                out.append(MetricSample(self.name, pairs, child.value))
+        return out
+
+
+def _fmt(v: float) -> str:
+    return repr(int(v)) if float(v).is_integer() else repr(v)
+
+
+class MetricSample:
+    """One ``(name, labels, value)`` scrape row."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelPairs, value: float) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lbl = ",".join(f"{k}={v!r}" for k, v in self.labels)
+        return f"MetricSample({self.name}{{{lbl}}} {self.value})"
+
+
+class MetricsRegistry:
+    """Registry of metric families plus scrape-time collectors.
+
+    Family registration is get-or-create: several proxy shards can each
+    ask for ``proxy_requests_total`` and share one family (their samples
+    diverge by label).  Re-registering a name with a different type or
+    label set is an error — silent schema drift is how dashboards rot.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # -- family registration ------------------------------------------
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()):
+        return self._family(name, help_text, "counter", labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()):
+        return self._family(name, help_text, "gauge", labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None):
+        return self._family(name, help_text, "histogram", labels,
+                            buckets=buckets or DEFAULT_BUCKETS)
+
+    def _family(self, name: str, help_text: str, metric_type: str,
+                labels: Sequence[str],
+                buckets: Optional[Sequence[float]] = None):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.type != metric_type or existing.labelnames != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.type} "
+                    f"with labels {existing.labelnames}")
+            return existing
+        fam = MetricFamily(name, help_text, metric_type, tuple(labels),
+                           buckets=buckets)
+        self._families[name] = fam
+        return fam
+
+    # -- scrape -------------------------------------------------------
+
+    def register_collector(self, fn: Callable[[], None]) -> None:
+        """Register a scrape-time callback that copies live subsystem
+        counters into registry instruments.  No-op when disabled."""
+        if self.enabled:
+            self._collectors.append(fn)
+
+    def collect(self) -> List[MetricSample]:
+        """Run collectors, then snapshot every family's samples."""
+        if not self.enabled:
+            return []
+        for fn in self._collectors:
+            fn()
+        out: List[MetricSample] = []
+        for name in sorted(self._families):
+            out.extend(self._families[name].samples())
+        return out
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)

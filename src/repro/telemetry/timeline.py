@@ -1,0 +1,114 @@
+"""Bounded event timeline with monotonic sim-clock timestamps.
+
+The timeline is the narrative complement to the metrics registry: where
+a counter says *how many* requests were blocked, the timeline says
+*which* ones, *when*, and — via the optional trace context stamped on
+each event — *why*.  It is a ring buffer (``deque(maxlen=...)``) so a
+week-long fleet run cannot grow it without bound; ``dropped`` counts
+what fell off the back, because a forensics tool must know whether it
+is looking at the whole story or a suffix.
+
+All builds of one world share a single timeline, so the fleet view is
+free: a sharded hub's proxies, monitors, and SOC all append to the same
+ring in sim-time order.  :func:`merge_timelines` exists for the
+multi-world case (A/B duels, tournament brackets).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence
+
+from repro.telemetry.trace import TraceContext
+
+__all__ = ["TimelineEvent", "EventTimeline", "merge_timelines"]
+
+
+class TimelineEvent:
+    """One timestamped fact.  ``kind`` is dotted ``layer.what``
+    (``proxy.blocked``, ``detector.notice``, ``soc.action``...)."""
+
+    __slots__ = ("ts", "kind", "source", "trace_id", "span_id", "detail")
+
+    def __init__(self, ts: float, kind: str, source: str = "",
+                 trace_id: str = "", span_id: str = "",
+                 detail: Optional[Dict[str, object]] = None) -> None:
+        self.ts = ts
+        self.kind = kind
+        self.source = source
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.detail = detail if detail is not None else {}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ts": self.ts,
+            "kind": self.kind,
+            "source": self.source,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "detail": dict(self.detail),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimelineEvent({self.ts:.3f}s {self.kind} src={self.source!r})"
+
+
+class EventTimeline:
+    """Ring buffer of :class:`TimelineEvent`, oldest evicted first."""
+
+    def __init__(self, *, enabled: bool = True, capacity: int = 4096) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.total_recorded = 0
+        self._events: Deque[TimelineEvent] = deque(maxlen=capacity)
+
+    def record(self, ts: float, kind: str, *, source: str = "",
+               ctx: Optional[TraceContext] = None, **detail: object) -> None:
+        if not self.enabled:
+            return
+        self.total_recorded += 1
+        self._events.append(TimelineEvent(
+            ts, kind, source,
+            ctx.trace_id if ctx is not None else "",
+            ctx.span_id if ctx is not None else "",
+            detail or None))
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring so far."""
+        return self.total_recorded - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, kinds: Optional[Sequence[str]] = None,
+               *, source: Optional[str] = None,
+               trace_id: Optional[str] = None) -> List[TimelineEvent]:
+        """Snapshot, optionally filtered by kind prefix / source / trace."""
+        out: Iterable[TimelineEvent] = list(self._events)
+        if kinds is not None:
+            wanted = tuple(kinds)
+            out = [e for e in out if e.kind.startswith(wanted)]
+        if source is not None:
+            out = [e for e in out if e.source == source]
+        if trace_id is not None:
+            out = [e for e in out if e.trace_id == trace_id]
+        return list(out)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [e.to_dict() for e in self._events]
+
+
+def merge_timelines(*timelines: EventTimeline) -> List[TimelineEvent]:
+    """Merge several timelines into one sim-time-ordered list.
+
+    The sort is stable, so events with equal timestamps keep their
+    per-timeline relative order — the same tie-break the event loop
+    itself uses for simultaneous deliveries.
+    """
+    merged: List[TimelineEvent] = []
+    for tl in timelines:
+        merged.extend(tl.events())
+    merged.sort(key=lambda e: e.ts)
+    return merged

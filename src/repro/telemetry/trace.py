@@ -1,0 +1,193 @@
+"""Causal trace spans: request → decode → detector → incident → action.
+
+A :class:`TraceContext` is the pair ``(trace_id, span_id)`` that travels
+with a unit of work.  The proxy opens a root span per proxied request
+and *binds* it to the request id it injects as ``X-Request-Id``; the
+monitor resolves that binding when the backend leg crosses a tap, so a
+detector hit deep inside a WS/ZMTP stream can parent its span to the
+exact front-door request that carried the payload.  The SOC parents
+incident spans to the first correlated notice and action spans to their
+incident, which is what lets ``repro obs --incident`` answer
+"why was this source blocked" with a complete chain.
+
+Span ids come from a private :class:`~repro.util.ids.IdSequence`, not
+the module-level ``new_id`` stream — tracing must not perturb the
+deterministic ids handed to kernels and messages, or enabling telemetry
+would change the simulated traffic itself.
+
+The span store is a bounded ring (an ``OrderedDict`` evicting oldest):
+long fleet runs keep the most recent ``capacity`` spans, and
+:attr:`Tracer.dropped` says how many fell off the back.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.util.ids import IdSequence
+
+__all__ = ["TraceContext", "Span", "Tracer", "NULL_SPAN"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one causal chain member."""
+
+    trace_id: str = ""
+    span_id: str = ""
+
+    def __bool__(self) -> bool:
+        return bool(self.span_id)
+
+
+EMPTY_CONTEXT = TraceContext()
+
+
+@dataclass(slots=True)
+class Span:
+    """One recorded operation inside a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str
+    name: str
+    start: float
+    end: Optional[float] = None
+    status: str = "ok"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ctx(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+    def finish(self, ts: Optional[float] = None, *, status: str = "ok") -> None:
+        self.end = ts if ts is not None else self.start
+        self.status = status
+
+    def set_attrs(self, **kv: object) -> None:
+        self.attrs.update(kv)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Returned by a disabled tracer; absorbs the whole Span API."""
+
+    __slots__ = ()
+    ctx = EMPTY_CONTEXT
+    trace_id = ""
+    span_id = ""
+    parent_id = ""
+
+    def finish(self, ts: Optional[float] = None, *, status: str = "ok") -> None:
+        pass
+
+    def set_attrs(self, **kv: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Bounded span store plus the request-id binding table.
+
+    ``bind``/``resolve`` is the cross-component join: the proxy binds
+    the request id it stamped on the rewritten backend request, and the
+    monitor — a separate component observing bytes on a tap — resolves
+    the same id back to a live context.  Bindings are bounded the same
+    way spans are.
+    """
+
+    def __init__(self, *, enabled: bool = True, capacity: int = 8192,
+                 binding_capacity: int = 4096) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.binding_capacity = binding_capacity
+        self.dropped = 0
+        self._spans: "OrderedDict[str, Span]" = OrderedDict()
+        self._bindings: "OrderedDict[str, TraceContext]" = OrderedDict()
+        self._ids = IdSequence("S")
+        self._trace_ids = IdSequence("T")
+
+    # -- spans --------------------------------------------------------
+
+    def start_span(self, name: str, *, parent: Optional[TraceContext] = None,
+                   ts: float = 0.0, **attrs: object):
+        """Open (and store) a span.  With a live ``parent`` the span
+        joins that trace; otherwise it roots a new one."""
+        if not self.enabled:
+            return NULL_SPAN
+        span_id = self._ids.next()
+        if parent is not None and parent.span_id:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = self._trace_ids.next(), ""
+        span = Span(trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+                    name=name, start=ts, attrs=dict(attrs))
+        self._spans[span_id] = span
+        if len(self._spans) > self.capacity:
+            self._spans.popitem(last=False)
+            self.dropped += 1
+        return span
+
+    def get(self, span_id: str) -> Optional[Span]:
+        return self._spans.get(span_id)
+
+    def spans(self) -> List[Span]:
+        return list(self._spans.values())
+
+    def children(self, span_id: str) -> List[Span]:
+        return [s for s in self._spans.values() if s.parent_id == span_id]
+
+    def chain(self, span_id: str) -> List[Span]:
+        """Walk parent links from ``span_id`` to its root; returns the
+        chain root-first.  Stops cleanly at evicted ancestors."""
+        out: List[Span] = []
+        seen: set = set()
+        cur = self._spans.get(span_id)
+        while cur is not None and cur.span_id not in seen:
+            seen.add(cur.span_id)
+            out.append(cur)
+            cur = self._spans.get(cur.parent_id) if cur.parent_id else None
+        out.reverse()
+        return out
+
+    def trace(self, trace_id: str) -> List[Span]:
+        """Every retained span of one trace, in start order."""
+        return sorted((s for s in self._spans.values()
+                       if s.trace_id == trace_id),
+                      key=lambda s: (s.start, s.span_id))
+
+    # -- request-id bindings ------------------------------------------
+
+    def bind(self, key: str, ctx: TraceContext) -> None:
+        """Associate an externally visible id (e.g. an ``X-Request-Id``
+        header value) with a context, for later :meth:`resolve`."""
+        if not self.enabled or not key:
+            return
+        self._bindings[key] = ctx
+        self._bindings.move_to_end(key)
+        if len(self._bindings) > self.binding_capacity:
+            self._bindings.popitem(last=False)
+
+    def resolve(self, key: str) -> Optional[TraceContext]:
+        return self._bindings.get(key)
+
+    # -- export -------------------------------------------------------
+
+    def to_dicts(self) -> Iterable[Dict[str, object]]:
+        for span in self._spans.values():
+            yield span.to_dict()

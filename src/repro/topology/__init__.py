@@ -64,6 +64,7 @@ from repro.topology.spec import (
     ShardSpec,
     SinkSpec,
     TapSpec,
+    TelemetrySpec,
     WorldSpec,
 )
 
@@ -79,6 +80,7 @@ __all__ = [
     "ShardSpec",
     "DecoyTenantSpec",
     "HubSpec",
+    "TelemetrySpec",
     "HubShard",
     "ShardedHubScenario",
     "HoneypotHubScenario",

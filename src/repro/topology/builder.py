@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from repro.monitor import JupyterNetworkMonitor
 from repro.server import JupyterServer, ServerConfig, ServerGateway
 from repro.simnet import Host, Network
+from repro.telemetry import Telemetry
 from repro.topology.fleet import (
     FleetMonitorView,
     HoneypotHubScenario,
@@ -54,6 +55,15 @@ class WorldBuilder:
         return self._build_hub(spec)
 
     # -- shared pieces --------------------------------------------------------
+    def _telemetry(self, spec: WorldSpec) -> Telemetry:
+        """One shared measurement plane per build (registry + tracer +
+        timeline); every subsystem below receives this same instance."""
+        ts = spec.telemetry
+        if not ts.enabled:
+            return Telemetry.disabled()
+        return Telemetry(enabled=True, span_capacity=ts.span_capacity,
+                         timeline_capacity=ts.timeline_capacity)
+
     def _tune_monitor(self, spec: WorldSpec, monitor: JupyterNetworkMonitor) -> None:
         """Apply the spec's scale-model detector calibration (DESIGN.md)."""
         ms = spec.monitor
@@ -113,7 +123,8 @@ class WorldBuilder:
         controller = ResponseController(
             loop=scenario.network.loop, monitor=scenario.monitor,
             proxies=proxies, users=users, spawner=spawner, policy=policy,
-            internal_prefix=getattr(scenario.monitor, "internal_prefix", "10."))
+            internal_prefix=getattr(scenario.monitor, "internal_prefix", "10."),
+            telemetry=getattr(scenario, "telemetry", None))
         fleet = getattr(scenario, "fleet", None)
         if fleet is not None:
             controller.adopt_fleet(fleet)
@@ -133,6 +144,7 @@ class WorldBuilder:
         tap = net.add_tap(spec.server.tap.name,
                           only_ips=spec.server.tap.only_ips or None)
 
+        telemetry = self._telemetry(spec)
         cfg = spec.server.config or ServerConfig(ip="0.0.0.0", token="unit-test-token")
         server = JupyterServer(cfg, net, server_host)
         gateway = ServerGateway(server)
@@ -140,6 +152,7 @@ class WorldBuilder:
             depth=spec.monitor.depth,
             budget_events_per_second=spec.monitor.budget_events_per_second,
             session_key=cfg.session_key if spec.monitor.has_session_key else b"",
+            telemetry=telemetry, name=spec.server.tap.name,
         )
         self._tune_monitor(spec, monitor)
         monitor.attach(tap)
@@ -150,6 +163,7 @@ class WorldBuilder:
             server_host=server_host, user_host=user_host, attacker_host=attacker_host,
             exfil_sink=sinks["exfil_sink"], mining_pool=sinks["mining_pool"],
             token=cfg.token, rng=rng, sinks=sinks, spec=spec,
+            telemetry=telemetry,
         )
         self._apply_links(spec, net)
         if spec.seed_data:
@@ -194,9 +208,11 @@ class WorldBuilder:
             api_token="hub-admin-token", max_servers=max(hub.n_tenants + 8, 64))
         base_cfg = hub.server_config or ServerConfig(ip="0.0.0.0", token="")
 
+        telemetry = self._telemetry(spec)
         users = HubUserDirectory(hub_cfg, net.loop.clock, rng=rng.child("hub-tokens"))
-        spawner = Spawner(net, nodes, base_cfg, hub_cfg)
-        proxies = [ReverseProxy(net, host, users, hub_cfg, spawner=spawner)
+        spawner = Spawner(net, nodes, base_cfg, hub_cfg, telemetry=telemetry)
+        proxies = [ReverseProxy(net, host, users, hub_cfg, spawner=spawner,
+                                telemetry=telemetry)
                    for host in shard_hosts]
         for proxy in proxies:
             spawner.on_spawn.append(lambda s, p=proxy: p.add_route(s))
@@ -212,7 +228,7 @@ class WorldBuilder:
                             interval=hub_cfg.cull_interval,
                             idle_timeout=hub_cfg.cull_idle_timeout,
                             enabled=hub_cfg.culling_enabled,
-                            proxies=proxies)
+                            proxies=proxies, telemetry=telemetry)
 
         infrastructure = {h.ip for h in shard_hosts}
         monitors = []
@@ -220,7 +236,8 @@ class WorldBuilder:
             monitor = JupyterNetworkMonitor(
                 depth=spec.monitor.depth,
                 budget_events_per_second=spec.monitor.budget_events_per_second,
-                infrastructure_ips=set(infrastructure))
+                infrastructure_ips=set(infrastructure),
+                telemetry=telemetry, name=tap.name)
             self._tune_monitor(spec, monitor)
             monitor.attach(tap)
             monitors.append(monitor)
@@ -245,6 +262,7 @@ class WorldBuilder:
             token=users.users[names[0]].token, rng=rng, sinks=sinks, spec=spec,
             proxy=proxies[0], spawner=spawner, culler=culler,
             hub=users, hub_config=hub_cfg, tenant_names=list(names),
+            telemetry=telemetry,
         )
 
         ring = (ConsistentHashRing([s.name for s in shard_specs])
@@ -268,7 +286,7 @@ class WorldBuilder:
             shards = [HubShard(name=s.name, host=h, proxy=p, tap=t, monitor=m)
                       for s, h, p, t, m in zip(shard_specs, shard_hosts,
                                                proxies, taps, monitors)]
-            fleet_view = FleetMonitorView(monitors)
+            fleet_view = FleetMonitorView(monitors, telemetry=telemetry)
             if decoy_parts is not None:
                 scenario: HubScenario = ShardedHoneypotHubScenario(
                     monitor=fleet_view, shards=shards, ring=ring,

@@ -117,7 +117,10 @@ class FleetMonitorView:
     """
 
     def __init__(self, monitors: List[JupyterNetworkMonitor], *,
-                 sweep_window: float = 120.0, sweep_max_tenants: int = 3):
+                 sweep_window: float = 120.0, sweep_max_tenants: int = 3,
+                 telemetry=None):
+        from repro.telemetry import Telemetry
+
         if not monitors:
             raise ValueError("a fleet view needs at least one monitor")
         self.monitors = list(monitors)
@@ -127,6 +130,14 @@ class FleetMonitorView:
         self.fleet_notices: List[Notice] = []
         self._fed = [0] * len(self.monitors)
         self.logs = FleetLogView(self)
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self._tele_on = self.telemetry.enabled
+        if self._tele_on:
+            notices = self.telemetry.registry.counter(
+                "fleet_notices_total",
+                "Fleet-level (cross-shard) notices emitted")
+            self.telemetry.registry.register_collector(
+                lambda: notices.set(len(self.fleet_notices)))
 
     @property
     def primary(self) -> JupyterNetworkMonitor:
@@ -156,8 +167,30 @@ class FleetMonitorView:
             for rec in records[self._fed[i]:]:
                 notice = self.fleet_sweep.observe_request(rec.ts, rec.src, rec.path)
                 if notice is not None:
+                    if self._tele_on:
+                        self._stamp_fleet_notice(notice)
                     self.fleet_notices.append(notice)
             self._fed[i] = len(records)
+
+    def _stamp_fleet_notice(self, notice: Notice) -> None:
+        """Give a fleet-level notice the same ``detector.hit`` trace
+        identity a shard notice gets, parented to the sweeping source's
+        request context on whichever shard last saw it."""
+        ctx = None
+        for monitor in self.monitors:
+            hit = monitor._src_ctx.get(notice.src)
+            if hit is not None:
+                ctx = hit
+        span = self.telemetry.tracer.start_span(
+            "detector.hit", parent=ctx, ts=notice.ts,
+            detector=notice.detector, notice=notice.name,
+            severity=notice.severity, src=notice.src, monitor="fleet")
+        span.finish(notice.ts)
+        notice.trace_id = span.trace_id
+        notice.span_id = span.span_id
+        self.telemetry.timeline.record(
+            notice.ts, "detector.notice", source=notice.src, ctx=span.ctx,
+            name=notice.name, severity=notice.severity, monitor="fleet")
 
     # -- feed-in hooks (kernel auditor, terminals) ----------------------------
     def observe_file_write(self, ts: float, path: str, content: bytes, *,

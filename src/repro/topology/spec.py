@@ -152,6 +152,22 @@ class HubSpec:
 
 
 @dataclass(frozen=True)
+class TelemetrySpec:
+    """The world's measurement plane (see ``repro.telemetry``).
+
+    Enabled by default: the overhead budget (BENCH_OBS guards ≤5% at
+    full JUPYTER depth) is priced so every topology can afford it.
+    Capacities bound the span store and event timeline rings — raise
+    them for long fleet soaks, or set ``enabled=False`` to get the
+    shared null telemetry and pay nothing at all.
+    """
+
+    enabled: bool = True
+    span_capacity: int = 8192
+    timeline_capacity: int = 4096
+
+
+@dataclass(frozen=True)
 class WorldSpec:
     """The whole world, declaratively.  Exactly one of ``server``/``hub``."""
 
@@ -181,6 +197,9 @@ class WorldSpec:
     #: pre-compromised tenant credentials) on the compiled scenario —
     #: the "adaptive" topology variants the arms-race runner drives.
     adversary: Optional[AdversaryPolicy] = None
+    #: Measurement plane: one shared registry/tracer/timeline per build,
+    #: threaded through proxy, wire decoders, monitor, SOC, adversary.
+    telemetry: TelemetrySpec = TelemetrySpec()
 
     def __post_init__(self) -> None:
         if (self.server is None) == (self.hub is None):

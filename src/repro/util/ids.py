@@ -43,6 +43,26 @@ def short_id(prefix: str = "") -> str:
     return (prefix + new_id())[: len(prefix) + 8]
 
 
+class IdSequence:
+    """A private, stream-isolated id generator: ``prefix`` + 8-hex counter.
+
+    Consumers that must not perturb the shared ``new_id`` stream (the
+    telemetry tracer, most importantly — enabling tracing must not change
+    which ids the simulated traffic itself gets) hold their own sequence.
+    Ids are deterministic per instance: same call order, same ids.
+    """
+
+    __slots__ = ("prefix", "_n")
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self._n = 0
+
+    def next(self) -> str:
+        self._n += 1
+        return f"{self.prefix}{self._n:08x}"
+
+
 def new_token(nbytes: int = 24) -> str:
     """Return a cryptographically strong URL-safe token (real secrets).
 

@@ -274,7 +274,7 @@ class WebSocketDecoder:
     """
 
     def __init__(self, *, max_message_size: int = 64 * 1024 * 1024,
-                 collect_frames: bool = True):
+                 collect_frames: bool = True, counters=None):
         self._cursor = ByteCursor()
         self._fragments: List[bytes] = []
         self._fragment_opcode: Optional[Opcode] = None
@@ -287,6 +287,11 @@ class WebSocketDecoder:
         self._messages: List[Tuple[Opcode, bytes]] = []
         self.max_message_size = max_message_size
         self.bytes_consumed = 0
+        #: Optional telemetry hook (``DecoderCounters``), charged once
+        #: per drained batch.  ``None`` (the default) keeps the hot loop
+        #: free of telemetry entirely — one ``is None`` test per drain.
+        self._counters = counters
+        self._counted_bytes = 0
 
     def feed(self, data: bytes) -> None:
         cursor = self._cursor
@@ -376,4 +381,8 @@ class WebSocketDecoder:
     def messages(self) -> List[Tuple[Opcode, bytes]]:
         """Drain and return complete messages (control frames pass through)."""
         out, self._messages = self._messages, []
+        if self._counters is not None:
+            self._counters.on_drain(
+                len(out), self.bytes_consumed - self._counted_bytes)
+            self._counted_bytes = self.bytes_consumed
         return out

@@ -165,7 +165,7 @@ class ZmtpDecoder:
     """
 
     def __init__(self, *, max_frame_size: int = 64 * 1024 * 1024,
-                 collect_commands: bool = True):
+                 collect_commands: bool = True, counters=None):
         self._cursor = ByteCursor()
         self.greeting: Optional[dict] = None
         self._parts: List[bytes] = []
@@ -182,6 +182,10 @@ class ZmtpDecoder:
         #: bytes included, so per-layer counters add up to stream bytes.
         self.bytes_consumed = 0
         self._consumed = 0  # offset consumed by the last _parse_frames call
+        #: Optional telemetry hook (``DecoderCounters``), charged once
+        #: per drained batch — ``None`` keeps the hot loop telemetry-free.
+        self._counters = counters
+        self._counted_bytes = 0
 
     def feed(self, data: bytes) -> None:
         cursor = self._cursor
@@ -259,6 +263,10 @@ class ZmtpDecoder:
 
     def messages(self) -> List[List[bytes]]:
         out, self._messages = self._messages, []
+        if self._counters is not None:
+            self._counters.on_drain(
+                len(out), self.bytes_consumed - self._counted_bytes)
+            self._counted_bytes = self.bytes_consumed
         return out
 
     def commands(self) -> List[bytes]:

