@@ -62,13 +62,34 @@ class SignatureHarvester:
             return False
         return not any(rx.search(b) for b in self.benign_corpus)
 
+    @staticmethod
+    def _anchors_for(literal: str, pattern: str) -> tuple:
+        """Derive the anchor prefilter for an escaped-literal pattern.
+
+        The anchor contract (see :class:`Signature`) demands a literal
+        that MUST appear in any text the pattern can match.  For an
+        untruncated ``re.escape(literal)`` that is the literal itself;
+        for a truncated pattern, the longest literal prefix whose escape
+        still prefixes the pattern (a match necessarily begins with that
+        prefix).  Too-short anchors (< 6 chars) would gate nothing and
+        bloat the automaton, so such rules stay anchorless/naive.
+        """
+        if re.escape(literal) == pattern:
+            head = literal
+        else:
+            head = literal[:40]
+            while head and not pattern.startswith(re.escape(head)):
+                head = head[:-1]
+        return (head.lower(),) if len(head) >= 6 else ()
+
     def harvest(self, records: Iterable[InteractionRecord]) -> List[Signature]:
         """Produce deployable signatures from interactions."""
         records = list(records)
         signatures: List[Signature] = []
         seen_patterns: set[str] = set()
 
-        def add(pattern: str, description: str, avenue: Avenue, family: str, honeypot: str):
+        def add(literal: str, description: str, avenue: Avenue, family: str, honeypot: str):
+            pattern = re.escape(literal)[:200]
             if pattern in seen_patterns or not self._safe_against_benign(pattern):
                 return
             seen_patterns.add(pattern)
@@ -76,6 +97,7 @@ class SignatureHarvester:
                 sig_id=self._next_id(honeypot), description=description,
                 family=family, pattern=pattern, avenue=avenue,
                 source=f"honeypot:{honeypot}",
+                anchors=self._anchors_for(literal, pattern),
             ))
 
         # 1. Structurally hostile tokens: one observation suffices.
@@ -87,7 +109,7 @@ class SignatureHarvester:
                 if m:
                     family = "terminal" if rec.kind == "terminal" else (
                         "http-path" if rec.kind == "http" else "jupyter-code")
-                    add(re.escape(m.group(0))[:200],
+                    add(m.group(0),
                         f"harvested hostile token from {rec.honeypot}",
                         avenue, family, rec.honeypot)
 
@@ -105,7 +127,7 @@ class SignatureHarvester:
                 line_meta[line] = rec.honeypot
         for line, count in line_counts.items():
             if count >= self.min_recurrence:
-                add(re.escape(line)[:200],
+                add(line,
                     f"payload line recurred {count}x across honeypot sessions",
                     Avenue.ZERO_DAY, "jupyter-code", line_meta[line])
         return signatures

@@ -30,6 +30,10 @@ class Indicator:
     created: float
     valid_until: Optional[float] = None
     avenue: Optional[str] = None
+    #: Anchor literals travelling with the pattern so a subscribed
+    #: engine can fold the rule into its prefilter automaton (empty on
+    #: indicators from older feeds — ``from_json`` defaults it).
+    anchors: List[str] = field(default_factory=list)
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
@@ -49,6 +53,7 @@ class Indicator:
             source=sig.source,
             created=created,
             avenue=sig.avenue.value if sig.avenue else None,
+            anchors=list(sig.anchors),
         )
 
     def to_signature(self, family: str = "jupyter-code") -> Signature:
@@ -59,6 +64,7 @@ class Indicator:
             pattern=self.pattern,
             avenue=Avenue(self.avenue) if self.avenue else None,
             source=f"intel:{self.source}",
+            anchors=tuple(self.anchors),
         )
 
 

@@ -1,0 +1,152 @@
+"""Aho–Corasick multi-pattern automaton for signature anchors.
+
+The signature engine's prefilter question is "which of these K literal
+anchors occur in this text?" — asked once per scanned record, where K
+grows as honeypots harvest rules at runtime.  A per-anchor substring
+loop answers it in O(K·n); the classic Aho–Corasick automaton answers
+it in one O(n) pass regardless of K, and — unlike a non-overlapping
+regex alternation ``finditer`` — reports *every* anchor present, even
+anchors that overlap another match (``bitcoin``/``coin``), which is
+what makes it a sound candidate filter.
+
+The automaton is byte-level and lowercase-folded: patterns are stored
+as ``pattern.lower().encode("utf-8")`` and callers scan
+``text.lower().encode("utf-8")``, so a hit corresponds exactly to the
+``anchor in text.lower()`` test the naive prefilter used (UTF-8 is
+self-synchronizing, so byte-substring hits are character-substring
+hits).
+
+Construction is *incremental*: :meth:`add` extends the goto trie in
+place and only marks the failure links dirty; the BFS recompute runs
+lazily on the next :meth:`search`.  That is what lets threat-intel
+feeds install harvested signatures mid-stream without a stop-the-world
+rebuild of anything but one automaton's link table.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+
+class AhoCorasick:
+    """Multi-pattern matcher mapping each pattern to a caller value.
+
+    Values are arbitrary hashables (the signature engine uses catalogue
+    positions); :meth:`search` returns the set of values whose pattern
+    occurs anywhere in the input.
+    """
+
+    __slots__ = ("_goto", "_own", "_out", "_fail", "_dirty", "_patterns")
+
+    def __init__(self, items: Iterable[Tuple[str, Hashable]] = ()) -> None:
+        # Node 0 is the root.  _own holds values terminating at a node;
+        # _out is the BFS-propagated closure (own ∪ out[fail]).
+        self._goto: List[Dict[int, int]] = [{}]
+        self._own: List[Tuple[Hashable, ...]] = [()]
+        self._out: List[Tuple[Hashable, ...]] = [()]
+        self._fail: List[int] = [0]
+        self._dirty = False
+        self._patterns: Dict[bytes, None] = {}
+        for pattern, value in items:
+            self.add(pattern, value)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def add(self, pattern: str, value: Hashable) -> None:
+        """Install ``pattern`` (case-folded) mapping to ``value``.
+
+        Extends the trie incrementally; failure links are recomputed
+        lazily on the next search.
+        """
+        data = pattern.lower().encode("utf-8")
+        if not data:
+            return
+        self._patterns[data] = None
+        goto = self._goto
+        node = 0
+        for b in data:
+            nxt = goto[node].get(b)
+            if nxt is None:
+                goto.append({})
+                self._own.append(())
+                self._out.append(())
+                self._fail.append(0)
+                nxt = len(goto) - 1
+                goto[node][b] = nxt
+            node = nxt
+        if value not in self._own[node]:
+            self._own[node] = self._own[node] + (value,)
+        self._dirty = True
+
+    def _build(self) -> None:
+        """BFS failure-link and output-closure recompute (Aho–Corasick
+        construction, goto kept sparse)."""
+        goto = self._goto
+        own = self._own
+        out = self._out
+        fail = self._fail
+        queue = deque()
+        for child in goto[0].values():
+            fail[child] = 0
+            out[child] = own[child]
+            queue.append(child)
+        while queue:
+            node = queue.popleft()
+            node_goto = goto[node]
+            for b, child in node_goto.items():
+                f = fail[node]
+                while f and b not in goto[f]:
+                    f = fail[f]
+                linked = goto[f].get(b, 0)
+                if linked == child:  # depth-1 self-reference guard
+                    linked = 0
+                fail[child] = linked
+                out[child] = own[child] + out[linked] if out[linked] else own[child]
+                queue.append(child)
+        self._dirty = False
+
+    def search(self, data: bytes) -> Set[Hashable]:
+        """All values whose (folded) pattern occurs in ``data``.
+
+        ``data`` must already be lowercase-folded bytes
+        (``text.lower().encode("utf-8")``).
+        """
+        if self._dirty:
+            self._build()
+        goto = self._goto
+        fail = self._fail
+        out = self._out
+        node = 0
+        found: Set[Hashable] = set()
+        for b in data:
+            nxt = goto[node].get(b)
+            while nxt is None and node:
+                node = fail[node]
+                nxt = goto[node].get(b)
+            if nxt is not None:
+                node = nxt
+                o = out[node]
+                if o:
+                    found.update(o)
+        return found
+
+    def contains_any(self, data: bytes) -> bool:
+        """Cheaper early-exit variant of :meth:`search`."""
+        if self._dirty:
+            self._build()
+        goto = self._goto
+        fail = self._fail
+        out = self._out
+        node = 0
+        for b in data:
+            nxt = goto[node].get(b)
+            while nxt is None and node:
+                node = fail[node]
+                nxt = goto[node].get(b)
+            if nxt is not None:
+                node = nxt
+                if out[node]:
+                    return True
+        return False

@@ -44,11 +44,16 @@ from repro.monitor.logs import (
 from repro.monitor.signatures import SignatureEngine
 from repro.simnet import NetworkTap, Segment
 from repro.taxonomy.oscrp import Avenue
-from repro.util.entropy import shannon_entropy
 from repro.util.errors import ProtocolError
 from repro.wire.buffer import ByteCursor
 from repro.wire.http import parse_request_from, parse_response_from
-from repro.wire.jupyter import LazyJupyterMessage, _json_decode
+from repro.wire.jupyter import (
+    SPAN_SCAN_THRESHOLD,
+    LazyJupyterMessage,
+    _json_decode,
+    probe_ws_canonical,
+    probe_zmtp_header,
+)
 from repro.wire.websocket import Opcode, WebSocketDecoder
 from repro.wire.zmtp import SIGNATURE_PREFIX, ZmtpDecoder
 
@@ -127,6 +132,10 @@ _MSG_CONTENT_SCANNED = 4
 #: messages of slack is far more than any tap needs.
 _MSG_DEDUPE_CAP = 8192
 
+#: Jupyter wire-protocol multipart delimiter between routing identities
+#: and the signed message frames.
+_ZMTP_DELIM = b"<IDS|MSG>"
+
 
 class JupyterNetworkMonitor:
     """The paper's proposed network monitoring tool."""
@@ -169,6 +178,12 @@ class JupyterNetworkMonitor:
         self.health = MonitorHealth()
         self.budget = budget_events_per_second
         self.internal_prefix = internal_prefix
+        # Depth gates as plain bools: IntEnum rich comparison costs
+        # ~200 ns, which the per-segment paths cannot afford.
+        self._depth_http = depth >= AnalyzerDepth.HTTP
+        self._depth_ws = depth >= AnalyzerDepth.WEBSOCKET
+        self._depth_zmtp = depth >= AnalyzerDepth.ZMTP
+        self._depth_jup = depth >= AnalyzerDepth.JUPYTER
         self._budget_bucket: Tuple[int, int] = (0, 0)  # (second, events)
         self._conns: Dict[str, ConnRecord] = {}
         self._dirstate: Dict[Tuple[str, str], _DirState] = {}
@@ -178,7 +193,21 @@ class JupyterNetworkMonitor:
         #: are recognized by header msg_id and skip the content JSON
         #: parse and detector fan-out (hit rate in ``health``).
         self.dedupe_msg_ids = dedupe_msg_ids
-        self._seen_msg_ids: "OrderedDict[str, int]" = OrderedDict()
+        self._seen_msg_ids: Dict[str, int] = {}
+        #: Pre-bound hot-path targets (all constructor-stable objects),
+        #: loaded with one attribute walk + tuple unpack per drained
+        #: message batch instead of half a dozen walks each.
+        self._hot = (
+            self.logs.websocket.append, self.logs.zmtp.append,
+            self.logs.jupyter.append, self.logs.weird.append,
+            self._seen_msg_ids, self.signatures.scan_jupyter, self.health,
+        )
+        # Slab-reused scratch lists for the non-canonical WS analysis
+        # path: drained into the log store after every use, so the slow
+        # path allocates no per-call list objects either.
+        self._scratch_records: List[JupyterMsgRecord] = []
+        self._scratch_notices: List[Notice] = []
+        self._scratch_weird: List[WeirdRecord] = []
         #: (src, dst) -> "is internal→external" cache for the byte-level
         #: detector gate (all three share it; see :meth:`on_segment`).
         self._egress_flows: Dict[Tuple[str, str], bool] = {}
@@ -298,10 +327,87 @@ class JupyterNetworkMonitor:
 
     # -- segment intake ----------------------------------------------------------------
     def on_segment(self, seg: Segment) -> None:
-        intake = self._intake(seg)
-        if intake is not None:
-            conn, orig = intake
-            self._analyze(seg, conn, orig)
+        """Live per-segment path, fused: intake bookkeeping and protocol
+        dispatch in one frame.  Semantically identical to
+        ``_intake`` + ``_analyze_data`` (the batched-replay decomposition,
+        whose parity the BENCH-WIRE batched test asserts); the fusion
+        exists because at trace rates the two extra Python calls and the
+        intermediate tuple were a measurable share of per-segment cost."""
+        ts = seg.ts
+        payload = seg.payload
+        size = len(payload)
+        health = self.health
+        health.segments_seen += 1
+        health.bytes_seen += size
+        if self.budget > 0 and self._over_budget(ts):
+            health.segments_dropped += 1
+            return
+        src = seg.src
+        dst = seg.dst
+        key = seg.conn_id or f"{src}:{seg.sport}->{dst}:{seg.dport}"
+        conn = self._conns.get(key)
+        if conn is None:
+            conn = ConnRecord(ts, key, src, seg.sport, dst, seg.dport)
+            self._conns[key] = conn
+            self.logs.conn.append(conn)
+        flags = seg.flags
+        if flags:
+            if flags == "R":
+                conn.service = conn.service or "rejected"
+                return
+            if flags == "S":
+                self._note(self.scan.observe_probe(ts, src, dst, seg.dport))
+                return
+            if flags == "F":
+                conn.closed = True
+                conn.duration = ts - conn.ts
+                return
+        if src == conn.src and seg.sport == conn.sport:
+            orig = True
+            conn.bytes_orig += size
+        else:
+            orig = False
+            conn.bytes_resp += size
+        flow = (src, dst)
+        is_egress = self._egress_flows.get(flow)
+        if is_egress is None:
+            prefix = self.internal_prefix
+            is_egress = src.startswith(prefix) and not dst.startswith(prefix)
+            self._egress_flows[flow] = is_egress
+        if is_egress:
+            # Inline the None-check so quiet egress traffic (the common
+            # case) costs three detector calls and no _note dispatch.
+            n = self.egress.observe_bytes(ts, src, dst, size)
+            if n is not None:
+                self._note(n)
+            n = self.cusum.observe_bytes(ts, src, dst, size)
+            if n is not None:
+                self._note(n)
+            n = self.beacon.observe_send(ts, src, dst, size)
+            if n is not None:
+                self._note(n)
+        if not size or not self._depth_http:
+            return
+        dkey = (conn.uid, orig)
+        state = self._dirstate.get(dkey)
+        if state is None:
+            state = _DirState()
+            self._dirstate[dkey] = state
+        try:
+            protocol = state.protocol
+            if protocol == "websocket":
+                if self._depth_ws:
+                    self._feed_ws(ts, conn, orig, state, payload)
+            elif protocol == "zmtp":
+                if self._depth_zmtp:
+                    self._feed_zmtp(ts, conn, orig, state, payload)
+            elif protocol != "opaque" and protocol != "broken":
+                self._analyze_buffered(ts, payload, conn, orig, state)
+        except ProtocolError as e:
+            health.parse_errors += 1
+            self.logs.weird.append(WeirdRecord(ts, conn.uid, "parse_error", str(e)))
+            state.protocol = "broken"
+            state.buffer.clear()
 
     def _intake(self, seg: Segment) -> Optional[Tuple[ConnRecord, bool]]:
         """Per-segment bookkeeping (health, conn accounting, byte-level
@@ -323,18 +429,19 @@ class JupyterNetworkMonitor:
             self._conns[key] = conn
             self.logs.conn.append(conn)
         flags = seg.flags
-        if flags == "R":
-            # The reset direction of a refused probe; the SYN already fed
-            # the scan detector, so just mark the conn rejected.
-            conn.service = conn.service or "rejected"
-            return None
-        if flags == "S":
-            self._note(self.scan.observe_probe(ts, src, dst, seg.dport))
-            return None
-        if flags == "F":
-            conn.closed = True
-            conn.duration = ts - conn.ts
-            return None
+        if flags:
+            if flags == "R":
+                # The reset direction of a refused probe; the SYN already
+                # fed the scan detector, so just mark the conn rejected.
+                conn.service = conn.service or "rejected"
+                return None
+            if flags == "S":
+                self._note(self.scan.observe_probe(ts, src, dst, seg.dport))
+                return None
+            if flags == "F":
+                conn.closed = True
+                conn.duration = ts - conn.ts
+                return None
         origin_to_responder = src == conn.src and seg.sport == conn.sport
         if origin_to_responder:
             conn.bytes_orig += size
@@ -352,17 +459,26 @@ class JupyterNetworkMonitor:
             is_egress = src.startswith(prefix) and not dst.startswith(prefix)
             self._egress_flows[flow] = is_egress
         if is_egress:
-            self._note(self.egress.observe_bytes(ts, src, dst, size))
-            self._note(self.cusum.observe_bytes(ts, src, dst, size))
-            self._note(self.beacon.observe_send(ts, src, dst, size))
-        if size and self.depth >= AnalyzerDepth.HTTP:
+            # Inline the None-check so quiet egress traffic (the common
+            # case) costs three detector calls and no _note dispatch.
+            n = self.egress.observe_bytes(ts, src, dst, size)
+            if n is not None:
+                self._note(n)
+            n = self.cusum.observe_bytes(ts, src, dst, size)
+            if n is not None:
+                self._note(n)
+            n = self.beacon.observe_send(ts, src, dst, size)
+            if n is not None:
+                self._note(n)
+        if size and self._depth_http:
             return conn, origin_to_responder
         return None
 
-    def replay_segments(self, segments) -> int:
+    def replay_segments(self, segments, *, across_connections: bool = False,
+                        max_pending: int = 64) -> int:
         """Batched offline replay: feed a recorded trace with runs of
-        consecutive same-connection, same-direction data segments
-        coalesced into one analyzer call each.
+        same-connection, same-direction data segments coalesced into one
+        analyzer call each.
 
         Bookkeeping (health counters, conn accounting, the byte-level
         egress/CUSUM/beacon fan-out, budget drops) stays per-segment
@@ -373,53 +489,161 @@ class JupyterNetworkMonitor:
         late).  Returns the number of analyzer calls made — versus
         ``len(segments)`` for the unbatched path; BENCH-WIRE records the
         before/after throughput.
+
+        ``across_connections=True`` extends the coalescing window past
+        connection interleaving: pending runs accumulate per
+        ``(connection, direction)`` and flush together once
+        ``max_pending`` distinct keys are in flight (or at end of
+        trace), so an interleaved multiplex still batches.  Per-stream
+        byte order and per-log-family record order are preserved;
+        records from *different* connections may flush in key-arrival
+        rather than strict segment order, each at its run's last
+        timestamp — the same relaxation the contiguous mode already
+        applies within a run.
         """
-        pending_key: Optional[Tuple[str, bool]] = None
+        if across_connections:
+            return self._replay_across(segments, max_pending)
         pending_conn: Optional[ConnRecord] = None
         pending_orig = False
-        chunks: List[bytes] = []
-        last: Optional[Segment] = None
+        last_ts = 0.0
+        chunks: List[bytes] = []  # slab-reused across runs
         calls = 0
-
-        def flush() -> None:
-            nonlocal calls
-            if pending_conn is None or last is None:
-                return
-            payload = chunks[0] if len(chunks) == 1 else b"".join(chunks)
-            batched = Segment(
-                last.ts, last.src, last.sport, last.dst, last.dport, payload,
-                "", pending_conn.uid)
-            self._analyze(batched, pending_conn, pending_orig)
-            calls += 1
-
+        analyze = self._analyze_data
+        intake_of = self._intake
         for seg in segments:
-            intake = self._intake(seg)
+            intake = intake_of(seg)
             if intake is None:
                 continue
             conn, orig = intake
-            key = (conn.uid, orig)
-            if key == pending_key:
+            if conn is pending_conn and orig == pending_orig:
                 chunks.append(seg.payload)
-                last = seg
+                last_ts = seg.ts
                 continue
-            flush()
-            pending_key, pending_conn, pending_orig = key, conn, orig
-            chunks = [seg.payload]
-            last = seg
-        flush()
+            if pending_conn is not None:
+                analyze(last_ts, chunks[0] if len(chunks) == 1 else b"".join(chunks),
+                        pending_conn, pending_orig)
+                calls += 1
+                del chunks[:]
+            pending_conn, pending_orig = conn, orig
+            chunks.append(seg.payload)
+            last_ts = seg.ts
+        if pending_conn is not None:
+            analyze(last_ts, chunks[0] if len(chunks) == 1 else b"".join(chunks),
+                    pending_conn, pending_orig)
+            calls += 1
+            del chunks[:]
         return calls
+
+    def _replay_across(self, segments, max_pending: int) -> int:
+        """Across-connections batching loop, fused with the intake
+        bookkeeping the same way :meth:`on_segment` fuses it: the
+        ``_intake`` call, its return tuple, and the repeated attribute
+        loads cost ~0.2 µs per segment, which at trace rates is a few
+        percent of the whole batched run.  Semantically identical to
+        ``_intake`` + run accumulation (the contiguous mode below keeps
+        the decomposed form); BENCH-WIRE's batched parity run asserts
+        the outputs match."""
+        pending: Dict[Tuple[str, bool], list] = {}
+        pending_get = pending.get
+        calls = 0
+        health = self.health
+        conns_get = self._conns.get
+        egress_get = self._egress_flows.get
+        budget_on = self.budget > 0
+        depth_http = self._depth_http
+        for seg in segments:
+            ts = seg.ts
+            payload = seg.payload
+            size = len(payload)
+            health.segments_seen += 1
+            health.bytes_seen += size
+            if budget_on and self._over_budget(ts):
+                health.segments_dropped += 1
+                continue
+            src = seg.src
+            dst = seg.dst
+            key = seg.conn_id or f"{src}:{seg.sport}->{dst}:{seg.dport}"
+            conn = conns_get(key)
+            if conn is None:
+                conn = ConnRecord(ts, key, src, seg.sport, dst, seg.dport)
+                self._conns[key] = conn
+                self.logs.conn.append(conn)
+            flags = seg.flags
+            if flags:
+                if flags == "R":
+                    conn.service = conn.service or "rejected"
+                    continue
+                if flags == "S":
+                    self._note(self.scan.observe_probe(ts, src, dst, seg.dport))
+                    continue
+                if flags == "F":
+                    conn.closed = True
+                    conn.duration = ts - conn.ts
+                    continue
+            if src == conn.src and seg.sport == conn.sport:
+                orig = True
+                conn.bytes_orig += size
+            else:
+                orig = False
+                conn.bytes_resp += size
+            flow = (src, dst)
+            is_egress = egress_get(flow)
+            if is_egress is None:
+                prefix = self.internal_prefix
+                is_egress = src.startswith(prefix) and not dst.startswith(prefix)
+                self._egress_flows[flow] = is_egress
+            if is_egress:
+                n = self.egress.observe_bytes(ts, src, dst, size)
+                if n is not None:
+                    self._note(n)
+                n = self.cusum.observe_bytes(ts, src, dst, size)
+                if n is not None:
+                    self._note(n)
+                n = self.beacon.observe_send(ts, src, dst, size)
+                if n is not None:
+                    self._note(n)
+            if not size or not depth_http:
+                continue
+            # ``key`` is ``conn.uid`` by construction (the conn was
+            # created under it), so the run key needs no attribute load.
+            run = pending_get((key, orig))
+            if run is None:
+                if len(pending) >= max_pending:
+                    calls += self._flush_pending(pending)
+                pending[(key, orig)] = [conn, orig, ts, [payload]]
+            else:
+                run[2] = ts
+                run[3].append(payload)
+        calls += self._flush_pending(pending)
+        return calls
+
+    def _flush_pending(self, pending: Dict[Tuple[str, bool], list]) -> int:
+        analyze = self._analyze_data
+        n = 0
+        for conn, orig, ts, chunks in pending.values():
+            analyze(ts, chunks[0] if len(chunks) == 1 else b"".join(chunks), conn, orig)
+            n += 1
+        pending.clear()
+        return n
 
     # -- protocol analysis ----------------------------------------------------------------
     def _dir(self, conn: ConnRecord, orig: bool) -> _DirState:
-        key = (conn.uid, "orig" if orig else "resp")
+        key = (conn.uid, orig)
         state = self._dirstate.get(key)
         if state is None:
             state = _DirState()
             self._dirstate[key] = state
         return state
 
-    def _analyze(self, seg: Segment, conn: ConnRecord, orig: bool) -> None:
-        state = self._dir(conn, orig)
+    def _analyze_data(self, ts: float, data: bytes, conn: ConnRecord, orig: bool) -> None:
+        """Protocol analysis for one (possibly coalesced) run of payload
+        bytes — the layer below :meth:`_intake` on the batched replay
+        path (the live path fuses this logic into :meth:`on_segment`)."""
+        key = (conn.uid, orig)
+        state = self._dirstate.get(key)
+        if state is None:
+            state = _DirState()
+            self._dirstate[key] = state
         try:
             # Upgraded protocols skip the direction buffer entirely:
             # segment payloads go straight into the incremental decoder
@@ -427,36 +651,40 @@ class JupyterNetworkMonitor:
             # ("opaque", "broken", or layers above our depth) buffer
             # nothing, so a firehose of unparseable traffic cannot grow
             # monitor memory.
-            if state.protocol == "websocket":
-                if self.depth >= AnalyzerDepth.WEBSOCKET:
-                    self._feed_ws(seg.ts, conn, orig, state, seg.payload)
-                return
-            if state.protocol == "zmtp":
-                if self.depth >= AnalyzerDepth.ZMTP:
-                    self._feed_zmtp(seg.ts, conn, orig, state, seg.payload)
-                return
-            if state.protocol in ("opaque", "broken"):
-                return
-            state.buffer.append(seg.payload)
-            if self.max_buffered_bytes and len(state.buffer) > self.max_buffered_bytes:
-                raise ProtocolError(
-                    f"direction buffer exceeds cap ({len(state.buffer)} > "
-                    f"{self.max_buffered_bytes}) without a parseable message")
-            if state.protocol == "unknown":
-                self._sniff(state, conn)
-            if state.protocol == "http":
-                self._analyze_http(seg, conn, orig, state)
-            elif state.protocol == "zmtp":
-                # Sniffed just now: drain the sniff buffer into the decoder.
-                if self.depth >= AnalyzerDepth.ZMTP:
-                    self._feed_zmtp(seg.ts, conn, orig, state, state.buffer.take_all())
-                else:
-                    state.buffer.clear()
+            protocol = state.protocol
+            if protocol == "websocket":
+                if self._depth_ws:
+                    self._feed_ws(ts, conn, orig, state, data)
+            elif protocol == "zmtp":
+                if self._depth_zmtp:
+                    self._feed_zmtp(ts, conn, orig, state, data)
+            elif protocol != "opaque" and protocol != "broken":
+                self._analyze_buffered(ts, data, conn, orig, state)
         except ProtocolError as e:
             self.health.parse_errors += 1
-            self.logs.weird.append(WeirdRecord(seg.ts, conn.uid, "parse_error", str(e)))
+            self.logs.weird.append(WeirdRecord(ts, conn.uid, "parse_error", str(e)))
             state.protocol = "broken"
             state.buffer.clear()
+
+    def _analyze_buffered(self, ts: float, data: bytes, conn: ConnRecord,
+                          orig: bool, state: _DirState) -> None:
+        """Pre-upgrade byte handling: stage into the direction buffer,
+        sniff the protocol, and run the buffered-protocol analyzers."""
+        state.buffer.append(data)
+        if self.max_buffered_bytes and len(state.buffer) > self.max_buffered_bytes:
+            raise ProtocolError(
+                f"direction buffer exceeds cap ({len(state.buffer)} > "
+                f"{self.max_buffered_bytes}) without a parseable message")
+        if state.protocol == "unknown":
+            self._sniff(state, conn)
+        if state.protocol == "http":
+            self._analyze_http(ts, conn, orig, state)
+        elif state.protocol == "zmtp":
+            # Sniffed just now: drain the sniff buffer into the decoder.
+            if self.depth >= AnalyzerDepth.ZMTP:
+                self._feed_zmtp(ts, conn, orig, state, state.buffer.take_all())
+            else:
+                state.buffer.clear()
 
     def _sniff(self, state: _DirState, conn: ConnRecord) -> None:
         if len(state.buffer) < 4:
@@ -473,7 +701,7 @@ class JupyterNetworkMonitor:
             state.protocol = "opaque"
             state.buffer.clear()
 
-    def _analyze_http(self, seg: Segment, conn: ConnRecord, orig: bool, state: _DirState) -> None:
+    def _analyze_http(self, ts: float, conn: ConnRecord, orig: bool, state: _DirState) -> None:
         while True:
             if orig:
                 consumed_before = state.buffer.total_consumed
@@ -482,7 +710,7 @@ class JupyterNetworkMonitor:
                     return
                 self.health.bytes_http += state.buffer.total_consumed - consumed_before
                 rec = HttpRecord(
-                    ts=seg.ts, uid=conn.uid, src=conn.src, dst=conn.dst,
+                    ts=ts, uid=conn.uid, src=conn.src, dst=conn.dst,
                     method=req.method, path=req.path,
                     request_bytes=len(req.body),
                     has_auth=bool(req.header("authorization")),
@@ -503,16 +731,19 @@ class JupyterNetworkMonitor:
                             client = req.header("x-forwarded-for") or conn.src
                             self._remember_ctx(client, ctx)
                 self.logs.http.append(rec)
-                for n in self.signatures.scan_http(rec, req.body.decode("latin-1")):
+                # Bytes go straight to the signature engine: it decodes
+                # latin-1 lazily, only when an http-body rule family is
+                # actually installed (most runs: never).
+                for n in self.signatures.scan_http(rec, req.body):
                     self._note(n)
                 # Hub-path visibility: a client IP spread across tenants.
-                self._note(self.tenantsweep.observe_request(seg.ts, conn.src, req.path))
+                self._note(self.tenantsweep.observe_request(ts, conn.src, req.path))
                 # Network-plane ransomware signal: high-entropy PUT bodies.
                 if req.method in ("PUT", "POST") and req.body:
                     content = req.body
                     if req.path.startswith("/api/contents"):
                         content = self._extract_content_bytes(req.body)
-                    self._note(self.entropy.observe_write(seg.ts, req.path, content, src=conn.src))
+                    self._note(self.entropy.observe_write(ts, req.path, content, src=conn.src))
                 if req.is_websocket_upgrade():
                     state.http_requests.append(("UPGRADE", req.path))
                 else:
@@ -536,8 +767,8 @@ class JupyterNetworkMonitor:
                         and resp.status in (200, 201, 204, 403, 101)
                         and conn.src not in self.infrastructure_ips):
                     ok = resp.status != 403
-                    self._note(self.bruteforce.observe_auth(seg.ts, conn.src, ok))
-                    self._note(self.newsource.observe_auth(seg.ts, conn.src, ok))
+                    self._note(self.bruteforce.observe_auth(ts, conn.src, ok))
+                    self._note(self.newsource.observe_auth(ts, conn.src, ok))
                 if resp.status == 101:
                     if method == "UPGRADE":
                         conn.service = "websocket"
@@ -549,8 +780,8 @@ class JupyterNetworkMonitor:
                             s.protocol = "websocket"
                             s.ws_decoder = WebSocketDecoder(collect_frames=False, counters=self._ws_counters)
                             leftover = s.buffer.take_all()
-                            if leftover and self.depth >= AnalyzerDepth.WEBSOCKET:
-                                self._feed_ws(seg.ts, conn, d, s, leftover)
+                            if leftover and self._depth_ws:
+                                self._feed_ws(ts, conn, d, s, leftover)
                     return
 
     @staticmethod
@@ -579,42 +810,125 @@ class JupyterNetworkMonitor:
         decoder = state.ws_decoder
         consumed_before = decoder.bytes_consumed
         decoder.feed(data)
-        self.health.bytes_ws += decoder.bytes_consumed - consumed_before
+        ws_append, _, jup_append, _, seen, scan_jupyter, health = self._hot
+        health.bytes_ws += decoder.bytes_consumed - consumed_before
         msgs = decoder.messages()
         if not msgs:
             return
         src = conn.src if orig else conn.dst
         dst = conn.dst if orig else conn.src
-        # Batched fan-out: one pass over the drained messages; records and
-        # notices accumulate locally and the log-store counters update
-        # once per feed, not once per frame.
         uid = conn.uid
-        jupyter_depth = self.depth >= AnalyzerDepth.JUPYTER
-        ws_records = []
-        jupyter_records: List[JupyterMsgRecord] = []
-        notices: List[Notice] = []
-        weird: List[WeirdRecord] = []
-        make_ws_record = WebSocketRecord
-        entropy_of = shannon_entropy
+        jupyter_depth = self._depth_jup
+        # One pass over the drained messages.  The canonical-form probe
+        # (see repro.wire.jupyter) field-extracts the overwhelmingly
+        # common sender shape with a handful of C calls; everything it
+        # cannot prove canonical takes _analyze_jupyter_ws, whose output
+        # is byte-identical by construction.  Hot locals are bound once
+        # per feed so the loop does no repeated attribute walks.
+        make_jup = JupyterMsgRecord
+        opcode_names = _OPCODE_NAMES
+        dedupe_on = self.dedupe_msg_ids
+        out_types = self._OUTPUT_MSG_TYPES
+        out_threshold = self.output_size_threshold
+        probe = probe_ws_canonical
+        decode_json = _json_decode
+        text_op = Opcode.TEXT
+        binary_op = Opcode.BINARY
+        jmsgs = jhits = 0  # health counters accumulate in locals
         for opcode, payload in msgs:
-            # Positional args: these constructors run once per message.
-            ws_records.append(make_ws_record(
-                ts, uid, src, dst, _OPCODE_NAMES[opcode], len(payload),
-                orig, round(entropy_of(payload), 3),
-            ))
-            if jupyter_depth and (opcode is Opcode.TEXT or opcode is Opcode.BINARY):
-                self._analyze_jupyter_ws(ts, uid, src, dst, payload,
-                                         jupyter_records, notices, weird)
-        self.logs.websocket.extend(ws_records)
-        if jupyter_records:
-            self.logs.jupyter.extend(jupyter_records)
+            # Slab append (LazyRecordList): a plain field tuple, in
+            # WebSocketRecord positional order; entropy stays lazy off
+            # the pinned payload, materialization lazier still.
+            ws_append((ts, uid, src, dst, opcode_names[opcode],
+                       len(payload), orig, 0.0, payload))
+            if not jupyter_depth or (opcode is not text_op and opcode is not binary_op):
+                continue
+            pr = probe(payload)
+            if pr is None:
+                self._analyze_jupyter_ws_slow(ts, uid, src, dst, payload)
+                continue
+            msg_id, msg_type, session, username, channel, cs, ce = pr
+            dedupe = dedupe_on and bool(msg_id)
+            flags = seen.get(msg_id, 0) if dedupe else 0
+            jmsgs += 1
+            if flags & _MSG_WS_SEEN:
+                # Proxy-relayed leg: log it, skip the paid-for content work.
+                jhits += 1
+                jup_append((ts, uid, src, dst, channel, msg_type,
+                            session, username, 0, 0, "", None))
+                continue
+            code = ""
+            if flags & _MSG_CONTENT_SCANNED:
+                jhits += 1
+            elif (payload.find(b'"code"', cs, ce) >= 0
+                  or payload.find(b"\\u", cs, ce) >= 0):
+                # Span-backend semantics (LazyJupyterMessage on canonical
+                # spans): content is decoded only when the span can carry
+                # ``code``; bad JSON is a silent None, and sizing below
+                # never needs the decode.
+                try:
+                    content = decode_json(payload[cs:ce].decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+                    content = None
+                if type(content) is dict:
+                    code = content.get("code", "")
+                    if type(code) is not str:
+                        code = str(code)
+            if msg_type in out_types:
+                # Raw-span size, whitespace-trimmed to the exact bytes
+                # the tokenizer backend would have spanned.
+                while cs < ce and payload[ce - 1] in b" \t\r\n":
+                    ce -= 1
+                while cs < ce and payload[cs] in b" \t\r\n":
+                    cs += 1
+                output_size = ce - cs
+            else:
+                output_size = 0
+            if code or output_size > out_threshold:
+                rec = make_jup(ts, uid, src, dst, channel, msg_type, session,
+                               username, len(code), output_size, code)
+                jup_append(rec)
+                if output_size > out_threshold:
+                    self._note(self._oversized_output_notice(rec))
+                if code:
+                    for n in scan_jupyter(rec):
+                        self._note(n)
+            else:
+                # No detector reads this record during analysis: slab
+                # tuple, materialized only if a consumer looks at it.
+                jup_append((ts, uid, src, dst, channel, msg_type, session,
+                            username, 0, output_size, "", None))
+            if dedupe:
+                # Inlined _mark_msg(msg_id, _MSG_WS_SEEN | _MSG_CONTENT_SCANNED).
+                if flags:
+                    seen[msg_id] = flags | (_MSG_WS_SEEN | _MSG_CONTENT_SCANNED)
+                elif len(seen) < _MSG_DEDUPE_CAP:
+                    seen[msg_id] = _MSG_WS_SEEN | _MSG_CONTENT_SCANNED
+                else:
+                    del seen[next(iter(seen))]
+                    seen[msg_id] = _MSG_WS_SEEN | _MSG_CONTENT_SCANNED
+        if jmsgs:
+            health.jupyter_msgs += jmsgs
+            health.jupyter_dedup_hits += jhits
+
+    def _analyze_jupyter_ws_slow(self, ts: float, uid: str, src: str, dst: str,
+                                 payload: bytes) -> None:
+        """Non-canonical WS payloads: run the classic analysis into the
+        slab-reused scratch lists and drain them into the log store."""
+        records = self._scratch_records
+        notices = self._scratch_notices
+        weird = self._scratch_weird
+        self._analyze_jupyter_ws(ts, uid, src, dst, payload, records, notices, weird)
+        if records:
+            self.logs.jupyter.extend(records)
+            records.clear()
         if notices:
-            if self._tele_on:
-                for n in notices:
-                    self._stamp(n)
-            self.logs.notices.extend(notices)
+            for n in notices:
+                self._note(n)
+            notices.clear()
         if weird:
             self.logs.weird.extend(weird)
+            weird.clear()
 
     # -- msg_id dedupe store ---------------------------------------------------
     def _msg_flags(self, msg_id: str) -> int:
@@ -625,11 +939,13 @@ class JupyterNetworkMonitor:
         current = seen.get(msg_id)
         if current is None:
             if len(seen) >= _MSG_DEDUPE_CAP:
-                seen.popitem(last=False)
+                # FIFO eviction off plain-dict insertion order: legs of
+                # one message arrive within milliseconds, far inside the
+                # cap's slack, so LRU refinement buys nothing here.
+                del seen[next(iter(seen))]
             seen[msg_id] = flags
         else:
             seen[msg_id] = current | flags
-            seen.move_to_end(msg_id)
 
     def _analyze_jupyter_ws(self, ts: float, uid: str, src: str, dst: str, payload: bytes,
                             records: List[JupyterMsgRecord], notices: List[Notice],
@@ -708,12 +1024,14 @@ class JupyterNetworkMonitor:
 
     def _feed_zmtp(self, ts: float, conn: ConnRecord, orig: bool, state: _DirState,
                    data: bytes) -> None:
-        if state.zmtp_decoder is None:
-            state.zmtp_decoder = ZmtpDecoder(collect_commands=False, counters=self._zmtp_counters)
         decoder = state.zmtp_decoder
+        if decoder is None:
+            decoder = state.zmtp_decoder = ZmtpDecoder(
+                collect_commands=False, counters=self._zmtp_counters)
         consumed_before = decoder.bytes_consumed
         decoder.feed(data)
-        self.health.bytes_zmtp += decoder.bytes_consumed - consumed_before
+        _, zmtp_append, jup_append, weird_append, seen, scan_jupyter, health = self._hot
+        health.bytes_zmtp += decoder.bytes_consumed - consumed_before
         msgs = decoder.messages()
         if not msgs:
             return
@@ -721,72 +1039,170 @@ class JupyterNetworkMonitor:
         dst = conn.dst if orig else conn.src
         mechanism = (decoder.greeting or {}).get("mechanism", "")
         uid = conn.uid
-        self.logs.zmtp.extend([
-            ZmtpRecord(ts, uid, src, dst, len(parts), sum(map(len, parts)), mechanism)
-            for parts in msgs
-        ])
-        if self.depth >= AnalyzerDepth.JUPYTER:
-            for parts in msgs:
-                self._analyze_jupyter_zmtp(ts, conn, src, dst, parts)
+        # One fused pass per multipart message: the wire record and the
+        # JUPYTER-depth analysis share the loop, so canonical kernel
+        # traffic costs one probe, one record pair, and a couple of dict
+        # hits — no per-message method dispatch.  Hot locals are bound
+        # once per drained batch.
+        make_jup = JupyterMsgRecord
+        jupyter_depth = self._depth_jup
+        probe = probe_zmtp_header
+        decode_json = _json_decode
+        dedupe_on = self.dedupe_msg_ids
+        session_key = self.session_key
+        marker = _ZMTP_DELIM
+        jmsgs = jhits = 0  # health counters accumulate in locals
+        for parts in msgs:
+            # Slab append: ZmtpRecord field tuple (see LazyRecordList).
+            zmtp_append((ts, uid, src, dst, len(parts),
+                         sum(map(len, parts)), mechanism))
+            if not jupyter_depth:
+                continue
+            try:
+                idx = parts.index(marker)
+            except ValueError:
+                continue
+            if len(parts) - idx - 1 < 5:
+                continue
+            pm = probe(parts[idx + 2])
+            if pm is None:
+                self._analyze_jupyter_zmtp(ts, conn, src, dst, parts, idx)
+                continue
+            msg_id, msg_type, session, username = pm
+            dedupe = dedupe_on and bool(msg_id)
+            flags = seen.get(msg_id, 0) if dedupe else 0
+            jmsgs += 1
+            skip_content = flags & (_MSG_CONTENT_SCANNED | _MSG_ZMTP_SEEN)
+            code = ""
+            if skip_content:
+                # Another leg of this msg_id (usually the WS hop the tap
+                # saw first) already parsed and signature-scanned the
+                # content; this leg only needs the header-level record
+                # and — below — the transport-specific HMAC check.
+                jhits += 1
+            else:
+                content_b = parts[idx + 5]
+                if b'"code"' in content_b or b"\\u" in content_b:
+                    try:
+                        content = decode_json(content_b.decode("utf-8"))
+                    except (json.JSONDecodeError, UnicodeDecodeError):
+                        weird_append(
+                            WeirdRecord(ts, uid, "zmtp_bad_jupyter_json", ""))
+                        continue
+                    if type(content) is dict:
+                        code = content.get("code", "")
+                        if type(code) is not str:
+                            code = str(code)
+            sig_ok: Optional[bool] = None
+            if session_key:
+                from repro.crypto.signing import HMACSigner
+
+                sig_ok = HMACSigner(session_key).verify(
+                    parts[idx + 2 : idx + 6], parts[idx + 1])
+                if not sig_ok:
+                    self._note(Notice(
+                        ts=ts, detector="integrity", name="BAD_MESSAGE_SIGNATURE",
+                        severity="high", src=src, dst=dst, avenue=None,
+                        detail={"msg_type": msg_type},
+                    ))
+            if code:
+                rec = make_jup(ts, uid, src, dst, "zmtp", msg_type, session,
+                               username, len(code), 0, code, sig_ok)
+                jup_append(rec)
+                for n in scan_jupyter(rec):
+                    self._note(n)
+            else:
+                jup_append((ts, uid, src, dst, "zmtp", msg_type, session,
+                            username, 0, 0, "", sig_ok))
+            if dedupe:
+                # Inlined _mark_msg(msg_id, ...).
+                new_flags = _MSG_ZMTP_SEEN | (0 if skip_content else _MSG_CONTENT_SCANNED)
+                if flags:
+                    seen[msg_id] = flags | new_flags
+                elif len(seen) < _MSG_DEDUPE_CAP:
+                    seen[msg_id] = new_flags
+                else:
+                    del seen[next(iter(seen))]
+                    seen[msg_id] = new_flags
+        if jmsgs:
+            health.jupyter_msgs += jmsgs
+            health.jupyter_dedup_hits += jhits
 
     def _analyze_jupyter_zmtp(self, ts: float, conn: ConnRecord, src: str, dst: str,
-                              parts: List[bytes]) -> None:
-        try:
-            idx = parts.index(b"<IDS|MSG>")
-        except ValueError:
-            return
-        if len(parts) - idx - 1 < 5:
-            return
-        signature = parts[idx + 1]
+                              parts: List[bytes], idx: int) -> None:
+        """Classic fallback for non-canonical ZMTP headers (the probe in
+        :meth:`_feed_zmtp` already failed): full JSON header parse, then
+        the shared message tail."""
         header_b = parts[idx + 2]
-        content_b = parts[idx + 5]
         try:
             header = _json_decode(header_b.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
             self.logs.weird.append(WeirdRecord(ts, conn.uid, "zmtp_bad_jupyter_json", ""))
             return
-        msg_id = header.get("msg_id", "") if isinstance(header, dict) else ""
+        if isinstance(header, dict):
+            msg_id = header.get("msg_id", "")
+            msg_type = header.get("msg_type", "")
+            session = header.get("session", "")
+            username = header.get("username", "")
+        else:
+            msg_id = msg_type = session = username = ""
+        self._zmtp_msg(ts, conn, src, dst, parts, idx,
+                       msg_id, msg_type, session, username)
+
+    def _zmtp_msg(self, ts: float, conn: ConnRecord, src: str, dst: str,
+                  parts: List[bytes], idx: int, msg_id, msg_type, session,
+                  username) -> None:
+        """Header-decoded tail of the ZMTP Jupyter analysis, shared by the
+        canonical probe and the classic JSON-parse path.  Field arguments
+        may be non-str on weird classic-path traffic; they are normalized
+        at record time, matching the classic behavior."""
         dedupe = self.dedupe_msg_ids and type(msg_id) is str and bool(msg_id)
-        flags = self._msg_flags(msg_id) if dedupe else 0
-        self.health.jupyter_msgs += 1
+        flags = self._seen_msg_ids.get(msg_id, 0) if dedupe else 0
+        health = self.health
+        health.jupyter_msgs += 1
         skip_content = bool(flags & (_MSG_CONTENT_SCANNED | _MSG_ZMTP_SEEN))
         if skip_content:
             # Another leg of this msg_id (usually the WS hop the tap saw
             # first) already parsed and signature-scanned the content;
             # this leg only needs the header-level record and — below —
             # the transport-specific HMAC check.
-            self.health.jupyter_dedup_hits += 1
-        # Lazy content: small content (the overwhelmingly common case) is
-        # decoded eagerly, keeping the seed's full malformed-JSON
-        # detection.  Large content is decoded only when it can actually
-        # carry ``code`` — a ``\u`` escape could spell the key, so it also
-        # forces a decode; oversize code-free content (big outputs) is
-        # sized without validation, a documented fidelity/DoS trade.
+            health.jupyter_dedup_hits += 1
+        # Lazy content, matching the fused fast path in _feed_zmtp:
+        # content is decoded only when the raw bytes can actually carry
+        # ``code`` — a ``\u`` escape could spell the key, so it also
+        # forces a decode.  Code-free content (outputs, status) is never
+        # validated; malformed-but-codeless content therefore logs a
+        # normal record instead of a weird, a documented fidelity trade
+        # (see DESIGN.md §6).
         content: Any = None
-        if not skip_content and (len(content_b) <= 4096
-                                 or b'"code"' in content_b or b"\\u" in content_b):
-            try:
-                content = _json_decode(content_b.decode("utf-8"))
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                self.logs.weird.append(WeirdRecord(ts, conn.uid, "zmtp_bad_jupyter_json", ""))
-                return
+        if not skip_content:
+            content_b = parts[idx + 5]
+            if b'"code"' in content_b or b"\\u" in content_b:
+                try:
+                    content = _json_decode(content_b.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    self.logs.weird.append(
+                        WeirdRecord(ts, conn.uid, "zmtp_bad_jupyter_json", ""))
+                    return
         sig_ok: Optional[bool] = None
         if self.session_key:
             from repro.crypto.signing import HMACSigner
 
-            sig_ok = HMACSigner(self.session_key).verify(parts[idx + 2 : idx + 6], signature)
+            sig_ok = HMACSigner(self.session_key).verify(
+                parts[idx + 2 : idx + 6], parts[idx + 1])
             if not sig_ok:
                 self._note(Notice(
                     ts=ts, detector="integrity", name="BAD_MESSAGE_SIGNATURE", severity="high",
                     src=src, dst=dst, avenue=None,
-                    detail={"msg_type": header.get("msg_type", "")},
+                    detail={"msg_type": msg_type},
                 ))
         code = str(content.get("code", "")) if isinstance(content, dict) else ""
         rec = JupyterMsgRecord(
-            ts=ts, uid=conn.uid, src=src, dst=dst,
-            channel="zmtp", msg_type=str(header.get("msg_type", "")),
-            session=str(header.get("session", "")), username=str(header.get("username", "")),
-            code_size=len(code), output_size=0, code=code, signature_ok=sig_ok,
+            ts, conn.uid, src, dst, "zmtp",
+            msg_type if type(msg_type) is str else str(msg_type),
+            session if type(session) is str else str(session),
+            username if type(username) is str else str(username),
+            len(code), 0, code, sig_ok,
         )
         self.logs.jupyter.append(rec)
         if code:

@@ -43,6 +43,19 @@ def _zeek_type(value: Any) -> str:
     return "string"
 
 
+def _record_fields(rec: Any) -> List[str]:
+    """Exported column names for a record: dataclass fields, or — for
+    slab-optimized plain-slots records like ``WebSocketRecord`` — the
+    public slot names plus lazily-computed properties (``_payload`` is
+    internal state, ``_entropy`` surfaces as the ``entropy`` property)."""
+    try:
+        return [f.name for f in dc_fields(rec)]
+    except TypeError:
+        return [
+            name.lstrip("_") for name in rec.__slots__ if name != "_payload"
+        ]
+
+
 def records_to_tsv(records: Sequence[Any], *, path_name: str) -> str:
     """Render a list of dataclass records as one Zeek-style TSV log."""
     lines = [
@@ -54,7 +67,7 @@ def records_to_tsv(records: Sequence[Any], *, path_name: str) -> str:
         lines.append("#fields")
         return "\n".join(lines) + "\n"
     first = records[0]
-    names = [f.name for f in dc_fields(first)]
+    names = _record_fields(first)
     values0 = [getattr(first, n) for n in names]
     lines.append("#fields" + _SEPARATOR + _SEPARATOR.join(names))
     lines.append("#types" + _SEPARATOR + _SEPARATOR.join(_zeek_type(v) for v in values0))

@@ -52,18 +52,63 @@ class HttpRecord:
     request_id: str = ""
 
 
-@dataclass(slots=True)
 class WebSocketRecord:
-    """One WebSocket message (websocket.log, à la Zeek PR #3555)."""
+    """One WebSocket message (websocket.log, à la Zeek PR #3555).
 
-    ts: float
-    uid: str
-    src: str
-    dst: str
-    opcode: str
-    payload_bytes: int
-    masked: bool
-    entropy: float = 0.0
+    ``entropy`` is *lazy*: the byte-entropy feature is read only by the
+    dataset exporter, yet computing it eagerly cost ~6 µs of numpy work
+    per message on the monitor hot path.  The record instead pins the
+    payload and computes ``round(shannon_entropy(payload), 3)`` on first
+    access, releasing the payload ref afterwards.  Trade: a record whose
+    entropy is never read keeps its payload alive as long as the record
+    itself — acceptable because the ``LogStore`` already retains
+    per-message records (and code strings) unbounded; consumers that
+    need bounded memory read or drop records either way.
+    """
+
+    __slots__ = ("ts", "uid", "src", "dst", "opcode", "payload_bytes",
+                 "masked", "_entropy", "_payload")
+
+    def __init__(self, ts: float, uid: str, src: str, dst: str, opcode: str,
+                 payload_bytes: int, masked: bool, entropy: float = 0.0,
+                 payload: Optional[bytes] = None):
+        self.ts = ts
+        self.uid = uid
+        self.src = src
+        self.dst = dst
+        self.opcode = opcode
+        self.payload_bytes = payload_bytes
+        self.masked = masked
+        self._entropy = entropy
+        self._payload = payload
+
+    @property
+    def entropy(self) -> float:
+        payload = self._payload
+        if payload is not None:
+            from repro.util.entropy import shannon_entropy
+
+            self._entropy = round(shannon_entropy(payload), 3)
+            self._payload = None
+        return self._entropy
+
+    @entropy.setter
+    def entropy(self, value: float) -> None:
+        self._entropy = value
+        self._payload = None
+
+    def _astuple(self):
+        return (self.ts, self.uid, self.src, self.dst, self.opcode,
+                self.payload_bytes, self.masked, self.entropy)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not WebSocketRecord:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return ("WebSocketRecord(ts={!r}, uid={!r}, src={!r}, dst={!r}, opcode={!r}, "
+                "payload_bytes={!r}, masked={!r}, entropy={!r})".format(*self._astuple()))
 
 
 @dataclass(slots=True)
@@ -126,15 +171,72 @@ class Notice:
     span_id: str = ""
 
 
+class LazyRecordList(list):
+    """Slab storage for a hot log family.
+
+    The analysis loop appends plain *field tuples* (a ~40 ns C
+    allocation) instead of record objects (~400 ns through a Python
+    ``__init__`` with a dozen assignments); the record object for an
+    entry materializes — and replaces the tuple in place, so identity
+    is stable afterwards — the first time that entry is read.  Steady
+    state analysis therefore allocates one tuple per message, and the
+    object cost is paid only for records something actually inspects.
+
+    The hot path may also append ready-made record objects (fallback
+    paths do); storage is mixed and ``type(v) is tuple`` picks the raw
+    entries out.  Record classes must accept their fields positionally
+    in storage order.  Only the read patterns the monitor's consumers
+    use are intercepted (indexing, slicing, iteration, reversal,
+    containment); list mutators behave as plain ``list``.
+    """
+
+    __slots__ = ("_make",)
+
+    def __init__(self, make):
+        list.__init__(self)
+        self._make = make
+
+    def _materialize(self, i: int):
+        v = list.__getitem__(self, i)
+        if type(v) is tuple:
+            v = self._make(*v)
+            list.__setitem__(self, i, v)
+        return v
+
+    def __getitem__(self, i):
+        if type(i) is slice:
+            return [self._materialize(j)
+                    for j in range(*i.indices(list.__len__(self)))]
+        return self._materialize(i)
+
+    def __iter__(self):
+        i = 0
+        while i < list.__len__(self):
+            yield self._materialize(i)
+            i += 1
+
+    def __reversed__(self):
+        for i in range(list.__len__(self) - 1, -1, -1):
+            yield self._materialize(i)
+
+    def __contains__(self, item) -> bool:
+        return any(rec == item for rec in self)
+
+
 class LogStore:
-    """All log families for one monitor instance."""
+    """All log families for one monitor instance.
+
+    The three per-message families (``websocket``/``zmtp``/``jupyter``)
+    use :class:`LazyRecordList` slabs; the low-rate families stay plain
+    lists (notices are mutated in place by telemetry stamping).
+    """
 
     def __init__(self) -> None:
         self.conn: List[ConnRecord] = []
         self.http: List[HttpRecord] = []
-        self.websocket: List[WebSocketRecord] = []
-        self.zmtp: List[ZmtpRecord] = []
-        self.jupyter: List[JupyterMsgRecord] = []
+        self.websocket: LazyRecordList = LazyRecordList(WebSocketRecord)
+        self.zmtp: LazyRecordList = LazyRecordList(ZmtpRecord)
+        self.jupyter: LazyRecordList = LazyRecordList(JupyterMsgRecord)
         self.weird: List[WeirdRecord] = []
         self.notices: List[Notice] = []
 

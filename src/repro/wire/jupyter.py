@@ -24,6 +24,21 @@ The backend is size-adaptive, chosen by measurement rather than dogma:
 
 Any scan irregularity falls back to a full ``json.loads`` so garbage
 traffic classifies exactly as the eager path classified it.
+
+On top of the size-adaptive backend sits the **canonical-form probe**
+(:func:`probe_ws_canonical`, :func:`probe_zmtp_header`): Jupyter senders
+in this repro serialize with ``json.dumps(..., sort_keys=True)``, so the
+overwhelmingly common wire shape is a *fixed byte skeleton* — top-level
+keys in sorted order with known separators, a flat six-field header, and
+``{}``/header-shaped ``metadata``/``parent_header``.  The probe verifies
+that skeleton with a handful of C-level ``find``/regex calls and hands
+back the header fields and the raw ``content`` span without building a
+single dict.  Soundness rests on a JSON property: the skeleton markers
+contain raw ``"`` bytes, which can never occur *inside* a JSON string
+(they would be escaped), so marker uniqueness checks prove the tiling is
+the document's one valid parse.  Anything the probe cannot prove
+canonical returns ``None`` and takes the classic parse path, keeping
+monitor output byte-identical on every input.
 """
 
 from __future__ import annotations
@@ -151,6 +166,291 @@ _MISSING = object()
 _json_decode = json.JSONDecoder().decode
 
 
+# -- canonical-form probe ---------------------------------------------------------
+#
+# ``Session.to_websocket_json`` is ``json.dumps({...}, sort_keys=True)``
+# with the default ``", "`` / ``": "`` separators, so every well-formed
+# WS payload opens with the sorted-key skeleton below.  ``json_segments``
+# (the ZMTP leg) uses compact ``(",", ":")`` separators, giving the
+# second skeleton.  The probe regexes validate structure and capture the
+# field values in one C pass each; ``[^"\\]*`` value classes mean a
+# match proves the values are escape-free (decodable by plain slicing).
+
+#: Fixed 28-byte opener of every canonical WS payload, then one of four
+#: channel tails.  Byte 30 (the channel name's third letter — ``p``,
+#: ``e``, ``d``, ``n`` — unique across the four channels) discriminates
+#: without a slice allocation, so an int-keyed dict hit plus ONE full
+#: prefix ``startswith`` replaces the old prefix regex (match + group +
+#: dict lookup) and the older four-way startswith loop.
+_CANON_PREFIX_HEAD = b'{"buffers": [], "channel": "'
+_CANON_PREFIX_BY1 = {
+    name[2]: (_CANON_PREFIX_HEAD + name + b'", "content": ',
+              name.decode("ascii"),
+              len(_CANON_PREFIX_HEAD) + len(name) + 14)
+    for name in (b"iopub", b"shell", b"stdin", b"control")}
+_CANON_BY1_GET = _CANON_PREFIX_BY1.get
+
+#: The one marker the probe must *search* for (content is arbitrary).
+#: It contains raw quotes, so it cannot hide inside any string value.
+#: ``find`` takes the *first* occurrence; if that occurrence is a spoof
+#: embedded in the content, the real header that follows it cannot tile
+#: as header+metadata+parent (every validated region after the mark is
+#: either fixed skeleton bytes or a quote-free ``[^"\\]*`` value class,
+#: and the mark contains raw quotes — so a second mark cannot survive
+#: validation).  A successful probe therefore proves the mark it found
+#: is the document's only one; no second scan is needed.
+_CANON_HEADER_MARK = b', "header": {"date": "'          # len 22
+_CANON_MSG_ID_MARK = b'", "msg_id": "'                  # len 14
+_CANON_TAIL_MARK = b'"}, "metadata": {}, "parent_header": '  # len 37
+
+#: The header region is validated in three pieces split around the one
+#: per-message-unique field (``msg_id``): a *head* (``date`` — a few
+#: distinct values per burst), the msg_id bytes themselves (checked
+#: escape-free inline), and a *tail* (``msg_type``/``session``/
+#: ``username``/``version`` — a handful of combinations per session).
+#: Head and tail validations are deterministic over their bytes, so
+#: each distinct slice is regex-validated once and then served from a
+#: bounded cache; the tail cache also carries the decoded field strings,
+#: interning them across every message of a session.
+_HDR_HEAD_RX = re.compile(rb', "header": \{"date": "[^"\\]*", "msg_id": "')
+_HDR_TAIL_RX = re.compile(
+    rb'", "msg_type": "([^"\\]*)", "session": "([^"\\]*)", '
+    rb'"username": "([^"\\]*)", "version": "[^"\\]*"\}, '
+    rb'"metadata": \{\}, "parent_header": ')
+
+_CANON_PARENT = re.compile(
+    rb'\{"date": "[^"\\]*", "msg_id": "[^"\\]*", "msg_type": "[^"\\]*", '
+    rb'"session": "[^"\\]*", "username": "[^"\\]*", "version": "[^"\\]*"\}')
+
+#: ZMTP header frames are compact dumps of the same six-field header,
+#: split-validated and cached exactly like the WS header above.
+_ZMTP_HEAD = b'{"date":"'                               # len 9
+_ZMTP_MSG_ID_MARK = b'","msg_id":"'                     # len 12
+_ZMTP_HEAD_RX = re.compile(rb'\{"date":"[^"\\]*","msg_id":"')
+_ZMTP_TAIL_RX = re.compile(
+    rb'","msg_type":"([^"\\]*)","session":"([^"\\]*)",'
+    rb'"username":"([^"\\]*)","version":"[^"\\]*"\}')
+
+#: parent_header validation cache: every child message of one request
+#: (status/execute_input/stream/result/reply) carries the *same* parent
+#: bytes, so validating each distinct parent once replaces a ~180-byte
+#: regex scan per message with a dict hit.  Validation is deterministic
+#: over the bytes, so a shared bounded cache is safe.
+_parent_cache: Dict[bytes, bool] = {}
+_hdr_head_cache: Dict[bytes, bool] = {}
+_hdr_tail_cache: Dict[bytes, Tuple[str, str, str]] = {}
+_zmtp_head_cache: Dict[bytes, bool] = {}
+_zmtp_tail_cache: Dict[bytes, Tuple[str, str, str]] = {}
+_PARENT_CACHE_CAP = 1024
+_PROBE_CACHE_CAP = 512
+
+#: Last-validated guesses, exploiting per-burst temporal locality: the
+#: head repeats while ``date`` holds (one second), the parent repeats
+#: across every child of one request, and tails repeat per msg_type
+#: (keyed by a 14-byte discriminator covering the type name).  A guess
+#: hit replaces slice+hash+dict with ONE positional C ``startswith``
+#: verify — a *verify*, never a trust: a miss falls back to the exact
+#: cached-validation path, so wrong guesses cost time, not correctness.
+#: Initialized to a byte no canonical document contains (b"\\x00"), as
+#: ``startswith(b"")`` would vacuously hit.
+_ws_head_guess = b"\x00"
+_ws_parent_guess = b"\x00"
+_zmtp_head_guess = b"\x00"
+_hdr_tail_guess: Dict[bytes, Tuple[bytes, Tuple[str, str, str]]] = {}
+_zmtp_tail_guess: Dict[bytes, Tuple[bytes, Tuple[str, str, str]]] = {}
+
+_canon_parent_fullmatch = _CANON_PARENT.fullmatch
+
+
+def probe_ws_canonical(raw: bytes):
+    """Field-extract a canonical WS-JSON Jupyter payload without parsing.
+
+    Returns ``(msg_id, msg_type, session, username, channel, content_start,
+    content_end)`` — the first five as ``str`` (escape-free by
+    construction, decoded through the probe's bounded intern caches) —
+    or ``None`` when ``raw`` is not provably the canonical sender shape
+    (caller falls back to the classic parse; that includes canonical
+    skeletons whose field bytes are not valid UTF-8, so the classic
+    path's weird-classification is preserved).
+
+    A non-``None`` return proves every byte outside the content span:
+    prefix skeleton, flat header (values extracted), ``{}`` metadata,
+    and a ``{}``-or-header-shaped parent tiled exactly to the closing
+    brace.  The validated pieces tile the document completely, so the
+    extraction is the document's one valid parse; only the content
+    span's own well-formedness is left to the caller.
+    """
+    global _ws_head_guess, _ws_parent_guess
+    if len(raw) < 31:
+        return None
+    ch = _CANON_BY1_GET(raw[30])
+    if ch is None or not raw.startswith(ch[0]) or raw[-1] != 125:  # '}'
+        return None
+    lit, channel, cs = ch
+    find = raw.find
+    ih = find(_CANON_HEADER_MARK, cs)
+    if ih < 0:
+        return None
+    hg = _ws_head_guess
+    if raw.startswith(hg, ih):
+        j = ih + len(hg)
+    else:
+        j = find(_CANON_MSG_ID_MARK, ih + 22)
+        if j < 0:
+            return None
+        j += 14
+        head = raw[ih:j]
+        if head not in _hdr_head_cache:
+            if _HDR_HEAD_RX.fullmatch(head) is None:
+                return None
+            if len(_hdr_head_cache) >= _PROBE_CACHE_CAP:
+                _hdr_head_cache.clear()
+            _hdr_head_cache[head] = True
+        _ws_head_guess = head
+    k = find(b'"', j)
+    if k < 0:
+        return None
+    tg = _hdr_tail_guess.get(raw[k + 16:k + 30])
+    if tg is not None and raw.startswith(tg[0], k):
+        fields = tg[1]
+        pm = k + len(tg[0]) - 37
+    else:
+        pm = find(_CANON_TAIL_MARK, k)
+        if pm < 0:
+            return None
+        tail = raw[k:pm + 37]
+        fields = _hdr_tail_cache.get(tail)
+        if fields is None:
+            m = _HDR_TAIL_RX.fullmatch(tail)
+            if m is None:
+                return None
+            try:
+                fields = (m.group(1).decode("utf-8"), m.group(2).decode("utf-8"),
+                          m.group(3).decode("utf-8"))
+            except UnicodeDecodeError:
+                return None
+            if len(_hdr_tail_cache) >= _PROBE_CACHE_CAP:
+                _hdr_tail_cache.clear()
+            _hdr_tail_cache[tail] = fields
+        if len(_hdr_tail_guess) >= _PROBE_CACHE_CAP:
+            _hdr_tail_guess.clear()
+        _hdr_tail_guess[tail[16:30]] = (tail, fields)
+    pstart = pm + 37
+    pend = len(raw) - 1
+    pg = _ws_parent_guess
+    if pstart + 2 == pend and raw.startswith(b"{}", pstart):
+        pass
+    elif pstart + len(pg) == pend and raw.startswith(pg, pstart):
+        pass
+    else:
+        parent = raw[pstart:pend]
+        if parent not in _parent_cache:
+            if _canon_parent_fullmatch(parent) is None:
+                return None
+            if len(_parent_cache) >= _PARENT_CACHE_CAP:
+                _parent_cache.clear()
+            _parent_cache[parent] = True
+        _ws_parent_guess = parent
+    mid = raw[j:k]
+    if b"\\" in mid:
+        return None
+    try:
+        msg_id = mid.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    return (msg_id, fields[0], fields[1], fields[2], channel, cs, ih)
+
+
+def probe_zmtp_header(header_b: bytes):
+    """Field-extract a canonical compact Jupyter header frame.
+
+    Returns ``(msg_id, msg_type, session, username)`` as ``str`` (via
+    the probe intern caches), or ``None`` when the frame is not the
+    canonical compact dump — including non-UTF-8 field bytes — so the
+    caller's ``json.loads`` fallback keeps its error classification.
+    """
+    global _zmtp_head_guess
+    hg = _zmtp_head_guess
+    if header_b.startswith(hg):
+        j = len(hg)
+    else:
+        if not header_b.startswith(_ZMTP_HEAD) or header_b[-1] != 125:  # '}'
+            return None
+        j = header_b.find(_ZMTP_MSG_ID_MARK, 9)
+        if j < 0:
+            return None
+        j += 12
+        head = header_b[:j]
+        if head not in _zmtp_head_cache:
+            if _ZMTP_HEAD_RX.fullmatch(head) is None:
+                return None
+            if len(_zmtp_head_cache) >= _PROBE_CACHE_CAP:
+                _zmtp_head_cache.clear()
+            _zmtp_head_cache[head] = True
+        _zmtp_head_guess = head
+    k = header_b.find(b'"', j)
+    if k < 0:
+        return None
+    tg = _zmtp_tail_guess.get(header_b[k + 14:k + 28])
+    if tg is not None and header_b.startswith(tg[0], k) \
+            and k + len(tg[0]) == len(header_b):
+        fields = tg[1]
+    else:
+        tail = header_b[k:]
+        fields = _zmtp_tail_cache.get(tail)
+        if fields is None:
+            m = _ZMTP_TAIL_RX.fullmatch(tail)
+            if m is None:
+                return None
+            try:
+                fields = (m.group(1).decode("utf-8"), m.group(2).decode("utf-8"),
+                          m.group(3).decode("utf-8"))
+            except UnicodeDecodeError:
+                return None
+            if len(_zmtp_tail_cache) >= _PROBE_CACHE_CAP:
+                _zmtp_tail_cache.clear()
+            _zmtp_tail_cache[tail] = fields
+        if len(_zmtp_tail_guess) >= _PROBE_CACHE_CAP:
+            _zmtp_tail_guess.clear()
+        _zmtp_tail_guess[tail[14:28]] = (tail, fields)
+    mid = header_b[j:k]
+    if b"\\" in mid:
+        return None
+    try:
+        msg_id = mid.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    return (msg_id, fields[0], fields[1], fields[2])
+
+
+def scan_spans_canonical(raw: bytes) -> Optional[Dict[str, Tuple[int, int]]]:
+    """Canonical-form fast path for :func:`scan_spans`: the same span
+    map, built from the probe's skeleton proof instead of a pure-Python
+    token walk.  Near-constant cost regardless of content size (the
+    content span is skipped at C ``find`` speed).  The content span is
+    whitespace-trimmed to the exact token bytes so it is interchangeable
+    with the tokenizer's span on every input; ``None`` falls through to
+    the tokenizer."""
+    pr = probe_ws_canonical(raw)
+    if pr is None:
+        return None
+    cs, ih = pr[5], pr[6]
+    pm = raw.find(_CANON_TAIL_MARK, ih)
+    ce = ih
+    while cs < ce and raw[ce - 1] in b" \t\r\n":
+        ce -= 1
+    while cs < ce and raw[cs] in b" \t\r\n":
+        cs += 1
+    return {
+        "buffers": (12, 14),
+        "channel": (27, pr[5] - 13),
+        "content": (cs, ce),
+        "header": (ih + 12, pm + 2),
+        "metadata": (pm + 16, pm + 18),
+        "parent_header": (pm + 37, len(raw) - 1),
+    }
+
+
 class LazyJupyterMessage:
     """One Jupyter WS-JSON payload, decoded field-by-field on demand."""
 
@@ -170,6 +470,17 @@ class LazyJupyterMessage:
         eager ``json.loads`` path classified it)."""
         if isinstance(payload, (bytearray, memoryview)):
             payload = bytes(payload)
+        # Canonical skeleton first, at ANY size: the probe is a handful
+        # of C calls, cheaper than even the eager C-scanner parse, and
+        # the span backend it feeds skips content dicts the detectors
+        # never read.  This moves the span-scanner crossover from 16 KiB
+        # down to zero for canonical senders; the eager-parse threshold
+        # below now only governs *non-canonical* payloads, where the
+        # pure-Python tokenizer still loses to the C scanner until
+        # payloads get large.
+        spans = scan_spans_canonical(payload)
+        if spans is not None:
+            return cls(payload, spans)
         if len(payload) > SPAN_SCAN_THRESHOLD:
             spans = scan_spans(payload)
             if spans is not None:

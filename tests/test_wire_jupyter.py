@@ -63,12 +63,27 @@ class TestScanSpans:
 
 
 class TestLazyJupyterMessage:
-    def test_eager_backend_for_small_payloads(self):
+    def test_span_backend_for_small_canonical_payloads(self):
+        # Canonical sender shape: the streaming scanner wins at any size,
+        # so even small payloads take the span backend (no content dict
+        # is materialized until a detector actually reads it).
         msg = LazyJupyterMessage.parse(_payload())
         assert msg is not None
-        assert msg._doc is not None  # eager C parse below the threshold
+        assert msg._spans is not None
         assert msg.header["msg_type"] == "execute_request"
         assert msg.channel == "shell"
+        assert msg.content["code"] == "print(1)"
+
+    def test_eager_backend_for_small_noncanonical_payloads(self):
+        # Non-canonical key order: below the threshold the classic eager
+        # C parse is still the cheapest complete validation.
+        raw = _payload()
+        doc = json.loads(raw)
+        reordered = json.dumps({k: doc[k] for k in reversed(sorted(doc))})
+        msg = LazyJupyterMessage.parse(reordered.encode())
+        assert msg is not None
+        assert msg._doc is not None
+        assert msg.header["msg_type"] == "execute_request"
         assert msg.content["code"] == "print(1)"
 
     def test_span_backend_for_large_payloads(self):
