@@ -242,6 +242,32 @@ class DecoyWary(SourceRotation):
         return moved
 
 
+class TimingRecon(DecoyWary):
+    """Fingerprint first, loot second: a pre-campaign timing-recon pass
+    (see :class:`~repro.traffic.fingerprint.TrafficFingerprinter`) maps
+    tenants to shards and flags decoys from response latency alone —
+    zero 403s — so the guard-discovery loop starts already knowing which
+    tenants are bait instead of paying a burned source to find out."""
+
+    name = "timing-recon"
+
+    def __init__(self, policy: AdversaryPolicy):
+        super().__init__(policy)
+        self.verdict = None  # FingerprintVerdict once prepare() has run
+
+    def prepare(self, agent: "AdversaryAgent") -> None:
+        from repro.traffic.fingerprint import TrafficFingerprinter
+
+        super().prepare(agent)
+        if agent.known_tenants is None:
+            agent.known_tenants = agent.view.enumerate_tenants(
+                source=agent.current_source, token=agent.current_token)
+        self.verdict = TrafficFingerprinter(agent.view).run(
+            source=agent.current_source, token=agent.current_token,
+            tenants=agent.known_tenants)
+        agent.suspected_decoys.update(self.verdict.suspected_decoys)
+
+
 #: name -> strategy class (``repro adversary --list``).
 STRATEGIES: Dict[str, Type[Strategy]] = {
     StaticStrategy.name: StaticStrategy,
@@ -249,6 +275,7 @@ STRATEGIES: Dict[str, Type[Strategy]] = {
     LowAndSlow.name: LowAndSlow,
     TenantHop.name: TenantHop,
     DecoyWary.name: DecoyWary,
+    TimingRecon.name: TimingRecon,
 }
 
 

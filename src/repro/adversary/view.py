@@ -47,6 +47,11 @@ class FeedbackEvent:
     tenant: str        # tenant targeted ("" for hub-level requests)
     status: int = 0    # HTTP status (0 when the channel died instead)
     detail: str = ""
+    #: Send-to-first-response SimClock delta and response body size —
+    #: the attacker's own timing/size side channel (0.0/0 when the
+    #: request died without a response).
+    elapsed: float = 0.0
+    resp_bytes: int = 0
 
     @property
     def locked_out(self) -> bool:
@@ -155,7 +160,31 @@ class AttackSurfaceView:
             ts=self.scenario.clock.now(),
             kind=classify(resp.status, resp.body or b""),
             source=source.ip, tenant=tenant, status=resp.status,
-            detail=f"GET {path}"))
+            detail=f"GET {path}", elapsed=client.last_elapsed,
+            resp_bytes=client.last_response_bytes))
+
+    def probe_front_door(self, *, source: Host, host: Host, token: str = "",
+                         path: str = "/hub/api") -> FeedbackEvent:
+        """One probe straight at a *published front door* rather than a
+        tenant — the unauthenticated hub-API ping a timing fingerprinter
+        calibrates per-shard latency floors with.  The host comes from
+        the published shard list (opaque endpoints), not routing state."""
+        self.probes += 1
+        self.requests += 1
+        client = WebSocketKernelClient(source, host, port=self._port(),
+                                       token=token, username="adversary")
+        try:
+            resp = client.request("GET", path)
+        except ReproError as e:
+            return self._observe(FeedbackEvent(
+                ts=self.scenario.clock.now(), kind="severed",
+                source=source.ip, tenant="", detail=str(e)))
+        return self._observe(FeedbackEvent(
+            ts=self.scenario.clock.now(),
+            kind=classify(resp.status, resp.body or b""),
+            source=source.ip, tenant="", status=resp.status,
+            detail=f"GET {path}", elapsed=client.last_elapsed,
+            resp_bytes=client.last_response_bytes))
 
     def enumerate_tenants(self, *, source: Host, token: str,
                           max_guesses: int = 12) -> List[str]:

@@ -12,6 +12,7 @@ One console script with subcommands delegating to the dedicated tools::
     repro soc ...        rules/replay/matrix for the automated response layer
     repro adversary ...  list/duel/matrix for the adaptive adversary engine
     repro obs ...        incident forensics and telemetry exporters
+    repro traffic ...    timing recon vs padding/jitter countermeasures
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ from repro.cli import scan as _scan
 from repro.cli import soc as _soc
 from repro.cli import taxonomy as _taxonomy
 from repro.cli import topology as _topology
+from repro.cli import traffic as _traffic
 
 SUBCOMMANDS: Dict[str, Callable[[Optional[List[str]]], int]] = {
     "scan": _scan.main,
@@ -41,6 +43,7 @@ SUBCOMMANDS: Dict[str, Callable[[Optional[List[str]]], int]] = {
     "soc": _soc.main,
     "adversary": _adversary.main,
     "obs": _obs.main,
+    "traffic": _traffic.main,
 }
 
 

@@ -1,0 +1,197 @@
+"""``repro traffic``: the traffic-analysis side-channel bench.
+
+Two modes:
+
+- ``--recon``  — run one :class:`TrafficFingerprinter` pass against a
+  topology preset and print what the attacker recovered (shard map,
+  decoy suspicions, 403 tally) next to the ground truth, plus whatever
+  the defense saw (TRAFFIC_PATTERN notices, containment actions).
+  ``--check`` adds the clean-world CI gate: on an unshaped, undefended
+  world the recon must recover the full shard map with zero 403s.
+- ``--matrix`` — the countermeasure matrix the CI ``traffic-smoke`` job
+  runs: clean vs ``padded-`` vs ``defended-padded-`` worlds at one
+  seed.  Exit status is non-zero unless padding pushes the shard-map
+  accuracy to chance *and* the defended world contains the recon off a
+  TRAFFIC_PATTERN incident.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.adversary.view import AttackSurfaceView
+from repro.eval.metrics import decoy_flagging, shard_map_accuracy
+from repro.hub.users import insecure_hub_config
+from repro.topology import WorldBuilder, list_presets, spec_preset
+from repro.traffic.fingerprint import TrafficFingerprinter
+
+#: Matrix gate: padded shard-map accuracy must drop at least this low
+#: (3 shards -> chance is 1/3; tenants on the nearest shard classify
+#: correctly for free, so 0.5 is the structural near-chance floor).
+PADDED_ACCURACY_CEILING = 0.5
+
+
+def run_recon(spec, *, probes: int = 6, gap: float = 0.5) -> Dict[str, Any]:
+    """Build ``spec``, run one fingerprinting pass, score it against
+    ground truth, and report the defender's side of the exchange."""
+    scenario = WorldBuilder().build(spec)
+    view = AttackSurfaceView(scenario)
+    verdict = TrafficFingerprinter(view, probes_per_tenant=probes,
+                                   gap=gap).run(
+        source=scenario.attacker_host, token=scenario.token)
+
+    shards = getattr(scenario, "shards", None) or []
+    accuracy: Optional[float] = None
+    if shards:
+        truth = scenario.shard_assignment()
+        label_map = {f"door{i}": s.name for i, s in enumerate(shards)}
+        accuracy = shard_map_accuracy(verdict.shard_map, truth, label_map)
+    decoy_truth = list(getattr(scenario, "decoy_tenant_names", []))
+    monitors = [s.monitor for s in shards] or [scenario.monitor]
+    pattern_notices = [n for m in monitors for n in m.logs.notices
+                       if n.name == "TRAFFIC_PATTERN"]
+    soc = getattr(scenario, "soc", None)
+    actions = list(soc.executed) if soc is not None else []
+    return {
+        "topology": spec.name,
+        "seed": spec.seed,
+        "padded": spec.padding is not None,
+        "defended": spec.defended,
+        "verdict": verdict.to_dict(),
+        "accuracy": accuracy,
+        "decoys": decoy_flagging(verdict.suspected_decoys, decoy_truth),
+        "traffic_pattern_notices": len(pattern_notices),
+        "containment_actions": [
+            {"ts": a.ts, "rule": a.rule, "action": a.action,
+             "target": a.target} for a in actions],
+    }
+
+
+def _fmt_row(row: Dict[str, Any]) -> str:
+    v = row["verdict"]
+    acc = row["accuracy"]
+    decoys = ",".join(v["suspected_decoys"]) or "-"
+    return (f"  {row['topology']:<34} "
+            f"acc={'-' if acc is None else f'{acc:.3f}'} "
+            f"decoys={decoys:<16} "
+            f"denied={v['denied']} blocked={v['blocked']} "
+            f"contained={v['contained']} "
+            f"pattern_notices={row['traffic_pattern_notices']} "
+            f"actions={len(row['containment_actions'])}")
+
+
+def _clean_gate_ok(row: Dict[str, Any]) -> bool:
+    """The clean-world bar: full shard map, zero 403s, decoys (if any
+    exist in the world) flagged."""
+    v = row["verdict"]
+    return (row["accuracy"] in (None, 1.0) and v["denied"] == 0
+            and v["blocked"] == 0
+            and (not row["decoys"]["decoys"] or row["decoys"]["recall"] > 0))
+
+
+def _recon(args, out) -> int:
+    kwargs: Dict[str, Any] = {}
+    if args.topology.endswith("sharded-hub-geo"):
+        kwargs["decoy_names"] = tuple(args.decoys)
+    spec = spec_preset(args.topology, seed=args.seed, **kwargs)
+    row = run_recon(spec, probes=args.probes, gap=args.gap)
+    if args.json:
+        print(json.dumps(row, indent=2, sort_keys=True), file=out)
+    else:
+        print(f"recon: topology={spec.name!r} seed={args.seed}", file=out)
+        print(_fmt_row(row), file=out)
+        for tenant, door in sorted(row["verdict"]["shard_map"].items()):
+            print(f"    {tenant:<10} -> {door} "
+                  f"(+{row['verdict']['residuals'][tenant]:.4f}s)", file=out)
+    if args.check and not (row["padded"] or row["defended"]) \
+            and not _clean_gate_ok(row):
+        print("traffic recon: FAIL — clean-world recon did not recover "
+              "the shard map with zero 403s", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _matrix(args, out) -> int:
+    decoys = tuple(args.decoys)
+    rows = [
+        run_recon(spec_preset("sharded-hub-geo", seed=args.seed,
+                              decoy_names=decoys),
+                  probes=args.probes, gap=args.gap),
+        run_recon(spec_preset("padded-sharded-hub-geo", seed=args.seed,
+                              decoy_names=decoys),
+                  probes=args.probes, gap=args.gap),
+        # No decoys in the defended row: the honeypot-intel auto-block
+        # would contain the recon before the pattern detector ever sees
+        # a full probe train, and this row exists to gate *that* path.
+        run_recon(spec_preset("defended-padded-sharded-hub-geo",
+                              seed=args.seed, decoy_names=(),
+                              hub_config=insecure_hub_config()),
+                  probes=args.probes, gap=args.gap),
+    ]
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True), file=out)
+    else:
+        print(f"traffic matrix: seed={args.seed} probes={args.probes} "
+              f"gap={args.gap}", file=out)
+        for row in rows:
+            print(_fmt_row(row), file=out)
+
+    clean, padded, defended = rows
+    failures: List[str] = []
+    if not _clean_gate_ok(clean):
+        failures.append("clean recon did not recover the full shard map "
+                        "with zero 403s (or missed every decoy)")
+    if padded["accuracy"] is not None \
+            and padded["accuracy"] > PADDED_ACCURACY_CEILING:
+        failures.append(f"padded accuracy {padded['accuracy']:.3f} above "
+                        f"the {PADDED_ACCURACY_CEILING} near-chance ceiling")
+    if padded["verdict"]["blocked"]:
+        failures.append("padding alone should not block the attacker")
+    if defended["traffic_pattern_notices"] == 0:
+        failures.append("defended world raised no TRAFFIC_PATTERN notice")
+    if not defended["containment_actions"] \
+            or not defended["verdict"]["contained"]:
+        failures.append("defended world did not contain the recon")
+    for failure in failures:
+        print(f"traffic matrix: FAIL — {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-traffic",
+        description="Timing recon vs padding/jitter countermeasures")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--recon", action="store_true",
+                      help="one fingerprinting pass against --topology")
+    mode.add_argument("--matrix", action="store_true",
+                      help="clean vs padded vs defended-padded matrix")
+    parser.add_argument("--topology", default="sharded-hub-geo",
+                        help="topology preset for --recon "
+                             "(default: sharded-hub-geo)")
+    parser.add_argument("--decoys", nargs="*", default=["admin"],
+                        help="decoy tenant names woven into the geo worlds")
+    parser.add_argument("--probes", type=int, default=6,
+                        help="probes per tenant train")
+    parser.add_argument("--gap", type=float, default=0.5,
+                        help="sim-seconds between probes")
+    parser.add_argument("--check", action="store_true",
+                        help="with --recon: fail unless a clean world's "
+                             "recon fully succeeds (the CI gate)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.recon:
+        if args.topology not in list_presets():
+            parser.error(f"unknown topology {args.topology!r} "
+                         f"(registered: {', '.join(list_presets())})")
+        return _recon(args, sys.stdout)
+    return _matrix(args, sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -4,10 +4,13 @@ from repro.eval.metrics import (
     ConfusionMatrix,
     DetectionEvaluator,
     containment_rates,
+    decoy_flagging,
     median,
     outcome_rates,
     roc_sweep,
+    shard_map_accuracy,
 )
 
 __all__ = ["ConfusionMatrix", "DetectionEvaluator", "containment_rates",
-           "median", "outcome_rates", "roc_sweep"]
+           "decoy_flagging", "median", "outcome_rates", "roc_sweep",
+           "shard_map_accuracy"]

@@ -163,6 +163,40 @@ def defense_coverage_decay(
     return {"peak": peak, "final": final, "decay": round(decay, 4)}
 
 
+# -- traffic-analysis recon metrics (the traffic subsystem's vocabulary) ------
+
+def shard_map_accuracy(predicted: Dict[str, str], truth: Dict[str, str],
+                       label_map: Optional[Dict[str, str]] = None) -> float:
+    """Fraction of ground-truth tenants the recon placed on the right
+    shard.  ``label_map`` translates the attacker's own labels (door
+    ordinals) into the defender's shard names before comparing; tenants
+    the recon never classified count as wrong, and an empty truth map
+    scores 0.0 (nothing was recoverable, so nothing was recovered)."""
+    if not truth:
+        return 0.0
+    mapping = label_map or {}
+    hits = 0
+    for tenant, shard in truth.items():
+        guess = predicted.get(tenant)
+        if guess is not None and mapping.get(guess, guess) == shard:
+            hits += 1
+    return hits / len(truth)
+
+
+def decoy_flagging(suspected: Sequence[str],
+                   truth: Sequence[str]) -> Dict[str, float]:
+    """Precision/recall of the recon's decoy verdicts against the
+    world's actual decoy roster (both over tenant names)."""
+    s, t = set(suspected), set(truth)
+    tp = len(s & t)
+    return {
+        "suspected": len(s),
+        "decoys": len(t),
+        "precision": tp / len(s) if s else 0.0,
+        "recall": tp / len(t) if t else 0.0,
+    }
+
+
 @dataclass
 class ConfusionMatrix:
     tp: int = 0

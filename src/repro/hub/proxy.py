@@ -25,7 +25,9 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 from repro.hub.spawner import SpawnedServer, Spawner, SpawnError
 from repro.hub.users import HubConfig, HubUser, HubUserDirectory, HubUserError
 from repro.simnet import Host, Network, TcpConnection
+from repro.traffic.padding import PaddingPolicy, ResponsePadder
 from repro.util.errors import ProtocolError
+from repro.util.rng import DeterministicRNG
 from repro.wire.buffer import ByteCursor
 from repro.wire.http import (
     HEADER_END,
@@ -39,6 +41,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.telemetry import Telemetry
 
 HUB_VERSION = "1.0"
+
+#: Fixed buckets for ``proxy_request_seconds``: spans the campus RTT
+#: floor (~1 ms) through the geo links (~160 ms) up to the 1 s request
+#: window.  Fixed so dashboards comparing worlds line up.
+PROXY_LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                         0.1, 0.25, 0.5, 1.0)
 
 
 def _json_response(status: int, payload: Any) -> HttpResponse:
@@ -93,6 +101,11 @@ class ProxyStats:
     blocked-source and auth-failure paths, which made the two causes
     indistinguishable; it is now derived from the two distinct counters
     (the registry exports them as ``proxy_denied_total{reason=...}``).
+
+    Latency deliberately lives elsewhere: per-route response-latency
+    distributions are histograms, not counters, so they export directly
+    as ``proxy_request_seconds{proxy=,route=}`` (fixed buckets, zero
+    cost when telemetry is off) instead of riding this snapshot struct.
     """
 
     requests_total: int = 0
@@ -128,6 +141,11 @@ class _ProxyChannel:
         self.route: Optional[RouteEntry] = None
         self.backend: Optional[TcpConnection] = None
         self._backend_buffer = ByteCursor()
+        #: When the in-flight backend relay started (latency histogram).
+        self._relay_started = 0.0
+        #: Monotonic floor for jittered sends on this channel: a later
+        #: response never overtakes an earlier one on the same connection.
+        self._next_send_at = 0.0
         #: ordered work while a backend relay is in flight: either a
         #: queued relay ("relay", request, route) or an already-computed
         #: local response ("respond", response).
@@ -185,9 +203,34 @@ class _ProxyChannel:
         return True
 
     def respond(self, response: HttpResponse) -> None:
-        """Write a response now (bypasses ordering; internal use)."""
-        if self.conn.open:
+        """Write a response (bypasses request ordering; internal use).
+
+        With a :class:`PaddingPolicy` compiled in, the body is padded to
+        its size bucket and the send is delayed by a bounded jitter draw
+        — except 101s, which head straight into byte piping (shaping
+        would desync the upgrade from the frames behind it; kernel
+        channels keep their timing, a declared model limit).
+        """
+        if not self.conn.open:
+            return
+        padder = self.proxy.padder
+        if padder is None or response.status == 101:
             self.conn.send_to_client(response.encode())
+            return
+        raw = padder.pad(response).encode()
+        now = self.proxy.clock.now()
+        send_at = max(now + padder.jitter(), self._next_send_at)
+        self._next_send_at = send_at
+        if send_at <= now:
+            self.conn.send_to_client(raw)
+            return
+        conn = self.conn
+
+        def _send() -> None:
+            if conn.open:
+                conn.send_to_client(raw)
+
+        self.proxy.network.loop.call_at(send_at, _send)
 
     def deliver(self, response: HttpResponse) -> None:
         """Send a locally-computed response in request order: if a
@@ -224,6 +267,7 @@ class _ProxyChannel:
         self._busy = True
         self.backend = backend
         self.route = route
+        self._relay_started = self.proxy.clock.now()
         self._backend_buffer.clear()
         upgrade = request.is_websocket_upgrade()
         backend.on_data_client = lambda data: self._on_backend_data(data, upgrade)
@@ -270,6 +314,8 @@ class _ProxyChannel:
         if route is not None:
             route.bytes_out += len(resp.body)
             route.last_activity = self.proxy.clock.now()
+            self.proxy._observe_latency(
+                route.username, self.proxy.clock.now() - self._relay_started)
         self.respond(resp)
         if resp.status == 101 and upgrade:
             self.piping = True
@@ -311,7 +357,9 @@ class ReverseProxy:
 
     def __init__(self, network: Network, host: Host, users: HubUserDirectory,
                  config: HubConfig, *, spawner: Optional[Spawner] = None,
-                 telemetry: Optional["Telemetry"] = None):
+                 telemetry: Optional["Telemetry"] = None,
+                 padding: Optional[PaddingPolicy] = None,
+                 rng: Optional[DeterministicRNG] = None):
         from repro.telemetry import Telemetry
 
         self.network = network
@@ -329,6 +377,17 @@ class ReverseProxy:
         self.stats = ProxyStats()
         self.channels: List[_ProxyChannel] = []
         self.protocol_errors: List[str] = []
+        #: Traffic shaping (size-bucket padding + jitter): compiled in
+        #: from WorldSpec.padding.  The jitter stream is a seeded-RNG
+        #: child, never wall clock — worlds stay byte-reproducible.
+        self.padder: Optional[ResponsePadder] = None
+        if padding is not None and padding.enabled:
+            self.padder = ResponsePadder(
+                padding, rng if rng is not None
+                else DeterministicRNG(0).child(f"padding:{host.name}"))
+        #: ``proxy_request_seconds`` children, cached per route label.
+        self._lat_children: Dict[str, Any] = {}
+        self._lat_hist: Any = None
         self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         #: Cached enabled flag: the request path tests one boolean, not
         #: a chain of attribute loads, when telemetry is off.
@@ -392,6 +451,25 @@ class ReverseProxy:
             blocked_g.set(len(self.blocked_sources))
 
         reg.register_collector(collect)
+        # Latency is the one family that cannot ride the scrape-time
+        # collector (histograms need every observation, not a snapshot);
+        # observations go direct, gated on the same cached boolean, so
+        # the cost with telemetry off stays one ``if``.
+        self._lat_hist = reg.histogram(
+            "proxy_request_seconds",
+            "Response latency by route: backend service time for relayed "
+            "requests, ~0 for locally answered ones (route=hub/edge).  "
+            "Shaping delay is excluded; the padder reports it separately.",
+            labels=("proxy", "route"), buckets=PROXY_LATENCY_BUCKETS)
+
+    def _observe_latency(self, route: str, seconds: float) -> None:
+        if not self._tele_on:
+            return
+        child = self._lat_children.get(route)
+        if child is None:
+            child = self._lat_children[route] = self._lat_hist.labels(
+                proxy=self.host.name, route=route)
+        child.observe(seconds)
 
     def _accept(self, conn: TcpConnection) -> None:
         self.channels.append(_ProxyChannel(self, conn))
@@ -493,6 +571,7 @@ class ReverseProxy:
                 self.telemetry.timeline.record(
                     self.clock.now(), "proxy.blocked", source=source,
                     ctx=span.ctx, path=request.path, proxy=self.host.name)
+            self._observe_latency("edge", 0.0)
             channel.deliver(_json_response(403, {
                 "message": f"Forbidden: source {source} is blocked by security policy",
             }))
@@ -502,6 +581,7 @@ class ReverseProxy:
             self.stats.hub_requests += 1
             if span is not None:
                 span.finish(self.clock.now(), status="hub")
+            self._observe_latency("hub", 0.0)
             channel.deliver(self._hub_api(request))
             return
         if path.startswith("/user/"):
@@ -510,6 +590,7 @@ class ReverseProxy:
         self.stats.not_found_total += 1
         if span is not None:
             span.finish(self.clock.now(), status="not_found")
+        self._observe_latency("edge", 0.0)
         channel.deliver(_json_response(404, {
             "message": f"no route for {path}",
             "hint": "tenant servers live under /user/<name>/, the hub API under /hub/api",
@@ -528,6 +609,7 @@ class ReverseProxy:
                     self.clock.now(), "proxy.denied",
                     source=channel.conn.client.ip, ctx=span.ctx,
                     path=request.path, why=why, proxy=self.host.name)
+            self._observe_latency("edge", 0.0)
             channel.deliver(_json_response(403, {"message": f"Forbidden: {why}"}))
             return
         route = self.routes.get(target)
@@ -540,6 +622,7 @@ class ReverseProxy:
             self.stats.not_found_total += 1
             if span is not None:
                 span.finish(self.clock.now(), status="not_found")
+            self._observe_latency("edge", 0.0)
             channel.deliver(_json_response(status, {
                 "message": message,
                 "hint": f"POST /hub/api/users/{target}/server to start it",
@@ -652,7 +735,9 @@ class ReverseProxy:
 
     # -- reporting ------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
+        shaping = self.padder.summary() if self.padder is not None else None
         return {
+            "shaping": shaping,
             "routes": len(self.routes),
             "requests_total": self.stats.requests_total,
             "routed_total": self.stats.routed_total,

@@ -220,9 +220,15 @@ class JupyterNetworkMonitor:
         self.scan = ScanDetector()
         self.newsource = NewSourceDetector()
         self.tenantsweep = TenantSweepDetector()
+        # Deferred import: repro.traffic pulls in the monitor package, so
+        # importing it at module top would leave traffic.pattern half
+        # initialized whenever the traffic package loads first.
+        from repro.traffic.pattern import TrafficPatternDetector
+
+        self.trafficpattern = TrafficPatternDetector()
         self.detectors = [self.entropy, self.egress, self.cusum, self.beacon,
                           self.bruteforce, self.scan, self.newsource,
-                          self.tenantsweep]
+                          self.tenantsweep, self.trafficpattern]
         # Telemetry: shared registry/tracer/timeline (see repro.telemetry).
         # Health counters surface via a scrape-time collector; the causal
         # join (proxy request → detector hit) resolves the X-Request-Id the
@@ -708,7 +714,8 @@ class JupyterNetworkMonitor:
                 req = parse_request_from(state.buffer)
                 if req is None:
                     return
-                self.health.bytes_http += state.buffer.total_consumed - consumed_before
+                wire_bytes = state.buffer.total_consumed - consumed_before
+                self.health.bytes_http += wire_bytes
                 rec = HttpRecord(
                     ts=ts, uid=conn.uid, src=conn.src, dst=conn.dst,
                     method=req.method, path=req.path,
@@ -738,6 +745,13 @@ class JupyterNetworkMonitor:
                     self._note(n)
                 # Hub-path visibility: a client IP spread across tenants.
                 self._note(self.tenantsweep.observe_request(ts, conn.src, req.path))
+                # Traffic-analysis recon: the metronomic probe-train
+                # cadence a timing fingerprinter induces.  Backend legs
+                # carry the proxy as src — only client-facing traffic
+                # can be an external prober.
+                if conn.src not in self.infrastructure_ips:
+                    self._note(self.trafficpattern.observe_request(
+                        ts, conn.src, req.path, wire_bytes, method=req.method))
                 # Network-plane ransomware signal: high-entropy PUT bodies.
                 if req.method in ("PUT", "POST") and req.body:
                     content = req.body

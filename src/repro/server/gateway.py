@@ -223,6 +223,14 @@ class WebSocketKernelClient:
         self._ws_decoder: Optional[WebSocketDecoder] = None
         self._conn: Optional[TcpConnection] = None
         self.kernel_id: Optional[str] = None
+        #: SimClock delta from send to first-response completion and the
+        #: first response's body size, for the most recent :meth:`request`
+        #: (0.0/0 before any request or when none arrived).  Timing-side
+        #: consumers (the traffic fingerprinter) read these instead of
+        #: re-deriving time around ``network.run``, which always advances
+        #: the clock by its full window regardless of arrival.
+        self.last_elapsed: float = 0.0
+        self.last_response_bytes: int = 0
 
     # -- plain REST -----------------------------------------------------------------
     def request(self, method: str, path: str, body: bytes = b"") -> HttpResponse:
@@ -232,12 +240,21 @@ class WebSocketKernelClient:
         conn = self.client_host.connect(self.server_host, self.port)
         responses: List[HttpResponse] = []
         buffer = b""
+        clock = self.client_host.network.loop.clock
+        sent_at = clock.now()
+        self.last_elapsed = 0.0
+        self.last_response_bytes = 0
 
         def on_data(data: bytes) -> None:
             nonlocal buffer
             buffer += data
             resp, rest = parse_response(buffer)
             if resp is not None:
+                if not responses:
+                    # Arrival time must be read *inside* the delivery
+                    # callback: run() below pins the clock to its window end.
+                    self.last_elapsed = clock.now() - sent_at
+                    self.last_response_bytes = len(resp.body or b"")
                 responses.append(resp)
                 buffer = rest
 

@@ -211,8 +211,13 @@ class WorldBuilder:
         telemetry = self._telemetry(spec)
         users = HubUserDirectory(hub_cfg, net.loop.clock, rng=rng.child("hub-tokens"))
         spawner = Spawner(net, nodes, base_cfg, hub_cfg, telemetry=telemetry)
+        # The padding RNG children exist only in padded worlds, so an
+        # unpadded spec's RNG stream — and therefore its whole segment
+        # timeline — is bit-identical to pre-padding builds.
         proxies = [ReverseProxy(net, host, users, hub_cfg, spawner=spawner,
-                                telemetry=telemetry)
+                                telemetry=telemetry, padding=spec.padding,
+                                rng=(rng.child(f"padding:{host.name}")
+                                     if spec.padding is not None else None))
                    for host in shard_hosts]
         for proxy in proxies:
             spawner.on_spawn.append(lambda s, p=proxy: p.add_route(s))
@@ -326,7 +331,15 @@ class WorldBuilder:
                                        interaction=d.interaction)
             fleet.adopt(decoy)
             users.create(d.name)
-            proxy_for(d.name).add_static_route(d.name, host, decoy.config.port)
+            proxy = proxy_for(d.name)
+            proxy.add_static_route(d.name, host, decoy.config.port)
+            if d.service_latency > 0:
+                # The decoy's service-time signature: honeypot
+                # instrumentation is slower than a stock backend, so its
+                # proxy leg carries extra latency — the side channel
+                # spec'd on DecoyTenantSpec.service_latency.
+                net.set_latency(proxy.host, host,
+                                spec.default_latency + d.service_latency)
             decoys.append(decoy)
             decoy_names.append(d.name)
         return {"fleet": fleet, "decoys": decoys,

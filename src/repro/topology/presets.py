@@ -31,6 +31,12 @@ Registered presets (``repro topology --list``):
   source-rotation pool and phished tenant credentials) for the
   strategy-driven attackers ``repro adversary`` runs.  ``versus(spec)``
   arms any hub spec the same way.
+- ``padded-hub`` / ``padded-sharded-hub-geo`` /
+  ``defended-padded-hub`` / ``defended-padded-sharded-hub-geo`` — the
+  traffic-shaping worlds: a :class:`PaddingPolicy` compiles size-bucket
+  padding and bounded response jitter into every front door, which is
+  what defeats the ``timing-recon`` fingerprinter (``repro traffic``).
+  ``pad(spec)`` arms any hub spec the same way.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from repro.hub.users import HubConfig, insecure_hub_config
 from repro.monitor import AnalyzerDepth
 from repro.server.config import ServerConfig
 from repro.soc.playbook import ResponsePolicy
+from repro.traffic.padding import PaddingPolicy
 from repro.topology.spec import (
     DecoyTenantSpec,
     HostSpec,
@@ -226,12 +233,28 @@ def sharded_hub_geo_spec(
     *,
     n_tenants: int = 6,
     links: Tuple[LinkSpec, ...] = GEO_LINKS,
+    decoy_names: Sequence[str] = (),
     **kwargs,
 ) -> WorldSpec:
     """The sharded hub with geographic latency structure.  Three shards
     (the ``GEO_LINKS`` map assumes three), per-link latency overrides on
-    the client/attacker legs, everything else as ``sharded-hub``."""
+    the client/attacker legs, everything else as ``sharded-hub``.
+
+    ``decoy_names`` adds honeypot tenants on their hash-assigned shards
+    (the timing-recon worlds use one): like the honeypot presets, naming
+    decoys flips the default hub config to *insecure* — decoys exist for
+    deployments where a pivot would otherwise sweep unimpeded, and an
+    open hub is also what makes zero-403 timing recon possible."""
+    if decoy_names:
+        kwargs.setdefault("hub_config", insecure_hub_config())
     base = sharded_hub_spec(n_shards=3, n_tenants=n_tenants, **kwargs)
+    if decoy_names:
+        decoys = tuple(
+            DecoyTenantSpec(name=name, host=HostSpec(f"decoy{i}", f"10.0.3.{10 + i}"))
+            for i, name in enumerate(decoy_names)
+        )
+        assert base.hub is not None
+        base = replace(base, hub=replace(base.hub, decoy_tenants=decoys))
     return replace(base, name="sharded-hub-geo", links=tuple(links))
 
 
@@ -255,6 +278,34 @@ defended_hub_spec = _defended_factory(hub_spec)
 defended_sharded_hub_spec = _defended_factory(sharded_hub_spec)
 defended_honeypot_hub_spec = _defended_factory(honeypot_hub_spec)
 defended_sharded_hub_geo_spec = _defended_factory(sharded_hub_geo_spec)
+
+
+def pad(spec: WorldSpec, policy: Optional[PaddingPolicy] = None) -> WorldSpec:
+    """Arm any hub spec with the traffic-analysis countermeasure:
+    size-bucket padding + bounded response jitter at every front door."""
+    return replace(spec, name=f"padded-{spec.name}",
+                   padding=policy or PaddingPolicy())
+
+
+def padded_hub_spec(*, padding: Optional[PaddingPolicy] = None,
+                    **kwargs) -> WorldSpec:
+    """``hub`` plus a PaddingPolicy — the shaped-but-unsharded world the
+    throughput-overhead benchmark compares against plain ``hub``."""
+    return pad(hub_spec(**kwargs), padding)
+
+
+def padded_sharded_hub_geo_spec(
+        *, padding: Optional[PaddingPolicy] = None,
+        decoy_names: Sequence[str] = ("admin",), **kwargs) -> WorldSpec:
+    """``sharded-hub-geo`` with a decoy tenant *and* traffic shaping —
+    the world where timing recon degrades to near-chance.  The decoy
+    (and the insecure hub config it implies) is on by default so the
+    padded and unpadded geo worlds differ by exactly the countermeasure."""
+    return pad(sharded_hub_geo_spec(decoy_names=decoy_names, **kwargs), padding)
+
+
+defended_padded_hub_spec = _defended_factory(padded_hub_spec)
+defended_padded_sharded_hub_geo_spec = _defended_factory(padded_sharded_hub_geo_spec)
 
 
 #: The response posture of the ``adaptive-*`` presets: the same default
@@ -332,6 +383,10 @@ PRESETS: Dict[str, Callable[..., WorldSpec]] = {
     "adaptive-sharded-hub": adaptive_sharded_hub_spec,
     "adaptive-honeypot-hub": adaptive_honeypot_hub_spec,
     "adaptive-sharded-hub-geo": adaptive_sharded_hub_geo_spec,
+    "padded-hub": padded_hub_spec,
+    "padded-sharded-hub-geo": padded_sharded_hub_geo_spec,
+    "defended-padded-hub": defended_padded_hub_spec,
+    "defended-padded-sharded-hub-geo": defended_padded_sharded_hub_geo_spec,
 }
 
 

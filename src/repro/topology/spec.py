@@ -22,6 +22,7 @@ from repro.hub.users import HubConfig
 from repro.monitor import AnalyzerDepth
 from repro.server.config import ServerConfig
 from repro.soc.playbook import ResponsePolicy
+from repro.traffic.padding import PaddingPolicy
 
 
 @dataclass(frozen=True)
@@ -126,6 +127,12 @@ class DecoyTenantSpec:
     name: str
     host: HostSpec
     interaction: str = "high"
+    #: Extra one-way proxy<->decoy latency the builder installs as a
+    #: link override: honeypot instrumentation (recording, emulation)
+    #: costs service time a stock single-user server does not pay, and
+    #: that asymmetry is exactly the side channel a timing
+    #: fingerprinter reads.  0 models a perfectly latency-matched decoy.
+    service_latency: float = 0.008
 
 
 @dataclass(frozen=True)
@@ -200,11 +207,20 @@ class WorldSpec:
     #: Measurement plane: one shared registry/tracer/timeline per build,
     #: threaded through proxy, wire decoders, monitor, SOC, adversary.
     telemetry: TelemetrySpec = TelemetrySpec()
+    #: Traffic-analysis countermeasure: when set, the builder compiles
+    #: size-bucket padding + bounded response jitter into every front
+    #: door (the ``padded-*`` presets).  Jitter draws come from the
+    #: world's seeded RNG, so padded worlds stay byte-reproducible.
+    padding: Optional[PaddingPolicy] = None
 
     def __post_init__(self) -> None:
         if (self.server is None) == (self.hub is None):
             raise ValueError(
                 f"WorldSpec {self.name!r} needs exactly one of server=/hub=")
+        if self.padding is not None and self.hub is None:
+            raise ValueError(
+                f"WorldSpec {self.name!r}: padding policies need a hub "
+                f"topology (shaping is applied at the reverse proxy)")
         if self.hub is not None and self.hub.n_tenants < 1:
             raise ValueError("a hub topology needs at least one tenant")
         if self.response is not None and self.server is not None:

@@ -1,0 +1,34 @@
+"""Traffic-analysis side channels: the three-sided subsystem.
+
+- :mod:`repro.traffic.fingerprint` — the attacker: induce request
+  patterns, classify per-tenant latency/size distributions into a shard
+  map and decoy suspicions (zero 403s).
+- :mod:`repro.traffic.pattern` — the defender: recognize the induced
+  pattern at the proxy tap and raise ``TRAFFIC_PATTERN`` notices into
+  the correlator -> playbook path.
+- :mod:`repro.traffic.padding` — the countermeasure: size-bucket
+  padding and bounded jitter at the proxy, declared per-world as a
+  :class:`PaddingPolicy` on ``WorldSpec``.
+
+``repro traffic --recon/--matrix`` drives the whole loop;
+EXP-TRAFFIC / BENCH_TRAFFIC.json measure the detection-vs-throughput
+tradeoff.
+"""
+
+from repro.traffic.fingerprint import (
+    FingerprintVerdict,
+    TenantReading,
+    TrafficFingerprinter,
+)
+from repro.traffic.padding import PaddingPolicy, ResponsePadder
+from repro.traffic.pattern import ProbeTemplate, TrafficPatternDetector
+
+__all__ = [
+    "FingerprintVerdict",
+    "PaddingPolicy",
+    "ProbeTemplate",
+    "ResponsePadder",
+    "TenantReading",
+    "TrafficFingerprinter",
+    "TrafficPatternDetector",
+]

@@ -1,0 +1,214 @@
+"""Timing recon: classify a hub fleet from response latency alone.
+
+The sharded-geo topologies leak structure through the side channel the
+paper's taxonomy stops short of: per-link latency (``GEO_LINKS``) makes
+each front door's round-trip time a fingerprint, and decoy tenants —
+indistinguishable by status code once the hub config is open — sit
+behind a backend leg with a distinct service-time signature.  A
+:class:`TrafficFingerprinter` recovers both with *zero* 403s:
+
+1. **Calibrate** — a short train of unauthenticated ``GET /hub/api``
+   probes at each published front door; the minimum round trip is that
+   shard's latency floor (min, not mean: queueing and jitter only ever
+   add).
+2. **Induce** — per tenant, a fixed-cadence train of ``GET
+   /user/<t>/api/status`` probes through the tenant's front door,
+   keeping the per-probe round trip and response size.
+3. **Classify** — each tenant is assigned the *largest calibrated
+   floor that does not exceed its round trip* (latency never
+   undershoots the floor, so nearest-neighbor would misread slow
+   backends as farther shards); the residual above the floor is the
+   backend leg, and a residual past ``decoy_residual_floor`` marks a
+   suspected decoy (instrumented honeypots pay a recording/service
+   overhead real single-user servers do not).
+
+Everything is read from the attacker's own traffic — SimClock deltas
+stamped on :class:`~repro.adversary.view.FeedbackEvent` — never from
+host identities (the front doors model opaque anycast/DNS) and never
+from defender state.  Against a :class:`~repro.traffic.padding
+.PaddingPolicy` the same pipeline degrades to near-chance: bucketed
+sizes carry no signal and the jitter spread swamps both the shard
+separation and the decoy residual.  The induced cadence is also
+exactly what :class:`~repro.traffic.pattern.TrafficPatternDetector`
+matches — recon is no longer free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Floors within this of a measured RTT still count as "not exceeding"
+#: it (guards the zero-residual case against float noise).
+_FLOOR_EPS = 1e-6
+
+
+@dataclass
+class TenantReading:
+    """The per-tenant sample train, attacker-side raw data."""
+
+    tenant: str
+    rtts: List[float] = field(default_factory=list)
+    sizes: List[int] = field(default_factory=list)
+    kinds: List[str] = field(default_factory=list)
+
+    @property
+    def floor_rtt(self) -> Optional[float]:
+        ok = [r for r, k in zip(self.rtts, self.kinds) if k == "ok" and r > 0]
+        return min(ok) if ok else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "rtts": [round(r, 6) for r in self.rtts],
+            "sizes": list(self.sizes),
+            "kinds": list(self.kinds),
+        }
+
+
+@dataclass
+class FingerprintVerdict:
+    """What the recon concluded, in comparable (byte-stable) form."""
+
+    shard_bases: Dict[str, float]
+    shard_map: Dict[str, str]          # tenant -> shard label
+    residuals: Dict[str, float]        # tenant -> rtt above assigned floor
+    suspected_decoys: List[str]
+    readings: List[TenantReading]
+    probes: int = 0
+    denied: int = 0                    # plain 403s observed (should be 0)
+    blocked: int = 0                   # containment 403s / severed channels
+    contained: bool = False            # recon was cut short by the defense
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard_bases": {k: round(v, 6) for k, v in
+                            sorted(self.shard_bases.items())},
+            "shard_map": dict(sorted(self.shard_map.items())),
+            "residuals": {k: round(v, 6) for k, v in
+                          sorted(self.residuals.items())},
+            "suspected_decoys": sorted(self.suspected_decoys),
+            "readings": [r.to_dict() for r in self.readings],
+            "probes": self.probes,
+            "denied": self.denied,
+            "blocked": self.blocked,
+            "contained": self.contained,
+        }
+
+
+class TrafficFingerprinter:
+    """Drives one recon pass through an ``AttackSurfaceView``.
+
+    The view is duck-typed (anything with ``probe``/``probe_front_door``
+    and a scenario exposing ``run``/front doors works); all timing comes
+    from the elapsed/size fields the view stamps on feedback events.
+    """
+
+    def __init__(self, view, *, probes_per_tenant: int = 6,
+                 base_probes: int = 3, gap: float = 0.5,
+                 path: str = "/api/status",
+                 decoy_residual_floor: float = 0.014):
+        if probes_per_tenant < 1 or base_probes < 1:
+            raise ValueError("fingerprinting needs at least one probe per train")
+        self.view = view
+        self.probes_per_tenant = probes_per_tenant
+        self.base_probes = base_probes
+        self.gap = gap
+        self.path = path
+        self.decoy_residual_floor = decoy_residual_floor
+
+    # -- plumbing -------------------------------------------------------------
+    def _front_doors(self) -> List[Tuple[str, Any]]:
+        """(label, host) per published front door.  Labels are the
+        attacker's own ordinals — classification never reads the
+        defender's shard names; scoring maps labels to truth later."""
+        scenario = self.view.scenario
+        shards = getattr(scenario, "shards", None)
+        if shards:
+            return [(f"door{i}", s.host) for i, s in enumerate(shards)]
+        proxy = getattr(scenario, "proxy", None)
+        host = proxy.host if proxy is not None else scenario.server_host
+        return [("door0", host)]
+
+    # -- the recon pass -------------------------------------------------------
+    def run(self, *, source, token: str,
+            tenants: Optional[Sequence[str]] = None) -> FingerprintVerdict:
+        verdict = FingerprintVerdict(shard_bases={}, shard_map={},
+                                     residuals={}, suspected_decoys=[],
+                                     readings=[])
+        scenario = self.view.scenario
+        doors = self._front_doors()
+
+        # 1. Calibrate each front door's latency floor.
+        for label, host in doors:
+            rtts: List[float] = []
+            for _ in range(self.base_probes):
+                event = self.view.probe_front_door(source=source, host=host,
+                                                   token=token)
+                verdict.probes += 1
+                self._tally(verdict, event)
+                if verdict.contained:
+                    return verdict
+                if event.kind == "ok" and event.elapsed > 0:
+                    rtts.append(event.elapsed)
+                scenario.run(self.gap)
+            if rtts:
+                verdict.shard_bases[label] = min(rtts)
+        if not verdict.shard_bases:
+            return verdict
+
+        # 2. Induce a probe train per tenant.
+        if tenants is None:
+            tenants = self.view.enumerate_tenants(source=source, token=token)
+        for tenant in tenants:
+            reading = TenantReading(tenant=tenant)
+            verdict.readings.append(reading)
+            for _ in range(self.probes_per_tenant):
+                event = self.view.probe(source=source, tenant=tenant,
+                                        token=token, path=self.path)
+                verdict.probes += 1
+                self._tally(verdict, event)
+                reading.rtts.append(event.elapsed)
+                reading.sizes.append(event.resp_bytes)
+                reading.kinds.append(event.kind)
+                if verdict.contained:
+                    self._classify(verdict, doors)
+                    return verdict
+                scenario.run(self.gap)
+            if all(k == "denied" for k in reading.kinds):
+                # A locked-down hub (proxy auth on): every further train
+                # would 403 identically — stop burning requests.
+                break
+
+        # 3. Classify.
+        self._classify(verdict, doors)
+        return verdict
+
+    def _tally(self, verdict: FingerprintVerdict, event) -> None:
+        if event.kind == "denied":
+            verdict.denied += 1
+        elif event.kind in ("blocked", "severed"):
+            verdict.blocked += 1
+            verdict.contained = True
+
+    def _classify(self, verdict: FingerprintVerdict,
+                  doors: List[Tuple[str, Any]]) -> None:
+        if not verdict.shard_bases:
+            return
+        floors = sorted(verdict.shard_bases.items(), key=lambda kv: kv[1])
+        for reading in verdict.readings:
+            rtt = reading.floor_rtt
+            if rtt is None:
+                continue
+            label = floors[0][0]
+            for name, floor in floors:
+                if floor <= rtt + _FLOOR_EPS:
+                    label = name
+                else:
+                    break
+            verdict.shard_map[reading.tenant] = label
+            residual = rtt - verdict.shard_bases[label]
+            verdict.residuals[reading.tenant] = residual
+            if residual >= self.decoy_residual_floor:
+                verdict.suspected_decoys.append(reading.tenant)
+        verdict.suspected_decoys.sort()

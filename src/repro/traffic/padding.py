@@ -1,0 +1,131 @@
+"""Traffic-shaping countermeasures: size buckets and bounded jitter.
+
+Timing/size side channels need two ingredients (see
+:mod:`repro.traffic.fingerprint`): a stable per-path latency floor and a
+response size that tracks content.  A :class:`PaddingPolicy` removes
+both at the proxy: every response body is padded up to the next
+``bucket_bytes`` boundary, and every send is delayed by a uniform draw
+from ``[0, max_jitter]``.  Constant latency *offsets* cancel out of a
+differential fingerprint (the attacker calibrates through the same
+proxy), so the defense lives entirely in the jitter *spread* — it must
+be wide relative to the latency structure being hidden (the
+``GEO_LINKS`` shard separation is ~72 ms one-way; the default spread is
+700 ms).
+
+The cost is the other half of the tradeoff: padded bytes on the wire
+and delayed responses.  ``benchmarks/test_traffic_sidechannel.py``
+measures both (EXP-TRAFFIC / BENCH_TRAFFIC.json) and CI guards the
+proxy hot-path overhead at <= 10%.
+
+Declared model limits (DESIGN.md §7): bodies are padded with trailing
+ASCII spaces — valid JSON inter-token whitespace, so every JSON client
+in the repo parses padded responses unchanged — and WebSocket upgrade
+responses (101) plus piped frames bypass shaping entirely: kernel
+channels keep their timing.  A real deployment would pad at the frame
+layer; this model scopes the countermeasure to the REST plane the
+fingerprinter actually probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.util.rng import DeterministicRNG
+from repro.wire.http import HttpResponse
+
+#: The padding byte: JSON-legal whitespace, so ``json.loads`` on a
+#: padded body behaves exactly as on the original.
+PAD_BYTE = b" "
+
+#: Jitter must keep worst-case responses inside the one-shot REST
+#: client's 1.0 s network window (RTT + backend service + jitter < 1.0).
+MAX_JITTER_CEILING = 0.9
+
+
+@dataclass(frozen=True)
+class PaddingPolicy:
+    """Declarative shaping knobs, carried on :class:`WorldSpec`.
+
+    ``bucket_bytes`` quantizes response sizes: an observer learns only
+    ``ceil(len/bucket)``, i.e. log2(max_size/bucket) bits per response
+    instead of the full length.  ``max_jitter`` bounds the uniform
+    send-delay draw; responses on one connection still deliver in order
+    (the proxy serializes delayed sends per channel).
+    """
+
+    enabled: bool = True
+    bucket_bytes: int = 1024
+    #: Wide relative to the structure being hidden: a min-of-N probe
+    #: train estimates the latency floor with noise ~``max_jitter/N``,
+    #: so hiding the ~72 ms GEO shard separation from short (3-6 probe)
+    #: trains needs several hundred ms of spread.
+    max_jitter: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.bucket_bytes < 1:
+            raise ValueError(
+                f"PaddingPolicy.bucket_bytes must be >= 1, got {self.bucket_bytes}")
+        if not (0.0 <= self.max_jitter < MAX_JITTER_CEILING):
+            raise ValueError(
+                f"PaddingPolicy.max_jitter must be in [0, {MAX_JITTER_CEILING}) "
+                f"to fit the 1 s request window, got {self.max_jitter}")
+
+    def bucket_of(self, nbytes: int) -> int:
+        """The padded size for an ``nbytes`` body: next multiple of
+        ``bucket_bytes``, minimum one bucket (empty bodies pad too —
+        a zero-length response is itself a distinctive size)."""
+        return -(-max(nbytes, 1) // self.bucket_bytes) * self.bucket_bytes
+
+
+class ResponsePadder:
+    """Applies one :class:`PaddingPolicy` at a proxy, deterministically.
+
+    The jitter stream comes from the world's seeded RNG (one child per
+    proxy), never from wall clock or telemetry state — same seed, same
+    spec, byte-identical response timeline, telemetry on or off.
+    """
+
+    def __init__(self, policy: PaddingPolicy, rng: DeterministicRNG):
+        self.policy = policy
+        self.rng = rng
+        self.padded_responses = 0
+        self.padding_bytes = 0
+        self.jittered_responses = 0
+        self.jitter_seconds = 0.0
+
+    def pad(self, response: HttpResponse) -> HttpResponse:
+        """Return ``response`` with its body padded to the bucket
+        boundary (a new object; the original is never mutated — local
+        hub responses are sometimes shared/reused by callers)."""
+        body = response.body or b""
+        target = self.policy.bucket_of(len(body))
+        fill = target - len(body)
+        if fill <= 0:
+            return response
+        self.padded_responses += 1
+        self.padding_bytes += fill
+        headers = dict(response.headers)
+        # encode() computes Content-Length from the body; drop any
+        # stale explicit header so the padded length wins.
+        for key in [k for k in headers if k.lower() == "content-length"]:
+            del headers[key]
+        return HttpResponse(response.status, response.reason, headers,
+                            body + PAD_BYTE * fill, response.version)
+
+    def jitter(self) -> float:
+        """One send-delay draw in ``[0, max_jitter]`` seconds."""
+        delay = self.rng.uniform(0.0, self.policy.max_jitter)
+        self.jittered_responses += 1
+        self.jitter_seconds += delay
+        return delay
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "bucket_bytes": self.policy.bucket_bytes,
+            "max_jitter": self.policy.max_jitter,
+            "padded_responses": self.padded_responses,
+            "padding_bytes": self.padding_bytes,
+            "jittered_responses": self.jittered_responses,
+            "jitter_seconds": round(self.jitter_seconds, 6),
+        }

@@ -1,0 +1,133 @@
+"""Cell-pattern-style detection of induced probe traffic.
+
+The PETS'22 guard-discovery pipeline works by *inducing* a recognizable
+cell pattern and classifying it at the other end; the mirror-image
+defense is to recognize the induced pattern itself.  A timing
+fingerprinter (:mod:`repro.traffic.fingerprint`) must send trains of
+near-identical requests at a fixed cadence — that regularity is its
+signature, the same way beacon C2 gives itself away by keepalive
+periodicity.
+
+:class:`TrafficPatternDetector` consumes the monitor's HTTP request
+stream (timestamp, source, path, wire size) and matches it against
+:class:`ProbeTemplate` shapes: small GET requests to status-style
+endpoints.  A train of ``min_train`` consecutive template matches from
+one source whose inter-arrival gaps are metronomic (coefficient of
+variation <= ``cv_max``) and whose wire sizes are near-constant raises
+a ``TRAFFIC_PATTERN`` notice — high severity, misconfiguration avenue
+(recon, like ``PORT_SCAN``), so the stock ``block-hostile-source``
+playbook contains the source with no rule changes.
+
+What does NOT fire: the decoy-wary strategy's 3-probe canary bursts
+(below ``min_train``), cross-tenant pivot sweeps (varied paths and
+sizes break the template), and benign notebook traffic (kernel work
+rides WebSockets, and its sparse REST calls are neither metronomic nor
+template-shaped).  An attacker can evade by randomizing cadence and
+probe shape — at the price of more probes per bit of timing signal;
+that arms race is the point.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.monitor.anomaly import AnomalyDetector
+from repro.monitor.logs import Notice
+from repro.taxonomy.oscrp import Avenue
+
+
+@dataclass(frozen=True)
+class ProbeTemplate:
+    """The wire shape of one induced-probe family.
+
+    A request matches when its method matches, its wire size (request
+    head + body as counted at the tap) is under ``max_wire_bytes``, and
+    its path either equals one of ``exact_paths`` or ends with one of
+    ``path_suffixes`` — i.e. the status-endpoint probes a timing
+    fingerprinter uses because they are cheap, cacheless, and
+    authorization-free.
+    """
+
+    name: str = "status-probe"
+    method: str = "GET"
+    exact_paths: Tuple[str, ...] = ("/hub/api", "/hub/api/")
+    path_suffixes: Tuple[str, ...] = ("/api/status",)
+    max_wire_bytes: int = 512
+
+    def matches(self, method: str, path: str, wire_bytes: int) -> bool:
+        if method != self.method or wire_bytes > self.max_wire_bytes:
+            return False
+        return path in self.exact_paths or path.endswith(self.path_suffixes)
+
+
+class TrafficPatternDetector(AnomalyDetector):
+    """Flags metronomic trains of template-shaped probes per source."""
+
+    name = "traffic-pattern"
+
+    def __init__(self, *, min_train: int = 6, cv_max: float = 0.1,
+                 size_jitter_bytes: int = 48, max_gap: float = 30.0,
+                 templates: Tuple[ProbeTemplate, ...] = (ProbeTemplate(),),
+                 **kw):
+        super().__init__(**kw)
+        self.min_train = min_train
+        self.cv_max = cv_max
+        self.size_jitter_bytes = size_jitter_bytes
+        self.max_gap = max_gap
+        self.templates = templates
+        #: src -> recent (ts, wire_bytes, path, template) matches.  A
+        #: non-matching request clears the source's train: the induced
+        #: pattern is *consecutive* by construction (interleaving decoy
+        #: traffic to evade costs the attacker timing precision).
+        self._trains: Dict[str, Deque[Tuple[float, int, str, str]]] = {}
+
+    def _template_for(self, method: str, path: str,
+                      wire_bytes: int) -> Optional[ProbeTemplate]:
+        for template in self.templates:
+            if template.matches(method, path, wire_bytes):
+                return template
+        return None
+
+    def observe_request(self, ts: float, src: str, path: str,
+                        wire_bytes: int, method: str = "GET") -> Optional[Notice]:
+        template = self._template_for(method, path, wire_bytes)
+        train = self._trains.get(src)
+        if template is None:
+            if train is not None:
+                train.clear()
+            return None
+        if train is None:
+            train = self._trains[src] = deque(maxlen=4 * self.min_train)
+        train.append((ts, wire_bytes, path, template.name))
+        if len(train) < self.min_train:
+            return None
+        window = list(train)[-self.min_train:]
+        gaps = [b[0] - a[0] for a, b in zip(window, window[1:])]
+        if max(gaps) > self.max_gap:
+            return None
+        mean_gap = sum(gaps) / len(gaps)
+        if mean_gap <= 0.0:
+            return None
+        cv = math.sqrt(sum((g - mean_gap) ** 2 for g in gaps)
+                       / len(gaps)) / mean_gap
+        if cv > self.cv_max:
+            return None
+        sizes = [w[1] for w in window]
+        if max(sizes) - min(sizes) > self.size_jitter_bytes:
+            return None
+        paths = sorted({w[2] for w in window})
+        return self._emit(Notice(
+            ts=ts, detector=self.name, name="TRAFFIC_PATTERN", severity="high",
+            src=src, avenue=Avenue.MISCONFIGURATION,
+            detail={
+                "template": window[0][3],
+                "train": len(window),
+                "mean_gap": round(mean_gap, 4),
+                "gap_cv": round(cv, 4),
+                "wire_bytes": [min(sizes), max(sizes)],
+                "example_paths": paths[:4],
+            },
+        ))

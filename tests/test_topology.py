@@ -38,9 +38,12 @@ class TestSpecs:
         assert list_presets() == [
             "adaptive-honeypot-hub", "adaptive-hub", "adaptive-sharded-hub",
             "adaptive-sharded-hub-geo",
-            "defended-honeypot-hub", "defended-hub", "defended-sharded-hub",
-            "defended-sharded-hub-geo",
-            "honeypot-hub", "hub", "sharded-honeypot-hub", "sharded-hub",
+            "defended-honeypot-hub", "defended-hub",
+            "defended-padded-hub", "defended-padded-sharded-hub-geo",
+            "defended-sharded-hub", "defended-sharded-hub-geo",
+            "honeypot-hub", "hub",
+            "padded-hub", "padded-sharded-hub-geo",
+            "sharded-honeypot-hub", "sharded-hub",
             "sharded-hub-geo", "single-server",
         ]
 

@@ -1,0 +1,311 @@
+"""Tests for the traffic-analysis side-channel subsystem (PR 9).
+
+Three sides under test: the attacker's :class:`TrafficFingerprinter`
+(timing recon over the attack-surface view), the defender's
+:class:`TrafficPatternDetector` (induced-probe cadence at the tap), and
+the :class:`PaddingPolicy` countermeasure compiled into the proxy —
+plus the reproducibility contracts every subsystem in this repo keeps:
+same seed, same bytes; telemetry on or off, same world.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.adversary.view import AttackSurfaceView
+from repro.eval.metrics import decoy_flagging, shard_map_accuracy
+from repro.hub.users import insecure_hub_config
+from repro.topology import (
+    TelemetrySpec,
+    WorldBuilder,
+    list_presets,
+    spec_preset,
+)
+from repro.traffic import (
+    PaddingPolicy,
+    ProbeTemplate,
+    ResponsePadder,
+    TrafficFingerprinter,
+    TrafficPatternDetector,
+)
+from repro.util.rng import DeterministicRNG
+from repro.wire.http import HttpResponse
+
+SEED = 7  # the EXP-TRAFFIC seed; gates below match the CLI matrix
+
+
+# -- padding policy -----------------------------------------------------------
+
+class TestPaddingPolicy:
+    def test_bucket_math(self):
+        policy = PaddingPolicy(bucket_bytes=1024)
+        assert policy.bucket_of(1) == 1024
+        assert policy.bucket_of(1024) == 1024
+        assert policy.bucket_of(1025) == 2048
+        # Empty bodies pad too: zero-length is itself a distinctive size.
+        assert policy.bucket_of(0) == 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PaddingPolicy(bucket_bytes=0)
+        with pytest.raises(ValueError):
+            PaddingPolicy(max_jitter=0.9)
+        with pytest.raises(ValueError):
+            PaddingPolicy(max_jitter=-0.1)
+
+    def test_padding_needs_a_hub_topology(self):
+        spec = spec_preset("single-server")
+        with pytest.raises(ValueError):
+            replace(spec, padding=PaddingPolicy())
+
+    def test_padded_presets_registered(self):
+        names = list_presets()
+        for name in ("padded-hub", "padded-sharded-hub-geo",
+                     "defended-padded-hub",
+                     "defended-padded-sharded-hub-geo"):
+            assert name in names
+        assert spec_preset("padded-hub").padding == PaddingPolicy()
+        assert spec_preset("defended-padded-hub").defended
+
+
+class TestResponsePadder:
+    def _padder(self, policy=None, seed=1):
+        return ResponsePadder(policy or PaddingPolicy(),
+                              DeterministicRNG(seed).child("padding:test"))
+
+    def test_pads_to_bucket_and_stays_json(self):
+        padder = self._padder()
+        original = HttpResponse(200, "OK", {"Content-Length": "17"},
+                                b'{"status": "idle"}')
+        padded = padder.pad(original)
+        assert len(padded.body) == 1024
+        assert json.loads(padded.body) == {"status": "idle"}
+        # New object; the original (possibly shared) response untouched.
+        assert original.body == b'{"status": "idle"}'
+        # The stale explicit length is dropped; encode() recomputes.
+        assert b"Content-Length: 1024" in padded.encode()
+
+    def test_exact_bucket_passes_through(self):
+        padder = self._padder(PaddingPolicy(bucket_bytes=16))
+        resp = HttpResponse(200, "OK", {}, b"x" * 16)
+        assert padder.pad(resp) is resp
+        assert padder.padded_responses == 0
+
+    def test_jitter_bounded_and_deterministic(self):
+        a, b = self._padder(seed=3), self._padder(seed=3)
+        draws_a = [a.jitter() for _ in range(32)]
+        draws_b = [b.jitter() for _ in range(32)]
+        assert draws_a == draws_b
+        assert all(0.0 <= d <= PaddingPolicy().max_jitter for d in draws_a)
+        assert a.summary()["jittered_responses"] == 32
+
+
+# -- the cell-pattern defender ------------------------------------------------
+
+class TestTrafficPatternDetector:
+    def _train(self, detector, *, n, gap=1.5, src="203.0.113.66",
+               path="/user/alice/api/status", size=120, t0=0.0):
+        notice = None
+        for i in range(n):
+            got = detector.observe_request(t0 + i * gap, src, path, size)
+            notice = got or notice
+        return notice
+
+    def test_fires_on_metronomic_train(self):
+        detector = TrafficPatternDetector()
+        notice = self._train(detector, n=6)
+        assert notice is not None
+        assert notice.name == "TRAFFIC_PATTERN"
+        assert notice.severity == "high"
+        assert notice.src == "203.0.113.66"
+        assert notice.detail["gap_cv"] <= detector.cv_max
+        assert notice.detail["template"] == "status-probe"
+
+    def test_silent_below_min_train(self):
+        detector = TrafficPatternDetector()
+        assert self._train(detector, n=5) is None
+
+    def test_irregular_cadence_does_not_fire(self):
+        detector = TrafficPatternDetector()
+        gaps = [0.3, 2.9, 0.9, 4.1, 1.2, 7.7, 0.4]
+        ts, notice = 0.0, None
+        for gap in gaps:
+            ts += gap
+            got = detector.observe_request(ts, "203.0.113.66",
+                                           "/user/alice/api/status", 120)
+            notice = got or notice
+        assert notice is None
+
+    def test_varied_sizes_do_not_fire(self):
+        detector = TrafficPatternDetector(size_jitter_bytes=16)
+        ts, notice = 0.0, None
+        for i in range(8):
+            ts += 1.5
+            got = detector.observe_request(ts, "203.0.113.66",
+                                           "/user/alice/api/status",
+                                           100 + 40 * (i % 2))
+            notice = got or notice
+        assert notice is None
+
+    def test_non_template_request_resets_the_train(self):
+        detector = TrafficPatternDetector()
+        assert self._train(detector, n=5) is None
+        # A big POST in the middle is not probe traffic: train clears.
+        detector.observe_request(10.0, "203.0.113.66",
+                                 "/api/contents/data.csv", 40_000,
+                                 method="PUT")
+        assert self._train(detector, n=5, t0=12.0) is None
+
+    def test_template_shapes(self):
+        t = ProbeTemplate()
+        assert t.matches("GET", "/hub/api", 90)
+        assert t.matches("GET", "/user/bob/api/status", 120)
+        assert not t.matches("POST", "/user/bob/api/status", 120)
+        assert not t.matches("GET", "/user/bob/api/contents", 120)
+        assert not t.matches("GET", "/hub/api", 4096)
+
+
+# -- the fingerprinter, end to end --------------------------------------------
+
+def _recon(spec):
+    scenario = WorldBuilder().build(spec)
+    view = AttackSurfaceView(scenario)
+    verdict = TrafficFingerprinter(view).run(
+        source=scenario.attacker_host, token=scenario.token)
+    return scenario, view, verdict
+
+
+def _accuracy(scenario, verdict):
+    label_map = {f"door{i}": s.name for i, s in enumerate(scenario.shards)}
+    return shard_map_accuracy(verdict.shard_map,
+                              scenario.shard_assignment(), label_map)
+
+
+class TestTimingReconEndToEnd:
+    def test_clean_world_full_recovery_with_zero_403s(self):
+        spec = spec_preset("sharded-hub-geo", seed=SEED,
+                           decoy_names=("admin",))
+        scenario, view, verdict = _recon(spec)
+        assert _accuracy(scenario, verdict) == 1.0
+        flag = decoy_flagging(verdict.suspected_decoys,
+                              scenario.decoy_tenant_names)
+        assert flag == {"suspected": 1, "decoys": 1,
+                        "precision": 1.0, "recall": 1.0}
+        assert verdict.denied == 0 and verdict.blocked == 0
+        assert not verdict.contained
+        # Satellite: every answered probe carries its SimClock delta.
+        ok_events = [e for e in view.events if e.kind == "ok"]
+        assert ok_events and all(e.elapsed > 0 for e in ok_events)
+        assert all(e.resp_bytes > 0 for e in ok_events)
+
+    def test_decoy_signature_is_the_service_time_residual(self):
+        spec = spec_preset("sharded-hub-geo", seed=SEED,
+                           decoy_names=("admin",))
+        scenario, _, verdict = _recon(spec)
+        decoy_latency = scenario.spec.hub.decoy_tenants[0].service_latency
+        assert verdict.residuals["admin"] == pytest.approx(
+            decoy_latency + 2 * spec.default_latency + 0.008, abs=0.02)
+        # Real tenants carry only the backend hop.
+        for tenant, residual in verdict.residuals.items():
+            if tenant != "admin":
+                assert residual < 0.014
+
+    def test_padded_world_defeats_the_recon(self):
+        spec = spec_preset("padded-sharded-hub-geo", seed=SEED)
+        scenario, _, verdict = _recon(spec)
+        assert _accuracy(scenario, verdict) <= 0.5
+        # Padding is passive: the attacker is degraded, never blocked.
+        assert verdict.denied == 0 and verdict.blocked == 0
+
+    def test_defended_world_contains_the_recon_off_traffic_pattern(self):
+        spec = spec_preset("defended-padded-sharded-hub-geo", seed=SEED,
+                          decoy_names=(), hub_config=insecure_hub_config())
+        scenario, _, verdict = _recon(spec)
+        assert verdict.contained and verdict.blocked >= 1
+        pattern = [n for s in scenario.shards
+                   for n in s.monitor.logs.notices
+                   if n.name == "TRAFFIC_PATTERN"]
+        assert pattern and pattern[0].severity == "high"
+        actions = [(a.rule, a.action) for a in scenario.soc.executed]
+        assert ("block-hostile-source", "block_source") in actions
+
+    def test_decoy_world_burns_recon_through_intel(self):
+        """With decoys present the honeypot-intel path wins the race:
+        the recon's very first tenant train touches the bait."""
+        spec = spec_preset("defended-padded-sharded-hub-geo", seed=SEED)
+        scenario, _, verdict = _recon(spec)
+        assert verdict.contained
+        assert any(a.rule == "intel-auto-block"
+                   for a in scenario.soc.executed)
+
+    def test_locked_down_hub_yields_denials_not_crashes(self):
+        # Secure config and no stolen credential: the tenant trains all
+        # 403 at the proxy.  The recon records plain denials (never
+        # "contained" — nothing blocked the source) and stops after one
+        # all-denied train instead of burning requests on the rest.
+        spec = spec_preset("sharded-hub-geo", seed=SEED)
+        scenario = WorldBuilder().build(spec)
+        view = AttackSurfaceView(scenario)
+        verdict = TrafficFingerprinter(view).run(
+            source=scenario.attacker_host, token="",
+            tenants=["user00", "user01", "user02"])
+        assert verdict.denied > 0 and verdict.blocked == 0
+        assert not verdict.contained
+        assert len(verdict.readings) == 1
+
+
+class TestReproducibility:
+    def test_same_seed_same_verdict_bytes(self):
+        spec = spec_preset("padded-sharded-hub-geo", seed=SEED)
+        _, _, a = _recon(spec)
+        _, _, b = _recon(spec)
+        assert a.to_dict() == b.to_dict()
+        assert json.dumps(a.to_dict(), sort_keys=True) == \
+            json.dumps(b.to_dict(), sort_keys=True)
+
+    def test_telemetry_does_not_perturb_the_verdict(self):
+        spec = spec_preset("defended-padded-sharded-hub-geo", seed=SEED,
+                          decoy_names=(), hub_config=insecure_hub_config())
+        spec_off = replace(spec, telemetry=TelemetrySpec(enabled=False))
+        s_on, _, v_on = _recon(spec)
+        s_off, _, v_off = _recon(spec_off)
+        assert not s_off.telemetry.enabled and s_on.telemetry.enabled
+        assert v_on.to_dict() == v_off.to_dict()
+        names_on = [n.name for s in s_on.shards
+                    for n in s.monitor.logs.notices]
+        names_off = [n.name for s in s_off.shards
+                     for n in s.monitor.logs.notices]
+        assert names_on == names_off
+
+    def test_unpadded_worlds_unchanged_by_the_padding_plumbing(self):
+        """A spec without padding builds proxies with no padder at all —
+        the RNG stream and response path match pre-PR worlds."""
+        scenario = WorldBuilder().build(spec_preset("hub", seed=SEED))
+        assert scenario.proxy.padder is None
+
+
+# -- satellite: per-route latency histograms ----------------------------------
+
+class TestProxyLatencyHistogram:
+    def test_histogram_present_with_route_labels(self):
+        scenario = WorldBuilder().build(spec_preset("hub", seed=SEED))
+        client = scenario.user_client(username="user00")
+        assert client.request("GET", "/api/status").status == 200
+        assert client.request("GET", "/hub/api").status == 200
+        fam = scenario.telemetry.registry.get("proxy_request_seconds")
+        assert fam is not None and fam.type == "histogram"
+        routes = {dict(s.labels).get("route") for s in fam.samples()}
+        assert "user00" in routes and "hub" in routes
+        counts = [s.value for s in fam.samples()
+                  if s.name.endswith("_count")]
+        assert sum(counts) >= 2
+
+    def test_zero_cost_when_telemetry_off(self):
+        spec = replace(spec_preset("hub", seed=SEED),
+                       telemetry=TelemetrySpec(enabled=False))
+        scenario = WorldBuilder().build(spec)
+        client = scenario.user_client(username="user00")
+        assert client.request("GET", "/api/status").status == 200
+        assert scenario.proxy._lat_hist is None
+        assert scenario.proxy._lat_children == {}
