@@ -15,6 +15,16 @@ world accumulated — metrics registry, trace store, event timeline:
 - ``--smoke`` — CI gate: run a short campaign, render every exporter,
   validate each against its schema, and check the registry actually
   carries proxy/monitor/SOC families.
+- ``--flame [WEIGHT]`` — run the campaign with the profiler armed and
+  print a collapsed-stack flamegraph (``units`` by default; ``sim`` for
+  sim-clock self-time, ``wall`` for the sampled non-deterministic wall
+  profile).  Exit status is non-zero unless the export is non-empty and
+  its frames name the real hot-path functions.
+- ``--slo`` — arm the default SLOs plus the shaping-delay objective on a
+  padded fleet, run the campaign, and print the fleet-merged latency
+  view (federated quantile sketches across every shard) and the SLO
+  burn report.  Exit status is non-zero unless >= 3 shards federate, an
+  ``SLO_BURN`` incident correlates, and a playbook action fired on it.
 """
 
 from __future__ import annotations
@@ -51,8 +61,10 @@ SMOKE_REQUIRED_FAMILIES = (
 
 
 def _build_and_run(*, topology: str, campaign: str, seed: int,
-                   tenants: int):
-    """One instrumented world with a canned campaign's history in it."""
+                   tenants: int, profile: bool = False, slos=()):
+    """One instrumented world with a canned campaign's history in it.
+    ``profile`` arms the work-unit profiler; ``slos`` arms burn-rate
+    evaluation (both via spec replacement, so presets stay untouched)."""
     from repro.attacks.campaign import run_campaign
     from repro.hub.users import insecure_hub_config
     from repro.soc.replay import CANNED
@@ -64,6 +76,15 @@ def _build_and_run(*, topology: str, campaign: str, seed: int,
                        f"(have: {', '.join(sorted(CANNED))})")
     spec = resolve_spec(topology, n_tenants=tenants,
                         hub_config=insecure_hub_config())
+    if profile or slos:
+        from dataclasses import replace
+
+        changes = {}
+        if profile:
+            changes["telemetry"] = replace(spec.telemetry, profile=True)
+        if slos:
+            changes["slos"] = tuple(slos)
+        spec = replace(spec, **changes)
     scenario = WorldBuilder().build(spec, seed=seed)
     run_campaign(scenario, factory())
     return scenario
@@ -171,6 +192,115 @@ def _smoke(args, out) -> int:
     return 0
 
 
+#: Leaf frame names a profiled JUPYTER-depth campaign must surface for
+#: the flamegraph export to count as working: the WS drain loop, the
+#: canonical probe, the signature scan, and the proxy respond hook.
+FLAME_EXPECTED_LEAVES = ("_feed_ws", "probe_ws_canonical", "scan_jupyter",
+                         "_ProxyChannel.respond")
+
+#: The topology ``--slo`` defaults to: padded (so the shaping-delay
+#: objective has something to burn on), defended (so the burn incident
+#: has a playbook to fire), and geo-sharded (so the fleet view federates
+#: >= 3 shards).
+SLO_DEFAULT_TOPOLOGY = "defended-padded-sharded-hub-geo"
+
+
+def _flame(args, out) -> int:
+    scenario = _build_and_run(topology=args.topology, campaign=args.campaign,
+                              seed=args.seed, tenants=args.tenants,
+                              profile=True)
+    telemetry = scenario.telemetry
+    profiler = telemetry.profiler
+    if profiler is None:
+        print("obs: topology built no profiler (telemetry disabled?)",
+              file=sys.stderr)
+        return 2
+    profiler.ingest_spans(telemetry.tracer)
+    weight = args.flame
+    text = profiler.collapsed(weight)
+    out.write(text)
+    if not text:
+        print(f"obs flame: FAIL — no frames carry {weight!r} weight",
+              file=sys.stderr)
+        return 1
+    leaves = {line.rsplit(" ", 1)[0].split(";")[-1]
+              for line in text.splitlines()}
+    if weight == "units":
+        missing = [leaf for leaf in FLAME_EXPECTED_LEAVES
+                   if leaf not in leaves]
+        if missing:
+            print(f"obs flame: FAIL — hot-path frame(s) missing from the "
+                  f"export: {', '.join(missing)}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _slo(args, out) -> int:
+    from repro.telemetry import (
+        DEFAULT_SLOS, SHAPING_DELAY_SLO, FederatedScraper, shard_views)
+
+    try:
+        scenario = _build_and_run(
+            topology=args.topology, campaign=args.campaign,
+            seed=args.seed, tenants=args.tenants,
+            slos=DEFAULT_SLOS + (SHAPING_DELAY_SLO,))
+    except ValueError as exc:
+        print(f"obs: cannot arm SLOs on {args.topology!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    telemetry = scenario.telemetry
+    soc = scenario.soc
+    problems: List[str] = []
+
+    # Fleet-merged latency view: split the shared registry into
+    # per-shard scrape views, federate them, read the merged sketches.
+    scraper = FederatedScraper()
+    views = shard_views(telemetry.registry, label="proxy")
+    scraper.scrape_all(views)
+    fleet = scraper.fleet_quantiles("proxy_request_seconds")
+    per_shard = scraper.shard_quantile("proxy_request_seconds", 0.99)
+    print(f"fleet proxy_request_seconds over {len(views)} shard(s): "
+          f"p50={fleet['p50'] * 1e3:.2f}ms p99={fleet['p99'] * 1e3:.2f}ms",
+          file=out)
+    for shard, p99 in per_shard.items():
+        print(f"  shard {shard}: p99={p99 * 1e3:.2f}ms", file=out)
+    if len(views) < 3:
+        problems.append(f"fleet view federates {len(views)} shard(s), "
+                        f"need >= 3")
+    if not any(v > 0.0 for v in fleet.values()):
+        problems.append("fleet quantiles are all zero (no latency data)")
+
+    print("slo report:", file=out)
+    for row in scenario.slo.report():
+        print(f"  {row['slo']:<18} {row['kind']:<12} "
+              f"objective={row['objective']:<6} good={row['good']:.0f} "
+              f"bad={row['bad']:.0f} fast_burn={row['fast_burn']} "
+              f"slow_burn={row['slow_burn']} burns={row['burns']}",
+              file=out)
+
+    burns = [i for i in soc.correlator.incidents.values()
+             if "SLO_BURN" in i.notice_names]
+    fired = [a for a in soc.executed
+             if a.rule == "shed-padding-on-burn" and a.ok and not a.dry_run]
+    for incident in burns:
+        print(f"incident {incident.incident_id}: {incident.describe()}",
+              file=out)
+    for action in fired:
+        print(f"action [{action.rule}] {action.action}({action.target}) "
+              f"ok: {action.detail}", file=out)
+    if not burns:
+        problems.append("no SLO_BURN incident was correlated")
+    if not fired:
+        problems.append("no shed-padding-on-burn action executed")
+    if problems:
+        for p in problems:
+            print(f"obs slo: {p}", file=sys.stderr)
+        print(f"obs slo: FAIL — {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("obs slo: OK", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
@@ -184,20 +314,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     mode.add_argument("--smoke", action="store_true",
                       help="validate every exporter against its schema "
                            "(the CI obs-smoke gate)")
-    parser.add_argument("--topology", default="defended-sharded-hub",
-                        help="topology preset (default: defended-sharded-hub)")
-    parser.add_argument("--campaign", default="pivot",
-                        help="canned campaign to drive (default: pivot)")
+    mode.add_argument("--flame", nargs="?", const="units",
+                      choices=("units", "sim", "wall"), metavar="WEIGHT",
+                      help="print a collapsed-stack flamegraph of the "
+                           "profiled campaign (default weight: units)")
+    mode.add_argument("--slo", action="store_true",
+                      help="arm burn-rate SLOs on a padded fleet and print "
+                           "the federated latency view + burn report")
+    parser.add_argument("--topology", default=None,
+                        help="topology preset (default: defended-sharded-hub; "
+                             f"--slo defaults to {SLO_DEFAULT_TOPOLOGY})")
+    parser.add_argument("--campaign", default=None,
+                        help="canned campaign to drive (default: pivot; "
+                             "--flame defaults to exfil, which exercises "
+                             "the kernel-channel hot path)")
     parser.add_argument("--tenants", type=int, default=6)
     parser.add_argument("--seed", type=int, default=4242)
     parser.add_argument("--json", action="store_true",
                         help="with --incident, also dump the spans as JSON")
     args = parser.parse_args(argv)
+    if args.topology is None:
+        args.topology = (SLO_DEFAULT_TOPOLOGY if args.slo
+                         else "defended-sharded-hub")
+    if args.campaign is None:
+        args.campaign = "exfil" if args.flame else "pivot"
 
     if args.smoke:
         return _smoke(args, sys.stdout)
     if args.export:
         return _export(args, sys.stdout)
+    if args.flame:
+        return _flame(args, sys.stdout)
+    if args.slo:
+        return _slo(args, sys.stdout)
     return _incident(args, sys.stdout)
 
 

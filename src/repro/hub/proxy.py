@@ -48,6 +48,16 @@ HUB_VERSION = "1.0"
 PROXY_LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
                          0.1, 0.25, 0.5, 1.0)
 
+#: Fixed buckets for ``proxy_response_delay_seconds`` (shaping delay):
+#: spans 0 (unshaped worlds) through the padding jitter ceiling.  0.25
+#: is the bound the shipped shaping-delay SLO reads, so it must stay a
+#: declared bucket (latency SLOs are exact only at bucket bounds).
+RESPONSE_DELAY_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.9)
+
+#: Profiler frame for the respond hot path (module-level constant so
+#: the hook never builds a tuple per call).
+_PROF_RESPOND = ("hot", "hub.proxy", "_ProxyChannel.respond")
+
 
 def _json_response(status: int, payload: Any) -> HttpResponse:
     return HttpResponse(
@@ -213,14 +223,28 @@ class _ProxyChannel:
         """
         if not self.conn.open:
             return
-        padder = self.proxy.padder
+        proxy = self.proxy
+        padder = proxy.padder
         if padder is None or response.status == 101:
-            self.conn.send_to_client(response.encode())
+            raw = response.encode()
+            if proxy._tele_on:
+                # Unshaped sends leave immediately: a 0-delay sample
+                # keeps the shaping-delay family honest about them.
+                proxy._observe_delay(0.0)
+            if proxy._prof is not None:
+                proxy._prof.account(_PROF_RESPOND, len(raw))
+            self.conn.send_to_client(raw)
             return
+        prof = proxy._prof
+        wall_t0 = prof.wall_probe() if prof is not None else 0.0
         raw = padder.pad(response).encode()
-        now = self.proxy.clock.now()
+        now = proxy.clock.now()
         send_at = max(now + padder.jitter(), self._next_send_at)
         self._next_send_at = send_at
+        proxy._observe_delay(send_at - now)
+        if prof is not None:
+            prof.account(_PROF_RESPOND, len(raw), sim=send_at - now,
+                         wall_t0=wall_t0)
         if send_at <= now:
             self.conn.send_to_client(raw)
             return
@@ -388,10 +412,15 @@ class ReverseProxy:
         #: ``proxy_request_seconds`` children, cached per route label.
         self._lat_children: Dict[str, Any] = {}
         self._lat_hist: Any = None
+        self._delay_hist: Any = None
+        self._delay_child: Any = None
         self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         #: Cached enabled flag: the request path tests one boolean, not
         #: a chain of attribute loads, when telemetry is off.
         self._tele_on = self.telemetry.enabled
+        #: Profiler hook target, or None — the respond hot path pays one
+        #: pointer test when profiling is off.
+        self._prof = self.telemetry.profiler if self._tele_on else None
         if self._tele_on:
             self._register_metrics()
         host.listen(config.port, self._accept,
@@ -461,6 +490,21 @@ class ReverseProxy:
             "requests, ~0 for locally answered ones (route=hub/edge).  "
             "Shaping delay is excluded; the padder reports it separately.",
             labels=("proxy", "route"), buckets=PROXY_LATENCY_BUCKETS)
+        self._delay_hist = reg.histogram(
+            "proxy_response_delay_seconds",
+            "Seconds between a response being ready and its first byte "
+            "leaving the proxy: the traffic-shaping jitter cost, 0 for "
+            "unshaped sends.  The shaping-delay SLO reads the 0.25 bound.",
+            labels=("proxy",), buckets=RESPONSE_DELAY_BUCKETS)
+
+    def _observe_delay(self, seconds: float) -> None:
+        if not self._tele_on:
+            return
+        child = self._delay_child
+        if child is None:
+            child = self._delay_child = self._delay_hist.labels(
+                proxy=self.host.name)
+        child.observe(seconds)
 
     def _observe_latency(self, route: str, seconds: float) -> None:
         if not self._tele_on:

@@ -48,6 +48,9 @@ from repro.util.errors import ProtocolError
 from repro.wire.buffer import ByteCursor
 from repro.wire.http import parse_request_from, parse_response_from
 from repro.wire.jupyter import (
+    PROF_WS_FALLBACK,
+    PROF_WS_PROBE,
+    PROF_ZMTP_PROBE,
     SPAN_SCAN_THRESHOLD,
     LazyJupyterMessage,
     _json_decode,
@@ -135,6 +138,11 @@ _MSG_DEDUPE_CAP = 8192
 #: Jupyter wire-protocol multipart delimiter between routing identities
 #: and the signed message frames.
 _ZMTP_DELIM = b"<IDS|MSG>"
+
+#: Flamegraph frames for the engine's two drain loops (units = bytes
+#: consumed per drained batch; see repro.telemetry.profiler).
+_PROF_FEED_WS = ("hot", "monitor.engine", "_feed_ws")
+_PROF_FEED_ZMTP = ("hot", "monitor.engine", "_feed_zmtp")
 
 
 class JupyterNetworkMonitor:
@@ -241,6 +249,12 @@ class JupyterNetworkMonitor:
         self._src_ctx: "OrderedDict[str, object]" = OrderedDict()
         self._ws_counters = self.telemetry.decoder_counters("websocket", name)
         self._zmtp_counters = self.telemetry.decoder_counters("zmtp", name)
+        #: Work-unit profiler, or None when the world isn't being
+        #: profiled — every hook below an ``is not None`` guard.  The
+        #: signature engine gets the same handle so its scan frames land
+        #: in the one per-world flamegraph.
+        self._prof = self.telemetry.profiler if self._tele_on else None
+        self.signatures.profiler = self._prof
         if self._tele_on:
             self._register_metrics()
 
@@ -826,6 +840,10 @@ class JupyterNetworkMonitor:
         decoder.feed(data)
         ws_append, _, jup_append, _, seen, scan_jupyter, health = self._hot
         health.bytes_ws += decoder.bytes_consumed - consumed_before
+        prof = self._prof
+        if prof is not None:
+            prof.account(_PROF_FEED_WS,
+                         decoder.bytes_consumed - consumed_before)
         msgs = decoder.messages()
         if not msgs:
             return
@@ -848,7 +866,7 @@ class JupyterNetworkMonitor:
         decode_json = _json_decode
         text_op = Opcode.TEXT
         binary_op = Opcode.BINARY
-        jmsgs = jhits = 0  # health counters accumulate in locals
+        jmsgs = jhits = pfallback = 0  # health counters accumulate in locals
         for opcode, payload in msgs:
             # Slab append (LazyRecordList): a plain field tuple, in
             # WebSocketRecord positional order; entropy stays lazy off
@@ -859,6 +877,7 @@ class JupyterNetworkMonitor:
                 continue
             pr = probe(payload)
             if pr is None:
+                pfallback += 1
                 self._analyze_jupyter_ws_slow(ts, uid, src, dst, payload)
                 continue
             msg_id, msg_type, session, username, channel, cs, ce = pr
@@ -924,6 +943,11 @@ class JupyterNetworkMonitor:
         if jmsgs:
             health.jupyter_msgs += jmsgs
             health.jupyter_dedup_hits += jhits
+        if prof is not None:
+            if jmsgs:
+                prof.account(PROF_WS_PROBE, jmsgs)
+            if pfallback:
+                prof.account(PROF_WS_FALLBACK, pfallback)
 
     def _analyze_jupyter_ws_slow(self, ts: float, uid: str, src: str, dst: str,
                                  payload: bytes) -> None:
@@ -1046,6 +1070,10 @@ class JupyterNetworkMonitor:
         decoder.feed(data)
         _, zmtp_append, jup_append, weird_append, seen, scan_jupyter, health = self._hot
         health.bytes_zmtp += decoder.bytes_consumed - consumed_before
+        prof = self._prof
+        if prof is not None:
+            prof.account(_PROF_FEED_ZMTP,
+                         decoder.bytes_consumed - consumed_before)
         msgs = decoder.messages()
         if not msgs:
             return
@@ -1141,6 +1169,8 @@ class JupyterNetworkMonitor:
         if jmsgs:
             health.jupyter_msgs += jmsgs
             health.jupyter_dedup_hits += jhits
+        if prof is not None and jmsgs:
+            prof.account(PROF_ZMTP_PROBE, jmsgs)
 
     def _analyze_jupyter_zmtp(self, ts: float, conn: ConnRecord, src: str, dst: str,
                               parts: List[bytes], idx: int) -> None:

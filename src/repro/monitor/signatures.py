@@ -198,6 +198,11 @@ class SignatureEngine:
                  parity_check: bool = False):
         self.signatures: List[Signature] = list(signatures if signatures is not None else BUILTIN_SIGNATURES)
         self.match_count: Dict[str, int] = {}
+        #: Optional work-unit profiler (repro.telemetry.profiler), set by
+        #: the owning monitor engine when the world is profiled.  The
+        #: kernel-code scan is the signature hot path, so it carries the
+        #: one ``is not None``-guarded hook.
+        self.profiler = None
         #: When True every scan also runs the naive per-signature loop
         #: and asserts identical hits (CI parity smoke / fuzz oracle).
         self.parity_check = parity_check
@@ -271,7 +276,12 @@ class SignatureEngine:
         return [sig for sig in self.signatures
                 if sig.family == family and sig.matches(text)]
 
+    _PROF_SCAN = ("hot", "monitor.signatures", "scan_jupyter")
+
     def scan_jupyter(self, rec: JupyterMsgRecord) -> List[Notice]:
+        prof = self.profiler
+        if prof is not None:
+            prof.account(self._PROF_SCAN, len(rec.code))
         notices = []
         for sig in self._match("jupyter-code", rec.code):
             notices.append(Notice(

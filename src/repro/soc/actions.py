@@ -100,6 +100,38 @@ class ContainmentActions:
         return was, (f"released {username!r}" if was
                      else f"{username!r} was not quarantined")
 
+    # -- traffic shaping ------------------------------------------------------
+    def relax_padding(self, target: str = "") -> Tuple[bool, str]:
+        """Shed the latency cost of traffic shaping fleet-wide: every
+        padded front door's policy drops its response jitter to zero.
+        Size-bucket padding stays, so the size side channel remains
+        defended — only the delay budget is reclaimed.  This is the
+        SLO feedback action (``shed-padding-on-burn``): an SLO_BURN
+        incident on the shaping-delay objective trades side-channel
+        margin for latency.  ``target`` is the incident source label
+        (``slo:<name>``); the action itself is fleet-wide.
+
+        Swapping the frozen policy object (rather than muting the
+        padder) keeps the jitter RNG stream aligned: ``jitter()`` still
+        draws per response, the draw is just ``uniform(0, 0)``.
+        """
+        from dataclasses import replace
+
+        padded = [p for p in self.proxies if p.padder is not None]
+        if not padded:
+            return False, "no padded front doors"
+        relaxed = 0
+        for proxy in padded:
+            policy = proxy.padder.policy
+            if policy.max_jitter > 0.0:
+                proxy.padder.policy = replace(policy, max_jitter=0.0)
+                relaxed += 1
+        if relaxed == 0:
+            return False, (f"jitter already shed on all {len(padded)} "
+                           f"padded front door(s)")
+        return True, (f"dropped response jitter on {relaxed}/{len(padded)} "
+                      f"padded front door(s); size buckets kept")
+
     # -- resolution helpers (used by the controller) --------------------------
     def tenants_on_host_ip(self, ip: str) -> List[str]:
         """Tenants whose spawned server lives on the node with ``ip`` —

@@ -68,6 +68,11 @@ class ResponseController:
         self.observers: List[Callable[[ResponseAction], None]] = []
         self.polls = 0
         self.fleet = None  # honeypot fleet, when the topology has decoys
+        #: SLO burn-rate evaluator (repro.telemetry.slo), attached by the
+        #: builder when the spec declares SLOs.  Evaluated every poll;
+        #: its SLO_BURN notices enter the same correlator as detector
+        #: notices, so playbook rules (shed-padding-on-burn) act on them.
+        self.slo = None
         self._intel_blocked: set = set()
         #: ip -> absolute expiry time for intel-driven blocks (None = never).
         self._intel_expiry: Dict[str, Optional[float]] = {}
@@ -228,6 +233,10 @@ class ResponseController:
             self.fleet.publish_source_indicators()
         self.correlator.collect(self.monitor)
         now = self.loop.clock.now()
+        if self.slo is not None:
+            burn = self.slo.evaluate(now)
+            if burn:
+                self.correlator.ingest(burn)
         # Contained incidents stay eligible: the playbook's cooldown +
         # new-evidence gating governs re-firing, so an attack that
         # continues past a partial containment (or returns after an

@@ -96,6 +96,18 @@ DEFAULT_RULES: Tuple[ResponseRule, ...] = (
         source_scope="internal",
         cooldown=120.0,
     ),
+    ResponseRule(
+        name="shed-padding-on-burn",
+        description=("An SLO_BURN incident (telemetry burn-rate alert, "
+                     "e.g. the shaping-delay objective) sheds the padding "
+                     "latency cost: front doors keep size-bucket padding "
+                     "but drop response jitter to zero.  Inert in worlds "
+                     "without SLOs — nothing else emits SLO_BURN."),
+        actions=("relax_padding",),
+        notice_names=("SLO_BURN",),
+        min_severity="high",
+        cooldown=120.0,
+    ),
 )
 
 

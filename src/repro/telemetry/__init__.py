@@ -22,9 +22,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.telemetry.federation import FederatedScraper, shard_views
+from repro.telemetry.profiler import NULL_PROFILER, Profiler
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricSample,
     MetricsRegistry, NULL_INSTRUMENT)
+from repro.telemetry.sketch import DEFAULT_ALPHA, QuantileSketch
+from repro.telemetry.slo import (
+    DEFAULT_SLOS, SHAPING_DELAY_SLO, SloEvaluator, SloSpec, burn_rate)
 from repro.telemetry.timeline import EventTimeline, TimelineEvent, merge_timelines
 from repro.telemetry.trace import NULL_SPAN, Span, TraceContext, Tracer
 from repro.util.ids import IdSequence
@@ -36,6 +41,15 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileSketch",
+    "FederatedScraper",
+    "shard_views",
+    "Profiler",
+    "SloSpec",
+    "SloEvaluator",
+    "burn_rate",
+    "DEFAULT_SLOS",
+    "SHAPING_DELAY_SLO",
     "Tracer",
     "TraceContext",
     "Span",
@@ -44,7 +58,9 @@ __all__ = [
     "merge_timelines",
     "DecoderCounters",
     "NULL_INSTRUMENT",
+    "NULL_PROFILER",
     "NULL_SPAN",
+    "DEFAULT_ALPHA",
     "DEFAULT_BUCKETS",
 ]
 
@@ -80,12 +96,18 @@ class Telemetry:
 
     def __init__(self, *, enabled: bool = True,
                  span_capacity: int = 8192,
-                 timeline_capacity: int = 4096) -> None:
+                 timeline_capacity: int = 4096,
+                 profile: bool = False) -> None:
         self.enabled = enabled
         self.registry = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(enabled=enabled, capacity=span_capacity)
         self.timeline = EventTimeline(enabled=enabled,
                                       capacity=timeline_capacity)
+        #: The sim-time/work-unit profiler, or ``None`` unless profiling
+        #: was asked for — hot paths keep an ``is not None`` guard, so a
+        #: world that isn't being profiled pays one pointer test.
+        self.profiler: Optional[Profiler] = (
+            Profiler() if enabled and profile else None)
         #: Request ids the proxy stamps into ``X-Request-Id``.  A private
         #: sequence so tracing never perturbs the ``util.ids`` stream
         #: that names kernels and messages.
@@ -115,4 +137,6 @@ class Telemetry:
             "spans_dropped": self.tracer.dropped,
             "timeline_events": len(self.timeline),
             "timeline_dropped": self.timeline.dropped,
+            "profiler_frames": (self.profiler.frames()
+                                if self.profiler is not None else 0),
         }

@@ -22,11 +22,19 @@ __all__ = [
     "render_timeline_jsonl",
     "validate_prometheus",
     "validate_jsonl",
+    "validate_schema_version",
+    "SCHEMA_VERSION",
     "TIMELINE_REQUIRED_KEYS",
 ]
 
+#: Version stamped into every JSONL export's header line and into
+#: benchmark report payloads (BENCH_OBS.json).  Bump on any breaking
+#: change to record shapes; validators hard-reject anything else.
+SCHEMA_VERSION = 1
+
 #: Keys every timeline JSONL record must carry.
-TIMELINE_REQUIRED_KEYS = ("ts", "kind", "source", "trace_id", "span_id", "detail")
+TIMELINE_REQUIRED_KEYS = ("ts", "kind", "source", "trace_id", "span_id",
+                          "seq", "detail")
 
 
 def _escape_label(value: str) -> str:
@@ -54,20 +62,28 @@ def _num(v: float) -> str:
     return repr(int(v)) if float(v).is_integer() else repr(v)
 
 
+def _header(kind: str) -> str:
+    return json.dumps({"kind": kind, "schema_version": SCHEMA_VERSION},
+                      sort_keys=True)
+
+
 def render_metrics_jsonl(registry: MetricsRegistry) -> str:
-    """One JSON object per sample: ``{"name":..., "labels":..., "value":...}``."""
-    lines = [
+    """A ``schema_version`` header line, then one JSON object per
+    sample: ``{"name":..., "labels":..., "value":...}``."""
+    lines = [_header("metrics")] + [
         json.dumps({"name": s.name, "labels": dict(s.labels), "value": s.value},
                    sort_keys=True)
         for s in registry.collect()
     ]
-    return "\n".join(lines) + ("\n" if lines else "")
+    return "\n".join(lines) + "\n"
 
 
 def render_timeline_jsonl(timeline: EventTimeline) -> str:
-    """One JSON object per timeline event, oldest first."""
-    lines = [json.dumps(e, sort_keys=True) for e in timeline.to_dicts()]
-    return "\n".join(lines) + ("\n" if lines else "")
+    """A ``schema_version`` header line, then one JSON object per
+    timeline event, oldest first."""
+    lines = [_header("timeline")] + [
+        json.dumps(e, sort_keys=True) for e in timeline.to_dicts()]
+    return "\n".join(lines) + "\n"
 
 
 # -- validators (used by `repro obs --smoke` and the CI obs-smoke job) --
@@ -113,10 +129,27 @@ def validate_prometheus(text: str) -> List[str]:
     return problems
 
 
+def validate_schema_version(obj: Dict[str, object],
+                            where: str = "export") -> List[str]:
+    """Check one record/payload's ``schema_version``; unknown versions
+    are rejected with an actionable message, never coerced."""
+    version = obj.get("schema_version")
+    if version is None:
+        return [f"{where}: missing schema_version "
+                f"(this reader requires version {SCHEMA_VERSION})"]
+    if version != SCHEMA_VERSION:
+        return [f"{where}: unsupported schema_version {version!r} "
+                f"(this reader understands version {SCHEMA_VERSION}; "
+                f"re-export with a matching writer)"]
+    return []
+
+
 def validate_jsonl(text: str, required_keys=()) -> List[str]:
-    """Check that every non-empty line is a JSON object carrying
-    ``required_keys``; returns a list of problems."""
+    """Check that the first line is a ``schema_version`` header this
+    reader understands and every further non-empty line is a JSON
+    object carrying ``required_keys``; returns a list of problems."""
     problems: List[str] = []
+    saw_header = False
     for i, line in enumerate(text.splitlines(), 1):
         if not line.strip():
             continue
@@ -127,6 +160,10 @@ def validate_jsonl(text: str, required_keys=()) -> List[str]:
             continue
         if not isinstance(obj, dict):
             problems.append(f"line {i}: expected object, got {type(obj).__name__}")
+            continue
+        if not saw_header:
+            saw_header = True
+            problems.extend(validate_schema_version(obj, where=f"line {i}"))
             continue
         missing = [k for k in required_keys if k not in obj]
         if missing:

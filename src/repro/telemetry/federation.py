@@ -1,0 +1,278 @@
+"""Cross-shard metric federation: delta scrapes into one fleet registry.
+
+A sharded world (and the roadmap's future multi-process fleet) has one
+:class:`~repro.telemetry.registry.MetricsRegistry` per shard/process.
+The :class:`FederatedScraper` is the aggregation plane: it scrapes each
+shard registry, computes the *delta* since that shard's previous scrape
+(cursors keyed per ``(shard, family, labelset)``), rewrites labels with
+``shard=<name>``, and folds the deltas into a single fleet registry —
+counters add, gauges take the latest value, histograms add their exact
+fixed-bucket counters *and* merge their quantile sketches (exact under
+re-bucketing, see :mod:`repro.telemetry.sketch`).
+
+Delta scraping rather than snapshot-overwrite is what makes the scraper
+restartable and double-scrape safe: scraping twice with no traffic in
+between adds zero, and a shard restart (counter going backwards) is
+treated as a fresh epoch, not a negative delta.
+
+Cardinality is a hard budget, and evictions are counted, never silent:
+once the fleet registry holds ``max_series`` labeled children, scrapes
+that would mint a *new* series drop it and increment
+``federation_dropped_series_total`` (the scraper's own meta-families are
+exempt — the budget alarm must not be silenced by the budget).
+
+For worlds where the shards share one in-process registry (today's
+sharded hub), :func:`shard_views` splits a registry by a label (e.g.
+``proxy``) into per-shard scrape views, so the federation path is
+exercised on real run data before the multi-process split lands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+__all__ = ["FederatedScraper", "shard_views"]
+
+
+class _HistogramCursor:
+    """Last-seen state of one shard histogram, for delta computation."""
+
+    __slots__ = ("counts", "sum", "count", "sketch_buckets", "zero_count")
+
+    def __init__(self, child: Histogram) -> None:
+        self.counts = list(child.counts)
+        self.sum = child.sum
+        self.count = child.count
+        self.sketch_buckets = child.sketch.bucket_state()
+        self.zero_count = child.sketch.zero_count
+
+
+class FederatedScraper:
+    """Merges per-shard registry deltas into one fleet registry."""
+
+    def __init__(self, *, max_series: int = 512) -> None:
+        if max_series < 1:
+            raise ValueError(f"max_series must be >= 1, got {max_series}")
+        self.fleet = MetricsRegistry(enabled=True)
+        self.max_series = max_series
+        self.scrapes = 0
+        self.series = 0
+        self.dropped_series = 0
+        self.merged_samples = 0
+        self._cursors: Dict[Tuple[str, str, Tuple[str, ...]], object] = {}
+        # Meta-families: the budget alarm itself, exempt from the budget.
+        self._meta_dropped = self.fleet.counter(
+            "federation_dropped_series_total",
+            "Series rejected by the fleet cardinality budget.")
+        self._meta_series = self.fleet.gauge(
+            "federation_series", "Labeled series held by the fleet registry.")
+        self._meta_scrapes = self.fleet.counter(
+            "federation_scrapes_total", "Per-shard scrapes performed.")
+        self._meta_names = {"federation_dropped_series_total",
+                            "federation_series", "federation_scrapes_total"}
+
+    # -- scraping -----------------------------------------------------
+
+    def scrape(self, shard: str, registry) -> int:
+        """Scrape one shard registry: fold everything new since the last
+        scrape of ``shard`` into the fleet registry under ``shard=``.
+        Returns the number of series merged (not dropped)."""
+        registry.collect()  # run the shard's scrape-time collectors
+        merged = 0
+        for family in registry.families():
+            if family.name in self._meta_names:
+                continue  # never re-federate the aggregation plane
+            fleet_fam = self._fleet_family(family)
+            for values, child in sorted(family._children.items()):
+                fleet_values = values + (shard,)
+                target = fleet_fam._children.get(fleet_values)
+                if target is None:
+                    if self.series >= self.max_series:
+                        self.dropped_series += 1
+                        self._meta_dropped.inc()
+                        continue
+                    target = fleet_fam._children[fleet_values] = fleet_fam._make()
+                    self.series += 1
+                self._merge_child(shard, family.name, values, child, target)
+                merged += 1
+        self.scrapes += 1
+        self._meta_scrapes.inc()
+        self._meta_series.set(float(self.series))
+        self.merged_samples += merged
+        return merged
+
+    def scrape_all(self, shards: Dict[str, object]) -> int:
+        """Scrape every ``name -> registry`` pair, in name order."""
+        return sum(self.scrape(name, shards[name]) for name in sorted(shards))
+
+    def _fleet_family(self, family: MetricFamily) -> MetricFamily:
+        labels = family.labelnames + ("shard",)
+        if family.type == "counter":
+            return self.fleet.counter(family.name, family.help, labels)
+        if family.type == "gauge":
+            return self.fleet.gauge(family.name, family.help, labels)
+        return self.fleet.histogram(family.name, family.help, labels,
+                                    buckets=family.buckets)
+
+    def _merge_child(self, shard: str, name: str, values: Tuple[str, ...],
+                     child, target) -> None:
+        key = (shard, name, values)
+        if isinstance(child, Counter):
+            prev = self._cursors.get(key, 0.0)
+            cur = child.value
+            # A counter going backwards means the shard restarted; its
+            # whole current value is new evidence, not a negative delta.
+            delta = cur - prev if cur >= prev else cur
+            if delta:
+                target.inc(delta)
+            self._cursors[key] = cur
+        elif isinstance(child, Gauge):
+            target.set(child.value)
+        elif isinstance(child, Histogram):
+            cursor = self._cursors.get(key)
+            self._merge_histogram(child, target, cursor)
+            self._cursors[key] = _HistogramCursor(child)
+
+    @staticmethod
+    def _merge_histogram(child: Histogram, target: Histogram,
+                         cursor: Optional[_HistogramCursor]) -> None:
+        if cursor is None:
+            target.merge_from(child)
+            return
+        if child.count < cursor.count:  # shard restart: fresh epoch
+            target.merge_from(child)
+            return
+        for i, n in enumerate(child.counts):
+            target.counts[i] += n - cursor.counts[i]
+        target.sum += child.sum - cursor.sum
+        target.count += child.count - cursor.count
+        buckets = child.sketch.bucket_state()
+        delta = {i: n - cursor.sketch_buckets.get(i, 0)
+                 for i, n in buckets.items()
+                 if n - cursor.sketch_buckets.get(i, 0) > 0}
+        target.sketch.merge_delta(
+            delta, child.sketch.zero_count - cursor.zero_count,
+            child.count - cursor.count, child.sum - cursor.sum,
+            child.sketch.min, child.sketch.max)
+
+    # -- fleet queries ------------------------------------------------
+
+    def fleet_quantiles(self, family_name: str,
+                        qs: Sequence[float] = (0.5, 0.99)) -> Dict[str, float]:
+        """Fleet-wide quantiles for a histogram family: every shard's
+        sketch merged (exactly), then read at each ``q``."""
+        family = self.fleet.get(family_name)
+        if family is None or family.type != "histogram":
+            raise KeyError(f"no federated histogram family {family_name!r}")
+        merged = None
+        for child in family._children.values():
+            if merged is None:
+                merged = child.sketch.copy()
+            else:
+                merged.merge(child.sketch)
+        if merged is None or merged.count == 0:
+            return {f"p{q * 100:g}": 0.0 for q in qs}
+        return {f"p{q * 100:g}": merged.quantile(q) for q in qs}
+
+    def shard_quantile(self, family_name: str, q: float) -> Dict[str, float]:
+        """Per-shard quantiles for a histogram family (shard label ->
+        quantile over that shard's merged series)."""
+        family = self.fleet.get(family_name)
+        if family is None or family.type != "histogram":
+            raise KeyError(f"no federated histogram family {family_name!r}")
+        per_shard: Dict[str, object] = {}
+        for values, child in family._children.items():
+            shard = values[-1]
+            sk = per_shard.get(shard)
+            if sk is None:
+                per_shard[shard] = child.sketch.copy()
+            else:
+                sk.merge(child.sketch)
+        return {shard: sk.quantile(q)
+                for shard, sk in sorted(per_shard.items())}
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "scrapes": self.scrapes,
+            "series": self.series,
+            "max_series": self.max_series,
+            "dropped_series": self.dropped_series,
+            "merged_samples": self.merged_samples,
+        }
+
+
+# -- splitting a shared registry into per-shard views ------------------
+
+
+class _FamilyView:
+    """A read-only slice of one family: children matching a label value,
+    with that label removed from the schema (the scraper re-adds it as
+    ``shard=``).  Duck-types the parts of MetricFamily a scrape uses."""
+
+    __slots__ = ("name", "help", "type", "labelnames", "buckets", "_children")
+
+    def __init__(self, family: MetricFamily, drop_at: int,
+                 value: str) -> None:
+        self.name = family.name
+        self.help = family.help
+        self.type = family.type
+        self.labelnames = (family.labelnames[:drop_at]
+                           + family.labelnames[drop_at + 1:])
+        self.buckets = family.buckets
+        self._children = {
+            values[:drop_at] + values[drop_at + 1:]: child
+            for values, child in family._children.items()
+            if values[drop_at] == value
+        }
+
+
+class _ShardView:
+    """One shard's scrape view over a shared in-process registry."""
+
+    __slots__ = ("_registry", "_label", "_value")
+
+    def __init__(self, registry: MetricsRegistry, label: str,
+                 value: str) -> None:
+        self._registry = registry
+        self._label = label
+        self._value = value
+
+    def collect(self) -> None:
+        self._registry.collect()
+
+    def families(self) -> List[_FamilyView]:
+        out: List[_FamilyView] = []
+        for family in self._registry.families():
+            if self._label not in family.labelnames:
+                continue
+            drop_at = family.labelnames.index(self._label)
+            view = _FamilyView(family, drop_at, self._value)
+            if view._children:
+                out.append(view)
+        return out
+
+
+def shard_views(registry: MetricsRegistry,
+                label: str = "proxy") -> Dict[str, _ShardView]:
+    """Split a shared registry into per-shard scrape views keyed by the
+    values of ``label``.  Families without that label are shared state,
+    not per-shard state, and are excluded (federating them once per
+    shard would multiply their deltas)."""
+    registry.collect()
+    values: List[str] = []
+    for family in registry.families():
+        if label not in family.labelnames:
+            continue
+        at = family.labelnames.index(label)
+        for child_values in family._children:
+            if child_values[at] not in values:
+                values.append(child_values[at])
+    return {v: _ShardView(registry, label, v) for v in sorted(values)}

@@ -1,0 +1,200 @@
+"""Deterministic sim-time profiler with collapsed-stack flamegraph export.
+
+"Where does time go inside the wire fast path" has two honest answers
+in a discrete-event simulation, and this profiler keeps them separate:
+
+- **Sim-clock self-time** — derived from the :class:`Tracer` spans the
+  world already records.  Each finished span's duration minus the
+  duration of its children is its self-time; the parent chain is the
+  stack.  These frames (``sim;...``) show where *simulated* time goes:
+  link latency, shaping delay, containment lead.  CPU-bound work inside
+  one event advances the sim clock by zero, so sim frames deliberately
+  say nothing about decode cost.
+- **Work units** — cheap counting hooks at batch granularity in the
+  real hot paths (WS/ZMTP batch drains, signature scans, proxy
+  responds) record how many *bytes or calls* each function consumed.
+  These frames (``hot;...``) are the decode-cost profile: deterministic
+  for a fixed seed, because they count work, not wall time.
+
+Both weight modes are byte-reproducible run-to-run under a fixed seed.
+Wall-clock is the third weight: hooks may carry a sampled
+``perf_counter`` delta (one full measurement every
+``wall_sample_interval`` calls, scaled back up).  Wall frames are
+real-machine dependent and therefore *not* part of the deterministic
+export — ``repro obs --flame`` prints units by default and callers must
+ask for ``wall`` explicitly.
+
+The profiler never draws randomness and never touches the id streams:
+enabling it cannot perturb the world (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+__all__ = ["Profiler", "NULL_PROFILER"]
+
+Path = Tuple[str, ...]
+
+#: One full wall-clock measurement per this many hook calls; the rest
+#: cost two attribute reads and an integer increment.
+WALL_SAMPLE_INTERVAL = 64
+
+
+class _Frame:
+    __slots__ = ("calls", "units", "sim", "wall")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.units = 0
+        self.sim = 0.0
+        self.wall = 0.0
+
+
+class Profiler:
+    """Frame store for hook- and span-derived profiles."""
+
+    __slots__ = ("enabled", "wall_sample_interval", "_frames", "_hook_calls")
+
+    def __init__(self, *, enabled: bool = True,
+                 wall_sample_interval: int = WALL_SAMPLE_INTERVAL) -> None:
+        self.enabled = enabled
+        self.wall_sample_interval = max(1, wall_sample_interval)
+        self._frames: Dict[Path, _Frame] = {}
+        self._hook_calls = 0
+
+    # -- hot-path hooks -----------------------------------------------
+
+    def account(self, path: Path, units: int = 1, *,
+                sim: float = 0.0, wall_t0: float = 0.0) -> None:
+        """Record ``units`` of work under ``path``.  ``wall_t0`` is a
+        non-zero ``perf_counter()`` start only on sampled calls (see
+        :meth:`wall_probe`); the measured delta is scaled back up by the
+        sample interval to estimate total wall time."""
+        frame = self._frames.get(path)
+        if frame is None:
+            frame = self._frames[path] = _Frame()
+        frame.calls += 1
+        frame.units += units
+        frame.sim += sim
+        if wall_t0:
+            frame.wall += ((time.perf_counter() - wall_t0)
+                           * self.wall_sample_interval)
+
+    def wall_probe(self) -> float:
+        """``perf_counter()`` every Nth call, else 0.0 — callers pass
+        the result straight to :meth:`account` as ``wall_t0``."""
+        self._hook_calls += 1
+        if self._hook_calls % self.wall_sample_interval == 0:
+            return time.perf_counter()
+        return 0.0
+
+    # -- span-derived sim-time frames ---------------------------------
+
+    def ingest_spans(self, tracer) -> int:
+        """Fold every finished span into ``sim;...`` frames: self-time =
+        span duration minus the summed duration of its retained
+        children, stacked along the parent chain.  Returns the number of
+        spans folded.  Idempotent per call — callers ingest once at
+        export time, not incrementally."""
+        spans = tracer.spans()
+        child_time: Dict[str, float] = {}
+        for span in spans:
+            if span.end is None or not span.parent_id:
+                continue
+            child_time[span.parent_id] = (
+                child_time.get(span.parent_id, 0.0)
+                + (span.end - span.start))
+        folded = 0
+        for span in spans:
+            if span.end is None:
+                continue
+            self_time = (span.end - span.start) - child_time.get(span.span_id, 0.0)
+            if self_time < 0.0:
+                self_time = 0.0  # children outlived an early-finished parent
+            path = ("sim",) + tuple(s.name for s in tracer.chain(span.span_id))
+            frame = self._frames.get(path)
+            if frame is None:
+                frame = self._frames[path] = _Frame()
+            frame.calls += 1
+            frame.sim += self_time
+            folded += 1
+        return folded
+
+    # -- export -------------------------------------------------------
+
+    def _weight(self, frame: _Frame, mode: str) -> int:
+        if mode == "units":
+            return frame.units
+        if mode == "sim":
+            return int(round(frame.sim * 1e6))  # integer microseconds
+        if mode == "wall":
+            return int(round(frame.wall * 1e9))  # integer nanoseconds
+        raise ValueError(f"unknown flamegraph weight {mode!r} "
+                         f"(expected units, sim, or wall)")
+
+    def collapsed(self, weight: str = "units") -> str:
+        """Collapsed-stack flamegraph text: one ``a;b;c N`` line per
+        frame with non-zero weight, sorted by path (deterministic for
+        ``units`` and ``sim`` under a fixed seed)."""
+        lines: List[str] = []
+        for path in sorted(self._frames):
+            w = self._weight(self._frames[path], weight)
+            if w > 0:
+                lines.append(f"{';'.join(path)} {w}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def top_self(self, weight: str = "units",
+                 n: int = 5) -> List[Tuple[str, int]]:
+        """The ``n`` heaviest frames by self-weight: (leaf name, weight),
+        heaviest first; path order breaks ties deterministically."""
+        rows = [(self._weight(frame, weight), path)
+                for path, frame in self._frames.items()]
+        rows = [(w, path) for w, path in rows if w > 0]
+        rows.sort(key=lambda r: (-r[0], r[1]))
+        return [(path[-1], w) for w, path in rows[:n]]
+
+    def frames(self) -> int:
+        return len(self._frames)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "frames": len(self._frames),
+            "hook_calls": self._hook_calls,
+            "units": sum(f.units for f in self._frames.values()),
+            "sim_seconds": round(sum(f.sim for f in self._frames.values()), 9),
+        }
+
+
+class _NullProfiler:
+    """Disabled stand-in; hooks never see it (they keep a ``None``
+    check), but world plumbing can pass it around safely."""
+
+    __slots__ = ()
+    enabled = False
+
+    def account(self, path: Path, units: int = 1, *, sim: float = 0.0,
+                wall_t0: float = 0.0) -> None:
+        pass
+
+    def wall_probe(self) -> float:
+        return 0.0
+
+    def ingest_spans(self, tracer) -> int:
+        return 0
+
+    def collapsed(self, weight: str = "units") -> str:
+        return ""
+
+    def top_self(self, weight: str = "units", n: int = 5) -> list:
+        return []
+
+    def frames(self) -> int:
+        return 0
+
+    def summary(self) -> Dict[str, float]:
+        return {"frames": 0, "hook_calls": 0, "units": 0, "sim_seconds": 0.0}
+
+
+NULL_PROFILER = _NullProfiler()

@@ -26,6 +26,8 @@ from __future__ import annotations
 import bisect
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.telemetry.sketch import QuantileSketch
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -106,20 +108,54 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram: cumulative bucket counts, sum, count."""
+    """Sketch-backed histogram with an exact fixed-bucket export.
 
-    __slots__ = ("buckets", "counts", "sum", "count")
+    Every observation feeds two stores: a mergeable
+    :class:`~repro.telemetry.sketch.QuantileSketch` (the fleet-grade
+    backing — :meth:`quantile` and cross-shard :meth:`merge_from` read
+    it) *and* the original per-bound integer counters.  The fixed-bound
+    counters are kept because the Prometheus ``le`` export promises
+    exact counts at the declared bounds, which a log-bucketed sketch can
+    only approximate (its grid does not align with arbitrary bounds);
+    carrying both keeps the scrape output byte-identical to the
+    pre-sketch histogram (the parity test in tests/test_telemetry.py
+    holds it to 1 ULP) while the sketch answers p50/p99 and merges.
+    """
 
-    def __init__(self, buckets: Sequence[float]) -> None:
+    __slots__ = ("buckets", "counts", "sum", "count", "sketch")
+
+    def __init__(self, buckets: Sequence[float],
+                 sketch: Optional[QuantileSketch] = None) -> None:
         self.buckets: Tuple[float, ...] = tuple(buckets)
         self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +Inf tail
         self.sum: float = 0.0
         self.count: int = 0
+        self.sketch = sketch if sketch is not None else QuantileSketch()
 
     def observe(self, value: float) -> None:
         self.counts[bisect.bisect_left(self.buckets, value)] += 1
         self.sum += value
         self.count += 1
+        self.sketch.add(value)
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate from the sketch backing (relative error
+        bounded by the sketch's ``alpha``)."""
+        return self.sketch.quantile(q)
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another shard's histogram into this one.  Fixed-bucket
+        counters add only when the bound grids match; the sketches merge
+        exactly regardless (same default ``alpha`` grid)."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({self.buckets} vs {other.buckets})")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.sum += other.sum
+        self.count += other.count
+        self.sketch.merge(other.sketch)
 
 
 class MetricFamily:

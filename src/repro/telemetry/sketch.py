@@ -1,0 +1,215 @@
+"""Mergeable quantile sketch: log-spaced buckets, bounded relative error.
+
+Fixed-bucket histograms (PR 6) answer "how many requests were faster
+than 25 ms" exactly, but they cannot answer "what was p99" better than
+the bucket grid, and two shards' histograms only merge if they chose
+identical grids up front.  A :class:`QuantileSketch` is the DDSketch
+construction: values land in geometrically spaced buckets
+``index = ceil(log_gamma(v))`` with ``gamma = (1 + alpha)/(1 - alpha)``,
+which guarantees every quantile estimate is within relative error
+``alpha`` of a true sample value.
+
+The property that makes it *fleet-grade* is merge exactness: two
+sketches built with the same ``alpha`` have the same bucket grid, so
+:meth:`merge` is pure per-bucket addition — a merge of N per-shard
+sketches is bucket-for-bucket identical to one sketch fed the union
+stream, in any merge order.  (The only exception is the memory guard:
+if a sketch had to *collapse* low buckets to stay inside
+``max_buckets``, exactness degrades at the collapsed tail and the
+sketch says so via :attr:`collapsed` — never silently.)
+
+Zero and sub-``MIN_TRACKABLE`` values get a dedicated zero bucket
+(latencies of 0.0 are common: local answers, same-tick sends).
+Negative values are a programming error for the latency/size families
+this backs and raise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["QuantileSketch", "DEFAULT_ALPHA", "MIN_TRACKABLE"]
+
+#: Default relative-error bound: quantile estimates within 1%.
+DEFAULT_ALPHA = 0.01
+
+#: Values below this are indistinguishable from zero (log-bucket index
+#: would underflow); they count in the zero bucket.
+MIN_TRACKABLE = 1e-9
+
+
+class QuantileSketch:
+    """Log-bucketed quantile sketch with exact same-``alpha`` merges."""
+
+    __slots__ = ("alpha", "gamma", "_log_gamma", "max_buckets",
+                 "zero_count", "count", "sum", "min", "max",
+                 "collapsed", "_buckets")
+
+    def __init__(self, *, alpha: float = DEFAULT_ALPHA,
+                 max_buckets: int = 2048) -> None:
+        if not (0.0 < alpha < 1.0):
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if max_buckets < 8:
+            raise ValueError(f"max_buckets must be >= 8, got {max_buckets}")
+        self.alpha = alpha
+        self.gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self.gamma)
+        self.max_buckets = max_buckets
+        self.zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: How many low buckets were folded away to honor ``max_buckets``.
+        self.collapsed = 0
+        self._buckets: Dict[int, int] = {}
+
+    # -- ingest -------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        return math.ceil(math.log(value) / self._log_gamma)
+
+    def add(self, value: float, count: int = 1) -> None:
+        if value < 0.0:
+            raise ValueError(f"QuantileSketch is non-negative, got {value}")
+        if count <= 0:
+            return
+        self.count += count
+        self.sum += value * count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value < MIN_TRACKABLE:
+            self.zero_count += count
+            return
+        idx = self._index(value)
+        self._buckets[idx] = self._buckets.get(idx, 0) + count
+        if len(self._buckets) > self.max_buckets:
+            self._collapse()
+
+    def observe(self, value: float) -> None:
+        """Histogram-compatible alias for :meth:`add`."""
+        self.add(value)
+
+    def _collapse(self) -> None:
+        """Fold the lowest buckets together until the budget holds.
+
+        Collapsing *low* buckets sacrifices accuracy where relative
+        error matters least for tail quantiles (p50/p9x read from the
+        top of the distribution).  Every fold is counted."""
+        keys = sorted(self._buckets)
+        while len(self._buckets) > self.max_buckets:
+            lowest, second = keys[0], keys[1]
+            self._buckets[second] += self._buckets.pop(lowest)
+            keys.pop(0)
+            self.collapsed += 1
+
+    # -- query --------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` (0..1), within relative error
+        ``alpha`` of a true sample (exact for the zero bucket)."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        # Rank of the target sample, 1-based; q=0 -> min, q=1 -> max.
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zero_count:
+            return 0.0
+        running = self.zero_count
+        for idx in sorted(self._buckets):
+            running += self._buckets[idx]
+            if running >= rank:
+                # Midpoint of (gamma^(i-1), gamma^i] in relative terms.
+                return 2.0 * self.gamma ** idx / (self.gamma + 1.0)
+        return self.max  # pragma: no cover - rank <= count always lands
+
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    # -- merge --------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` into self.  Exact under re-bucketing: same
+        ``alpha`` means same grid, so this is per-bucket addition and
+        the result is bucket-identical to a single sketch over the
+        union stream (unless either side had collapsed)."""
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketches with different alpha "
+                f"({self.alpha} vs {other.alpha}): bucket grids differ")
+        self.count += other.count
+        self.sum += other.sum
+        self.zero_count += other.zero_count
+        self.collapsed += other.collapsed
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+        if len(self._buckets) > self.max_buckets:
+            self._collapse()
+
+    def copy(self) -> "QuantileSketch":
+        out = QuantileSketch(alpha=self.alpha, max_buckets=self.max_buckets)
+        out.merge(self)
+        return out
+
+    # -- snapshots (federation deltas) --------------------------------
+
+    def bucket_state(self) -> Dict[int, int]:
+        """A snapshot of the bucket counts, for delta scraping."""
+        return dict(self._buckets)
+
+    def state(self) -> Tuple[Dict[int, int], int, int, float]:
+        return dict(self._buckets), self.zero_count, self.count, self.sum
+
+    def merge_delta(self, buckets: Dict[int, int], zero_count: int,
+                    count: int, total: float,
+                    min_v: float = math.inf, max_v: float = -math.inf) -> None:
+        """Fold a raw bucket delta (from :class:`FederatedScraper`)."""
+        self.count += count
+        self.sum += total
+        self.zero_count += zero_count
+        if min_v < self.min:
+            self.min = min_v
+        if max_v > self.max:
+            self.max = max_v
+        for idx, n in buckets.items():
+            if n > 0:
+                self._buckets[idx] = self._buckets.get(idx, 0) + n
+        if len(self._buckets) > self.max_buckets:
+            self._collapse()
+
+    # -- introspection ------------------------------------------------
+
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "alpha": self.alpha,
+            "count": self.count,
+            "sum": round(self.sum, 9),
+            "zero_count": self.zero_count,
+            "buckets": len(self._buckets),
+            "collapsed": self.collapsed,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return (self.alpha == other.alpha
+                and self.zero_count == other.zero_count
+                and self.count == other.count
+                and self._buckets == other._buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QuantileSketch(alpha={self.alpha}, count={self.count}, "
+                f"buckets={len(self._buckets)}, collapsed={self.collapsed})")

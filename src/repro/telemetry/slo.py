@@ -1,0 +1,283 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SloSpec` states an objective over a stream of good/bad
+events ("99% of proxied requests complete within 250 ms"); the
+:class:`SloEvaluator` turns the world's own metric families into those
+event streams and evaluates them the way production alerting does —
+**burn rate**, not raw error rate:
+
+    error_budget = 1 - objective
+    burn         = error_rate_over_window / error_budget
+
+A burn of 1.0 spends the budget exactly at the sustainable pace; a burn
+of ``burn_threshold`` (default 2.0) spends it twice as fast.  Alerting
+requires the threshold to be exceeded in **both** a fast and a slow
+window: the fast window makes the alert responsive, the slow window
+stops a single bad poll from paging.  Until a window has history (cold
+start), its baseline degrades to the run start, i.e. the burn is
+computed over the full history so far — a world that starts on fire
+alerts on the second poll rather than waiting out the window.
+
+The evaluator is a pure telemetry consumer: it reads the registry and
+the incident list, draws no randomness, and mints no ids.  Its output
+is ordinary :class:`~repro.monitor.logs.Notice` objects named
+``SLO_BURN`` with ``src="slo:<name>"`` — fed through the
+:class:`AlertCorrelator` they become incidents that playbooks can act
+on, which is how telemetry closes the loop back into the SOC
+(``shed-padding-on-burn`` relaxing the padding policy is the shipped
+example).
+
+Three kinds cover the spec'd objectives:
+
+- ``latency``: good = observations with value ≤ ``target`` in histogram
+  ``family`` (``target`` must be one of the family's bucket bounds —
+  the fixed-bucket counters are exact there).
+- ``drop_ratio``: good/bad from a pair of counter families
+  (monitor segments seen vs dropped — the throughput floor).
+- ``action_lead``: good = contained incidents whose first successful
+  action landed within ``target`` seconds of the incident opening —
+  the paper's detection-lead-time metric as an SLO.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["SloSpec", "SloEvaluator", "DEFAULT_SLOS", "SHAPING_DELAY_SLO",
+           "burn_rate"]
+
+_KINDS = ("latency", "drop_ratio", "action_lead")
+
+
+def burn_rate(good: float, bad: float, objective: float) -> float:
+    """Budget-relative error rate: 1.0 == spending the error budget
+    exactly at the sustainable pace."""
+    total = good + bad
+    if total <= 0:
+        return 0.0
+    return (bad / total) / (1.0 - objective)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective, carried on :class:`WorldSpec`."""
+
+    name: str
+    kind: str
+    objective: float = 0.99
+    #: Histogram family for ``latency`` kind.
+    family: str = ""
+    #: ``latency``: the le bound (seconds); ``action_lead``: max lead (s).
+    target: float = 0.25
+    #: Counter families for ``drop_ratio`` kind.
+    good_family: str = ""
+    bad_family: str = ""
+    fast_window: float = 20.0
+    slow_window: float = 120.0
+    burn_threshold: float = 2.0
+    #: Minimum seconds between SLO_BURN notices for this SLO.
+    renotify: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"SloSpec.kind must be one of {_KINDS}, "
+                             f"got {self.kind!r}")
+        if not (0.0 < self.objective < 1.0):
+            raise ValueError(f"SloSpec.objective must be in (0, 1), "
+                             f"got {self.objective}")
+        if not (0.0 < self.fast_window <= self.slow_window):
+            raise ValueError(
+                f"SloSpec windows must satisfy 0 < fast <= slow, got "
+                f"fast={self.fast_window} slow={self.slow_window}")
+        if self.burn_threshold <= 0.0:
+            raise ValueError(f"SloSpec.burn_threshold must be > 0, "
+                             f"got {self.burn_threshold}")
+        if self.kind == "latency" and not self.family:
+            raise ValueError("latency SloSpec needs a histogram family")
+        if self.kind == "drop_ratio" and not (self.good_family
+                                              and self.bad_family):
+            raise ValueError("drop_ratio SloSpec needs good/bad families")
+        if self.kind in ("latency", "action_lead") and self.target <= 0.0:
+            raise ValueError(f"SloSpec.target must be > 0, got {self.target}")
+
+
+#: The spec'd fleet objectives: front-door latency, monitor throughput
+#: floor, and the paper's detection-lead-time metric as an SLO.
+DEFAULT_SLOS: Tuple[SloSpec, ...] = (
+    SloSpec(name="proxy-latency", kind="latency",
+            family="proxy_request_seconds", target=0.25, objective=0.99),
+    SloSpec(name="monitor-throughput", kind="drop_ratio",
+            good_family="monitor_segments_total",
+            bad_family="monitor_segments_dropped_total", objective=0.999),
+    SloSpec(name="containment-lead", kind="action_lead",
+            target=60.0, objective=0.90),
+)
+
+#: The shaping-cost objective: 90% of responses leave within 250 ms of
+#: being ready.  A padded world (max_jitter 0.7 ⇒ ~64% of draws over
+#: 250 ms) burns this budget ~6× — the canonical trigger for
+#: ``shed-padding-on-burn``.
+SHAPING_DELAY_SLO = SloSpec(
+    name="shaping-delay", kind="latency",
+    family="proxy_response_delay_seconds", target=0.25, objective=0.90,
+    fast_window=20.0, slow_window=60.0, burn_threshold=2.0, renotify=60.0)
+
+
+class _SloState:
+    __slots__ = ("snapshots", "last_fired", "last_fast", "last_slow",
+                 "burns")
+
+    def __init__(self) -> None:
+        #: (ts, good, bad) cumulative snapshots, oldest first.
+        self.snapshots: List[Tuple[float, float, float]] = []
+        self.last_fired = -1e18
+        self.last_fast = 0.0
+        self.last_slow = 0.0
+        self.burns = 0
+
+
+class SloEvaluator:
+    """Polls metric families, tracks burn windows, emits SLO_BURN."""
+
+    def __init__(self, specs, registry,
+                 incidents: Optional[Callable[[], list]] = None) -> None:
+        self.specs = tuple(specs)
+        self.registry = registry
+        self._incidents = incidents
+        self._state: Dict[str, _SloState] = {s.name: _SloState()
+                                             for s in self.specs}
+        self.evaluations = 0
+        self.notices_emitted = 0
+
+    def attach_incidents(self, fn: Callable[[], list]) -> None:
+        """Give the ``action_lead`` kind its incident source (the
+        correlator's incident list)."""
+        self._incidents = fn
+
+    # -- cumulative good/bad extraction -------------------------------
+
+    def _counts(self, spec: SloSpec) -> Tuple[float, float]:
+        if spec.kind == "latency":
+            return self._latency_counts(spec)
+        if spec.kind == "drop_ratio":
+            return self._ratio_counts(spec)
+        return self._lead_counts(spec)
+
+    def _latency_counts(self, spec: SloSpec) -> Tuple[float, float]:
+        family = self.registry.get(spec.family)
+        if family is None:
+            return 0.0, 0.0
+        good = bad = 0
+        for child in family._children.values():
+            if spec.target not in child.buckets:
+                raise ValueError(
+                    f"SLO {spec.name!r}: target {spec.target} is not a "
+                    f"bucket bound of {spec.family!r} {child.buckets} — "
+                    f"latency SLOs are exact only at declared bounds")
+            upto = bisect.bisect_right(child.buckets, spec.target)
+            ok = sum(child.counts[:upto])
+            good += ok
+            bad += child.count - ok
+        return float(good), float(bad)
+
+    def _ratio_counts(self, spec: SloSpec) -> Tuple[float, float]:
+        def total(name: str) -> float:
+            family = self.registry.get(name)
+            if family is None:
+                return 0.0
+            return sum(c.value for c in family._children.values())
+
+        good = total(spec.good_family)
+        bad = total(spec.bad_family)
+        return good, bad
+
+    def _lead_counts(self, spec: SloSpec) -> Tuple[float, float]:
+        if self._incidents is None:
+            return 0.0, 0.0
+        good = bad = 0
+        for incident in self._incidents():
+            first_ok = min((a.ts for a in incident.actions
+                            if a.ok and not a.dry_run), default=None)
+            if first_ok is None:
+                continue
+            if first_ok - incident.opened <= spec.target:
+                good += 1
+            else:
+                bad += 1
+        return float(good), float(bad)
+
+    # -- burn windows -------------------------------------------------
+
+    @staticmethod
+    def _window_burn(state: _SloState, now: float, window: float,
+                     good: float, bad: float, objective: float) -> float:
+        """Burn over ``[now - window, now]``: baseline is the newest
+        snapshot at or before the window start, else run start (0, 0)."""
+        base_good = base_bad = 0.0
+        cutoff = now - window
+        for ts, g, b in reversed(state.snapshots):
+            if ts <= cutoff:
+                base_good, base_bad = g, b
+                break
+        return burn_rate(good - base_good, bad - base_bad, objective)
+
+    def evaluate(self, now: float) -> list:
+        """One poll: snapshot every SLO's counters, compute fast/slow
+        burns, and return SLO_BURN notices for those over threshold in
+        both windows (renotify-limited)."""
+        # Deferred import: repro.monitor pulls in repro.telemetry, so a
+        # top-level import here would cycle during package init.
+        from repro.monitor.logs import Notice
+
+        self.evaluations += 1
+        self.registry.collect()  # run scrape-time collectors first
+        out: List[Notice] = []
+        for spec in self.specs:
+            state = self._state[spec.name]
+            good, bad = self._counts(spec)
+            fast = self._window_burn(state, now, spec.fast_window,
+                                     good, bad, spec.objective)
+            slow = self._window_burn(state, now, spec.slow_window,
+                                     good, bad, spec.objective)
+            state.snapshots.append((now, good, bad))
+            # Prune history older than anything a slow window can need.
+            horizon = now - 2.0 * spec.slow_window
+            while len(state.snapshots) > 2 and state.snapshots[1][0] <= horizon:
+                state.snapshots.pop(0)
+            state.last_fast, state.last_slow = fast, slow
+            if (fast >= spec.burn_threshold and slow >= spec.burn_threshold
+                    and now - state.last_fired >= spec.renotify):
+                state.last_fired = now
+                state.burns += 1
+                self.notices_emitted += 1
+                out.append(Notice(
+                    ts=now, detector="slo", name="SLO_BURN",
+                    severity="high", src=f"slo:{spec.name}", dst="",
+                    detail={
+                        "slo": spec.name, "kind": spec.kind,
+                        "objective": spec.objective,
+                        "fast_burn": round(fast, 3),
+                        "slow_burn": round(slow, 3),
+                        "threshold": spec.burn_threshold,
+                        "tenant": "-",
+                    }))
+        return out
+
+    def report(self) -> List[Dict[str, object]]:
+        """Per-SLO status rows for the CLI."""
+        rows: List[Dict[str, object]] = []
+        for spec in self.specs:
+            state = self._state[spec.name]
+            good, bad = (state.snapshots[-1][1:] if state.snapshots
+                         else (0.0, 0.0))
+            rows.append({
+                "slo": spec.name, "kind": spec.kind,
+                "objective": spec.objective,
+                "good": good, "bad": bad,
+                "fast_burn": round(state.last_fast, 3),
+                "slow_burn": round(state.last_slow, 3),
+                "burns": state.burns,
+            })
+        return rows

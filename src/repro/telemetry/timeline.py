@@ -26,19 +26,27 @@ __all__ = ["TimelineEvent", "EventTimeline", "merge_timelines"]
 
 class TimelineEvent:
     """One timestamped fact.  ``kind`` is dotted ``layer.what``
-    (``proxy.blocked``, ``detector.notice``, ``soc.action``...)."""
+    (``proxy.blocked``, ``detector.notice``, ``soc.action``...).
 
-    __slots__ = ("ts", "kind", "source", "trace_id", "span_id", "detail")
+    ``seq`` is the recording timeline's event ordinal — the tie-break
+    that keeps cross-timeline merges byte-deterministic when several
+    shards stamp identical sim-times (common: simultaneous deliveries
+    share a tick)."""
+
+    __slots__ = ("ts", "kind", "source", "trace_id", "span_id", "detail",
+                 "seq")
 
     def __init__(self, ts: float, kind: str, source: str = "",
                  trace_id: str = "", span_id: str = "",
-                 detail: Optional[Dict[str, object]] = None) -> None:
+                 detail: Optional[Dict[str, object]] = None,
+                 seq: int = 0) -> None:
         self.ts = ts
         self.kind = kind
         self.source = source
         self.trace_id = trace_id
         self.span_id = span_id
         self.detail = detail if detail is not None else {}
+        self.seq = seq
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -47,6 +55,7 @@ class TimelineEvent:
             "source": self.source,
             "trace_id": self.trace_id,
             "span_id": self.span_id,
+            "seq": self.seq,
             "detail": dict(self.detail),
         }
 
@@ -72,7 +81,8 @@ class EventTimeline:
             ts, kind, source,
             ctx.trace_id if ctx is not None else "",
             ctx.span_id if ctx is not None else "",
-            detail or None))
+            detail or None,
+            seq=self.total_recorded))
 
     @property
     def dropped(self) -> int:
@@ -103,12 +113,16 @@ class EventTimeline:
 def merge_timelines(*timelines: EventTimeline) -> List[TimelineEvent]:
     """Merge several timelines into one sim-time-ordered list.
 
-    The sort is stable, so events with equal timestamps keep their
-    per-timeline relative order — the same tie-break the event loop
-    itself uses for simultaneous deliveries.
+    The key is ``(ts, source, seq)``: equal sim-times (common across
+    shards — simultaneous deliveries share a tick) order by source then
+    by each timeline's own record ordinal, so a merged fleet timeline
+    is byte-deterministic regardless of which shard's ring is passed
+    first.  The sort is stable, so events identical on the full key
+    (same source, same seq, e.g. from distinct worlds' timelines) still
+    keep their per-timeline relative order.
     """
     merged: List[TimelineEvent] = []
     for tl in timelines:
         merged.extend(tl.events())
-    merged.sort(key=lambda e: e.ts)
+    merged.sort(key=lambda e: (e.ts, e.source, e.seq))
     return merged

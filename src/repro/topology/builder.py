@@ -62,7 +62,8 @@ class WorldBuilder:
         if not ts.enabled:
             return Telemetry.disabled()
         return Telemetry(enabled=True, span_capacity=ts.span_capacity,
-                         timeline_capacity=ts.timeline_capacity)
+                         timeline_capacity=ts.timeline_capacity,
+                         profile=ts.profile)
 
     def _tune_monitor(self, spec: WorldSpec, monitor: JupyterNetworkMonitor) -> None:
         """Apply the spec's scale-model detector calibration (DESIGN.md)."""
@@ -129,6 +130,19 @@ class WorldBuilder:
         if fleet is not None:
             controller.adopt_fleet(fleet)
         scenario.soc = controller
+        # SLOs: evaluated inside the controller's poll, feeding SLO_BURN
+        # notices back through the correlator.  A pure telemetry
+        # consumer — it reads the registry and the incident list, never
+        # the RNG or id streams.
+        if spec.slos:
+            from repro.telemetry.slo import SloEvaluator
+
+            telemetry = getattr(scenario, "telemetry", None)
+            evaluator = SloEvaluator(spec.slos, telemetry.registry)
+            evaluator.attach_incidents(
+                lambda: list(controller.correlator.incidents.values()))
+            controller.slo = evaluator
+            scenario.slo = evaluator
 
     # -- single server --------------------------------------------------------
     def _build_single(self, spec: WorldSpec):

@@ -22,6 +22,7 @@ from repro.hub.users import HubConfig
 from repro.monitor import AnalyzerDepth
 from repro.server.config import ServerConfig
 from repro.soc.playbook import ResponsePolicy
+from repro.telemetry.slo import SloSpec
 from repro.traffic.padding import PaddingPolicy
 
 
@@ -172,6 +173,10 @@ class TelemetrySpec:
     enabled: bool = True
     span_capacity: int = 8192
     timeline_capacity: int = 4096
+    #: Arm the sim-time/work-unit profiler (``repro obs --flame``).
+    #: Off by default: profiled worlds stay byte-identical (the profiler
+    #: only counts work), but the hot-path hooks cost a few percent.
+    profile: bool = False
 
 
 @dataclass(frozen=True)
@@ -212,6 +217,12 @@ class WorldSpec:
     #: door (the ``padded-*`` presets).  Jitter draws come from the
     #: world's seeded RNG, so padded worlds stay byte-reproducible.
     padding: Optional[PaddingPolicy] = None
+    #: Service-level objectives: burn-rate-evaluated during SOC polls,
+    #: emitting ``SLO_BURN`` notices into the alert correlator.  SLOs
+    #: are a telemetry *consumer* that feeds back into the response
+    #: loop, so they require both a response policy and enabled
+    #: telemetry (enforced below).
+    slos: Tuple[SloSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if (self.server is None) == (self.hub is None):
@@ -231,6 +242,19 @@ class WorldSpec:
             raise ValueError(
                 f"WorldSpec {self.name!r}: adversary policies need a hub "
                 f"topology (rotation and tenant-hop act on the hub tier)")
+        if self.slos:
+            if self.response is None:
+                raise ValueError(
+                    f"WorldSpec {self.name!r}: SLOs emit SLO_BURN notices "
+                    f"through the SOC correlator — add a response policy")
+            if not self.telemetry.enabled:
+                raise ValueError(
+                    f"WorldSpec {self.name!r}: SLOs read the metrics "
+                    f"registry — they cannot run with telemetry disabled")
+            names = [s.name for s in self.slos]
+            if len(set(names)) != len(names):
+                raise ValueError(
+                    f"duplicate SLO names in {self.name!r}: {names}")
         keys = [s.key for s in self.sinks]
         if len(set(keys)) != len(keys):
             raise ValueError(f"duplicate sink keys in {self.name!r}: {keys}")

@@ -52,6 +52,15 @@ from typing import Any, Dict, Optional, Tuple
 #: materializing large content values.
 SPAN_SCAN_THRESHOLD = 16 * 1024
 
+#: Flamegraph frame names for this module's hot probes.  The probes take
+#: no hook parameter — callers (the monitor engine) account work against
+#: these paths at drained-batch granularity via
+#: :meth:`repro.telemetry.profiler.Profiler.account`, so an unprofiled
+#: world's wire hot path carries zero extra instructions.
+PROF_WS_PROBE = ("hot", "wire.jupyter", "probe_ws_canonical")
+PROF_ZMTP_PROBE = ("hot", "wire.jupyter", "probe_zmtp_header")
+PROF_WS_FALLBACK = ("hot", "wire.jupyter", "classic_parse_fallback")
+
 # One token per JSON lexeme: a complete string (unrolled-loop form, no
 # backtracking), a structural byte, or a literal/number run.
 _TOKEN = re.compile(rb'"[^"\\]*(?:\\.[^"\\]*)*"|[{}\[\]:,]|[^\s"{}\[\]:,]+')

@@ -216,6 +216,44 @@ class TestObsCli:
         lines = capsys.readouterr().out.strip().splitlines()
         assert lines and all("kind" in json.loads(ln) for ln in lines)
 
+    def test_export_jsonl_round_trips_through_validators(self, capsys):
+        from repro.cli import obs as cli_obs
+        from repro.telemetry.exporters import (
+            SCHEMA_VERSION,
+            TIMELINE_REQUIRED_KEYS,
+            validate_jsonl,
+        )
+
+        assert cli_obs.main(["--export", "metrics-jsonl", *self.ARGS]) == 0
+        metrics = capsys.readouterr().out
+        assert validate_jsonl(metrics, required_keys=("name", "value")) == []
+        header = json.loads(metrics.splitlines()[0])
+        assert header["schema_version"] == SCHEMA_VERSION
+
+        assert cli_obs.main(["--export", "timeline-jsonl", *self.ARGS]) == 0
+        timeline = capsys.readouterr().out
+        assert validate_jsonl(timeline,
+                              required_keys=TIMELINE_REQUIRED_KEYS) == []
+
+    def test_flame_names_the_hot_paths(self, capsys):
+        from repro.cli import obs as cli_obs
+
+        assert cli_obs.main(["--flame", "--tenants", "2", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.strip().splitlines() if ";" in ln]
+        assert lines, "flamegraph output must be non-empty"
+        for needle in ("scan_jupyter", "_feed_ws", "probe_ws_canonical"):
+            assert needle in out
+
+    def test_slo_burn_smoke(self, capsys):
+        from repro.cli import obs as cli_obs
+
+        assert cli_obs.main(["--slo", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "obs slo: OK" in out
+        assert "SLO_BURN" in out
+        assert "shed-padding-on-burn" in out
+
     def test_umbrella_knows_obs(self, capsys):
         from repro.cli import main as cli_main
 

@@ -1,0 +1,610 @@
+"""Tests for the fleet-grade observability layer: mergeable quantile
+sketches, cross-shard metric federation, the deterministic sim-time
+profiler, SLO burn-rate alerts feeding the SOC, timeline merge
+tie-breaks, and exporter schema versioning."""
+
+import bisect
+import json
+import math
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.telemetry import EventTimeline, MetricsRegistry, Tracer, merge_timelines
+from repro.telemetry.exporters import (
+    SCHEMA_VERSION,
+    TIMELINE_REQUIRED_KEYS,
+    render_metrics_jsonl,
+    render_prometheus,
+    render_timeline_jsonl,
+    validate_jsonl,
+    validate_prometheus,
+    validate_schema_version,
+)
+from repro.telemetry.federation import FederatedScraper, shard_views
+from repro.telemetry.profiler import Profiler
+from repro.telemetry.registry import DEFAULT_BUCKETS, Histogram
+from repro.telemetry.sketch import DEFAULT_ALPHA, QuantileSketch
+from repro.telemetry.slo import (
+    DEFAULT_SLOS,
+    SHAPING_DELAY_SLO,
+    SloEvaluator,
+    SloSpec,
+    burn_rate,
+)
+
+
+def _true_quantile(values, q):
+    """The sketch's rank convention: rank = max(1, ceil(q * n))."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+# -- quantile sketch ----------------------------------------------------------
+
+class TestQuantileSketch:
+    QS = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999)
+
+    def adversarial_distributions(self):
+        rng = random.Random(20240501)
+        yield "uniform", [rng.uniform(0.001, 10.0) for _ in range(5000)]
+        yield "heavy-tail", [math.exp(rng.gauss(0.0, 3.0)) for _ in range(5000)]
+        yield "nine-decades", [10.0 ** rng.uniform(-4, 5) for _ in range(5000)]
+        yield "all-equal", [0.125] * 1000
+        yield "two-point", [1e-6] * 500 + [1e6] * 500
+        yield "integers", [float(rng.randrange(1, 50)) for _ in range(3000)]
+
+    def test_relative_error_bound_on_adversarial_distributions(self):
+        for label, values in self.adversarial_distributions():
+            sk = QuantileSketch()
+            for v in values:
+                sk.add(v)
+            for q in self.QS:
+                truth = _true_quantile(values, q)
+                est = sk.quantile(q)
+                rel = abs(est - truth) / truth
+                assert rel <= DEFAULT_ALPHA + 1e-12, (
+                    f"{label}: q={q} est={est} truth={truth} rel={rel}")
+
+    def test_merge_equals_union_stream(self):
+        """N per-shard sketches merged == one sketch over the union
+        stream — the exactness property federation depends on."""
+        rng = random.Random(99)
+        shards = [[math.exp(rng.gauss(0.0, 2.0)) for _ in range(700)]
+                  for _ in range(5)]
+        union = QuantileSketch()
+        merged = QuantileSketch()
+        for stream in shards:
+            per_shard = QuantileSketch()
+            for v in stream:
+                per_shard.add(v)
+                union.add(v)
+            merged.merge(per_shard)
+        assert merged == union
+        assert merged.quantiles(self.QS) == union.quantiles(self.QS)
+        assert merged.sum == pytest.approx(union.sum)
+
+    def test_merge_is_order_independent(self):
+        rng = random.Random(7)
+        parts = []
+        for _ in range(4):
+            sk = QuantileSketch()
+            for _ in range(300):
+                sk.add(rng.uniform(0.01, 100.0))
+            parts.append(sk)
+        fwd, rev = QuantileSketch(), QuantileSketch()
+        for sk in parts:
+            fwd.merge(sk)
+        for sk in reversed(parts):
+            rev.merge(sk)
+        assert fwd == rev
+
+    def test_merge_alpha_mismatch_raises(self):
+        a = QuantileSketch(alpha=0.01)
+        b = QuantileSketch(alpha=0.02)
+        with pytest.raises(ValueError, match="different alpha"):
+            a.merge(b)
+
+    def test_negative_value_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            QuantileSketch().add(-1.0)
+
+    def test_zero_values_use_the_zero_bucket(self):
+        sk = QuantileSketch()
+        for _ in range(90):
+            sk.add(0.0)
+        for _ in range(10):
+            sk.add(5.0)
+        assert sk.zero_count == 90
+        assert sk.quantile(0.5) == 0.0
+        assert sk.quantile(0.99) == pytest.approx(5.0, rel=DEFAULT_ALPHA)
+
+    def test_collapse_bounds_buckets_and_preserves_count(self):
+        sk = QuantileSketch(max_buckets=8)
+        values = [10.0 ** e for e in range(-6, 7)] * 5
+        for v in values:
+            sk.add(v)
+        assert sk.bucket_count() <= 8
+        assert sk.collapsed > 0
+        assert sk.count == len(values)
+        # Collapse folds the *lowest* buckets: the top stays accurate.
+        assert sk.quantile(0.99) == pytest.approx(1e6, rel=DEFAULT_ALPHA)
+
+    def test_tiny_max_buckets_rejected(self):
+        with pytest.raises(ValueError, match="max_buckets"):
+            QuantileSketch(max_buckets=4)
+
+
+# -- histogram fixed-bucket parity -------------------------------------------
+
+class TestHistogramParity:
+    def test_fixed_bucket_export_matches_legacy_bisect_exactly(self):
+        """The sketch backing must not move the Prometheus export: the
+        per-bound counters, sum, and count match an independent bisect
+        reimplementation bit-for-bit (both accumulate in the same
+        order, so 1 ULP means exact equality here)."""
+        rng = random.Random(31337)
+        values = [rng.uniform(0.0001, 400.0) for _ in range(4000)]
+        hist = Histogram(DEFAULT_BUCKETS)
+        legacy_counts = [0] * (len(DEFAULT_BUCKETS) + 1)
+        legacy_sum = 0.0
+        for v in values:
+            hist.observe(v)
+            legacy_counts[bisect.bisect_left(DEFAULT_BUCKETS, v)] += 1
+            legacy_sum += v
+        assert hist.counts == legacy_counts
+        assert hist.sum == legacy_sum
+        assert hist.count == len(values)
+
+    def test_prometheus_export_is_a_function_of_the_fixed_counters(self):
+        """Two histograms with equal fixed-bound counters but different
+        sketch states render identical scrapes — the sketch never leaks
+        into the export."""
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        fam_a = reg_a.histogram("lat_seconds", "x", buckets=(0.1, 1.0))
+        fam_b = reg_b.histogram("lat_seconds", "x", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 2.0):
+            fam_a.observe(v)
+            fam_b.observe(v)
+        # Perturb b's sketch only (as a federated merge_delta would).
+        fam_b._default().sketch.merge_delta({3: 2}, 1, 3, 0.7)
+        assert render_prometheus(reg_a) == render_prometheus(reg_b)
+
+    def test_quantile_reads_the_sketch(self):
+        hist = Histogram(DEFAULT_BUCKETS)
+        rng = random.Random(5)
+        values = [rng.uniform(0.01, 2.0) for _ in range(2000)]
+        for v in values:
+            hist.observe(v)
+        assert hist.quantile(0.5) == pytest.approx(
+            _true_quantile(values, 0.5), rel=DEFAULT_ALPHA)
+
+    def test_merge_from_grid_mismatch_raises(self):
+        a = Histogram((0.1, 1.0))
+        b = Histogram((0.5, 5.0))
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge_from(b)
+
+
+# -- federation ---------------------------------------------------------------
+
+def _shard_registry(requests=0, latencies=()):
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", "reqs")
+    if requests:
+        c.inc(requests)
+    h = reg.histogram("latency_seconds", "lat", buckets=(0.1, 1.0, 10.0))
+    for v in latencies:
+        h.observe(v)
+    return reg
+
+
+class TestFederation:
+    def test_rescrape_of_idle_shard_adds_nothing(self):
+        reg = _shard_registry(requests=10, latencies=(0.5, 2.0))
+        fed = FederatedScraper()
+        fed.scrape("s0", reg)
+        fed.scrape("s0", reg)
+        assert fed.fleet.get("requests_total")._children[("s0",)].value == 10
+        hist = fed.fleet.get("latency_seconds")._children[("s0",)]
+        assert hist.count == 2 and hist.sketch.count == 2
+
+    def test_incremental_scrape_folds_only_the_delta(self):
+        reg = _shard_registry(requests=10, latencies=(0.5,))
+        fed = FederatedScraper()
+        fed.scrape("s0", reg)
+        reg.get("requests_total")._default().inc(5)
+        reg.get("latency_seconds")._default().observe(3.0)
+        fed.scrape("s0", reg)
+        assert fed.fleet.get("requests_total")._children[("s0",)].value == 15
+        hist = fed.fleet.get("latency_seconds")._children[("s0",)]
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(3.5)
+        assert hist.sketch.count == 2
+
+    def test_counter_restart_counts_the_whole_new_value(self):
+        fed = FederatedScraper()
+        fed.scrape("s0", _shard_registry(requests=10))
+        # The shard restarts: a fresh registry whose counter is below
+        # the cursor.  Its whole value is new evidence.
+        fed.scrape("s0", _shard_registry(requests=3))
+        assert fed.fleet.get("requests_total")._children[("s0",)].value == 13
+
+    def test_histogram_restart_starts_a_fresh_epoch(self):
+        fed = FederatedScraper()
+        fed.scrape("s0", _shard_registry(latencies=(0.5, 0.5, 0.5)))
+        fed.scrape("s0", _shard_registry(latencies=(2.0,)))
+        hist = fed.fleet.get("latency_seconds")._children[("s0",)]
+        assert hist.count == 4
+        assert hist.sketch.count == 4
+
+    def test_shard_label_is_appended(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", "hits", labels=("code",)) \
+            .labels(code="200").inc(7)
+        fed = FederatedScraper()
+        fed.scrape("east", reg)
+        fam = fed.fleet.get("hits_total")
+        assert fam.labelnames == ("code", "shard")
+        (sample,) = fam.samples()
+        assert dict(sample.labels) == {"code": "200", "shard": "east"}
+
+    def test_cardinality_budget_drops_and_counts(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits_total", "hits", labels=("code",))
+        for code in ("200", "301", "403", "404", "500"):
+            fam.labels(code=code).inc()
+        fed = FederatedScraper(max_series=3)
+        fed.scrape("s0", reg)
+        assert fed.series == 3
+        assert fed.dropped_series == 2
+        # The budget alarm is a meta-family, exempt from its own budget.
+        meta = fed.fleet.get("federation_dropped_series_total")
+        assert meta.samples()[0].value == 2
+
+    def test_fleet_quantiles_match_the_union_sketch(self):
+        rng = random.Random(404)
+        streams = {f"s{i}": [rng.uniform(0.01, 5.0) for _ in range(400)]
+                   for i in range(3)}
+        union = QuantileSketch()
+        fed = FederatedScraper()
+        for shard, values in streams.items():
+            reg = _shard_registry(latencies=values)
+            fed.scrape(shard, reg)
+            for v in values:
+                union.add(v)
+        fleet = fed.fleet_quantiles("latency_seconds", qs=(0.5, 0.99))
+        assert fleet["p50"] == union.quantile(0.5)
+        assert fleet["p99"] == union.quantile(0.99)
+        per_shard = fed.shard_quantile("latency_seconds", 0.99)
+        assert set(per_shard) == set(streams)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="no federated histogram family"):
+            FederatedScraper().fleet_quantiles("nope_seconds")
+
+    def test_shard_views_split_a_shared_registry(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("req_total", "reqs", labels=("proxy",))
+        fam.labels(proxy="hub0").inc(4)
+        fam.labels(proxy="hub1").inc(9)
+        reg.counter("shared_total", "not per-shard").inc(100)
+        views = shard_views(reg, label="proxy")
+        assert sorted(views) == ["hub0", "hub1"]
+        fed = FederatedScraper()
+        fed.scrape_all(views)
+        fleet_fam = fed.fleet.get("req_total")
+        # The proxy label is dropped; the scraper re-adds it as shard=.
+        assert fleet_fam.labelnames == ("shard",)
+        values = {dict(s.labels)["shard"]: s.value
+                  for s in fleet_fam.samples()}
+        assert values == {"hub0": 4, "hub1": 9}
+        # Label-less families are shared state, never federated.
+        assert fed.fleet.get("shared_total") is None
+
+
+# -- profiler -----------------------------------------------------------------
+
+class TestProfiler:
+    def test_collapsed_stack_output_is_deterministic(self):
+        prof = Profiler()
+        prof.account(("hot", "a", "b"), 3)
+        prof.account(("hot", "a"), 2)
+        prof.account(("hot", "a", "b"), 1)
+        assert prof.collapsed("units") == "hot;a 2\nhot;a;b 4\n"
+        assert prof.top_self("units") == [("b", 4), ("a", 2)]
+
+    def test_unknown_weight_raises(self):
+        prof = Profiler()
+        prof.account(("hot", "x"))
+        with pytest.raises(ValueError, match="unknown flamegraph weight"):
+            prof.collapsed("cycles")
+
+    def test_ingest_spans_computes_self_time(self):
+        tracer = Tracer()
+        root = tracer.start_span("world.run", ts=0.0)
+        child = tracer.start_span("proxy.request", parent=root.ctx, ts=1.0)
+        child.finish(3.0)
+        root.finish(10.0)
+        tracer.start_span("unfinished", ts=4.0)  # skipped: no end
+        prof = Profiler()
+        assert prof.ingest_spans(tracer) == 2
+        # Root self-time = 10 − (3 − 1) = 8 s; child = 2 s (integer µs).
+        assert prof.collapsed("sim") == (
+            "sim;world.run 8000000\n"
+            "sim;world.run;proxy.request 2000000\n")
+
+    def test_wall_probe_samples_every_nth_call(self):
+        prof = Profiler(wall_sample_interval=4)
+        probes = [prof.wall_probe() for _ in range(8)]
+        assert probes[:3] == [0.0, 0.0, 0.0] and probes[3] > 0.0
+        assert probes[4:7] == [0.0, 0.0, 0.0] and probes[7] > 0.0
+
+    def test_wall_weight_is_excluded_from_deterministic_exports(self):
+        prof = Profiler()
+        prof.account(("hot", "x"), 5)
+        # No wall samples were taken: the wall view is empty while the
+        # units view carries the work.
+        assert prof.collapsed("wall") == ""
+        assert prof.collapsed("units") == "hot;x 5\n"
+
+
+# -- SLO burn rates -----------------------------------------------------------
+
+def _delay_registry():
+    reg = MetricsRegistry()
+    fam = reg.histogram("proxy_response_delay_seconds", "shaping delay",
+                        buckets=(0.25, 1.0))
+    return reg, fam
+
+
+class TestSloBurn:
+    def test_burn_rate_math(self):
+        assert burn_rate(99, 1, objective=0.99) == pytest.approx(1.0)
+        assert burn_rate(98, 2, objective=0.99) == pytest.approx(2.0)
+        assert burn_rate(0, 0, objective=0.99) == 0.0
+        assert burn_rate(0, 10, objective=0.90) == pytest.approx(10.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            SloSpec(name="x", kind="availability")
+        with pytest.raises(ValueError, match="objective"):
+            SloSpec(name="x", kind="action_lead", objective=1.0)
+        with pytest.raises(ValueError, match="fast <= slow"):
+            SloSpec(name="x", kind="action_lead",
+                    fast_window=120.0, slow_window=20.0)
+        with pytest.raises(ValueError, match="burn_threshold"):
+            SloSpec(name="x", kind="action_lead", burn_threshold=0.0)
+        with pytest.raises(ValueError, match="histogram family"):
+            SloSpec(name="x", kind="latency")
+        with pytest.raises(ValueError, match="good/bad"):
+            SloSpec(name="x", kind="drop_ratio")
+        with pytest.raises(ValueError, match="target"):
+            SloSpec(name="x", kind="action_lead", target=0.0)
+
+    def test_latency_target_must_be_a_declared_bucket_bound(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_seconds", "x", buckets=(0.1, 0.5)).observe(0.2)
+        spec = SloSpec(name="lat", kind="latency", family="lat_seconds",
+                       target=0.25, objective=0.99)
+        ev = SloEvaluator((spec,), reg)
+        with pytest.raises(ValueError, match="not a bucket bound"):
+            ev.evaluate(1.0)
+
+    def test_burn_fires_renotifies_and_recovers(self):
+        reg, fam = _delay_registry()
+        spec = SloSpec(name="shape", kind="latency",
+                       family="proxy_response_delay_seconds", target=0.25,
+                       objective=0.90, fast_window=20.0, slow_window=60.0,
+                       burn_threshold=2.0, renotify=60.0)
+        ev = SloEvaluator((spec,), reg)
+
+        for _ in range(50):
+            fam.observe(0.5)  # bad: over the 250 ms bound
+        (notice,) = ev.evaluate(10.0)  # cold start: full-history burn
+        assert notice.name == "SLO_BURN" and notice.severity == "high"
+        assert notice.src == "slo:shape"
+        assert notice.detail["tenant"] == "-"
+        assert notice.detail["fast_burn"] >= 2.0
+
+        for _ in range(50):
+            fam.observe(0.5)
+        assert ev.evaluate(15.0) == []  # renotify window still open
+
+        for _ in range(50):
+            fam.observe(0.5)
+        (again,) = ev.evaluate(80.0)  # still burning, cooldown elapsed
+        assert again.name == "SLO_BURN"
+        assert ev.notices_emitted == 2
+
+        for _ in range(500):
+            fam.observe(0.1)  # recovery: fast window goes clean
+        assert ev.evaluate(150.0) == []
+        (row,) = ev.report()
+        assert row["slo"] == "shape" and row["burns"] == 2
+        assert row["fast_burn"] < 2.0
+
+    def test_drop_ratio_kind_reads_counter_pair(self):
+        reg = MetricsRegistry()
+        reg.counter("monitor_segments_total", "kept").inc(90)
+        reg.counter("monitor_segments_dropped_total", "lost").inc(10)
+        spec = [s for s in DEFAULT_SLOS if s.kind == "drop_ratio"][0]
+        ev = SloEvaluator((spec,), reg)
+        (notice,) = ev.evaluate(5.0)
+        assert notice.src == f"slo:{spec.name}"
+        assert notice.detail["kind"] == "drop_ratio"
+
+    def test_action_lead_kind_reads_incidents(self):
+        spec = [s for s in DEFAULT_SLOS if s.kind == "action_lead"][0]
+        incidents = [
+            SimpleNamespace(opened=0.0, actions=[
+                SimpleNamespace(ts=30.0, ok=True, dry_run=False)]),
+            SimpleNamespace(opened=0.0, actions=[
+                SimpleNamespace(ts=500.0, ok=True, dry_run=False)]),
+            SimpleNamespace(opened=0.0, actions=[]),  # unactioned: ignored
+        ]
+        ev = SloEvaluator((spec,), MetricsRegistry())
+        ev.attach_incidents(lambda: incidents)
+        (notice,) = ev.evaluate(5.0)  # 1 good / 1 bad vs a 90% objective
+        assert notice.detail["slo"] == spec.name
+        (row,) = ev.report()
+        assert (row["good"], row["bad"]) == (1.0, 1.0)
+
+
+# -- timeline merge tie-break -------------------------------------------------
+
+class TestTimelineMergeTieBreak:
+    def test_identical_sim_times_order_by_source_then_seq(self):
+        """Two shards stamping identical sim-times must merge to the
+        same byte sequence regardless of argument order."""
+        a = EventTimeline()
+        b = EventTimeline()
+        for ts in (1.0, 1.0, 2.0):
+            a.record(ts, "proxy.routed", source="shard-b")  # note: b first
+            b.record(ts, "proxy.routed", source="shard-a")
+        ab = [(e.ts, e.source, e.seq) for e in merge_timelines(a, b)]
+        ba = [(e.ts, e.source, e.seq) for e in merge_timelines(b, a)]
+        assert ab == ba
+        assert ab == sorted(ab)
+        assert ab[0] == (1.0, "shard-a", 1)
+        assert ab[1] == (1.0, "shard-a", 2)
+        assert ab[2] == (1.0, "shard-b", 1)
+
+
+# -- exporter edge cases ------------------------------------------------------
+
+class TestExporterEdgeCases:
+    def test_empty_registry_exports_validate(self):
+        reg = MetricsRegistry()
+        assert validate_prometheus(render_prometheus(reg)) == []
+        text = render_metrics_jsonl(reg)
+        assert validate_jsonl(text, required_keys=("name", "value")) == []
+        header = json.loads(text.splitlines()[0])
+        assert header == {"kind": "metrics", "schema_version": SCHEMA_VERSION}
+
+    def test_schema_drift_is_rejected_with_a_clear_message(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x_total", "x")
+        reg.counter("y_total", "y", labels=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("y_total", "y", labels=("b",))
+
+    def test_timeline_wraparound_counts_drops_and_stays_valid(self):
+        tl = EventTimeline(capacity=4)
+        for i in range(10):
+            tl.record(float(i), "proxy.routed", source="hub0", n=i)
+        assert tl.dropped == 6
+        assert len(tl) == 4
+        assert [e.seq for e in tl.events()] == [7, 8, 9, 10]
+        text = render_timeline_jsonl(tl)
+        assert validate_jsonl(text, required_keys=TIMELINE_REQUIRED_KEYS) == []
+
+    def test_unknown_schema_version_is_rejected(self):
+        assert validate_schema_version({}, "BENCH_OBS.json") == [
+            "BENCH_OBS.json: missing schema_version "
+            f"(this reader requires version {SCHEMA_VERSION})"]
+        (problem,) = validate_schema_version({"schema_version": 99})
+        assert "unsupported schema_version 99" in problem
+        assert "re-export with a matching writer" in problem
+        assert validate_schema_version(
+            {"schema_version": SCHEMA_VERSION}) == []
+
+    def test_tampered_jsonl_header_fails_validation(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x").inc()
+        lines = render_metrics_jsonl(reg).splitlines()
+        lines[0] = json.dumps({"kind": "metrics", "schema_version": 2})
+        problems = validate_jsonl("\n".join(lines))
+        assert problems and "unsupported schema_version 2" in problems[0]
+
+
+# -- end-to-end: fleet observability on a live world -------------------------
+
+def _build(topology, *, seed, n_tenants=6, profile=False, slos=()):
+    from dataclasses import replace
+
+    from repro.hub.users import insecure_hub_config
+    from repro.topology import WorldBuilder, resolve_spec
+
+    spec = resolve_spec(topology, n_tenants=n_tenants,
+                        hub_config=insecure_hub_config())
+    if profile:
+        spec = replace(spec, telemetry=replace(spec.telemetry, profile=True))
+    if slos:
+        spec = replace(spec, slos=tuple(slos))
+    return WorldBuilder().build(spec, seed=seed)
+
+
+def _run(topology, campaign, *, seed, **kw):
+    from repro.attacks.campaign import run_campaign
+    from repro.soc.replay import CANNED
+
+    scenario = _build(topology, seed=seed, **kw)
+    run_campaign(scenario, CANNED[campaign]())
+    return scenario
+
+
+class TestEndToEndFleet:
+    def test_profiled_exfil_run_names_the_real_hot_paths(self):
+        s = _run("defended-hub", "exfil", seed=7, n_tenants=2, profile=True)
+        prof = s.telemetry.profiler
+        assert prof is not None
+        prof.ingest_spans(s.telemetry.tracer)
+        flame = prof.collapsed("units")
+        assert flame
+        leaves = {line.rsplit(" ", 1)[0].rsplit(";", 1)[-1]
+                  for line in flame.splitlines()}
+        assert {"_feed_ws", "probe_ws_canonical", "scan_jupyter"} <= leaves
+
+    def test_profiled_run_is_byte_reproducible(self):
+        flames = []
+        for _ in range(2):
+            s = _run("defended-hub", "exfil", seed=7, n_tenants=2,
+                     profile=True)
+            s.telemetry.profiler.ingest_spans(s.telemetry.tracer)
+            flames.append(s.telemetry.profiler.collapsed("units") +
+                          s.telemetry.profiler.collapsed("sim"))
+        assert flames[0] == flames[1]
+
+    def test_profiling_does_not_perturb_the_world(self):
+        on = _run("defended-hub", "exfil", seed=7, n_tenants=2, profile=True)
+        off = _run("defended-hub", "exfil", seed=7, n_tenants=2)
+        assert off.telemetry.profiler is None
+        assert [n.name for n in on.monitor.logs.notices] == \
+            [n.name for n in off.monitor.logs.notices]
+        assert on.soc.summary()["actions"] == off.soc.summary()["actions"]
+
+    def test_slo_burn_closes_the_loop_on_a_padded_geo_fleet(self):
+        """The acceptance run: a padded sharded fleet burns the
+        shaping-delay objective, the SOC opens an SLO_BURN incident,
+        and shed-padding-on-burn drops the jitter fleet-wide."""
+        slos = DEFAULT_SLOS + (SHAPING_DELAY_SLO,)
+        s = _run("defended-padded-sharded-hub-geo", "pivot", seed=4242,
+                 slos=slos)
+        incidents = [i for i in s.soc.correlator.incidents.values()
+                     if "SLO_BURN" in i.notice_names]
+        assert incidents, "the padded fleet must burn the shaping SLO"
+        assert any(i.source == "slo:shaping-delay" for i in incidents)
+        sheds = [a for a in s.soc.executed
+                 if a.rule == "shed-padding-on-burn" and a.ok
+                 and not a.dry_run]
+        assert sheds, "the playbook must relax padding on SLO_BURN"
+        for proxy in s.soc.actions.proxies:
+            if proxy.padder is not None:
+                assert proxy.padder.policy.max_jitter == 0.0
+
+    def test_fleet_quantiles_span_three_shards(self):
+        s = _run("defended-padded-sharded-hub-geo", "pivot", seed=4242)
+        views = shard_views(s.telemetry.registry, label="proxy")
+        assert len(views) >= 3
+        fed = FederatedScraper()
+        fed.scrape_all(views)
+        q = fed.fleet_quantiles("proxy_request_seconds")
+        assert set(q) == {"p50", "p99"}
+        assert q["p99"] > 0.0
+        per_shard = fed.shard_quantile("proxy_request_seconds", 0.99)
+        assert len(per_shard) >= 3

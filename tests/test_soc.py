@@ -13,6 +13,7 @@ from repro.soc import (
     DEFAULT_RULES,
     AlertCorrelator,
     ContainmentActions,
+    Incident,
     PlaybookRunner,
     ResponsePolicy,
     ResponseRule,
@@ -154,7 +155,23 @@ class TestPlaybook:
 
     def test_default_rules_cover_both_scopes(self):
         scopes = {r.source_scope for r in DEFAULT_RULES}
-        assert scopes == {"external", "internal"}
+        assert {"external", "internal"} <= scopes
+
+    def test_shed_padding_rule_only_fires_on_slo_burn(self):
+        # The SLO feedback rule must be inert in worlds without SLOs:
+        # nothing else emits SLO_BURN, and an ordinary high-severity
+        # incident must not match it.
+        (rule,) = [r for r in DEFAULT_RULES if r.name == "shed-padding-on-burn"]
+        assert rule.notice_names == ("SLO_BURN",)
+        assert rule.actions == ("relax_padding",)
+        incident = Incident(incident_id="INC-X", source="203.0.113.66",
+                            tenant="-", avenue=Avenue.DATA_EXFILTRATION,
+                            opened=5.0, last_update=5.0, severity="critical",
+                            notice_count=3, external=True)
+        incident.notice_names.append("EXFIL_VOLUME")
+        assert not rule.matches(incident)
+        incident.notice_names.append("SLO_BURN")
+        assert rule.matches(incident)
 
 
 class TestContainmentActions:
